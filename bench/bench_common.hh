@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared scaffolding for the experiment harnesses in bench/.
+ *
+ * Every harness regenerates one table or figure of the paper. They all
+ * accept --budget=N (per-benchmark instruction cap), --cache=DIR (CSV
+ * profile cache), and --quick (reduced budget), via
+ * experiments::configFromArgs.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "experiments/experiments.hh"
+
+namespace mica::bench
+{
+
+/** Print the standard harness banner. */
+inline void
+banner(const std::string &what, const std::string &paperRef)
+{
+    std::printf("================================================"
+                "=====================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("Reproduces: %s (Hoste & Eeckhout, IISWC 2006)\n",
+                paperRef.c_str());
+    std::printf("================================================"
+                "=====================\n\n");
+}
+
+/** Collect the full 122-benchmark dataset, reporting progress. */
+inline experiments::SuiteDataset
+collectWithBanner(const experiments::DatasetConfig &cfg)
+{
+    std::printf("[collecting %s profiles for 122 benchmarks, "
+                "budget=%llu%s]\n\n",
+                cfg.cacheDir.empty() ? "fresh" : "cached-or-fresh",
+                static_cast<unsigned long long>(cfg.maxInsts),
+                cfg.maxInsts == 0 ? " (run to completion)" : "");
+    return experiments::collectSuiteDataset(cfg);
+}
+
+} // namespace mica::bench

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Measurement-cost microbenchmarks (Section V's "3X speedup" claim).
+ *
+ * The paper's motivation for feature selection is profiling cost: all
+ * 47 characteristics take ~110 machine-days, the 8 GA-selected ones
+ * ~37 (about 3X less), because fewer analyzer families need to run.
+ * These google-benchmark timers measure each analyzer family and the
+ * full vs key-subset collection over identical traces.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "isa/interpreter.hh"
+#include "mica/ilp.hh"
+#include "mica/inst_mix.hh"
+#include "mica/ppm.hh"
+#include "mica/reg_traffic.hh"
+#include "mica/runner.hh"
+#include "mica/strides.hh"
+#include "mica/working_set.hh"
+#include "trace/engine.hh"
+#include "trace/synthetic.hh"
+#include "uarch/hpc_runner.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace mica;
+
+/** Pre-generated replay trace shared by all analyzer benchmarks. */
+const std::vector<InstRecord> &
+sharedTrace()
+{
+    static const std::vector<InstRecord> trace = [] {
+        RandomTraceParams p;
+        p.numInsts = 200000;
+        p.seed = 42;
+        RandomTraceSource src(p);
+        std::vector<InstRecord> v;
+        v.reserve(p.numInsts);
+        InstRecord r;
+        while (src.next(r))
+            v.push_back(r);
+        return v;
+    }();
+    return trace;
+}
+
+template <typename Analyzer, typename... Args>
+void
+runAnalyzer(benchmark::State &state, Args &&...args)
+{
+    const auto &trace = sharedTrace();
+    for (auto _ : state) {
+        Analyzer a(std::forward<Args>(args)...);
+        for (const auto &r : trace)
+            a.accept(r);
+        a.finish();
+        benchmark::DoNotOptimize(&a);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(trace.size()));
+}
+
+void BM_InstMix(benchmark::State &s) { runAnalyzer<InstMixAnalyzer>(s); }
+void BM_Ilp(benchmark::State &s) { runAnalyzer<IlpAnalyzer>(s); }
+void BM_RegTraffic(benchmark::State &s)
+{
+    runAnalyzer<RegTrafficAnalyzer>(s);
+}
+void BM_WorkingSet(benchmark::State &s)
+{
+    runAnalyzer<WorkingSetAnalyzer>(s);
+}
+void BM_Strides(benchmark::State &s) { runAnalyzer<StrideAnalyzer>(s); }
+void BM_Ppm(benchmark::State &s)
+{
+    runAnalyzer<PpmBranchAnalyzer>(s, 8u);
+}
+
+BENCHMARK(BM_InstMix);
+BENCHMARK(BM_Ilp);
+BENCHMARK(BM_RegTraffic);
+BENCHMARK(BM_WorkingSet);
+BENCHMARK(BM_Strides);
+BENCHMARK(BM_Ppm);
+
+/** Full 47-characteristic collection over a registry benchmark. */
+void
+BM_CollectAll47(benchmark::State &state)
+{
+    const auto *e = workloads::BenchmarkRegistry::instance().find(
+        "SPEC2000/bzip2.source");
+    const isa::Program prog = e->build();
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        isa::Interpreter interp(prog);
+        MicaRunnerConfig cfg;
+        cfg.maxInsts = 100000;
+        const MicaProfile p = collectMicaProfile(interp, "x", cfg);
+        insts = p.instCount;
+        benchmark::DoNotOptimize(p.values[0]);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_CollectAll47);
+
+/** Key-subset collection (the paper's Table IV set). */
+void
+BM_CollectKey8(benchmark::State &state)
+{
+    const auto *e = workloads::BenchmarkRegistry::instance().find(
+        "SPEC2000/bzip2.source");
+    const isa::Program prog = e->build();
+    const std::vector<size_t> key = {PctLoads, AvgInputOperands,
+                                     RegDepLe8, LocalLoadStrideLe64,
+                                     GlobalLoadStrideLe512,
+                                     LocalStoreStrideLe4096, DWorkSet4K,
+                                     Ilp256};
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        isa::Interpreter interp(prog);
+        MicaRunnerConfig cfg;
+        cfg.maxInsts = 100000;
+        const MicaProfile p =
+            collectMicaProfileSubset(interp, "x", key, cfg);
+        insts = p.instCount;
+        benchmark::DoNotOptimize(p.values[0]);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_CollectKey8);
+
+/** The HPC characterization for scale (fast on real HW, simulated here). */
+void
+BM_CollectHpc(benchmark::State &state)
+{
+    const auto *e = workloads::BenchmarkRegistry::instance().find(
+        "SPEC2000/bzip2.source");
+    const isa::Program prog = e->build();
+    for (auto _ : state) {
+        isa::Interpreter interp(prog);
+        const auto p = uarch::collectHwProfile(interp, "x", 100000);
+        benchmark::DoNotOptimize(p.ipcEv56);
+    }
+}
+BENCHMARK(BM_CollectHpc);
+
+/** Bare interpretation, to separate tracing cost from analysis cost. */
+void
+BM_InterpreterOnly(benchmark::State &state)
+{
+    const auto *e = workloads::BenchmarkRegistry::instance().find(
+        "SPEC2000/bzip2.source");
+    const isa::Program prog = e->build();
+    for (auto _ : state) {
+        isa::Interpreter interp(prog);
+        InstRecord r;
+        uint64_t n = 0;
+        while (n < 100000 && interp.next(r))
+            ++n;
+        benchmark::DoNotOptimize(n);
+    }
+}
+BENCHMARK(BM_InterpreterOnly);
+
+} // namespace
+
+BENCHMARK_MAIN();

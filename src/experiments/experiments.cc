@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Implementation of the shared experiment dataset collection.
+ */
+
+#include "experiments/experiments.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "isa/interpreter.hh"
+#include "mica/dataset.hh"
+#include "mica/runner.hh"
+#include "uarch/hpc_runner.hh"
+#include "workloads/registry.hh"
+
+namespace mica::experiments
+{
+
+namespace
+{
+
+/** CSV cache of the HPC profiles (the MICA side reuses mica/dataset). */
+void
+saveHpcCsv(const std::string &path,
+           const std::vector<uarch::HwCounterProfile> &profiles)
+{
+    std::ofstream out(path);
+    if (!out)
+        return;
+    out.precision(17);
+    out << "name,inst_count";
+    for (const char *m : uarch::HwCounterProfile::metricNames())
+        out << ',' << m;
+    out << '\n';
+    for (const auto &p : profiles) {
+        out << p.name << ',' << p.instCount;
+        for (double v : p.toVector())
+            out << ',' << v;
+        out << '\n';
+    }
+}
+
+std::vector<uarch::HwCounterProfile>
+loadHpcCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<uarch::HwCounterProfile> out;
+    if (!in)
+        return out;
+    std::string line;
+    if (!std::getline(in, line))
+        return out;
+    while (std::getline(in, line)) {
+        std::stringstream ss(line);
+        std::string cell;
+        uarch::HwCounterProfile p;
+        if (!std::getline(ss, p.name, ','))
+            return {};
+        if (!std::getline(ss, cell, ','))
+            return {};
+        p.instCount = std::strtoull(cell.c_str(), nullptr, 10);
+        std::vector<double> vals;
+        while (std::getline(ss, cell, ','))
+            vals.push_back(std::strtod(cell.c_str(), nullptr));
+        if (vals.size() != uarch::HwCounterProfile::kNumMetrics)
+            return {};
+        p.ipcEv56 = vals[0];
+        p.ipcEv67 = vals[1];
+        p.branchMissRate = vals[2];
+        p.l1dMissRate = vals[3];
+        p.l1iMissRate = vals[4];
+        p.l2MissRate = vals[5];
+        p.dtlbMissRate = vals[6];
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+bool
+suiteSelected(const DatasetConfig &cfg, const std::string &suite)
+{
+    if (cfg.suites.empty())
+        return true;
+    for (const auto &s : cfg.suites) {
+        if (s == suite)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Matrix
+SuiteDataset::micaMatrix() const
+{
+    return profilesToMatrix(micaProfiles);
+}
+
+Matrix
+SuiteDataset::hpcMatrix() const
+{
+    return uarch::hwProfilesToMatrix(hpcProfiles);
+}
+
+size_t
+SuiteDataset::indexOf(const std::string &fullName) const
+{
+    for (size_t i = 0; i < benchmarks.size(); ++i) {
+        if (benchmarks[i].fullName() == fullName)
+            return i;
+    }
+    return static_cast<size_t>(-1);
+}
+
+SuiteDataset
+collectSuiteDataset(const DatasetConfig &cfg)
+{
+    const auto &reg = workloads::BenchmarkRegistry::instance();
+
+    SuiteDataset ds;
+    for (const auto &e : reg.all()) {
+        if (suiteSelected(cfg, e.info.suite))
+            ds.benchmarks.push_back(e.info);
+    }
+
+    // Try the cache first: both files must exist and cover exactly the
+    // selected benchmarks, in order.
+    if (!cfg.cacheDir.empty()) {
+        const auto micaPath = cfg.cacheDir + "/mica_profiles.csv";
+        const auto hpcPath = cfg.cacheDir + "/hpc_profiles.csv";
+        auto mica = loadProfilesCsv(micaPath);
+        auto hpc = loadHpcCsv(hpcPath);
+        bool ok = mica.size() == ds.benchmarks.size() &&
+                  hpc.size() == ds.benchmarks.size();
+        for (size_t i = 0; ok && i < mica.size(); ++i) {
+            ok = mica[i].name == ds.benchmarks[i].fullName() &&
+                 hpc[i].name == ds.benchmarks[i].fullName();
+        }
+        if (ok) {
+            ds.micaProfiles = std::move(mica);
+            ds.hpcProfiles = std::move(hpc);
+            return ds;
+        }
+    }
+
+    MicaRunnerConfig rc;
+    rc.maxInsts = cfg.maxInsts;
+    rc.ppmMaxOrder = cfg.ppmMaxOrder;
+
+    for (const auto &e : reg.all()) {
+        if (!suiteSelected(cfg, e.info.suite))
+            continue;
+        const auto prog = e.build();
+        isa::Interpreter interp(prog);
+        ds.micaProfiles.push_back(
+            collectMicaProfile(interp, e.info.fullName(), rc));
+        interp.reset();
+        ds.hpcProfiles.push_back(
+            uarch::collectHwProfile(interp, e.info.fullName(),
+                                    cfg.maxInsts));
+    }
+
+    if (!cfg.cacheDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cfg.cacheDir, ec);
+        saveProfilesCsv(cfg.cacheDir + "/mica_profiles.csv",
+                        ds.micaProfiles);
+        saveHpcCsv(cfg.cacheDir + "/hpc_profiles.csv", ds.hpcProfiles);
+    }
+    return ds;
+}
+
+DatasetConfig
+configFromArgs(int argc, char **argv)
+{
+    DatasetConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--budget=", 9) == 0)
+            cfg.maxInsts = std::strtoull(arg + 9, nullptr, 10);
+        else if (std::strncmp(arg, "--cache=", 8) == 0)
+            cfg.cacheDir = arg + 8;
+        else if (std::strcmp(arg, "--quick") == 0)
+            cfg.maxInsts = 50000;
+    }
+    if (const char *env = std::getenv("MICA_BUDGET"))
+        cfg.maxInsts = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("MICA_CACHE"))
+        cfg.cacheDir = env;
+    return cfg;
+}
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = {
+        "BioInfoMark", "BioMetricsWorkload", "CommBench",
+        "MediaBench", "MiBench", "SPEC2000",
+    };
+    return names;
+}
+
+} // namespace mica::experiments

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared experiment support: one-call collection of the paper's two
+ * datasets (47 MICA characteristics + 7 HPC metrics for all 122
+ * benchmarks) with optional on-disk caching, plus small helpers used
+ * by the bench harnesses.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mica/profile.hh"
+#include "stats/matrix.hh"
+#include "uarch/hw_counter.hh"
+#include "workloads/benchmark.hh"
+
+namespace mica::experiments
+{
+
+/** Collection knobs shared by all experiments. */
+struct DatasetConfig
+{
+    /**
+     * Per-benchmark dynamic instruction budget (0 = run to completion;
+     * every registry kernel terminates within a few hundred thousand
+     * instructions).
+     */
+    uint64_t maxInsts = 0;
+
+    /** PPM branch-predictor context depth. */
+    unsigned ppmMaxOrder = 8;
+
+    /**
+     * Optional CSV cache directory. When set, profiles are read from
+     * <cacheDir>/mica_profiles.csv and <cacheDir>/hpc_profiles.csv if
+     * present, and written there after a fresh collection.
+     */
+    std::string cacheDir;
+
+    /** Restrict collection to these suites (empty = all six). */
+    std::vector<std::string> suites;
+};
+
+/** The two workload datasets of Section III. */
+struct SuiteDataset
+{
+    std::vector<workloads::BenchmarkInfo> benchmarks;
+    std::vector<MicaProfile> micaProfiles;
+    std::vector<uarch::HwCounterProfile> hpcProfiles;
+
+    /** @return 122 x 47 matrix in Table II column order. */
+    Matrix micaMatrix() const;
+
+    /** @return 122 x 7 matrix of hardware-counter metrics. */
+    Matrix hpcMatrix() const;
+
+    /** @return row index of "suite/program.input", or npos. */
+    size_t indexOf(const std::string &fullName) const;
+};
+
+/**
+ * Profile every registered benchmark with both characterizations.
+ * Deterministic for a fixed config. This is the expensive step the
+ * paper spends 110 machine-days on; here it is seconds.
+ */
+SuiteDataset collectSuiteDataset(const DatasetConfig &cfg = {});
+
+/**
+ * Parse harness flags shared by the bench executables:
+ * --budget=N (maxInsts), --cache=DIR, --quick (reduced budget).
+ * Unrecognized arguments are ignored so google-benchmark flags pass
+ * through.
+ */
+DatasetConfig configFromArgs(int argc, char **argv);
+
+/** @return the per-suite prefixes ("BioInfoMark", ...) in table order. */
+const std::vector<std::string> &suiteNames();
+
+} // namespace mica::experiments

@@ -1,0 +1,21 @@
+#include "isa/assembler.hh"
+
+namespace mica::isa
+{
+
+Program
+Assembler::finish()
+{
+    for (const auto &f : fixups_) {
+        auto it = labels_.find(f.label);
+        if (it == labels_.end()) {
+            throw std::runtime_error("unresolved label: " + f.label +
+                                     " in program " + prog_.name);
+        }
+        prog_.code[f.instIdx].imm = static_cast<int64_t>(it->second);
+    }
+    fixups_.clear();
+    return std::move(prog_);
+}
+
+} // namespace mica::isa

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Programmatic assembler for the mini-ISA.
+ *
+ * Workload kernels are written against this builder: they emit
+ * instructions through mnemonic methods, reference forward/backward labels
+ * by name, and allocate initialized or zeroed data segments. finish()
+ * resolves label fixups and returns an immutable Program.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace mica::isa
+{
+
+/**
+ * Builder for Program objects. All label references may be forward;
+ * unresolved labels cause finish() to throw.
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(std::string name = "") { prog_.name = std::move(name); }
+
+    // ------------------------------------------------------------------
+    // Labels.
+    // ------------------------------------------------------------------
+
+    /** Bind a label to the next emitted instruction. */
+    void
+    label(const std::string &name)
+    {
+        if (labels_.count(name))
+            throw std::runtime_error("duplicate label: " + name);
+        labels_[name] = prog_.code.size();
+    }
+
+    /** @return a unique label name with the given prefix. */
+    std::string
+    newLabel(const std::string &prefix = "L")
+    {
+        return prefix + "$" + std::to_string(nextLabel_++);
+    }
+
+    // ------------------------------------------------------------------
+    // Integer register-register / register-immediate.
+    // ------------------------------------------------------------------
+
+    void add(uint8_t rd, uint8_t rs1, uint8_t rs2) { r3(Opcode::Add, rd, rs1, rs2); }
+    void sub(uint8_t rd, uint8_t rs1, uint8_t rs2) { r3(Opcode::Sub, rd, rs1, rs2); }
+    void and_(uint8_t rd, uint8_t rs1, uint8_t rs2) { r3(Opcode::And, rd, rs1, rs2); }
+    void or_(uint8_t rd, uint8_t rs1, uint8_t rs2) { r3(Opcode::Or, rd, rs1, rs2); }
+    void xor_(uint8_t rd, uint8_t rs1, uint8_t rs2) { r3(Opcode::Xor, rd, rs1, rs2); }
+    void shl(uint8_t rd, uint8_t rs1, uint8_t rs2) { r3(Opcode::Shl, rd, rs1, rs2); }
+    void shr(uint8_t rd, uint8_t rs1, uint8_t rs2) { r3(Opcode::Shr, rd, rs1, rs2); }
+    void sar(uint8_t rd, uint8_t rs1, uint8_t rs2) { r3(Opcode::Sar, rd, rs1, rs2); }
+    void slt(uint8_t rd, uint8_t rs1, uint8_t rs2) { r3(Opcode::Slt, rd, rs1, rs2); }
+    void sltu(uint8_t rd, uint8_t rs1, uint8_t rs2) { r3(Opcode::Sltu, rd, rs1, rs2); }
+    void mul(uint8_t rd, uint8_t rs1, uint8_t rs2) { r3(Opcode::Mul, rd, rs1, rs2); }
+    void div(uint8_t rd, uint8_t rs1, uint8_t rs2) { r3(Opcode::Div, rd, rs1, rs2); }
+    void rem(uint8_t rd, uint8_t rs1, uint8_t rs2) { r3(Opcode::Rem, rd, rs1, rs2); }
+
+    void addi(uint8_t rd, uint8_t rs1, int64_t imm) { ri(Opcode::Addi, rd, rs1, imm); }
+    void andi(uint8_t rd, uint8_t rs1, int64_t imm) { ri(Opcode::Andi, rd, rs1, imm); }
+    void ori(uint8_t rd, uint8_t rs1, int64_t imm) { ri(Opcode::Ori, rd, rs1, imm); }
+    void xori(uint8_t rd, uint8_t rs1, int64_t imm) { ri(Opcode::Xori, rd, rs1, imm); }
+    void shli(uint8_t rd, uint8_t rs1, int64_t imm) { ri(Opcode::Shli, rd, rs1, imm); }
+    void shri(uint8_t rd, uint8_t rs1, int64_t imm) { ri(Opcode::Shri, rd, rs1, imm); }
+    void sari(uint8_t rd, uint8_t rs1, int64_t imm) { ri(Opcode::Sari, rd, rs1, imm); }
+    void slti(uint8_t rd, uint8_t rs1, int64_t imm) { ri(Opcode::Slti, rd, rs1, imm); }
+    void muli(uint8_t rd, uint8_t rs1, int64_t imm) { ri(Opcode::Muli, rd, rs1, imm); }
+
+    /** Load a 64-bit immediate. */
+    void
+    li(uint8_t rd, int64_t imm)
+    {
+        Inst i;
+        i.op = Opcode::Li;
+        i.rd = rd;
+        i.imm = imm;
+        prog_.code.push_back(i);
+    }
+
+    /** Register move (pseudo-op for addi rd, rs, 0). */
+    void mv(uint8_t rd, uint8_t rs) { addi(rd, rs, 0); }
+
+    // ------------------------------------------------------------------
+    // Floating point (register numbers index the FP file).
+    // ------------------------------------------------------------------
+
+    void fadd(uint8_t fd, uint8_t fs1, uint8_t fs2) { r3(Opcode::Fadd, fd, fs1, fs2); }
+    void fsub(uint8_t fd, uint8_t fs1, uint8_t fs2) { r3(Opcode::Fsub, fd, fs1, fs2); }
+    void fmul(uint8_t fd, uint8_t fs1, uint8_t fs2) { r3(Opcode::Fmul, fd, fs1, fs2); }
+    void fdiv(uint8_t fd, uint8_t fs1, uint8_t fs2) { r3(Opcode::Fdiv, fd, fs1, fs2); }
+    void fmin(uint8_t fd, uint8_t fs1, uint8_t fs2) { r3(Opcode::Fmin, fd, fs1, fs2); }
+    void fmax(uint8_t fd, uint8_t fs1, uint8_t fs2) { r3(Opcode::Fmax, fd, fs1, fs2); }
+    void fneg(uint8_t fd, uint8_t fs) { r3(Opcode::Fneg, fd, fs, 0); }
+    void fabs_(uint8_t fd, uint8_t fs) { r3(Opcode::Fabs, fd, fs, 0); }
+    void fsqrt(uint8_t fd, uint8_t fs) { r3(Opcode::Fsqrt, fd, fs, 0); }
+    void fmov(uint8_t fd, uint8_t fs) { r3(Opcode::Fmov, fd, fs, 0); }
+    void fclt(uint8_t rd, uint8_t fs1, uint8_t fs2) { r3(Opcode::Fclt, rd, fs1, fs2); }
+    void fcle(uint8_t rd, uint8_t fs1, uint8_t fs2) { r3(Opcode::Fcle, rd, fs1, fs2); }
+    void fceq(uint8_t rd, uint8_t fs1, uint8_t fs2) { r3(Opcode::Fceq, rd, fs1, fs2); }
+    void itof(uint8_t fd, uint8_t rs) { r3(Opcode::Itof, fd, rs, 0); }
+    void ftoi(uint8_t rd, uint8_t fs) { r3(Opcode::Ftoi, rd, fs, 0); }
+
+    // ------------------------------------------------------------------
+    // Memory. Effective address is reg[base] + off.
+    // ------------------------------------------------------------------
+
+    void lb(uint8_t rd, uint8_t base, int64_t off) { ri(Opcode::Lb, rd, base, off); }
+    void lbu(uint8_t rd, uint8_t base, int64_t off) { ri(Opcode::Lbu, rd, base, off); }
+    void lh(uint8_t rd, uint8_t base, int64_t off) { ri(Opcode::Lh, rd, base, off); }
+    void lhu(uint8_t rd, uint8_t base, int64_t off) { ri(Opcode::Lhu, rd, base, off); }
+    void lw(uint8_t rd, uint8_t base, int64_t off) { ri(Opcode::Lw, rd, base, off); }
+    void lwu(uint8_t rd, uint8_t base, int64_t off) { ri(Opcode::Lwu, rd, base, off); }
+    void ld(uint8_t rd, uint8_t base, int64_t off) { ri(Opcode::Ld, rd, base, off); }
+    void fld(uint8_t fd, uint8_t base, int64_t off) { ri(Opcode::Fld, fd, base, off); }
+
+    void sb(uint8_t val, uint8_t base, int64_t off) { st(Opcode::Sb, val, base, off); }
+    void sh(uint8_t val, uint8_t base, int64_t off) { st(Opcode::Sh, val, base, off); }
+    void sw(uint8_t val, uint8_t base, int64_t off) { st(Opcode::Sw, val, base, off); }
+    void sd(uint8_t val, uint8_t base, int64_t off) { st(Opcode::Sd, val, base, off); }
+    void fsd(uint8_t fval, uint8_t base, int64_t off) { st(Opcode::Fsd, fval, base, off); }
+
+    // ------------------------------------------------------------------
+    // Control transfers.
+    // ------------------------------------------------------------------
+
+    void beq(uint8_t a, uint8_t b, const std::string &l) { br(Opcode::Beq, a, b, l); }
+    void bne(uint8_t a, uint8_t b, const std::string &l) { br(Opcode::Bne, a, b, l); }
+    void blt(uint8_t a, uint8_t b, const std::string &l) { br(Opcode::Blt, a, b, l); }
+    void bge(uint8_t a, uint8_t b, const std::string &l) { br(Opcode::Bge, a, b, l); }
+    void bltu(uint8_t a, uint8_t b, const std::string &l) { br(Opcode::Bltu, a, b, l); }
+    void bgeu(uint8_t a, uint8_t b, const std::string &l) { br(Opcode::Bgeu, a, b, l); }
+
+    /** beq against the zero register. */
+    void beqz(uint8_t a, const std::string &l) { beq(a, reg::Zero, l); }
+    void bnez(uint8_t a, const std::string &l) { bne(a, reg::Zero, l); }
+
+    void j(const std::string &l) { br(Opcode::J, 0, 0, l); }
+    void jal(const std::string &l) { br(Opcode::Jal, 0, 0, l); }
+    void call(const std::string &l) { jal(l); }
+
+    void
+    jr(uint8_t rs)
+    {
+        Inst i;
+        i.op = Opcode::Jr;
+        i.rs1 = rs;
+        prog_.code.push_back(i);
+    }
+
+    void
+    jalr(uint8_t rs)
+    {
+        Inst i;
+        i.op = Opcode::Jalr;
+        i.rs1 = rs;
+        prog_.code.push_back(i);
+    }
+
+    void ret() { jr(reg::Ra); }
+
+    void nop() { prog_.code.push_back(Inst{}); }
+
+    void
+    halt()
+    {
+        Inst i;
+        i.op = Opcode::Halt;
+        prog_.code.push_back(i);
+    }
+
+    // ------------------------------------------------------------------
+    // Data segments. Return the base address of the allocation.
+    // ------------------------------------------------------------------
+
+    /** Allocate and initialize raw bytes. */
+    uint64_t
+    data(const void *p, size_t n, size_t align = 8)
+    {
+        uint64_t base = alignUp(dataCursor_, align);
+        DataSegment seg;
+        seg.base = base;
+        seg.bytes.resize(n);
+        std::memcpy(seg.bytes.data(), p, n);
+        prog_.segments.push_back(std::move(seg));
+        dataCursor_ = base + n;
+        return base;
+    }
+
+    uint64_t
+    dataU8(const std::vector<uint8_t> &v, size_t align = 8)
+    {
+        return data(v.data(), v.size(), align);
+    }
+
+    uint64_t
+    dataU32(const std::vector<uint32_t> &v, size_t align = 8)
+    {
+        return data(v.data(), v.size() * 4, align);
+    }
+
+    uint64_t
+    dataU64(const std::vector<uint64_t> &v, size_t align = 8)
+    {
+        return data(v.data(), v.size() * 8, align);
+    }
+
+    uint64_t
+    dataF64(const std::vector<double> &v, size_t align = 8)
+    {
+        return data(v.data(), v.size() * 8, align);
+    }
+
+    /** Allocate zero-initialized space. */
+    uint64_t
+    reserve(size_t bytes, size_t align = 8)
+    {
+        uint64_t base = alignUp(dataCursor_, align);
+        DataSegment seg;
+        seg.base = base;
+        seg.bytes.assign(bytes, 0);
+        prog_.segments.push_back(std::move(seg));
+        dataCursor_ = base + bytes;
+        return base;
+    }
+
+    /**
+     * Allocate address space without materializing a data segment.
+     * Unwritten simulated memory reads as zero, so this is equivalent to
+     * reserve() for read-mostly tables but avoids copying megabytes into
+     * the program image (used by kernels with multi-MB footprints).
+     */
+    uint64_t
+    reserveLazy(size_t bytes, size_t align = 8)
+    {
+        uint64_t base = alignUp(dataCursor_, align);
+        dataCursor_ = base + bytes;
+        return base;
+    }
+
+    /** @return number of instructions emitted so far. */
+    size_t codeSize() const { return prog_.code.size(); }
+
+    /**
+     * Resolve all fixups and return the assembled program.
+     * @throws std::runtime_error on unresolved labels.
+     */
+    Program finish();
+
+  private:
+    static uint64_t
+    alignUp(uint64_t v, uint64_t a)
+    {
+        return (v + a - 1) & ~(a - 1);
+    }
+
+    void
+    r3(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2)
+    {
+        Inst i;
+        i.op = op;
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.rs2 = rs2;
+        prog_.code.push_back(i);
+    }
+
+    void
+    ri(Opcode op, uint8_t rd, uint8_t rs1, int64_t imm)
+    {
+        Inst i;
+        i.op = op;
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.imm = imm;
+        prog_.code.push_back(i);
+    }
+
+    void
+    st(Opcode op, uint8_t val, uint8_t base, int64_t off)
+    {
+        Inst i;
+        i.op = op;
+        i.rs2 = val;   // value to store
+        i.rs1 = base;  // address base
+        i.imm = off;
+        prog_.code.push_back(i);
+    }
+
+    void
+    br(Opcode op, uint8_t a, uint8_t b, const std::string &l)
+    {
+        Inst i;
+        i.op = op;
+        i.rs1 = a;
+        i.rs2 = b;
+        fixups_.push_back({prog_.code.size(), l});
+        prog_.code.push_back(i);
+    }
+
+    struct Fixup
+    {
+        size_t instIdx;
+        std::string label;
+    };
+
+    Program prog_;
+    std::unordered_map<std::string, uint64_t> labels_;
+    std::vector<Fixup> fixups_;
+    uint64_t dataCursor_ = Program::kDataBase;
+    uint64_t nextLabel_ = 0;
+};
+
+} // namespace mica::isa

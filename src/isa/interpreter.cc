@@ -1,0 +1,347 @@
+#include "isa/interpreter.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace mica::isa
+{
+
+namespace
+{
+
+/** Signed division with defined semantics for /0 and overflow. */
+int64_t
+safeDiv(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == std::numeric_limits<int64_t>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+int64_t
+safeRem(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return a;
+    if (a == std::numeric_limits<int64_t>::min() && b == -1)
+        return 0;
+    return a % b;
+}
+
+int64_t
+signExtend(uint64_t v, unsigned bytes)
+{
+    const unsigned shift = 64 - 8 * bytes;
+    return static_cast<int64_t>(v << shift) >> shift;
+}
+
+constexpr uint16_t
+fpId(uint8_t r)
+{
+    return kNumIntRegs + r;
+}
+
+} // namespace
+
+void
+Interpreter::doReset()
+{
+    regs_.fill(0);
+    fregs_.fill(0.0);
+    mem_.clear();
+    for (const auto &seg : prog_->segments)
+        mem_.loadSegment(seg);
+    regs_[reg::Sp] = static_cast<int64_t>(Program::kStackTop);
+    regs_[reg::Ra] = static_cast<int64_t>(Program::kHaltAddr);
+    pcIdx_ = 0;
+    icount_ = 0;
+    halted_ = false;
+}
+
+bool
+Interpreter::next(InstRecord &rec)
+{
+    if (halted_ || pcIdx_ >= prog_->code.size())
+        return false;
+
+    const Inst &in = prog_->code[pcIdx_];
+    const Opcode op = in.op;
+
+    rec = InstRecord{};
+    rec.pc = prog_->pcOf(pcIdx_);
+    rec.cls = opcodeClass(op);
+
+    uint64_t next_idx = pcIdx_ + 1;
+
+    auto wr = [this](uint8_t rd, int64_t v) {
+        if (rd != reg::Zero)
+            regs_[rd] = v;
+    };
+    auto src2 = [&rec](uint16_t a, uint16_t b) {
+        rec.numSrcRegs = 2;
+        rec.srcRegs[0] = a;
+        rec.srcRegs[1] = b;
+    };
+    auto src1 = [&rec](uint16_t a) {
+        rec.numSrcRegs = 1;
+        rec.srcRegs[0] = a;
+    };
+    auto branch = [&](bool cond) {
+        src2(in.rs1, in.rs2);
+        rec.taken = cond;
+        rec.target = prog_->pcOf(static_cast<uint64_t>(in.imm));
+        if (cond)
+            next_idx = static_cast<uint64_t>(in.imm);
+    };
+
+    const int64_t a = regs_[in.rs1];
+    const int64_t b = regs_[in.rs2];
+    const double fa = fregs_[in.rs1];
+    const double fb = fregs_[in.rs2];
+
+    switch (op) {
+      case Opcode::Add: src2(in.rs1, in.rs2); rec.dstReg = in.rd;
+        wr(in.rd, static_cast<int64_t>(
+            static_cast<uint64_t>(a) + static_cast<uint64_t>(b)));
+        break;
+      case Opcode::Sub: src2(in.rs1, in.rs2); rec.dstReg = in.rd;
+        wr(in.rd, static_cast<int64_t>(
+            static_cast<uint64_t>(a) - static_cast<uint64_t>(b)));
+        break;
+      case Opcode::And: src2(in.rs1, in.rs2); rec.dstReg = in.rd;
+        wr(in.rd, a & b);
+        break;
+      case Opcode::Or: src2(in.rs1, in.rs2); rec.dstReg = in.rd;
+        wr(in.rd, a | b);
+        break;
+      case Opcode::Xor: src2(in.rs1, in.rs2); rec.dstReg = in.rd;
+        wr(in.rd, a ^ b);
+        break;
+      case Opcode::Shl: src2(in.rs1, in.rs2); rec.dstReg = in.rd;
+        wr(in.rd, static_cast<int64_t>(
+            static_cast<uint64_t>(a) << (b & 63)));
+        break;
+      case Opcode::Shr: src2(in.rs1, in.rs2); rec.dstReg = in.rd;
+        wr(in.rd, static_cast<int64_t>(
+            static_cast<uint64_t>(a) >> (b & 63)));
+        break;
+      case Opcode::Sar: src2(in.rs1, in.rs2); rec.dstReg = in.rd;
+        wr(in.rd, a >> (b & 63));
+        break;
+      case Opcode::Slt: src2(in.rs1, in.rs2); rec.dstReg = in.rd;
+        wr(in.rd, a < b ? 1 : 0);
+        break;
+      case Opcode::Sltu: src2(in.rs1, in.rs2); rec.dstReg = in.rd;
+        wr(in.rd,
+           static_cast<uint64_t>(a) < static_cast<uint64_t>(b) ? 1 : 0);
+        break;
+      case Opcode::Mul: src2(in.rs1, in.rs2); rec.dstReg = in.rd;
+        wr(in.rd, static_cast<int64_t>(
+            static_cast<uint64_t>(a) * static_cast<uint64_t>(b)));
+        break;
+      case Opcode::Div: src2(in.rs1, in.rs2); rec.dstReg = in.rd;
+        wr(in.rd, safeDiv(a, b));
+        break;
+      case Opcode::Rem: src2(in.rs1, in.rs2); rec.dstReg = in.rd;
+        wr(in.rd, safeRem(a, b));
+        break;
+
+      case Opcode::Addi: src1(in.rs1); rec.dstReg = in.rd;
+        wr(in.rd, static_cast<int64_t>(
+            static_cast<uint64_t>(a) + static_cast<uint64_t>(in.imm)));
+        break;
+      case Opcode::Andi: src1(in.rs1); rec.dstReg = in.rd;
+        wr(in.rd, a & in.imm);
+        break;
+      case Opcode::Ori: src1(in.rs1); rec.dstReg = in.rd;
+        wr(in.rd, a | in.imm);
+        break;
+      case Opcode::Xori: src1(in.rs1); rec.dstReg = in.rd;
+        wr(in.rd, a ^ in.imm);
+        break;
+      case Opcode::Shli: src1(in.rs1); rec.dstReg = in.rd;
+        wr(in.rd, static_cast<int64_t>(
+            static_cast<uint64_t>(a) << (in.imm & 63)));
+        break;
+      case Opcode::Shri: src1(in.rs1); rec.dstReg = in.rd;
+        wr(in.rd, static_cast<int64_t>(
+            static_cast<uint64_t>(a) >> (in.imm & 63)));
+        break;
+      case Opcode::Sari: src1(in.rs1); rec.dstReg = in.rd;
+        wr(in.rd, a >> (in.imm & 63));
+        break;
+      case Opcode::Slti: src1(in.rs1); rec.dstReg = in.rd;
+        wr(in.rd, a < in.imm ? 1 : 0);
+        break;
+      case Opcode::Muli: src1(in.rs1); rec.dstReg = in.rd;
+        wr(in.rd, static_cast<int64_t>(
+            static_cast<uint64_t>(a) * static_cast<uint64_t>(in.imm)));
+        break;
+      case Opcode::Li: rec.dstReg = in.rd;
+        wr(in.rd, in.imm);
+        break;
+
+      case Opcode::Fadd: src2(fpId(in.rs1), fpId(in.rs2));
+        rec.dstReg = fpId(in.rd);
+        fregs_[in.rd] = fa + fb;
+        break;
+      case Opcode::Fsub: src2(fpId(in.rs1), fpId(in.rs2));
+        rec.dstReg = fpId(in.rd);
+        fregs_[in.rd] = fa - fb;
+        break;
+      case Opcode::Fmul: src2(fpId(in.rs1), fpId(in.rs2));
+        rec.dstReg = fpId(in.rd);
+        fregs_[in.rd] = fa * fb;
+        break;
+      case Opcode::Fdiv: src2(fpId(in.rs1), fpId(in.rs2));
+        rec.dstReg = fpId(in.rd);
+        fregs_[in.rd] = (fb == 0.0) ? 0.0 : fa / fb;
+        break;
+      case Opcode::Fmin: src2(fpId(in.rs1), fpId(in.rs2));
+        rec.dstReg = fpId(in.rd);
+        fregs_[in.rd] = fa < fb ? fa : fb;
+        break;
+      case Opcode::Fmax: src2(fpId(in.rs1), fpId(in.rs2));
+        rec.dstReg = fpId(in.rd);
+        fregs_[in.rd] = fa > fb ? fa : fb;
+        break;
+      case Opcode::Fneg: src1(fpId(in.rs1)); rec.dstReg = fpId(in.rd);
+        fregs_[in.rd] = -fa;
+        break;
+      case Opcode::Fabs: src1(fpId(in.rs1)); rec.dstReg = fpId(in.rd);
+        fregs_[in.rd] = std::fabs(fa);
+        break;
+      case Opcode::Fsqrt: src1(fpId(in.rs1)); rec.dstReg = fpId(in.rd);
+        fregs_[in.rd] = std::sqrt(fa > 0.0 ? fa : 0.0);
+        break;
+      case Opcode::Fmov: src1(fpId(in.rs1)); rec.dstReg = fpId(in.rd);
+        fregs_[in.rd] = fa;
+        break;
+      case Opcode::Fclt: src2(fpId(in.rs1), fpId(in.rs2));
+        rec.dstReg = in.rd;
+        wr(in.rd, fa < fb ? 1 : 0);
+        break;
+      case Opcode::Fcle: src2(fpId(in.rs1), fpId(in.rs2));
+        rec.dstReg = in.rd;
+        wr(in.rd, fa <= fb ? 1 : 0);
+        break;
+      case Opcode::Fceq: src2(fpId(in.rs1), fpId(in.rs2));
+        rec.dstReg = in.rd;
+        wr(in.rd, fa == fb ? 1 : 0);
+        break;
+      case Opcode::Itof: src1(in.rs1); rec.dstReg = fpId(in.rd);
+        fregs_[in.rd] = static_cast<double>(a);
+        break;
+      case Opcode::Ftoi: src1(fpId(in.rs1)); rec.dstReg = in.rd;
+        wr(in.rd, static_cast<int64_t>(fa));
+        break;
+
+      case Opcode::Lb:
+      case Opcode::Lh:
+      case Opcode::Lw: {
+        src1(in.rs1); rec.dstReg = in.rd;
+        const unsigned sz = opcodeMemSize(op);
+        rec.memAddr = static_cast<uint64_t>(a + in.imm);
+        rec.memSize = sz;
+        wr(in.rd, signExtend(mem_.read(rec.memAddr, sz), sz));
+        break;
+      }
+      case Opcode::Lbu:
+      case Opcode::Lhu:
+      case Opcode::Lwu:
+      case Opcode::Ld: {
+        src1(in.rs1); rec.dstReg = in.rd;
+        const unsigned sz = opcodeMemSize(op);
+        rec.memAddr = static_cast<uint64_t>(a + in.imm);
+        rec.memSize = sz;
+        wr(in.rd, static_cast<int64_t>(mem_.read(rec.memAddr, sz)));
+        break;
+      }
+      case Opcode::Fld:
+        src1(in.rs1); rec.dstReg = fpId(in.rd);
+        rec.memAddr = static_cast<uint64_t>(a + in.imm);
+        rec.memSize = 8;
+        fregs_[in.rd] = mem_.readF64(rec.memAddr);
+        break;
+
+      case Opcode::Sb:
+      case Opcode::Sh:
+      case Opcode::Sw:
+      case Opcode::Sd: {
+        src2(in.rs2, in.rs1);  // value reg first, then address base
+        const unsigned sz = opcodeMemSize(op);
+        rec.memAddr = static_cast<uint64_t>(a + in.imm);
+        rec.memSize = sz;
+        mem_.write(rec.memAddr, sz, static_cast<uint64_t>(b));
+        break;
+      }
+      case Opcode::Fsd:
+        src2(fpId(in.rs2), in.rs1);
+        rec.memAddr = static_cast<uint64_t>(a + in.imm);
+        rec.memSize = 8;
+        mem_.writeF64(rec.memAddr, fregs_[in.rs2]);
+        break;
+
+      case Opcode::Beq: branch(a == b); break;
+      case Opcode::Bne: branch(a != b); break;
+      case Opcode::Blt: branch(a < b); break;
+      case Opcode::Bge: branch(a >= b); break;
+      case Opcode::Bltu:
+        branch(static_cast<uint64_t>(a) < static_cast<uint64_t>(b));
+        break;
+      case Opcode::Bgeu:
+        branch(static_cast<uint64_t>(a) >= static_cast<uint64_t>(b));
+        break;
+
+      case Opcode::J:
+        rec.taken = true;
+        rec.target = prog_->pcOf(static_cast<uint64_t>(in.imm));
+        next_idx = static_cast<uint64_t>(in.imm);
+        break;
+      case Opcode::Jal:
+        rec.taken = true;
+        rec.target = prog_->pcOf(static_cast<uint64_t>(in.imm));
+        rec.dstReg = reg::Ra;
+        regs_[reg::Ra] = static_cast<int64_t>(prog_->pcOf(pcIdx_ + 1));
+        next_idx = static_cast<uint64_t>(in.imm);
+        break;
+      case Opcode::Jr: {
+        src1(in.rs1);
+        rec.taken = true;
+        const uint64_t tgt = static_cast<uint64_t>(a);
+        rec.target = tgt;
+        if (tgt == Program::kHaltAddr)
+            halted_ = true;
+        else
+            next_idx = prog_->idxOf(tgt);
+        break;
+      }
+      case Opcode::Jalr: {
+        src1(in.rs1);
+        rec.taken = true;
+        const uint64_t tgt = static_cast<uint64_t>(a);
+        rec.target = tgt;
+        rec.dstReg = reg::Ra;
+        regs_[reg::Ra] = static_cast<int64_t>(prog_->pcOf(pcIdx_ + 1));
+        if (tgt == Program::kHaltAddr)
+            halted_ = true;
+        else
+            next_idx = prog_->idxOf(tgt);
+        break;
+      }
+
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        halted_ = true;
+        break;
+    }
+
+    pcIdx_ = next_idx;
+    ++icount_;
+    return true;
+}
+
+} // namespace mica::isa

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Sparse, page-granular simulated memory.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "isa/program.hh"
+
+namespace mica::isa
+{
+
+/**
+ * Byte-addressable sparse memory backed by demand-allocated 4 KB pages.
+ * Unwritten memory reads as zero. A one-entry page cache accelerates the
+ * common sequential access pattern of the interpreter.
+ */
+class Memory
+{
+  public:
+    static constexpr unsigned kPageBits = 12;
+    static constexpr uint64_t kPageSize = 1ull << kPageBits;
+    static constexpr uint64_t kOffMask = kPageSize - 1;
+
+    /** Copy a program data segment into memory. */
+    void
+    loadSegment(const DataSegment &seg)
+    {
+        for (size_t i = 0; i < seg.bytes.size(); ++i)
+            write8(seg.base + i, seg.bytes[i]);
+    }
+
+    /** Read size bytes (1/2/4/8), little endian, zero extended. */
+    uint64_t
+    read(uint64_t addr, unsigned size)
+    {
+        if (((addr & kOffMask) + size) <= kPageSize) {
+            uint8_t *p = pageFor(addr) + (addr & kOffMask);
+            uint64_t v = 0;
+            std::memcpy(&v, p, size);
+            return v;
+        }
+        uint64_t v = 0;
+        for (unsigned i = 0; i < size; ++i)
+            v |= static_cast<uint64_t>(read8(addr + i)) << (8 * i);
+        return v;
+    }
+
+    /** Write size bytes (1/2/4/8), little endian. */
+    void
+    write(uint64_t addr, unsigned size, uint64_t val)
+    {
+        if (((addr & kOffMask) + size) <= kPageSize) {
+            uint8_t *p = pageFor(addr) + (addr & kOffMask);
+            std::memcpy(p, &val, size);
+            return;
+        }
+        for (unsigned i = 0; i < size; ++i)
+            write8(addr + i, static_cast<uint8_t>(val >> (8 * i)));
+    }
+
+    uint8_t read8(uint64_t addr) { return pageFor(addr)[addr & kOffMask]; }
+
+    void
+    write8(uint64_t addr, uint8_t v)
+    {
+        pageFor(addr)[addr & kOffMask] = v;
+    }
+
+    double
+    readF64(uint64_t addr)
+    {
+        uint64_t bits = read(addr, 8);
+        double d;
+        std::memcpy(&d, &bits, 8);
+        return d;
+    }
+
+    void
+    writeF64(uint64_t addr, double d)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        write(addr, 8, bits);
+    }
+
+    /** @return number of pages currently allocated. */
+    size_t numPages() const { return pages_.size(); }
+
+    /** Drop all contents. */
+    void
+    clear()
+    {
+        pages_.clear();
+        lastPageNum_ = ~0ull;
+        lastPage_ = nullptr;
+    }
+
+  private:
+    uint8_t *
+    pageFor(uint64_t addr)
+    {
+        const uint64_t pn = addr >> kPageBits;
+        if (pn == lastPageNum_)
+            return lastPage_;
+        auto &slot = pages_[pn];
+        if (!slot) {
+            slot = std::make_unique<std::array<uint8_t, kPageSize>>();
+            slot->fill(0);
+        }
+        lastPageNum_ = pn;
+        lastPage_ = slot->data();
+        return lastPage_;
+    }
+
+    std::unordered_map<uint64_t,
+                       std::unique_ptr<std::array<uint8_t, kPageSize>>>
+        pages_;
+    uint64_t lastPageNum_ = ~0ull;
+    uint8_t *lastPage_ = nullptr;
+};
+
+} // namespace mica::isa

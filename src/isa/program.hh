@@ -1,0 +1,110 @@
+/**
+ * @file
+ * In-memory representation of an assembled mini-ISA program.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+
+namespace mica::isa
+{
+
+/** Conventional register names (integer file). */
+namespace reg
+{
+constexpr uint8_t Zero = 0;   ///< hardwired zero
+constexpr uint8_t Ra = 1;     ///< return address
+constexpr uint8_t Sp = 2;     ///< stack pointer
+constexpr uint8_t A0 = 3;     ///< arguments / results A0..A5
+constexpr uint8_t A1 = 4;
+constexpr uint8_t A2 = 5;
+constexpr uint8_t A3 = 6;
+constexpr uint8_t A4 = 7;
+constexpr uint8_t A5 = 8;
+constexpr uint8_t T0 = 9;     ///< temporaries T0..T9
+constexpr uint8_t T1 = 10;
+constexpr uint8_t T2 = 11;
+constexpr uint8_t T3 = 12;
+constexpr uint8_t T4 = 13;
+constexpr uint8_t T5 = 14;
+constexpr uint8_t T6 = 15;
+constexpr uint8_t T7 = 16;
+constexpr uint8_t T8 = 17;
+constexpr uint8_t T9 = 18;
+constexpr uint8_t S0 = 19;    ///< saved S0..S9
+constexpr uint8_t S1 = 20;
+constexpr uint8_t S2 = 21;
+constexpr uint8_t S3 = 22;
+constexpr uint8_t S4 = 23;
+constexpr uint8_t S5 = 24;
+constexpr uint8_t S6 = 25;
+constexpr uint8_t S7 = 26;
+constexpr uint8_t S8 = 27;
+constexpr uint8_t S9 = 28;
+constexpr uint8_t G0 = 29;    ///< globals G0..G2
+constexpr uint8_t G1 = 30;
+constexpr uint8_t G2 = 31;
+} // namespace reg
+
+/**
+ * One static instruction. Register fields index into the integer or FP
+ * file depending on the opcode (opcodeIsFp); imm carries immediates,
+ * load/store displacements, and (after label resolution) control-transfer
+ * instruction indices.
+ */
+struct Inst
+{
+    Opcode op = Opcode::Nop;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int64_t imm = 0;
+};
+
+/** A chunk of initialized (or zero-reserved) data memory. */
+struct DataSegment
+{
+    uint64_t base = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/**
+ * An assembled program: static code, initial data image, and layout
+ * constants. Instruction i occupies address codeBase() + 4*i.
+ */
+class Program
+{
+  public:
+    static constexpr uint64_t kCodeBase = 0x400000;
+    static constexpr uint64_t kDataBase = 0x10000000;
+    static constexpr uint64_t kStackTop = 0x7ff00000;
+    /** Return-address sentinel: transferring here terminates execution. */
+    static constexpr uint64_t kHaltAddr = 0xdead0000;
+
+    std::vector<Inst> code;
+    std::vector<DataSegment> segments;
+    std::string name;
+
+    /** @return address of instruction at index idx. */
+    uint64_t pcOf(uint64_t idx) const { return kCodeBase + 4 * idx; }
+
+    /** @return instruction index of a code address. */
+    uint64_t idxOf(uint64_t pc) const { return (pc - kCodeBase) / 4; }
+
+    /** @return total bytes of initialized data. */
+    size_t
+    dataBytes() const
+    {
+        size_t n = 0;
+        for (const auto &s : segments)
+            n += s.bytes.size();
+        return n;
+    }
+};
+
+} // namespace mica::isa

@@ -1,0 +1,42 @@
+#include "methodology/classifier.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mica
+{
+
+SimilarityQuadrants
+classifyTuples(const std::vector<double> &refDist,
+               const std::vector<double> &candDist, double refFrac,
+               double candFrac)
+{
+    if (refDist.size() != candDist.size())
+        throw std::invalid_argument("classifyTuples: size mismatch");
+
+    SimilarityQuadrants q;
+    q.total = refDist.size();
+    double refMax = 0.0, candMax = 0.0;
+    for (double d : refDist)
+        refMax = std::max(refMax, d);
+    for (double d : candDist)
+        candMax = std::max(candMax, d);
+    q.refThreshold = refFrac * refMax;
+    q.candThreshold = candFrac * candMax;
+
+    for (size_t i = 0; i < refDist.size(); ++i) {
+        const bool refLarge = refDist[i] > q.refThreshold;
+        const bool candLarge = candDist[i] > q.candThreshold;
+        if (refLarge && candLarge)
+            ++q.truePositive;
+        else if (!refLarge && !candLarge)
+            ++q.trueNegative;
+        else if (!refLarge && candLarge)
+            ++q.falsePositive;
+        else
+            ++q.falseNegative;
+    }
+    return q;
+}
+
+} // namespace mica

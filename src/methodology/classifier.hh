@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Benchmark-tuple similarity classification (Section IV, Table III).
+ *
+ * Every benchmark pair ("tuple") is classified by whether its distance
+ * is large or small in two spaces: the hardware-performance-counter
+ * space (the reference) and a microarchitecture-independent space (the
+ * candidate). "Large" means exceeding a threshold fraction (20% in the
+ * paper) of the maximum distance observed in that space.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mica
+{
+
+/** Fractions (and counts) of the four Table III quadrants. */
+struct SimilarityQuadrants
+{
+    // Counts.
+    size_t truePositive = 0;    ///< large in both spaces
+    size_t trueNegative = 0;    ///< small in both spaces
+    size_t falsePositive = 0;   ///< small reference, large candidate
+    size_t falseNegative = 0;   ///< large reference, small candidate
+    size_t total = 0;
+
+    // Thresholds actually applied (absolute distances).
+    double refThreshold = 0.0;
+    double candThreshold = 0.0;
+
+    double fracTP() const { return frac(truePositive); }
+    double fracTN() const { return frac(trueNegative); }
+    double fracFP() const { return frac(falsePositive); }
+    double fracFN() const { return frac(falseNegative); }
+
+    /** Sensitivity: P(large candidate | large reference). */
+    double
+    sensitivity() const
+    {
+        const size_t denom = truePositive + falseNegative;
+        return denom ? static_cast<double>(truePositive) /
+                       static_cast<double>(denom) : 0.0;
+    }
+
+    /** Specificity: P(small candidate | small reference). */
+    double
+    specificity() const
+    {
+        const size_t denom = trueNegative + falsePositive;
+        return denom ? static_cast<double>(trueNegative) /
+                       static_cast<double>(denom) : 0.0;
+    }
+
+  private:
+    double
+    frac(size_t n) const
+    {
+        return total ? static_cast<double>(n) /
+                       static_cast<double>(total) : 0.0;
+    }
+};
+
+/**
+ * Classify all benchmark tuples.
+ *
+ * @param refDist  condensed distances in the reference (HPC) space
+ * @param candDist condensed distances in the candidate (MICA) space
+ * @param refFrac  "large" threshold as a fraction of max(refDist)
+ * @param candFrac "large" threshold as a fraction of max(candDist)
+ */
+SimilarityQuadrants classifyTuples(const std::vector<double> &refDist,
+                                   const std::vector<double> &candDist,
+                                   double refFrac = 0.2,
+                                   double candFrac = 0.2);
+
+} // namespace mica

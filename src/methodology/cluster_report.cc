@@ -1,0 +1,63 @@
+#include "methodology/cluster_report.hh"
+
+#include <algorithm>
+
+namespace mica
+{
+
+std::vector<size_t>
+ClusterReport::suiteHistogram(
+    const BenchmarkCluster &c,
+    const std::vector<std::string> &suitePrefixes) const
+{
+    std::vector<size_t> hist(suitePrefixes.size(), 0);
+    for (const auto &name : c.memberNames) {
+        for (size_t s = 0; s < suitePrefixes.size(); ++s) {
+            if (name.rfind(suitePrefixes[s], 0) == 0) {
+                ++hist[s];
+                break;
+            }
+        }
+    }
+    return hist;
+}
+
+ClusterReport
+clusterBenchmarks(const Matrix &data, size_t maxK, uint64_t seed,
+                  double bicFrac, double bicVarFloor)
+{
+    ClusterReport rep;
+    BicSweepResult sweep =
+        bicSweep(data, maxK, seed, bicFrac, bicVarFloor);
+    rep.chosenK = sweep.chosenK;
+    rep.bicByK = sweep.bicByK;
+    const KMeansResult &fit = sweep.fits[sweep.chosenK - 1];
+    rep.assignment = fit.assignment;
+
+    rep.clusters.resize(fit.k);
+    for (size_t c = 0; c < fit.k; ++c) {
+        rep.clusters[c].id = c;
+        rep.clusters[c].members = fit.members(c);
+        for (size_t r : rep.clusters[c].members) {
+            rep.clusters[c].memberNames.push_back(
+                r < data.rowNames.size() ? data.rowNames[r]
+                                         : std::to_string(r));
+        }
+    }
+    // Drop empty clusters, sort by size (largest first).
+    rep.clusters.erase(
+        std::remove_if(rep.clusters.begin(), rep.clusters.end(),
+                       [](const BenchmarkCluster &c) {
+                           return c.members.empty();
+                       }),
+        rep.clusters.end());
+    std::sort(rep.clusters.begin(), rep.clusters.end(),
+              [](const BenchmarkCluster &a, const BenchmarkCluster &b) {
+                  if (a.members.size() != b.members.size())
+                      return a.members.size() > b.members.size();
+                  return a.id < b.id;
+              });
+    return rep;
+}
+
+} // namespace mica

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Benchmark clustering in a reduced space (Section VI, Fig. 6).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/kmeans.hh"
+#include "stats/matrix.hh"
+
+namespace mica
+{
+
+/** One cluster of similarly behaving benchmarks. */
+struct BenchmarkCluster
+{
+    size_t id = 0;
+    std::vector<size_t> members;            ///< row indices
+    std::vector<std::string> memberNames;   ///< resolved names
+
+    bool isSingleton() const { return members.size() == 1; }
+};
+
+/** Full clustering result for the Fig. 6 experiment. */
+struct ClusterReport
+{
+    size_t chosenK = 0;
+    std::vector<double> bicByK;
+    std::vector<BenchmarkCluster> clusters;     ///< sorted by size desc
+    std::vector<int> assignment;                ///< cluster id per row
+
+    /**
+     * @return for a cluster, how many members' names start with each
+     *         of the given suite prefixes ("suite/bench" naming).
+     */
+    std::vector<size_t>
+    suiteHistogram(const BenchmarkCluster &c,
+                   const std::vector<std::string> &suitePrefixes) const;
+};
+
+/**
+ * Cluster benchmarks with k-means, choosing K by the paper's rule:
+ * sweep K = 1..maxK and keep the smallest K whose BIC score is within
+ * bicFrac (90%) of the maximum.
+ *
+ * @param data  reduced-space dataset (rows must carry rowNames)
+ * @param maxK  upper end of the K sweep (70 in the paper)
+ * @param seed  RNG seed for k-means seeding
+ * @param bicVarFloor measurement-resolution floor on the BIC variance
+ *        estimate, in squared (normalized) data units; see bicScore.
+ *        The default of 0.25 treats within-cluster spread below half a
+ *        standard deviation per axis as measurement-identical, which
+ *        keeps deterministic-kernel populations from degenerating into
+ *        one cluster per benchmark.
+ */
+ClusterReport clusterBenchmarks(const Matrix &data, size_t maxK,
+                                uint64_t seed, double bicFrac = 0.9,
+                                double bicVarFloor = 0.25);
+
+} // namespace mica

@@ -1,0 +1,78 @@
+#include "methodology/correlation_elimination.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hh"
+
+namespace mica
+{
+
+std::vector<size_t>
+CorrelationEliminationResult::retained(size_t k) const
+{
+    // The first (numChars - k) entries of eliminationOrder are gone.
+    std::vector<bool> removed(numChars, false);
+    const size_t toRemove = numChars > k ? numChars - k : 0;
+    for (size_t i = 0; i < toRemove && i < eliminationOrder.size(); ++i)
+        removed[eliminationOrder[i]] = true;
+    std::vector<size_t> keep;
+    keep.reserve(k);
+    for (size_t c = 0; c < numChars; ++c)
+        if (!removed[c])
+            keep.push_back(c);
+    return keep;
+}
+
+CorrelationEliminationResult
+correlationElimination(const WorkloadSpace &space)
+{
+    const size_t n = space.numChars();
+    CorrelationEliminationResult res;
+    res.numChars = n;
+    res.distanceCorrByK.assign(n, 0.0);
+    if (n == 0)
+        return res;
+
+    // Precompute the full correlation matrix once; the average over the
+    // active set is recomputed per step.
+    const Matrix corr = correlationMatrix(space.normalized());
+    const auto &fullDist = space.distances().condensed();
+
+    std::vector<size_t> active(n);
+    for (size_t c = 0; c < n; ++c)
+        active[c] = c;
+
+    // Full space trivially correlates perfectly with itself.
+    res.distanceCorrByK[n - 1] = 1.0;
+
+    while (active.size() > 1) {
+        // Rank by average absolute correlation against the other
+        // active characteristics.
+        size_t worstPos = 0;
+        double worstAvg = -1.0;
+        for (size_t i = 0; i < active.size(); ++i) {
+            double sum = 0.0;
+            for (size_t j = 0; j < active.size(); ++j) {
+                if (i == j)
+                    continue;
+                sum += std::fabs(corr.at(active[i], active[j]));
+            }
+            const double avg =
+                sum / static_cast<double>(active.size() - 1);
+            if (avg > worstAvg) {
+                worstAvg = avg;
+                worstPos = i;
+            }
+        }
+        res.eliminationOrder.push_back(active[worstPos]);
+        active.erase(active.begin() + static_cast<long>(worstPos));
+
+        const DistanceMatrix sub = space.distancesForSubset(active);
+        res.distanceCorrByK[active.size() - 1] =
+            pearson(fullDist, sub.condensed());
+    }
+    return res;
+}
+
+} // namespace mica

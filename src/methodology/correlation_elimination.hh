@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Correlation elimination (Section V-A): iteratively remove the
+ * characteristic with the highest average correlation to the others.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "methodology/workload_space.hh"
+
+namespace mica
+{
+
+/** Full elimination trajectory of the correlation-elimination method. */
+struct CorrelationEliminationResult
+{
+    /**
+     * Characteristics in removal order: eliminationOrder[0] was removed
+     * first (it had the highest average absolute correlation with all
+     * remaining characteristics at that step).
+     */
+    std::vector<size_t> eliminationOrder;
+
+    /** Total number of characteristics N in the original space. */
+    size_t numChars = 0;
+
+    /**
+     * distanceCorrByK[k-1] = Pearson correlation between the pairwise
+     * benchmark distances in the k-characteristic reduced space and the
+     * distances in the full space (the quantity plotted in Fig. 5).
+     */
+    std::vector<double> distanceCorrByK;
+
+    /** @return the retained characteristic indices when k are kept. */
+    std::vector<size_t> retained(size_t k) const;
+};
+
+/**
+ * Run correlation elimination on a workload space.
+ *
+ * At every step the average absolute Pearson correlation of each active
+ * characteristic against the other active characteristics is computed;
+ * the characteristic with the highest average is dropped (it adds the
+ * least information). The distance correlation versus the full space is
+ * recorded for every intermediate size.
+ */
+CorrelationEliminationResult
+correlationElimination(const WorkloadSpace &space);
+
+} // namespace mica

@@ -1,0 +1,206 @@
+#include "methodology/genetic_selector.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "stats/descriptive.hh"
+#include "stats/rng.hh"
+
+namespace mica
+{
+
+namespace
+{
+
+/**
+ * Fitness evaluation engine. Pre-computes, for every characteristic,
+ * the squared per-pair contribution to the Euclidean distance; a
+ * subset's distance vector is then a masked sum, which keeps the GA's
+ * inner loop cheap. Fitness values are memoized per bitmask.
+ */
+class FitnessEval
+{
+  public:
+    explicit FitnessEval(const WorkloadSpace &space)
+        : numChars_(space.numChars()),
+          fullDist_(space.distances().condensed())
+    {
+        if (numChars_ > 64)
+            throw std::invalid_argument("GA supports up to 64 chars");
+        const Matrix &m = space.normalized();
+        const size_t pairs = fullDist_.size();
+        sq_.assign(numChars_, std::vector<double>(pairs));
+        size_t p = 0;
+        for (size_t i = 0; i < m.rows(); ++i) {
+            for (size_t j = i + 1; j < m.rows(); ++j, ++p) {
+                for (size_t c = 0; c < numChars_; ++c) {
+                    const double d = m.at(i, c) - m.at(j, c);
+                    sq_[c][p] = d * d;
+                }
+            }
+        }
+    }
+
+    size_t numChars() const { return numChars_; }
+
+    /** @return {fitness, rho} for a bitmask. */
+    std::pair<double, double>
+    operator()(uint64_t mask)
+    {
+        auto it = memo_.find(mask);
+        if (it != memo_.end())
+            return it->second;
+
+        const size_t pairs = fullDist_.size();
+        std::vector<double> dist(pairs, 0.0);
+        size_t n = 0;
+        for (size_t c = 0; c < numChars_; ++c) {
+            if (!(mask & (1ull << c)))
+                continue;
+            ++n;
+            const auto &col = sq_[c];
+            for (size_t p = 0; p < pairs; ++p)
+                dist[p] += col[p];
+        }
+        std::pair<double, double> result{0.0, 0.0};
+        if (n > 0) {
+            for (double &d : dist)
+                d = std::sqrt(d);
+            const double rho = pearson(fullDist_, dist);
+            const double sizeFactor = 1.0 -
+                static_cast<double>(n) / static_cast<double>(numChars_);
+            result = {rho * sizeFactor, rho};
+        }
+        memo_[mask] = result;
+        return result;
+    }
+
+  private:
+    size_t numChars_;
+    std::vector<double> fullDist_;
+    std::vector<std::vector<double>> sq_;
+    std::unordered_map<uint64_t, std::pair<double, double>> memo_;
+};
+
+uint64_t
+randomMask(Rng &rng, size_t n)
+{
+    // Varying density seeds the population with diverse subset sizes.
+    const double density = 0.1 + 0.8 * rng.unit();
+    uint64_t m = 0;
+    for (size_t c = 0; c < n; ++c)
+        if (rng.chance(density))
+            m |= 1ull << c;
+    if (m == 0)
+        m |= 1ull << rng.below(n);
+    return m;
+}
+
+size_t
+tournament(Rng &rng, const std::vector<double> &fit, size_t k)
+{
+    size_t best = rng.below(fit.size());
+    for (size_t i = 1; i < k; ++i) {
+        const size_t cand = rng.below(fit.size());
+        if (fit[cand] > fit[best])
+            best = cand;
+    }
+    return best;
+}
+
+} // namespace
+
+std::pair<double, double>
+subsetFitness(const WorkloadSpace &space, const std::vector<size_t> &subset)
+{
+    FitnessEval eval(space);
+    uint64_t mask = 0;
+    for (size_t c : subset)
+        mask |= 1ull << c;
+    return eval(mask);
+}
+
+GaResult
+geneticSelect(const WorkloadSpace &space, const GaConfig &cfg)
+{
+    FitnessEval eval(space);
+    const size_t n = eval.numChars();
+    Rng rng(cfg.seed);
+
+    std::vector<uint64_t> pop(cfg.populationSize);
+    for (auto &m : pop)
+        m = randomMask(rng, n);
+
+    uint64_t bestMask = pop[0];
+    double bestFit = -1.0;
+    size_t sinceImprove = 0;
+
+    GaResult res;
+    std::vector<double> fit(pop.size());
+
+    for (size_t gen = 0; gen < cfg.maxGenerations; ++gen) {
+        for (size_t i = 0; i < pop.size(); ++i)
+            fit[i] = eval(pop[i]).first;
+
+        // Track the global best.
+        bool improved = false;
+        for (size_t i = 0; i < pop.size(); ++i) {
+            if (fit[i] > bestFit + 1e-12) {
+                bestFit = fit[i];
+                bestMask = pop[i];
+                improved = true;
+            }
+        }
+        res.bestFitnessHistory.push_back(bestFit);
+        res.generationsRun = gen + 1;
+        sinceImprove = improved ? 0 : sinceImprove + 1;
+        if (sinceImprove >= cfg.stallGenerations)
+            break;
+
+        // Build the next generation: elitism + tournament selection +
+        // uniform crossover + per-bit mutation.
+        std::vector<size_t> order(pop.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](size_t a, size_t b) { return fit[a] > fit[b]; });
+
+        std::vector<uint64_t> next;
+        next.reserve(pop.size());
+        for (size_t e = 0; e < cfg.eliteCount && e < pop.size(); ++e)
+            next.push_back(pop[order[e]]);
+
+        while (next.size() < pop.size()) {
+            const uint64_t p1 =
+                pop[tournament(rng, fit, cfg.tournamentSize)];
+            const uint64_t p2 =
+                pop[tournament(rng, fit, cfg.tournamentSize)];
+            uint64_t child = p1;
+            if (rng.chance(cfg.crossoverRate)) {
+                // Uniform crossover: take each bit from either parent.
+                const uint64_t pickMask = rng.next() &
+                    ((n >= 64) ? ~0ull : ((1ull << n) - 1));
+                child = (p1 & pickMask) | (p2 & ~pickMask);
+            }
+            for (size_t c = 0; c < n; ++c)
+                if (rng.chance(cfg.mutationRate))
+                    child ^= 1ull << c;
+            if (child == 0)
+                child |= 1ull << rng.below(n);
+            next.push_back(child);
+        }
+        pop.swap(next);
+    }
+
+    const auto [f, rho] = eval(bestMask);
+    res.fitness = f;
+    res.distanceCorrelation = rho;
+    for (size_t c = 0; c < n; ++c)
+        if (bestMask & (1ull << c))
+            res.selected.push_back(c);
+    return res;
+}
+
+} // namespace mica

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Genetic-algorithm feature selection (Section V-B).
+ *
+ * A solution is a bitmask over the N characteristics. The fitness is
+ *
+ *     f = rho * (1 - n/N)
+ *
+ * where rho is the Pearson correlation between pairwise benchmark
+ * distances in the selected subspace and in the full space, and n is the
+ * number of selected characteristics. The first factor rewards fidelity
+ * to the full-space structure; the second rewards small subsets, which
+ * is what makes the retained characteristics cheap to measure.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "methodology/workload_space.hh"
+
+namespace mica
+{
+
+/** GA hyper-parameters (defaults tuned for the 47-char space). */
+struct GaConfig
+{
+    size_t populationSize = 64;
+    size_t maxGenerations = 300;
+    size_t stallGenerations = 40;   ///< stop if no improvement this long
+    double mutationRate = 0.02;     ///< per-bit flip probability
+    double crossoverRate = 0.9;     ///< else clone a parent
+    size_t tournamentSize = 3;
+    size_t eliteCount = 2;          ///< solutions copied unchanged
+    uint64_t seed = 20061027;       ///< IISWC 2006 :-)
+};
+
+/** Outcome of a GA run. */
+struct GaResult
+{
+    std::vector<size_t> selected;   ///< chosen characteristic indices
+    double fitness = 0.0;           ///< f = rho * (1 - n/N)
+    double distanceCorrelation = 0.0;   ///< the rho factor alone
+    size_t generationsRun = 0;
+    std::vector<double> bestFitnessHistory;    ///< per generation
+};
+
+/**
+ * Evaluate the GA fitness of an explicit subset (used by tests and the
+ * evaluation benches). @return {fitness, rho}.
+ */
+std::pair<double, double>
+subsetFitness(const WorkloadSpace &space, const std::vector<size_t> &subset);
+
+/**
+ * Run the genetic algorithm against a workload space. Deterministic for
+ * a given configuration/seed.
+ */
+GaResult geneticSelect(const WorkloadSpace &space, const GaConfig &cfg = {});
+
+} // namespace mica

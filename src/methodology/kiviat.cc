@@ -1,0 +1,89 @@
+#include "methodology/kiviat.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/descriptive.hh"
+
+namespace mica
+{
+
+std::vector<KiviatStar>
+buildKiviats(const Matrix &data)
+{
+    Matrix norm = data;
+    minmaxNormalize(norm);
+    std::vector<KiviatStar> stars;
+    stars.reserve(norm.rows());
+    for (size_t r = 0; r < norm.rows(); ++r) {
+        KiviatStar s;
+        s.name = r < norm.rowNames.size() ? norm.rowNames[r]
+                                          : std::to_string(r);
+        s.axes = norm.colNames;
+        s.values = norm.rowVec(r);
+        stars.push_back(std::move(s));
+    }
+    return stars;
+}
+
+std::string
+renderKiviat(const KiviatStar &star, int radius)
+{
+    const int h = 2 * radius + 1;
+    const int w = 4 * radius + 1;     // x stretched 2:1 for aspect ratio
+    std::vector<std::string> grid(h, std::string(w, ' '));
+    const double cx = 2 * radius, cy = radius;
+    const size_t n = star.values.size();
+
+    auto plot = [&](double x, double y, char ch) {
+        const int ix = static_cast<int>(std::lround(x));
+        const int iy = static_cast<int>(std::lround(y));
+        if (iy >= 0 && iy < h && ix >= 0 && ix < w)
+            grid[iy][ix] = ch;
+    };
+
+    for (size_t a = 0; a < n; ++a) {
+        const double ang = 2.0 * M_PI * static_cast<double>(a) /
+            static_cast<double>(n) - M_PI / 2.0;
+        const double dx = std::cos(ang), dy = std::sin(ang);
+        // Spoke.
+        for (int t = 1; t <= radius; ++t) {
+            plot(cx + 2.0 * dx * t, cy + dy * t, '.');
+        }
+        // Value marker plus axis digit at the rim.
+        const double v = std::min(1.0, std::max(0.0, star.values[a]));
+        plot(cx + 2.0 * dx * v * radius, cy + dy * v * radius, 'o');
+        plot(cx + 2.0 * dx * (radius + 0.49), cy + dy * (radius + 0.49),
+             static_cast<char>('1' + static_cast<int>(a % 9)));
+    }
+    plot(cx, cy, '+');
+
+    std::ostringstream out;
+    out << star.name << '\n';
+    for (const auto &row : grid)
+        out << row << '\n';
+    for (size_t a = 0; a < n; ++a) {
+        out << "  " << (a + 1) << ". "
+            << (a < star.axes.size() ? star.axes[a] : "?") << " = ";
+        out.precision(3);
+        out << star.values[a] << '\n';
+    }
+    return out.str();
+}
+
+std::string
+renderKiviatBars(const KiviatStar &star, int width)
+{
+    std::ostringstream out;
+    for (size_t a = 0; a < star.values.size(); ++a) {
+        const double v = std::min(1.0, std::max(0.0, star.values[a]));
+        const int fill = static_cast<int>(std::lround(v * width));
+        out << '[';
+        for (int i = 0; i < width; ++i)
+            out << (i < fill ? '#' : ' ');
+        out << ']';
+    }
+    return out.str();
+}
+
+} // namespace mica

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Kiviat (radar/star) plot data and ASCII rendering (Fig. 6).
+ *
+ * Each benchmark is drawn as a star whose axes are the key
+ * microarchitecture-independent characteristics, min-max normalized to
+ * [0, 1] across the benchmark population so the plots are comparable.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace mica
+{
+
+/** Kiviat data for one benchmark. */
+struct KiviatStar
+{
+    std::string name;
+    std::vector<std::string> axes;
+    std::vector<double> values;     ///< normalized to [0, 1]
+};
+
+/**
+ * Build kiviat stars for every row of a dataset. Values are min-max
+ * normalized per column.
+ */
+std::vector<KiviatStar> buildKiviats(const Matrix &data);
+
+/**
+ * Render one star as monospace ASCII art: spokes at equal angles, the
+ * value marked on each spoke, axis labels in a legend below.
+ *
+ * @param star   the star to render
+ * @param radius plot radius in character cells (rows; columns are 2x)
+ */
+std::string renderKiviat(const KiviatStar &star, int radius = 8);
+
+/** Render a compact one-line bar summary (one block per axis). */
+std::string renderKiviatBars(const KiviatStar &star, int width = 10);
+
+} // namespace mica

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Implementation of cluster-medoid benchmark subsetting.
+ */
+
+#include "methodology/subsetting.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/kmeans.hh"
+
+namespace mica
+{
+
+namespace
+{
+
+double
+rowDistance(const Matrix &m, size_t a, const double *b)
+{
+    double d2 = 0.0;
+    const double *ra = m.row(a);
+    for (size_t c = 0; c < m.cols(); ++c) {
+        const double d = ra[c] - b[c];
+        d2 += d * d;
+    }
+    return std::sqrt(d2);
+}
+
+/** Build a SubsetResult from a k-means fit over `data`. */
+SubsetResult
+fromFit(const Matrix &data, const KMeansResult &fit)
+{
+    SubsetResult out;
+    out.populationSize = data.rows();
+
+    for (size_t c = 0; c < fit.k; ++c) {
+        const auto members = fit.members(c);
+        if (members.empty())
+            continue;
+
+        // Medoid: the member closest to the centroid.
+        size_t medoid = members[0];
+        double best = 1e300;
+        for (size_t m : members) {
+            const double d = rowDistance(data, m, fit.centroids.row(c));
+            if (d < best) {
+                best = d;
+                medoid = m;
+            }
+        }
+
+        Representative rep;
+        rep.row = medoid;
+        rep.name = medoid < data.rowNames.size() ? data.rowNames[medoid]
+                                                 : std::to_string(medoid);
+        rep.covers = members;
+        double sum = 0.0;
+        for (size_t m : members) {
+            const double d = rowDistance(data, m, data.row(medoid));
+            rep.maxDistance = std::max(rep.maxDistance, d);
+            sum += d;
+        }
+        rep.meanDistance = sum / static_cast<double>(members.size());
+        out.representatives.push_back(std::move(rep));
+    }
+
+    // Population-level coverage.
+    double sum = 0.0;
+    for (const auto &rep : out.representatives) {
+        out.maxCoverDistance =
+            std::max(out.maxCoverDistance, rep.maxDistance);
+        sum += rep.meanDistance *
+               static_cast<double>(rep.covers.size());
+    }
+    out.meanCoverDistance =
+        out.populationSize
+            ? sum / static_cast<double>(out.populationSize) : 0.0;
+    out.reductionFactor =
+        out.representatives.empty()
+            ? 0.0
+            : static_cast<double>(out.populationSize) /
+                  static_cast<double>(out.representatives.size());
+
+    std::sort(out.representatives.begin(), out.representatives.end(),
+              [](const Representative &a, const Representative &b) {
+                  if (a.covers.size() != b.covers.size())
+                      return a.covers.size() > b.covers.size();
+                  return a.row < b.row;
+              });
+    return out;
+}
+
+} // namespace
+
+std::vector<size_t>
+SubsetResult::selectedRows() const
+{
+    std::vector<size_t> rows;
+    rows.reserve(representatives.size());
+    for (const auto &r : representatives)
+        rows.push_back(r.row);
+    std::sort(rows.begin(), rows.end());
+    return rows;
+}
+
+SubsetResult
+selectRepresentatives(const Matrix &data, size_t maxK, uint64_t seed,
+                      double bicFrac, double bicVarFloor)
+{
+    const BicSweepResult sweep =
+        bicSweep(data, maxK, seed, bicFrac, bicVarFloor);
+    return fromFit(data, sweep.fits[sweep.chosenK - 1]);
+}
+
+SubsetResult
+selectKRepresentatives(const Matrix &data, size_t k, uint64_t seed)
+{
+    KMeansParams params;
+    params.k = std::min(k, data.rows());
+    params.seed = seed;
+    params.restarts = 5;
+    return fromFit(data, kMeansFit(data, params));
+}
+
+} // namespace mica

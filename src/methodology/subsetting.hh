@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Benchmark-suite subsetting: the downstream application the paper's
+ * methodology enables (Section I: "if the new workload domain is not
+ * significantly different ... there is no need for including those
+ * benchmarks"; cf. Eeckhout et al. [16] and Phansalkar et al. [9]).
+ *
+ * Given a workload space, pick one representative per behavior cluster
+ * so that simulating only the representatives covers the population,
+ * and quantify the coverage loss.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "methodology/cluster_report.hh"
+#include "stats/matrix.hh"
+
+namespace mica
+{
+
+/** One selected representative and the benchmarks it stands in for. */
+struct Representative
+{
+    size_t row = 0;                     ///< dataset row of the pick
+    std::string name;                   ///< resolved benchmark name
+    std::vector<size_t> covers;         ///< rows it represents
+    double maxDistance = 0.0;           ///< worst distance it covers
+    double meanDistance = 0.0;          ///< average distance it covers
+};
+
+/** Result of a subsetting run. */
+struct SubsetResult
+{
+    std::vector<Representative> representatives;
+    size_t populationSize = 0;
+
+    // Coverage statistics over the whole population.
+    double maxCoverDistance = 0.0;      ///< worst benchmark-to-rep dist
+    double meanCoverDistance = 0.0;     ///< average benchmark-to-rep
+    double reductionFactor = 0.0;       ///< population / representatives
+
+    /** @return the selected dataset rows, ascending. */
+    std::vector<size_t> selectedRows() const;
+};
+
+/**
+ * Select cluster medoids as suite representatives.
+ *
+ * Benchmarks are clustered with k-means (+ BIC model selection, as in
+ * Fig. 6); within each cluster the member closest to the centroid is
+ * the representative. Coverage distances are Euclidean in the provided
+ * space.
+ *
+ * @param data reduced (or full) normalized dataset with rowNames
+ * @param maxK upper end of the BIC sweep
+ * @param seed k-means seeding
+ * @param bicFrac   BIC within-fraction-of-max rule (0.9 in the paper)
+ * @param bicVarFloor measurement-resolution floor (see bicScore)
+ */
+SubsetResult selectRepresentatives(const Matrix &data, size_t maxK,
+                                   uint64_t seed, double bicFrac = 0.9,
+                                   double bicVarFloor = 0.25);
+
+/**
+ * Select exactly k representatives (fixed-size subset), bypassing the
+ * BIC sweep; used to trade subset size against coverage explicitly.
+ */
+SubsetResult selectKRepresentatives(const Matrix &data, size_t k,
+                                    uint64_t seed);
+
+} // namespace mica

@@ -1,0 +1,15 @@
+#include "methodology/workload_space.hh"
+
+#include "stats/descriptive.hh"
+
+namespace mica
+{
+
+WorkloadSpace::WorkloadSpace(Matrix raw) : raw_(std::move(raw))
+{
+    norm_ = raw_;
+    zscoreNormalize(norm_);
+    dist_ = DistanceMatrix(norm_);
+}
+
+} // namespace mica

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A workload space: a normalized dataset plus its pairwise distances.
+ *
+ * Section IV of the paper builds two of these (one from the 47 MICA
+ * characteristics, one from the 7 HPC metrics): z-score normalize every
+ * characteristic across benchmarks, then compare benchmarks by Euclidean
+ * distance.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/distance.hh"
+#include "stats/matrix.hh"
+
+namespace mica
+{
+
+/** Immutable workload space built from a raw dataset. */
+class WorkloadSpace
+{
+  public:
+    /** Normalize (z-score per column) and compute all pair distances. */
+    explicit WorkloadSpace(Matrix raw);
+
+    /** @return the dataset as measured. */
+    const Matrix &raw() const { return raw_; }
+
+    /** @return the z-score normalized dataset. */
+    const Matrix &normalized() const { return norm_; }
+
+    /** @return pairwise Euclidean distances in the normalized space. */
+    const DistanceMatrix &distances() const { return dist_; }
+
+    /** @return number of benchmarks. */
+    size_t numBenchmarks() const { return raw_.rows(); }
+
+    /** @return number of characteristics. */
+    size_t numChars() const { return raw_.cols(); }
+
+    /**
+     * Pairwise distances using only a subset of (normalized) columns;
+     * this is the quantity the feature-selection methods score.
+     */
+    DistanceMatrix
+    distancesForSubset(const std::vector<size_t> &cols) const
+    {
+        return DistanceMatrix(norm_, cols);
+    }
+
+  private:
+    Matrix raw_;
+    Matrix norm_;
+    DistanceMatrix dist_;
+};
+
+} // namespace mica

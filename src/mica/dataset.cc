@@ -1,0 +1,106 @@
+#include "mica/dataset.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace mica
+{
+
+Matrix
+profilesToMatrix(const std::vector<MicaProfile> &profiles)
+{
+    Matrix m;
+    for (const auto &info : micaCharTable())
+        m.colNames.push_back(info.name);
+    for (const auto &p : profiles) {
+        m.appendRow(p.toVector());
+        m.rowNames.push_back(p.name);
+    }
+    return m;
+}
+
+void
+saveProfilesCsv(const std::string &path,
+                const std::vector<MicaProfile> &profiles)
+{
+    std::ofstream out(path);
+    out << "name,inst_count";
+    for (const auto &info : micaCharTable())
+        out << ',' << info.name;
+    out << '\n';
+    out.precision(17);
+    for (const auto &p : profiles) {
+        out << p.name << ',' << p.instCount;
+        for (double v : p.values)
+            out << ',' << v;
+        out << '\n';
+    }
+}
+
+std::vector<MicaProfile>
+loadProfilesCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<MicaProfile> profiles;
+    if (!in)
+        return profiles;
+
+    std::string line;
+    if (!std::getline(in, line))
+        return profiles;
+    // Validate the header has the expected column count.
+    {
+        size_t commas = 0;
+        for (char c : line)
+            commas += c == ',';
+        if (commas != kNumMicaChars + 1)
+            return {};
+    }
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::stringstream ss(line);
+        std::string field;
+        MicaProfile p;
+        if (!std::getline(ss, field, ','))
+            continue;
+        p.name = field;
+        if (!std::getline(ss, field, ','))
+            continue;
+        p.instCount = std::stoull(field);
+        bool ok = true;
+        for (size_t i = 0; i < kNumMicaChars; ++i) {
+            if (!std::getline(ss, field, ',')) {
+                ok = false;
+                break;
+            }
+            p.values[i] = std::stod(field);
+        }
+        if (ok)
+            profiles.push_back(std::move(p));
+        else
+            return {};
+    }
+    return profiles;
+}
+
+void
+saveMatrixCsv(const std::string &path, const Matrix &m)
+{
+    std::ofstream out(path);
+    out << "name";
+    for (const auto &c : m.colNames)
+        out << ',' << c;
+    out << '\n';
+    out.precision(17);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        out << (r < m.rowNames.size() ? m.rowNames[r]
+                                      : std::to_string(r));
+        for (size_t c = 0; c < m.cols(); ++c)
+            out << ',' << m.at(r, c);
+        out << '\n';
+    }
+}
+
+} // namespace mica

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Conversion between profile collections and dataset matrices, plus CSV
+ * serialization used for on-disk caching of expensive profiling runs.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mica/profile.hh"
+#include "stats/matrix.hh"
+
+namespace mica
+{
+
+/** @return 47-column matrix; one row per profile, Table II order. */
+Matrix profilesToMatrix(const std::vector<MicaProfile> &profiles);
+
+/**
+ * Write profiles as CSV: header row of characteristic names, then one
+ * row per benchmark (name, instCount, 47 values).
+ */
+void saveProfilesCsv(const std::string &path,
+                     const std::vector<MicaProfile> &profiles);
+
+/**
+ * Read profiles back from CSV written by saveProfilesCsv.
+ * @return empty vector if the file does not exist or is malformed.
+ */
+std::vector<MicaProfile> loadProfilesCsv(const std::string &path);
+
+/**
+ * Generic labeled-matrix CSV writer (used for the HPC dataset and the
+ * experiment outputs): header "name,<colNames...>", one row per entry.
+ */
+void saveMatrixCsv(const std::string &path, const Matrix &m);
+
+} // namespace mica

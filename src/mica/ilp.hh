@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Idealized-window ILP analyzer (Table II characteristics 7-10).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_source.hh"
+
+namespace mica
+{
+
+/**
+ * Measures the IPC achievable by an idealized out-of-order processor
+ * limited only by its reorder-window size, per the paper: perfect caches,
+ * perfect branch prediction, infinite functional units, unit execution
+ * latency. An instruction may start executing once (i) it has entered the
+ * window — it enters when the instruction W positions older has completed
+ * (in-order window advance) — and (ii) all its register producers have
+ * completed. Memory dependences are not modeled (perfect memory
+ * disambiguation), matching the register-dataflow limit study the
+ * characteristic is defined as.
+ *
+ * Multiple window sizes are evaluated concurrently in a single pass.
+ */
+class IlpAnalyzer : public TraceAnalyzer
+{
+  public:
+    /** Default window sweep from the paper. */
+    static const std::vector<size_t> &
+    paperWindows()
+    {
+        static const std::vector<size_t> w = {32, 64, 128, 256};
+        return w;
+    }
+
+    explicit IlpAnalyzer(std::vector<size_t> windows = paperWindows())
+    {
+        for (size_t w : windows)
+            states_.emplace_back(w);
+    }
+
+    void
+    accept(const InstRecord &rec) override
+    {
+        for (auto &st : states_)
+            st.step(rec);
+    }
+
+    /** @return number of window configurations. */
+    size_t numWindows() const { return states_.size(); }
+
+    /** @return configured size of window i. */
+    size_t windowSize(size_t i) const { return states_[i].window; }
+
+    /** @return achieved IPC for window configuration i. */
+    double
+    ipc(size_t i) const
+    {
+        const auto &st = states_[i];
+        return st.maxComplete
+            ? static_cast<double>(st.count) /
+              static_cast<double>(st.maxComplete)
+            : 0.0;
+    }
+
+  private:
+    struct WindowState
+    {
+        explicit WindowState(size_t w) : window(w), complete(w, 0) {}
+
+        void
+        step(const InstRecord &rec)
+        {
+            // Window-entry constraint: in-order advance; this slot frees
+            // when the instruction `window` positions older completed.
+            uint64_t start = complete[count % window];
+            for (unsigned s = 0; s < rec.numSrcRegs; ++s) {
+                const uint16_t r = rec.srcRegs[s];
+                if (r == kZeroReg || r >= kNumRegs)
+                    continue;
+                start = std::max(start, regReady[r]);
+            }
+            const uint64_t comp = start + 1;
+            complete[count % window] = comp;
+            if (rec.hasDst() && rec.dstReg != kZeroReg &&
+                rec.dstReg < kNumRegs) {
+                regReady[rec.dstReg] = comp;
+            }
+            maxComplete = std::max(maxComplete, comp);
+            ++count;
+        }
+
+        size_t window;
+        std::vector<uint64_t> complete;
+        std::array<uint64_t, kNumRegs> regReady{};
+        uint64_t count = 0;
+        uint64_t maxComplete = 0;
+    };
+
+    std::vector<WindowState> states_;
+};
+
+} // namespace mica

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Prediction-by-Partial-Matching branch predictability (Table II
+ * characteristics 44-47), after Chen, Coffey & Mudge [14].
+ *
+ * PPM is a universal compression/prediction scheme; its misprediction
+ * rate is a microarchitecture-independent measure of how predictable a
+ * benchmark's branches are, because it upper-bounds what any finite-
+ * context history predictor can achieve rather than modeling a specific
+ * hardware table organization.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace_source.hh"
+
+namespace mica
+{
+
+/**
+ * One PPM predictor instance.
+ *
+ * Four variants are defined by two orthogonal axes, mirroring the
+ * two-level predictor taxonomy:
+ *  - history: Global (one history register) vs. Per-address (one history
+ *    register per static branch);
+ *  - tables:  g (one pattern table shared by all branches) vs.
+ *    s (separate per-branch pattern tables).
+ *
+ * Prediction walks contexts from the longest (maxOrder history bits)
+ * down to order 0 and predicts with the first context whose evidence
+ * counter is non-zero; all context orders are updated afterwards
+ * (non-exclusive update). Unseen contexts fall through; a completely
+ * cold branch predicts taken.
+ */
+class PpmPredictor
+{
+  public:
+    enum class History { Global, PerAddress };
+    enum class Tables { Shared, PerBranch };
+
+    PpmPredictor(History hist, Tables tables, unsigned maxOrder = 8)
+        : hist_(hist), tables_(tables), maxOrder_(maxOrder),
+          ctx_(maxOrder + 1)
+    {}
+
+    /**
+     * Predict the branch at pc, then update with the actual outcome.
+     * @return the prediction made before the update.
+     */
+    bool
+    predictAndUpdate(uint64_t pc, bool taken)
+    {
+        const uint64_t history = currentHistory(pc);
+
+        bool prediction = true;     // cold default: predict taken
+        for (int k = static_cast<int>(maxOrder_); k >= 0; --k) {
+            const auto it = ctx_[k].find(key(pc, history, k));
+            if (it != ctx_[k].end() && it->second != 0) {
+                prediction = it->second > 0;
+                break;
+            }
+        }
+
+        for (int k = static_cast<int>(maxOrder_); k >= 0; --k) {
+            int8_t &ctr = ctx_[k][key(pc, history, k)];
+            if (taken) {
+                if (ctr < kCtrMax)
+                    ++ctr;
+            } else {
+                if (ctr > -kCtrMax)
+                    --ctr;
+            }
+        }
+
+        pushHistory(pc, taken);
+        return prediction;
+    }
+
+    unsigned maxOrder() const { return maxOrder_; }
+
+    /** @return total pattern-table entries across all orders. */
+    size_t
+    tableEntries() const
+    {
+        size_t n = 0;
+        for (const auto &m : ctx_)
+            n += m.size();
+        return n;
+    }
+
+  private:
+    static constexpr int8_t kCtrMax = 4;
+
+    uint64_t
+    currentHistory(uint64_t pc) const
+    {
+        if (hist_ == History::Global)
+            return ghist_;
+        const auto it = lhist_.find(pc);
+        return it == lhist_.end() ? 0 : it->second;
+    }
+
+    void
+    pushHistory(uint64_t pc, bool taken)
+    {
+        if (hist_ == History::Global)
+            ghist_ = (ghist_ << 1) | (taken ? 1 : 0);
+        else
+            lhist_[pc] = (lhist_[pc] << 1) | (taken ? 1 : 0);
+    }
+
+    /** Mix (order, masked history, optional pc) into a table key. */
+    uint64_t
+    key(uint64_t pc, uint64_t history, int order) const
+    {
+        const uint64_t h =
+            order > 0 ? (history & ((1ull << order) - 1)) : 0;
+        uint64_t k = h * 0x9e3779b97f4a7c15ull;
+        if (tables_ == Tables::PerBranch)
+            k ^= pc * 0xc2b2ae3d27d4eb4full;
+        return k ^ (static_cast<uint64_t>(order) << 56);
+    }
+
+    History hist_;
+    Tables tables_;
+    unsigned maxOrder_;
+    std::vector<std::unordered_map<uint64_t, int8_t>> ctx_;
+    uint64_t ghist_ = 0;
+    std::unordered_map<uint64_t, uint64_t> lhist_;
+};
+
+/**
+ * Runs the four PPM variants of Table II (GAg, PAg, GAs, PAs) over the
+ * conditional branches of a trace and reports their miss rates.
+ */
+class PpmBranchAnalyzer : public TraceAnalyzer
+{
+  public:
+    static constexpr size_t kNumVariants = 4;
+
+    explicit PpmBranchAnalyzer(unsigned maxOrder = 8)
+        : gag_(PpmPredictor::History::Global,
+               PpmPredictor::Tables::Shared, maxOrder),
+          pag_(PpmPredictor::History::PerAddress,
+               PpmPredictor::Tables::Shared, maxOrder),
+          gas_(PpmPredictor::History::Global,
+               PpmPredictor::Tables::PerBranch, maxOrder),
+          pas_(PpmPredictor::History::PerAddress,
+               PpmPredictor::Tables::PerBranch, maxOrder)
+    {}
+
+    void
+    accept(const InstRecord &rec) override
+    {
+        if (!rec.isCondBranch())
+            return;
+        ++branches_;
+        miss_[0] += gag_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
+        miss_[1] += pag_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
+        miss_[2] += gas_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
+        miss_[3] += pas_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
+    }
+
+    /** @return dynamic conditional branches observed. */
+    uint64_t branches() const { return branches_; }
+
+    double missRateGAg() const { return rate(0); }
+    double missRatePAg() const { return rate(1); }
+    double missRateGAs() const { return rate(2); }
+    double missRatePAs() const { return rate(3); }
+
+  private:
+    double
+    rate(size_t v) const
+    {
+        return branches_ ? static_cast<double>(miss_[v]) /
+                           static_cast<double>(branches_) : 0.0;
+    }
+
+    PpmPredictor gag_, pag_, gas_, pas_;
+    uint64_t branches_ = 0;
+    uint64_t miss_[kNumVariants] = {};
+};
+
+} // namespace mica

@@ -1,0 +1,101 @@
+#include "mica/profile.hh"
+
+#include <stdexcept>
+
+namespace mica
+{
+
+const std::array<MicaCharInfo, kNumMicaChars> &
+micaCharTable()
+{
+    static const std::array<MicaCharInfo, kNumMicaChars> table = {{
+        {0, "pct_loads", "instruction mix", "percentage loads"},
+        {1, "pct_stores", "instruction mix", "percentage stores"},
+        {2, "pct_control", "instruction mix",
+         "percentage control transfers"},
+        {3, "pct_arith", "instruction mix",
+         "percentage arithmetic operations"},
+        {4, "pct_int_mul", "instruction mix",
+         "percentage integer multiplies"},
+        {5, "pct_fp", "instruction mix", "percentage fp operations"},
+        {6, "ilp_32", "ILP", "IPC for idealized 32-entry window"},
+        {7, "ilp_64", "ILP", "IPC for idealized 64-entry window"},
+        {8, "ilp_128", "ILP", "IPC for idealized 128-entry window"},
+        {9, "ilp_256", "ILP", "IPC for idealized 256-entry window"},
+        {10, "avg_input_ops", "register traffic",
+         "avg. number of input operands"},
+        {11, "avg_degree_use", "register traffic", "avg. degree of use"},
+        {12, "reg_dep_eq1", "register traffic",
+         "prob. register dependence = 1"},
+        {13, "reg_dep_le2", "register traffic",
+         "prob. register dependence <= 2"},
+        {14, "reg_dep_le4", "register traffic",
+         "prob. register dependence <= 4"},
+        {15, "reg_dep_le8", "register traffic",
+         "prob. register dependence <= 8"},
+        {16, "reg_dep_le16", "register traffic",
+         "prob. register dependence <= 16"},
+        {17, "reg_dep_le32", "register traffic",
+         "prob. register dependence <= 32"},
+        {18, "reg_dep_le64", "register traffic",
+         "prob. register dependence <= 64"},
+        {19, "dws_32b", "working set",
+         "D-stream working set, 32B blocks"},
+        {20, "dws_4k", "working set",
+         "D-stream working set, 4KB pages"},
+        {21, "iws_32b", "working set",
+         "I-stream working set, 32B blocks"},
+        {22, "iws_4k", "working set",
+         "I-stream working set, 4KB pages"},
+        {23, "lls_eq0", "data stride", "prob. local load stride = 0"},
+        {24, "lls_le8", "data stride", "prob. local load stride <= 8"},
+        {25, "lls_le64", "data stride", "prob. local load stride <= 64"},
+        {26, "lls_le512", "data stride",
+         "prob. local load stride <= 512"},
+        {27, "lls_le4096", "data stride",
+         "prob. local load stride <= 4096"},
+        {28, "gls_eq0", "data stride", "prob. global load stride = 0"},
+        {29, "gls_le8", "data stride", "prob. global load stride <= 8"},
+        {30, "gls_le64", "data stride",
+         "prob. global load stride <= 64"},
+        {31, "gls_le512", "data stride",
+         "prob. global load stride <= 512"},
+        {32, "gls_le4096", "data stride",
+         "prob. global load stride <= 4096"},
+        {33, "lss_eq0", "data stride", "prob. local store stride = 0"},
+        {34, "lss_le8", "data stride", "prob. local store stride <= 8"},
+        {35, "lss_le64", "data stride",
+         "prob. local store stride <= 64"},
+        {36, "lss_le512", "data stride",
+         "prob. local store stride <= 512"},
+        {37, "lss_le4096", "data stride",
+         "prob. local store stride <= 4096"},
+        {38, "gss_eq0", "data stride", "prob. global store stride = 0"},
+        {39, "gss_le8", "data stride", "prob. global store stride <= 8"},
+        {40, "gss_le64", "data stride",
+         "prob. global store stride <= 64"},
+        {41, "gss_le512", "data stride",
+         "prob. global store stride <= 512"},
+        {42, "gss_le4096", "data stride",
+         "prob. global store stride <= 4096"},
+        {43, "ppm_gag", "branch predictability",
+         "GAg PPM predictor miss rate"},
+        {44, "ppm_pag", "branch predictability",
+         "PAg PPM predictor miss rate"},
+        {45, "ppm_gas", "branch predictability",
+         "GAs PPM predictor miss rate"},
+        {46, "ppm_pas", "branch predictability",
+         "PAs PPM predictor miss rate"},
+    }};
+    return table;
+}
+
+const MicaCharInfo &
+micaCharInfo(size_t index)
+{
+    if (index >= kNumMicaChars)
+        throw std::out_of_range("micaCharInfo: bad index");
+    return micaCharTable()[index];
+}
+
+} // namespace mica

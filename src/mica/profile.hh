@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The 47-dimensional microarchitecture-independent profile (Table II).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mica
+{
+
+/** Total number of microarchitecture-independent characteristics. */
+constexpr size_t kNumMicaChars = 47;
+
+/**
+ * Indices of the characteristics, exactly in Table II order. The value
+ * of each enumerator is the (number - 1) of the corresponding row of
+ * Table II in the paper.
+ */
+enum MicaChar : size_t
+{
+    // Instruction mix (1-6).
+    PctLoads = 0,
+    PctStores,
+    PctControl,
+    PctArith,
+    PctIntMul,
+    PctFpOps,
+    // ILP for idealized windows (7-10).
+    Ilp32,
+    Ilp64,
+    Ilp128,
+    Ilp256,
+    // Register traffic (11-19).
+    AvgInputOperands,
+    AvgDegreeOfUse,
+    RegDepEq1,
+    RegDepLe2,
+    RegDepLe4,
+    RegDepLe8,
+    RegDepLe16,
+    RegDepLe32,
+    RegDepLe64,
+    // Working set sizes (20-23).
+    DWorkSet32B,
+    DWorkSet4K,
+    IWorkSet32B,
+    IWorkSet4K,
+    // Data stream strides (24-43).
+    LocalLoadStrideEq0,
+    LocalLoadStrideLe8,
+    LocalLoadStrideLe64,
+    LocalLoadStrideLe512,
+    LocalLoadStrideLe4096,
+    GlobalLoadStrideEq0,
+    GlobalLoadStrideLe8,
+    GlobalLoadStrideLe64,
+    GlobalLoadStrideLe512,
+    GlobalLoadStrideLe4096,
+    LocalStoreStrideEq0,
+    LocalStoreStrideLe8,
+    LocalStoreStrideLe64,
+    LocalStoreStrideLe512,
+    LocalStoreStrideLe4096,
+    GlobalStoreStrideEq0,
+    GlobalStoreStrideLe8,
+    GlobalStoreStrideLe64,
+    GlobalStoreStrideLe512,
+    GlobalStoreStrideLe4096,
+    // Branch predictability: PPM miss rates (44-47).
+    PpmGAg,
+    PpmPAg,
+    PpmGAs,
+    PpmPAs,
+};
+
+/** Static description of one characteristic. */
+struct MicaCharInfo
+{
+    size_t index;           ///< 0-based index (Table II number - 1)
+    const char *name;       ///< short machine-friendly name
+    const char *category;   ///< Table II category
+    const char *describe;   ///< human-readable description
+};
+
+/** @return the full Table II metadata, indexed by MicaChar. */
+const std::array<MicaCharInfo, kNumMicaChars> &micaCharTable();
+
+/** @return metadata for one characteristic. */
+const MicaCharInfo &micaCharInfo(size_t index);
+
+/**
+ * One benchmark's measured microarchitecture-independent profile: the
+ * 47 characteristic values plus identification and the dynamic
+ * instruction count the measurement is based on.
+ */
+struct MicaProfile
+{
+    std::string name;                       ///< benchmark identification
+    uint64_t instCount = 0;                 ///< dynamic instructions
+    std::array<double, kNumMicaChars> values{};
+
+    double operator[](size_t i) const { return values[i]; }
+    double &operator[](size_t i) { return values[i]; }
+
+    /** @return the values as a vector (for Matrix::appendRow). */
+    std::vector<double>
+    toVector() const
+    {
+        return {values.begin(), values.end()};
+    }
+};
+
+} // namespace mica

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Register-traffic analyzer (Table II characteristics 11-19), after
+ * Franklin & Sohi's register traffic analysis [12].
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "trace/trace_source.hh"
+
+namespace mica
+{
+
+/**
+ * Measures three register-traffic properties:
+ *
+ *  - average number of register input operands per instruction;
+ *  - average degree of use: how many times a register instance (one
+ *    register write) is read before the register is overwritten;
+ *  - the register dependency distance distribution: for every register
+ *    read, the number of dynamic instructions since the value was
+ *    produced, reported as cumulative probabilities at 1, 2, 4, 8, 16,
+ *    32, 64.
+ *
+ * The hardwired zero register is excluded everywhere: reading it conveys
+ * no dataflow.
+ */
+class RegTrafficAnalyzer : public TraceAnalyzer
+{
+  public:
+    /** Cumulative dependency-distance cut points from Table II. */
+    static constexpr std::array<uint64_t, 7> kDistCuts =
+        {1, 2, 4, 8, 16, 32, 64};
+
+    void
+    accept(const InstRecord &rec) override
+    {
+        // Reads first: an instruction consumes its sources before it
+        // produces its destination.
+        for (unsigned s = 0; s < rec.numSrcRegs; ++s) {
+            const uint16_t r = rec.srcRegs[s];
+            if (r == kZeroReg || r >= kNumRegs)
+                continue;
+            ++totalReads_;
+            auto &st = regs_[r];
+            if (st.written) {
+                ++st.uses;
+                const uint64_t dist = instIdx_ - st.lastWriteIdx;
+                ++totalDeps_;
+                for (size_t c = 0; c < kDistCuts.size(); ++c) {
+                    if (dist <= kDistCuts[c])
+                        ++distCum_[c];
+                }
+            }
+        }
+        if (rec.hasDst() && rec.dstReg != kZeroReg &&
+            rec.dstReg < kNumRegs) {
+            auto &st = regs_[rec.dstReg];
+            if (st.written) {
+                useSum_ += st.uses;
+                ++instances_;
+            }
+            st.written = true;
+            st.uses = 0;
+            st.lastWriteIdx = instIdx_;
+        }
+        ++instIdx_;
+        ++totalInsts_;
+    }
+
+    void
+    finish() override
+    {
+        if (flushed_)
+            return;
+        flushed_ = true;
+        // Close the still-live register instances.
+        for (auto &st : regs_) {
+            if (st.written) {
+                useSum_ += st.uses;
+                ++instances_;
+            }
+        }
+    }
+
+    /** @return average register input operands per instruction. */
+    double
+    avgInputOperands() const
+    {
+        return totalInsts_ ? static_cast<double>(totalReads_) /
+                             static_cast<double>(totalInsts_) : 0.0;
+    }
+
+    /** @return average times a register instance is consumed. */
+    double
+    avgDegreeOfUse() const
+    {
+        return instances_ ? static_cast<double>(useSum_) /
+                            static_cast<double>(instances_) : 0.0;
+    }
+
+    /**
+     * @return cumulative probability that a register dependence spans at
+     *         most kDistCuts[cut] dynamic instructions.
+     */
+    double
+    depDistanceCum(size_t cut) const
+    {
+        return totalDeps_ ? static_cast<double>(distCum_[cut]) /
+                            static_cast<double>(totalDeps_) : 0.0;
+    }
+
+    /** @return total register reads with a known producer. */
+    uint64_t totalDeps() const { return totalDeps_; }
+
+  private:
+    struct RegState
+    {
+        bool written = false;
+        uint64_t uses = 0;
+        uint64_t lastWriteIdx = 0;
+    };
+
+    std::array<RegState, kNumRegs> regs_{};
+    std::array<uint64_t, 7> distCum_{};
+    uint64_t totalReads_ = 0;
+    uint64_t totalDeps_ = 0;
+    uint64_t totalInsts_ = 0;
+    uint64_t instIdx_ = 0;
+    uint64_t useSum_ = 0;
+    uint64_t instances_ = 0;
+    bool flushed_ = false;
+};
+
+} // namespace mica

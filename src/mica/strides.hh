@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Local and global data-stride analyzer (Table II characteristics
+ * 24-43), after Lau et al. [13].
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "trace/trace_source.hh"
+
+namespace mica
+{
+
+/**
+ * Characterizes the data stream with stride distributions:
+ *
+ *  - a *global* stride is the absolute address difference between
+ *    temporally adjacent memory accesses of the same kind (load or
+ *    store), regardless of which instruction issued them;
+ *  - a *local* stride is the same quantity restricted to accesses by a
+ *    single static instruction (tracked per PC).
+ *
+ * For each of the four streams (local/global x load/store) the analyzer
+ * reports the cumulative probability of strides being 0, <= 8, <= 64,
+ * <= 512 and <= 4096 bytes.
+ */
+class StrideAnalyzer : public TraceAnalyzer
+{
+  public:
+    /** Cumulative stride cut points from Table II (0 means exactly 0). */
+    static constexpr std::array<uint64_t, 5> kCuts = {0, 8, 64, 512, 4096};
+
+    /** One stride distribution (counts at each cumulative cut). */
+    struct Dist
+    {
+        std::array<uint64_t, 5> cum{};
+        uint64_t total = 0;
+
+        void
+        add(uint64_t stride)
+        {
+            ++total;
+            for (size_t c = 0; c < kCuts.size(); ++c) {
+                if (stride <= kCuts[c])
+                    ++cum[c];
+            }
+        }
+
+        double
+        prob(size_t cut) const
+        {
+            return total ? static_cast<double>(cum[cut]) /
+                           static_cast<double>(total) : 0.0;
+        }
+    };
+
+    void
+    accept(const InstRecord &rec) override
+    {
+        if (!rec.isMem())
+            return;
+        const bool is_load = rec.cls == InstClass::Load;
+        auto &globalLast = is_load ? lastGlobalLoad_ : lastGlobalStore_;
+        auto &globalDist = is_load ? globalLoad_ : globalStore_;
+        auto &localMap = is_load ? lastLocalLoad_ : lastLocalStore_;
+        auto &localDist = is_load ? localLoad_ : localStore_;
+
+        if (globalLast.valid)
+            globalDist.add(absDiff(rec.memAddr, globalLast.addr));
+        globalLast.addr = rec.memAddr;
+        globalLast.valid = true;
+
+        auto [it, inserted] = localMap.try_emplace(rec.pc, rec.memAddr);
+        if (!inserted) {
+            localDist.add(absDiff(rec.memAddr, it->second));
+            it->second = rec.memAddr;
+        }
+    }
+
+    const Dist &localLoad() const { return localLoad_; }
+    const Dist &globalLoad() const { return globalLoad_; }
+    const Dist &localStore() const { return localStore_; }
+    const Dist &globalStore() const { return globalStore_; }
+
+  private:
+    static uint64_t
+    absDiff(uint64_t a, uint64_t b)
+    {
+        return a > b ? a - b : b - a;
+    }
+
+    struct Last
+    {
+        uint64_t addr = 0;
+        bool valid = false;
+    };
+
+    Dist localLoad_, globalLoad_, localStore_, globalStore_;
+    Last lastGlobalLoad_, lastGlobalStore_;
+    std::unordered_map<uint64_t, uint64_t> lastLocalLoad_;
+    std::unordered_map<uint64_t, uint64_t> lastLocalStore_;
+};
+
+} // namespace mica

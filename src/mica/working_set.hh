@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Instruction- and data-stream working set analyzer (Table II
+ * characteristics 20-23).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "trace/trace_source.hh"
+
+namespace mica
+{
+
+/**
+ * Counts the number of unique 32-byte blocks and unique 4 KB pages
+ * touched by the data stream (loads + stores) and by the instruction
+ * stream (instruction fetch addresses). Multi-byte accesses are
+ * attributed to the block/page of their first byte.
+ */
+class WorkingSetAnalyzer : public TraceAnalyzer
+{
+  public:
+    static constexpr unsigned kBlockBits = 5;   ///< 32-byte blocks
+    static constexpr unsigned kPageBits = 12;   ///< 4 KB pages
+
+    void
+    accept(const InstRecord &rec) override
+    {
+        iBlocks_.insert(rec.pc >> kBlockBits);
+        iPages_.insert(rec.pc >> kPageBits);
+        if (rec.isMem()) {
+            dBlocks_.insert(rec.memAddr >> kBlockBits);
+            dPages_.insert(rec.memAddr >> kPageBits);
+        }
+    }
+
+    /** @return unique 32B blocks touched by loads/stores. */
+    uint64_t dBlocks() const { return dBlocks_.size(); }
+
+    /** @return unique 4KB pages touched by loads/stores. */
+    uint64_t dPages() const { return dPages_.size(); }
+
+    /** @return unique 32B blocks of executed instructions. */
+    uint64_t iBlocks() const { return iBlocks_.size(); }
+
+    /** @return unique 4KB pages of executed instructions. */
+    uint64_t iPages() const { return iPages_.size(); }
+
+  private:
+    std::unordered_set<uint64_t> dBlocks_;
+    std::unordered_set<uint64_t> dPages_;
+    std::unordered_set<uint64_t> iBlocks_;
+    std::unordered_set<uint64_t> iPages_;
+};
+
+} // namespace mica

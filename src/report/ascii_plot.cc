@@ -1,0 +1,139 @@
+#include "report/ascii_plot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace mica::report
+{
+
+namespace
+{
+
+struct Bounds
+{
+    double xMin = 0, xMax = 1, yMin = 0, yMax = 1;
+};
+
+Bounds
+findBounds(const std::vector<Series> &series, const PlotConfig &cfg)
+{
+    if (cfg.fixedScale)
+        return {cfg.xMin, cfg.xMax, cfg.yMin, cfg.yMax};
+    Bounds b;
+    bool first = true;
+    for (const auto &s : series) {
+        for (size_t i = 0; i < s.x.size(); ++i) {
+            if (first) {
+                b.xMin = b.xMax = s.x[i];
+                b.yMin = b.yMax = s.y[i];
+                first = false;
+            }
+            b.xMin = std::min(b.xMin, s.x[i]);
+            b.xMax = std::max(b.xMax, s.x[i]);
+            b.yMin = std::min(b.yMin, s.y[i]);
+            b.yMax = std::max(b.yMax, s.y[i]);
+        }
+    }
+    if (b.xMax <= b.xMin)
+        b.xMax = b.xMin + 1.0;
+    if (b.yMax <= b.yMin)
+        b.yMax = b.yMin + 1.0;
+    return b;
+}
+
+std::string
+frame(const std::vector<std::string> &grid, const Bounds &b,
+      const PlotConfig &cfg, const std::string &legend)
+{
+    std::ostringstream out;
+    if (!cfg.title.empty())
+        out << cfg.title << '\n';
+    out << std::fixed << std::setprecision(2);
+    out << "  y: " << cfg.yLabel << "  [" << b.yMin << " .. " << b.yMax
+        << "]\n";
+    for (const auto &row : grid)
+        out << "  |" << row << "|\n";
+    out << "  +" << std::string(grid.empty() ? 0 : grid[0].size(), '-')
+        << "+\n";
+    out << "  x: " << cfg.xLabel << "  [" << b.xMin << " .. " << b.xMax
+        << "]\n";
+    if (!legend.empty())
+        out << legend;
+    return out.str();
+}
+
+} // namespace
+
+std::string
+scatterPlot(const std::vector<Series> &series, const PlotConfig &cfg)
+{
+    const Bounds b = findBounds(series, cfg);
+    std::vector<std::string> grid(cfg.height,
+                                  std::string(cfg.width, ' '));
+    for (const auto &s : series) {
+        for (size_t i = 0; i < s.x.size(); ++i) {
+            const double fx = (s.x[i] - b.xMin) / (b.xMax - b.xMin);
+            const double fy = (s.y[i] - b.yMin) / (b.yMax - b.yMin);
+            const int cx = std::clamp(
+                static_cast<int>(std::lround(fx * (cfg.width - 1))), 0,
+                cfg.width - 1);
+            const int cy = std::clamp(
+                static_cast<int>(std::lround((1.0 - fy) *
+                                             (cfg.height - 1))),
+                0, cfg.height - 1);
+            char &cell = grid[cy][cx];
+            cell = (cell == ' ' || cell == s.marker) ? s.marker : '#';
+        }
+    }
+    std::ostringstream legend;
+    for (const auto &s : series)
+        legend << "  '" << s.marker << "' " << s.label << '\n';
+    return frame(grid, b, cfg, legend.str());
+}
+
+std::string
+densityPlot(const std::vector<double> &x, const std::vector<double> &y,
+            const PlotConfig &cfg)
+{
+    Series s;
+    s.x = x;
+    s.y = y;
+    const Bounds b = findBounds({s}, cfg);
+    std::vector<std::vector<int>> count(
+        cfg.height, std::vector<int>(cfg.width, 0));
+    for (size_t i = 0; i < x.size(); ++i) {
+        const double fx = (x[i] - b.xMin) / (b.xMax - b.xMin);
+        const double fy = (y[i] - b.yMin) / (b.yMax - b.yMin);
+        const int cx = std::clamp(
+            static_cast<int>(std::lround(fx * (cfg.width - 1))), 0,
+            cfg.width - 1);
+        const int cy = std::clamp(
+            static_cast<int>(std::lround((1.0 - fy) *
+                                         (cfg.height - 1))),
+            0, cfg.height - 1);
+        ++count[cy][cx];
+    }
+    int maxC = 1;
+    for (const auto &row : count)
+        for (int c : row)
+            maxC = std::max(maxC, c);
+    static const char ramp[] = {' ', '.', ':', '+', '*', '@'};
+    std::vector<std::string> grid(cfg.height,
+                                  std::string(cfg.width, ' '));
+    for (int r = 0; r < cfg.height; ++r) {
+        for (int c = 0; c < cfg.width; ++c) {
+            if (count[r][c] == 0)
+                continue;
+            const double f = std::log1p(count[r][c]) /
+                std::log1p(static_cast<double>(maxC));
+            const int idx = 1 + std::min(
+                4, static_cast<int>(std::lround(f * 4.0)));
+            grid[r][c] = ramp[idx];
+        }
+    }
+    return frame(grid, b, cfg, "");
+}
+
+} // namespace mica::report

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Monospace scatter and line plots for reproducing the paper's figures
+ * in terminal output (Fig. 1 scatter, Fig. 4 ROC curves, Fig. 5 lines).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mica::report
+{
+
+/** One labeled point series. */
+struct Series
+{
+    std::string label;
+    char marker = '*';
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+/** Axis/size configuration for plots. */
+struct PlotConfig
+{
+    int width = 70;      ///< plot area width in characters
+    int height = 24;     ///< plot area height in characters
+    std::string xLabel;
+    std::string yLabel;
+    std::string title;
+    bool fixedScale = false;    ///< use [xMin..xMax]/[yMin..yMax] below
+    double xMin = 0, xMax = 1, yMin = 0, yMax = 1;
+};
+
+/**
+ * Render one or more series as an ASCII scatter plot. Cells hit by
+ * multiple points of one series keep the series marker; cells hit by
+ * multiple series show '#'. Includes axis ranges and a legend.
+ */
+std::string scatterPlot(const std::vector<Series> &series,
+                        const PlotConfig &cfg);
+
+/**
+ * Render a density scatter: like scatterPlot for a single large point
+ * cloud, but cells show a density ramp (. : + * @) by hit count.
+ */
+std::string densityPlot(const std::vector<double> &x,
+                        const std::vector<double> &y,
+                        const PlotConfig &cfg);
+
+} // namespace mica::report

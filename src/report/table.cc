@@ -1,0 +1,82 @@
+#include "report/table.hh"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace mica::report
+{
+
+TextTable::TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns))
+{
+    if (aligns_.empty())
+        aligns_.assign(headers_.size(), Align::Left);
+    if (aligns_.size() != headers_.size())
+        throw std::invalid_argument("TextTable: align arity mismatch");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        throw std::invalid_argument("TextTable: row arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision)
+       << (100.0 * fraction) << '%';
+    return ss.str();
+}
+
+std::string
+TextTable::render(const std::string &title) const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emitRow = [&](std::ostringstream &out,
+                       const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << (c ? "  " : "");
+            if (aligns_[c] == Align::Right)
+                out << std::setw(static_cast<int>(width[c]))
+                    << std::right << row[c];
+            else
+                out << std::setw(static_cast<int>(width[c]))
+                    << std::left << row[c];
+        }
+        out << '\n';
+    };
+
+    std::ostringstream out;
+    if (!title.empty())
+        out << title << '\n';
+    emitRow(out, headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emitRow(out, row);
+    return out.str();
+}
+
+} // namespace mica::report

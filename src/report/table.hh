@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fixed-width text table formatting for the bench harness output.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mica::report
+{
+
+/** Column alignment. */
+enum class Align { Left, Right };
+
+/**
+ * Accumulates rows of string cells and renders them with aligned
+ * columns, a header separator, and an optional title — the output
+ * format for the regenerated paper tables.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers,
+                       std::vector<Align> aligns = {});
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Convenience: format a percentage with fixed precision. */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** @return the rendered table. */
+    std::string render(const std::string &title = "") const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mica::report

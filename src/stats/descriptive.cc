@@ -1,0 +1,96 @@
+#include "stats/descriptive.hh"
+
+namespace mica
+{
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    const double m = mean(v);
+    double s = 0.0;
+    for (double x : v)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double
+pearson(const std::vector<double> &a, const std::vector<double> &b)
+{
+    const size_t n = a.size();
+    if (n == 0 || b.size() != n)
+        return 0.0;
+    const double ma = mean(a), mb = mean(b);
+    double sab = 0.0, saa = 0.0, sbb = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double da = a[i] - ma, db = b[i] - mb;
+        sab += da * db;
+        saa += da * da;
+        sbb += db * db;
+    }
+    if (saa <= 0.0 || sbb <= 0.0)
+        return 0.0;
+    return sab / std::sqrt(saa * sbb);
+}
+
+void
+zscoreNormalize(Matrix &m)
+{
+    for (size_t c = 0; c < m.cols(); ++c) {
+        auto col = m.colVec(c);
+        const double mu = mean(col);
+        const double sd = stddev(col);
+        for (size_t r = 0; r < m.rows(); ++r)
+            m.at(r, c) = sd > 0.0 ? (m.at(r, c) - mu) / sd : 0.0;
+    }
+}
+
+void
+minmaxNormalize(Matrix &m)
+{
+    for (size_t c = 0; c < m.cols(); ++c) {
+        double lo = m.at(0, c), hi = m.at(0, c);
+        for (size_t r = 1; r < m.rows(); ++r) {
+            lo = std::min(lo, m.at(r, c));
+            hi = std::max(hi, m.at(r, c));
+        }
+        const double span = hi - lo;
+        for (size_t r = 0; r < m.rows(); ++r)
+            m.at(r, c) = span > 0.0 ? (m.at(r, c) - lo) / span : 0.5;
+    }
+}
+
+Matrix
+correlationMatrix(const Matrix &m)
+{
+    const size_t c = m.cols();
+    Matrix corr(c, c, 0.0);
+    std::vector<std::vector<double>> cols(c);
+    for (size_t j = 0; j < c; ++j)
+        cols[j] = m.colVec(j);
+    for (size_t i = 0; i < c; ++i) {
+        corr.at(i, i) = 1.0;
+        for (size_t j = i + 1; j < c; ++j) {
+            const double r = pearson(cols[i], cols[j]);
+            corr.at(i, j) = r;
+            corr.at(j, i) = r;
+        }
+    }
+    corr.colNames = m.colNames;
+    corr.rowNames = m.colNames;
+    return corr;
+}
+
+} // namespace mica

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Descriptive statistics: means, standard deviations, normalization,
+ * and Pearson correlation. These are the primitives the paper's
+ * methodology is built from (Section IV: z-score normalization of both
+ * workload spaces; Section V: correlation between characteristics and
+ * between distance vectors).
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace mica
+{
+
+/** @return arithmetic mean of v (0 for empty input). */
+double mean(const std::vector<double> &v);
+
+/** @return population standard deviation of v. */
+double stddev(const std::vector<double> &v);
+
+/**
+ * Pearson correlation coefficient of two equally sized vectors.
+ * @return correlation in [-1, 1]; 0 when either vector is constant.
+ */
+double pearson(const std::vector<double> &a, const std::vector<double> &b);
+
+/**
+ * Z-score normalize every column of m in place: each characteristic gets
+ * zero mean and unit standard deviation across benchmarks, putting all
+ * characteristics on a common scale (Section IV). Constant columns are
+ * left at zero.
+ */
+void zscoreNormalize(Matrix &m);
+
+/**
+ * Min-max normalize every column of m in place to [0, 1]; used for the
+ * kiviat plot axes (Fig. 6). Constant columns map to 0.5.
+ */
+void minmaxNormalize(Matrix &m);
+
+/**
+ * Column-by-column Pearson correlation matrix of a dataset.
+ * @return cols x cols symmetric matrix with unit diagonal.
+ */
+Matrix correlationMatrix(const Matrix &m);
+
+} // namespace mica

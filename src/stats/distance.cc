@@ -1,0 +1,67 @@
+#include "stats/distance.hh"
+
+#include <cmath>
+
+namespace mica
+{
+
+DistanceMatrix::DistanceMatrix(const Matrix &m) : n_(m.rows())
+{
+    d_.reserve(n_ * (n_ - 1) / 2);
+    for (size_t i = 0; i < n_; ++i) {
+        const double *ri = m.row(i);
+        for (size_t j = i + 1; j < n_; ++j) {
+            const double *rj = m.row(j);
+            double s = 0.0;
+            for (size_t c = 0; c < m.cols(); ++c) {
+                const double dlt = ri[c] - rj[c];
+                s += dlt * dlt;
+            }
+            d_.push_back(std::sqrt(s));
+        }
+    }
+}
+
+DistanceMatrix::DistanceMatrix(const Matrix &m,
+                               const std::vector<size_t> &cols)
+    : n_(m.rows())
+{
+    d_.reserve(n_ * (n_ - 1) / 2);
+    for (size_t i = 0; i < n_; ++i) {
+        const double *ri = m.row(i);
+        for (size_t j = i + 1; j < n_; ++j) {
+            const double *rj = m.row(j);
+            double s = 0.0;
+            for (size_t c : cols) {
+                const double dlt = ri[c] - rj[c];
+                s += dlt * dlt;
+            }
+            d_.push_back(std::sqrt(s));
+        }
+    }
+}
+
+double
+DistanceMatrix::maxDistance() const
+{
+    double mx = 0.0;
+    for (double v : d_)
+        mx = std::max(mx, v);
+    return mx;
+}
+
+std::pair<size_t, size_t>
+DistanceMatrix::pairOf(size_t idx) const
+{
+    // Walk rows of the condensed triangle; n is small (hundreds).
+    size_t i = 0;
+    size_t rowLen = n_ - 1;
+    while (idx >= rowLen) {
+        idx -= rowLen;
+        ++i;
+        --rowLen;
+    }
+    return {i, i + 1 + idx};
+}
+
+} // namespace mica

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Condensed pairwise Euclidean distance matrix over dataset rows.
+ *
+ * The paper's core quantity is the Euclidean distance between every pair
+ * of benchmarks ("benchmark tuples") in a normalized workload space; with
+ * 122 benchmarks that is C(122,2) = 7381 tuples. DistanceMatrix stores
+ * the condensed upper triangle.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace mica
+{
+
+/** Pairwise Euclidean distances between the rows of a Matrix. */
+class DistanceMatrix
+{
+  public:
+    DistanceMatrix() = default;
+
+    /** Compute all pairwise distances over full rows. */
+    explicit DistanceMatrix(const Matrix &m);
+
+    /**
+     * Compute pairwise distances using only a subset of columns; used by
+     * the feature-selection methods to score reduced spaces.
+     */
+    DistanceMatrix(const Matrix &m, const std::vector<size_t> &cols);
+
+    /** @return number of rows (benchmarks) n. */
+    size_t numItems() const { return n_; }
+
+    /** @return number of pairs n(n-1)/2. */
+    size_t numPairs() const { return d_.size(); }
+
+    /** @return distance between items i and j (i != j). */
+    double
+    at(size_t i, size_t j) const
+    {
+        if (i == j)
+            return 0.0;
+        if (i > j)
+            std::swap(i, j);
+        return d_[pairIndex(i, j)];
+    }
+
+    /** @return condensed distance vector (row-major upper triangle). */
+    const std::vector<double> &condensed() const { return d_; }
+
+    /** @return largest pairwise distance (0 for n < 2). */
+    double maxDistance() const;
+
+    /** @return condensed index of pair (i, j), i < j. */
+    size_t
+    pairIndex(size_t i, size_t j) const
+    {
+        // Row-major upper triangle: offset of row i plus (j - i - 1).
+        return i * n_ - i * (i + 1) / 2 + (j - i - 1);
+    }
+
+    /** @return the (i, j) pair for a condensed index. */
+    std::pair<size_t, size_t> pairOf(size_t idx) const;
+
+  private:
+    size_t n_ = 0;
+    std::vector<double> d_;
+};
+
+} // namespace mica

@@ -1,0 +1,236 @@
+#include "stats/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/rng.hh"
+
+namespace mica
+{
+
+namespace
+{
+
+double
+sqDist(const double *a, const double *b, size_t d)
+{
+    double s = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+        const double dl = a[i] - b[i];
+        s += dl * dl;
+    }
+    return s;
+}
+
+/** k-means++ seeding: spread initial centroids by D^2 sampling. */
+Matrix
+seedCentroids(const Matrix &data, size_t k, Rng &rng)
+{
+    const size_t n = data.rows(), d = data.cols();
+    Matrix cent(k, d);
+    const size_t first = rng.below(n);
+    for (size_t c = 0; c < d; ++c)
+        cent.at(0, c) = data.at(first, c);
+
+    std::vector<double> bestD(n, std::numeric_limits<double>::max());
+    for (size_t ci = 1; ci < k; ++ci) {
+        double total = 0.0;
+        for (size_t r = 0; r < n; ++r) {
+            const double dd = sqDist(data.row(r), cent.row(ci - 1), d);
+            bestD[r] = std::min(bestD[r], dd);
+            total += bestD[r];
+        }
+        size_t pick = 0;
+        if (total > 0.0) {
+            double target = rng.unit() * total;
+            for (size_t r = 0; r < n; ++r) {
+                target -= bestD[r];
+                if (target <= 0.0) {
+                    pick = r;
+                    break;
+                }
+            }
+        } else {
+            pick = rng.below(n);
+        }
+        for (size_t c = 0; c < d; ++c)
+            cent.at(ci, c) = data.at(pick, c);
+    }
+    return cent;
+}
+
+KMeansResult
+lloyd(const Matrix &data, size_t k, Rng &rng, int maxIters)
+{
+    const size_t n = data.rows(), d = data.cols();
+    KMeansResult res;
+    res.k = k;
+    res.centroids = seedCentroids(data, k, rng);
+    res.assignment.assign(n, -1);
+
+    for (int it = 0; it < maxIters; ++it) {
+        bool changed = false;
+        // Assignment step.
+        for (size_t r = 0; r < n; ++r) {
+            int best = 0;
+            double bestD = std::numeric_limits<double>::max();
+            for (size_t c = 0; c < k; ++c) {
+                const double dd = sqDist(data.row(r),
+                                         res.centroids.row(c), d);
+                if (dd < bestD) {
+                    bestD = dd;
+                    best = static_cast<int>(c);
+                }
+            }
+            if (res.assignment[r] != best) {
+                res.assignment[r] = best;
+                changed = true;
+            }
+        }
+        res.iterations = it + 1;
+        if (!changed && it > 0)
+            break;
+        // Update step.
+        Matrix sums(k, d, 0.0);
+        std::vector<size_t> counts(k, 0);
+        for (size_t r = 0; r < n; ++r) {
+            const int c = res.assignment[r];
+            ++counts[c];
+            for (size_t j = 0; j < d; ++j)
+                sums.at(c, j) += data.at(r, j);
+        }
+        for (size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                // Re-seed an empty cluster with the worst-fit point.
+                size_t far = 0;
+                double farD = -1.0;
+                for (size_t r = 0; r < n; ++r) {
+                    const double dd = sqDist(
+                        data.row(r),
+                        res.centroids.row(res.assignment[r]), d);
+                    if (dd > farD) {
+                        farD = dd;
+                        far = r;
+                    }
+                }
+                for (size_t j = 0; j < d; ++j)
+                    res.centroids.at(c, j) = data.at(far, j);
+            } else {
+                for (size_t j = 0; j < d; ++j) {
+                    res.centroids.at(c, j) =
+                        sums.at(c, j) / static_cast<double>(counts[c]);
+                }
+            }
+        }
+    }
+
+    res.inertia = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+        res.inertia += sqDist(data.row(r),
+                              res.centroids.row(res.assignment[r]), d);
+    }
+    return res;
+}
+
+} // namespace
+
+std::vector<size_t>
+KMeansResult::members(size_t c) const
+{
+    std::vector<size_t> out;
+    for (size_t r = 0; r < assignment.size(); ++r)
+        if (assignment[r] == static_cast<int>(c))
+            out.push_back(r);
+    return out;
+}
+
+KMeansResult
+kMeansFit(const Matrix &data, const KMeansParams &params)
+{
+    Rng rng(params.seed);
+    KMeansResult best;
+    best.inertia = std::numeric_limits<double>::max();
+    const size_t k = std::min(params.k, data.rows());
+    for (int r = 0; r < std::max(1, params.restarts); ++r) {
+        KMeansResult cur = lloyd(data, k, rng, params.maxIters);
+        if (cur.inertia < best.inertia)
+            best = std::move(cur);
+    }
+    return best;
+}
+
+double
+bicScore(const Matrix &data, const KMeansResult &res, double varianceFloor)
+{
+    // Pelleg & Moore (X-means) BIC under identical spherical Gaussians:
+    //   BIC = loglik - (p / 2) * log(R)
+    // with p = K*(d+1) free parameters (centroids + shared variance).
+    const double R = static_cast<double>(data.rows());
+    const double d = static_cast<double>(data.cols());
+    const double K = static_cast<double>(res.k);
+    if (data.rows() == 0)
+        return 0.0;
+
+    // Maximum-likelihood variance estimate (guard the K == R case).
+    // varianceFloor models finite measurement resolution: populations of
+    // deterministic kernels contain clusters whose true spread is ~0,
+    // and the unfloored ML estimate then drives the likelihood to
+    // infinity as K grows (the known X-means degeneracy on low-noise
+    // data), making "one cluster per point" optimal.
+    const double denom = std::max(1.0, R - K);
+    const double sigma2 =
+        std::max({res.inertia / denom, varianceFloor, 1e-12});
+
+    double loglik = 0.0;
+    for (size_t c = 0; c < res.k; ++c) {
+        const double Rn = static_cast<double>(res.members(c).size());
+        if (Rn <= 0.0)
+            continue;
+        loglik += Rn * std::log(Rn / R);
+    }
+    loglik -= (R * d / 2.0) * std::log(2.0 * M_PI * sigma2);
+    loglik -= res.inertia / (2.0 * sigma2);
+
+    const double p = K * (d + 1.0);
+    return loglik - (p / 2.0) * std::log(R);
+}
+
+BicSweepResult
+bicSweep(const Matrix &data, size_t maxK, uint64_t seed, double frac,
+         double varianceFloor)
+{
+    BicSweepResult out;
+    maxK = std::min(maxK, data.rows());
+    out.bicByK.reserve(maxK);
+    out.fits.reserve(maxK);
+    for (size_t k = 1; k <= maxK; ++k) {
+        KMeansParams p;
+        p.k = k;
+        p.seed = seed + k;
+        KMeansResult fit = kMeansFit(data, p);
+        out.bicByK.push_back(bicScore(data, fit, varianceFloor));
+        out.fits.push_back(std::move(fit));
+    }
+    // "BIC within frac of the maximum": BIC scores can be negative, so
+    // apply the rule on the min-max normalized score (documented
+    // deviation; identical to the paper's rule for positive scores).
+    double lo = out.bicByK[0], hi = out.bicByK[0];
+    for (double b : out.bicByK) {
+        lo = std::min(lo, b);
+        hi = std::max(hi, b);
+    }
+    const double span = hi - lo;
+    out.chosenK = out.bicByK.size();
+    for (size_t k = 1; k <= out.bicByK.size(); ++k) {
+        const double norm =
+            span > 0.0 ? (out.bicByK[k - 1] - lo) / span : 1.0;
+        if (norm >= frac) {
+            out.chosenK = k;
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace mica

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * K-means clustering with k-means++ seeding and a BIC model-selection
+ * score, as used for Fig. 6 of the paper (cluster the benchmarks in the
+ * GA-selected 8-D space; pick K by the BIC-within-90%-of-max rule).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace mica
+{
+
+/** Result of one k-means fit. */
+struct KMeansResult
+{
+    size_t k = 0;
+    std::vector<int> assignment;    ///< cluster id per row
+    Matrix centroids;               ///< k x d centroid matrix
+    double inertia = 0.0;           ///< sum of squared distances
+    int iterations = 0;             ///< Lloyd iterations executed
+
+    /** @return rows belonging to cluster c. */
+    std::vector<size_t> members(size_t c) const;
+};
+
+/** Tuning knobs for kMeansFit. */
+struct KMeansParams
+{
+    size_t k = 2;
+    uint64_t seed = 42;
+    int maxIters = 100;
+    int restarts = 3;   ///< keep the best of this many seeded runs
+};
+
+/**
+ * Fit k-means with k-means++ initialization and Lloyd iterations.
+ * Deterministic given the seed. Empty clusters are re-seeded with the
+ * point farthest from its centroid.
+ */
+KMeansResult kMeansFit(const Matrix &data, const KMeansParams &params);
+
+/**
+ * Bayesian Information Criterion of a k-means clustering under the
+ * identical spherical Gaussian model of Pelleg & Moore (X-means), the
+ * formulation referenced via SimPoint [18] in the paper. Larger is
+ * better.
+ *
+ * @param varianceFloor lower bound on the shared variance estimate (in
+ *        squared data units). Nonzero values model finite measurement
+ *        resolution and prevent the likelihood from diverging on
+ *        populations that contain (near-)duplicate points.
+ */
+double bicScore(const Matrix &data, const KMeansResult &res,
+                double varianceFloor = 0.0);
+
+/** Result of a BIC-driven sweep over K. */
+struct BicSweepResult
+{
+    std::vector<double> bicByK;     ///< BIC score for K = 1..maxK
+    std::vector<KMeansResult> fits; ///< fit for each K
+    size_t chosenK = 1;             ///< smallest K within frac*max BIC
+};
+
+/**
+ * Sweep K = 1..maxK and choose the smallest K whose BIC is at least
+ * frac (default 0.9) of the maximum observed BIC, the selection rule
+ * of Section VI. varianceFloor is forwarded to bicScore.
+ */
+BicSweepResult bicSweep(const Matrix &data, size_t maxK, uint64_t seed,
+                        double frac = 0.9, double varianceFloor = 0.0);
+
+} // namespace mica

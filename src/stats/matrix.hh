@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Row-major dataset matrix with named rows (benchmarks) and columns
+ * (characteristics). The workload spaces of the paper are instances of
+ * this: 122 rows x 47 columns (MICA) and 122 rows x 7 columns (HPC).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mica
+{
+
+/** Dense row-major matrix of doubles with optional row/column names. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    Matrix(size_t rows, size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {}
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    double &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    double &operator()(size_t r, size_t c) { return at(r, c); }
+    double operator()(size_t r, size_t c) const { return at(r, c); }
+
+    /** @return pointer to the start of row r. */
+    const double *row(size_t r) const { return data_.data() + r * cols_; }
+    double *row(size_t r) { return data_.data() + r * cols_; }
+
+    /** @return copy of row r as a vector. */
+    std::vector<double>
+    rowVec(size_t r) const
+    {
+        return {row(r), row(r) + cols_};
+    }
+
+    /** @return copy of column c as a vector. */
+    std::vector<double>
+    colVec(size_t c) const
+    {
+        std::vector<double> v(rows_);
+        for (size_t r = 0; r < rows_; ++r)
+            v[r] = at(r, c);
+        return v;
+    }
+
+    /** Append a row; the first appended row fixes the column count. */
+    void
+    appendRow(const std::vector<double> &v)
+    {
+        if (rows_ == 0 && cols_ == 0)
+            cols_ = v.size();
+        if (v.size() != cols_)
+            throw std::invalid_argument("appendRow: column mismatch");
+        data_.insert(data_.end(), v.begin(), v.end());
+        ++rows_;
+    }
+
+    /** @return a new matrix containing only the given columns, in order. */
+    Matrix
+    selectCols(const std::vector<size_t> &cols) const
+    {
+        Matrix m(rows_, cols.size());
+        for (size_t r = 0; r < rows_; ++r)
+            for (size_t j = 0; j < cols.size(); ++j)
+                m.at(r, j) = at(r, cols[j]);
+        if (!colNames.empty()) {
+            m.colNames.reserve(cols.size());
+            for (size_t c : cols)
+                m.colNames.push_back(colNames[c]);
+        }
+        m.rowNames = rowNames;
+        return m;
+    }
+
+    std::vector<std::string> rowNames;
+    std::vector<std::string> colNames;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace mica

@@ -1,0 +1,146 @@
+#include "stats/pca.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mica
+{
+
+namespace
+{
+
+/**
+ * Cyclic Jacobi eigensolver for symmetric matrices. Rotates away
+ * off-diagonal mass until convergence; robust and exact enough for the
+ * <= 47x47 matrices used here.
+ */
+void
+jacobiEigen(Matrix &a, Matrix &v, std::vector<double> &eig)
+{
+    const size_t n = a.rows();
+    v = Matrix(n, n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        v.at(i, i) = 1.0;
+
+    for (int sweep = 0; sweep < 100; ++sweep) {
+        double off = 0.0;
+        for (size_t p = 0; p < n; ++p)
+            for (size_t q = p + 1; q < n; ++q)
+                off += a.at(p, q) * a.at(p, q);
+        if (off < 1e-18)
+            break;
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                const double apq = a.at(p, q);
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                const double app = a.at(p, p), aqq = a.at(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t = (theta >= 0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+                for (size_t k = 0; k < n; ++k) {
+                    const double akp = a.at(k, p), akq = a.at(k, q);
+                    a.at(k, p) = c * akp - s * akq;
+                    a.at(k, q) = s * akp + c * akq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    const double apk = a.at(p, k), aqk = a.at(q, k);
+                    a.at(p, k) = c * apk - s * aqk;
+                    a.at(q, k) = s * apk + c * aqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    const double vkp = v.at(k, p), vkq = v.at(k, q);
+                    v.at(k, p) = c * vkp - s * vkq;
+                    v.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    eig.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        eig[i] = a.at(i, i);
+}
+
+} // namespace
+
+double
+PcaResult::varianceExplained(size_t k) const
+{
+    double total = 0.0, head = 0.0;
+    for (size_t i = 0; i < eigenvalues.size(); ++i) {
+        total += std::max(0.0, eigenvalues[i]);
+        if (i < k)
+            head += std::max(0.0, eigenvalues[i]);
+    }
+    return total > 0.0 ? head / total : 0.0;
+}
+
+Matrix
+PcaResult::project(const Matrix &m, size_t k) const
+{
+    k = std::min(k, components.rows());
+    Matrix out(m.rows(), k);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        for (size_t pc = 0; pc < k; ++pc) {
+            double s = 0.0;
+            for (size_t c = 0; c < m.cols(); ++c)
+                s += (m.at(r, c) - colMeans[c]) * components.at(pc, c);
+            out.at(r, pc) = s;
+        }
+    }
+    out.rowNames = m.rowNames;
+    return out;
+}
+
+PcaResult
+pcaFit(const Matrix &m)
+{
+    const size_t n = m.rows(), d = m.cols();
+    PcaResult res;
+    res.colMeans.resize(d, 0.0);
+    for (size_t c = 0; c < d; ++c) {
+        double s = 0.0;
+        for (size_t r = 0; r < n; ++r)
+            s += m.at(r, c);
+        res.colMeans[c] = n ? s / static_cast<double>(n) : 0.0;
+    }
+
+    // Covariance matrix (population normalization).
+    Matrix cov(d, d, 0.0);
+    for (size_t i = 0; i < d; ++i) {
+        for (size_t j = i; j < d; ++j) {
+            double s = 0.0;
+            for (size_t r = 0; r < n; ++r) {
+                s += (m.at(r, i) - res.colMeans[i]) *
+                     (m.at(r, j) - res.colMeans[j]);
+            }
+            const double c = n ? s / static_cast<double>(n) : 0.0;
+            cov.at(i, j) = c;
+            cov.at(j, i) = c;
+        }
+    }
+
+    Matrix vecs;
+    std::vector<double> eig;
+    jacobiEigen(cov, vecs, eig);
+
+    // Sort eigenpairs by descending eigenvalue.
+    std::vector<size_t> order(d);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return eig[a] > eig[b]; });
+
+    res.eigenvalues.resize(d);
+    res.components = Matrix(d, d);
+    for (size_t k = 0; k < d; ++k) {
+        res.eigenvalues[k] = eig[order[k]];
+        for (size_t c = 0; c < d; ++c)
+            res.components.at(k, c) = vecs.at(c, order[k]);
+    }
+    return res;
+}
+
+} // namespace mica

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Principal components analysis via Jacobi eigendecomposition.
+ *
+ * The paper positions its feature-selection methods against PCA-based
+ * workload characterization (Eeckhout et al.; Phansalkar et al.). We
+ * implement PCA so the comparison in DESIGN.md / the ablation benches can
+ * be reproduced: PCA removes correlation but still requires measuring all
+ * input characteristics, whereas correlation elimination and the genetic
+ * algorithm select a measurable subset.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace mica
+{
+
+/** Result of a PCA decomposition. */
+struct PcaResult
+{
+    /** Eigenvalues of the covariance matrix, descending. */
+    std::vector<double> eigenvalues;
+    /** Eigenvectors as rows, matching eigenvalues order. */
+    Matrix components;
+    /** Per-column means of the input (for projection). */
+    std::vector<double> colMeans;
+
+    /** @return fraction of total variance captured by the first k PCs. */
+    double varianceExplained(size_t k) const;
+
+    /** Project a dataset onto the first k principal components. */
+    Matrix project(const Matrix &m, size_t k) const;
+};
+
+/**
+ * Compute a full PCA of the dataset (covariance of mean-centered
+ * columns, cyclic Jacobi eigensolver).
+ *
+ * @param m dataset, rows = observations, cols = variables
+ * @return eigenvalues/eigenvectors sorted by descending eigenvalue
+ */
+PcaResult pcaFit(const Matrix &m);
+
+} // namespace mica

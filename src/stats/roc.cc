@@ -1,0 +1,123 @@
+#include "stats/roc.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mica
+{
+
+const RocPoint &
+RocCurve::bestPoint() const
+{
+    if (points.empty())
+        throw std::logic_error("empty ROC curve");
+    size_t best = 0;
+    double bestJ = -1.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        const double j = points[i].sensitivity + points[i].specificity;
+        if (j > bestJ) {
+            bestJ = j;
+            best = i;
+        }
+    }
+    return points[best];
+}
+
+RocCurve
+rocCurve(const std::vector<bool> &labels, const std::vector<double> &scores,
+         size_t numThresholds)
+{
+    if (labels.size() != scores.size())
+        throw std::invalid_argument("rocCurve: size mismatch");
+    RocCurve out;
+    if (labels.empty())
+        return out;
+
+    size_t pos = 0;
+    for (bool l : labels)
+        pos += l ? 1 : 0;
+    const size_t neg = labels.size() - pos;
+
+    std::vector<double> thresholds;
+    if (numThresholds == 0) {
+        thresholds = scores;
+        std::sort(thresholds.begin(), thresholds.end());
+        thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                         thresholds.end());
+    } else {
+        double lo = scores[0], hi = scores[0];
+        for (double s : scores) {
+            lo = std::min(lo, s);
+            hi = std::max(hi, s);
+        }
+        for (size_t i = 0; i < numThresholds; ++i) {
+            thresholds.push_back(
+                lo + (hi - lo) * static_cast<double>(i) /
+                    static_cast<double>(numThresholds - 1));
+        }
+    }
+    // Add sentinels so the curve spans (0,0) to (1,1): one threshold
+    // above every score (nothing predicted positive) and one below
+    // every score (everything predicted positive).
+    double tLo = thresholds.front(), tHi = thresholds.front();
+    for (double t : thresholds) {
+        tLo = std::min(tLo, t);
+        tHi = std::max(tHi, t);
+    }
+    thresholds.push_back(tHi + 1.0);
+    thresholds.push_back(tLo - 1.0);
+
+    for (double t : thresholds) {
+        size_t tp = 0, tn = 0;
+        for (size_t i = 0; i < scores.size(); ++i) {
+            const bool predPos = scores[i] > t;
+            if (predPos && labels[i])
+                ++tp;
+            else if (!predPos && !labels[i])
+                ++tn;
+        }
+        RocPoint p;
+        p.threshold = t;
+        p.sensitivity = pos ? static_cast<double>(tp) /
+                              static_cast<double>(pos) : 1.0;
+        p.specificity = neg ? static_cast<double>(tn) /
+                              static_cast<double>(neg) : 1.0;
+        out.points.push_back(p);
+    }
+
+    // Order by increasing FPR for plotting and AUC integration.
+    std::sort(out.points.begin(), out.points.end(),
+              [](const RocPoint &a, const RocPoint &b) {
+                  if (a.fpr() != b.fpr())
+                      return a.fpr() < b.fpr();
+                  return a.sensitivity < b.sensitivity;
+              });
+
+    // Trapezoidal AUC, padding the ends to (0,0) and (1,1).
+    double auc = 0.0;
+    double prevX = 0.0, prevY = 0.0;
+    for (const auto &p : out.points) {
+        auc += (p.fpr() - prevX) * (p.sensitivity + prevY) / 2.0;
+        prevX = p.fpr();
+        prevY = p.sensitivity;
+    }
+    auc += (1.0 - prevX) * (1.0 + prevY) / 2.0;
+    out.auc = auc;
+    return out;
+}
+
+std::vector<bool>
+labelsFromDistances(const std::vector<double> &refDist, double thresholdFrac)
+{
+    double mx = 0.0;
+    for (double d : refDist)
+        mx = std::max(mx, d);
+    const double thr = thresholdFrac * mx;
+    std::vector<bool> labels(refDist.size());
+    for (size_t i = 0; i < refDist.size(); ++i)
+        labels[i] = refDist[i] > thr;
+    return labels;
+}
+
+} // namespace mica

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Receiver operating characteristic (ROC) analysis for workload-space
+ * comparison, as used in Fig. 4 of the paper.
+ *
+ * In the paper's setup the "ground truth" label of a benchmark tuple is
+ * whether its distance in the hardware-performance-counter space exceeds
+ * a fixed threshold (20% of the max). The "score" is the tuple's distance
+ * in a microarchitecture-independent space. Sweeping the score threshold
+ * produces the ROC: sensitivity (true positive rate) vs. one minus
+ * specificity.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mica
+{
+
+/** One operating point on a ROC curve. */
+struct RocPoint
+{
+    double threshold = 0.0;     ///< score threshold producing this point
+    double sensitivity = 0.0;   ///< TP / (TP + FN)
+    double specificity = 0.0;   ///< TN / (TN + FP)
+
+    double fpr() const { return 1.0 - specificity; }
+};
+
+/** A full ROC curve plus its area. */
+struct RocCurve
+{
+    std::vector<RocPoint> points;   ///< ordered by increasing FPR
+    double auc = 0.0;               ///< area under the curve
+
+    /** @return point whose sensitivity+specificity is maximal. */
+    const RocPoint &bestPoint() const;
+};
+
+/**
+ * Build the ROC of score vs. binary label.
+ *
+ * @param labels  true = positive tuple (large reference-space distance)
+ * @param scores  the candidate-space distances; larger = more positive
+ * @param numThresholds number of evenly spaced thresholds to sweep
+ *                      (0 = use every distinct score, exact curve)
+ */
+RocCurve rocCurve(const std::vector<bool> &labels,
+                  const std::vector<double> &scores,
+                  size_t numThresholds = 0);
+
+/**
+ * Helper for the paper's construction: label tuples by whether the
+ * reference distance exceeds thresholdFrac * max(reference).
+ */
+std::vector<bool> labelsFromDistances(const std::vector<double> &refDist,
+                                      double thresholdFrac);
+
+} // namespace mica

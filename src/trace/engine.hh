@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Single-pass fan-out of one trace source into many analyzers.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_source.hh"
+
+namespace mica
+{
+
+/**
+ * Drives a TraceSource and broadcasts every record to a set of analyzers.
+ *
+ * This mirrors the structure of an ATOM/Pin analysis run: the instrumented
+ * program is executed once while all requested characteristics are
+ * accumulated concurrently. Analyzers are not owned by the engine.
+ */
+class AnalysisEngine
+{
+  public:
+    /** Register an analyzer; must outlive the run() call. */
+    void add(TraceAnalyzer *a) { analyzers_.push_back(a); }
+
+    /** Remove all registered analyzers. */
+    void clear() { analyzers_.clear(); }
+
+    /** @return number of registered analyzers. */
+    size_t numAnalyzers() const { return analyzers_.size(); }
+
+    /**
+     * Pull records from the source until exhaustion or a budget is hit,
+     * then finish() every analyzer.
+     *
+     * @param src trace producer
+     * @param maxInsts maximum number of dynamic instructions to process
+     *                 (0 means unlimited)
+     * @return number of instructions processed
+     */
+    uint64_t
+    run(TraceSource &src, uint64_t maxInsts = 0)
+    {
+        InstRecord rec;
+        uint64_t n = 0;
+        while ((maxInsts == 0 || n < maxInsts) && src.next(rec)) {
+            for (auto *a : analyzers_)
+                a->accept(rec);
+            ++n;
+        }
+        for (auto *a : analyzers_)
+            a->finish();
+        return n;
+    }
+
+  private:
+    std::vector<TraceAnalyzer *> analyzers_;
+};
+
+} // namespace mica

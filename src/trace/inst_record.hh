@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Dynamic instruction record: the unit of work of every trace analyzer.
+ *
+ * A trace source (the mini-ISA interpreter, a replay buffer, a synthetic
+ * generator) produces a stream of InstRecord values. This mirrors what the
+ * paper's ATOM instrumentation exposes per dynamic instruction: the class
+ * of the operation, its register operands, the effective address of memory
+ * operations, and the outcome of control transfers.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mica
+{
+
+/**
+ * Coarse operation classes. These are the classes the MICA instruction-mix
+ * characteristics are defined over (Table II, characteristics 1-6):
+ * loads, stores, control transfers, integer arithmetic, integer multiply,
+ * and floating-point operations.
+ */
+enum class InstClass : uint8_t
+{
+    IntAlu,     ///< integer add/sub/logic/shift/compare
+    IntMul,     ///< integer multiply
+    IntDiv,     ///< integer divide / remainder
+    FpAlu,      ///< floating-point add/sub/compare/convert
+    FpMul,      ///< floating-point multiply
+    FpDiv,      ///< floating-point divide / sqrt
+    Load,       ///< memory read
+    Store,      ///< memory write
+    Branch,     ///< conditional control transfer
+    Jump,       ///< unconditional direct jump
+    Call,       ///< subroutine call (direct or indirect)
+    Return,     ///< subroutine return / indirect jump
+    Nop,        ///< no architectural effect
+};
+
+/** Number of distinct InstClass values. */
+constexpr int kNumInstClasses = 13;
+
+/** @return true for any control-transfer class (chars. 3 of Table II). */
+constexpr bool
+isControlClass(InstClass c)
+{
+    return c == InstClass::Branch || c == InstClass::Jump ||
+           c == InstClass::Call || c == InstClass::Return;
+}
+
+/** @return true for floating-point operation classes. */
+constexpr bool
+isFpClass(InstClass c)
+{
+    return c == InstClass::FpAlu || c == InstClass::FpMul ||
+           c == InstClass::FpDiv;
+}
+
+/** @return true for integer arithmetic classes (excluding multiplies). */
+constexpr bool
+isIntArithClass(InstClass c)
+{
+    return c == InstClass::IntAlu || c == InstClass::IntDiv;
+}
+
+/**
+ * Unified register-id space shared by all analyzers.
+ *
+ * Integer registers are 0..31 and floating-point registers are 32..63.
+ * Register 0 is hardwired to zero (like Alpha's r31 / RISC-V's x0) and is
+ * excluded from register-traffic accounting by the analyzers.
+ */
+constexpr uint16_t kNumIntRegs = 32;
+constexpr uint16_t kNumFpRegs = 32;
+constexpr uint16_t kNumRegs = kNumIntRegs + kNumFpRegs;
+constexpr uint16_t kZeroReg = 0;
+constexpr uint16_t kInvalidReg = 0xffff;
+
+/**
+ * One dynamic instruction, as observed by the instrumentation layer.
+ *
+ * Field validity rules:
+ *  - srcRegs[0..numSrcRegs-1] are valid source register ids;
+ *  - dstReg is kInvalidReg when the instruction writes no register;
+ *  - memAddr/memSize are meaningful only when cls is Load or Store;
+ *  - taken/target are meaningful only for control-transfer classes
+ *    (unconditional transfers report taken = true).
+ */
+struct InstRecord
+{
+    uint64_t pc = 0;            ///< address of the instruction itself
+    InstClass cls = InstClass::Nop;
+
+    uint8_t numSrcRegs = 0;     ///< number of valid entries in srcRegs
+    std::array<uint16_t, 3> srcRegs = {kInvalidReg, kInvalidReg,
+                                       kInvalidReg};
+    uint16_t dstReg = kInvalidReg;
+
+    uint64_t memAddr = 0;       ///< effective address (Load/Store only)
+    uint8_t memSize = 0;        ///< access size in bytes (Load/Store only)
+
+    bool taken = false;         ///< control transfer outcome
+    uint64_t target = 0;        ///< control transfer destination
+
+    /** @return true if this record is a memory access. */
+    bool isMem() const
+    {
+        return cls == InstClass::Load || cls == InstClass::Store;
+    }
+
+    /** @return true if this record is any control transfer. */
+    bool isControl() const { return isControlClass(cls); }
+
+    /** @return true if this record is a conditional branch. */
+    bool isCondBranch() const { return cls == InstClass::Branch; }
+
+    /** @return true if this record writes a destination register. */
+    bool hasDst() const { return dstReg != kInvalidReg; }
+};
+
+} // namespace mica

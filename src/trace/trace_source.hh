@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Abstract interfaces for producers and consumers of instruction traces.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "trace/inst_record.hh"
+
+namespace mica
+{
+
+/**
+ * A pull-based producer of dynamic instructions.
+ *
+ * Sources are single-pass by default; sources that can be re-run (e.g.,
+ * the interpreter, replay buffers) override reset().
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next dynamic instruction.
+     *
+     * @param rec Output record, valid only when the call returns true.
+     * @retval true a record was produced.
+     * @retval false the trace is exhausted.
+     */
+    virtual bool next(InstRecord &rec) = 0;
+
+    /**
+     * Rewind the source to the beginning of the trace.
+     *
+     * @retval true the source supports re-running and has been rewound.
+     * @retval false the source is single-pass.
+     */
+    virtual bool reset() { return false; }
+};
+
+/**
+ * A consumer of dynamic instructions.
+ *
+ * Analyzers accumulate state over the trace; finish() is invoked exactly
+ * once after the last record so analyzers can flush pending state (e.g.,
+ * open register-use instances).
+ */
+class TraceAnalyzer
+{
+  public:
+    virtual ~TraceAnalyzer() = default;
+
+    /** Observe one dynamic instruction. */
+    virtual void accept(const InstRecord &rec) = 0;
+
+    /** Called once after the last record of the trace. */
+    virtual void finish() {}
+};
+
+} // namespace mica

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mica::uarch
+{
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    uint64_t sizeBytes = 8 * 1024;
+    uint64_t lineBytes = 32;
+    uint64_t assoc = 1;
+};
+
+/**
+ * Tag-only set-associative cache with true-LRU replacement. Tracks
+ * accesses and misses; no data storage (the interpreter holds the
+ * functional state). Single-ported, blocking — adequate for the
+ * counter-style statistics the paper's HPC characterization uses.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg)
+        : lineBits_(log2u(cfg.lineBytes)),
+          numSets_(cfg.sizeBytes / (cfg.lineBytes * cfg.assoc)),
+          assoc_(cfg.assoc),
+          ways_(numSets_ * cfg.assoc)
+    {}
+
+    /**
+     * Look up addr; fill on miss.
+     * @return true on hit.
+     */
+    bool
+    access(uint64_t addr)
+    {
+        ++accesses_;
+        const uint64_t line = addr >> lineBits_;
+        const uint64_t set = line % numSets_;
+        Way *base = &ways_[set * assoc_];
+        ++tick_;
+        for (uint64_t w = 0; w < assoc_; ++w) {
+            if (base[w].valid && base[w].tag == line) {
+                base[w].lastUsed = tick_;
+                return true;
+            }
+        }
+        ++misses_;
+        // Victim: invalid way if any, else LRU.
+        uint64_t victim = 0;
+        uint64_t oldest = UINT64_MAX;
+        for (uint64_t w = 0; w < assoc_; ++w) {
+            if (!base[w].valid) {
+                victim = w;
+                break;
+            }
+            if (base[w].lastUsed < oldest) {
+                oldest = base[w].lastUsed;
+                victim = w;
+            }
+        }
+        base[victim] = {line, tick_, true};
+        return false;
+    }
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+
+    /** @return misses / accesses (0 when idle). */
+    double
+    missRate() const
+    {
+        return accesses_ ? static_cast<double>(misses_) /
+                           static_cast<double>(accesses_) : 0.0;
+    }
+
+    uint64_t numSets() const { return numSets_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint64_t lastUsed = 0;
+        bool valid = false;
+    };
+
+    static unsigned
+    log2u(uint64_t v)
+    {
+        unsigned b = 0;
+        while ((1ull << b) < v)
+            ++b;
+        return b;
+    }
+
+    unsigned lineBits_;
+    uint64_t numSets_;
+    uint64_t assoc_;
+    std::vector<Way> ways_;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t tick_ = 0;
+};
+
+/**
+ * Fully associative TLB with LRU replacement, modeled as a one-set
+ * cache over page-granular addresses.
+ */
+class Tlb
+{
+  public:
+    Tlb(unsigned entries, unsigned pageBits)
+        : pageBits_(pageBits),
+          cache_(CacheConfig{entries * (1ull << pageBits),
+                             1ull << pageBits, entries})
+    {}
+
+    /** @return true on TLB hit. */
+    bool access(uint64_t addr) { return cache_.access(addr); }
+
+    uint64_t accesses() const { return cache_.accesses(); }
+    uint64_t misses() const { return cache_.misses(); }
+    double missRate() const { return cache_.missRate(); }
+
+  private:
+    [[maybe_unused]] unsigned pageBits_;
+    Cache cache_;
+};
+
+} // namespace mica::uarch

@@ -1,0 +1,32 @@
+#include "uarch/hpc_runner.hh"
+
+#include "trace/engine.hh"
+
+namespace mica::uarch
+{
+
+HwCounterProfile
+collectHwProfile(TraceSource &src, const std::string &name,
+                 uint64_t maxInsts, const MachineConfig &cfg)
+{
+    HwCounterAnalyzer hw(cfg);
+    AnalysisEngine engine;
+    engine.add(&hw);
+    engine.run(src, maxInsts);
+    return hw.profile(name);
+}
+
+Matrix
+hwProfilesToMatrix(const std::vector<HwCounterProfile> &profiles)
+{
+    Matrix m;
+    for (const char *n : HwCounterProfile::metricNames())
+        m.colNames.push_back(n);
+    for (const auto &p : profiles) {
+        m.appendRow(p.toVector());
+        m.rowNames.push_back(p.name);
+    }
+    return m;
+}
+
+} // namespace mica::uarch

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Convenience entry point: run the HPC characterization over a trace.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/matrix.hh"
+#include "trace/trace_source.hh"
+#include "uarch/hw_counter.hh"
+
+namespace mica::uarch
+{
+
+/**
+ * Collect the seven hardware-counter metrics for one trace.
+ *
+ * @param src trace producer
+ * @param name benchmark identification for the profile
+ * @param maxInsts instruction budget (0 = unlimited)
+ * @param cfg machine configuration (defaults to the EV56/EV67 shapes)
+ */
+HwCounterProfile collectHwProfile(TraceSource &src, const std::string &name,
+                                  uint64_t maxInsts = 0,
+                                  const MachineConfig &cfg = {});
+
+/** @return 7-column matrix, one row per profile. */
+Matrix hwProfilesToMatrix(const std::vector<HwCounterProfile> &profiles);
+
+} // namespace mica::uarch

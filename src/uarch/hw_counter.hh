@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Hardware-performance-counter characterization (Section III-B).
+ *
+ * The paper measures IPC, branch misprediction rate, L1 D/I miss rates,
+ * L2 miss rate and D-TLB miss rate on an Alpha 21164A (EV56, in-order
+ * dual-issue) plus IPC on an Alpha 21264A (EV67, 4-wide out-of-order).
+ * This module substitutes a trace-driven simulation of equivalently
+ * shaped machines; see DESIGN.md for the substitution argument.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.hh"
+#include "uarch/cache.hh"
+#include "uarch/predictors.hh"
+
+namespace mica::uarch
+{
+
+/** Machine configuration for the HPC characterization. */
+struct MachineConfig
+{
+    CacheConfig l1i{8 * 1024, 32, 1};       ///< EV56: 8KB direct L1I
+    CacheConfig l1d{8 * 1024, 32, 1};       ///< EV56: 8KB direct L1D
+    CacheConfig l2{96 * 1024, 64, 3};       ///< EV56: 96KB 3-way S-cache
+    unsigned dtlbEntries = 64;              ///< EV56: 64-entry DTLB
+    unsigned dtlbPageBits = 13;             ///< 8KB pages
+
+    // In-order (EV56-like) cost model parameters, in cycles.
+    double issueWidth56 = 2.0;
+    double l1MissPenalty = 8.0;
+    double l2MissPenalty = 50.0;
+    double tlbMissPenalty = 30.0;
+    double branchMissPenalty56 = 5.0;
+    double intDivCost = 8.0;
+    double fpDivCost = 12.0;
+
+    // Out-of-order (EV67-like) window model parameters.
+    unsigned window67 = 80;
+    unsigned issueWidth67 = 4;
+    double branchMissPenalty67 = 7.0;
+    unsigned latIntAlu = 1, latIntMul = 7, latIntDiv = 20;
+    unsigned latFpAlu = 4, latFpMul = 4, latFpDiv = 12;
+    unsigned latLoadL1 = 3, latLoadL2 = 13, latLoadMem = 80;
+    unsigned latStore = 1, latBranch = 1;
+};
+
+/** The seven hardware-counter metrics (Section III-B order). */
+struct HwCounterProfile
+{
+    std::string name;
+    uint64_t instCount = 0;
+
+    double ipcEv56 = 0.0;       ///< in-order IPC
+    double ipcEv67 = 0.0;       ///< out-of-order IPC
+    double branchMissRate = 0.0;
+    double l1dMissRate = 0.0;
+    double l1iMissRate = 0.0;
+    double l2MissRate = 0.0;    ///< local L2 miss rate
+    double dtlbMissRate = 0.0;
+
+    static constexpr size_t kNumMetrics = 7;
+
+    /** @return metric names in vector order. */
+    static const std::array<const char *, kNumMetrics> &metricNames();
+
+    /** @return metrics as a vector (for Matrix::appendRow). */
+    std::vector<double> toVector() const;
+};
+
+/**
+ * Single-pass trace analyzer producing a HwCounterProfile. One shared
+ * cache hierarchy feeds both cost models: miss events charge stall
+ * cycles to the in-order model and stretch load latencies in the
+ * out-of-order window model.
+ */
+class HwCounterAnalyzer : public TraceAnalyzer
+{
+  public:
+    explicit HwCounterAnalyzer(const MachineConfig &cfg = {});
+
+    void accept(const InstRecord &rec) override;
+
+    /** @return the profile measured so far. */
+    HwCounterProfile profile(const std::string &name) const;
+
+  private:
+    /** Latency class of a load given where it hit. */
+    enum class MemLevel { L1, L2, Mem };
+
+    MachineConfig cfg_;
+    Cache l1i_, l1d_, l2_;
+    Tlb dtlb_;
+    BimodalPredictor bimodal_;
+    TournamentPredictor tournament_;
+
+    uint64_t insts_ = 0;
+    uint64_t condBranches_ = 0;
+    uint64_t bimodalMisses_ = 0;
+
+    // EV56 accumulated stall cycles (issue cycles added at the end).
+    double stall56_ = 0.0;
+
+    // EV67 dataflow window state.
+    std::vector<uint64_t> complete67_;
+    std::array<uint64_t, kNumRegs> regReady67_{};
+    uint64_t fetchReady67_ = 0;
+    uint64_t maxComplete67_ = 0;
+};
+
+} // namespace mica::uarch

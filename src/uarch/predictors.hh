@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Hardware branch predictor models: bimodal (Alpha 21164-class) and a
+ * local/global tournament predictor (Alpha 21264-class).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mica::uarch
+{
+
+/** 2-bit saturating counter helper. */
+struct Counter2
+{
+    uint8_t v = 1;  // weakly not-taken
+
+    bool taken() const { return v >= 2; }
+
+    void
+    update(bool t)
+    {
+        if (t && v < 3)
+            ++v;
+        else if (!t && v > 0)
+            --v;
+    }
+};
+
+/**
+ * Bimodal predictor: a table of 2-bit counters indexed by the branch PC.
+ * Approximates the 21164A's simple branch prediction used for the EV56
+ * hardware-counter branch misprediction rate.
+ */
+class BimodalPredictor
+{
+  public:
+    explicit BimodalPredictor(size_t entries = 2048)
+        : mask_(entries - 1), table_(entries)
+    {}
+
+    /** Predict, then update with the outcome. @return the prediction. */
+    bool
+    predictAndUpdate(uint64_t pc, bool taken)
+    {
+        Counter2 &c = table_[(pc >> 2) & mask_];
+        const bool pred = c.taken();
+        c.update(taken);
+        return pred;
+    }
+
+  private:
+    size_t mask_;
+    std::vector<Counter2> table_;
+};
+
+/**
+ * Tournament predictor in the style of the 21264: a per-branch local
+ * history component, a global history component, and a chooser that
+ * learns which component to trust per global history context.
+ */
+class TournamentPredictor
+{
+  public:
+    TournamentPredictor(size_t localEntries = 1024,
+                        unsigned localHistBits = 10,
+                        size_t globalEntries = 4096)
+        : localHistBits_(localHistBits),
+          localHist_(localEntries, 0),
+          localPred_(1ull << localHistBits),
+          globalMask_(globalEntries - 1),
+          globalPred_(globalEntries),
+          choice_(globalEntries)
+    {}
+
+    /** Predict, then update with the outcome. @return the prediction. */
+    bool
+    predictAndUpdate(uint64_t pc, bool taken)
+    {
+        const size_t li = (pc >> 2) % localHist_.size();
+        const uint64_t lh =
+            localHist_[li] & ((1ull << localHistBits_) - 1);
+        const bool localP = localPred_[lh].taken();
+        const size_t gi = ghist_ & globalMask_;
+        const bool globalP = globalPred_[gi].taken();
+        const bool useGlobal = choice_[gi].taken();
+        const bool pred = useGlobal ? globalP : localP;
+
+        // Chooser trains toward the component that was right.
+        if (localP != globalP)
+            choice_[gi].update(globalP == taken);
+        localPred_[lh].update(taken);
+        globalPred_[gi].update(taken);
+        localHist_[li] = (localHist_[li] << 1) | (taken ? 1 : 0);
+        ghist_ = (ghist_ << 1) | (taken ? 1 : 0);
+        return pred;
+    }
+
+  private:
+    unsigned localHistBits_;
+    std::vector<uint64_t> localHist_;
+    std::vector<Counter2> localPred_;
+    uint64_t globalMask_;
+    std::vector<Counter2> globalPred_;
+    std::vector<Counter2> choice_;
+    uint64_t ghist_ = 0;
+};
+
+} // namespace mica::uarch

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Host-side data-generation helpers shared by the kernel builders.
+ */
+
+#include "workloads/kernel_lib.hh"
+
+#include <numeric>
+
+namespace mica::workloads::kernels
+{
+
+std::vector<uint8_t>
+randomBytes(size_t n, unsigned alphabet, uint64_t seed)
+{
+    HostRng rng(seed);
+    std::vector<uint8_t> v(n);
+    for (auto &b : v)
+        b = static_cast<uint8_t>(rng.bounded(alphabet ? alphabet : 256));
+    return v;
+}
+
+std::vector<double>
+randomDoubles(size_t n, double lo, double hi, uint64_t seed)
+{
+    HostRng rng(seed);
+    std::vector<double> v(n);
+    for (auto &d : v)
+        d = lo + (hi - lo) * rng.unit();
+    return v;
+}
+
+std::vector<uint64_t>
+randomCycle(size_t n, uint64_t seed)
+{
+    // Sattolo's algorithm: a uniform random permutation that is a single
+    // n-cycle, so a pointer chase visits every node before repeating.
+    std::vector<uint64_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    HostRng rng(seed);
+    for (size_t i = n - 1; i > 0; --i) {
+        const size_t j = rng.bounded(i);
+        std::swap(perm[i], perm[j]);
+    }
+    return perm;
+}
+
+} // namespace mica::workloads::kernels

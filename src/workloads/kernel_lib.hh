@@ -1,0 +1,577 @@
+/**
+ * @file
+ * Parameterized mini-ISA kernel builders for the 122-benchmark table.
+ *
+ * Every (suite, program, input) row of the paper's Table I is substituted
+ * by one of these kernels, instantiated with parameters that place it in
+ * the right region of the 47-characteristic space: instruction mix,
+ * inherent ILP (dependence-chain shape), working-set size, local/global
+ * stride structure, and branch predictability are all controlled by the
+ * parameters. See DESIGN.md section 2 for the substitution argument and
+ * registry.cc for the per-benchmark parameter choices.
+ *
+ * Builders are grouped by the suite file that implements them; several
+ * families are shared across suites (e.g. the DCT kernel backs the jpeg
+ * codecs of CommBench, MediaBench and MiBench alike).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace mica::workloads::kernels
+{
+
+// ----------------------------------------------------------------------
+// Deterministic data-generation helpers (host side).
+// ----------------------------------------------------------------------
+
+/** xorshift64* PRNG for building initialized data segments. */
+class HostRng
+{
+  public:
+    explicit HostRng(uint64_t seed)
+        : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    uint64_t
+    next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545f4914f6cdd1dull;
+    }
+
+    /** @return uniform value in [0, n). */
+    uint64_t bounded(uint64_t n) { return n ? next() % n : 0; }
+
+    /** @return uniform double in [0, 1). */
+    double
+    unit()
+    {
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/** @return n random bytes, each uniform in [0, alphabet). */
+std::vector<uint8_t> randomBytes(size_t n, unsigned alphabet,
+                                 uint64_t seed);
+
+/** @return n random doubles in [lo, hi). */
+std::vector<double> randomDoubles(size_t n, double lo, double hi,
+                                  uint64_t seed);
+
+/** @return a random permutation of 0..n-1 forming a single cycle. */
+std::vector<uint64_t> randomCycle(size_t n, uint64_t seed);
+
+// ----------------------------------------------------------------------
+// Bioinformatics kernels (kernels_bio.cc).
+// ----------------------------------------------------------------------
+
+/** Banded Smith-Waterman style dynamic programming over two sequences. */
+struct DpMatrixParams
+{
+    size_t queryLen = 256;      ///< rows of the DP matrix
+    size_t dbLen = 1024;        ///< columns (database sequence)
+    unsigned alphabet = 4;      ///< residue alphabet size
+    unsigned iters = 2;         ///< whole-matrix repetitions
+    uint64_t seed = 1;
+    int matchScore = 2;
+    int mismatchPenalty = -1;
+    int gapPenalty = -2;
+};
+
+isa::Program dpMatrix(const DpMatrixParams &p);
+
+/**
+ * Seed-and-extend database scan against a large k-mer hash index:
+ * rolling hash over a byte stream with random probes into a big table
+ * (the blast substitute: its defining trait is the huge data working
+ * set the index probes touch).
+ */
+struct KmerScanParams
+{
+    size_t dbBytes = 1 << 16;       ///< database stream length
+    size_t tableBytes = 1 << 22;    ///< k-mer index size (pow2)
+    size_t queryBytes = 64;         ///< extension target
+    unsigned extendThresholdBits = 5;   ///< hash bits gating extension
+    unsigned iters = 1;
+    uint64_t seed = 2;
+};
+
+isa::Program kmerScan(const KmerScanParams &p);
+
+/** Profile-HMM Viterbi recurrence (floating point, three DP bands). */
+struct HmmViterbiParams
+{
+    size_t states = 64;
+    size_t seqLen = 512;
+    unsigned alphabet = 20;
+    unsigned iters = 2;
+    uint64_t seed = 3;
+    bool trainingPass = false;  ///< add a count-update store pass
+};
+
+isa::Program hmmViterbi(const HmmViterbiParams &p);
+
+/** Phylogenetic tree evaluation: likelihood (FP) or parsimony (int). */
+struct PhyloParams
+{
+    size_t taxa = 16;           ///< leaves; internal nodes = taxa - 1
+    size_t sites = 256;         ///< alignment columns
+    unsigned iters = 3;
+    uint64_t seed = 4;
+    bool parsimony = false;     ///< integer Fitch counts instead of FP
+};
+
+isa::Program phyloKernel(const PhyloParams &p);
+
+// ----------------------------------------------------------------------
+// Biometrics kernels (kernels_biometrics.cc).
+// ----------------------------------------------------------------------
+
+/** Dense matrix-vector products (subspace projection). */
+struct MatVecParams
+{
+    size_t rows = 128;
+    size_t cols = 128;
+    unsigned iters = 4;
+    uint64_t seed = 5;
+    unsigned unroll = 4;        ///< accumulators in the dot product
+};
+
+isa::Program matVec(const MatVecParams &p);
+
+/** Triangular covariance accumulation from sample vectors. */
+struct CovarianceParams
+{
+    size_t dim = 64;
+    size_t samples = 32;
+    unsigned iters = 2;
+    uint64_t seed = 6;
+};
+
+isa::Program covarianceUpdate(const CovarianceParams &p);
+
+/** Streaming byte-image to float normalization. */
+struct ImageNormalizeParams
+{
+    size_t pixels = 1 << 14;
+    unsigned iters = 4;
+    uint64_t seed = 7;
+};
+
+isa::Program imageNormalize(const ImageNormalizeParams &p);
+
+/** Gaussian-mixture scoring of feature frames (speech decode). */
+struct GmmDecodeParams
+{
+    size_t frames = 64;
+    size_t mixtures = 16;
+    size_t dim = 24;
+    unsigned iters = 2;
+    uint64_t seed = 8;
+};
+
+isa::Program gmmDecode(const GmmDecodeParams &p);
+
+/** Blocked dense matrix-matrix multiply (subspace training). */
+struct MatMulParams
+{
+    size_t n = 64;              ///< square matrix dimension
+    unsigned iters = 1;
+    uint64_t seed = 9;
+};
+
+isa::Program denseMatMul(const MatMulParams &p);
+
+// ----------------------------------------------------------------------
+// Telecom kernels (kernels_comm.cc).
+// ----------------------------------------------------------------------
+
+/** Feistel block cipher with S-box lookups over a buffer. */
+struct BlockCipherParams
+{
+    size_t bufBytes = 1 << 12;
+    unsigned rounds = 16;
+    unsigned iters = 4;
+    uint64_t seed = 10;
+    bool decrypt = false;
+};
+
+isa::Program blockCipher(const BlockCipherParams &p);
+
+/** Deficit-round-robin scheduling over linked packet queues. */
+struct QueueSchedParams
+{
+    size_t numQueues = 16;
+    size_t pktsPerQueue = 32;
+    unsigned quantum = 512;
+    unsigned iters = 6;
+    uint64_t seed = 11;
+};
+
+isa::Program queueScheduler(const QueueSchedParams &p);
+
+/** IP fragmentation: word-copy payload slices plus header writes. */
+struct PacketFragParams
+{
+    size_t pktBytes = 4096;
+    size_t mtu = 576;
+    unsigned iters = 8;
+    uint64_t seed = 12;
+};
+
+isa::Program packetFrag(const PacketFragParams &p);
+
+/** 8x8 integer DCT/IDCT with quantization over image blocks. */
+struct DctParams
+{
+    size_t blocks = 64;
+    unsigned iters = 3;
+    uint64_t seed = 13;
+    bool inverse = false;
+};
+
+isa::Program dct8x8(const DctParams &p);
+
+/** Reed-Solomon GF(256) encode/decode via log/exp tables. */
+struct ReedSolomonParams
+{
+    size_t dataBytes = 1 << 12;
+    size_t parityBytes = 16;
+    unsigned iters = 3;
+    uint64_t seed = 14;
+    bool decode = false;        ///< syndrome evaluation instead of encode
+};
+
+isa::Program gfReedSolomon(const ReedSolomonParams &p);
+
+/** Bitwise radix-trie lookups (route lookup / patricia). */
+struct TrieLookupParams
+{
+    size_t numKeys = 1024;
+    size_t trieNodes = 4096;
+    unsigned maxDepth = 24;
+    unsigned iters = 4;
+    uint64_t seed = 15;
+};
+
+isa::Program trieLookup(const TrieLookupParams &p);
+
+/** Ones-complement checksum plus header field rewrites. */
+struct ChecksumParams
+{
+    size_t pktBytes = 1500;
+    size_t numPkts = 48;
+    unsigned iters = 3;
+    uint64_t seed = 16;
+};
+
+isa::Program checksum(const ChecksumParams &p);
+
+/** LZ77 hash-chain compression / decompression. */
+struct Lz77Params
+{
+    size_t bufBytes = 1 << 14;
+    size_t windowBytes = 1 << 12;
+    unsigned alphabet = 32;     ///< source entropy: small = compressible
+    unsigned iters = 2;
+    uint64_t seed = 17;
+    bool decode = false;
+};
+
+isa::Program lz77(const Lz77Params &p);
+
+// ----------------------------------------------------------------------
+// Media kernels (kernels_media.cc).
+// ----------------------------------------------------------------------
+
+/** 1D lifting wavelet transform passes (epic/unepic). */
+struct WaveletParams
+{
+    size_t n = 1 << 12;         ///< samples (power of two)
+    unsigned levels = 6;
+    unsigned iters = 3;
+    uint64_t seed = 18;
+    bool inverse = false;
+};
+
+isa::Program waveletTransform(const WaveletParams &p);
+
+/** ADPCM sample codec: serial predictor state per sample. */
+struct AdpcmParams
+{
+    size_t samples = 1 << 13;
+    unsigned iters = 3;
+    uint64_t seed = 19;
+    bool decode = false;
+    bool g721 = false;          ///< wider tables, extra smoothing pass
+};
+
+isa::Program adpcmCodec(const AdpcmParams &p);
+
+/** Bytecode-interpreter dispatch loop (compare-tree switch). */
+struct InterpParams
+{
+    size_t codeLen = 4096;      ///< bytecode length
+    unsigned numOps = 32;       ///< distinct opcodes / handlers
+    unsigned handlerBody = 6;   ///< ALU ops per handler
+    double hotOpFraction = 0.0; ///< skew: fraction of stream using op 0
+    unsigned iters = 3;
+    uint64_t seed = 20;
+};
+
+isa::Program interpDispatch(const InterpParams &p);
+
+/** Perspective texture mapping: interpolate, fetch texel, blend. */
+struct TexMapParams
+{
+    size_t texBytes = 1 << 16;  ///< texture footprint (power of two)
+    size_t pixels = 1 << 12;
+    unsigned iters = 3;
+    uint64_t seed = 21;
+};
+
+isa::Program texMap(const TexMapParams &p);
+
+/** Block motion estimation / compensation over two frames. */
+struct MotionParams
+{
+    size_t frameW = 128;
+    size_t frameH = 64;
+    unsigned searchRange = 4;   ///< +/- candidate offsets per block
+    unsigned iters = 1;
+    uint64_t seed = 22;
+    bool encode = true;         ///< SAD search; else compensation copy
+};
+
+isa::Program motionComp(const MotionParams &p);
+
+// ----------------------------------------------------------------------
+// Embedded kernels (kernels_embedded.cc).
+// ----------------------------------------------------------------------
+
+/** Table-driven CRC-32 over a buffer. */
+struct Crc32Params
+{
+    size_t bufBytes = 1 << 14;
+    unsigned iters = 4;
+    uint64_t seed = 23;
+};
+
+isa::Program crc32(const Crc32Params &p);
+
+/** Iterative radix-2 FFT butterflies with bit-reversal permutation. */
+struct FftParams
+{
+    size_t n = 1 << 10;         ///< complex points (power of two)
+    unsigned iters = 2;
+    uint64_t seed = 24;
+    bool inverse = false;
+};
+
+isa::Program fftButterfly(const FftParams &p);
+
+/** Scalar math: cubic roots and integer square roots (serial FP). */
+struct BasicMathParams
+{
+    size_t problems = 2048;
+    unsigned iters = 2;
+    uint64_t seed = 25;
+};
+
+isa::Program basicMath(const BasicMathParams &p);
+
+/** Bit-twiddling suite: population counts and bitboard logic. */
+struct BitOpsParams
+{
+    size_t words = 4096;
+    unsigned iters = 4;
+    uint64_t seed = 26;
+    bool chess = false;         ///< add attack-mask table lookups
+};
+
+isa::Program bitOps(const BitOpsParams &p);
+
+/** Array-scan Dijkstra relaxation over an adjacency matrix graph. */
+struct GraphParams
+{
+    size_t nodes = 128;
+    unsigned degree = 8;
+    unsigned iters = 2;
+    uint64_t seed = 27;
+};
+
+isa::Program graphSssp(const GraphParams &p);
+
+/** Hash-table word lookup with chained string compares. */
+struct HashDictParams
+{
+    size_t numWords = 2048;     ///< dictionary entries
+    size_t numQueries = 2048;
+    size_t tableSlots = 4096;   ///< power of two
+    unsigned iters = 2;
+    uint64_t seed = 28;
+};
+
+isa::Program hashDict(const HashDictParams &p);
+
+/** Iterative quicksort with an explicit stack. */
+struct QuickSortParams
+{
+    size_t elems = 4096;
+    unsigned iters = 2;
+    uint64_t seed = 29;
+};
+
+isa::Program quickSort(const QuickSortParams &p);
+
+/** 2D image filters: smoothing, thresholding, dithering, median... */
+struct ImageFilterParams
+{
+    enum class Variant
+    {
+        Smooth,     ///< 3x3 box filter
+        Threshold,  ///< USAN-style thresholded accumulation
+        Gray,       ///< weighted RGB to gray conversion
+        Rgba,       ///< gray to RGBA expansion (store heavy)
+        Dither,     ///< error-diffusion (serial dependence)
+        Median,     ///< 3x3 median via compare/swap network
+    };
+
+    size_t width = 128;
+    size_t height = 96;
+    Variant variant = Variant::Smooth;
+    unsigned iters = 2;
+    uint64_t seed = 30;
+};
+
+isa::Program imageFilter2D(const ImageFilterParams &p);
+
+/** Cascaded IIR/formant audio synthesis and MDCT-style passes. */
+struct AudioSynthParams
+{
+    size_t samples = 1 << 12;
+    unsigned stages = 4;        ///< biquad sections in series
+    unsigned iters = 2;
+    uint64_t seed = 31;
+    bool withTables = false;    ///< add coefficient table lookups
+};
+
+isa::Program audioSynth(const AudioSynthParams &p);
+
+/** SHA-1 style message schedule and round function. */
+struct ShaParams
+{
+    size_t bufBytes = 1 << 13;
+    unsigned iters = 3;
+    uint64_t seed = 32;
+};
+
+isa::Program shaHash(const ShaParams &p);
+
+/** Multi-word integer arithmetic: carry chains and schoolbook mul. */
+struct BigIntParams
+{
+    size_t words = 32;          ///< 64-bit limbs per operand
+    unsigned iters = 24;
+    uint64_t seed = 33;
+};
+
+isa::Program bigIntArith(const BigIntParams &p);
+
+// ----------------------------------------------------------------------
+// General-purpose kernels (kernels_spec.cc).
+// ----------------------------------------------------------------------
+
+/** Random-cycle pointer chasing with payload updates (mcf). */
+struct PointerChaseParams
+{
+    size_t nodes = 1 << 16;     ///< 64-byte nodes
+    unsigned iters = 1;
+    uint64_t seed = 34;
+    size_t steps = 1 << 15;     ///< chase steps per iteration
+};
+
+isa::Program pointerChase(const PointerChaseParams &p);
+
+/** Streaming neural-network layer scan with vigilance test (art). */
+struct NeuralScanParams
+{
+    size_t inputs = 1 << 12;
+    size_t neurons = 16;
+    unsigned iters = 2;
+    uint64_t seed = 35;
+};
+
+isa::Program neuralScan(const NeuralScanParams &p);
+
+/** Structured-grid stencil sweeps, optionally with sparse indices. */
+struct StencilParams
+{
+    size_t nx = 128;
+    size_t ny = 128;
+    unsigned points = 5;        ///< 5-point or 9-point
+    unsigned passes = 2;
+    unsigned iters = 1;
+    uint64_t seed = 36;
+    bool sparse = false;        ///< index-array indirection (equake/fem)
+};
+
+isa::Program stencilSweep(const StencilParams &p);
+
+/** Ray-sphere intersection loops (eon). */
+struct RayTraceParams
+{
+    size_t spheres = 32;
+    size_t rays = 512;
+    unsigned iters = 2;
+    uint64_t seed = 37;
+};
+
+isa::Program rayTrace(const RayTraceParams &p);
+
+/** Simulated-annealing placement moves (twolf / vpr place). */
+struct AnnealParams
+{
+    size_t cells = 4096;
+    size_t moves = 1 << 13;
+    unsigned iters = 1;
+    uint64_t seed = 38;
+};
+
+isa::Program annealPlace(const AnnealParams &p);
+
+/** Object-database traversal through subroutine-per-operation code. */
+struct ObjDbParams
+{
+    size_t objects = 4096;
+    size_t opsPerObject = 2;
+    size_t traversals = 4096;
+    unsigned iters = 1;
+    uint64_t seed = 39;
+};
+
+isa::Program objDb(const ObjDbParams &p);
+
+/** Block-sort compression front end: partitioned byte-suffix sorting. */
+struct BwtSortParams
+{
+    size_t blockBytes = 1 << 13;
+    unsigned alphabet = 64;     ///< source entropy
+    unsigned iters = 1;
+    uint64_t seed = 40;
+};
+
+isa::Program bwtSort(const BwtSortParams &p);
+
+} // namespace mica::workloads::kernels

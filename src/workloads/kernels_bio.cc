@@ -1,0 +1,524 @@
+/**
+ * @file
+ * Bioinformatics kernel builders: dynamic-programming alignment, k-mer
+ * index scanning, profile-HMM Viterbi, and phylogenetic tree evaluation.
+ *
+ * These substitute the BioInfoMark programs (blast, ce, clustalw, fasta,
+ * glimmer, hmmer, phylip, predator). Their shared traits per the paper:
+ * integer/byte-oriented data-dependent control flow, and (for blast)
+ * working sets far larger than anything in SPEC CPU2000.
+ */
+
+#include "workloads/kernel_lib.hh"
+
+#include <cstring>
+
+#include "isa/assembler.hh"
+
+namespace mica::workloads::kernels
+{
+
+using namespace isa;
+using namespace isa::reg;
+
+namespace
+{
+
+/** Load a double constant into FP register fr through a stack slot. */
+void
+fimm(Assembler &a, uint8_t fr, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    a.li(T9, static_cast<int64_t>(bits));
+    a.sd(T9, Sp, -8);
+    a.fld(fr, Sp, -8);
+}
+
+} // namespace
+
+isa::Program
+dpMatrix(const DpMatrixParams &p)
+{
+    Assembler a("dpMatrix");
+
+    const uint64_t seqA = a.dataU8(randomBytes(p.queryLen, p.alphabet,
+                                               p.seed));
+    const uint64_t seqB = a.dataU8(randomBytes(p.dbLen, p.alphabet,
+                                               p.seed * 7 + 1));
+    const uint64_t prevRow = a.reserve((p.dbLen + 1) * 8);
+    const uint64_t curRow = a.reserve((p.dbLen + 1) * 8);
+
+    // Register map:
+    //   S0 seqA, S1 seqB, S2 prev row, S3 cur row, S4 i, S5 a[i]
+    //   S6 match score, S7 mismatch, S8 gap, S9 iteration counter
+    //   A0 queryLen, A1 dbLen, T0 j, T1..T6 temps.
+    a.li(S6, p.matchScore);
+    a.li(S7, p.mismatchPenalty);
+    a.li(S8, p.gapPenalty);
+    a.li(A0, static_cast<int64_t>(p.queryLen));
+    a.li(A1, static_cast<int64_t>(p.dbLen));
+    a.li(S9, p.iters);
+
+    a.label("iter");
+    a.li(S2, static_cast<int64_t>(prevRow));
+    a.li(S3, static_cast<int64_t>(curRow));
+
+    // Zero the previous row (local alignment boundary condition).
+    a.li(T0, 0);
+    a.label("zero");
+    a.shli(T1, T0, 3);
+    a.add(T1, S2, T1);
+    a.sd(Zero, T1, 0);
+    a.addi(T0, T0, 1);
+    a.bge(A1, T0, "zero");
+
+    a.li(S4, 0);                        // i = 0
+    a.label("row");
+    a.li(S0, static_cast<int64_t>(seqA));
+    a.add(T1, S0, S4);
+    a.lbu(S5, T1, 0);                   // a[i]
+    a.sd(Zero, S3, 0);                  // cur[0] = 0
+    a.li(S1, static_cast<int64_t>(seqB));
+    a.li(T0, 0);                        // j = 0
+
+    a.label("cell");
+    a.add(T1, S1, T0);
+    a.lbu(T1, T1, 0);                   // b[j]
+    a.shli(T2, T0, 3);
+    a.add(T3, S2, T2);
+    a.ld(T4, T3, 0);                    // diag = prev[j]
+    a.ld(T5, T3, 8);                    // up = prev[j+1]
+    a.add(T3, S3, T2);
+    a.ld(T6, T3, 0);                    // left = cur[j]
+
+    // Data-dependent substitution score.
+    const std::string mismatch = a.newLabel("mm");
+    const std::string scored = a.newLabel("sc");
+    a.bne(S5, T1, mismatch);
+    a.add(T4, T4, S6);                  // diag + match
+    a.j(scored);
+    a.label(mismatch);
+    a.add(T4, T4, S7);                  // diag + mismatch
+    a.label(scored);
+
+    a.add(T5, T5, S8);                  // up + gap
+    a.add(T6, T6, S8);                  // left + gap
+    const std::string skipUp = a.newLabel("su");
+    a.bge(T4, T5, skipUp);
+    a.mv(T4, T5);
+    a.label(skipUp);
+    const std::string skipLeft = a.newLabel("sl");
+    a.bge(T4, T6, skipLeft);
+    a.mv(T4, T6);
+    a.label(skipLeft);
+    const std::string clamped = a.newLabel("cl");
+    a.bge(T4, Zero, clamped);
+    a.li(T4, 0);                        // local alignment floor
+    a.label(clamped);
+
+    a.add(T3, S3, T2);
+    a.sd(T4, T3, 8);                    // cur[j+1] = v
+
+    a.addi(T0, T0, 1);
+    a.blt(T0, A1, "cell");
+
+    // Swap row buffers for the next query residue.
+    a.mv(T1, S2);
+    a.mv(S2, S3);
+    a.mv(S3, T1);
+
+    a.addi(S4, S4, 1);
+    a.blt(S4, A0, "row");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+kmerScan(const KmerScanParams &p)
+{
+    Assembler a("kmerScan");
+
+    const uint64_t db = a.dataU8(randomBytes(p.dbBytes, 0, p.seed));
+    const uint64_t query = a.dataU8(randomBytes(p.queryBytes, 0,
+                                                p.seed * 3 + 1));
+    // The index dominates the data working set; it starts zeroed and is
+    // bumped on every probe, so probes also generate far-apart stores.
+    const uint64_t table = a.reserveLazy(p.tableBytes);
+    const uint64_t tableMask = (p.tableBytes - 1) & ~7ull;
+    const uint64_t extendMask = (1ull << p.extendThresholdBits) - 1;
+
+    // Register map:
+    //   S0 db, S1 table, S2 rolling hash, S3 pos, S4 best score
+    //   S5 query, S6 extendMask, S7 dbBytes, S8 queryBytes, S9 iters
+    //   T0..T7 temps.
+    a.li(S9, p.iters);
+    a.li(S7, static_cast<int64_t>(p.dbBytes));
+    a.li(S8, static_cast<int64_t>(p.queryBytes));
+    a.li(S6, static_cast<int64_t>(extendMask));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(db));
+    a.li(S1, static_cast<int64_t>(table));
+    a.li(S5, static_cast<int64_t>(query));
+    a.li(S2, static_cast<int64_t>(p.seed | 1));
+    a.li(S3, 0);
+    a.li(S4, 0);
+
+    a.label("scan");
+    a.add(T0, S0, S3);
+    a.lbu(T0, T0, 0);                   // next database byte
+    a.shli(T1, S2, 5);
+    a.shri(T2, S2, 3);
+    a.xor_(S2, T1, T2);
+    a.xor_(S2, S2, T0);                 // roll the hash
+
+    a.muli(T1, S2, 0x2545f4914f6cdd1dll);   // mix
+    a.li(T2, static_cast<int64_t>(tableMask));
+    a.and_(T1, T1, T2);
+    a.add(T1, S1, T1);
+    a.ld(T3, T1, 0);                    // index probe (random page)
+    a.addi(T3, T3, 1);
+    a.sd(T3, T1, 0);                    // bump the bucket
+
+    // Rare, hash-gated seed extension: compare query to db from pos.
+    const std::string noExtend = a.newLabel("ne");
+    a.and_(T2, S2, S6);
+    a.bnez(T2, noExtend);
+
+    a.li(T4, 0);                        // k = 0
+    a.sub(T5, S7, S3);                  // remaining db bytes
+    const std::string extDone = a.newLabel("xd");
+    const std::string extLoop = a.newLabel("xl");
+    a.label(extLoop);
+    a.bge(T4, S8, extDone);
+    a.bge(T4, T5, extDone);
+    a.add(T6, S5, T4);
+    a.lbu(T6, T6, 0);                   // query[k]
+    a.add(T7, S0, S3);
+    a.add(T7, T7, T4);
+    a.lbu(T7, T7, 0);                   // db[pos + k]
+    a.bne(T6, T7, extDone);
+    a.addi(T4, T4, 1);
+    a.j(extLoop);
+    a.label(extDone);
+    const std::string noBest = a.newLabel("nb");
+    a.bge(S4, T4, noBest);
+    a.mv(S4, T4);                       // new best extension length
+    a.label(noBest);
+    a.label(noExtend);
+
+    a.addi(S3, S3, 1);
+    a.blt(S3, S7, "scan");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+hmmViterbi(const HmmViterbiParams &p)
+{
+    Assembler a("hmmViterbi");
+
+    const size_t states = p.states;
+    const uint64_t obs = a.dataU8(randomBytes(p.seqLen, p.alphabet,
+                                              p.seed));
+    const uint64_t emit = a.dataF64(randomDoubles(p.alphabet * states,
+                                                  -4.0, 0.0,
+                                                  p.seed * 5 + 1));
+    const uint64_t prevM = a.reserve((states + 1) * 8);
+    const uint64_t curM = a.reserve((states + 1) * 8);
+    const uint64_t prevI = a.reserve((states + 1) * 8);
+    const uint64_t counts = a.reserve(states * 8);
+
+    // FP register map: f0 m-path, f1 i-path, f2/f3 temps,
+    //   f4 tMM, f5 tIM, f6 tMI, f7 tII (log transition scores).
+    // Int: S0 obs, S1 (unused), S2 prevM, S3 curM, S4 prevI, S5 t,
+    //   S6 states, S7 seqLen, S8 emit row base, S9 iters, T0 j.
+    a.li(S9, p.iters);
+    a.li(S6, static_cast<int64_t>(states));
+    a.li(S7, static_cast<int64_t>(p.seqLen));
+
+    fimm(a, 4, -0.1);   // tMM
+    fimm(a, 5, -1.5);   // tIM
+    fimm(a, 6, -2.0);   // tMI
+    fimm(a, 7, -0.4);   // tII
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(obs));
+    a.li(S2, static_cast<int64_t>(prevM));
+    a.li(S3, static_cast<int64_t>(curM));
+    a.li(S4, static_cast<int64_t>(prevI));
+    a.li(S5, 0);                        // t = 0
+
+    a.label("obsloop");
+    a.add(T1, S0, S5);
+    a.lbu(T1, T1, 0);                   // observation symbol
+    a.li(T2, static_cast<int64_t>(states * 8));
+    a.mul(T1, T1, T2);
+    a.li(S8, static_cast<int64_t>(emit));
+    a.add(S8, S8, T1);                  // emission row for this symbol
+
+    a.li(T0, 0);                        // j = 0
+    a.label("state");
+    a.shli(T2, T0, 3);
+
+    a.add(T3, S2, T2);
+    a.fld(0, T3, 0);                    // prevM[j]
+    a.fadd(0, 0, 4);                    // + tMM
+    a.add(T4, S4, T2);
+    a.fld(2, T4, 0);                    // prevI[j]
+    a.fadd(2, 2, 5);                    // + tIM
+    a.fmax(0, 0, 2);                    // best entry into M
+
+    a.add(T5, S8, T2);
+    a.fld(3, T5, 0);                    // emit[sym][j]
+    a.fadd(0, 0, 3);
+    a.add(T6, S3, T2);
+    a.fsd(0, T6, 8);                    // curM[j+1]
+
+    a.fld(1, T3, 8);                    // prevM[j+1]
+    a.fadd(1, 1, 6);                    // + tMI
+    a.fld(2, T4, 8);                    // prevI[j+1]
+    a.fadd(2, 2, 7);                    // + tII
+    a.fmax(1, 1, 2);
+    a.fsd(1, T4, 8);                    // prevI[j+1] updated in place
+
+    a.addi(T0, T0, 1);
+    a.blt(T0, S6, "state");
+
+    // Swap the M bands.
+    a.mv(T1, S2);
+    a.mv(S2, S3);
+    a.mv(S3, T1);
+
+    a.addi(S5, S5, 1);
+    a.blt(S5, S7, "obsloop");
+
+    if (p.trainingPass) {
+        // Count-update pass: accumulate per-state usage estimates.
+        a.li(T0, 0);
+        a.li(T3, static_cast<int64_t>(counts));
+        const std::string train = a.newLabel("tr");
+        a.label(train);
+        a.shli(T2, T0, 3);
+        a.add(T4, S2, T2);
+        a.ld(T5, T4, 0);
+        a.add(T6, T3, T2);
+        a.ld(T7, T6, 0);
+        a.add(T7, T7, T5);
+        a.sd(T7, T6, 0);
+        a.addi(T0, T0, 1);
+        a.blt(T0, S6, train);
+    }
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+phyloKernel(const PhyloParams &p)
+{
+    Assembler a("phylo");
+
+    const size_t leaves = p.taxa;
+    const size_t internal = leaves - 1;
+    const size_t nodes = leaves + internal;
+
+    // Random binary tree in postorder: children of internal node k are
+    // indices of earlier nodes (leaves or previously created parents).
+    std::vector<uint64_t> child1(internal), child2(internal);
+    {
+        std::vector<uint64_t> avail(leaves);
+        for (size_t i = 0; i < leaves; ++i)
+            avail[i] = i;
+        HostRng rng(p.seed);
+        for (size_t k = 0; k < internal; ++k) {
+            const size_t i = rng.bounded(avail.size());
+            child1[k] = avail[i];
+            avail.erase(avail.begin() + static_cast<long>(i));
+            const size_t j = rng.bounded(avail.size());
+            child2[k] = avail[j];
+            avail[j] = leaves + k;      // replace with the new parent
+        }
+    }
+
+    const uint64_t c1 = a.dataU64(child1);
+    const uint64_t c2 = a.dataU64(child2);
+    const uint64_t align = a.dataU8(randomBytes(leaves * p.sites, 4,
+                                                p.seed * 11 + 3));
+
+    if (p.parsimony) {
+        // Fitch parsimony: per site, sets are 4-bit masks; an empty
+        // intersection forces a union plus one mutation (data-dependent
+        // branch, the source of this kernel's misprediction profile).
+        const uint64_t sets = a.reserve(nodes * 8);
+
+        // S0 c1, S1 c2, S2 sets, S3 align, S4 site, S5 cost,
+        // S6 sites, S7 leaves, S8 internal, S9 iters.
+        a.li(S9, p.iters);
+        a.li(S6, static_cast<int64_t>(p.sites));
+        a.li(S7, static_cast<int64_t>(leaves));
+        a.li(S8, static_cast<int64_t>(internal));
+
+        a.label("iter");
+        a.li(S0, static_cast<int64_t>(c1));
+        a.li(S1, static_cast<int64_t>(c2));
+        a.li(S2, static_cast<int64_t>(sets));
+        a.li(S3, static_cast<int64_t>(align));
+        a.li(S4, 0);
+        a.li(S5, 0);
+
+        a.label("site");
+        // Initialize leaf sets: set[i] = 1 << residue.
+        a.li(T0, 0);
+        a.mul(T1, S4, S7);
+        a.add(T1, S3, T1);              // &align[site * leaves]
+        a.label("leaf");
+        a.add(T2, T1, T0);
+        a.lbu(T2, T2, 0);
+        a.li(T3, 1);
+        a.shl(T3, T3, T2);              // 1 << residue
+        a.shli(T4, T0, 3);
+        a.add(T4, S2, T4);
+        a.sd(T3, T4, 0);
+        a.addi(T0, T0, 1);
+        a.blt(T0, S7, "leaf");
+
+        // Internal nodes in postorder.
+        a.li(T0, 0);
+        a.label("node");
+        a.shli(T1, T0, 3);
+        a.add(T2, S0, T1);
+        a.ld(T2, T2, 0);                // child1 index
+        a.add(T3, S1, T1);
+        a.ld(T3, T3, 0);                // child2 index
+        a.shli(T2, T2, 3);
+        a.add(T2, S2, T2);
+        a.ld(T4, T2, 0);                // set[c1]
+        a.shli(T3, T3, 3);
+        a.add(T3, S2, T3);
+        a.ld(T5, T3, 0);                // set[c2]
+        a.and_(T6, T4, T5);
+        const std::string haveInter = a.newLabel("hi");
+        a.bnez(T6, haveInter);
+        a.or_(T6, T4, T5);              // union on empty intersection
+        a.addi(S5, S5, 1);              // one mutation
+        a.label(haveInter);
+        a.add(T7, S7, T0);
+        a.shli(T7, T7, 3);
+        a.add(T7, S2, T7);
+        a.sd(T6, T7, 0);                // set[leaves + k]
+        a.addi(T0, T0, 1);
+        a.blt(T0, S8, "node");
+
+        a.addi(S4, S4, 1);
+        a.blt(S4, S6, "site");
+
+        a.addi(S9, S9, -1);
+        a.bnez(S9, "iter");
+        a.halt();
+        return a.finish();
+    }
+
+    // Maximum likelihood: 4-state conditional likelihood vectors
+    // combined through a dense 4x4 substitution matrix.
+    const uint64_t like = a.reserve(nodes * 4 * 8);
+    const uint64_t pmat = a.dataF64(randomDoubles(16, 0.05, 0.95,
+                                                  p.seed * 13 + 5));
+
+    // S0 c1, S1 c2, S2 like, S3 align, S4 site, S5 pmat,
+    // S6 sites, S7 leaves, S8 internal, S9 iters.
+    a.li(S9, p.iters);
+    a.li(S6, static_cast<int64_t>(p.sites));
+    a.li(S7, static_cast<int64_t>(leaves));
+    a.li(S8, static_cast<int64_t>(internal));
+    a.li(S5, static_cast<int64_t>(pmat));
+
+    fimm(a, 6, 1.0);
+    fimm(a, 7, 0.05);
+
+    a.label("iter");
+    a.li(S4, 0);
+
+    a.label("site");
+    a.li(S0, static_cast<int64_t>(c1));
+    a.li(S1, static_cast<int64_t>(c2));
+    a.li(S2, static_cast<int64_t>(like));
+    a.li(S3, static_cast<int64_t>(align));
+
+    // Leaf init: likelihood 1.0 at the observed residue, 0.05 elsewhere.
+    a.li(T0, 0);
+    a.mul(T1, S4, S7);
+    a.add(T1, S3, T1);
+    a.label("leaf");
+    a.add(T2, T1, T0);
+    a.lbu(T2, T2, 0);                   // residue 0..3
+    a.shli(T3, T0, 5);                  // node stride = 4 doubles
+    a.add(T3, S2, T3);
+    a.fsd(7, T3, 0);
+    a.fsd(7, T3, 8);
+    a.fsd(7, T3, 16);
+    a.fsd(7, T3, 24);
+    a.shli(T2, T2, 3);
+    a.add(T2, T3, T2);
+    a.fsd(6, T2, 0);                    // the observed state
+    a.addi(T0, T0, 1);
+    a.blt(T0, S7, "leaf");
+
+    // Internal nodes: L[n][x] = (P[x].L[c1]) * (P[x].L[c2]).
+    a.li(T0, 0);
+    a.label("node");
+    a.shli(T1, T0, 3);
+    a.add(T2, S0, T1);
+    a.ld(T2, T2, 0);
+    a.add(T3, S1, T1);
+    a.ld(T3, T3, 0);
+    a.shli(T2, T2, 5);
+    a.add(T2, S2, T2);                  // &L[c1]
+    a.shli(T3, T3, 5);
+    a.add(T3, S2, T3);                  // &L[c2]
+    a.add(T4, S7, T0);
+    a.shli(T4, T4, 5);
+    a.add(T4, S2, T4);                  // &L[parent]
+
+    for (int x = 0; x < 4; ++x) {
+        // Dot products against substitution-matrix row x.
+        a.fld(0, S5, x * 32 + 0);
+        a.fld(1, T2, 0);
+        a.fmul(2, 0, 1);                // acc over child 1
+        a.fld(1, T3, 0);
+        a.fmul(3, 0, 1);                // acc over child 2
+        for (int y = 1; y < 4; ++y) {
+            a.fld(0, S5, x * 32 + y * 8);
+            a.fld(1, T2, y * 8);
+            a.fmul(4, 0, 1);
+            a.fadd(2, 2, 4);
+            a.fld(1, T3, y * 8);
+            a.fmul(4, 0, 1);
+            a.fadd(3, 3, 4);
+        }
+        a.fmul(2, 2, 3);
+        a.fsd(2, T4, x * 8);
+    }
+
+    a.addi(T0, T0, 1);
+    a.blt(T0, S8, "node");
+
+    a.addi(S4, S4, 1);
+    a.blt(S4, S6, "site");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace mica::workloads::kernels

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Biometrics kernel builders: dense linear algebra (subspace projection
+ * and training), covariance accumulation, image normalization, and GMM
+ * scoring. These substitute the BioMetricsWorkload programs (csu face
+ * recognition, speak speaker verification): floating-point dominated,
+ * highly regular strides, large dense operands.
+ */
+
+#include "workloads/kernel_lib.hh"
+
+#include <cstring>
+
+#include "isa/assembler.hh"
+
+namespace mica::workloads::kernels
+{
+
+using namespace isa;
+using namespace isa::reg;
+
+namespace
+{
+
+/** Load a double constant into FP register fr through a stack slot. */
+void
+fimm(Assembler &a, uint8_t fr, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    a.li(T9, static_cast<int64_t>(bits));
+    a.sd(T9, Sp, -8);
+    a.fld(fr, Sp, -8);
+}
+
+} // namespace
+
+isa::Program
+matVec(const MatVecParams &p)
+{
+    Assembler a("matVec");
+
+    const uint64_t mat = a.dataF64(randomDoubles(p.rows * p.cols,
+                                                 -1.0, 1.0, p.seed));
+    const uint64_t vec = a.dataF64(randomDoubles(p.cols, -1.0, 1.0,
+                                                 p.seed * 3 + 1));
+    const uint64_t out = a.reserve(p.rows * 8);
+    const unsigned unroll = p.unroll ? p.unroll : 1;
+    const size_t colsRounded = p.cols - p.cols % unroll;
+
+    // S0 matrix row ptr, S1 vec, S2 out, S3 row, S4 rows, S5 cols,
+    // S6 rounded cols, S9 iters; T0 col; f0..f3 accumulators.
+    a.li(S9, p.iters);
+    a.li(S4, static_cast<int64_t>(p.rows));
+    a.li(S5, static_cast<int64_t>(p.cols));
+    a.li(S6, static_cast<int64_t>(colsRounded));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(mat));
+    a.li(S2, static_cast<int64_t>(out));
+    a.li(S3, 0);                        // row = 0
+
+    a.label("row");
+    a.li(S1, static_cast<int64_t>(vec));
+    // Independent accumulators break the add chain: this is what gives
+    // the biometrics kernels their high inherent ILP.
+    for (unsigned u = 0; u < unroll && u < 4; ++u)
+        fimm(a, static_cast<uint8_t>(u), 0.0);
+    a.li(T0, 0);
+
+    a.label("dot");
+    for (unsigned u = 0; u < unroll && u < 4; ++u) {
+        a.fld(4, S0, static_cast<int64_t>(8 * u));
+        a.fld(5, S1, static_cast<int64_t>(8 * u));
+        a.fmul(6, 4, 5);
+        a.fadd(static_cast<uint8_t>(u), static_cast<uint8_t>(u), 6);
+    }
+    a.addi(S0, S0, 8 * unroll);
+    a.addi(S1, S1, 8 * unroll);
+    a.addi(T0, T0, unroll);
+    a.blt(T0, S6, "dot");
+
+    // Reduce the accumulators and handle the remainder columns.
+    for (unsigned u = 1; u < unroll && u < 4; ++u)
+        a.fadd(0, 0, static_cast<uint8_t>(u));
+    const std::string tail = a.newLabel("tail");
+    const std::string tailDone = a.newLabel("td");
+    a.label(tail);
+    a.bge(T0, S5, tailDone);
+    a.fld(4, S0, 0);
+    a.fld(5, S1, 0);
+    a.fmul(6, 4, 5);
+    a.fadd(0, 0, 6);
+    a.addi(S0, S0, 8);
+    a.addi(S1, S1, 8);
+    a.addi(T0, T0, 1);
+    a.j(tail);
+    a.label(tailDone);
+
+    a.shli(T1, S3, 3);
+    a.add(T1, S2, T1);
+    a.fsd(0, T1, 0);                    // out[row]
+
+    a.addi(S3, S3, 1);
+    a.blt(S3, S4, "row");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+covarianceUpdate(const CovarianceParams &p)
+{
+    Assembler a("covariance");
+
+    const uint64_t samples = a.dataF64(randomDoubles(p.samples * p.dim,
+                                                     -1.0, 1.0, p.seed));
+    const uint64_t cov = a.reserve(p.dim * p.dim * 8);
+
+    // S0 sample base, S1 cov, S2 sample idx, S3 i, S4 j,
+    // S5 dim, S6 samples, S7 &x[i] row temp, S9 iters; f0 x[i], f1 x[j].
+    a.li(S9, p.iters);
+    a.li(S5, static_cast<int64_t>(p.dim));
+    a.li(S6, static_cast<int64_t>(p.samples));
+
+    a.label("iter");
+    a.li(S2, 0);
+
+    a.label("sample");
+    a.li(S0, static_cast<int64_t>(samples));
+    a.mul(T0, S2, S5);
+    a.shli(T0, T0, 3);
+    a.add(S0, S0, T0);                  // &x[0] of this sample
+
+    a.li(S3, 0);                        // i
+    a.label("rowloop");
+    a.shli(T1, S3, 3);
+    a.add(S7, S0, T1);
+    a.fld(0, S7, 0);                    // x[i]
+    // Upper-triangular accumulate: cov[i][j] += x[i] * x[j], j >= i.
+    a.li(S1, static_cast<int64_t>(cov));
+    a.mul(T2, S3, S5);
+    a.add(T2, T2, S3);
+    a.shli(T2, T2, 3);
+    a.add(S1, S1, T2);                  // &cov[i][i]
+    a.add(T3, S0, T1);                  // &x[i]
+    a.mv(S4, S3);                       // j = i
+
+    a.label("colloop");
+    a.fld(1, T3, 0);                    // x[j]
+    a.fmul(2, 0, 1);
+    a.fld(3, S1, 0);
+    a.fadd(3, 3, 2);
+    a.fsd(3, S1, 0);
+    a.addi(S1, S1, 8);
+    a.addi(T3, T3, 8);
+    a.addi(S4, S4, 1);
+    a.blt(S4, S5, "colloop");
+
+    a.addi(S3, S3, 1);
+    a.blt(S3, S5, "rowloop");
+
+    a.addi(S2, S2, 1);
+    a.blt(S2, S6, "sample");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+imageNormalize(const ImageNormalizeParams &p)
+{
+    Assembler a("imageNormalize");
+
+    const uint64_t img = a.dataU8(randomBytes(p.pixels, 0, p.seed));
+    const uint64_t out = a.reserve(p.pixels * 8);
+
+    // Pass 1 computes the integer pixel sum; pass 2 subtracts the mean
+    // and scales — a streaming byte-in/double-out pipeline.
+    // S0 img, S1 out, S2 i, S3 pixels, S4 sum, S9 iters; f0 mean,
+    // f1 scale, f2 pixel.
+    a.li(S9, p.iters);
+    a.li(S3, static_cast<int64_t>(p.pixels));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(img));
+    a.li(S4, 0);
+    a.li(S2, 0);
+    a.label("sum");
+    a.add(T0, S0, S2);
+    a.lbu(T1, T0, 0);
+    a.add(S4, S4, T1);
+    a.addi(S2, S2, 1);
+    a.blt(S2, S3, "sum");
+
+    a.itof(0, S4);
+    a.itof(1, S3);
+    a.fdiv(0, 0, 1);                    // mean
+    fimm(a, 1, 1.0 / 128.0);            // scale
+
+    a.li(S1, static_cast<int64_t>(out));
+    a.li(S2, 0);
+    a.label("norm");
+    a.add(T0, S0, S2);
+    a.lbu(T1, T0, 0);
+    a.itof(2, T1);
+    a.fsub(2, 2, 0);
+    a.fmul(2, 2, 1);
+    a.shli(T2, S2, 3);
+    a.add(T2, S1, T2);
+    a.fsd(2, T2, 0);
+    a.addi(S2, S2, 1);
+    a.blt(S2, S3, "norm");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+gmmDecode(const GmmDecodeParams &p)
+{
+    Assembler a("gmmDecode");
+
+    const uint64_t feats = a.dataF64(randomDoubles(p.frames * p.dim,
+                                                   -2.0, 2.0, p.seed));
+    const uint64_t means = a.dataF64(randomDoubles(p.mixtures * p.dim,
+                                                   -2.0, 2.0,
+                                                   p.seed * 3 + 1));
+    const uint64_t precs = a.dataF64(randomDoubles(p.mixtures * p.dim,
+                                                   0.1, 2.0,
+                                                   p.seed * 5 + 2));
+    const uint64_t scores = a.reserve(p.frames * 8);
+
+    // S0 frame ptr, S1 mean ptr, S2 prec ptr, S3 frame, S4 mix, S5 d,
+    // S6 dim, S7 mixtures, S8 frames, S9 iters;
+    // f0 acc, f1 x, f2 mu, f3 pr, f4 diff, f5 best.
+    a.li(S9, p.iters);
+    a.li(S6, static_cast<int64_t>(p.dim));
+    a.li(S7, static_cast<int64_t>(p.mixtures));
+    a.li(S8, static_cast<int64_t>(p.frames));
+
+    a.label("iter");
+    a.li(S3, 0);
+
+    a.label("frame");
+    fimm(a, 5, -1.0e30);                // best = -inf
+    a.li(S4, 0);
+
+    a.label("mix");
+    a.li(S0, static_cast<int64_t>(feats));
+    a.mul(T0, S3, S6);
+    a.shli(T0, T0, 3);
+    a.add(S0, S0, T0);
+    a.li(S1, static_cast<int64_t>(means));
+    a.mul(T1, S4, S6);
+    a.shli(T1, T1, 3);
+    a.add(S1, S1, T1);
+    a.li(S2, static_cast<int64_t>(precs));
+    a.add(S2, S2, T1);
+
+    fimm(a, 0, 0.0);                    // acc = 0
+    a.li(S5, 0);
+    a.label("dim");
+    a.fld(1, S0, 0);
+    a.fld(2, S1, 0);
+    a.fld(3, S2, 0);
+    a.fsub(4, 1, 2);                    // x - mu
+    a.fmul(4, 4, 4);                    // squared
+    a.fmul(4, 4, 3);                    // * precision
+    a.fadd(0, 0, 4);
+    a.addi(S0, S0, 8);
+    a.addi(S1, S1, 8);
+    a.addi(S2, S2, 8);
+    a.addi(S5, S5, 1);
+    a.blt(S5, S6, "dim");
+
+    a.fneg(0, 0);                       // log-likelihood ~ -distance
+    a.fmax(5, 5, 0);                    // running best mixture
+
+    a.addi(S4, S4, 1);
+    a.blt(S4, S7, "mix");
+
+    a.li(T2, static_cast<int64_t>(scores));
+    a.shli(T3, S3, 3);
+    a.add(T2, T2, T3);
+    a.fsd(5, T2, 0);
+
+    a.addi(S3, S3, 1);
+    a.blt(S3, S8, "frame");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+denseMatMul(const MatMulParams &p)
+{
+    Assembler a("denseMatMul");
+
+    const size_t n = p.n;
+    const uint64_t matA = a.dataF64(randomDoubles(n * n, -1.0, 1.0,
+                                                  p.seed));
+    const uint64_t matB = a.dataF64(randomDoubles(n * n, -1.0, 1.0,
+                                                  p.seed * 3 + 1));
+    const uint64_t matC = a.reserve(n * n * 8);
+
+    // i-k-j loop order: the inner loop streams a row of B and a row of
+    // C with unit stride while a[i][k] stays in a register.
+    // S0 &a[i][k], S1 &b[k][0], S2 &c[i][0], S3 i, S4 k, S5 j,
+    // S6 n, S9 iters; f0 a[i][k], f1 b, f2 c.
+    a.li(S9, p.iters);
+    a.li(S6, static_cast<int64_t>(n));
+
+    a.label("iter");
+    a.li(S3, 0);
+
+    a.label("iloop");
+    a.li(S4, 0);
+
+    a.label("kloop");
+    a.li(S0, static_cast<int64_t>(matA));
+    a.mul(T0, S3, S6);
+    a.add(T0, T0, S4);
+    a.shli(T0, T0, 3);
+    a.add(S0, S0, T0);
+    a.fld(0, S0, 0);                    // a[i][k]
+
+    a.li(S1, static_cast<int64_t>(matB));
+    a.mul(T1, S4, S6);
+    a.shli(T1, T1, 3);
+    a.add(S1, S1, T1);                  // &b[k][0]
+
+    a.li(S2, static_cast<int64_t>(matC));
+    a.mul(T2, S3, S6);
+    a.shli(T2, T2, 3);
+    a.add(S2, S2, T2);                  // &c[i][0]
+
+    a.li(S5, 0);
+    a.label("jloop");
+    a.fld(1, S1, 0);
+    a.fmul(1, 0, 1);
+    a.fld(2, S2, 0);
+    a.fadd(2, 2, 1);
+    a.fsd(2, S2, 0);
+    a.addi(S1, S1, 8);
+    a.addi(S2, S2, 8);
+    a.addi(S5, S5, 1);
+    a.blt(S5, S6, "jloop");
+
+    a.addi(S4, S4, 1);
+    a.blt(S4, S6, "kloop");
+
+    a.addi(S3, S3, 1);
+    a.blt(S3, S6, "iloop");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace mica::workloads::kernels

@@ -1,0 +1,760 @@
+/**
+ * @file
+ * Telecommunication kernel builders substituting CommBench: block
+ * cipher, DRR packet scheduling, IP fragmentation, JPEG-style DCT,
+ * Reed-Solomon coding, radix-trie route lookup, checksumming, and LZ77.
+ *
+ * CommBench programs are small header/payload kernels: tiny instruction
+ * working sets, table-driven data access, and (for the payload codecs)
+ * tight serial dependence chains.
+ */
+
+#include "workloads/kernel_lib.hh"
+
+#include "isa/assembler.hh"
+
+namespace mica::workloads::kernels
+{
+
+using namespace isa;
+using namespace isa::reg;
+
+isa::Program
+blockCipher(const BlockCipherParams &p)
+{
+    Assembler a("blockCipher");
+
+    const uint64_t buf = a.dataU8(randomBytes(p.bufBytes, 0, p.seed));
+    const uint64_t sbox = a.dataU8(randomBytes(256, 0, p.seed * 3 + 1));
+    std::vector<uint64_t> keys(8);
+    HostRng rng(p.seed * 5 + 2);
+    for (auto &k : keys)
+        k = rng.next();
+    const uint64_t keyArr = a.dataU64(keys);
+
+    // S0 buf ptr, S1 sbox, S2 keys, S3 word idx, S4 words, S5 L,
+    // S6 R, S7 round, S8 rounds, S9 iters; T0..T5 temps.
+    const size_t words = p.bufBytes / 8;
+    a.li(S9, p.iters);
+    a.li(S4, static_cast<int64_t>(words));
+    a.li(S8, p.rounds);
+    a.li(S1, static_cast<int64_t>(sbox));
+    a.li(S2, static_cast<int64_t>(keyArr));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(buf));
+    a.li(S3, 0);
+
+    a.label("block");
+    a.ld(T0, S0, 0);                    // 64-bit block
+    a.shri(S5, T0, 32);                 // L
+    a.li(T1, 0xffffffff);
+    a.and_(S6, T0, T1);                 // R
+
+    a.li(S7, 0);
+    a.label("round");
+    // Round function: key mix, S-box substitution, diffusion shifts.
+    a.andi(T0, S7, 7);
+    a.shli(T0, T0, 3);
+    a.add(T0, S2, T0);
+    a.ld(T1, T0, 0);                    // round key
+    a.xor_(T2, S6, T1);
+    a.andi(T3, T2, 0xff);
+    a.add(T3, S1, T3);
+    a.lbu(T3, T3, 0);                   // sbox[(R ^ k) & 0xff]
+    a.shri(T4, T2, 8);
+    a.andi(T4, T4, 0xff);
+    a.add(T4, S1, T4);
+    a.lbu(T4, T4, 0);
+    a.shli(T4, T4, 8);
+    a.or_(T3, T3, T4);
+    a.shli(T5, S6, 3);
+    a.xor_(T3, T3, T5);
+    a.shri(T5, S6, 5);
+    a.xor_(T3, T3, T5);                 // f(R, k)
+    // Feistel swap (decrypt runs the identical structure; the paper's
+    // cipher kernels differ only in key schedule direction).
+    a.mv(T5, S6);
+    a.xor_(S6, S5, T3);
+    a.mv(S5, T5);
+    a.addi(S7, S7, p.decrypt ? 2 : 1);
+    a.blt(S7, S8, "round");
+
+    a.shli(T0, S5, 32);
+    a.li(T1, 0xffffffff);
+    a.and_(T2, S6, T1);
+    a.or_(T0, T0, T2);
+    a.sd(T0, S0, 0);                    // write the block back
+
+    a.addi(S0, S0, 8);
+    a.addi(S3, S3, 1);
+    a.blt(S3, S4, "block");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+queueScheduler(const QueueSchedParams &p)
+{
+    Assembler a("queueScheduler");
+
+    // Packet nodes: 16 bytes {next, len}; per-queue circular lists.
+    // Queue table: 16 bytes {head, deficit}.
+    HostRng rng(p.seed);
+    const size_t numPkts = p.numQueues * p.pktsPerQueue;
+    std::vector<uint64_t> nodes(numPkts * 2);
+    const uint64_t nodesBase = Program::kDataBase;  // allocated first
+    for (size_t q = 0; q < p.numQueues; ++q) {
+        for (size_t i = 0; i < p.pktsPerQueue; ++i) {
+            const size_t idx = q * p.pktsPerQueue + i;
+            const size_t nxt = q * p.pktsPerQueue +
+                (i + 1) % p.pktsPerQueue;
+            nodes[idx * 2] = nodesBase + nxt * 16;
+            nodes[idx * 2 + 1] = 64 + rng.bounded(1400);    // pkt len
+        }
+    }
+    const uint64_t nodesAddr = a.dataU64(nodes);
+    (void)nodesAddr;    // == nodesBase by construction
+
+    std::vector<uint64_t> queues(p.numQueues * 2);
+    for (size_t q = 0; q < p.numQueues; ++q) {
+        queues[q * 2] = nodesBase + q * p.pktsPerQueue * 16;
+        queues[q * 2 + 1] = 0;
+    }
+    const uint64_t queueTable = a.dataU64(queues);
+
+    // S0 queue table, S1 q, S2 numQueues, S3 deficit, S4 head,
+    // S5 quantum, S6 served count, S7 &queue[q], S9 rounds.
+    a.li(S9, static_cast<int64_t>(p.iters * p.numQueues));
+    a.li(S0, static_cast<int64_t>(queueTable));
+    a.li(S2, static_cast<int64_t>(p.numQueues));
+    a.li(S5, p.quantum);
+    a.li(S1, 0);
+    a.li(S6, 0);
+
+    a.label("round");
+    a.shli(T0, S1, 4);
+    a.add(S7, S0, T0);                  // &queue[q]
+    a.ld(S4, S7, 0);                    // head
+    a.ld(S3, S7, 8);                    // deficit
+    a.add(S3, S3, S5);                  // deficit += quantum
+
+    a.label("serve");
+    a.ld(T1, S4, 8);                    // pkt len
+    a.blt(S3, T1, "deq_done");          // data-dependent: can we send?
+    a.sub(S3, S3, T1);
+    a.ld(S4, S4, 0);                    // head = head->next
+    a.addi(S6, S6, 1);
+    a.j("serve");
+    a.label("deq_done");
+
+    a.sd(S4, S7, 0);
+    a.sd(S3, S7, 8);
+
+    a.addi(S1, S1, 1);
+    a.blt(S1, S2, "no_wrap");
+    a.li(S1, 0);
+    a.label("no_wrap");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "round");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+packetFrag(const PacketFragParams &p)
+{
+    Assembler a("packetFrag");
+
+    const uint64_t pkt = a.dataU8(randomBytes(p.pktBytes, 0, p.seed));
+    const size_t numFrags = (p.pktBytes + p.mtu - 1) / p.mtu;
+    const uint64_t out = a.reserve((p.mtu + 32) * numFrags + 64);
+
+    // S0 src, S1 dst, S2 remaining, S3 frag size, S4 offset, S5 id,
+    // S6 mtu, S9 iters; T0..T3 temps.
+    a.li(S9, p.iters);
+    a.li(S6, static_cast<int64_t>(p.mtu));
+    a.li(S5, 0x4242);
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(pkt));
+    a.li(S1, static_cast<int64_t>(out));
+    a.li(S2, static_cast<int64_t>(p.pktBytes));
+    a.li(S4, 0);
+
+    a.label("frag");
+    a.mv(S3, S6);                       // frag = mtu
+    a.bge(S2, S3, "size_ok");
+    a.mv(S3, S2);                       // last fragment
+    a.label("size_ok");
+
+    // Fragment header: id, offset, flags+length.
+    a.sw(S5, S1, 0);
+    a.sw(S4, S1, 4);
+    a.sw(S3, S1, 8);
+    a.addi(S1, S1, 16);
+
+    // Payload copy, 8 bytes at a time (fragment sizes are 8-aligned
+    // except possibly the tail, which the word copy rounds up over).
+    a.addi(T0, S3, 7);
+    a.sari(T0, T0, 3);                  // words to copy
+    a.label("copy");
+    a.ld(T1, S0, 0);
+    a.sd(T1, S1, 0);
+    a.addi(S0, S0, 8);
+    a.addi(S1, S1, 8);
+    a.addi(T0, T0, -1);
+    a.bnez(T0, "copy");
+
+    a.add(S4, S4, S3);
+    a.sub(S2, S2, S3);
+    a.bnez(S2, "frag");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+dct8x8(const DctParams &p)
+{
+    Assembler a(p.inverse ? "idct8x8" : "dct8x8");
+
+    const uint64_t blocks = a.dataU64([&] {
+        HostRng rng(p.seed);
+        std::vector<uint64_t> v(p.blocks * 64);
+        for (auto &x : v)
+            x = rng.bounded(256);
+        return v;
+    }());
+    std::vector<uint64_t> quant(64);
+    {
+        HostRng rng(p.seed * 7 + 3);
+        for (auto &q : quant)
+            q = 8 + rng.bounded(56);
+    }
+    const uint64_t qtable = a.dataU64(quant);
+
+    // Fixed-point cosine constants (x256).
+    const int c2 = 237, c6 = 98, c1 = 251, c3 = 213, c5 = 142, c7 = 50;
+
+    // Emit one 8-point butterfly pass on T0..T7 loaded from base S0
+    // with the given element stride (in bytes).
+    const auto pass1d = [&](int stride) {
+        for (int i = 0; i < 8; ++i)
+            a.ld(static_cast<uint8_t>(T0 + i), S0, i * stride);
+        // Even part: sums and differences.
+        a.add(A0, T0, T7);              // s0
+        a.add(A1, T1, T6);              // s1
+        a.add(A2, T2, T5);              // s2
+        a.add(A3, T3, T4);              // s3
+        a.sub(T7, T0, T7);              // d0
+        a.sub(T6, T1, T6);              // d1
+        a.sub(T5, T2, T5);              // d2
+        a.sub(T4, T3, T4);              // d3
+        a.add(T0, A0, A3);
+        a.add(T1, A1, A2);
+        a.sub(A0, A0, A3);              // s0 - s3
+        a.sub(A1, A1, A2);              // s1 - s2
+        a.add(T2, T0, T1);              // y0
+        a.sub(T3, T0, T1);              // y4
+        a.muli(T0, A0, c2);
+        a.muli(T1, A1, c6);
+        a.add(T0, T0, T1);
+        a.sari(T0, T0, 8);              // y2
+        a.muli(A2, A0, c6);
+        a.muli(A3, A1, c2);
+        a.sub(A2, A2, A3);
+        a.sari(A2, A2, 8);              // y6
+        // Odd part (rotations folded into two mul pairs).
+        a.muli(A0, T7, c1);
+        a.muli(A1, T6, c3);
+        a.add(A0, A0, A1);
+        a.muli(A1, T5, c5);
+        a.add(A0, A0, A1);
+        a.muli(A1, T4, c7);
+        a.add(A0, A0, A1);
+        a.sari(A0, A0, 8);              // y1
+        a.muli(A1, T7, c3);
+        a.muli(A3, T6, c7);
+        a.sub(A1, A1, A3);
+        a.muli(A3, T5, c1);
+        a.sub(A1, A1, A3);
+        a.muli(A3, T4, c5);
+        a.add(A1, A1, A3);
+        a.sari(A1, A1, 8);              // y3
+        a.muli(A3, T7, c5);
+        a.muli(A4, T6, c1);
+        a.sub(A3, A3, A4);
+        a.muli(A4, T5, c7);
+        a.add(A3, A3, A4);
+        a.sari(A3, A3, 8);              // y5
+        a.muli(A4, T7, c7);
+        a.muli(A5, T6, c5);
+        a.sub(A4, A4, A5);
+        a.muli(A5, T5, c3);
+        a.sub(A4, A4, A5);
+        a.sari(A4, A4, 8);              // y7
+        a.sd(T2, S0, 0 * stride);
+        a.sd(A0, S0, 1 * stride);
+        a.sd(T0, S0, 2 * stride);
+        a.sd(A1, S0, 3 * stride);
+        a.sd(T3, S0, 4 * stride);
+        a.sd(A3, S0, 5 * stride);
+        a.sd(A2, S0, 6 * stride);
+        a.sd(A4, S0, 7 * stride);
+    };
+
+    // S8 block index, S7 row/col index, S6 quant base, S9 iters.
+    a.li(S9, p.iters);
+    a.li(S6, static_cast<int64_t>(qtable));
+
+    a.label("iter");
+    a.li(S8, 0);
+
+    a.label("block");
+    a.li(S1, static_cast<int64_t>(blocks));
+    a.li(T8, 64 * 8);
+    a.mul(T9, S8, T8);
+    a.add(S1, S1, T9);                  // block base
+
+    // Row pass: 8 rows, elements contiguous (stride 8 bytes).
+    a.li(S7, 0);
+    a.label("rows");
+    a.shli(T8, S7, 6);                  // row * 64 bytes
+    a.add(S0, S1, T8);
+    pass1d(8);
+    a.addi(S7, S7, 1);
+    a.slti(T8, S7, 8);
+    a.bnez(T8, "rows");
+
+    // Column pass: stride 64 bytes between elements.
+    a.li(S7, 0);
+    a.label("cols");
+    a.shli(T8, S7, 3);
+    a.add(S0, S1, T8);
+    pass1d(64);
+    a.addi(S7, S7, 1);
+    a.slti(T8, S7, 8);
+    a.bnez(T8, "cols");
+
+    // Quantize (forward) or dequantize (inverse): divide/multiply by
+    // the table entry, with a clamping branch on the forward path.
+    a.li(S7, 0);
+    a.label("quant");
+    a.shli(T8, S7, 3);
+    a.add(T9, S1, T8);
+    a.ld(T0, T9, 0);
+    a.add(T1, S6, T8);
+    a.ld(T1, T1, 0);
+    if (p.inverse) {
+        a.mul(T0, T0, T1);
+        a.sari(T0, T0, 4);
+    } else {
+        a.div(T0, T0, T1);
+        const std::string noClamp = a.newLabel("nc");
+        a.li(T2, 1024);
+        a.blt(T0, T2, noClamp);
+        a.mv(T0, T2);
+        a.label(noClamp);
+    }
+    a.sd(T0, T9, 0);
+    a.addi(S7, S7, 1);
+    a.slti(T8, S7, 64);
+    a.bnez(T8, "quant");
+
+    a.addi(S8, S8, 1);
+    a.li(T8, static_cast<int64_t>(p.blocks));
+    a.blt(S8, T8, "block");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+gfReedSolomon(const ReedSolomonParams &p)
+{
+    Assembler a(p.decode ? "rsDecode" : "rsEncode");
+
+    const uint64_t data = a.dataU8(randomBytes(p.dataBytes, 0, p.seed));
+    const uint64_t gflog = a.dataU8(randomBytes(256, 255, p.seed * 3));
+    const uint64_t gfexp = a.dataU8(randomBytes(512, 255, p.seed * 5));
+    const uint64_t gen = a.dataU8(randomBytes(p.parityBytes, 255,
+                                              p.seed * 7));
+    const uint64_t parity = a.reserve(p.parityBytes + 8);
+
+    // S0 data ptr, S1 gflog, S2 gfexp, S3 gen, S4 parity, S5 i,
+    // S6 dataBytes, S7 parityBytes, S8 feedback, S9 iters.
+    a.li(S9, p.iters);
+    a.li(S6, static_cast<int64_t>(p.dataBytes));
+    a.li(S7, static_cast<int64_t>(p.parityBytes));
+    a.li(S1, static_cast<int64_t>(gflog));
+    a.li(S2, static_cast<int64_t>(gfexp));
+    a.li(S3, static_cast<int64_t>(gen));
+    a.li(S4, static_cast<int64_t>(parity));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(data));
+    a.li(S5, 0);
+
+    if (p.decode) {
+        // Syndrome accumulation: s_k = s_k * alpha^k + d for each of
+        // the parity positions — all table lookups, no parity shifting.
+        a.label("byte");
+        a.lbu(S8, S0, 0);               // data byte
+        a.li(T0, 0);                    // k
+        a.label("syn");
+        a.add(T1, S4, T0);
+        a.lbu(T2, T1, 0);               // s_k
+        a.add(T3, T2, T0);
+        a.andi(T3, T3, 0x1ff);
+        a.add(T3, S2, T3);
+        a.lbu(T2, T3, 0);               // s_k * alpha^k via exp table
+        a.xor_(T2, T2, S8);
+        a.sb(T2, T1, 0);
+        a.addi(T0, T0, 1);
+        a.blt(T0, S7, "syn");
+        a.addi(S0, S0, 1);
+        a.addi(S5, S5, 1);
+        a.blt(S5, S6, "byte");
+    } else {
+        // LFSR encode: feedback = d ^ parity[0]; parity shifts left
+        // with generator-scaled feedback folded in (data-dependent
+        // skip when the feedback is zero).
+        a.label("byte");
+        a.lbu(T0, S0, 0);
+        a.lbu(T1, S4, 0);
+        a.xor_(S8, T0, T1);             // feedback
+        const std::string zeroFb = a.newLabel("zf");
+        a.beqz(S8, zeroFb);
+        a.add(T2, S1, S8);
+        a.lbu(T2, T2, 0);               // log(feedback)
+        a.li(T3, 0);                    // j
+        a.label("mix");
+        a.add(T4, S3, T3);
+        a.lbu(T4, T4, 0);               // log(gen[j])
+        a.add(T4, T4, T2);
+        a.andi(T4, T4, 0x1ff);
+        a.add(T4, S2, T4);
+        a.lbu(T4, T4, 0);               // exp(log g + log f)
+        a.add(T5, S4, T3);
+        a.lbu(T6, T5, 1);               // parity[j+1]
+        a.xor_(T6, T6, T4);
+        a.sb(T6, T5, 0);                // parity[j] = parity[j+1] ^ t
+        a.addi(T3, T3, 1);
+        a.blt(T3, S7, "mix");
+        a.j("next");
+        a.label(zeroFb);
+        // Zero feedback: plain left shift of the parity register.
+        a.li(T3, 0);
+        a.label("shift");
+        a.add(T5, S4, T3);
+        a.lbu(T6, T5, 1);
+        a.sb(T6, T5, 0);
+        a.addi(T3, T3, 1);
+        a.blt(T3, S7, "shift");
+        a.label("next");
+        a.addi(S0, S0, 1);
+        a.addi(S5, S5, 1);
+        a.blt(S5, S6, "byte");
+    }
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+trieLookup(const TrieLookupParams &p)
+{
+    Assembler a("trieLookup");
+
+    // Nodes are 32 bytes: {child0, child1, value, pad}. Children point
+    // to strictly higher indices (acyclic); 0 terminates the walk.
+    HostRng rng(p.seed);
+    std::vector<uint64_t> nodes(p.trieNodes * 4, 0);
+    for (size_t i = 0; i < p.trieNodes; ++i) {
+        const size_t remain = p.trieNodes - i - 1;
+        if (remain > 2) {
+            if (rng.bounded(8) != 0)
+                nodes[i * 4] = i + 1 + rng.bounded(remain);
+            if (rng.bounded(8) != 0)
+                nodes[i * 4 + 1] = i + 1 + rng.bounded(remain);
+        }
+        nodes[i * 4 + 2] = rng.next() & 0xffff;
+    }
+    const uint64_t trie = a.dataU64(nodes);
+
+    std::vector<uint64_t> keys(p.numKeys);
+    for (auto &k : keys)
+        k = rng.next();
+    const uint64_t keyArr = a.dataU64(keys);
+
+    // S0 keys, S1 trie, S2 key idx, S3 node ptr, S4 key, S5 depth,
+    // S6 numKeys, S7 maxDepth, S8 result acc, S9 iters.
+    a.li(S9, p.iters);
+    a.li(S6, static_cast<int64_t>(p.numKeys));
+    a.li(S7, p.maxDepth);
+    a.li(S8, 0);
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(keyArr));
+    a.li(S2, 0);
+
+    a.label("key");
+    a.shli(T0, S2, 3);
+    a.add(T0, S0, T0);
+    a.ld(S4, T0, 0);                    // key bits
+    a.li(S1, static_cast<int64_t>(trie));
+    a.mv(S3, S1);                       // node = root
+    a.li(S5, 0);
+
+    a.label("walk");
+    a.and_(T1, S4, Zero);               // placeholder for clarity
+    a.andi(T1, S4, 1);
+    a.shri(S4, S4, 1);
+    a.shli(T1, T1, 3);                  // bit ? 8 : 0
+    a.add(T2, S3, T1);
+    a.ld(T3, T2, 0);                    // child index
+    a.beqz(T3, "miss");                 // data-dependent walk end
+    a.shli(T3, T3, 5);                  // * 32 bytes
+    a.add(S3, S1, T3);
+    a.addi(S5, S5, 1);
+    a.blt(S5, S7, "walk");
+    a.label("miss");
+    a.ld(T4, S3, 16);                   // leaf value
+    a.add(S8, S8, T4);
+
+    a.addi(S2, S2, 1);
+    a.blt(S2, S6, "key");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+checksum(const ChecksumParams &p)
+{
+    Assembler a("checksum");
+
+    const size_t pktStride = (p.pktBytes + 7) & ~7ull;
+    const uint64_t bufs = a.dataU8(randomBytes(pktStride * p.numPkts, 0,
+                                               p.seed));
+
+    // S0 pkt base, S1 half-word index, S2 sum, S3 pkt idx, S4 numPkts,
+    // S5 halfwords, S9 iters.
+    a.li(S9, p.iters);
+    a.li(S4, static_cast<int64_t>(p.numPkts));
+    a.li(S5, static_cast<int64_t>(p.pktBytes / 2));
+
+    a.label("iter");
+    a.li(S3, 0);
+
+    a.label("pkt");
+    a.li(S0, static_cast<int64_t>(bufs));
+    a.li(T0, static_cast<int64_t>(pktStride));
+    a.mul(T1, S3, T0);
+    a.add(S0, S0, T1);
+
+    // Ones-complement sum over 16-bit words.
+    a.li(S2, 0);
+    a.li(S1, 0);
+    a.label("sum");
+    a.shli(T2, S1, 1);
+    a.add(T2, S0, T2);
+    a.lhu(T3, T2, 0);
+    a.add(S2, S2, T3);
+    a.addi(S1, S1, 1);
+    a.blt(S1, S5, "sum");
+
+    // Fold carries twice, then write the checksum and patch the TTL.
+    a.shri(T2, S2, 16);
+    a.andi(S2, S2, 0xffff);
+    a.add(S2, S2, T2);
+    a.shri(T2, S2, 16);
+    a.andi(S2, S2, 0xffff);
+    a.add(S2, S2, T2);
+    a.sh(S2, S0, 10);                   // checksum field
+    a.lbu(T3, S0, 8);                   // TTL
+    a.addi(T3, T3, -1);
+    a.sb(T3, S0, 8);
+
+    a.addi(S3, S3, 1);
+    a.blt(S3, S4, "pkt");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+lz77(const Lz77Params &p)
+{
+    Assembler a(p.decode ? "lzDecode" : "lzEncode");
+
+    if (!p.decode) {
+        const uint64_t buf = a.dataU8(randomBytes(p.bufBytes, p.alphabet,
+                                                  p.seed));
+        const size_t headSlots = 4096;
+        const uint64_t head = a.reserve(headSlots * 8);
+        const uint64_t out = a.reserveLazy(p.bufBytes + 64);
+        const uint64_t window = p.windowBytes;
+
+        // S0 buf, S1 head table, S2 pos, S3 out ptr, S4 end,
+        // S5 candidate, S6 match len, S7 window, S8 scratch, S9 iters.
+        a.li(S9, p.iters);
+        a.li(S7, static_cast<int64_t>(window));
+
+        a.label("iter");
+        a.li(S0, static_cast<int64_t>(buf));
+        a.li(S1, static_cast<int64_t>(head));
+        a.li(S3, static_cast<int64_t>(out));
+        a.li(S2, 0);
+        a.li(S4, static_cast<int64_t>(p.bufBytes - 4));
+
+        a.label("step");
+        // Hash the next three bytes.
+        a.add(T0, S0, S2);
+        a.lbu(T1, T0, 0);
+        a.lbu(T2, T0, 1);
+        a.lbu(T3, T0, 2);
+        a.shli(T2, T2, 5);
+        a.shli(T3, T3, 10);
+        a.xor_(T1, T1, T2);
+        a.xor_(T1, T1, T3);
+        a.andi(T1, T1, 0xfff);
+        a.shli(T1, T1, 3);
+        a.add(T1, S1, T1);              // &head[h]
+        a.ld(S5, T1, 0);                // candidate pos + 1
+        a.addi(T4, S2, 1);
+        a.sd(T4, T1, 0);                // head[h] = pos + 1
+
+        const std::string literal = a.newLabel("lit");
+        const std::string advance = a.newLabel("adv");
+        a.beqz(S5, literal);
+        a.addi(S5, S5, -1);
+        a.sub(T5, S2, S5);              // backward distance
+        a.bge(T5, S7, literal);         // outside the window
+
+        // Compare up to 16 bytes (data-dependent match loop).
+        a.li(S6, 0);
+        const std::string cmpDone = a.newLabel("cd");
+        a.label("cmp");
+        a.add(T6, S0, S5);
+        a.add(T6, T6, S6);
+        a.lbu(T6, T6, 0);
+        a.add(T7, S0, S2);
+        a.add(T7, T7, S6);
+        a.lbu(T7, T7, 0);
+        a.bne(T6, T7, cmpDone);
+        a.addi(S6, S6, 1);
+        a.slti(T6, S6, 16);
+        a.bnez(T6, "cmp");
+        a.label(cmpDone);
+
+        a.slti(T6, S6, 3);
+        a.bnez(T6, literal);            // too short: emit literal
+
+        // Emit (distance, length) token and skip the matched bytes.
+        a.sh(T5, S3, 0);
+        a.sb(S6, S3, 2);
+        a.addi(S3, S3, 3);
+        a.add(S2, S2, S6);
+        a.j(advance);
+
+        a.label(literal);
+        a.add(T0, S0, S2);
+        a.lbu(T1, T0, 0);
+        a.sb(T1, S3, 0);
+        a.addi(S3, S3, 1);
+        a.addi(S2, S2, 1);
+
+        a.label(advance);
+        a.blt(S2, S4, "step");
+
+        a.addi(S9, S9, -1);
+        a.bnez(S9, "iter");
+        a.halt();
+        return a.finish();
+    }
+
+    // Decode: host-generated token stream of literals and matches.
+    HostRng rng(p.seed);
+    std::vector<uint8_t> tokens;
+    size_t produced = 0;
+    while (produced < p.bufBytes) {
+        if (produced < 256 || rng.bounded(100) < 55) {
+            tokens.push_back(0x00);
+            tokens.push_back(static_cast<uint8_t>(
+                rng.bounded(p.alphabet ? p.alphabet : 256)));
+            produced += 1;
+        } else {
+            const unsigned len = 3 + rng.bounded(14);
+            const unsigned dist = 1 + rng.bounded(
+                std::min<size_t>(produced - 1, p.windowBytes - 1));
+            tokens.push_back(0x01);
+            tokens.push_back(static_cast<uint8_t>(len));
+            tokens.push_back(static_cast<uint8_t>(dist & 0xff));
+            tokens.push_back(static_cast<uint8_t>(dist >> 8));
+            produced += len;
+        }
+    }
+    tokens.push_back(0xff);            // terminator
+    const uint64_t tok = a.dataU8(tokens);
+    const uint64_t out = a.reserveLazy(produced + 64);
+
+    // S0 token ptr, S1 out ptr, S2 len, S3 dist, S4 copy src, S9 iters.
+    a.li(S9, p.iters);
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(tok));
+    a.li(S1, static_cast<int64_t>(out));
+
+    a.label("tok");
+    a.lbu(T0, S0, 0);
+    a.li(T1, 0xff);
+    a.beq(T0, T1, "done");
+    a.bnez(T0, "match");
+
+    a.lbu(T2, S0, 1);                   // literal byte
+    a.sb(T2, S1, 0);
+    a.addi(S1, S1, 1);
+    a.addi(S0, S0, 2);
+    a.j("tok");
+
+    a.label("match");
+    a.lbu(S2, S0, 1);                   // length
+    a.lbu(S3, S0, 2);
+    a.lbu(T3, S0, 3);
+    a.shli(T3, T3, 8);
+    a.or_(S3, S3, T3);                  // distance
+    a.sub(S4, S1, S3);                  // copy source
+    a.label("copy");
+    a.lbu(T4, S4, 0);
+    a.sb(T4, S1, 0);
+    a.addi(S4, S4, 1);
+    a.addi(S1, S1, 1);
+    a.addi(S2, S2, -1);
+    a.bnez(S2, "copy");
+    a.addi(S0, S0, 4);
+    a.j("tok");
+
+    a.label("done");
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace mica::workloads::kernels

@@ -1,0 +1,1180 @@
+/**
+ * @file
+ * Embedded kernel builders substituting MiBench: CRC, FFT, scalar math,
+ * bit twiddling, shortest paths, dictionary lookup, quicksort, image
+ * filters, audio synthesis, SHA hashing, and multi-word arithmetic.
+ */
+
+#include "workloads/kernel_lib.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "isa/assembler.hh"
+
+namespace mica::workloads::kernels
+{
+
+using namespace isa;
+using namespace isa::reg;
+
+namespace
+{
+
+/** Load a double constant into FP register fr through a stack slot. */
+void
+fimm(Assembler &a, uint8_t fr, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    a.li(T9, static_cast<int64_t>(bits));
+    a.sd(T9, Sp, -8);
+    a.fld(fr, Sp, -8);
+}
+
+/** Host-side CRC-32 (IEEE) table. */
+std::vector<uint64_t>
+crcTable()
+{
+    std::vector<uint64_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+} // namespace
+
+isa::Program
+crc32(const Crc32Params &p)
+{
+    Assembler a("crc32");
+
+    const uint64_t buf = a.dataU8(randomBytes(p.bufBytes, 0, p.seed));
+    const uint64_t table = a.dataU64(crcTable());
+
+    // S0 buf ptr, S1 table, S2 crc, S3 i, S4 bufBytes, S9 iters.
+    // The crc -> table -> crc load chain is fully serial: this kernel
+    // anchors the low-ILP corner of the embedded suite.
+    a.li(S9, p.iters);
+    a.li(S1, static_cast<int64_t>(table));
+    a.li(S4, static_cast<int64_t>(p.bufBytes));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(buf));
+    a.li(S2, -1);                       // crc = 0xffffffff...
+    a.li(S3, 0);
+
+    a.label("byte");
+    a.lbu(T0, S0, 0);
+    a.xor_(T1, S2, T0);
+    a.andi(T1, T1, 0xff);
+    a.shli(T1, T1, 3);
+    a.add(T1, S1, T1);
+    a.ld(T2, T1, 0);                    // table[(crc ^ b) & 0xff]
+    a.shri(S2, S2, 8);
+    a.xor_(S2, S2, T2);
+    a.addi(S0, S0, 1);
+    a.addi(S3, S3, 1);
+    a.blt(S3, S4, "byte");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+fftButterfly(const FftParams &p)
+{
+    Assembler a(p.inverse ? "fftInv" : "fft");
+
+    const size_t n = p.n;
+    // Interleaved complex signal and a root-of-unity table (n/2 pairs).
+    const uint64_t sig = a.dataF64(randomDoubles(2 * n, -1.0, 1.0,
+                                                 p.seed));
+    std::vector<double> tw(n);
+    for (size_t k = 0; k < n / 2; ++k) {
+        const double ang = (p.inverse ? 2.0 : -2.0) * 3.14159265358979 *
+            static_cast<double>(k) / static_cast<double>(n);
+        tw[2 * k] = std::cos(ang);
+        tw[2 * k + 1] = std::sin(ang);
+    }
+    const uint64_t twid = a.dataF64(tw);
+
+    // Bit-reversal permutation: irregular loads/stores up front.
+    // S0 sig, S1 twiddle, S2 i, S3 j, S4 n, S5 len, S6 half bytes,
+    // S7 group base, S8 k, S9 iters; A0..A3 address temps;
+    // f0..f3 even/odd, f4/f5 twiddle, f6/f7 products.
+    unsigned log2n = 0;
+    while ((1ull << log2n) < n)
+        ++log2n;
+
+    a.li(S9, p.iters);
+    a.li(S4, static_cast<int64_t>(n));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(sig));
+    a.li(S1, static_cast<int64_t>(twid));
+
+    // --- bit reversal ---
+    a.li(S2, 0);
+    a.label("rev");
+    a.li(S3, 0);                        // j = reverse(i)
+    a.mv(T0, S2);
+    for (unsigned b = 0; b < log2n; ++b) {
+        a.shli(S3, S3, 1);
+        a.andi(T1, T0, 1);
+        a.or_(S3, S3, T1);
+        a.shri(T0, T0, 1);
+    }
+    const std::string noSwap = a.newLabel("ns");
+    a.bge(S2, S3, noSwap);              // swap once per pair
+    a.shli(A0, S2, 4);
+    a.add(A0, S0, A0);
+    a.shli(A1, S3, 4);
+    a.add(A1, S0, A1);
+    a.fld(0, A0, 0);
+    a.fld(1, A0, 8);
+    a.fld(2, A1, 0);
+    a.fld(3, A1, 8);
+    a.fsd(2, A0, 0);
+    a.fsd(3, A0, 8);
+    a.fsd(0, A1, 0);
+    a.fsd(1, A1, 8);
+    a.label(noSwap);
+    a.addi(S2, S2, 1);
+    a.blt(S2, S4, "rev");
+
+    // --- butterfly stages ---
+    a.li(S5, 2);                        // len = 2
+    a.label("stage");
+    a.shri(S6, S5, 1);                  // half
+
+    a.li(S7, 0);                        // group base i
+    a.label("group");
+    a.li(S8, 0);                        // k within group
+    a.label("bfly");
+    // even = sig[i + k], odd = sig[i + k + half]
+    a.add(T2, S7, S8);
+    a.shli(A0, T2, 4);
+    a.add(A0, S0, A0);
+    a.shli(A1, S6, 4);
+    a.add(A1, A0, A1);
+    a.fld(0, A0, 0);                    // er
+    a.fld(1, A0, 8);                    // ei
+    a.fld(2, A1, 0);                    // or
+    a.fld(3, A1, 8);                    // oi
+    // twiddle index = k * (n / len)
+    a.div(T3, S4, S5);
+    a.mul(T3, T3, S8);
+    a.shli(T3, T3, 4);
+    a.add(A2, S1, T3);
+    a.fld(4, A2, 0);                    // wr
+    a.fld(5, A2, 8);                    // wi
+    a.fmul(6, 2, 4);
+    a.fmul(7, 3, 5);
+    a.fsub(6, 6, 7);                    // tr = or*wr - oi*wi
+    a.fmul(7, 2, 5);
+    a.fmul(2, 3, 4);
+    a.fadd(7, 7, 2);                    // ti = or*wi + oi*wr
+    a.fadd(2, 0, 6);
+    a.fsd(2, A0, 0);                    // even' = e + t
+    a.fadd(3, 1, 7);
+    a.fsd(3, A0, 8);
+    a.fsub(2, 0, 6);
+    a.fsd(2, A1, 0);                    // odd' = e - t
+    a.fsub(3, 1, 7);
+    a.fsd(3, A1, 8);
+
+    a.addi(S8, S8, 1);
+    a.blt(S8, S6, "bfly");
+
+    a.add(S7, S7, S5);                  // next group
+    a.blt(S7, S4, "group");
+
+    a.shli(S5, S5, 1);                  // len *= 2
+    a.bge(S4, S5, "stage");
+
+    if (p.inverse) {
+        // The inverse transform carries the 1/n normalization pass the
+        // forward FFT does not have (this is also what distinguishes
+        // the two directions' profiles).
+        double inv = 1.0 / static_cast<double>(n);
+        uint64_t bits;
+        std::memcpy(&bits, &inv, 8);
+        a.li(T9, static_cast<int64_t>(bits));
+        a.sd(T9, Sp, -8);
+        a.fld(6, Sp, -8);
+        a.li(T0, static_cast<int64_t>(2 * n));
+        a.li(A3, static_cast<int64_t>(sig));
+        const std::string norm = a.newLabel("nm");
+        a.label(norm);
+        a.fld(0, A3, 0);
+        a.fmul(0, 0, 6);
+        a.fsd(0, A3, 0);
+        a.addi(A3, A3, 8);
+        a.addi(T0, T0, -1);
+        a.bnez(T0, norm);
+    }
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+basicMath(const BasicMathParams &p)
+{
+    Assembler a("basicMath");
+
+    const uint64_t coefs = a.dataF64(randomDoubles(p.problems * 3,
+                                                   0.5, 4.0, p.seed));
+    const uint64_t roots = a.reserve(p.problems * 8);
+    std::vector<uint64_t> squares(p.problems);
+    {
+        HostRng rng(p.seed * 3 + 1);
+        for (auto &s : squares)
+            s = rng.bounded(1u << 30);
+    }
+    const uint64_t squareArr = a.dataU64(squares);
+
+    // Newton iterations for a cubic root (serial FP div chains) plus a
+    // bit-by-bit integer square root (branch per bit): the scalar-math
+    // profile with almost no memory traffic.
+    // S0 coef ptr, S1 out ptr, S2 i, S3 problems, S4 newton iter,
+    // S5 squares ptr, S9 iters; f0 x, f1..f3 coefs, f4/f5 temps.
+    a.li(S9, p.iters);
+    a.li(S3, static_cast<int64_t>(p.problems));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(coefs));
+    a.li(S1, static_cast<int64_t>(roots));
+    a.li(S5, static_cast<int64_t>(squareArr));
+    a.li(S2, 0);
+
+    a.label("prob");
+    a.fld(1, S0, 0);                    // a
+    a.fld(2, S0, 8);                    // b
+    a.fld(3, S0, 16);                   // c
+    fimm(a, 0, 1.5);                    // x0
+
+    a.li(S4, 0);
+    a.label("newton");
+    // f = a x^3 + b x - c ; f' = 3 a x^2 + b ; x -= f / f'
+    a.fmul(4, 0, 0);                    // x^2
+    a.fmul(5, 4, 0);                    // x^3
+    a.fmul(5, 5, 1);
+    a.fmul(6, 0, 2);
+    a.fadd(5, 5, 6);
+    a.fsub(5, 5, 3);                    // f
+    a.fmul(6, 4, 1);
+    a.fadd(6, 6, 6);
+    a.fmul(7, 4, 1);
+    a.fadd(6, 6, 7);                    // 3 a x^2
+    a.fadd(6, 6, 2);                    // f'
+    a.fdiv(5, 5, 6);
+    a.fsub(0, 0, 5);
+    a.addi(S4, S4, 1);
+    a.slti(T0, S4, 4);
+    a.bnez(T0, "newton");
+
+    a.shli(T1, S2, 3);
+    a.add(T1, S1, T1);
+    a.fsd(0, T1, 0);
+
+    // Integer square root, one result bit per loop iteration.
+    a.shli(T1, S2, 3);
+    a.add(T1, S5, T1);
+    a.ld(T2, T1, 0);                    // value
+    a.li(T3, 0);                        // result
+    a.li(T4, 1);
+    a.shli(T4, T4, 28);                 // probe bit
+    a.label("isqrt");
+    a.or_(T5, T3, T4);
+    a.mul(T6, T5, T5);
+    const std::string tooBig = a.newLabel("tb");
+    a.blt(T2, T6, tooBig);
+    a.mv(T3, T5);                       // keep the bit
+    a.label(tooBig);
+    a.shri(T4, T4, 1);
+    a.bnez(T4, "isqrt");
+
+    a.addi(S0, S0, 24);
+    a.addi(S2, S2, 1);
+    a.blt(S2, S3, "prob");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+bitOps(const BitOpsParams &p)
+{
+    Assembler a(p.chess ? "bitboard" : "bitcount");
+
+    const uint64_t words = a.dataU64([&] {
+        HostRng rng(p.seed);
+        std::vector<uint64_t> v(p.words);
+        for (auto &w : v)
+            w = rng.next() & rng.next();    // sparse-ish boards
+        return v;
+    }());
+    const uint64_t masks = a.dataU64([&] {
+        HostRng rng(p.seed * 3 + 1);
+        std::vector<uint64_t> v(64);
+        for (auto &w : v)
+            w = rng.next();
+        return v;
+    }());
+
+    // S0 word ptr, S1 i, S2 word, S3 count acc, S4 words, S5 mask base,
+    // S9 iters. Kernighan popcount: the loop trip count is data
+    // dependent, making the back edge mispredict-prone.
+    a.li(S9, p.iters);
+    a.li(S4, static_cast<int64_t>(p.words));
+    a.li(S5, static_cast<int64_t>(masks));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(words));
+    a.li(S1, 0);
+    a.li(S3, 0);
+
+    a.label("word");
+    a.ld(S2, S0, 0);
+
+    if (p.chess) {
+        // Attack-mask expansion: fold table masks selected by the low
+        // occupied squares into the board before counting.
+        a.andi(T0, S2, 63);
+        a.shli(T0, T0, 3);
+        a.add(T0, S5, T0);
+        a.ld(T1, T0, 0);
+        a.and_(T2, S2, T1);
+        a.shri(T3, S2, 17);
+        a.xor_(S2, T2, T3);
+        a.or_(S2, S2, T1);
+    }
+
+    a.label("pop");
+    a.beqz(S2, "popdone");
+    a.addi(T4, S2, -1);
+    a.and_(S2, S2, T4);                 // clear lowest set bit
+    a.addi(S3, S3, 1);
+    a.j("pop");
+    a.label("popdone");
+
+    a.addi(S0, S0, 8);
+    a.addi(S1, S1, 1);
+    a.blt(S1, S4, "word");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+graphSssp(const GraphParams &p)
+{
+    Assembler a("dijkstra");
+
+    // Adjacency lists: per node, `degree` neighbor indices + weights.
+    HostRng rng(p.seed);
+    std::vector<uint64_t> adj(p.nodes * p.degree);
+    std::vector<uint64_t> wgt(p.nodes * p.degree);
+    for (size_t i = 0; i < adj.size(); ++i) {
+        adj[i] = rng.bounded(p.nodes);
+        wgt[i] = 1 + rng.bounded(64);
+    }
+    const uint64_t adjArr = a.dataU64(adj);
+    const uint64_t wgtArr = a.dataU64(wgt);
+    const uint64_t dist = a.reserve(p.nodes * 8);
+    const uint64_t visited = a.reserve(p.nodes * 8);
+
+    const int64_t inf = 1ll << 40;
+
+    // S0 dist, S1 visited, S2 round, S3 best node, S4 best dist,
+    // S5 scan idx, S6 nodes, S7 neighbor idx, S8 degree, S9 iters.
+    a.li(S9, p.iters);
+    a.li(S6, static_cast<int64_t>(p.nodes));
+    a.li(S8, p.degree);
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(dist));
+    a.li(S1, static_cast<int64_t>(visited));
+
+    // Initialize: dist[i] = INF (dist[0] = 0), visited[i] = 0.
+    a.li(T0, 0);
+    a.li(T1, inf);
+    a.label("init");
+    a.shli(T2, T0, 3);
+    a.add(T3, S0, T2);
+    a.sd(T1, T3, 0);
+    a.add(T3, S1, T2);
+    a.sd(Zero, T3, 0);
+    a.addi(T0, T0, 1);
+    a.blt(T0, S6, "init");
+    a.sd(Zero, S0, 0);
+
+    a.li(S2, 0);                        // extraction round
+    a.label("round");
+
+    // Min-scan over unvisited nodes (MiBench dijkstra has no heap).
+    a.li(S3, -1);
+    a.li(S4, inf);
+    a.li(S5, 0);
+    a.label("scan");
+    a.shli(T2, S5, 3);
+    a.add(T3, S1, T2);
+    a.ld(T4, T3, 0);                    // visited?
+    const std::string skip = a.newLabel("sk");
+    a.bnez(T4, skip);
+    a.add(T3, S0, T2);
+    a.ld(T5, T3, 0);
+    a.bge(T5, S4, skip);                // data-dependent running min
+    a.mv(S4, T5);
+    a.mv(S3, S5);
+    a.label(skip);
+    a.addi(S5, S5, 1);
+    a.blt(S5, S6, "scan");
+
+    const std::string roundDone = a.newLabel("rd");
+    a.blt(S3, Zero, roundDone);         // no reachable node left
+
+    // Mark visited and relax the neighbors.
+    a.shli(T2, S3, 3);
+    a.add(T3, S1, T2);
+    a.li(T4, 1);
+    a.sd(T4, T3, 0);
+
+    a.li(S7, 0);
+    a.label("relax");
+    a.mul(T5, S3, S8);
+    a.add(T5, T5, S7);
+    a.shli(T5, T5, 3);
+    a.li(T6, static_cast<int64_t>(adjArr));
+    a.add(T6, T6, T5);
+    a.ld(T7, T6, 0);                    // neighbor id
+    a.li(T6, static_cast<int64_t>(wgtArr));
+    a.add(T6, T6, T5);
+    a.ld(T8, T6, 0);                    // edge weight
+    a.add(T8, S4, T8);                  // candidate distance
+    a.shli(T7, T7, 3);
+    a.add(T7, S0, T7);
+    a.ld(T6, T7, 0);
+    const std::string noRelax = a.newLabel("nr");
+    a.bge(T8, T6, noRelax);
+    a.sd(T8, T7, 0);
+    a.label(noRelax);
+    a.addi(S7, S7, 1);
+    a.blt(S7, S8, "relax");
+
+    a.addi(S2, S2, 1);
+    a.blt(S2, S6, "round");
+    a.label(roundDone);
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+hashDict(const HashDictParams &p)
+{
+    Assembler a("hashDict");
+
+    // Dictionary: fixed 16-byte slots {len, 15 chars}; hash table of
+    // head indices (+1) and a chain array. Built host-side so the
+    // kernel only probes.
+    HostRng rng(p.seed);
+    std::vector<uint8_t> dict(p.numWords * 16, 0);
+    std::vector<uint64_t> heads(p.tableSlots, 0);
+    std::vector<uint64_t> chain(p.numWords, 0);
+    const auto hashWord = [&](const uint8_t *w, size_t len) {
+        uint64_t h = 1469598103934665603ull;
+        for (size_t i = 0; i < len; ++i)
+            h = (h ^ w[i]) * 1099511628211ull;
+        return h & (p.tableSlots - 1);
+    };
+    for (size_t i = 0; i < p.numWords; ++i) {
+        const size_t len = 3 + rng.bounded(12);
+        dict[i * 16] = static_cast<uint8_t>(len);
+        for (size_t c = 0; c < len; ++c)
+            dict[i * 16 + 1 + c] =
+                static_cast<uint8_t>('a' + rng.bounded(26));
+        const uint64_t h = hashWord(&dict[i * 16 + 1], len);
+        chain[i] = heads[h];
+        heads[h] = i + 1;
+    }
+    // Queries: half existing words, half random (mostly missing).
+    std::vector<uint8_t> queries(p.numQueries * 16, 0);
+    for (size_t q = 0; q < p.numQueries; ++q) {
+        if (rng.bounded(2) == 0) {
+            const size_t i = rng.bounded(p.numWords);
+            std::memcpy(&queries[q * 16], &dict[i * 16], 16);
+        } else {
+            const size_t len = 3 + rng.bounded(12);
+            queries[q * 16] = static_cast<uint8_t>(len);
+            for (size_t c = 0; c < len; ++c)
+                queries[q * 16 + 1 + c] =
+                    static_cast<uint8_t>('a' + rng.bounded(26));
+        }
+    }
+
+    const uint64_t dictArr = a.dataU8(dict);
+    const uint64_t headArr = a.dataU64(heads);
+    const uint64_t chainArr = a.dataU64(chain);
+    const uint64_t queryArr = a.dataU8(queries);
+
+    // S0 query ptr, S1 q, S2 hash, S3 chain cursor (word idx + 1),
+    // S4 query len, S5 found acc, S6 numQueries, S7 char idx, S8 temp,
+    // S9 iters.
+    a.li(S9, p.iters);
+    a.li(S6, static_cast<int64_t>(p.numQueries));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(queryArr));
+    a.li(S1, 0);
+    a.li(S5, 0);
+
+    a.label("query");
+    a.lbu(S4, S0, 0);                   // query length
+
+    // FNV-style hash over the query characters.
+    a.li(S2, 14695981039346656037ull & 0x7fffffffffffffffll);
+    a.li(S7, 0);
+    a.label("hash");
+    a.addi(T0, S7, 1);
+    a.add(T0, S0, T0);
+    a.lbu(T1, T0, 0);
+    a.xor_(S2, S2, T1);
+    a.muli(S2, S2, 1099511628211ll);
+    a.addi(S7, S7, 1);
+    a.blt(S7, S4, "hash");
+    a.li(T2, static_cast<int64_t>(p.tableSlots - 1));
+    a.and_(S2, S2, T2);
+
+    // Probe the chain.
+    a.shli(T3, S2, 3);
+    a.li(T4, static_cast<int64_t>(headArr));
+    a.add(T3, T3, T4);
+    a.ld(S3, T3, 0);                    // head (idx + 1)
+
+    a.label("chase");
+    a.beqz(S3, "next_query");
+    a.addi(T5, S3, -1);
+    a.shli(T5, T5, 4);
+    a.li(T6, static_cast<int64_t>(dictArr));
+    a.add(T5, T5, T6);                  // &dict[word]
+
+    // String compare: length byte, then characters.
+    a.lbu(T7, T5, 0);
+    a.bne(T7, S4, "chase_next");
+    a.li(S7, 0);
+    a.label("strcmp");
+    a.bge(S7, S4, "match");
+    a.addi(T8, S7, 1);
+    a.add(T0, T5, T8);
+    a.lbu(T1, T0, 0);
+    a.add(T0, S0, T8);
+    a.lbu(T2, T0, 0);
+    a.bne(T1, T2, "chase_next");
+    a.addi(S7, S7, 1);
+    a.j("strcmp");
+    a.label("match");
+    a.addi(S5, S5, 1);
+    a.j("next_query");
+
+    a.label("chase_next");
+    a.addi(T5, S3, -1);
+    a.shli(T5, T5, 3);
+    a.li(T6, static_cast<int64_t>(chainArr));
+    a.add(T5, T5, T6);
+    a.ld(S3, T5, 0);
+    a.j("chase");
+
+    a.label("next_query");
+    a.addi(S0, S0, 16);
+    a.addi(S1, S1, 1);
+    a.blt(S1, S6, "query");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+quickSort(const QuickSortParams &p)
+{
+    Assembler a("quickSort");
+
+    const uint64_t arr = a.dataU64([&] {
+        HostRng rng(p.seed);
+        std::vector<uint64_t> v(p.elems);
+        for (auto &x : v)
+            x = rng.next() >> 16;
+        return v;
+    }());
+    const uint64_t work = a.reserve(p.elems * 8);
+    // Worst-case pending ranges is O(elems); size the explicit stack
+    // for that rather than the expected O(log n).
+    const uint64_t stack = a.reserve(p.elems * 16 + 64);
+
+    // Iterative Lomuto quicksort over a scratch copy. The partition
+    // compare is ~50/50 on random data — the classic hard branch.
+    // S0 array, S1 stack ptr, S2 lo, S3 hi, S4 pivot, S5 i, S6 j,
+    // S7/S8 temps, S9 iters.
+    a.li(S9, p.iters);
+
+    a.label("iter");
+    // Refresh the working copy so every iteration sorts fresh data.
+    a.li(T0, static_cast<int64_t>(arr));
+    a.li(T1, static_cast<int64_t>(work));
+    a.li(T2, static_cast<int64_t>(p.elems));
+    a.label("copy");
+    a.ld(T3, T0, 0);
+    a.sd(T3, T1, 0);
+    a.addi(T0, T0, 8);
+    a.addi(T1, T1, 8);
+    a.addi(T2, T2, -1);
+    a.bnez(T2, "copy");
+
+    a.li(S0, static_cast<int64_t>(work));
+    a.li(S1, static_cast<int64_t>(stack));
+    // Push the initial range [0, elems-1].
+    a.sd(Zero, S1, 0);
+    a.li(T0, static_cast<int64_t>(p.elems - 1));
+    a.sd(T0, S1, 8);
+    a.addi(S1, S1, 16);
+
+    a.label("pop");
+    a.li(T1, static_cast<int64_t>(stack));
+    a.bge(T1, S1, "sorted");            // stack empty
+    a.addi(S1, S1, -16);
+    a.ld(S2, S1, 0);                    // lo
+    a.ld(S3, S1, 8);                    // hi
+    a.bge(S2, S3, "pop");               // trivial range
+
+    // Partition around a[hi].
+    a.shli(T2, S3, 3);
+    a.add(T2, S0, T2);
+    a.ld(S4, T2, 0);                    // pivot
+    a.addi(S5, S2, -1);                 // i = lo - 1
+    a.mv(S6, S2);                       // j = lo
+
+    a.label("part");
+    a.bge(S6, S3, "part_done");
+    a.shli(T3, S6, 3);
+    a.add(T3, S0, T3);
+    a.ld(S7, T3, 0);                    // a[j]
+    const std::string noSwap = a.newLabel("nsw");
+    a.blt(S4, S7, noSwap);              // a[j] <= pivot?
+    a.addi(S5, S5, 1);
+    a.shli(T4, S5, 3);
+    a.add(T4, S0, T4);
+    a.ld(S8, T4, 0);
+    a.sd(S7, T4, 0);
+    a.sd(S8, T3, 0);
+    a.label(noSwap);
+    a.addi(S6, S6, 1);
+    a.j("part");
+    a.label("part_done");
+
+    // Place the pivot at i+1 and push both halves.
+    a.addi(S5, S5, 1);
+    a.shli(T4, S5, 3);
+    a.add(T4, S0, T4);
+    a.ld(S8, T4, 0);
+    a.sd(S4, T4, 0);
+    a.shli(T3, S3, 3);
+    a.add(T3, S0, T3);
+    a.sd(S8, T3, 0);
+
+    a.addi(T5, S5, -1);
+    a.sd(S2, S1, 0);
+    a.sd(T5, S1, 8);
+    a.addi(S1, S1, 16);
+    a.addi(T5, S5, 1);
+    a.sd(T5, S1, 0);
+    a.sd(S3, S1, 8);
+    a.addi(S1, S1, 16);
+    a.j("pop");
+
+    a.label("sorted");
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+imageFilter2D(const ImageFilterParams &p)
+{
+    Assembler a("imageFilter");
+
+    const size_t w = p.width, h = p.height;
+    const uint64_t img = a.dataU8(randomBytes(w * h * 3, 0, p.seed));
+    const uint64_t out = a.reserveLazy(w * h * 4 + 64);
+    using V = ImageFilterParams::Variant;
+
+    // S0 img row ptr, S1 out ptr, S2 x, S3 y, S4 width, S5 height,
+    // S6 acc/err, S7 img base, S8 temp, S9 iters; A0..A5 pixel temps.
+    a.li(S9, p.iters);
+    a.li(S4, static_cast<int64_t>(w));
+    a.li(S5, static_cast<int64_t>(h));
+    a.li(S7, static_cast<int64_t>(img));
+
+    a.label("iter");
+    a.li(S1, static_cast<int64_t>(out));
+    if (p.variant == V::Dither)
+        a.li(S6, 0);                    // running diffusion error
+    a.li(S3, 1);                        // y (skip border)
+
+    a.label("yloop");
+    a.mul(T0, S3, S4);
+    a.add(S0, S7, T0);                  // &img[y][0] (byte pixels)
+    a.li(S2, 1);                        // x
+
+    a.label("xloop");
+    a.add(T1, S0, S2);                  // &img[y][x]
+
+    switch (p.variant) {
+      case V::Smooth:
+        // 3x3 box filter.
+        a.li(A0, 0);
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                a.lbu(A1, T1, dy * static_cast<int64_t>(w) + dx);
+                a.add(A0, A0, A1);
+            }
+        }
+        a.muli(A0, A0, 57);             // ~ /9 in fixed point
+        a.shri(A0, A0, 9);
+        a.sb(A0, S1, 0);
+        a.addi(S1, S1, 1);
+        break;
+
+      case V::Threshold:
+        // USAN: count neighbors within a brightness threshold of the
+        // nucleus (data-dependent branch per neighbor).
+        a.lbu(A0, T1, 0);               // center
+        a.li(A2, 0);                    // count
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                if (dx == 0 && dy == 0)
+                    continue;
+                a.lbu(A1, T1, dy * static_cast<int64_t>(w) + dx);
+                a.sub(A1, A1, A0);
+                a.sari(A3, A1, 63);
+                a.xor_(A1, A1, A3);
+                a.sub(A1, A1, A3);      // |diff|
+                const std::string far = a.newLabel("far");
+                a.slti(A3, A1, 27);
+                a.beqz(A3, far);
+                a.addi(A2, A2, 1);
+                a.label(far);
+            }
+        }
+        a.sb(A2, S1, 0);
+        a.addi(S1, S1, 1);
+        break;
+
+      case V::Gray:
+        // Weighted RGB -> gray; three plane loads per pixel.
+        a.lbu(A0, T1, 0);
+        a.li(A3, static_cast<int64_t>(w * h));
+        a.add(A4, T1, A3);
+        a.lbu(A1, A4, 0);
+        a.add(A4, A4, A3);
+        a.lbu(A2, A4, 0);
+        a.muli(A0, A0, 77);
+        a.muli(A1, A1, 151);
+        a.muli(A2, A2, 28);
+        a.add(A0, A0, A1);
+        a.add(A0, A0, A2);
+        a.shri(A0, A0, 8);
+        a.sb(A0, S1, 0);
+        a.addi(S1, S1, 1);
+        break;
+
+      case V::Rgba:
+        // Gray -> RGBA expansion: one load, four stores.
+        a.lbu(A0, T1, 0);
+        a.sb(A0, S1, 0);
+        a.sb(A0, S1, 1);
+        a.sb(A0, S1, 2);
+        a.li(A1, 255);
+        a.sb(A1, S1, 3);
+        a.addi(S1, S1, 4);
+        break;
+
+      case V::Dither: {
+        // 1D error diffusion: the error register serializes the row.
+        a.lbu(A0, T1, 0);
+        a.add(A0, A0, S6);
+        const std::string white = a.newLabel("wh");
+        const std::string stored = a.newLabel("st");
+        a.slti(A1, A0, 128);
+        a.beqz(A1, white);
+        a.mv(S6, A0);                   // error = value - 0
+        a.sb(Zero, S1, 0);
+        a.j(stored);
+        a.label(white);
+        a.addi(S6, A0, -255);           // error = value - 255
+        a.li(A2, 255);
+        a.sb(A2, S1, 0);
+        a.label(stored);
+        a.sari(S6, S6, 1);              // diffuse half the error
+        a.addi(S1, S1, 1);
+        break;
+      }
+
+      case V::Median:
+        // 3x3 median via a partial compare/swap network on A0..A5
+        // (branches on pixel data at every exchange).
+        a.lbu(A0, T1, -static_cast<int64_t>(w) - 1);
+        a.lbu(A1, T1, -static_cast<int64_t>(w) + 1);
+        a.lbu(A2, T1, -1);
+        a.lbu(A3, T1, 0);
+        a.lbu(A4, T1, 1);
+        a.lbu(A5, T1, static_cast<int64_t>(w));
+        for (const auto &[x, y] : std::vector<std::pair<int, int>>{
+                 {0, 1}, {2, 3}, {4, 5}, {0, 2}, {1, 4}, {3, 5},
+                 {1, 2}, {3, 4}, {2, 3}}) {
+            const std::string ordered = a.newLabel("ord");
+            a.bge(static_cast<uint8_t>(A0 + y),
+                  static_cast<uint8_t>(A0 + x), ordered);
+            a.mv(T8, static_cast<uint8_t>(A0 + x));
+            a.mv(static_cast<uint8_t>(A0 + x),
+                 static_cast<uint8_t>(A0 + y));
+            a.mv(static_cast<uint8_t>(A0 + y), T8);
+            a.label(ordered);
+        }
+        a.sb(A3, S1, 0);                // approximate median
+        a.addi(S1, S1, 1);
+        break;
+    }
+
+    a.addi(S2, S2, 1);
+    a.addi(T9, S4, -1);
+    a.blt(S2, T9, "xloop");
+
+    a.addi(S3, S3, 1);
+    a.addi(T9, S5, -1);
+    a.blt(S3, T9, "yloop");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+audioSynth(const AudioSynthParams &p)
+{
+    Assembler a("audioSynth");
+
+    const uint64_t coefs = a.dataF64(randomDoubles(p.stages * 4,
+                                                   -0.9, 0.9, p.seed));
+    const uint64_t state = a.reserve(p.stages * 16);
+    const uint64_t out = a.reserveLazy(p.samples * 8 + 16);
+
+    // Oscillator + cascaded biquads: serial FP chains through every
+    // stage (the synthesis/psychoacoustic-filter profile).
+    // S0 out, S1 coef ptr, S2 state ptr, S3 sample, S4 stage,
+    // S5 samples, S6 stages, S9 iters;
+    // f0 x, f1 phase, f2 dphase, f3/f4 coefs, f5/f6 state, f7 temp.
+    a.li(S9, p.iters);
+    a.li(S5, static_cast<int64_t>(p.samples));
+    a.li(S6, p.stages);
+    fimm(a, 2, 0.03);                   // phase increment
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(out));
+    fimm(a, 1, 0.0);
+    a.li(S3, 0);
+
+    a.label("sample");
+    // Parabolic sine approximation: x = phase * (2 - |phase|)-ish.
+    a.fadd(1, 1, 2);
+    a.fabs_(7, 1);
+    fimm(a, 3, 2.0);
+    a.fsub(7, 3, 7);
+    a.fmul(0, 1, 7);
+    // Phase wrap (predictable branch, taken rarely).
+    fimm(a, 3, 1.0);
+    a.fclt(T0, 3, 1);
+    const std::string noWrap = a.newLabel("nw");
+    a.beqz(T0, noWrap);
+    fimm(a, 4, -1.0);
+    a.fmov(1, 4);
+    a.label(noWrap);
+
+    // Biquad cascade.
+    a.li(S1, static_cast<int64_t>(coefs));
+    a.li(S2, static_cast<int64_t>(state));
+    a.li(S4, 0);
+    a.label("stage");
+    if (p.withTables) {
+        a.fld(3, S1, 0);                // b0
+        a.fld(4, S1, 8);                // a1
+    } else {
+        fimm(a, 3, 0.6);
+        fimm(a, 4, -0.3);
+    }
+    a.fld(5, S2, 0);                    // z1
+    a.fld(6, S2, 8);                    // z2
+    a.fmul(7, 0, 3);
+    a.fadd(7, 7, 5);                    // y = b0 x + z1
+    a.fmul(5, 7, 4);
+    a.fadd(5, 5, 6);                    // z1' = a1 y + z2
+    a.fmul(6, 7, 3);                    // z2' = b0 y
+    a.fsd(5, S2, 0);
+    a.fsd(6, S2, 8);
+    a.fmov(0, 7);                       // feed the next stage
+    a.addi(S1, S1, 32);
+    a.addi(S2, S2, 16);
+    a.addi(S4, S4, 1);
+    a.blt(S4, S6, "stage");
+
+    a.fsd(0, S0, 0);
+    a.addi(S0, S0, 8);
+    a.addi(S3, S3, 1);
+    a.blt(S3, S5, "sample");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+shaHash(const ShaParams &p)
+{
+    Assembler a("sha");
+
+    const uint64_t buf = a.dataU8(randomBytes(p.bufBytes, 0, p.seed));
+    const uint64_t sched = a.reserve(80 * 8);
+
+    const size_t blocks = p.bufBytes / 64;
+
+    // S0 block ptr, S1 schedule, S2 block idx, S3 t, S4 a, S5 b,
+    // S6 c, S7 d, S8 e, S9 iters; T0..T8 temps, A0 blocks.
+    a.li(S9, p.iters);
+    a.li(A0, static_cast<int64_t>(blocks));
+    a.li(S1, static_cast<int64_t>(sched));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(buf));
+    a.li(S2, 0);
+    a.li(S4, 0x67452301);
+    a.li(S5, 0xefcdab89);
+    a.li(S6, 0x98badcfe);
+    a.li(S7, 0x10325476);
+    a.li(S8, 0xc3d2e1f0);
+
+    a.label("block");
+    // Message schedule: W[0..15] from the block, W[16..79] by XOR+rot.
+    a.li(S3, 0);
+    a.label("w16");
+    a.shli(T0, S3, 2);
+    a.add(T0, S0, T0);
+    a.lwu(T1, T0, 0);
+    a.shli(T2, S3, 3);
+    a.add(T2, S1, T2);
+    a.sd(T1, T2, 0);
+    a.addi(S3, S3, 1);
+    a.slti(T3, S3, 16);
+    a.bnez(T3, "w16");
+
+    a.label("w80");
+    a.shli(T0, S3, 3);
+    a.add(T0, S1, T0);
+    a.ld(T1, T0, -3 * 8);
+    a.ld(T2, T0, -8 * 8);
+    a.xor_(T1, T1, T2);
+    a.ld(T2, T0, -14 * 8);
+    a.xor_(T1, T1, T2);
+    a.ld(T2, T0, -16 * 8);
+    a.xor_(T1, T1, T2);
+    a.shli(T2, T1, 1);                  // rotl32 by 1
+    a.shri(T3, T1, 31);
+    a.or_(T1, T2, T3);
+    a.li(T4, 0xffffffff);
+    a.and_(T1, T1, T4);
+    a.sd(T1, T0, 0);
+    a.addi(S3, S3, 1);
+    a.slti(T3, S3, 80);
+    a.bnez(T3, "w80");
+
+    // 80 rounds; the round function is selected by t's range, giving
+    // three long-period, perfectly predictable branches.
+    a.li(S3, 0);
+    a.label("round");
+    a.slti(T0, S3, 20);
+    const std::string fMaj = a.newLabel("fm");
+    const std::string fXor = a.newLabel("fx");
+    const std::string fDone = a.newLabel("fd");
+    a.beqz(T0, fXor);
+    // Ch(b, c, d)
+    a.and_(T1, S5, S6);
+    a.xori(T2, S5, -1);
+    a.and_(T2, T2, S7);
+    a.or_(T1, T1, T2);
+    a.j(fDone);
+    a.label(fXor);
+    a.slti(T0, S3, 40);
+    a.beqz(T0, fMaj);
+    a.xor_(T1, S5, S6);
+    a.xor_(T1, T1, S7);
+    a.j(fDone);
+    a.label(fMaj);
+    a.and_(T1, S5, S6);
+    a.and_(T2, S5, S7);
+    a.or_(T1, T1, T2);
+    a.and_(T2, S6, S7);
+    a.or_(T1, T1, T2);
+    a.label(fDone);
+
+    a.shli(T2, S4, 5);                  // rotl32(a, 5)
+    a.shri(T3, S4, 27);
+    a.or_(T2, T2, T3);
+    a.add(T2, T2, T1);
+    a.add(T2, T2, S8);
+    a.shli(T4, S3, 3);
+    a.add(T4, S1, T4);
+    a.ld(T5, T4, 0);                    // W[t]
+    a.add(T2, T2, T5);
+    a.li(T6, 0x5a827999);
+    a.add(T2, T2, T6);
+    a.li(T7, 0xffffffff);
+    a.and_(T2, T2, T7);
+
+    a.mv(S8, S7);                       // e = d
+    a.mv(S7, S6);                       // d = c
+    a.shli(T3, S5, 30);                 // c = rotl32(b, 30)
+    a.shri(T5, S5, 2);
+    a.or_(S6, T3, T5);
+    a.and_(S6, S6, T7);
+    a.mv(S5, S4);                       // b = a
+    a.mv(S4, T2);                       // a = temp
+
+    a.addi(S3, S3, 1);
+    a.slti(T0, S3, 80);
+    a.bnez(T0, "round");
+
+    a.addi(S0, S0, 64);
+    a.addi(S2, S2, 1);
+    a.blt(S2, A0, "block");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+bigIntArith(const BigIntParams &p)
+{
+    Assembler a("bigInt");
+
+    // 32-bit limbs held in 64-bit slots so products fit in one word.
+    const auto limbs = [&](uint64_t seed) {
+        HostRng rng(seed);
+        std::vector<uint64_t> v(p.words);
+        for (auto &x : v)
+            x = rng.next() & 0xffffffffull;
+        return v;
+    };
+    const uint64_t opA = a.dataU64(limbs(p.seed));
+    const uint64_t opB = a.dataU64(limbs(p.seed * 3 + 1));
+    const uint64_t sum = a.reserve((p.words + 1) * 8);
+    const uint64_t prod = a.reserve((2 * p.words + 1) * 8);
+
+    // S0 a, S1 b, S2 out, S3 i, S4 j, S5 carry, S6 words, S7 a[i],
+    // S8 acc addr, S9 iters.
+    a.li(S9, p.iters);
+    a.li(S6, static_cast<int64_t>(p.words));
+
+    a.label("iter");
+    // --- multi-word add: serial carry chain ---
+    a.li(S0, static_cast<int64_t>(opA));
+    a.li(S1, static_cast<int64_t>(opB));
+    a.li(S2, static_cast<int64_t>(sum));
+    a.li(S5, 0);
+    a.li(S3, 0);
+    a.label("add");
+    a.ld(T0, S0, 0);
+    a.ld(T1, S1, 0);
+    a.add(T2, T0, T1);
+    a.add(T2, T2, S5);
+    a.shri(S5, T2, 32);                 // carry out
+    a.li(T3, 0xffffffff);
+    a.and_(T2, T2, T3);
+    a.sd(T2, S2, 0);
+    a.addi(S0, S0, 8);
+    a.addi(S1, S1, 8);
+    a.addi(S2, S2, 8);
+    a.addi(S3, S3, 1);
+    a.blt(S3, S6, "add");
+    a.sd(S5, S2, 0);
+
+    // --- schoolbook multiply: mul-heavy inner loop ---
+    // Clear the accumulator.
+    a.li(S2, static_cast<int64_t>(prod));
+    a.li(S3, 0);
+    a.shli(T0, S6, 1);
+    a.label("clr");
+    a.sd(Zero, S2, 0);
+    a.addi(S2, S2, 8);
+    a.addi(S3, S3, 1);
+    a.blt(S3, T0, "clr");
+
+    a.li(S3, 0);
+    a.label("mul_i");
+    a.li(S0, static_cast<int64_t>(opA));
+    a.shli(T1, S3, 3);
+    a.add(T1, S0, T1);
+    a.ld(S7, T1, 0);                    // a[i]
+
+    a.li(S1, static_cast<int64_t>(opB));
+    a.li(S2, static_cast<int64_t>(prod));
+    a.shli(T2, S3, 3);
+    a.add(S8, S2, T2);                  // &prod[i]
+    a.li(S4, 0);
+    a.label("mul_j");
+    a.ld(T3, S1, 0);                    // b[j]
+    a.mul(T4, S7, T3);                  // 32x32 -> 64
+    a.ld(T5, S8, 0);
+    a.add(T5, T5, T4);
+    a.li(T6, 0xffffffff);
+    a.and_(T7, T5, T6);
+    a.sd(T7, S8, 0);
+    a.shri(T5, T5, 32);                 // propagate into the next limb
+    a.ld(T7, S8, 8);
+    a.add(T7, T7, T5);
+    a.sd(T7, S8, 8);
+    a.addi(S1, S1, 8);
+    a.addi(S8, S8, 8);
+    a.addi(S4, S4, 1);
+    a.blt(S4, S6, "mul_j");
+
+    a.addi(S3, S3, 1);
+    a.blt(S3, S6, "mul_i");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace mica::workloads::kernels

@@ -1,0 +1,522 @@
+/**
+ * @file
+ * Multimedia kernel builders substituting MediaBench: wavelet coding
+ * (epic/unepic), ADPCM voice codecs (adpcm/g721), a PostScript-style
+ * bytecode interpreter (ghostscript), perspective texture mapping
+ * (mesa), and block motion estimation (mpeg2).
+ */
+
+#include "workloads/kernel_lib.hh"
+
+#include <cstring>
+#include <functional>
+
+#include "isa/assembler.hh"
+
+namespace mica::workloads::kernels
+{
+
+using namespace isa;
+using namespace isa::reg;
+
+namespace
+{
+
+/** Load a double constant into FP register fr through a stack slot. */
+void
+fimm(Assembler &a, uint8_t fr, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    a.li(T9, static_cast<int64_t>(bits));
+    a.sd(T9, Sp, -8);
+    a.fld(fr, Sp, -8);
+}
+
+} // namespace
+
+isa::Program
+waveletTransform(const WaveletParams &p)
+{
+    Assembler a(p.inverse ? "unwavelet" : "wavelet");
+
+    const uint64_t sig = a.dataF64(randomDoubles(p.n, -1.0, 1.0, p.seed));
+
+    // Lifting scheme: predict/update passes with stride doubling per
+    // level — the power-of-two global stride ladder is this kernel's
+    // signature in the stride characteristics.
+    // S0 base, S1 i, S2 step bytes, S3 pair stride, S4 limit,
+    // S5 level, S6 levels, S9 iters; f0 a, f1 b, f2 detail, f3 smooth,
+    // f4 predict coef, f5 update coef.
+    a.li(S9, p.iters);
+    a.li(S6, p.levels);
+    fimm(a, 4, p.inverse ? -0.5 : 0.5);
+    fimm(a, 5, p.inverse ? -0.25 : 0.25);
+    fimm(a, 7, 0.04);                   // dead-zone threshold
+
+    a.label("iter");
+    a.li(S5, 0);
+    a.li(S2, 8);                        // step = 1 element
+
+    a.label("level");
+    a.shli(S3, S2, 1);                  // pair stride
+    a.li(S0, static_cast<int64_t>(sig));
+    a.li(S4, static_cast<int64_t>(sig + p.n * 8));
+    a.sub(S4, S4, S2);                  // last valid pair base
+
+    a.label("pair");
+    a.fld(0, S0, 0);                    // even sample
+    a.add(T0, S0, S2);
+    a.fld(1, T0, 0);                    // odd sample
+    a.fmul(2, 0, 4);
+    a.fsub(2, 1, 2);                    // d = b - P*a
+    a.fmul(3, 2, 5);
+    a.fadd(3, 0, 3);                    // s = a + U*d
+    // Dead-zone quantization of the detail coefficient: the branch
+    // depends on the signal content, which is what distinguishes the
+    // encoder (epic) from the decoder (unepic) and input sets from
+    // one another.
+    a.fabs_(6, 2);
+    a.fclt(T1, 6, 7);                   // |d| < deadzone?
+    const std::string keep = a.newLabel("kp");
+    a.beqz(T1, keep);
+    if (p.inverse)
+        a.fadd(2, 2, 2);                // decoder: expand small details
+    else
+        a.fsub(2, 2, 2);                // encoder: zero small details
+    a.label(keep);
+    a.fsd(3, S0, 0);
+    a.fsd(2, T0, 0);
+    a.add(S0, S0, S3);
+    a.blt(S0, S4, "pair");
+
+    a.shli(S2, S2, 1);                  // step *= 2
+    a.addi(S5, S5, 1);
+    a.blt(S5, S6, "level");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+adpcmCodec(const AdpcmParams &p)
+{
+    Assembler a(p.decode ? "adpcmDecode" : "adpcmEncode");
+
+    // 16-bit input samples (decode reads 4-bit codes from the same
+    // buffer); step-size and index-adjust tables as in IMA ADPCM.
+    const uint64_t input = a.dataU8(randomBytes(p.samples * 2, 0,
+                                                p.seed));
+    std::vector<uint64_t> steps(p.g721 ? 128 : 89);
+    for (size_t i = 0; i < steps.size(); ++i)
+        steps[i] = static_cast<uint64_t>(7.0 * (1.0 + 0.1 * double(i)) *
+                                         (1.0 + 0.05 * double(i)));
+    const uint64_t stepTable = a.dataU64(steps);
+    static const std::vector<uint8_t> idxAdj =
+        {8, 6, 4, 2, 253, 251, 249, 247};   // -8..-2 two's complement
+    const uint64_t idxTable = a.dataU8(idxAdj);
+    const uint64_t out = a.reserveLazy(p.samples + 16);
+
+    // S0 in, S1 out, S2 i, S3 valpred, S4 index, S5 step, S6 delta,
+    // S7 samples, S8 maxIndex, S9 iters.
+    a.li(S9, p.iters);
+    a.li(S7, static_cast<int64_t>(p.samples));
+    a.li(S8, static_cast<int64_t>(steps.size() - 1));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(input));
+    a.li(S1, static_cast<int64_t>(out));
+    a.li(S3, 0);                        // predictor
+    a.li(S4, 0);                        // step index
+    a.li(S2, 0);
+
+    a.label("sample");
+    // step = stepTable[index]
+    a.shli(T0, S4, 3);
+    a.li(T1, static_cast<int64_t>(stepTable));
+    a.add(T0, T0, T1);
+    a.ld(S5, T0, 0);
+
+    if (p.decode) {
+        a.lbu(S6, S0, 0);
+        a.andi(S6, S6, 0x0f);           // 4-bit code
+    } else {
+        a.lh(T2, S0, 0);                // input sample
+        a.sub(S6, T2, S3);              // delta = sample - valpred
+    }
+
+    // Sign handling (data-dependent branch on the audio waveform).
+    const std::string positive = a.newLabel("pos");
+    const std::string signDone = a.newLabel("sd");
+    a.li(A0, 0);                        // sign flag
+    if (p.decode) {
+        a.andi(T3, S6, 8);
+        a.beqz(T3, positive);
+        a.li(A0, 1);
+        a.andi(S6, S6, 7);
+        a.j(signDone);
+    } else {
+        a.bge(S6, Zero, positive);
+        a.li(A0, 1);
+        a.sub(S6, Zero, S6);
+        a.j(signDone);
+    }
+    a.label(positive);
+    a.label(signDone);
+
+    // Quantize / reconstruct through three halving levels, each with a
+    // data-dependent branch (the serial heart of ADPCM).
+    a.shri(A1, S5, 3);                  // vpdiff = step >> 3
+    a.li(A2, 0);                        // code bits
+    if (!p.decode) {
+        for (int bit = 4; bit >= 1; bit >>= 1) {
+            const std::string skip = a.newLabel("q");
+            a.blt(S6, S5, skip);
+            a.ori(A2, A2, bit);
+            a.sub(S6, S6, S5);
+            a.add(A1, A1, S5);
+            a.label(skip);
+            a.shri(S5, S5, 1);
+        }
+    } else {
+        for (int bit = 4; bit >= 1; bit >>= 1) {
+            const std::string skip = a.newLabel("r");
+            a.andi(T4, S6, bit);
+            a.beqz(T4, skip);
+            a.add(A1, A1, S5);
+            a.label(skip);
+            a.shri(S5, S5, 1);
+        }
+        a.mv(A2, S6);
+    }
+
+    // valpred +/- vpdiff with clamping.
+    const std::string sub = a.newLabel("sub");
+    const std::string upd = a.newLabel("upd");
+    a.bnez(A0, sub);
+    a.add(S3, S3, A1);
+    a.j(upd);
+    a.label(sub);
+    a.sub(S3, S3, A1);
+    a.label(upd);
+    a.li(T5, 32767);
+    const std::string noHi = a.newLabel("nh");
+    a.blt(S3, T5, noHi);
+    a.mv(S3, T5);
+    a.label(noHi);
+    a.li(T5, -32768);
+    const std::string noLo = a.newLabel("nl");
+    a.bge(S3, T5, noLo);
+    a.mv(S3, T5);
+    a.label(noLo);
+
+    if (p.g721) {
+        // Adaptive predictor smoothing (extra serial arithmetic).
+        a.muli(T6, S3, 15);
+        a.sari(T6, T6, 4);
+        a.mv(S3, T6);
+    }
+
+    // index += idxAdj[code & 7], clamped to [0, maxIndex].
+    a.andi(T6, A2, 7);
+    a.li(T7, static_cast<int64_t>(idxTable));
+    a.add(T6, T6, T7);
+    a.lb(T6, T6, 0);                    // signed adjustment
+    a.add(S4, S4, T6);
+    const std::string idxLo = a.newLabel("il");
+    a.bge(S4, Zero, idxLo);
+    a.li(S4, 0);
+    a.label(idxLo);
+    const std::string idxHi = a.newLabel("ih");
+    a.blt(S4, S8, idxHi);
+    a.mv(S4, S8);
+    a.label(idxHi);
+
+    // Emit output: code nibble (encode) or sample low byte (decode).
+    if (p.decode)
+        a.sb(S3, S1, 0);
+    else
+        a.sb(A2, S1, 0);
+    a.addi(S1, S1, 1);
+    a.addi(S0, S0, 2);
+    a.addi(S2, S2, 1);
+    a.blt(S2, S7, "sample");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+interpDispatch(const InterpParams &p)
+{
+    Assembler a("interp");
+
+    // Bytecode stream: uniform over numOps, optionally skewed so a hot
+    // fraction goes to opcode 0 (the branch-predictability knob).
+    HostRng rng(p.seed);
+    std::vector<uint8_t> code(p.codeLen);
+    for (auto &b : code) {
+        if (p.hotOpFraction > 0.0 && rng.unit() < p.hotOpFraction)
+            b = 0;
+        else
+            b = static_cast<uint8_t>(rng.bounded(p.numOps));
+    }
+    const uint64_t bytecode = a.dataU8(code);
+    const uint64_t vmStack = a.reserve(1024);
+
+    // S0 bytecode, S1 vm pc, S2 opcode, S3 acc, S4 operand stack ptr,
+    // S5 codeLen, S6 scratch, S9 iters.
+    a.li(S9, p.iters);
+    a.li(S5, static_cast<int64_t>(p.codeLen));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(bytecode));
+    a.li(S4, static_cast<int64_t>(vmStack + 512));
+    a.li(S3, 0);
+    a.li(S1, 0);
+
+    a.label("fetch");
+    a.add(T0, S0, S1);
+    a.lbu(S2, T0, 0);                   // fetch opcode
+
+    // Binary compare-tree dispatch (how a compiler lowers a dense
+    // switch): log2(numOps) data-dependent branches per dispatch.
+    std::vector<std::string> handlerLabels(p.numOps);
+    for (unsigned i = 0; i < p.numOps; ++i)
+        handlerLabels[i] = a.newLabel("op");
+
+    const std::function<void(unsigned, unsigned)> tree =
+        [&](unsigned lo, unsigned hi) {
+            if (lo == hi) {
+                a.j(handlerLabels[lo]);
+                return;
+            }
+            const unsigned mid = (lo + hi) / 2;
+            const std::string right = a.newLabel("gt");
+            a.li(T1, mid);
+            a.blt(T1, S2, right);
+            tree(lo, mid);
+            a.label(right);
+            tree(mid + 1, hi);
+        };
+    tree(0, p.numOps - 1);
+
+    // Handlers: distinct ALU/memory bodies so the instruction stream
+    // working set grows with numOps, ending in a shared back edge.
+    for (unsigned i = 0; i < p.numOps; ++i) {
+        a.label(handlerLabels[i]);
+        for (unsigned k = 0; k < p.handlerBody; ++k) {
+            switch ((i + k) % 6) {
+              case 0: a.addi(S3, S3, static_cast<int64_t>(i) + 1); break;
+              case 1: a.xori(S3, S3, 0x5a5a + i); break;
+              case 2: a.shli(S6, S3, (i % 7) + 1); a.add(S3, S3, S6);
+                break;
+              case 3: a.muli(S3, S3, 3); break;
+              case 4: a.sd(S3, S4, -8 * int64_t((i % 8) + 1)); break;
+              default: a.ld(S6, S4, -8 * int64_t((i % 8) + 1));
+                a.xor_(S3, S3, S6); break;
+            }
+        }
+        a.j("next");
+    }
+
+    a.label("next");
+    a.addi(S1, S1, 1);
+    a.blt(S1, S5, "fetch");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+texMap(const TexMapParams &p)
+{
+    Assembler a("texMap");
+
+    const uint64_t tex = a.dataU8(randomBytes(p.texBytes, 0, p.seed));
+    const uint64_t fb = a.reserveLazy(p.pixels * 4 + 16);
+    const uint64_t texMask = p.texBytes - 4;
+
+    // Per pixel: interpolate (u, v) in FP, convert, fetch the texel
+    // (semi-random within the texture), integer-blend, store to the
+    // sequential framebuffer — the mixed FP/int/table profile of a
+    // software rasterizer.
+    // S0 fb ptr, S1 tex, S2 pixel, S3 pixels, S4 texel, S5 prev color,
+    // S9 iters; f0 u, f1 v, f2 du, f3 dv, f4 dv2.
+    a.li(S9, p.iters);
+    a.li(S3, static_cast<int64_t>(p.pixels));
+    a.li(S1, static_cast<int64_t>(tex));
+    fimm(a, 2, 37.25);                  // du
+    fimm(a, 3, 11.5);                   // dv
+    fimm(a, 4, 0.125);                  // dv drift
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(fb));
+    a.li(S2, 0);
+    a.li(S5, 0);
+    fimm(a, 0, 0.0);
+    fimm(a, 1, 0.0);
+
+    a.label("pixel");
+    a.fadd(0, 0, 2);                    // u += du
+    a.fadd(1, 1, 3);                    // v += dv
+    a.fadd(3, 3, 4);                    // perspective drift
+    a.ftoi(T0, 0);
+    a.ftoi(T1, 1);
+    a.muli(T1, T1, 64);
+    a.add(T0, T0, T1);
+    a.li(T2, static_cast<int64_t>(texMask));
+    a.and_(T0, T0, T2);
+    a.add(T0, S1, T0);
+    a.lwu(S4, T0, 0);                   // texel fetch
+
+    // Integer alpha blend with the previous pixel.
+    a.muli(T3, S4, 192);
+    a.muli(T4, S5, 64);
+    a.add(T3, T3, T4);
+    a.shri(T3, T3, 8);
+    a.mv(S5, T3);
+    a.sw(T3, S0, 0);
+    a.addi(S0, S0, 4);
+
+    a.addi(S2, S2, 1);
+    a.blt(S2, S3, "pixel");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+motionComp(const MotionParams &p)
+{
+    Assembler a(p.encode ? "motionEst" : "motionComp");
+
+    const size_t frameBytes = p.frameW * p.frameH;
+    const uint64_t cur = a.dataU8(randomBytes(frameBytes, 0, p.seed));
+    const uint64_t ref = a.dataU8(randomBytes(frameBytes, 0,
+                                              p.seed * 3 + 1));
+    const uint64_t out = a.reserveLazy(frameBytes + 16);
+
+    const size_t blocksX = p.frameW / 16 - 1;
+    const size_t blocksY = p.frameH / 16 - 1;
+    const unsigned cand = 2 * p.searchRange + 1;
+
+    // S0 cur block base, S1 ref block base, S2 bx, S3 by, S4 SAD,
+    // S5 best SAD, S6 candidate, S7 row, S8 col, S9 iters;
+    // A0 cur row ptr, A1 ref row ptr, A2..A5 temps.
+    a.li(S9, p.iters);
+
+    a.label("iter");
+    a.li(S3, 0);
+
+    a.label("by");
+    a.li(S2, 0);
+
+    a.label("bx");
+    // Block top-left in the current frame.
+    a.li(T0, static_cast<int64_t>(p.frameW));
+    a.shli(T1, S3, 4);
+    a.mul(T1, T1, T0);
+    a.shli(T2, S2, 4);
+    a.add(T1, T1, T2);
+    a.li(S0, static_cast<int64_t>(cur));
+    a.add(S0, S0, T1);
+    a.li(S1, static_cast<int64_t>(ref));
+    a.add(S1, S1, T1);
+
+    if (p.encode) {
+        a.li(S5, 1 << 30);              // best SAD
+        a.li(S6, 0);                    // candidate index
+
+        a.label("cand");
+        // Candidate offset: (cand % n) - range pixels horizontally.
+        a.li(T3, cand);
+        a.rem(T4, S6, T3);
+        a.addi(T4, T4, -static_cast<int64_t>(p.searchRange));
+        a.add(A1, S1, T4);              // ref base shifted
+
+        a.li(S4, 0);                    // SAD
+        a.li(S7, 0);                    // row
+        a.label("sadrow");
+        a.li(T5, static_cast<int64_t>(p.frameW));
+        a.mul(T6, S7, T5);
+        a.add(A0, S0, T6);
+        a.add(A2, A1, T6);
+        a.li(S8, 0);                    // col
+        a.label("sadcol");
+        a.add(A3, A0, S8);
+        a.lbu(A4, A3, 0);
+        a.add(A3, A2, S8);
+        a.lbu(A5, A3, 0);
+        a.sub(A4, A4, A5);
+        a.sari(A5, A4, 63);             // branchless abs
+        a.xor_(A4, A4, A5);
+        a.sub(A4, A4, A5);
+        a.add(S4, S4, A4);
+        a.addi(S8, S8, 1);
+        a.slti(T7, S8, 16);
+        a.bnez(T7, "sadcol");
+        a.addi(S7, S7, 1);
+        a.slti(T7, S7, 16);
+        a.bnez(T7, "sadrow");
+
+        const std::string notBest = a.newLabel("nb");
+        a.bge(S4, S5, notBest);         // data-dependent: new minimum?
+        a.mv(S5, S4);
+        a.label(notBest);
+
+        a.addi(S6, S6, 1);
+        a.slti(T7, S6, cand);
+        a.bnez(T7, "cand");
+    } else {
+        // Compensation: average the reference block with the current
+        // block into the output frame (copy-dominated).
+        a.li(T3, static_cast<int64_t>(out));
+        a.add(A1, T3, T1);
+        a.li(S7, 0);
+        a.label("mcrow");
+        a.li(T5, static_cast<int64_t>(p.frameW));
+        a.mul(T6, S7, T5);
+        a.add(A0, S0, T6);
+        a.add(A2, S1, T6);
+        a.add(A3, A1, T6);
+        a.li(S8, 0);
+        a.label("mccol");
+        a.add(A4, A0, S8);
+        a.lbu(T7, A4, 0);
+        a.add(A4, A2, S8);
+        a.lbu(T8, A4, 0);
+        a.add(T7, T7, T8);
+        a.shri(T7, T7, 1);
+        a.add(A4, A3, S8);
+        a.sb(T7, A4, 0);
+        a.addi(S8, S8, 1);
+        a.slti(T8, S8, 16);
+        a.bnez(T8, "mccol");
+        a.addi(S7, S7, 1);
+        a.slti(T8, S7, 16);
+        a.bnez(T8, "mcrow");
+    }
+
+    a.addi(S2, S2, 1);
+    a.li(T9, static_cast<int64_t>(blocksX));
+    a.blt(S2, T9, "bx");
+    a.addi(S3, S3, 1);
+    a.li(T9, static_cast<int64_t>(blocksY));
+    a.blt(S3, T9, "by");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace mica::workloads::kernels

@@ -1,0 +1,696 @@
+/**
+ * @file
+ * General-purpose kernel builders substituting SPEC CPU2000 programs:
+ * pointer chasing (mcf), streaming neural scans (art), grid stencils
+ * (swim/mgrid/applu/...), ray tracing (eon), annealing placement
+ * (twolf/vpr), object-database traversal (vortex), and block sorting
+ * (bzip2). The remaining SPEC rows reuse families from other suites
+ * (see registry.cc).
+ */
+
+#include "workloads/kernel_lib.hh"
+
+#include <cstring>
+
+#include "isa/assembler.hh"
+
+namespace mica::workloads::kernels
+{
+
+using namespace isa;
+using namespace isa::reg;
+
+namespace
+{
+
+/** Load a double constant into FP register fr through a stack slot. */
+void
+fimm(Assembler &a, uint8_t fr, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    a.li(T9, static_cast<int64_t>(bits));
+    a.sd(T9, Sp, -8);
+    a.fld(fr, Sp, -8);
+}
+
+} // namespace
+
+isa::Program
+pointerChase(const PointerChaseParams &p)
+{
+    Assembler a("pointerChase");
+
+    // 64-byte nodes laid out as a single random cycle: the next-pointer
+    // load chain is fully serial and touches a new cache line (often a
+    // new page) per step — the mcf memory profile.
+    const std::vector<uint64_t> cycle = randomCycle(p.nodes, p.seed);
+    std::vector<uint64_t> nodes(p.nodes * 8, 0);
+    const uint64_t nodesBase = Program::kDataBase;
+    HostRng rng(p.seed * 3 + 1);
+    for (size_t i = 0; i < p.nodes; ++i) {
+        nodes[i * 8] = nodesBase + cycle[i] * 64;
+        nodes[i * 8 + 1] = rng.bounded(1000);   // cost
+        nodes[i * 8 + 2] = rng.bounded(100);    // capacity
+    }
+    const uint64_t arr = a.dataU64(nodes);
+    (void)arr;
+
+    // S0 node ptr, S1 step, S2 steps, S3 cost acc, S4 flow acc,
+    // S9 iters.
+    a.li(S9, p.iters);
+    a.li(S2, static_cast<int64_t>(p.steps));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(nodesBase));
+    a.li(S1, 0);
+    a.li(S3, 0);
+    a.li(S4, 0);
+
+    a.label("step");
+    a.ld(T0, S0, 8);                    // cost
+    a.ld(T1, S0, 16);                   // capacity
+    a.add(S3, S3, T0);
+    // Data-dependent reduced-cost test (arc pricing).
+    const std::string noFlow = a.newLabel("nf");
+    a.slti(T2, T1, 50);
+    a.beqz(T2, noFlow);
+    a.add(S4, S4, T1);
+    a.addi(T1, T1, 7);
+    a.sd(T1, S0, 16);                   // update the arc
+    a.label(noFlow);
+    a.ld(S0, S0, 0);                    // chase next (serial)
+    a.addi(S1, S1, 1);
+    a.blt(S1, S2, "step");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+neuralScan(const NeuralScanParams &p)
+{
+    Assembler a("neuralScan");
+
+    const uint64_t input = a.dataF64(randomDoubles(p.inputs, 0.0, 1.0,
+                                                   p.seed));
+    const uint64_t weights = a.dataF64(
+        randomDoubles(p.inputs * p.neurons, 0.0, 1.0, p.seed * 3 + 1));
+    const uint64_t acts = a.reserve(p.neurons * 8);
+
+    // F1/F2 layer scan: every neuron streams the whole input and its
+    // own weight row (two long unit-stride streams, minimal reuse),
+    // then a vigilance test decides a weight-update pass.
+    // S0 input ptr, S1 weight ptr, S2 neuron, S3 i, S4 inputs,
+    // S5 neurons, S6 acts, S9 iters; f0 acc, f1 x, f2 w, f3 vigilance.
+    a.li(S9, p.iters);
+    a.li(S4, static_cast<int64_t>(p.inputs));
+    a.li(S5, static_cast<int64_t>(p.neurons));
+    a.li(S6, static_cast<int64_t>(acts));
+    fimm(a, 3, 0.253 * static_cast<double>(p.inputs));
+
+    a.label("iter");
+    a.li(S2, 0);
+
+    a.label("neuron");
+    a.li(S0, static_cast<int64_t>(input));
+    a.li(S1, static_cast<int64_t>(weights));
+    a.mul(T0, S2, S4);
+    a.shli(T0, T0, 3);
+    a.add(S1, S1, T0);
+
+    fimm(a, 0, 0.0);
+    a.li(S3, 0);
+    a.label("dot");
+    a.fld(1, S0, 0);
+    a.fld(2, S1, 0);
+    a.fmul(1, 1, 2);
+    a.fadd(0, 0, 1);
+    a.addi(S0, S0, 8);
+    a.addi(S1, S1, 8);
+    a.addi(S3, S3, 1);
+    a.blt(S3, S4, "dot");
+
+    a.shli(T1, S2, 3);
+    a.add(T1, S6, T1);
+    a.fsd(0, T1, 0);
+
+    // Vigilance test: winner updates its weights (second stream pass).
+    a.fclt(T2, 3, 0);
+    const std::string noUpdate = a.newLabel("nu");
+    a.beqz(T2, noUpdate);
+    a.li(S0, static_cast<int64_t>(input));
+    a.li(S1, static_cast<int64_t>(weights));
+    a.mul(T0, S2, S4);
+    a.shli(T0, T0, 3);
+    a.add(S1, S1, T0);
+    fimm(a, 2, 0.9);
+    a.li(S3, 0);
+    const std::string upd = a.newLabel("up");
+    a.label(upd);
+    a.fld(1, S0, 0);
+    a.fld(0, S1, 0);
+    a.fsub(1, 1, 0);
+    a.fmul(1, 1, 2);
+    a.fadd(0, 0, 1);
+    a.fsd(0, S1, 0);
+    a.addi(S0, S0, 8);
+    a.addi(S1, S1, 8);
+    a.addi(S3, S3, 1);
+    a.blt(S3, S4, upd);
+    a.label(noUpdate);
+
+    a.addi(S2, S2, 1);
+    a.blt(S2, S5, "neuron");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+stencilSweep(const StencilParams &p)
+{
+    Assembler a(p.sparse ? "sparseStencil" : "stencil");
+
+    const size_t cells = p.nx * p.ny;
+    const uint64_t grid = a.dataF64(randomDoubles(cells, 0.0, 1.0,
+                                                  p.seed));
+    const uint64_t next = a.reserve(cells * 8);
+
+    uint64_t idxArr = 0;
+    if (p.sparse) {
+        // Unstructured mesh: neighbor indices are randomized, turning
+        // the regular stride pattern into indexed gather FP.
+        HostRng rng(p.seed * 5 + 2);
+        std::vector<uint64_t> idx(cells * 4);
+        for (auto &v : idx)
+            v = rng.bounded(cells);
+        idxArr = a.dataU64(idx);
+    }
+
+    // S0 grid, S1 next, S2 x, S3 y, S4 nx, S5 ny, S6 pass, S7 idx base,
+    // S8 cell index, S9 iters; f0 acc, f1 neighbor, f2 weight.
+    a.li(S9, p.iters);
+    a.li(S4, static_cast<int64_t>(p.nx));
+    a.li(S5, static_cast<int64_t>(p.ny));
+    fimm(a, 2, 1.0 / static_cast<double>(p.points));
+
+    a.label("iter");
+    a.li(S6, 0);
+
+    a.label("pass");
+    a.li(S3, 1);
+
+    a.label("yloop");
+    a.li(S2, 1);
+
+    a.label("xloop");
+    a.mul(S8, S3, S4);
+    a.add(S8, S8, S2);                  // cell = y * nx + x
+    a.shli(T0, S8, 3);
+    a.li(T1, static_cast<int64_t>(grid));
+    a.add(T1, T1, T0);                  // &grid[cell]
+
+    a.fld(0, T1, 0);                    // center
+    if (p.sparse) {
+        a.shli(T2, S8, 5);              // 4 neighbors * 8 bytes
+        a.li(S7, static_cast<int64_t>(idxArr));
+        a.add(S7, S7, T2);
+        for (int nb = 0; nb < 4; ++nb) {
+            a.ld(T3, S7, nb * 8);       // neighbor cell index
+            a.shli(T3, T3, 3);
+            a.li(T4, static_cast<int64_t>(grid));
+            a.add(T4, T4, T3);
+            a.fld(1, T4, 0);            // gathered neighbor
+            a.fadd(0, 0, 1);
+        }
+    } else {
+        const int64_t nxB = static_cast<int64_t>(p.nx) * 8;
+        a.fld(1, T1, 8);
+        a.fadd(0, 0, 1);
+        a.fld(1, T1, -8);
+        a.fadd(0, 0, 1);
+        a.fld(1, T1, nxB);
+        a.fadd(0, 0, 1);
+        a.fld(1, T1, -nxB);
+        a.fadd(0, 0, 1);
+        if (p.points >= 9) {
+            a.fld(1, T1, nxB + 8);
+            a.fadd(0, 0, 1);
+            a.fld(1, T1, nxB - 8);
+            a.fadd(0, 0, 1);
+            a.fld(1, T1, -nxB + 8);
+            a.fadd(0, 0, 1);
+            a.fld(1, T1, -nxB - 8);
+            a.fadd(0, 0, 1);
+        }
+    }
+    a.fmul(0, 0, 2);                    // average
+    a.li(T5, static_cast<int64_t>(next));
+    a.add(T5, T5, T0);
+    a.fsd(0, T5, 0);
+
+    a.addi(S2, S2, 1);
+    a.addi(T6, S4, -1);
+    a.blt(S2, T6, "xloop");
+
+    a.addi(S3, S3, 1);
+    a.addi(T6, S5, -1);
+    a.blt(S3, T6, "yloop");
+
+    // Copy next -> grid for the following pass (streaming FP copy).
+    a.li(T0, static_cast<int64_t>(grid));
+    a.li(T1, static_cast<int64_t>(next));
+    a.li(T2, static_cast<int64_t>(cells));
+    a.label("commit");
+    a.fld(0, T1, 0);
+    a.fsd(0, T0, 0);
+    a.addi(T0, T0, 8);
+    a.addi(T1, T1, 8);
+    a.addi(T2, T2, -1);
+    a.bnez(T2, "commit");
+
+    a.addi(S6, S6, 1);
+    a.li(T3, p.passes);
+    a.blt(S6, T3, "pass");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+rayTrace(const RayTraceParams &p)
+{
+    Assembler a("rayTrace");
+
+    // Spheres: {cx, cy, cz, r2} doubles; rays: {ox..oz, dx..dz}.
+    const uint64_t spheres = a.dataF64(randomDoubles(p.spheres * 4,
+                                                     -8.0, 8.0, p.seed));
+    const uint64_t rays = a.dataF64(randomDoubles(p.rays * 6,
+                                                  -1.0, 1.0,
+                                                  p.seed * 3 + 1));
+    const uint64_t hits = a.reserve(p.rays * 8);
+
+    // S0 ray ptr, S1 sphere ptr, S2 ray idx, S3 sphere idx, S4 rays,
+    // S5 spheres, S6 hit count, S9 iters;
+    // f0..f2 origin-center, f3..f5 dir, f6 b, f7 c, f8 disc.
+    a.li(S9, p.iters);
+    a.li(S4, static_cast<int64_t>(p.rays));
+    a.li(S5, static_cast<int64_t>(p.spheres));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(rays));
+    a.li(S2, 0);
+    a.li(S6, 0);
+
+    a.label("ray");
+    a.fld(3, S0, 24);                   // dx
+    a.fld(4, S0, 32);                   // dy
+    a.fld(5, S0, 40);                   // dz
+
+    a.li(S1, static_cast<int64_t>(spheres));
+    a.li(S3, 0);
+
+    a.label("sphere");
+    a.fld(0, S0, 0);
+    a.fld(6, S1, 0);
+    a.fsub(0, 0, 6);                    // ox - cx
+    a.fld(1, S0, 8);
+    a.fld(6, S1, 8);
+    a.fsub(1, 1, 6);
+    a.fld(2, S0, 16);
+    a.fld(6, S1, 16);
+    a.fsub(2, 2, 6);
+
+    // b = oc . d ; c = oc . oc - r2 ; disc = b*b - c
+    a.fmul(6, 0, 3);
+    a.fmul(7, 1, 4);
+    a.fadd(6, 6, 7);
+    a.fmul(7, 2, 5);
+    a.fadd(6, 6, 7);                    // b
+    a.fmul(7, 0, 0);
+    a.fmul(8, 1, 1);
+    a.fadd(7, 7, 8);
+    a.fmul(8, 2, 2);
+    a.fadd(7, 7, 8);
+    a.fld(8, S1, 24);
+    a.fsub(7, 7, 8);                    // c
+    a.fmul(8, 6, 6);
+    a.fsub(8, 8, 7);                    // discriminant
+
+    // Hit test: data-dependent branch, then a sqrt on the hit path.
+    fimm(a, 9, 0.0);
+    a.fclt(T0, 9, 8);
+    const std::string miss = a.newLabel("miss");
+    a.beqz(T0, miss);
+    a.fsqrt(8, 8);
+    a.fsub(6, 6, 8);                    // near root
+    a.addi(S6, S6, 1);
+    a.shli(T1, S2, 3);
+    a.li(T2, static_cast<int64_t>(hits));
+    a.add(T1, T1, T2);
+    a.fsd(6, T1, 0);
+    a.label(miss);
+
+    a.addi(S1, S1, 32);
+    a.addi(S3, S3, 1);
+    a.blt(S3, S5, "sphere");
+
+    a.addi(S0, S0, 48);
+    a.addi(S2, S2, 1);
+    a.blt(S2, S4, "ray");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+annealPlace(const AnnealParams &p)
+{
+    Assembler a("annealPlace");
+
+    // Cell positions (16-byte {x, y} pairs) plus a net table mapping
+    // each cell to a partner whose distance defines the cost.
+    HostRng rng(p.seed);
+    std::vector<uint64_t> cells(p.cells * 2);
+    for (auto &c : cells)
+        c = rng.bounded(1024);
+    const uint64_t cellArr = a.dataU64(cells);
+    std::vector<uint64_t> nets(p.cells);
+    for (auto &n : nets)
+        n = rng.bounded(p.cells);
+    const uint64_t netArr = a.dataU64(nets);
+
+    // S0 cells, S1 nets, S2 rng state, S3 move, S4 cell a, S5 cell b,
+    // S6 cost acc, S7 accepted acc, S8 mask, S9 iters; T0..T8 temps.
+    a.li(S9, p.iters);
+    a.li(S0, static_cast<int64_t>(cellArr));
+    a.li(S1, static_cast<int64_t>(netArr));
+    a.li(S8, static_cast<int64_t>(p.cells - 1));
+
+    a.label("iter");
+    a.li(S2, static_cast<int64_t>(p.seed | 1));
+    a.li(S3, 0);
+    a.li(S6, 0);
+    a.li(S7, 0);
+
+    a.label("move");
+    // In-ISA xorshift for the move generator.
+    a.shli(T0, S2, 13);
+    a.xor_(S2, S2, T0);
+    a.shri(T0, S2, 7);
+    a.xor_(S2, S2, T0);
+    a.shli(T0, S2, 17);
+    a.xor_(S2, S2, T0);
+
+    a.and_(S4, S2, S8);                 // cell a
+    a.shri(T1, S2, 20);
+    a.and_(S5, T1, S8);                 // cell b
+
+    // delta = dist(a, net[a]) - dist(b, net[b]) using |x| + |y|.
+    const auto dist = [&](uint8_t cellReg, uint8_t outReg) {
+        a.shli(T2, cellReg, 3);
+        a.add(T2, S1, T2);
+        a.ld(T3, T2, 0);                // partner index
+        a.shli(T4, cellReg, 4);
+        a.add(T4, S0, T4);
+        a.shli(T5, T3, 4);
+        a.add(T5, S0, T5);
+        a.ld(T6, T4, 0);
+        a.ld(T7, T5, 0);
+        a.sub(T6, T6, T7);
+        a.sari(T7, T6, 63);
+        a.xor_(T6, T6, T7);
+        a.sub(T6, T6, T7);              // |dx|
+        a.ld(T8, T4, 8);
+        a.ld(T7, T5, 8);
+        a.sub(T8, T8, T7);
+        a.sari(T7, T8, 63);
+        a.xor_(T8, T8, T7);
+        a.sub(T8, T8, T7);              // |dy|
+        a.add(outReg, T6, T8);
+    };
+    dist(S4, A0);
+    dist(S5, A1);
+    a.sub(A2, A0, A1);                  // delta cost
+
+    // Accept if the move helps, or "thermally" if rng bits say so.
+    const std::string reject = a.newLabel("rej");
+    const std::string accept = a.newLabel("acc");
+    a.blt(A2, Zero, accept);
+    a.andi(T0, S2, 0x1f);
+    a.bnez(T0, reject);
+    a.label(accept);
+    // Swap the two cell positions (x words only, like a row exchange).
+    a.shli(T1, S4, 4);
+    a.add(T1, S0, T1);
+    a.shli(T2, S5, 4);
+    a.add(T2, S0, T2);
+    a.ld(T3, T1, 0);
+    a.ld(T4, T2, 0);
+    a.sd(T4, T1, 0);
+    a.sd(T3, T2, 0);
+    a.addi(S7, S7, 1);
+    a.label(reject);
+    a.add(S6, S6, A2);
+
+    a.addi(S3, S3, 1);
+    a.li(T5, static_cast<int64_t>(p.moves));
+    a.blt(S3, T5, "move");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+objDb(const ObjDbParams &p)
+{
+    Assembler a("objDb");
+
+    // Objects are 64-byte records; an index table holds shuffled
+    // object addresses so traversal order is data-driven. Per-object
+    // work runs through call/return pairs (subroutine-per-operation),
+    // growing the instruction working set and the call-stack traffic.
+    HostRng rng(p.seed);
+    const uint64_t objBase = Program::kDataBase;
+    std::vector<uint64_t> objs(p.objects * 8);
+    for (size_t i = 0; i < p.objects; ++i) {
+        objs[i * 8 + 0] = rng.bounded(1u << 20);    // key
+        objs[i * 8 + 1] = rng.bounded(256);         // type
+        objs[i * 8 + 2] = 0;                        // refcount
+        objs[i * 8 + 3] = rng.bounded(1u << 16);    // payload
+    }
+    const uint64_t objArr = a.dataU64(objs);
+    (void)objArr;
+    std::vector<uint64_t> index(p.traversals);
+    for (auto &v : index)
+        v = objBase + rng.bounded(p.objects) * 64;
+    const uint64_t idxArr = a.dataU64(index);
+
+    // S0 index ptr, S1 i, S2 obj ptr, S3 acc, S4 traversals, S9 iters.
+    a.li(S9, p.iters);
+    a.li(S4, static_cast<int64_t>(p.traversals));
+
+    a.j("main");
+
+    // --- op_validate: key hash check ---
+    a.label("op_validate");
+    a.ld(T0, S2, 0);
+    a.muli(T1, T0, 31);
+    a.shri(T2, T1, 7);
+    a.xor_(T1, T1, T2);
+    a.add(S3, S3, T1);
+    a.ret();
+
+    // --- op_touch: bump the reference count ---
+    a.label("op_touch");
+    a.ld(T0, S2, 16);
+    a.addi(T0, T0, 1);
+    a.sd(T0, S2, 16);
+    a.ret();
+
+    // --- op_payload: conditional payload transform ---
+    a.label("op_payload");
+    a.ld(T0, S2, 24);
+    a.andi(T1, T0, 1);
+    const std::string odd = a.newLabel("odd");
+    const std::string done = a.newLabel("pd");
+    a.bnez(T1, odd);
+    a.shri(T0, T0, 1);
+    a.j(done);
+    a.label(odd);
+    a.muli(T0, T0, 3);
+    a.addi(T0, T0, 1);
+    a.label(done);
+    a.sd(T0, S2, 24);
+    a.ret();
+
+    // --- op_classify: type-dependent accumulation ---
+    a.label("op_classify");
+    a.ld(T0, S2, 8);
+    a.slti(T1, T0, 128);
+    const std::string low = a.newLabel("low");
+    const std::string cdone = a.newLabel("cd");
+    a.bnez(T1, low);
+    a.shli(T2, T0, 2);
+    a.add(S3, S3, T2);
+    a.j(cdone);
+    a.label(low);
+    a.sub(S3, S3, T0);
+    a.label(cdone);
+    a.ret();
+
+    a.label("main");
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(idxArr));
+    a.li(S1, 0);
+    a.li(S3, 0);
+
+    a.label("visit");
+    a.ld(S2, S0, 0);                    // object address (random-ish)
+    a.call("op_validate");
+    a.call("op_touch");
+    if (p.opsPerObject > 2)
+        a.call("op_payload");
+    a.call("op_classify");
+
+    a.addi(S0, S0, 8);
+    a.addi(S1, S1, 1);
+    a.blt(S1, S4, "visit");
+
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+isa::Program
+bwtSort(const BwtSortParams &p)
+{
+    Assembler a("bwtSort");
+
+    const uint64_t block = a.dataU8(randomBytes(p.blockBytes, p.alphabet,
+                                                p.seed));
+    // Suffix index array, initialized 0..n-1 by the kernel itself.
+    const uint64_t idx = a.reserve(p.blockBytes * 8);
+    const uint64_t stack = a.reserve(p.blockBytes * 16 + 64);
+
+    // Quicksort of suffix indices ordered by (first byte, tie-break on
+    // following bytes): byte-compare loops with data-dependent length,
+    // the bzip2 front-end profile.
+    // S0 idx, S1 stack ptr, S2 lo, S3 hi, S4 pivot suffix, S5 i,
+    // S6 j, S7 block base, S8 temp, S9 iters.
+    a.li(S9, p.iters);
+    a.li(S7, static_cast<int64_t>(block));
+
+    a.label("iter");
+    a.li(S0, static_cast<int64_t>(idx));
+    // idx[i] = i
+    a.li(T0, 0);
+    a.li(T1, static_cast<int64_t>(p.blockBytes));
+    a.label("init");
+    a.shli(T2, T0, 3);
+    a.add(T2, S0, T2);
+    a.sd(T0, T2, 0);
+    a.addi(T0, T0, 1);
+    a.blt(T0, T1, "init");
+
+    a.li(S1, static_cast<int64_t>(stack));
+    a.sd(Zero, S1, 0);
+    a.li(T0, static_cast<int64_t>(p.blockBytes - 1));
+    a.sd(T0, S1, 8);
+    a.addi(S1, S1, 16);
+
+    a.label("pop");
+    a.li(T1, static_cast<int64_t>(stack));
+    a.bge(T1, S1, "sorted");
+    a.addi(S1, S1, -16);
+    a.ld(S2, S1, 0);
+    a.ld(S3, S1, 8);
+    a.bge(S2, S3, "pop");
+
+    // Partition by suffix comparison against the pivot (idx[hi]).
+    a.shli(T2, S3, 3);
+    a.add(T2, S0, T2);
+    a.ld(S4, T2, 0);                    // pivot suffix start
+    a.addi(S5, S2, -1);
+    a.mv(S6, S2);
+
+    a.label("part");
+    a.bge(S6, S3, "part_done");
+    a.shli(T3, S6, 3);
+    a.add(T3, S0, T3);
+    a.ld(S8, T3, 0);                    // suffix j
+
+    // Compare suffix S8 vs pivot S4: up to 8 tie-break bytes.
+    a.li(A0, 0);                        // depth
+    a.li(A3, static_cast<int64_t>(p.blockBytes));
+    const std::string cmpLe = a.newLabel("le");
+    const std::string cmpGt = a.newLabel("gt");
+    const std::string cmpLoop = a.newLabel("cm");
+    a.label(cmpLoop);
+    a.add(A1, S8, A0);
+    a.bge(A1, A3, cmpLe);               // ran off the block: shorter
+    a.add(A2, S4, A0);
+    a.bge(A2, A3, cmpGt);
+    a.add(A1, S7, A1);
+    a.lbu(A1, A1, 0);
+    a.add(A2, S7, A2);
+    a.lbu(A2, A2, 0);
+    a.blt(A1, A2, cmpLe);               // data byte decides
+    a.blt(A2, A1, cmpGt);
+    a.addi(A0, A0, 1);
+    a.slti(A1, A0, 8);
+    a.bnez(A1, cmpLoop);
+    a.j(cmpLe);                         // equal prefix counts as <=
+
+    a.label(cmpLe);
+    a.addi(S5, S5, 1);
+    a.shli(T4, S5, 3);
+    a.add(T4, S0, T4);
+    a.ld(A4, T4, 0);
+    a.sd(S8, T4, 0);
+    a.sd(A4, T3, 0);
+    a.label(cmpGt);
+    a.addi(S6, S6, 1);
+    a.j("part");
+    a.label("part_done");
+
+    // Move the pivot into place and recurse on both halves.
+    a.addi(S5, S5, 1);
+    a.shli(T4, S5, 3);
+    a.add(T4, S0, T4);
+    a.ld(A4, T4, 0);
+    a.sd(S4, T4, 0);
+    a.shli(T3, S3, 3);
+    a.add(T3, S0, T3);
+    a.sd(A4, T3, 0);
+
+    a.addi(T5, S5, -1);
+    a.sd(S2, S1, 0);
+    a.sd(T5, S1, 8);
+    a.addi(S1, S1, 16);
+    a.addi(T5, S5, 1);
+    a.sd(T5, S1, 0);
+    a.sd(S3, S1, 8);
+    a.addi(S1, S1, 16);
+    a.j("pop");
+
+    a.label("sorted");
+    a.addi(S9, S9, -1);
+    a.bnez(S9, "iter");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace mica::workloads::kernels

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The 122-benchmark registry mirroring Table I of the paper.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/benchmark.hh"
+
+namespace mica::workloads
+{
+
+/**
+ * Immutable catalog of the 122 (suite, program, input) rows of Table I,
+ * each bound to a parameterized kernel builder. The singleton is built
+ * once on first use; Program construction stays deferred until build()
+ * is invoked on an entry.
+ */
+class BenchmarkRegistry
+{
+  public:
+    /** @return the process-wide registry. */
+    static const BenchmarkRegistry &instance();
+
+    /** @return all entries in Table I order. */
+    const std::vector<BenchmarkEntry> &all() const { return entries_; }
+
+    /** @return number of registered benchmarks (122). */
+    size_t size() const { return entries_.size(); }
+
+    /** @return entries of one suite, in table order. */
+    std::vector<const BenchmarkEntry *>
+    bySuite(const std::string &suite) const;
+
+    /** @return entry with the given "suite/program.input" name. */
+    const BenchmarkEntry *find(const std::string &fullName) const;
+
+    /** @return the distinct suite names, in first-appearance order. */
+    std::vector<std::string> suites() const;
+
+  private:
+    BenchmarkRegistry();
+
+    std::vector<BenchmarkEntry> entries_;
+};
+
+} // namespace mica::workloads

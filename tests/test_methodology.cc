@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Tests for the methodology layer: workload spaces, the Table III
+ * classifier, correlation elimination, the genetic selector, clustering
+ * reports, and kiviat construction.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "methodology/classifier.hh"
+#include "methodology/cluster_report.hh"
+#include "methodology/correlation_elimination.hh"
+#include "methodology/genetic_selector.hh"
+#include "methodology/kiviat.hh"
+#include "methodology/workload_space.hh"
+#include "stats/descriptive.hh"
+#include "stats/rng.hh"
+
+namespace mica
+{
+namespace
+{
+
+/** Synthetic dataset: `rows` benchmarks x `cols` characteristics. */
+Matrix
+randomDataset(size_t rows, size_t cols, uint64_t seed)
+{
+    Matrix m;
+    Rng rng(seed);
+    for (size_t r = 0; r < rows; ++r) {
+        std::vector<double> v(cols);
+        for (auto &x : v)
+            x = rng.gauss();
+        m.appendRow(v);
+    }
+    for (size_t r = 0; r < rows; ++r)
+        m.rowNames.push_back("bench" + std::to_string(r));
+    return m;
+}
+
+/** Dataset with exact duplicate and near-constant columns. */
+Matrix
+structuredDataset(size_t rows, uint64_t seed)
+{
+    Matrix m;
+    Rng rng(seed);
+    for (size_t r = 0; r < rows; ++r) {
+        const double a = rng.gauss();
+        const double b = rng.gauss();
+        // cols: a, a (duplicate), b, -b (anticorrelated), noise.
+        m.appendRow({a, a, b, -b, rng.gauss()});
+    }
+    return m;
+}
+
+// ----------------------------------------------------------------------
+// WorkloadSpace.
+// ----------------------------------------------------------------------
+
+TEST(WorkloadSpaceTest, NormalizationMakesColumnsStandard)
+{
+    const WorkloadSpace ws(randomDataset(60, 5, 1));
+    for (size_t c = 0; c < ws.numChars(); ++c) {
+        EXPECT_NEAR(mean(ws.normalized().colVec(c)), 0.0, 1e-10);
+        EXPECT_NEAR(stddev(ws.normalized().colVec(c)), 1.0, 1e-10);
+    }
+    EXPECT_EQ(ws.numBenchmarks(), 60u);
+}
+
+TEST(WorkloadSpaceTest, RawDataIsPreserved)
+{
+    const Matrix raw = randomDataset(10, 3, 2);
+    const WorkloadSpace ws(raw);
+    for (size_t r = 0; r < raw.rows(); ++r)
+        for (size_t c = 0; c < raw.cols(); ++c)
+            EXPECT_DOUBLE_EQ(ws.raw()(r, c), raw(r, c));
+}
+
+TEST(WorkloadSpaceTest, DistancesComeFromNormalizedSpace)
+{
+    // A column with a huge scale must not dominate after z-scoring.
+    Matrix m;
+    m.appendRow({0.0, 0.0});
+    m.appendRow({1000.0, 1.0});
+    m.appendRow({2000.0, 2.0});
+    const WorkloadSpace ws(m);
+    // In the normalized space both columns contribute identically, so
+    // d(0,1) == d(1,2).
+    EXPECT_NEAR(ws.distances().at(0, 1), ws.distances().at(1, 2), 1e-9);
+}
+
+TEST(WorkloadSpaceTest, SubsetDistancesMatchFullWhenAllColumns)
+{
+    const WorkloadSpace ws(randomDataset(20, 4, 3));
+    std::vector<size_t> all = {0, 1, 2, 3};
+    const DistanceMatrix sub = ws.distancesForSubset(all);
+    for (size_t i = 0; i < sub.numPairs(); ++i)
+        EXPECT_NEAR(sub.condensed()[i], ws.distances().condensed()[i],
+                    1e-12);
+}
+
+// ----------------------------------------------------------------------
+// Similarity classifier (Table III).
+// ----------------------------------------------------------------------
+
+TEST(ClassifierTest, QuadrantsClosedForm)
+{
+    // ref max 10 -> threshold 2; cand max 100 -> threshold 20.
+    const std::vector<double> ref = {1.0, 5.0, 1.0, 10.0};
+    const std::vector<double> cand = {10.0, 90.0, 50.0, 100.0};
+    const auto q = classifyTuples(ref, cand, 0.2, 0.2);
+    EXPECT_EQ(q.total, 4u);
+    EXPECT_EQ(q.trueNegative, 1u);      // (1, 10)
+    EXPECT_EQ(q.truePositive, 2u);      // (5, 90), (10, 100)
+    EXPECT_EQ(q.falsePositive, 1u);     // (1, 50)
+    EXPECT_EQ(q.falseNegative, 0u);
+    EXPECT_DOUBLE_EQ(q.refThreshold, 2.0);
+    EXPECT_DOUBLE_EQ(q.candThreshold, 20.0);
+}
+
+TEST(ClassifierTest, FractionsSumToOne)
+{
+    Rng rng(5);
+    std::vector<double> ref(500), cand(500);
+    for (size_t i = 0; i < ref.size(); ++i) {
+        ref[i] = rng.unit();
+        cand[i] = rng.unit();
+    }
+    const auto q = classifyTuples(ref, cand);
+    EXPECT_NEAR(q.fracTP() + q.fracTN() + q.fracFP() + q.fracFN(), 1.0,
+                1e-12);
+}
+
+TEST(ClassifierTest, IdenticalSpacesHaveNoFalseQuadrants)
+{
+    Rng rng(7);
+    std::vector<double> d(300);
+    for (auto &x : d)
+        x = rng.unit();
+    const auto q = classifyTuples(d, d);
+    EXPECT_EQ(q.falsePositive, 0u);
+    EXPECT_EQ(q.falseNegative, 0u);
+    EXPECT_DOUBLE_EQ(q.sensitivity(), 1.0);
+    EXPECT_DOUBLE_EQ(q.specificity(), 1.0);
+}
+
+TEST(ClassifierTest, ThresholdFractionMovesTheBoundary)
+{
+    const std::vector<double> ref = {1.0, 9.0, 10.0};
+    const std::vector<double> cand = {1.0, 9.0, 10.0};
+    const auto strict = classifyTuples(ref, cand, 0.95, 0.95);
+    const auto loose = classifyTuples(ref, cand, 0.05, 0.05);
+    EXPECT_EQ(strict.truePositive, 1u);     // only the max is "large"
+    EXPECT_EQ(loose.truePositive, 3u);      // everything is "large"
+}
+
+// ----------------------------------------------------------------------
+// Correlation elimination.
+// ----------------------------------------------------------------------
+
+TEST(CorrelationEliminationTest, RemovesARedundantDuplicateFirst)
+{
+    const WorkloadSpace ws(structuredDataset(80, 11));
+    const auto res = correlationElimination(ws);
+    EXPECT_EQ(res.numChars, 5u);
+    // The last surviving characteristic is never eliminated.
+    EXPECT_EQ(res.eliminationOrder.size(), 4u);
+    // The first eliminated characteristic must be one of the perfectly
+    // correlated groups (columns 0/1 duplicate, 2/3 anticorrelated).
+    const size_t first = res.eliminationOrder[0];
+    EXPECT_TRUE(first <= 3) << "eliminated " << first;
+}
+
+TEST(CorrelationEliminationTest, TrajectoryCoversAllSizes)
+{
+    const WorkloadSpace ws(randomDataset(40, 6, 13));
+    const auto res = correlationElimination(ws);
+    EXPECT_EQ(res.distanceCorrByK.size(), 6u);
+    // Keeping all characteristics reproduces the space exactly.
+    EXPECT_NEAR(res.distanceCorrByK[5], 1.0, 1e-9);
+    for (double rho : res.distanceCorrByK) {
+        EXPECT_GE(rho, -1.0);
+        EXPECT_LE(rho, 1.0 + 1e-12);
+    }
+}
+
+TEST(CorrelationEliminationTest, RetainedSetsAreConsistent)
+{
+    const WorkloadSpace ws(randomDataset(30, 5, 17));
+    const auto res = correlationElimination(ws);
+    for (size_t k = 1; k <= 5; ++k) {
+        const auto kept = res.retained(k);
+        EXPECT_EQ(kept.size(), k);
+        // retained(k) must be disjoint from the first (N-k) removals.
+        for (size_t r = 0; r + k < 5; ++r) {
+            for (size_t c : kept)
+                EXPECT_NE(c, res.eliminationOrder[r]);
+        }
+    }
+}
+
+TEST(CorrelationEliminationTest, DroppingDuplicatesBarelyHurtsRho)
+{
+    const WorkloadSpace ws(structuredDataset(100, 19));
+    const auto res = correlationElimination(ws);
+    // After removing 2 of 5 (the redundant pair members), distances
+    // should still correlate almost perfectly with the full space.
+    EXPECT_GT(res.distanceCorrByK[2], 0.95);
+}
+
+// ----------------------------------------------------------------------
+// Genetic selector.
+// ----------------------------------------------------------------------
+
+TEST(GeneticSelectorTest, FullSubsetHasRhoOneAndZeroFitness)
+{
+    const WorkloadSpace ws(randomDataset(25, 6, 23));
+    const auto [fitness, rho] =
+        subsetFitness(ws, {0, 1, 2, 3, 4, 5});
+    EXPECT_NEAR(rho, 1.0, 1e-9);
+    EXPECT_NEAR(fitness, 0.0, 1e-9);    // (1 - n/N) factor vanishes
+}
+
+TEST(GeneticSelectorTest, EmptySubsetScoresZero)
+{
+    const WorkloadSpace ws(randomDataset(25, 6, 29));
+    const auto [fitness, rho] = subsetFitness(ws, {});
+    EXPECT_DOUBLE_EQ(fitness, 0.0);
+    EXPECT_DOUBLE_EQ(rho, 0.0);
+}
+
+TEST(GeneticSelectorTest, FitnessMatchesDefinition)
+{
+    const WorkloadSpace ws(randomDataset(30, 8, 31));
+    const std::vector<size_t> subset = {1, 4, 6};
+    const auto [fitness, rho] = subsetFitness(ws, subset);
+    EXPECT_NEAR(fitness, rho * (1.0 - 3.0 / 8.0), 1e-12);
+}
+
+TEST(GeneticSelectorTest, FindsTheInformativeColumnsInStructuredData)
+{
+    // Columns 0/1 duplicated and 2/3 anticorrelated: a good subset
+    // keeps one per group plus the noise column.
+    const WorkloadSpace ws(structuredDataset(120, 37));
+    GaConfig cfg;
+    cfg.maxGenerations = 150;
+    cfg.seed = 7;
+    const GaResult res = geneticSelect(ws, cfg);
+    EXPECT_LE(res.selected.size(), 4u);
+    EXPECT_GE(res.selected.size(), 2u);
+    EXPECT_GT(res.distanceCorrelation, 0.9);
+    // Must not keep both members of a perfectly redundant pair.
+    int dupCount = 0, antiCount = 0;
+    for (size_t s : res.selected) {
+        dupCount += (s == 0 || s == 1);
+        antiCount += (s == 2 || s == 3);
+    }
+    EXPECT_LE(dupCount, 1);
+    EXPECT_LE(antiCount, 1);
+}
+
+TEST(GeneticSelectorTest, DeterministicForFixedSeed)
+{
+    const WorkloadSpace ws(randomDataset(40, 10, 41));
+    GaConfig cfg;
+    cfg.maxGenerations = 60;
+    cfg.seed = 99;
+    const GaResult a = geneticSelect(ws, cfg);
+    const GaResult b = geneticSelect(ws, cfg);
+    EXPECT_EQ(a.selected, b.selected);
+    EXPECT_DOUBLE_EQ(a.fitness, b.fitness);
+}
+
+TEST(GeneticSelectorTest, FitnessHistoryIsNonDecreasing)
+{
+    const WorkloadSpace ws(randomDataset(30, 8, 43));
+    GaConfig cfg;
+    cfg.maxGenerations = 50;
+    const GaResult res = geneticSelect(ws, cfg);
+    ASSERT_FALSE(res.bestFitnessHistory.empty());
+    for (size_t g = 1; g < res.bestFitnessHistory.size(); ++g)
+        EXPECT_GE(res.bestFitnessHistory[g] + 1e-12,
+                  res.bestFitnessHistory[g - 1]);
+    EXPECT_EQ(res.generationsRun, res.bestFitnessHistory.size());
+}
+
+TEST(GeneticSelectorTest, BeatsTheAverageRandomSubsetOfSameSize)
+{
+    const WorkloadSpace ws(randomDataset(35, 12, 47));
+    GaConfig cfg;
+    cfg.maxGenerations = 120;
+    const GaResult res = geneticSelect(ws, cfg);
+    Rng rng(53);
+    double randTotal = 0;
+    const int trials = 30;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<size_t> subset;
+        while (subset.size() < res.selected.size()) {
+            const size_t c = rng.below(12);
+            bool dup = false;
+            for (size_t s : subset)
+                dup = dup || s == c;
+            if (!dup)
+                subset.push_back(c);
+        }
+        randTotal += subsetFitness(ws, subset).first;
+    }
+    EXPECT_GE(res.fitness, randTotal / trials);
+}
+
+// ----------------------------------------------------------------------
+// Cluster report and kiviats.
+// ----------------------------------------------------------------------
+
+Matrix
+groupedDataset(uint64_t seed)
+{
+    // Four well-separated groups of benchmarks in 3-D.
+    Matrix m;
+    Rng rng(seed);
+    const double centers[4][3] = {
+        {0, 0, 0}, {20, 0, 0}, {0, 20, 0}, {0, 0, 20}};
+    int idx = 0;
+    for (int g = 0; g < 4; ++g) {
+        for (int i = 0; i < 8; ++i, ++idx) {
+            m.appendRow({centers[g][0] + 0.3 * rng.gauss(),
+                         centers[g][1] + 0.3 * rng.gauss(),
+                         centers[g][2] + 0.3 * rng.gauss()});
+            m.rowNames.push_back((g < 2 ? std::string("SuiteA/") :
+                                          std::string("SuiteB/")) +
+                                 "b" + std::to_string(idx));
+        }
+    }
+    return m;
+}
+
+TEST(ClusterReportTest, FindsTheFourGroups)
+{
+    const ClusterReport rep = clusterBenchmarks(groupedDataset(57), 10, 3);
+    EXPECT_EQ(rep.chosenK, 4u);
+    EXPECT_EQ(rep.clusters.size(), 4u);
+    for (const auto &c : rep.clusters)
+        EXPECT_EQ(c.members.size(), 8u);
+    // Clusters are sorted by size descending (all equal here) and carry
+    // resolved names.
+    EXPECT_FALSE(rep.clusters[0].memberNames.empty());
+}
+
+TEST(ClusterReportTest, SuiteHistogramCountsPrefixes)
+{
+    const ClusterReport rep = clusterBenchmarks(groupedDataset(61), 10, 3);
+    const std::vector<std::string> suites = {"SuiteA", "SuiteB"};
+    size_t aTotal = 0, bTotal = 0;
+    for (const auto &c : rep.clusters) {
+        const auto h = rep.suiteHistogram(c, suites);
+        ASSERT_EQ(h.size(), 2u);
+        aTotal += h[0];
+        bTotal += h[1];
+        EXPECT_EQ(h[0] + h[1], c.members.size());
+    }
+    EXPECT_EQ(aTotal, 16u);
+    EXPECT_EQ(bTotal, 16u);
+}
+
+TEST(ClusterReportTest, AssignmentAgreesWithClusters)
+{
+    const ClusterReport rep = clusterBenchmarks(groupedDataset(67), 8, 5);
+    for (size_t ci = 0; ci < rep.clusters.size(); ++ci) {
+        for (size_t m : rep.clusters[ci].members)
+            EXPECT_EQ(rep.assignment[m],
+                      static_cast<int>(rep.clusters[ci].id));
+    }
+}
+
+TEST(ClusterReportTest, SingletonDetection)
+{
+    Matrix m = groupedDataset(71);
+    // Add one extreme outlier benchmark.
+    m.appendRow({500, 500, 500});
+    m.rowNames.push_back("SuiteB/outlier");
+    const ClusterReport rep = clusterBenchmarks(m, 12, 3);
+    bool foundSingleton = false;
+    for (const auto &c : rep.clusters) {
+        if (c.isSingleton() &&
+            c.memberNames[0] == "SuiteB/outlier") {
+            foundSingleton = true;
+        }
+    }
+    EXPECT_TRUE(foundSingleton);
+}
+
+TEST(KiviatTest, StarsAreMinMaxNormalized)
+{
+    Matrix m;
+    m.appendRow({0.0, 100.0});
+    m.appendRow({10.0, 200.0});
+    m.rowNames = {"a", "b"};
+    m.colNames = {"x", "y"};
+    const auto stars = buildKiviats(m);
+    ASSERT_EQ(stars.size(), 2u);
+    EXPECT_EQ(stars[0].name, "a");
+    EXPECT_EQ(stars[0].axes, (std::vector<std::string>{"x", "y"}));
+    EXPECT_DOUBLE_EQ(stars[0].values[0], 0.0);
+    EXPECT_DOUBLE_EQ(stars[1].values[0], 1.0);
+    EXPECT_DOUBLE_EQ(stars[0].values[1], 0.0);
+    EXPECT_DOUBLE_EQ(stars[1].values[1], 1.0);
+}
+
+TEST(KiviatTest, RenderProducesNonEmptyArt)
+{
+    Matrix m;
+    m.appendRow({0.2, 0.8, 0.5, 0.9});
+    m.rowNames = {"bench"};
+    m.colNames = {"c1", "c2", "c3", "c4"};
+    const auto stars = buildKiviats(m);
+    const std::string art = renderKiviat(stars[0], 6);
+    EXPECT_NE(art.find("bench"), std::string::npos);
+    EXPECT_GT(art.size(), 100u);
+    const std::string bars = renderKiviatBars(stars[0], 10);
+    EXPECT_FALSE(bars.empty());
+}
+
+} // namespace
+} // namespace mica

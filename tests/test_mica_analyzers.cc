@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Closed-form and property tests for the six MICA analyzer families
+ * (Table II characteristics 1-47).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mica/ilp.hh"
+#include "mica/inst_mix.hh"
+#include "mica/ppm.hh"
+#include "mica/reg_traffic.hh"
+#include "mica/strides.hh"
+#include "mica/working_set.hh"
+#include "stats/rng.hh"
+#include "test_util.hh"
+#include "trace/synthetic.hh"
+
+namespace mica
+{
+namespace
+{
+
+using test::Rec;
+using test::feed;
+
+// ----------------------------------------------------------------------
+// Instruction mix (characteristics 1-6).
+// ----------------------------------------------------------------------
+
+TEST(InstMixTest, ClosedFormMix)
+{
+    InstMixAnalyzer mix;
+    feed(mix, {test::load(0), test::load(8), test::store(16),
+               test::branch(0, true), test::alu(1),
+               Rec(InstClass::IntMul), Rec(InstClass::FpAlu),
+               Rec(InstClass::FpMul), Rec(InstClass::IntDiv),
+               Rec(InstClass::Jump)});
+    EXPECT_EQ(mix.total(), 10u);
+    EXPECT_DOUBLE_EQ(mix.pctLoads(), 20.0);
+    EXPECT_DOUBLE_EQ(mix.pctStores(), 10.0);
+    EXPECT_DOUBLE_EQ(mix.pctControl(), 20.0);   // branch + jump
+    EXPECT_DOUBLE_EQ(mix.pctArith(), 20.0);     // alu + div
+    EXPECT_DOUBLE_EQ(mix.pctIntMul(), 10.0);
+    EXPECT_DOUBLE_EQ(mix.pctFpOps(), 20.0);     // fpalu + fpmul
+}
+
+TEST(InstMixTest, EmptyTraceYieldsZeroes)
+{
+    InstMixAnalyzer mix;
+    mix.finish();
+    EXPECT_EQ(mix.total(), 0u);
+    EXPECT_DOUBLE_EQ(mix.pctLoads(), 0.0);
+    EXPECT_DOUBLE_EQ(mix.pctFpOps(), 0.0);
+}
+
+TEST(InstMixTest, CallsAndReturnsCountAsControl)
+{
+    InstMixAnalyzer mix;
+    feed(mix, {Rec(InstClass::Call), Rec(InstClass::Return),
+               test::alu(1), test::alu(1)});
+    EXPECT_DOUBLE_EQ(mix.pctControl(), 50.0);
+}
+
+TEST(InstMixTest, PercentagesArePartitionOfAtMost100)
+{
+    RandomTraceParams p;
+    p.numInsts = 20000;
+    RandomTraceSource src(p);
+    InstMixAnalyzer mix;
+    InstRecord r;
+    while (src.next(r))
+        mix.accept(r);
+    mix.finish();
+    const double sum = mix.pctLoads() + mix.pctStores() +
+        mix.pctControl() + mix.pctArith() + mix.pctIntMul() +
+        mix.pctFpOps();
+    EXPECT_LE(sum, 100.0 + 1e-9);
+    EXPECT_GT(sum, 0.0);
+}
+
+// ----------------------------------------------------------------------
+// Idealized-window ILP (characteristics 7-10).
+// ----------------------------------------------------------------------
+
+TEST(IlpTest, IndependentInstructionsReachTheWindowBound)
+{
+    // No register dependences at all: IPC should approach the window.
+    IlpAnalyzer ilp({4});
+    std::vector<InstRecord> recs(4000, test::alu(kInvalidReg));
+    feed(ilp, recs);
+    EXPECT_NEAR(ilp.ipc(0), 4.0, 0.01);
+}
+
+TEST(IlpTest, SerialChainHasIpcOne)
+{
+    IlpAnalyzer ilp({32, 256});
+    std::vector<InstRecord> recs;
+    for (int i = 0; i < 2000; ++i)
+        recs.push_back(test::alu(1, {1}));      // r1 = f(r1)
+    feed(ilp, recs);
+    EXPECT_NEAR(ilp.ipc(0), 1.0, 0.01);
+    EXPECT_NEAR(ilp.ipc(1), 1.0, 0.01);
+}
+
+TEST(IlpTest, TwoIndependentChainsHaveIpcTwo)
+{
+    IlpAnalyzer ilp({64});
+    std::vector<InstRecord> recs;
+    for (int i = 0; i < 3000; ++i) {
+        recs.push_back(test::alu(1, {1}));
+        recs.push_back(test::alu(2, {2}));
+    }
+    feed(ilp, recs);
+    EXPECT_NEAR(ilp.ipc(0), 2.0, 0.01);
+}
+
+TEST(IlpTest, LargerWindowsNeverHurt)
+{
+    RandomTraceParams p;
+    p.numInsts = 20000;
+    p.seed = 3;
+    RandomTraceSource src(p);
+    IlpAnalyzer ilp;        // paper windows 32/64/128/256
+    InstRecord r;
+    while (src.next(r))
+        ilp.accept(r);
+    ilp.finish();
+    EXPECT_LE(ilp.ipc(0), ilp.ipc(1) + 1e-9);
+    EXPECT_LE(ilp.ipc(1), ilp.ipc(2) + 1e-9);
+    EXPECT_LE(ilp.ipc(2), ilp.ipc(3) + 1e-9);
+    EXPECT_GE(ilp.ipc(0), 1.0);
+    EXPECT_LE(ilp.ipc(3), 256.0);
+}
+
+TEST(IlpTest, ZeroRegisterCarriesNoDependence)
+{
+    IlpAnalyzer ilp({16});
+    std::vector<InstRecord> recs;
+    for (int i = 0; i < 1600; ++i)
+        recs.push_back(test::alu(kZeroReg, {kZeroReg}));
+    feed(ilp, recs);
+    EXPECT_NEAR(ilp.ipc(0), 16.0, 0.05);
+}
+
+TEST(IlpTest, WindowEntryLimitsDistantParallelism)
+{
+    // Alternate a serial chain with independent work: with window 2,
+    // the serial chain throttles entry.
+    IlpAnalyzer ilp({2});
+    std::vector<InstRecord> recs;
+    for (int i = 0; i < 2000; ++i) {
+        recs.push_back(test::alu(1, {1}));
+        recs.push_back(test::alu(kInvalidReg));
+    }
+    feed(ilp, recs);
+    EXPECT_NEAR(ilp.ipc(0), 2.0, 0.05);
+    EXPECT_EQ(ilp.windowSize(0), 2u);
+}
+
+// ----------------------------------------------------------------------
+// Register traffic (characteristics 11-19).
+// ----------------------------------------------------------------------
+
+TEST(RegTrafficTest, AvgInputOperandsClosedForm)
+{
+    RegTrafficAnalyzer rt;
+    feed(rt, {test::alu(1, {2, 3}), test::alu(2, {1}),
+              test::alu(3, {})});
+    EXPECT_DOUBLE_EQ(rt.avgInputOperands(), 1.0);   // 3 reads / 3 insts
+}
+
+TEST(RegTrafficTest, ZeroRegisterReadsAreExcluded)
+{
+    RegTrafficAnalyzer rt;
+    feed(rt, {test::alu(1, {kZeroReg, kZeroReg}),
+              test::alu(2, {kZeroReg})});
+    EXPECT_DOUBLE_EQ(rt.avgInputOperands(), 0.0);
+}
+
+TEST(RegTrafficTest, DegreeOfUseCountsReadsPerInstance)
+{
+    RegTrafficAnalyzer rt;
+    // r1 written once, read three times, then overwritten (0 reads).
+    feed(rt, {test::alu(1, {}), test::alu(2, {1}), test::alu(3, {1}),
+              test::alu(4, {1}), test::alu(1, {})});
+    // Instances closed: first r1 (3 uses), r2 (0), r3 (0), r4 (0),
+    // second r1 (0) -> average 3/5.
+    EXPECT_DOUBLE_EQ(rt.avgDegreeOfUse(), 3.0 / 5.0);
+}
+
+TEST(RegTrafficTest, DependencyDistanceCumulative)
+{
+    RegTrafficAnalyzer rt;
+    std::vector<InstRecord> recs;
+    recs.push_back(test::alu(1, {}));           // write r1 at index 0
+    recs.push_back(test::alu(5, {1}));          // distance 1
+    recs.push_back(test::alu(6, {1}));          // distance 2
+    recs.push_back(test::alu(7, {}));
+    recs.push_back(test::alu(8, {1}));          // distance 4
+    feed(rt, recs);
+    EXPECT_EQ(rt.totalDeps(), 3u);
+    EXPECT_DOUBLE_EQ(rt.depDistanceCum(0), 1.0 / 3.0);     // <= 1
+    EXPECT_DOUBLE_EQ(rt.depDistanceCum(1), 2.0 / 3.0);     // <= 2
+    EXPECT_DOUBLE_EQ(rt.depDistanceCum(2), 1.0);           // <= 4
+    EXPECT_DOUBLE_EQ(rt.depDistanceCum(6), 1.0);           // <= 64
+}
+
+TEST(RegTrafficTest, ReadsBeforeFirstWriteCarryNoDependence)
+{
+    RegTrafficAnalyzer rt;
+    feed(rt, {test::alu(2, {1})});      // r1 never written
+    EXPECT_EQ(rt.totalDeps(), 0u);
+    EXPECT_DOUBLE_EQ(rt.avgInputOperands(), 1.0);   // still a read
+}
+
+TEST(RegTrafficTest, CumulativeDistributionIsMonotone)
+{
+    RandomTraceParams p;
+    p.numInsts = 30000;
+    p.seed = 11;
+    RandomTraceSource src(p);
+    RegTrafficAnalyzer rt;
+    InstRecord r;
+    while (src.next(r))
+        rt.accept(r);
+    rt.finish();
+    for (size_t c = 1; c < RegTrafficAnalyzer::kDistCuts.size(); ++c)
+        EXPECT_LE(rt.depDistanceCum(c - 1), rt.depDistanceCum(c) + 1e-12);
+    EXPECT_GE(rt.depDistanceCum(0), 0.0);
+    EXPECT_LE(rt.depDistanceCum(6), 1.0);
+}
+
+TEST(RegTrafficTest, FinishIsIdempotent)
+{
+    RegTrafficAnalyzer rt;
+    rt.accept(test::alu(1, {}));
+    rt.accept(test::alu(2, {1}));
+    rt.finish();
+    const double first = rt.avgDegreeOfUse();
+    rt.finish();
+    EXPECT_DOUBLE_EQ(rt.avgDegreeOfUse(), first);
+}
+
+// ----------------------------------------------------------------------
+// Working sets (characteristics 20-23).
+// ----------------------------------------------------------------------
+
+TEST(WorkingSetTest, CountsUniqueBlocksAndPages)
+{
+    WorkingSetAnalyzer ws;
+    // Two accesses in one 32B block, one in another block same page,
+    // one on a different page.
+    feed(ws, {test::load(0x10000), test::load(0x10004),
+              test::load(0x10020), test::load(0x20000)});
+    EXPECT_EQ(ws.dBlocks(), 3u);
+    EXPECT_EQ(ws.dPages(), 2u);
+}
+
+TEST(WorkingSetTest, InstructionStreamUsesFetchAddresses)
+{
+    WorkingSetAnalyzer ws;
+    feed(ws, {test::alu(1), test::alu(1)});     // both at pc 0
+    EXPECT_EQ(ws.iBlocks(), 1u);
+    EXPECT_EQ(ws.iPages(), 1u);
+    EXPECT_EQ(ws.dBlocks(), 0u);
+}
+
+TEST(WorkingSetTest, NonMemInstructionsDoNotTouchDataStream)
+{
+    WorkingSetAnalyzer ws;
+    feed(ws, {test::alu(1), test::branch(0x40, true)});
+    EXPECT_EQ(ws.dBlocks(), 0u);
+    EXPECT_EQ(ws.dPages(), 0u);
+    EXPECT_EQ(ws.iBlocks(), 2u);    // pc 0 and pc 0x40
+}
+
+TEST(WorkingSetTest, SequentialWalkTouchesExpectedCounts)
+{
+    WorkingSetAnalyzer ws;
+    std::vector<InstRecord> recs;
+    for (uint64_t a = 0; a < 4096; a += 8)
+        recs.push_back(test::load(0x100000 + a));
+    feed(ws, recs);
+    EXPECT_EQ(ws.dBlocks(), 4096u / 32);
+    EXPECT_EQ(ws.dPages(), 1u);
+}
+
+TEST(WorkingSetTest, StoresContributeToTheDataStream)
+{
+    WorkingSetAnalyzer ws;
+    feed(ws, {test::store(0x5000), test::load(0x9000)});
+    EXPECT_EQ(ws.dBlocks(), 2u);
+    EXPECT_EQ(ws.dPages(), 2u);
+}
+
+// ----------------------------------------------------------------------
+// Strides (characteristics 24-43).
+// ----------------------------------------------------------------------
+
+TEST(StrideTest, GlobalStrideIsBetweenTemporallyAdjacentAccesses)
+{
+    StrideAnalyzer st;
+    feed(st, {test::load(100, 1, 0x10), test::load(108, 1, 0x20),
+              test::load(100, 1, 0x10)});
+    // Two global strides: 8 and 8.
+    EXPECT_EQ(st.globalLoad().total, 2u);
+    EXPECT_DOUBLE_EQ(st.globalLoad().prob(0), 0.0);     // stride 0
+    EXPECT_DOUBLE_EQ(st.globalLoad().prob(1), 1.0);     // <= 8
+}
+
+TEST(StrideTest, LocalStridesTrackPerPc)
+{
+    StrideAnalyzer st;
+    // pc 0x10 strides by 8; pc 0x20 strides by 4096.
+    feed(st, {test::load(0, 1, 0x10), test::load(100000, 1, 0x20),
+              test::load(8, 1, 0x10), test::load(104096, 1, 0x20)});
+    EXPECT_EQ(st.localLoad().total, 2u);
+    EXPECT_DOUBLE_EQ(st.localLoad().prob(1), 0.5);      // <= 8
+    EXPECT_DOUBLE_EQ(st.localLoad().prob(4), 1.0);      // <= 4096
+}
+
+TEST(StrideTest, LoadsAndStoresAreSeparateStreams)
+{
+    StrideAnalyzer st;
+    feed(st, {test::load(0), test::store(1000000), test::load(8)});
+    // The intervening store must not perturb the load stream.
+    EXPECT_EQ(st.globalLoad().total, 1u);
+    EXPECT_DOUBLE_EQ(st.globalLoad().prob(1), 1.0);
+    EXPECT_EQ(st.globalStore().total, 0u);
+}
+
+TEST(StrideTest, ZeroStrideDetected)
+{
+    StrideAnalyzer st;
+    feed(st, {test::load(64, 1, 0x8), test::load(64, 1, 0x8)});
+    EXPECT_DOUBLE_EQ(st.localLoad().prob(0), 1.0);
+    EXPECT_DOUBLE_EQ(st.globalLoad().prob(0), 1.0);
+}
+
+TEST(StrideTest, NegativeStridesUseAbsoluteDistance)
+{
+    StrideAnalyzer st;
+    feed(st, {test::load(1000), test::load(936)});      // -64
+    EXPECT_DOUBLE_EQ(st.globalLoad().prob(2), 1.0);     // <= 64
+    EXPECT_DOUBLE_EQ(st.globalLoad().prob(1), 0.0);     // not <= 8
+}
+
+TEST(StrideTest, CumulativeProbabilitiesAreMonotone)
+{
+    RandomTraceParams p;
+    p.numInsts = 30000;
+    p.seed = 21;
+    RandomTraceSource src(p);
+    StrideAnalyzer st;
+    InstRecord r;
+    while (src.next(r))
+        st.accept(r);
+    st.finish();
+    for (const auto *d : {&st.localLoad(), &st.globalLoad(),
+                          &st.localStore(), &st.globalStore()}) {
+        for (size_t c = 1; c < StrideAnalyzer::kCuts.size(); ++c)
+            EXPECT_LE(d->prob(c - 1), d->prob(c) + 1e-12);
+        EXPECT_LE(d->prob(4), 1.0);
+    }
+}
+
+TEST(StrideTest, FirstAccessProducesNoStride)
+{
+    StrideAnalyzer st;
+    feed(st, {test::load(0x100)});
+    EXPECT_EQ(st.globalLoad().total, 0u);
+    EXPECT_EQ(st.localLoad().total, 0u);
+}
+
+// ----------------------------------------------------------------------
+// PPM branch predictability (characteristics 44-47).
+// ----------------------------------------------------------------------
+
+TEST(PpmTest, AlwaysTakenIsNearlyPerfectlyPredicted)
+{
+    PpmBranchAnalyzer ppm(8);
+    std::vector<InstRecord> recs;
+    for (int i = 0; i < 2000; ++i)
+        recs.push_back(test::branch(0x100, true));
+    feed(ppm, recs);
+    EXPECT_EQ(ppm.branches(), 2000u);
+    EXPECT_LT(ppm.missRateGAg(), 0.01);
+    EXPECT_LT(ppm.missRatePAg(), 0.01);
+    EXPECT_LT(ppm.missRateGAs(), 0.01);
+    EXPECT_LT(ppm.missRatePAs(), 0.01);
+}
+
+TEST(PpmTest, AlternatingPatternIsLearnedByHistory)
+{
+    PpmBranchAnalyzer ppm(8);
+    std::vector<InstRecord> recs;
+    for (int i = 0; i < 4000; ++i)
+        recs.push_back(test::branch(0x100, i % 2 == 0));
+    feed(ppm, recs);
+    // All four variants see the alternating history.
+    EXPECT_LT(ppm.missRateGAg(), 0.05);
+    EXPECT_LT(ppm.missRatePAs(), 0.05);
+}
+
+TEST(PpmTest, LongPeriodicPatternNeedsEnoughContext)
+{
+    // Period-6 pattern: predictable with order >= 6, not with order 2.
+    const auto run = [](unsigned order) {
+        PpmBranchAnalyzer ppm(order);
+        std::vector<InstRecord> recs;
+        for (int i = 0; i < 6000; ++i)
+            recs.push_back(test::branch(0x40, (i % 6) < 3));
+        for (const auto &r : recs)
+            ppm.accept(r);
+        return ppm.missRateGAg();
+    };
+    EXPECT_LT(run(8), 0.02);
+    EXPECT_GT(run(2), 0.10);
+}
+
+TEST(PpmTest, RandomBranchesAreUnpredictable)
+{
+    Rng rng(7);
+    PpmBranchAnalyzer ppm(8);
+    std::vector<InstRecord> recs;
+    for (int i = 0; i < 20000; ++i)
+        recs.push_back(test::branch(0x100, rng.chance(0.5)));
+    feed(ppm, recs);
+    EXPECT_GT(ppm.missRateGAg(), 0.40);
+    EXPECT_LT(ppm.missRateGAg(), 0.60);
+}
+
+TEST(PpmTest, BiasedRandomApproachesBiasRate)
+{
+    Rng rng(9);
+    PpmBranchAnalyzer ppm(8);
+    std::vector<InstRecord> recs;
+    for (int i = 0; i < 20000; ++i)
+        recs.push_back(test::branch(0x100, rng.chance(0.9)));
+    feed(ppm, recs);
+    // An ideal predictor mispredicts ~10%; PPM should be close.
+    EXPECT_LT(ppm.missRateGAg(), 0.2);
+    EXPECT_GT(ppm.missRateGAg(), 0.05);
+}
+
+TEST(PpmTest, PerAddressVariantsSeparateInterleavedBranches)
+{
+    // Branch A always taken, branch B alternates; interleaved they
+    // look noisy to a short global history but trivial per address.
+    std::vector<InstRecord> recs;
+    for (int i = 0; i < 4000; ++i) {
+        recs.push_back(test::branch(0xA0, true));
+        recs.push_back(test::branch(0xB0, i % 2 == 0));
+    }
+    PpmBranchAnalyzer low(1);
+    for (const auto &r : recs)
+        low.accept(r);
+    EXPECT_LT(low.missRatePAs(), low.missRateGAg() + 1e-9);
+    EXPECT_LT(low.missRatePAs(), 0.05);
+}
+
+TEST(PpmTest, OnlyConditionalBranchesAreCounted)
+{
+    PpmBranchAnalyzer ppm(4);
+    Rec jump(InstClass::Jump);
+    jump.taken(true);
+    feed(ppm, {test::alu(1), jump, test::load(0x100)});
+    EXPECT_EQ(ppm.branches(), 0u);
+}
+
+TEST(PpmTest, MissRatesAreProbabilities)
+{
+    Rng rng(31);
+    PpmBranchAnalyzer ppm(6);
+    for (int i = 0; i < 5000; ++i)
+        ppm.accept(test::branch(0x10 + 16 * (i % 7), rng.chance(0.3)));
+    ppm.finish();
+    for (double m : {ppm.missRateGAg(), ppm.missRatePAg(),
+                     ppm.missRateGAs(), ppm.missRatePAs()}) {
+        EXPECT_GE(m, 0.0);
+        EXPECT_LE(m, 1.0);
+    }
+}
+
+TEST(PpmPredictorTest, TableGrowsWithDistinctContexts)
+{
+    PpmPredictor p(PpmPredictor::History::Global,
+                   PpmPredictor::Tables::Shared, 4);
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        p.predictAndUpdate(0x100, rng.chance(0.5));
+    EXPECT_GT(p.tableEntries(), 16u);
+    EXPECT_EQ(p.maxOrder(), 4u);
+}
+
+} // namespace
+} // namespace mica

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Registry-wide property tests: for EVERY one of the 122 benchmarks,
+ * the measured 47-characteristic profile and the hardware-counter
+ * profile must satisfy the invariants the characteristics are defined
+ * by (bounds, monotone CDFs, cross-metric consistency).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "isa/interpreter.hh"
+#include "mica/profile.hh"
+#include "mica/runner.hh"
+#include "uarch/hpc_runner.hh"
+#include "workloads/registry.hh"
+
+namespace mica
+{
+namespace
+{
+
+constexpr uint64_t kBudget = 60000;
+
+class ProfilePropertyTest : public ::testing::TestWithParam<size_t>
+{
+  protected:
+    static MicaProfile
+    micaProfile(size_t idx)
+    {
+        const auto &e =
+            workloads::BenchmarkRegistry::instance().all()[idx];
+        const isa::Program prog = e.build();
+        isa::Interpreter interp(prog);
+        MicaRunnerConfig cfg;
+        cfg.maxInsts = kBudget;
+        return collectMicaProfile(interp, e.info.fullName(), cfg);
+    }
+
+    static uarch::HwCounterProfile
+    hpcProfile(size_t idx)
+    {
+        const auto &e =
+            workloads::BenchmarkRegistry::instance().all()[idx];
+        const isa::Program prog = e.build();
+        isa::Interpreter interp(prog);
+        return uarch::collectHwProfile(interp, e.info.fullName(),
+                                       kBudget);
+    }
+};
+
+TEST_P(ProfilePropertyTest, MixPercentagesFormAPartition)
+{
+    const MicaProfile p = micaProfile(GetParam());
+    double sum = 0.0;
+    for (size_t c = PctLoads; c <= PctFpOps; ++c) {
+        EXPECT_GE(p[c], 0.0) << micaCharInfo(c).name;
+        EXPECT_LE(p[c], 100.0) << micaCharInfo(c).name;
+        sum += p[c];
+    }
+    // Mix classes partition the non-Nop instructions.
+    EXPECT_LE(sum, 100.0 + 1e-9);
+    EXPECT_GT(sum, 50.0);   // a real program is not mostly Nops
+}
+
+TEST_P(ProfilePropertyTest, IlpIsBoundedAndMonotoneInWindowSize)
+{
+    const MicaProfile p = micaProfile(GetParam());
+    EXPECT_GE(p[Ilp32], 1.0);
+    EXPECT_LE(p[Ilp32], p[Ilp64] + 1e-9);
+    EXPECT_LE(p[Ilp64], p[Ilp128] + 1e-9);
+    EXPECT_LE(p[Ilp128], p[Ilp256] + 1e-9);
+    EXPECT_LE(p[Ilp256], 256.0);
+}
+
+TEST_P(ProfilePropertyTest, RegisterTrafficInvariants)
+{
+    const MicaProfile p = micaProfile(GetParam());
+    EXPECT_GE(p[AvgInputOperands], 0.0);
+    EXPECT_LE(p[AvgInputOperands], 3.0);    // max sources per record
+    EXPECT_GE(p[AvgDegreeOfUse], 0.0);
+    // Dependency-distance CDF: monotone, within [0, 1].
+    for (size_t c = RegDepEq1; c <= RegDepLe64; ++c) {
+        EXPECT_GE(p[c], 0.0) << micaCharInfo(c).name;
+        EXPECT_LE(p[c], 1.0) << micaCharInfo(c).name;
+        if (c > RegDepEq1)
+            EXPECT_GE(p[c] + 1e-12, p[c - 1]) << micaCharInfo(c).name;
+    }
+}
+
+TEST_P(ProfilePropertyTest, WorkingSetsAreConsistent)
+{
+    const MicaProfile p = micaProfile(GetParam());
+    // Every benchmark touches data and executes code.
+    EXPECT_GT(p[DWorkSet32B], 0.0);
+    EXPECT_GT(p[IWorkSet32B], 0.0);
+    // Finer granularity can only see more units, and a 4KB page holds
+    // 128 32-byte blocks.
+    EXPECT_GE(p[DWorkSet32B], p[DWorkSet4K]);
+    EXPECT_LE(p[DWorkSet32B], 128.0 * p[DWorkSet4K]);
+    EXPECT_GE(p[IWorkSet32B], p[IWorkSet4K]);
+    EXPECT_LE(p[IWorkSet32B], 128.0 * p[IWorkSet4K]);
+}
+
+TEST_P(ProfilePropertyTest, StrideCdfsAreMonotoneProbabilities)
+{
+    const MicaProfile p = micaProfile(GetParam());
+    const size_t starts[] = {LocalLoadStrideEq0, GlobalLoadStrideEq0,
+                             LocalStoreStrideEq0, GlobalStoreStrideEq0};
+    for (size_t s : starts) {
+        for (size_t c = s; c < s + 5; ++c) {
+            EXPECT_GE(p[c], 0.0) << micaCharInfo(c).name;
+            EXPECT_LE(p[c], 1.0) << micaCharInfo(c).name;
+            if (c > s)
+                EXPECT_GE(p[c] + 1e-12, p[c - 1])
+                    << micaCharInfo(c).name;
+        }
+    }
+}
+
+TEST_P(ProfilePropertyTest, PpmMissRatesAreProbabilities)
+{
+    const MicaProfile p = micaProfile(GetParam());
+    for (size_t c = PpmGAg; c <= PpmPAs; ++c) {
+        EXPECT_GE(p[c], 0.0) << micaCharInfo(c).name;
+        EXPECT_LE(p[c], 1.0) << micaCharInfo(c).name;
+    }
+    // Per-branch tables cannot be worse than sharing one table with
+    // everything on average... they can, slightly, via cold starts; so
+    // only sanity-bound the spread between variants.
+    EXPECT_LT(std::fabs(p[PpmGAs] - p[PpmGAg]), 0.6);
+}
+
+TEST_P(ProfilePropertyTest, HpcMetricsAreWellFormed)
+{
+    const auto h = hpcProfile(GetParam());
+    EXPECT_GT(h.ipcEv56, 0.0);
+    EXPECT_LE(h.ipcEv56, 2.0 + 1e-9);
+    EXPECT_GT(h.ipcEv67, 0.0);
+    EXPECT_LE(h.ipcEv67, 4.0 + 1e-9);
+    for (double r : {h.branchMissRate, h.l1dMissRate, h.l1iMissRate,
+                     h.l2MissRate, h.dtlbMissRate}) {
+        EXPECT_GE(r, 0.0);
+        EXPECT_LE(r, 1.0);
+    }
+    EXPECT_GT(h.instCount, 0u);
+}
+
+std::string
+propTestName(const ::testing::TestParamInfo<size_t> &info)
+{
+    std::string n = workloads::BenchmarkRegistry::instance()
+                        .all()[info.param]
+                        .info.fullName();
+    for (char &c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(All122, ProfilePropertyTest,
+                         ::testing::Range<size_t>(0, 122), propTestName);
+
+} // namespace
+} // namespace mica

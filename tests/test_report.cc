@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the reporting helpers: text tables and ASCII plots.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/ascii_plot.hh"
+#include "report/table.hh"
+
+namespace mica::report
+{
+namespace
+{
+
+TEST(TextTableTest, RendersHeadersAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    const std::string out = t.render("My Table");
+    EXPECT_NE(out.find("My Table"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTableTest, ArityMismatchThrows)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, ColumnsAreAligned)
+{
+    TextTable t({"n", "val"}, {Align::Left, Align::Right});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "100"});
+    const std::string out = t.render();
+    // Each line of the body must have the same length (fixed width).
+    size_t firstLen = 0;
+    size_t lines = 0;
+    std::stringstream ss(out);
+    std::string line;
+    while (std::getline(ss, line)) {
+        if (line.empty())
+            continue;
+        if (firstLen == 0)
+            firstLen = line.size();
+        EXPECT_EQ(line.size(), firstLen);
+        ++lines;
+    }
+    EXPECT_GE(lines, 4u);   // header, separator, two rows
+}
+
+TEST(TextTableTest, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+    EXPECT_EQ(TextTable::pct(0.256, 1), "25.6%");
+    EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(ScatterPlotTest, MarksPointsAndLegend)
+{
+    Series s;
+    s.label = "mydata";
+    s.marker = 'o';
+    s.x = {0.0, 0.5, 1.0};
+    s.y = {0.0, 0.5, 1.0};
+    PlotConfig cfg;
+    cfg.width = 20;
+    cfg.height = 10;
+    cfg.title = "diag";
+    const std::string out = scatterPlot({s}, cfg);
+    EXPECT_NE(out.find('o'), std::string::npos);
+    EXPECT_NE(out.find("mydata"), std::string::npos);
+    EXPECT_NE(out.find("diag"), std::string::npos);
+}
+
+TEST(ScatterPlotTest, FixedScaleClampsRange)
+{
+    Series s;
+    s.label = "s";
+    s.x = {0.5};
+    s.y = {0.5};
+    PlotConfig cfg;
+    cfg.width = 10;
+    cfg.height = 6;
+    cfg.fixedScale = true;
+    cfg.xMin = 0;
+    cfg.xMax = 1;
+    cfg.yMin = 0;
+    cfg.yMax = 1;
+    const std::string out = scatterPlot({s}, cfg);
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(ScatterPlotTest, EmptySeriesDoesNotCrash)
+{
+    PlotConfig cfg;
+    const std::string out = scatterPlot({}, cfg);
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(DensityPlotTest, RampsWithDensity)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 500; ++i) {
+        x.push_back(0.5);
+        y.push_back(0.5);    // everything in one cell
+    }
+    x.push_back(0.9);
+    y.push_back(0.9);        // a single lonely point
+    PlotConfig cfg;
+    cfg.width = 12;
+    cfg.height = 8;
+    const std::string out = densityPlot(x, y, cfg);
+    EXPECT_NE(out.find('@'), std::string::npos);    // dense cell
+    EXPECT_NE(out.find('.'), std::string::npos);    // sparse cell
+}
+
+} // namespace
+} // namespace mica::report

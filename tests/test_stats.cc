@@ -1,0 +1,499 @@
+/**
+ * @file
+ * Tests for the statistics substrate: matrix, descriptive statistics,
+ * distances, PCA, k-means + BIC, and ROC analysis.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hh"
+#include "stats/distance.hh"
+#include "stats/kmeans.hh"
+#include "stats/matrix.hh"
+#include "stats/pca.hh"
+#include "stats/rng.hh"
+#include "stats/roc.hh"
+
+namespace mica
+{
+namespace
+{
+
+// ----------------------------------------------------------------------
+// Matrix.
+// ----------------------------------------------------------------------
+
+TEST(MatrixTest, AppendRowFixesColumnCount)
+{
+    Matrix m;
+    m.appendRow({1, 2, 3});
+    EXPECT_EQ(m.rows(), 1u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_THROW(m.appendRow({1, 2}), std::invalid_argument);
+}
+
+TEST(MatrixTest, ElementAccessRowMajor)
+{
+    Matrix m(2, 3);
+    m.at(1, 2) = 7.5;
+    EXPECT_DOUBLE_EQ(m(1, 2), 7.5);
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, RowAndColVectors)
+{
+    Matrix m;
+    m.appendRow({1, 2});
+    m.appendRow({3, 4});
+    EXPECT_EQ(m.rowVec(1), (std::vector<double>{3, 4}));
+    EXPECT_EQ(m.colVec(0), (std::vector<double>{1, 3}));
+}
+
+TEST(MatrixTest, SelectColsReordersAndCopiesNames)
+{
+    Matrix m;
+    m.appendRow({1, 2, 3});
+    m.appendRow({4, 5, 6});
+    m.colNames = {"a", "b", "c"};
+    m.rowNames = {"r0", "r1"};
+    const Matrix s = m.selectCols({2, 0});
+    EXPECT_EQ(s.cols(), 2u);
+    EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(s(1, 1), 4.0);
+    EXPECT_EQ(s.colNames, (std::vector<std::string>{"c", "a"}));
+    EXPECT_EQ(s.rowNames, m.rowNames);
+}
+
+// ----------------------------------------------------------------------
+// Descriptive statistics.
+// ----------------------------------------------------------------------
+
+TEST(DescriptiveTest, MeanAndStddevClosedForm)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stddev({5, 5, 5}), 0.0);
+}
+
+TEST(DescriptiveTest, PearsonPerfectAndInverse)
+{
+    EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+    EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, PearsonConstantInputGivesZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(DescriptiveTest, PearsonIsSymmetric)
+{
+    Rng rng(4);
+    std::vector<double> a(50), b(50);
+    for (size_t i = 0; i < a.size(); ++i) {
+        a[i] = rng.gauss();
+        b[i] = rng.gauss();
+    }
+    EXPECT_NEAR(pearson(a, b), pearson(b, a), 1e-14);
+    EXPECT_LE(std::fabs(pearson(a, b)), 1.0);
+}
+
+TEST(DescriptiveTest, ZscoreNormalizesEveryColumn)
+{
+    Matrix m;
+    Rng rng(8);
+    for (int r = 0; r < 40; ++r)
+        m.appendRow({rng.unit() * 100, rng.gauss() * 3 + 7, 5.0});
+    zscoreNormalize(m);
+    for (size_t c = 0; c < 2; ++c) {
+        EXPECT_NEAR(mean(m.colVec(c)), 0.0, 1e-10);
+        EXPECT_NEAR(stddev(m.colVec(c)), 1.0, 1e-10);
+    }
+    // Constant column maps to zero, not NaN.
+    for (double v : m.colVec(2))
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(DescriptiveTest, MinmaxMapsToUnitInterval)
+{
+    Matrix m;
+    m.appendRow({10, 3});
+    m.appendRow({20, 3});
+    m.appendRow({15, 3});
+    minmaxNormalize(m);
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m(2, 0), 0.5);
+    EXPECT_DOUBLE_EQ(m(0, 1), 0.5);     // constant column -> middle
+}
+
+TEST(DescriptiveTest, CorrelationMatrixHasUnitDiagonal)
+{
+    Matrix m;
+    Rng rng(12);
+    for (int r = 0; r < 60; ++r) {
+        const double x = rng.gauss();
+        m.appendRow({x, -x, rng.gauss()});
+    }
+    const Matrix c = correlationMatrix(m);
+    EXPECT_EQ(c.rows(), 3u);
+    EXPECT_EQ(c.cols(), 3u);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(c(i, i), 1.0, 1e-12);
+    EXPECT_NEAR(c(0, 1), -1.0, 1e-12);
+    EXPECT_NEAR(c(0, 2), c(2, 0), 1e-14);
+    EXPECT_LT(std::fabs(c(0, 2)), 0.4);
+}
+
+// ----------------------------------------------------------------------
+// Distances.
+// ----------------------------------------------------------------------
+
+TEST(DistanceTest, ClosedFormPairs)
+{
+    Matrix m;
+    m.appendRow({0, 0});
+    m.appendRow({3, 4});
+    m.appendRow({0, 1});
+    const DistanceMatrix d(m);
+    EXPECT_EQ(d.numItems(), 3u);
+    EXPECT_EQ(d.numPairs(), 3u);
+    EXPECT_DOUBLE_EQ(d.at(0, 1), 5.0);
+    EXPECT_DOUBLE_EQ(d.at(0, 2), 1.0);
+    EXPECT_DOUBLE_EQ(d.at(1, 2), std::sqrt(9.0 + 9.0));
+}
+
+TEST(DistanceTest, SymmetricAndZeroDiagonal)
+{
+    Matrix m;
+    Rng rng(3);
+    for (int r = 0; r < 10; ++r)
+        m.appendRow({rng.gauss(), rng.gauss(), rng.gauss()});
+    const DistanceMatrix d(m);
+    for (size_t i = 0; i < 10; ++i) {
+        EXPECT_DOUBLE_EQ(d.at(i, i), 0.0);
+        for (size_t j = 0; j < 10; ++j)
+            EXPECT_DOUBLE_EQ(d.at(i, j), d.at(j, i));
+    }
+}
+
+TEST(DistanceTest, TriangleInequalityHolds)
+{
+    Matrix m;
+    Rng rng(6);
+    for (int r = 0; r < 12; ++r)
+        m.appendRow({rng.gauss(), rng.gauss()});
+    const DistanceMatrix d(m);
+    for (size_t i = 0; i < 12; ++i)
+        for (size_t j = 0; j < 12; ++j)
+            for (size_t k = 0; k < 12; ++k)
+                EXPECT_LE(d.at(i, j), d.at(i, k) + d.at(k, j) + 1e-9);
+}
+
+TEST(DistanceTest, PairIndexRoundTrip)
+{
+    Matrix m(7, 2);
+    const DistanceMatrix d(m);
+    size_t idx = 0;
+    for (size_t i = 0; i < 7; ++i) {
+        for (size_t j = i + 1; j < 7; ++j, ++idx) {
+            EXPECT_EQ(d.pairIndex(i, j), idx);
+            const auto [pi, pj] = d.pairOf(idx);
+            EXPECT_EQ(pi, i);
+            EXPECT_EQ(pj, j);
+        }
+    }
+}
+
+TEST(DistanceTest, SubsetColumnsMatchManualSelection)
+{
+    Matrix m;
+    Rng rng(9);
+    for (int r = 0; r < 8; ++r)
+        m.appendRow({rng.gauss(), rng.gauss(), rng.gauss(),
+                     rng.gauss()});
+    const DistanceMatrix full(m.selectCols({1, 3}));
+    const DistanceMatrix sub(m, {1, 3});
+    ASSERT_EQ(full.numPairs(), sub.numPairs());
+    for (size_t i = 0; i < full.numPairs(); ++i)
+        EXPECT_NEAR(full.condensed()[i], sub.condensed()[i], 1e-12);
+}
+
+TEST(DistanceTest, MaxDistanceMatchesScan)
+{
+    Matrix m;
+    m.appendRow({0.0});
+    m.appendRow({10.0});
+    m.appendRow({4.0});
+    const DistanceMatrix d(m);
+    EXPECT_DOUBLE_EQ(d.maxDistance(), 10.0);
+}
+
+// ----------------------------------------------------------------------
+// PCA.
+// ----------------------------------------------------------------------
+
+TEST(PcaTest, RecoversDominantDirection)
+{
+    // Points along y = 2x with small noise: PC1 ~ (1, 2)/sqrt(5).
+    Matrix m;
+    Rng rng(14);
+    for (int i = 0; i < 200; ++i) {
+        const double t = rng.gauss();
+        m.appendRow({t + 0.01 * rng.gauss(), 2 * t + 0.01 * rng.gauss()});
+    }
+    const PcaResult pca = pcaFit(m);
+    ASSERT_EQ(pca.eigenvalues.size(), 2u);
+    EXPECT_GT(pca.eigenvalues[0], pca.eigenvalues[1]);
+    const double ratio = std::fabs(pca.components(0, 1) /
+                                   pca.components(0, 0));
+    EXPECT_NEAR(ratio, 2.0, 0.05);
+    EXPECT_GT(pca.varianceExplained(1), 0.99);
+}
+
+TEST(PcaTest, EigenvaluesSumToTotalVariance)
+{
+    Matrix m;
+    Rng rng(15);
+    for (int i = 0; i < 100; ++i)
+        m.appendRow({rng.gauss() * 2, rng.gauss(), rng.gauss() * 0.5});
+    const PcaResult pca = pcaFit(m);
+    double evSum = 0, var = 0;
+    for (double e : pca.eigenvalues)
+        evSum += e;
+    for (size_t c = 0; c < 3; ++c) {
+        const double s = stddev(m.colVec(c));
+        var += s * s;
+    }
+    EXPECT_NEAR(evSum, var, var * 0.02);
+    EXPECT_NEAR(pca.varianceExplained(3), 1.0, 1e-9);
+}
+
+TEST(PcaTest, ProjectionPreservesPairwiseStructure)
+{
+    Matrix m;
+    Rng rng(16);
+    for (int i = 0; i < 30; ++i) {
+        const double t = rng.gauss();
+        m.appendRow({t, 2 * t, -t});
+    }
+    const PcaResult pca = pcaFit(m);
+    const Matrix p = pca.project(m, 1);
+    EXPECT_EQ(p.rows(), 30u);
+    EXPECT_EQ(p.cols(), 1u);
+    // Distances in 1-D PC space match full-space distances (rank 1).
+    const DistanceMatrix dFull(m), dProj(p);
+    EXPECT_GT(pearson(dFull.condensed(), dProj.condensed()), 0.999);
+}
+
+// ----------------------------------------------------------------------
+// K-means and BIC.
+// ----------------------------------------------------------------------
+
+Matrix
+threeBlobs(int perBlob, uint64_t seed)
+{
+    Matrix m;
+    Rng rng(seed);
+    const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    for (int b = 0; b < 3; ++b) {
+        for (int i = 0; i < perBlob; ++i) {
+            m.appendRow({centers[b][0] + 0.5 * rng.gauss(),
+                         centers[b][1] + 0.5 * rng.gauss()});
+        }
+    }
+    return m;
+}
+
+TEST(KMeansTest, RecoversSeparableBlobs)
+{
+    const Matrix m = threeBlobs(30, 19);
+    KMeansParams params;
+    params.k = 3;
+    params.seed = 7;
+    const KMeansResult res = kMeansFit(m, params);
+    EXPECT_EQ(res.k, 3u);
+    ASSERT_EQ(res.assignment.size(), 90u);
+    // All members of a ground-truth blob share one label.
+    for (int b = 0; b < 3; ++b) {
+        const int label = res.assignment[b * 30];
+        for (int i = 0; i < 30; ++i)
+            EXPECT_EQ(res.assignment[b * 30 + i], label);
+    }
+    EXPECT_LT(res.inertia, 90 * 1.0);
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed)
+{
+    const Matrix m = threeBlobs(20, 23);
+    KMeansParams params;
+    params.k = 4;
+    params.seed = 11;
+    const KMeansResult a = kMeansFit(m, params);
+    const KMeansResult b = kMeansFit(m, params);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, MoreClustersNeverIncreaseInertia)
+{
+    const Matrix m = threeBlobs(20, 29);
+    double last = 1e300;
+    for (size_t k = 1; k <= 6; ++k) {
+        KMeansParams params;
+        params.k = k;
+        params.seed = 3;
+        params.restarts = 5;
+        const KMeansResult res = kMeansFit(m, params);
+        EXPECT_LE(res.inertia, last * 1.001);
+        last = res.inertia;
+    }
+}
+
+TEST(KMeansTest, KOneCentroidIsTheMean)
+{
+    Matrix m;
+    m.appendRow({1, 1});
+    m.appendRow({3, 5});
+    KMeansParams params;
+    params.k = 1;
+    const KMeansResult res = kMeansFit(m, params);
+    EXPECT_DOUBLE_EQ(res.centroids(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(res.centroids(0, 1), 3.0);
+}
+
+TEST(KMeansTest, MembersListMatchesAssignment)
+{
+    const Matrix m = threeBlobs(10, 31);
+    KMeansParams params;
+    params.k = 3;
+    const KMeansResult res = kMeansFit(m, params);
+    size_t total = 0;
+    for (size_t c = 0; c < 3; ++c) {
+        for (size_t r : res.members(c))
+            EXPECT_EQ(res.assignment[r], static_cast<int>(c));
+        total += res.members(c).size();
+    }
+    EXPECT_EQ(total, m.rows());
+}
+
+TEST(BicTest, PrefersTheTrueClusterCount)
+{
+    const Matrix m = threeBlobs(40, 37);
+    const BicSweepResult sweep = bicSweep(m, 8, 5);
+    EXPECT_EQ(sweep.bicByK.size(), 8u);
+    // The 90%-of-max rule should land on K = 3 for clean blobs.
+    EXPECT_EQ(sweep.chosenK, 3u);
+}
+
+TEST(BicTest, SweepIsDeterministic)
+{
+    const Matrix m = threeBlobs(15, 41);
+    const BicSweepResult a = bicSweep(m, 6, 9);
+    const BicSweepResult b = bicSweep(m, 6, 9);
+    EXPECT_EQ(a.chosenK, b.chosenK);
+    EXPECT_EQ(a.bicByK, b.bicByK);
+}
+
+// ----------------------------------------------------------------------
+// ROC.
+// ----------------------------------------------------------------------
+
+TEST(RocTest, PerfectSeparationGivesAucOne)
+{
+    std::vector<bool> labels;
+    std::vector<double> scores;
+    for (int i = 0; i < 50; ++i) {
+        labels.push_back(false);
+        scores.push_back(i * 0.01);             // negatives low
+        labels.push_back(true);
+        scores.push_back(10.0 + i * 0.01);      // positives high
+    }
+    const RocCurve roc = rocCurve(labels, scores);
+    EXPECT_NEAR(roc.auc, 1.0, 1e-9);
+}
+
+TEST(RocTest, InvertedScoresGiveAucZero)
+{
+    std::vector<bool> labels;
+    std::vector<double> scores;
+    for (int i = 0; i < 50; ++i) {
+        labels.push_back(false);
+        scores.push_back(10.0 + i * 0.01);
+        labels.push_back(true);
+        scores.push_back(i * 0.01);
+    }
+    const RocCurve roc = rocCurve(labels, scores);
+    EXPECT_NEAR(roc.auc, 0.0, 1e-9);
+}
+
+TEST(RocTest, RandomScoresGiveAucNearHalf)
+{
+    Rng rng(43);
+    std::vector<bool> labels;
+    std::vector<double> scores;
+    for (int i = 0; i < 4000; ++i) {
+        labels.push_back(rng.chance(0.5));
+        scores.push_back(rng.unit());
+    }
+    const RocCurve roc = rocCurve(labels, scores);
+    EXPECT_NEAR(roc.auc, 0.5, 0.05);
+}
+
+TEST(RocTest, CurveEndsAtCorners)
+{
+    Rng rng(47);
+    std::vector<bool> labels;
+    std::vector<double> scores;
+    for (int i = 0; i < 200; ++i) {
+        labels.push_back(rng.chance(0.4));
+        scores.push_back(rng.gauss());
+    }
+    const RocCurve roc = rocCurve(labels, scores);
+    ASSERT_GE(roc.points.size(), 2u);
+    // Sweep includes a threshold below all scores (sens = 1, spec = 0)
+    // and above all scores (sens = 0, spec = 1).
+    EXPECT_NEAR(roc.points.front().sensitivity, 0.0, 1e-9);
+    EXPECT_NEAR(roc.points.front().specificity, 1.0, 1e-9);
+    EXPECT_NEAR(roc.points.back().sensitivity, 1.0, 1e-9);
+    EXPECT_NEAR(roc.points.back().specificity, 0.0, 1e-9);
+}
+
+TEST(RocTest, FprIsMonotoneAlongTheCurve)
+{
+    Rng rng(53);
+    std::vector<bool> labels;
+    std::vector<double> scores;
+    for (int i = 0; i < 500; ++i) {
+        labels.push_back(rng.chance(0.3));
+        scores.push_back(rng.gauss() + (labels.back() ? 0.5 : 0.0));
+    }
+    const RocCurve roc = rocCurve(labels, scores);
+    for (size_t i = 1; i < roc.points.size(); ++i)
+        EXPECT_GE(roc.points[i].fpr() + 1e-12, roc.points[i - 1].fpr());
+    EXPECT_GT(roc.auc, 0.5);
+}
+
+TEST(RocTest, LabelsFromDistancesUsesFractionOfMax)
+{
+    const std::vector<double> dist = {0.0, 1.0, 4.0, 10.0};
+    const auto labels = labelsFromDistances(dist, 0.2);
+    // Threshold = 2.0: only 4.0 and 10.0 are "large".
+    EXPECT_EQ(labels,
+              (std::vector<bool>{false, false, true, true}));
+}
+
+TEST(RocTest, BestPointMaximizesYoudenIndex)
+{
+    std::vector<bool> labels = {false, false, true, true};
+    std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+    const RocCurve roc = rocCurve(labels, scores);
+    const RocPoint &bp = roc.bestPoint();
+    EXPECT_NEAR(bp.sensitivity + bp.specificity, 2.0, 1e-9);
+}
+
+} // namespace
+} // namespace mica

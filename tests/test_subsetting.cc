@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the benchmark-subsetting extension (cluster medoids).
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "methodology/subsetting.hh"
+#include "stats/rng.hh"
+
+namespace mica
+{
+namespace
+{
+
+/** Three tight, well-separated groups with names. */
+Matrix
+groups(uint64_t seed, int perGroup = 10)
+{
+    Matrix m;
+    Rng rng(seed);
+    const double centers[3][2] = {{0, 0}, {30, 0}, {0, 30}};
+    int idx = 0;
+    for (int g = 0; g < 3; ++g) {
+        for (int i = 0; i < perGroup; ++i, ++idx) {
+            m.appendRow({centers[g][0] + 0.2 * rng.gauss(),
+                         centers[g][1] + 0.2 * rng.gauss()});
+            m.rowNames.push_back("b" + std::to_string(idx));
+        }
+    }
+    return m;
+}
+
+TEST(SubsettingTest, PicksOneMedoidPerGroup)
+{
+    const Matrix m = groups(3);
+    const SubsetResult r = selectRepresentatives(m, 10, 5, 0.9, 0.0);
+    EXPECT_EQ(r.representatives.size(), 3u);
+    EXPECT_EQ(r.populationSize, 30u);
+    EXPECT_NEAR(r.reductionFactor, 10.0, 1e-9);
+    // Each representative covers one full group, and the medoid is a
+    // member of the group it represents.
+    for (const auto &rep : r.representatives) {
+        EXPECT_EQ(rep.covers.size(), 10u);
+        EXPECT_NE(std::find(rep.covers.begin(), rep.covers.end(),
+                            rep.row),
+                  rep.covers.end());
+        EXPECT_LT(rep.maxDistance, 2.0);    // tight groups
+        EXPECT_LE(rep.meanDistance, rep.maxDistance);
+    }
+}
+
+TEST(SubsettingTest, CoverageStatsAggregateCorrectly)
+{
+    const Matrix m = groups(7);
+    const SubsetResult r = selectRepresentatives(m, 8, 9, 0.9, 0.0);
+    double worst = 0.0;
+    for (const auto &rep : r.representatives)
+        worst = std::max(worst, rep.maxDistance);
+    EXPECT_DOUBLE_EQ(r.maxCoverDistance, worst);
+    EXPECT_GT(r.meanCoverDistance, 0.0);
+    EXPECT_LE(r.meanCoverDistance, r.maxCoverDistance);
+}
+
+TEST(SubsettingTest, SelectedRowsAreSortedAndUnique)
+{
+    const Matrix m = groups(11);
+    const SubsetResult r = selectRepresentatives(m, 8, 13, 0.9, 0.0);
+    const auto rows = r.selectedRows();
+    ASSERT_EQ(rows.size(), r.representatives.size());
+    for (size_t i = 1; i < rows.size(); ++i)
+        EXPECT_LT(rows[i - 1], rows[i]);
+}
+
+TEST(SubsettingTest, EveryBenchmarkIsCoveredExactlyOnce)
+{
+    const Matrix m = groups(17);
+    const SubsetResult r = selectRepresentatives(m, 10, 19, 0.9, 0.0);
+    std::vector<int> covered(m.rows(), 0);
+    for (const auto &rep : r.representatives)
+        for (size_t c : rep.covers)
+            ++covered[c];
+    for (int c : covered)
+        EXPECT_EQ(c, 1);
+}
+
+TEST(SubsettingTest, FixedKControlsSubsetSize)
+{
+    const Matrix m = groups(23, 12);
+    for (size_t k : {2u, 3u, 6u}) {
+        const SubsetResult r = selectKRepresentatives(m, k, 29);
+        EXPECT_EQ(r.representatives.size(), k);
+    }
+}
+
+TEST(SubsettingTest, MoreRepresentativesNeverWorsenMeanCoverage)
+{
+    Matrix m;
+    Rng rng(31);
+    for (int i = 0; i < 60; ++i) {
+        m.appendRow({rng.gauss() * 3, rng.gauss() * 3});
+        m.rowNames.push_back("r" + std::to_string(i));
+    }
+    double prev = 1e300;
+    for (size_t k : {2u, 4u, 8u, 16u, 32u}) {
+        const SubsetResult r = selectKRepresentatives(m, k, 37);
+        EXPECT_LE(r.meanCoverDistance, prev + 0.15);
+        prev = r.meanCoverDistance;
+    }
+}
+
+TEST(SubsettingTest, KEqualPopulationGivesZeroCoverage)
+{
+    const Matrix m = groups(41, 4);
+    const SubsetResult r = selectKRepresentatives(m, m.rows(), 43);
+    EXPECT_NEAR(r.meanCoverDistance, 0.0, 1e-9);
+    EXPECT_NEAR(r.reductionFactor, 1.0, 1e-9);
+}
+
+TEST(SubsettingTest, RepresentativesSortedBySizeDescending)
+{
+    Matrix m = groups(47, 9);
+    // Add a singleton outlier -> smallest cluster last.
+    m.appendRow({500.0, 500.0});
+    m.rowNames.push_back("outlier");
+    const SubsetResult r = selectRepresentatives(m, 10, 51, 0.9, 0.0);
+    for (size_t i = 1; i < r.representatives.size(); ++i) {
+        EXPECT_GE(r.representatives[i - 1].covers.size(),
+                  r.representatives[i].covers.size());
+    }
+    EXPECT_EQ(r.representatives.back().name, "outlier");
+}
+
+} // namespace
+} // namespace mica

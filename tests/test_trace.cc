@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Tests for the trace substrate: InstRecord predicates, the analysis
+ * engine, and the synthetic trace sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "trace/engine.hh"
+#include "trace/inst_record.hh"
+#include "trace/synthetic.hh"
+
+namespace mica
+{
+namespace
+{
+
+using test::Rec;
+
+TEST(InstClassTest, ControlClassesAreExactlyTheFourTransferKinds)
+{
+    EXPECT_TRUE(isControlClass(InstClass::Branch));
+    EXPECT_TRUE(isControlClass(InstClass::Jump));
+    EXPECT_TRUE(isControlClass(InstClass::Call));
+    EXPECT_TRUE(isControlClass(InstClass::Return));
+    EXPECT_FALSE(isControlClass(InstClass::IntAlu));
+    EXPECT_FALSE(isControlClass(InstClass::Load));
+    EXPECT_FALSE(isControlClass(InstClass::Store));
+    EXPECT_FALSE(isControlClass(InstClass::Nop));
+}
+
+TEST(InstClassTest, FpClassesCoverAluMulDiv)
+{
+    EXPECT_TRUE(isFpClass(InstClass::FpAlu));
+    EXPECT_TRUE(isFpClass(InstClass::FpMul));
+    EXPECT_TRUE(isFpClass(InstClass::FpDiv));
+    EXPECT_FALSE(isFpClass(InstClass::IntMul));
+    EXPECT_FALSE(isFpClass(InstClass::Load));
+}
+
+TEST(InstClassTest, IntArithExcludesMultiplies)
+{
+    EXPECT_TRUE(isIntArithClass(InstClass::IntAlu));
+    EXPECT_TRUE(isIntArithClass(InstClass::IntDiv));
+    EXPECT_FALSE(isIntArithClass(InstClass::IntMul));
+    EXPECT_FALSE(isIntArithClass(InstClass::FpAlu));
+}
+
+TEST(InstRecordTest, DefaultRecordIsInertNop)
+{
+    InstRecord r;
+    EXPECT_EQ(r.cls, InstClass::Nop);
+    EXPECT_FALSE(r.isMem());
+    EXPECT_FALSE(r.isControl());
+    EXPECT_FALSE(r.isCondBranch());
+    EXPECT_FALSE(r.hasDst());
+    EXPECT_EQ(r.numSrcRegs, 0);
+}
+
+TEST(InstRecordTest, MemPredicatesMatchLoadAndStoreOnly)
+{
+    EXPECT_TRUE(test::load(0x100).isMem());
+    EXPECT_TRUE(test::store(0x100).isMem());
+    EXPECT_FALSE(test::alu(1).isMem());
+    EXPECT_FALSE(test::branch(0x10, true).isMem());
+}
+
+TEST(InstRecordTest, OnlyConditionalBranchesAreCondBranches)
+{
+    EXPECT_TRUE(test::branch(0x10, false).isCondBranch());
+    Rec jump(InstClass::Jump);
+    jump.taken(true);
+    EXPECT_FALSE(InstRecord(jump).isCondBranch());
+    EXPECT_TRUE(InstRecord(jump).isControl());
+}
+
+TEST(InstRecordTest, HasDstTracksInvalidSentinel)
+{
+    EXPECT_TRUE(test::alu(5).hasDst());
+    EXPECT_FALSE(test::alu(kInvalidReg).hasDst());
+}
+
+TEST(VectorTraceSourceTest, ReplaysRecordsInOrder)
+{
+    VectorTraceSource src({test::alu(1), test::load(0x40),
+                           test::store(0x80)});
+    InstRecord r;
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.cls, InstClass::IntAlu);
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.cls, InstClass::Load);
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.cls, InstClass::Store);
+    EXPECT_FALSE(src.next(r));
+}
+
+TEST(VectorTraceSourceTest, ResetRewindsToTheBeginning)
+{
+    VectorTraceSource src({test::alu(1), test::alu(2)});
+    InstRecord r;
+    while (src.next(r)) {
+    }
+    EXPECT_TRUE(src.reset());
+    int n = 0;
+    while (src.next(r))
+        ++n;
+    EXPECT_EQ(n, 2);
+}
+
+TEST(VectorTraceSourceTest, PushAppendsRecords)
+{
+    VectorTraceSource src;
+    EXPECT_EQ(src.size(), 0u);
+    src.push(test::alu(1));
+    src.push(test::alu(2));
+    EXPECT_EQ(src.size(), 2u);
+}
+
+/** Counts accepts and finishes for engine tests. */
+class CountingAnalyzer : public TraceAnalyzer
+{
+  public:
+    void accept(const InstRecord &) override { ++accepts; }
+    void finish() override { ++finishes; }
+
+    int accepts = 0;
+    int finishes = 0;
+};
+
+TEST(AnalysisEngineTest, BroadcastsEveryRecordToEveryAnalyzer)
+{
+    VectorTraceSource src({test::alu(1), test::alu(2), test::alu(3)});
+    CountingAnalyzer a, b;
+    AnalysisEngine eng;
+    eng.add(&a);
+    eng.add(&b);
+    EXPECT_EQ(eng.numAnalyzers(), 2u);
+    EXPECT_EQ(eng.run(src), 3u);
+    EXPECT_EQ(a.accepts, 3);
+    EXPECT_EQ(b.accepts, 3);
+}
+
+TEST(AnalysisEngineTest, FinishIsCalledExactlyOnce)
+{
+    VectorTraceSource src({test::alu(1)});
+    CountingAnalyzer a;
+    AnalysisEngine eng;
+    eng.add(&a);
+    eng.run(src);
+    EXPECT_EQ(a.finishes, 1);
+}
+
+TEST(AnalysisEngineTest, BudgetTruncatesTheTrace)
+{
+    std::vector<InstRecord> recs(100, test::alu(1));
+    VectorTraceSource src(recs);
+    CountingAnalyzer a;
+    AnalysisEngine eng;
+    eng.add(&a);
+    EXPECT_EQ(eng.run(src, 42), 42u);
+    EXPECT_EQ(a.accepts, 42);
+}
+
+TEST(AnalysisEngineTest, ZeroBudgetMeansUnlimited)
+{
+    std::vector<InstRecord> recs(57, test::alu(1));
+    VectorTraceSource src(recs);
+    CountingAnalyzer a;
+    AnalysisEngine eng;
+    eng.add(&a);
+    EXPECT_EQ(eng.run(src, 0), 57u);
+}
+
+TEST(AnalysisEngineTest, ClearRemovesAnalyzers)
+{
+    AnalysisEngine eng;
+    CountingAnalyzer a;
+    eng.add(&a);
+    eng.clear();
+    EXPECT_EQ(eng.numAnalyzers(), 0u);
+    VectorTraceSource src({test::alu(1)});
+    eng.run(src);
+    EXPECT_EQ(a.accepts, 0);
+}
+
+TEST(RandomTraceSourceTest, ProducesExactlyNumInsts)
+{
+    RandomTraceParams p;
+    p.numInsts = 1234;
+    RandomTraceSource src(p);
+    InstRecord r;
+    uint64_t n = 0;
+    while (src.next(r))
+        ++n;
+    EXPECT_EQ(n, 1234u);
+}
+
+TEST(RandomTraceSourceTest, SameSeedSameTrace)
+{
+    RandomTraceParams p;
+    p.numInsts = 500;
+    p.seed = 77;
+    RandomTraceSource a(p), b(p);
+    InstRecord ra, rb;
+    while (a.next(ra)) {
+        ASSERT_TRUE(b.next(rb));
+        EXPECT_EQ(ra.pc, rb.pc);
+        EXPECT_EQ(ra.cls, rb.cls);
+        EXPECT_EQ(ra.memAddr, rb.memAddr);
+        EXPECT_EQ(ra.taken, rb.taken);
+    }
+    EXPECT_FALSE(b.next(rb));
+}
+
+TEST(RandomTraceSourceTest, DifferentSeedsDiffer)
+{
+    RandomTraceParams pa, pb;
+    pa.numInsts = pb.numInsts = 400;
+    pa.seed = 1;
+    pb.seed = 2;
+    RandomTraceSource a(pa), b(pb);
+    InstRecord ra, rb;
+    int differences = 0;
+    while (a.next(ra) && b.next(rb)) {
+        if (ra.cls != rb.cls || ra.memAddr != rb.memAddr)
+            ++differences;
+    }
+    EXPECT_GT(differences, 0);
+}
+
+TEST(RandomTraceSourceTest, ResetReproducesTheTrace)
+{
+    RandomTraceParams p;
+    p.numInsts = 300;
+    p.seed = 5;
+    RandomTraceSource src(p);
+    std::vector<InstRecord> first;
+    InstRecord r;
+    while (src.next(r))
+        first.push_back(r);
+    EXPECT_TRUE(src.reset());
+    size_t i = 0;
+    while (src.next(r)) {
+        ASSERT_LT(i, first.size());
+        EXPECT_EQ(r.pc, first[i].pc);
+        EXPECT_EQ(r.cls, first[i].cls);
+        ++i;
+    }
+    EXPECT_EQ(i, first.size());
+}
+
+/** Property sweep over generator mixes: class fractions track params. */
+class RandomTraceMixTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{};
+
+TEST_P(RandomTraceMixTest, ClassFractionsTrackParameters)
+{
+    const auto [pLoad, pStore, pBranch] = GetParam();
+    RandomTraceParams p;
+    p.numInsts = 40000;
+    p.seed = 99;
+    p.pLoad = pLoad;
+    p.pStore = pStore;
+    p.pBranch = pBranch;
+    p.pFp = 0.0;
+    p.pIntMul = 0.0;
+    RandomTraceSource src(p);
+    InstRecord r;
+    uint64_t loads = 0, stores = 0, branches = 0, n = 0;
+    while (src.next(r)) {
+        ++n;
+        loads += r.cls == InstClass::Load;
+        stores += r.cls == InstClass::Store;
+        branches += r.cls == InstClass::Branch;
+    }
+    const double tol = 0.02;
+    EXPECT_NEAR(double(loads) / double(n), pLoad, tol);
+    EXPECT_NEAR(double(stores) / double(n), pStore, tol);
+    EXPECT_NEAR(double(branches) / double(n), pBranch, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MixSweep, RandomTraceMixTest,
+    ::testing::Values(std::make_tuple(0.1, 0.05, 0.1),
+                      std::make_tuple(0.3, 0.15, 0.05),
+                      std::make_tuple(0.5, 0.2, 0.2),
+                      std::make_tuple(0.0, 0.0, 0.5)));
+
+TEST(RandomTraceSourceTest, FootprintBoundsDataAddresses)
+{
+    RandomTraceParams p;
+    p.numInsts = 20000;
+    p.dataFootprint = 4096;
+    RandomTraceSource src(p);
+    InstRecord r;
+    while (src.next(r)) {
+        if (r.isMem()) {
+            EXPECT_GE(r.memAddr, RandomTraceSource::kDataBase);
+            EXPECT_LT(r.memAddr,
+                      RandomTraceSource::kDataBase + p.dataFootprint + 8);
+        }
+    }
+}
+
+} // namespace
+} // namespace mica

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * mica — command-line front end to the characterization library.
+ *
+ *   mica list [suite]              list registered benchmarks
+ *   mica profile <name>|all        print (or CSV-dump) MICA profiles
+ *   mica hpc <name>|all            print hardware-counter profiles
+ *   mica distance <nameA> <nameB>  distances in both workload spaces
+ *   mica select                    run GA feature selection
+ *   mica subset                    pick suite representatives
+ *
+ * Common flags: --budget=N, --cache=DIR, --csv=FILE (profile/hpc all).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "experiments/experiments.hh"
+#include "isa/interpreter.hh"
+#include "mica/dataset.hh"
+#include "mica/runner.hh"
+#include "methodology/genetic_selector.hh"
+#include "methodology/subsetting.hh"
+#include "methodology/workload_space.hh"
+#include "report/table.hh"
+#include "stats/descriptive.hh"
+#include "uarch/hpc_runner.hh"
+#include "workloads/registry.hh"
+
+using namespace mica;
+
+namespace
+{
+
+int
+usage()
+{
+    std::printf(
+        "usage: mica <command> [args] [--budget=N] [--cache=DIR]\n"
+        "  list [suite]              list registered benchmarks\n"
+        "  profile <name>|all [--csv=FILE]   MICA profiles\n"
+        "  hpc <name>|all [--csv=FILE]       hardware-counter profiles\n"
+        "  distance <nameA> <nameB>  distances in both spaces\n"
+        "  select                    GA key-characteristic selection\n"
+        "  subset                    cluster-medoid representatives\n");
+    return 2;
+}
+
+std::string
+flagValue(int argc, char **argv, const char *flag)
+{
+    const size_t n = std::strlen(flag);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], flag, n) == 0 && argv[i][n] == '=')
+            return argv[i] + n + 1;
+    }
+    return "";
+}
+
+int
+cmdList(int argc, char **argv)
+{
+    const auto &reg = workloads::BenchmarkRegistry::instance();
+    std::string suite;
+    if (argc >= 3 && std::strncmp(argv[2], "--", 2) != 0)
+        suite = argv[2];
+
+    report::TextTable t({"name", "paper I-cnt (M)"},
+                        {report::Align::Left, report::Align::Right});
+    size_t n = 0;
+    for (const auto &e : reg.all()) {
+        if (!suite.empty() && e.info.suite != suite)
+            continue;
+        t.addRow({e.info.fullName(),
+                  std::to_string(e.info.paperICountM)});
+        ++n;
+    }
+    std::printf("%s\n%zu benchmarks\n", t.render().c_str(), n);
+    return 0;
+}
+
+int
+cmdProfile(int argc, char **argv, const experiments::DatasetConfig &cfg,
+           bool hpc)
+{
+    if (argc < 3)
+        return usage();
+    const std::string target = argv[2];
+    const std::string csv = flagValue(argc, argv, "--csv");
+
+    if (target == "all") {
+        const auto ds = experiments::collectSuiteDataset(cfg);
+        if (!csv.empty()) {
+            if (hpc)
+                saveMatrixCsv(csv, ds.hpcMatrix());
+            else
+                saveProfilesCsv(csv, ds.micaProfiles);
+            std::printf("wrote %zu profiles to %s\n",
+                        ds.benchmarks.size(), csv.c_str());
+            return 0;
+        }
+        const Matrix m = hpc ? ds.hpcMatrix() : ds.micaMatrix();
+        std::vector<std::string> headers = {"benchmark"};
+        for (const auto &c : m.colNames)
+            headers.push_back(c);
+        report::TextTable t(std::move(headers));
+        for (size_t r = 0; r < m.rows(); ++r) {
+            std::vector<std::string> row = {m.rowNames[r]};
+            for (size_t c = 0; c < m.cols(); ++c)
+                row.push_back(report::TextTable::num(m(r, c), 3));
+            t.addRow(std::move(row));
+        }
+        std::printf("%s\n", t.render().c_str());
+        return 0;
+    }
+
+    const auto *e =
+        workloads::BenchmarkRegistry::instance().find(target);
+    if (!e) {
+        std::fprintf(stderr, "unknown benchmark '%s' (try 'mica list')\n",
+                     target.c_str());
+        return 1;
+    }
+    const isa::Program prog = e->build();
+    isa::Interpreter interp(prog);
+
+    if (hpc) {
+        const auto p =
+            uarch::collectHwProfile(interp, target, cfg.maxInsts);
+        report::TextTable t({"metric", "value"},
+                            {report::Align::Left, report::Align::Right});
+        const auto v = p.toVector();
+        for (size_t i = 0; i < v.size(); ++i) {
+            t.addRow({uarch::HwCounterProfile::metricNames()[i],
+                      report::TextTable::num(v[i], 4)});
+        }
+        std::printf("%s\n%llu dynamic instructions\n", t.render().c_str(),
+                    static_cast<unsigned long long>(p.instCount));
+        return 0;
+    }
+
+    MicaRunnerConfig rc;
+    rc.maxInsts = cfg.maxInsts;
+    const MicaProfile p = collectMicaProfile(interp, target, rc);
+    report::TextTable t({"no.", "characteristic", "value"},
+                        {report::Align::Right, report::Align::Left,
+                         report::Align::Right});
+    for (size_t c = 0; c < kNumMicaChars; ++c) {
+        t.addRow({std::to_string(c + 1), micaCharInfo(c).describe,
+                  report::TextTable::num(p[c], 4)});
+    }
+    std::printf("%s\n%llu dynamic instructions\n", t.render().c_str(),
+                static_cast<unsigned long long>(p.instCount));
+    return 0;
+}
+
+int
+cmdDistance(int argc, char **argv, const experiments::DatasetConfig &cfg)
+{
+    if (argc < 4)
+        return usage();
+    const auto ds = experiments::collectSuiteDataset(cfg);
+    const size_t a = ds.indexOf(argv[2]);
+    const size_t b = ds.indexOf(argv[3]);
+    if (a == static_cast<size_t>(-1) || b == static_cast<size_t>(-1)) {
+        std::fprintf(stderr, "unknown benchmark name\n");
+        return 1;
+    }
+    const WorkloadSpace mica(ds.micaMatrix());
+    const WorkloadSpace hpc(ds.hpcMatrix());
+    std::printf("%s vs %s\n", argv[2], argv[3]);
+    std::printf("  MICA-space distance: %7.3f  (population max %.3f)\n",
+                mica.distances().at(a, b),
+                mica.distances().maxDistance());
+    std::printf("  HPC-space distance:  %7.3f  (population max %.3f)\n",
+                hpc.distances().at(a, b), hpc.distances().maxDistance());
+    const bool micaSim =
+        mica.distances().at(a, b) <= 0.2 * mica.distances().maxDistance();
+    const bool hpcSim =
+        hpc.distances().at(a, b) <= 0.2 * hpc.distances().maxDistance();
+    std::printf("  verdict at the paper's 20%% thresholds: "
+                "inherently %s, counters say %s%s\n",
+                micaSim ? "similar" : "dissimilar",
+                hpcSim ? "similar" : "dissimilar",
+                (!micaSim && hpcSim) ? "  [HPC-misleading pair]" : "");
+    return 0;
+}
+
+int
+cmdSelect(const experiments::DatasetConfig &cfg)
+{
+    const auto ds = experiments::collectSuiteDataset(cfg);
+    const WorkloadSpace mica(ds.micaMatrix());
+    GaConfig gcfg;
+    const GaResult ga = geneticSelect(mica, gcfg);
+    report::TextTable t({"Table II no.", "characteristic"},
+                        {report::Align::Right, report::Align::Left});
+    for (size_t s : ga.selected)
+        t.addRow({std::to_string(s + 1), micaCharInfo(s).describe});
+    std::printf("%s\nrho = %.3f, fitness = %.3f\n", t.render().c_str(),
+                ga.distanceCorrelation, ga.fitness);
+    return 0;
+}
+
+int
+cmdSubset(const experiments::DatasetConfig &cfg)
+{
+    const auto ds = experiments::collectSuiteDataset(cfg);
+    Matrix mm = ds.micaMatrix();
+    const WorkloadSpace mica(mm);
+    GaConfig gcfg;
+    const GaResult ga = geneticSelect(mica, gcfg);
+    Matrix reduced = mica.normalized().selectCols(ga.selected);
+    reduced.rowNames = mm.rowNames;
+    const SubsetResult r = selectRepresentatives(reduced, 70, 20061027);
+    report::TextTable t({"representative", "covers"},
+                        {report::Align::Left, report::Align::Right});
+    for (const auto &rep : r.representatives)
+        t.addRow({rep.name, std::to_string(rep.covers.size())});
+    std::printf("%s\n%zu representatives for %zu benchmarks "
+                "(%.1fX reduction)\n",
+                t.render().c_str(), r.representatives.size(),
+                r.populationSize, r.reductionFactor);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const auto cfg = experiments::configFromArgs(argc, argv);
+    const std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList(argc, argv);
+    if (cmd == "profile")
+        return cmdProfile(argc, argv, cfg, false);
+    if (cmd == "hpc")
+        return cmdProfile(argc, argv, cfg, true);
+    if (cmd == "distance")
+        return cmdDistance(argc, argv, cfg);
+    if (cmd == "select")
+        return cmdSelect(cfg);
+    if (cmd == "subset")
+        return cmdSubset(cfg);
+    return usage();
+}
