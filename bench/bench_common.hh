@@ -31,16 +31,20 @@ banner(const std::string &what, const std::string &paperRef)
                 "=====================\n\n");
 }
 
-/** Collect the full 122-benchmark dataset, reporting progress. */
+/** Collect the full 122-benchmark dataset, reporting live progress. */
 inline experiments::SuiteDataset
 collectWithBanner(const experiments::DatasetConfig &cfg)
 {
     std::printf("[collecting %s profiles for 122 benchmarks, "
-                "budget=%llu%s]\n\n",
+                "budget=%llu%s, jobs=%u]\n\n",
                 cfg.cacheDir.empty() ? "fresh" : "cached-or-fresh",
                 static_cast<unsigned long long>(cfg.maxInsts),
-                cfg.maxInsts == 0 ? " (run to completion)" : "");
-    return experiments::collectSuiteDataset(cfg);
+                cfg.maxInsts == 0 ? " (run to completion)" : "",
+                cfg.jobs);
+    experiments::DatasetConfig runCfg = cfg;
+    if (!runCfg.progress)
+        runCfg.progress = pipeline::stderrProgress();
+    return experiments::collectSuiteDataset(runCfg);
 }
 
 } // namespace mica::bench

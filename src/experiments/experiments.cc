@@ -1,6 +1,7 @@
 /**
  * @file
- * Implementation of the shared experiment dataset collection.
+ * Implementation of the shared experiment dataset collection, built on
+ * the parallel profiling pipeline (src/pipeline).
  */
 
 #include "experiments/experiments.hh"
@@ -8,12 +9,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <memory>
 
-#include "isa/interpreter.hh"
 #include "mica/dataset.hh"
 #include "mica/runner.hh"
+#include "pipeline/parallel_collector.hh"
+#include "pipeline/profile_store.hh"
 #include "uarch/hpc_runner.hh"
 #include "workloads/registry.hh"
 
@@ -23,61 +24,22 @@ namespace mica::experiments
 namespace
 {
 
-/** CSV cache of the HPC profiles (the MICA side reuses mica/dataset). */
-void
-saveHpcCsv(const std::string &path,
-           const std::vector<uarch::HwCounterProfile> &profiles)
+/**
+ * Strict worker-count parser. strtoul would wrap "-1" to ULONG_MAX
+ * and spawn billions of threads; garbage would silently mean "auto".
+ * Anything that is not a plain decimal number falls back to serial,
+ * and absurd counts are clamped.
+ */
+unsigned
+parseJobs(const char *s)
 {
-    std::ofstream out(path);
-    if (!out)
-        return;
-    out.precision(17);
-    out << "name,inst_count";
-    for (const char *m : uarch::HwCounterProfile::metricNames())
-        out << ',' << m;
-    out << '\n';
-    for (const auto &p : profiles) {
-        out << p.name << ',' << p.instCount;
-        for (double v : p.toVector())
-            out << ',' << v;
-        out << '\n';
-    }
-}
-
-std::vector<uarch::HwCounterProfile>
-loadHpcCsv(const std::string &path)
-{
-    std::ifstream in(path);
-    std::vector<uarch::HwCounterProfile> out;
-    if (!in)
-        return out;
-    std::string line;
-    if (!std::getline(in, line))
-        return out;
-    while (std::getline(in, line)) {
-        std::stringstream ss(line);
-        std::string cell;
-        uarch::HwCounterProfile p;
-        if (!std::getline(ss, p.name, ','))
-            return {};
-        if (!std::getline(ss, cell, ','))
-            return {};
-        p.instCount = std::strtoull(cell.c_str(), nullptr, 10);
-        std::vector<double> vals;
-        while (std::getline(ss, cell, ','))
-            vals.push_back(std::strtod(cell.c_str(), nullptr));
-        if (vals.size() != uarch::HwCounterProfile::kNumMetrics)
-            return {};
-        p.ipcEv56 = vals[0];
-        p.ipcEv67 = vals[1];
-        p.branchMissRate = vals[2];
-        p.l1dMissRate = vals[3];
-        p.l1iMissRate = vals[4];
-        p.l2MissRate = vals[5];
-        p.dtlbMissRate = vals[6];
-        out.push_back(std::move(p));
-    }
-    return out;
+    if (!s || !*s || *s < '0' || *s > '9')
+        return 1;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (*end != '\0')
+        return 1;
+    return static_cast<unsigned>(v > 256 ? 256 : v);
 }
 
 bool
@@ -122,49 +84,74 @@ collectSuiteDataset(const DatasetConfig &cfg)
     const auto &reg = workloads::BenchmarkRegistry::instance();
 
     SuiteDataset ds;
+    std::vector<const workloads::BenchmarkEntry *> selected;
     for (const auto &e : reg.all()) {
-        if (suiteSelected(cfg, e.info.suite))
+        if (suiteSelected(cfg, e.info.suite)) {
             ds.benchmarks.push_back(e.info);
+            selected.push_back(&e);
+        }
     }
 
-    // Try the cache first: both files must exist and cover exactly the
-    // selected benchmarks, in order.
+    // The store is keyed by everything that changes measured values; a
+    // store written under a different budget/PPM-order/suite filter (or
+    // a legacy CSV-era directory, which has no profiles.bin at all) is
+    // rejected wholesale and the sweep re-collects.
+    pipeline::StoreKey key;
+    key.maxInsts = cfg.maxInsts;
+    key.ppmMaxOrder = cfg.ppmMaxOrder;
+    key.suites = cfg.suites;
+
+    std::unique_ptr<pipeline::ProfileStore> store;
     if (!cfg.cacheDir.empty()) {
-        const auto micaPath = cfg.cacheDir + "/mica_profiles.csv";
-        const auto hpcPath = cfg.cacheDir + "/hpc_profiles.csv";
-        auto mica = loadProfilesCsv(micaPath);
-        auto hpc = loadHpcCsv(hpcPath);
-        bool ok = mica.size() == ds.benchmarks.size() &&
-                  hpc.size() == ds.benchmarks.size();
-        for (size_t i = 0; ok && i < mica.size(); ++i) {
-            ok = mica[i].name == ds.benchmarks[i].fullName() &&
-                 hpc[i].name == ds.benchmarks[i].fullName();
-        }
-        if (ok) {
-            ds.micaProfiles = std::move(mica);
-            ds.hpcProfiles = std::move(hpc);
-            return ds;
-        }
+        store = std::make_unique<pipeline::ProfileStore>(cfg.cacheDir, key);
+        store->open();
+    }
+
+    std::vector<const workloads::BenchmarkEntry *> missing;
+    for (const auto *e : selected) {
+        if (!store || !store->find(e->info.fullName()))
+            missing.push_back(e);
     }
 
     MicaRunnerConfig rc;
     rc.maxInsts = cfg.maxInsts;
     rc.ppmMaxOrder = cfg.ppmMaxOrder;
 
-    for (const auto &e : reg.all()) {
-        if (!suiteSelected(cfg, e.info.suite))
-            continue;
-        const auto prog = e.build();
-        isa::Interpreter interp(prog);
-        ds.micaProfiles.push_back(
-            collectMicaProfile(interp, e.info.fullName(), rc));
-        interp.reset();
-        ds.hpcProfiles.push_back(
-            uarch::collectHwProfile(interp, e.info.fullName(),
-                                    cfg.maxInsts));
+    // Persist each result the moment its two jobs finish (put is
+    // thread-safe), so an interrupted or partially failed sweep keeps
+    // everything completed so far.
+    pipeline::ResultFn persist;
+    if (store) {
+        persist = [&store](const pipeline::StoredProfile &p) {
+            store->put(p);
+        };
     }
 
-    if (!cfg.cacheDir.empty()) {
+    std::vector<pipeline::StoredProfile> fresh;
+    if (!missing.empty())
+        fresh = pipeline::collectProfiles(missing, rc, cfg.jobs,
+                                          cfg.progress, persist);
+
+    ds.micaProfiles.reserve(selected.size());
+    ds.hpcProfiles.reserve(selected.size());
+    if (store) {
+        // Assemble everything from the store so cached and fresh
+        // entries flow through one path.
+        for (const auto *e : selected) {
+            const auto *p = store->find(e->info.fullName());
+            ds.micaProfiles.push_back(p->mica);
+            ds.hpcProfiles.push_back(p->hpc);
+        }
+    } else {
+        for (auto &p : fresh) {
+            ds.micaProfiles.push_back(std::move(p.mica));
+            ds.hpcProfiles.push_back(std::move(p.hpc));
+        }
+    }
+
+    if (store && !fresh.empty()) {
+        // Human-readable exports next to the binary store. Never read
+        // back — the store is the single source of cached truth.
         std::error_code ec;
         std::filesystem::create_directories(cfg.cacheDir, ec);
         saveProfilesCsv(cfg.cacheDir + "/mica_profiles.csv",
@@ -184,6 +171,8 @@ configFromArgs(int argc, char **argv)
             cfg.maxInsts = std::strtoull(arg + 9, nullptr, 10);
         else if (std::strncmp(arg, "--cache=", 8) == 0)
             cfg.cacheDir = arg + 8;
+        else if (std::strncmp(arg, "--jobs=", 7) == 0)
+            cfg.jobs = parseJobs(arg + 7);
         else if (std::strcmp(arg, "--quick") == 0)
             cfg.maxInsts = 50000;
     }
@@ -191,6 +180,8 @@ configFromArgs(int argc, char **argv)
         cfg.maxInsts = std::strtoull(env, nullptr, 10);
     if (const char *env = std::getenv("MICA_CACHE"))
         cfg.cacheDir = env;
+    if (const char *env = std::getenv("MICA_JOBS"))
+        cfg.jobs = parseJobs(env);
     return cfg;
 }
 

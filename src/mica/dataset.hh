@@ -11,6 +11,7 @@
 
 #include "mica/profile.hh"
 #include "stats/matrix.hh"
+#include "uarch/hw_counter.hh"
 
 namespace mica
 {
@@ -27,9 +28,24 @@ void saveProfilesCsv(const std::string &path,
 
 /**
  * Read profiles back from CSV written by saveProfilesCsv.
- * @return empty vector if the file does not exist or is malformed.
+ * @return empty vector if the file does not exist or is malformed —
+ * including truncated rows and non-numeric cells; a partial parse is
+ * never returned.
  */
 std::vector<MicaProfile> loadProfilesCsv(const std::string &path);
+
+/**
+ * Write HPC profiles as CSV: header row of metric names, then one row
+ * per benchmark (name, instCount, 7 values).
+ */
+void saveHpcCsv(const std::string &path,
+                const std::vector<uarch::HwCounterProfile> &profiles);
+
+/**
+ * Read HPC profiles back from CSV written by saveHpcCsv. Same
+ * all-or-nothing contract as loadProfilesCsv.
+ */
+std::vector<uarch::HwCounterProfile> loadHpcCsv(const std::string &path);
 
 /**
  * Generic labeled-matrix CSV writer (used for the HPC dataset and the

@@ -1,0 +1,131 @@
+#include "pipeline/parallel_collector.hh"
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "isa/interpreter.hh"
+#include "pipeline/thread_pool.hh"
+#include "uarch/hpc_runner.hh"
+
+namespace mica::pipeline
+{
+
+namespace
+{
+
+/** Shared progress state, serializing callback invocations. */
+struct Progress
+{
+    Progress(const ProgressFn &f, size_t t) : fn(f), total(t) {}
+
+    const ProgressFn &fn;
+    const size_t total;
+    size_t done = 0;
+    std::mutex mutex;
+
+    void
+    tick(const std::string &label)
+    {
+        if (!fn)
+            return;
+        std::lock_guard<std::mutex> lock(mutex);
+        fn(++done, total, label);
+    }
+};
+
+MicaProfile
+runMicaJob(const workloads::BenchmarkEntry &e, const MicaRunnerConfig &rc)
+{
+    const isa::Program prog = e.build();
+    isa::Interpreter interp(prog);
+    return collectMicaProfile(interp, e.info.fullName(), rc);
+}
+
+uarch::HwCounterProfile
+runHpcJob(const workloads::BenchmarkEntry &e, const MicaRunnerConfig &rc)
+{
+    const isa::Program prog = e.build();
+    isa::Interpreter interp(prog);
+    return uarch::collectHwProfile(interp, e.info.fullName(), rc.maxInsts);
+}
+
+} // namespace
+
+std::vector<StoredProfile>
+collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
+                const MicaRunnerConfig &rc, unsigned jobs,
+                const ProgressFn &progress, const ResultFn &onResult)
+{
+    std::vector<StoredProfile> results(entries.size());
+    Progress prog(progress, entries.size() * 2);
+
+    if (jobs == 1) {
+        // Serial path: one build, one interpreter, reset between the
+        // two characterizations — same behavior (and cost) as the
+        // original serial sweep.
+        for (size_t i = 0; i < entries.size(); ++i) {
+            const auto &e = *entries[i];
+            const isa::Program program = e.build();
+            isa::Interpreter interp(program);
+            results[i].mica =
+                collectMicaProfile(interp, e.info.fullName(), rc);
+            prog.tick(e.info.fullName() + " [mica]");
+            interp.reset();
+            results[i].hpc = uarch::collectHwProfile(
+                interp, e.info.fullName(), rc.maxInsts);
+            prog.tick(e.info.fullName() + " [hpc]");
+            if (onResult)
+                onResult(results[i]);
+        }
+        return results;
+    }
+
+    // Each benchmark's two jobs decrement this; whoever finishes
+    // second delivers the completed result.
+    auto pending = std::make_unique<std::atomic<int>[]>(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i)
+        pending[i].store(2, std::memory_order_relaxed);
+    auto finishJob = [&](size_t i) {
+        if (pending[i].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+            onResult)
+            onResult(results[i]);
+    };
+
+    ThreadPool pool(jobs);
+    std::vector<std::future<void>> futures;
+    futures.reserve(entries.size() * 2);
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const auto *e = entries[i];
+        futures.push_back(pool.submit([e, &rc, &results, &prog,
+                                       &finishJob, i] {
+            results[i].mica = runMicaJob(*e, rc);
+            prog.tick(e->info.fullName() + " [mica]");
+            finishJob(i);
+        }));
+        futures.push_back(pool.submit([e, &rc, &results, &prog,
+                                       &finishJob, i] {
+            results[i].hpc = runHpcJob(*e, rc);
+            prog.tick(e->info.fullName() + " [hpc]");
+            finishJob(i);
+        }));
+    }
+
+    // Wait for every job before rethrowing so no worker still touches
+    // `results` when an exception unwinds this frame.
+    std::exception_ptr firstError;
+    for (auto &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+} // namespace mica::pipeline

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Parallel fan-out of the profiling sweep.
+ *
+ * Each benchmark contributes two independent jobs — the MICA
+ * characterization and the HPC (simulated hardware counter)
+ * characterization — which are submitted to a ThreadPool and written
+ * back into a result vector pre-sized in registry order, so the output
+ * is deterministic regardless of worker interleaving. Every job builds
+ * its own Program and Interpreter; nothing is shared between workers.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mica/runner.hh"
+#include "pipeline/profile_store.hh"
+#include "pipeline/progress.hh"
+#include "workloads/benchmark.hh"
+
+namespace mica::pipeline
+{
+
+/**
+ * Completion hook: invoked once per benchmark as soon as BOTH of its
+ * jobs have finished, with the completed result. With more than one
+ * worker it is called from whichever worker finished second; it must
+ * be thread-safe (ProfileStore::put is). This is what lets the store
+ * persist results as they are produced, so an interrupted sweep keeps
+ * everything completed so far.
+ */
+using ResultFn = std::function<void(const StoredProfile &)>;
+
+/**
+ * Profile @p entries with both characterizations using @p jobs workers
+ * (0 = hardware concurrency, 1 = inline on the calling thread).
+ *
+ * @return one StoredProfile per entry, in input order. Results are
+ * bit-identical for any worker count: each job is a pure function of
+ * its benchmark and @p rc. The first exception thrown by a job (in
+ * input order) is rethrown on the calling thread after all workers
+ * drain; results completed before the failure are still delivered
+ * through @p onResult.
+ */
+std::vector<StoredProfile>
+collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
+                const MicaRunnerConfig &rc, unsigned jobs,
+                const ProgressFn &progress = {},
+                const ResultFn &onResult = {});
+
+} // namespace mica::pipeline

@@ -1,0 +1,176 @@
+#include "pipeline/profile_store.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mica::pipeline
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'M', 'I', 'C', 'A', 'P', 'S', 'T', '\n'};
+constexpr uint32_t kEntryMagic = 0x50524F46;    // "PROF"
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+readPod(std::istream &in, T &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return in.gcount() == sizeof(T);
+}
+
+void
+writeString(std::ostream &out, const std::string &s)
+{
+    writePod(out, static_cast<uint32_t>(s.size()));
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool
+readString(std::istream &in, std::string &s)
+{
+    uint32_t len = 0;
+    if (!readPod(in, len) || len > 4096)
+        return false;
+    s.resize(len);
+    in.read(s.data(), len);
+    return in.gcount() == static_cast<std::streamsize>(len);
+}
+
+void
+writeEntry(std::ostream &out, const StoredProfile &p)
+{
+    writePod(out, kEntryMagic);
+    writeString(out, p.mica.name);
+    writePod(out, p.mica.instCount);
+    for (double v : p.mica.values)
+        writePod(out, v);
+    writePod(out, p.hpc.instCount);
+    for (double v : p.hpc.toVector())
+        writePod(out, v);
+}
+
+bool
+readEntry(std::istream &in, StoredProfile &p)
+{
+    uint32_t magic = 0;
+    if (!readPod(in, magic) || magic != kEntryMagic)
+        return false;
+    if (!readString(in, p.mica.name))
+        return false;
+    if (!readPod(in, p.mica.instCount))
+        return false;
+    for (double &v : p.mica.values) {
+        if (!readPod(in, v))
+            return false;
+    }
+    if (!readPod(in, p.hpc.instCount))
+        return false;
+    std::array<double, uarch::HwCounterProfile::kNumMetrics> m{};
+    for (double &v : m) {
+        if (!readPod(in, v))
+            return false;
+    }
+    p.hpc.name = p.mica.name;
+    p.hpc.ipcEv56 = m[0];
+    p.hpc.ipcEv67 = m[1];
+    p.hpc.branchMissRate = m[2];
+    p.hpc.l1dMissRate = m[3];
+    p.hpc.l1iMissRate = m[4];
+    p.hpc.l2MissRate = m[5];
+    p.hpc.dtlbMissRate = m[6];
+    return true;
+}
+
+} // namespace
+
+std::string
+StoreKey::describe() const
+{
+    std::ostringstream ss;
+    ss << "budget=" << maxInsts << "|ppm=" << ppmMaxOrder << "|suites=";
+    for (size_t i = 0; i < suites.size(); ++i)
+        ss << (i ? "," : "") << suites[i];
+    return ss.str();
+}
+
+ProfileStore::ProfileStore(const std::string &dir, const StoreKey &key)
+    : dir_(dir), path_(dir + "/profiles.bin"), keyCanon_(key.describe())
+{
+}
+
+bool
+ProfileStore::open()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    headerOnDisk_ = false;
+
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        return false;
+
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return false;
+    uint32_t version = 0;
+    std::string keyCanon;
+    if (!readPod(in, version) || version != kFormatVersion)
+        return false;
+    if (!readString(in, keyCanon) || keyCanon != keyCanon_)
+        return false;
+
+    headerOnDisk_ = true;
+    StoredProfile p;
+    while (readEntry(in, p))
+        entries_[p.name()] = p;
+    return true;
+}
+
+const StoredProfile *
+ProfileStore::find(const std::string &fullName) const
+{
+    auto it = entries_.find(fullName);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+ProfileStore::put(const StoredProfile &profile)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[profile.name()] = profile;
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+
+    if (!headerOnDisk_) {
+        // First write under this key: start the file over so stale or
+        // foreign-keyed bytes can never be read back.
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return;
+        out.write(kMagic, sizeof(kMagic));
+        writePod(out, kFormatVersion);
+        writeString(out, keyCanon_);
+        headerOnDisk_ = static_cast<bool>(out);
+        if (!headerOnDisk_)
+            return;
+    }
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    if (out)
+        writeEntry(out, profile);
+}
+
+} // namespace mica::pipeline

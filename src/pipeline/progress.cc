@@ -1,0 +1,19 @@
+#include "pipeline/progress.hh"
+
+#include <cstdio>
+
+namespace mica::pipeline
+{
+
+ProgressFn
+stderrProgress()
+{
+    return [](size_t done, size_t total, const std::string &label) {
+        std::fprintf(stderr, "\r[%zu/%zu] %-48s", done, total,
+                     label.c_str());
+        if (done == total)
+            std::fprintf(stderr, "\n");
+    };
+}
+
+} // namespace mica::pipeline

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Progress-callback contract shared by the pipeline and its clients.
+ * Kept dependency-free so experiment headers can expose a hook without
+ * dragging the whole pipeline into every translation unit.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace mica::pipeline
+{
+
+/**
+ * Live status hook: invoked once per finished job with the number of
+ * jobs done so far, the total job count, and the job's label
+ * ("suite/program.input [mica|hpc]"). With more than one worker it is
+ * called from worker threads, serialized by an internal mutex; keep it
+ * cheap and do not call back into the collector.
+ */
+using ProgressFn =
+    std::function<void(size_t done, size_t total, const std::string &label)>;
+
+/**
+ * @return the standard interactive reporter: a carriage-return status
+ * line on stderr, newline-terminated when the last job finishes.
+ */
+ProgressFn stderrProgress();
+
+} // namespace mica::pipeline

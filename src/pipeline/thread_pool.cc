@@ -1,0 +1,52 @@
+#include "pipeline/thread_pool.hh"
+
+namespace mica::pipeline
+{
+
+ThreadPool::ThreadPool(unsigned numWorkers)
+{
+    if (numWorkers == 0) {
+        numWorkers = std::thread::hardware_concurrency();
+        if (numWorkers == 0)
+            numWorkers = 1;
+    }
+    workers_.reserve(numWorkers);
+    for (unsigned i = 0; i < numWorkers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        // Abandon queued tasks; their futures report broken_promise,
+        // which callers never see because collectors join before
+        // destruction.
+        std::queue<std::function<void()>> empty;
+        queue_.swap(empty);
+    }
+    available_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            available_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_ && queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();    // packaged_task captures any exception
+    }
+}
+
+} // namespace mica::pipeline

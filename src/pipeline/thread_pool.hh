@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fixed-size worker pool with a futures-based submit API.
+ *
+ * The characterization sweep is embarrassingly parallel (each benchmark
+ * is profiled independently), so a plain task queue is all the
+ * machinery the pipeline needs. Exceptions thrown by a task are
+ * captured in its future and rethrown at get(), never on a worker
+ * thread.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mica::pipeline
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p numWorkers worker threads. Zero selects
+     * std::thread::hardware_concurrency() (minimum one).
+     */
+    explicit ThreadPool(unsigned numWorkers);
+
+    /** Drains nothing: pending tasks are abandoned, running ones join. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a callable; its result (or exception) is delivered
+     * through the returned future.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_)
+                throw std::runtime_error("submit on stopped ThreadPool");
+            queue_.emplace([task] { (*task)(); });
+        }
+        available_.notify_one();
+        return fut;
+    }
+
+    /** @return number of worker threads. */
+    size_t workerCount() const { return workers_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable available_;
+    bool stopping_ = false;
+};
+
+} // namespace mica::pipeline

@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Tests for the parallel profiling pipeline: ThreadPool semantics,
+ * ProfileStore durability and key rejection, and end-to-end
+ * determinism of parallel collection.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "experiments/experiments.hh"
+#include "mica/dataset.hh"
+#include "pipeline/parallel_collector.hh"
+#include "pipeline/profile_store.hh"
+#include "pipeline/thread_pool.hh"
+#include "workloads/registry.hh"
+
+namespace mica::pipeline
+{
+namespace
+{
+
+// ----------------------------------------------------------------------
+// ThreadPool
+// ----------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsSubmittedTasksAndReturnsValues)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 64; ++i)
+        futs.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futs[i].get(), i * i);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersMeansHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.workerCount(), 1u);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 7; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("job failed"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+
+    // The worker that ran the throwing task must survive for new work.
+    auto after = pool.submit([] { return 42; });
+    EXPECT_EQ(after.get(), 42);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentTasksAllComplete)
+{
+    ThreadPool pool(8);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 500; ++i)
+        futs.push_back(pool.submit([&count] { ++count; }));
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(count.load(), 500);
+}
+
+// ----------------------------------------------------------------------
+// ProfileStore
+// ----------------------------------------------------------------------
+
+StoredProfile
+fakeProfile(const std::string &name, double seed)
+{
+    StoredProfile p;
+    p.mica.name = name;
+    p.mica.instCount = static_cast<uint64_t>(seed * 1000);
+    for (size_t i = 0; i < kNumMicaChars; ++i)
+        p.mica.values[i] = seed + 0.001 * static_cast<double>(i);
+    p.hpc.name = name;
+    p.hpc.instCount = p.mica.instCount;
+    p.hpc.ipcEv56 = seed;
+    p.hpc.ipcEv67 = seed * 2;
+    p.hpc.branchMissRate = seed / 3;
+    p.hpc.l1dMissRate = seed / 4;
+    p.hpc.l1iMissRate = seed / 5;
+    p.hpc.l2MissRate = seed / 6;
+    p.hpc.dtlbMissRate = seed / 7;
+    return p;
+}
+
+/**
+ * Per-test unique scratch directory: parallel ctest runs each TEST as
+ * its own process, so a shared fixed path would race.
+ */
+struct StoreDir
+{
+    std::string dir;
+
+    StoreDir()
+    {
+        char tmpl[] = "/tmp/mica_test_store_XXXXXX";
+        const char *made = mkdtemp(tmpl);
+        dir = made ? made : "/tmp/mica_test_store_fallback";
+    }
+
+    ~StoreDir() { std::filesystem::remove_all(dir); }
+};
+
+TEST(ProfileStoreTest, RoundTripsExactBits)
+{
+    StoreDir tmp;
+    StoreKey key;
+    key.maxInsts = 1000;
+
+    ProfileStore writer(tmp.dir, key);
+    EXPECT_FALSE(writer.open());    // nothing on disk yet
+    writer.put(fakeProfile("s/a.x", 0.125));
+    writer.put(fakeProfile("s/b.y", 0.375));
+
+    ProfileStore reader(tmp.dir, key);
+    ASSERT_TRUE(reader.open());
+    ASSERT_EQ(reader.size(), 2u);
+    const StoredProfile *p = reader.find("s/a.x");
+    ASSERT_NE(p, nullptr);
+    const StoredProfile want = fakeProfile("s/a.x", 0.125);
+    EXPECT_EQ(p->mica.instCount, want.mica.instCount);
+    for (size_t i = 0; i < kNumMicaChars; ++i)
+        EXPECT_EQ(p->mica.values[i], want.mica.values[i]);    // bitwise
+    EXPECT_EQ(p->hpc.ipcEv67, want.hpc.ipcEv67);
+    EXPECT_EQ(reader.find("missing/none.z"), nullptr);
+}
+
+TEST(ProfileStoreTest, RejectsMismatchedKey)
+{
+    StoreDir tmp;
+    StoreKey key;
+    key.maxInsts = 1000;
+    ProfileStore writer(tmp.dir, key);
+    writer.put(fakeProfile("s/a.x", 0.5));
+
+    StoreKey otherBudget = key;
+    otherBudget.maxInsts = 2000;
+    ProfileStore r1(tmp.dir, otherBudget);
+    EXPECT_FALSE(r1.open());
+    EXPECT_EQ(r1.size(), 0u);
+
+    StoreKey otherPpm = key;
+    otherPpm.ppmMaxOrder = 4;
+    ProfileStore r2(tmp.dir, otherPpm);
+    EXPECT_FALSE(r2.open());
+
+    StoreKey otherSuites = key;
+    otherSuites.suites = {"CommBench"};
+    ProfileStore r3(tmp.dir, otherSuites);
+    EXPECT_FALSE(r3.open());
+
+    // A rejected store is rewritten by the next put, not appended to.
+    r1.put(fakeProfile("s/b.y", 0.75));
+    ProfileStore r4(tmp.dir, otherBudget);
+    ASSERT_TRUE(r4.open());
+    EXPECT_EQ(r4.size(), 1u);
+    EXPECT_EQ(r4.find("s/a.x"), nullptr);
+}
+
+TEST(ProfileStoreTest, RejectsLegacyCsvEraDirectories)
+{
+    StoreDir tmp;
+    std::filesystem::create_directories(tmp.dir);
+    std::ofstream(tmp.dir + "/mica_profiles.csv") << "name,inst_count\n";
+    std::ofstream(tmp.dir + "/profiles.bin") << "not a store";
+    StoreKey key;
+    ProfileStore store(tmp.dir, key);
+    EXPECT_FALSE(store.open());
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ProfileStoreTest, TruncatedTrailingEntryIsDroppedNotFatal)
+{
+    StoreDir tmp;
+    StoreKey key;
+    ProfileStore writer(tmp.dir, key);
+    writer.put(fakeProfile("s/a.x", 0.5));
+    writer.put(fakeProfile("s/b.y", 0.25));
+
+    // Simulate an interrupted append: chop the last entry mid-way.
+    const auto path = tmp.dir + "/profiles.bin";
+    const auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 31);
+
+    ProfileStore reader(tmp.dir, key);
+    ASSERT_TRUE(reader.open());
+    EXPECT_EQ(reader.size(), 1u);
+    EXPECT_NE(reader.find("s/a.x"), nullptr);
+    EXPECT_EQ(reader.find("s/b.y"), nullptr);
+}
+
+// ----------------------------------------------------------------------
+// ParallelCollector
+// ----------------------------------------------------------------------
+
+std::vector<const workloads::BenchmarkEntry *>
+someEntries(size_t n)
+{
+    std::vector<const workloads::BenchmarkEntry *> out;
+    for (const auto &e : workloads::BenchmarkRegistry::instance().all()) {
+        if (out.size() >= n)
+            break;
+        out.push_back(&e);
+    }
+    return out;
+}
+
+TEST(ParallelCollectorTest, ParallelMatchesSerialBitForBit)
+{
+    const auto entries = someEntries(6);
+    MicaRunnerConfig rc;
+    rc.maxInsts = 20000;
+    const auto serial = collectProfiles(entries, rc, 1);
+    const auto parallel = collectProfiles(entries, rc, 8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].name(), parallel[i].name());
+        EXPECT_EQ(serial[i].mica.instCount, parallel[i].mica.instCount);
+        for (size_t c = 0; c < kNumMicaChars; ++c)
+            EXPECT_EQ(serial[i].mica.values[c], parallel[i].mica.values[c]);
+        EXPECT_EQ(serial[i].hpc.ipcEv56, parallel[i].hpc.ipcEv56);
+        EXPECT_EQ(serial[i].hpc.ipcEv67, parallel[i].hpc.ipcEv67);
+        EXPECT_EQ(serial[i].hpc.l2MissRate, parallel[i].hpc.l2MissRate);
+    }
+}
+
+TEST(ParallelCollectorTest, ProgressCoversEveryJobExactlyOnce)
+{
+    const auto entries = someEntries(5);
+    MicaRunnerConfig rc;
+    rc.maxInsts = 5000;
+    std::atomic<size_t> calls{0};
+    size_t lastDone = 0, lastTotal = 0;
+    std::mutex m;
+    collectProfiles(entries, rc, 4,
+                    [&](size_t done, size_t total, const std::string &) {
+                        ++calls;
+                        std::lock_guard<std::mutex> lock(m);
+                        lastDone = std::max(lastDone, done);
+                        lastTotal = total;
+                    });
+    EXPECT_EQ(calls.load(), entries.size() * 2);
+    EXPECT_EQ(lastDone, entries.size() * 2);
+    EXPECT_EQ(lastTotal, entries.size() * 2);
+}
+
+TEST(ParallelCollectorTest, JobExceptionsReachTheCaller)
+{
+    workloads::BenchmarkEntry broken;
+    broken.info.suite = "Fake";
+    broken.info.program = "broken";
+    broken.info.input = "x";
+    broken.build = []() -> isa::Program {
+        throw std::runtime_error("kernel build exploded");
+    };
+    std::vector<const workloads::BenchmarkEntry *> entries = {&broken};
+    MicaRunnerConfig rc;
+    EXPECT_THROW(collectProfiles(entries, rc, 4), std::runtime_error);
+    EXPECT_THROW(collectProfiles(entries, rc, 1), std::runtime_error);
+}
+
+// ----------------------------------------------------------------------
+// End-to-end: collectSuiteDataset on the pipeline
+// ----------------------------------------------------------------------
+
+experiments::DatasetConfig
+smallConfig()
+{
+    experiments::DatasetConfig cfg;
+    cfg.maxInsts = 20000;
+    cfg.suites = {"CommBench"};
+    return cfg;
+}
+
+TEST(PipelineDatasetTest, JobsEightEqualsSerial)
+{
+    auto serialCfg = smallConfig();
+    serialCfg.jobs = 1;
+    auto parallelCfg = smallConfig();
+    parallelCfg.jobs = 8;
+    const auto a = experiments::collectSuiteDataset(serialCfg);
+    const auto b = experiments::collectSuiteDataset(parallelCfg);
+    ASSERT_EQ(a.benchmarks.size(), b.benchmarks.size());
+    for (size_t i = 0; i < a.benchmarks.size(); ++i) {
+        EXPECT_EQ(a.micaProfiles[i].name, b.micaProfiles[i].name);
+        for (size_t c = 0; c < kNumMicaChars; ++c)
+            EXPECT_EQ(a.micaProfiles[i][c], b.micaProfiles[i][c]);
+        EXPECT_EQ(a.hpcProfiles[i].ipcEv56, b.hpcProfiles[i].ipcEv56);
+        EXPECT_EQ(a.hpcProfiles[i].dtlbMissRate,
+                  b.hpcProfiles[i].dtlbMissRate);
+    }
+}
+
+TEST(PipelineDatasetTest, SecondRunHitsStoreAndBudgetChangeMisses)
+{
+    StoreDir tmp;
+    auto cfg = smallConfig();
+    cfg.cacheDir = tmp.dir;
+    cfg.jobs = 2;
+
+    size_t profiled = 0;
+    cfg.progress = [&profiled](size_t, size_t, const std::string &) {
+        ++profiled;
+    };
+
+    const auto fresh = experiments::collectSuiteDataset(cfg);
+    EXPECT_EQ(profiled, fresh.benchmarks.size() * 2);
+
+    profiled = 0;
+    const auto cached = experiments::collectSuiteDataset(cfg);
+    EXPECT_EQ(profiled, 0u);    // full store hit: no re-profiling
+    for (size_t i = 0; i < fresh.micaProfiles.size(); ++i) {
+        for (size_t c = 0; c < kNumMicaChars; ++c)
+            EXPECT_EQ(cached.micaProfiles[i][c], fresh.micaProfiles[i][c]);
+        EXPECT_EQ(cached.hpcProfiles[i].ipcEv67,
+                  fresh.hpcProfiles[i].ipcEv67);
+    }
+
+    // The staleness bug the CSV cache had: a different budget must not
+    // be served from the old store.
+    profiled = 0;
+    auto bigger = cfg;
+    bigger.maxInsts = 40000;
+    const auto recollected = experiments::collectSuiteDataset(bigger);
+    EXPECT_EQ(profiled, recollected.benchmarks.size() * 2);
+}
+
+TEST(PipelineDatasetTest, PartialStoreOnlyProfilesTheGap)
+{
+    StoreDir tmp;
+    auto cfg = smallConfig();
+    cfg.cacheDir = tmp.dir;
+
+    // Seed the store with a run over a subset of what we'll ask for
+    // next, under the same key, by dropping benchmarks from the file.
+    const auto full = experiments::collectSuiteDataset(cfg);
+    pipeline::StoreKey key;
+    key.maxInsts = cfg.maxInsts;
+    key.ppmMaxOrder = cfg.ppmMaxOrder;
+    key.suites = cfg.suites;
+    ProfileStore seeded(tmp.dir, key);
+    ASSERT_TRUE(seeded.open());
+    ASSERT_EQ(seeded.size(), full.benchmarks.size());
+
+    // Rewrite the store with only the first half of the entries.
+    std::filesystem::remove(tmp.dir + "/profiles.bin");
+    ProfileStore half(tmp.dir, key);
+    half.open();
+    const size_t keep = full.benchmarks.size() / 2;
+    for (size_t i = 0; i < keep; ++i) {
+        StoredProfile p;
+        p.mica = full.micaProfiles[i];
+        p.hpc = full.hpcProfiles[i];
+        half.put(p);
+    }
+
+    size_t profiled = 0;
+    cfg.progress = [&profiled](size_t, size_t, const std::string &) {
+        ++profiled;
+    };
+    const auto merged = experiments::collectSuiteDataset(cfg);
+    EXPECT_EQ(profiled, (full.benchmarks.size() - keep) * 2);
+    ASSERT_EQ(merged.benchmarks.size(), full.benchmarks.size());
+    for (size_t i = 0; i < full.micaProfiles.size(); ++i) {
+        for (size_t c = 0; c < kNumMicaChars; ++c)
+            EXPECT_EQ(merged.micaProfiles[i][c], full.micaProfiles[i][c]);
+    }
+}
+
+TEST(PipelineDatasetTest, ConfigFromArgsParsesJobs)
+{
+    auto parse = [](const char *flag) {
+        const char *argv[] = {"prog", flag};
+        return experiments::configFromArgs(2, const_cast<char **>(argv))
+            .jobs;
+    };
+    EXPECT_EQ(parse("--jobs=6"), 6u);
+    EXPECT_EQ(parse("--jobs=0"), 0u);          // 0 = auto
+    EXPECT_EQ(parse("--jobs=-1"), 1u);         // no thread bomb
+    EXPECT_EQ(parse("--jobs=banana"), 1u);     // garbage -> serial
+    EXPECT_EQ(parse("--jobs="), 1u);
+    EXPECT_EQ(parse("--jobs=12x"), 1u);
+    EXPECT_EQ(parse("--jobs=999999"), 256u);   // clamped
+}
+
+TEST(PipelineDatasetTest, CompletedResultsPersistWhenASweepFails)
+{
+    StoreDir tmp;
+    StoreKey key;
+    ProfileStore store(tmp.dir, key);
+    store.open();
+
+    const auto good = someEntries(3);
+    workloads::BenchmarkEntry broken;
+    broken.info.suite = "Fake";
+    broken.info.program = "broken";
+    broken.info.input = "x";
+    broken.build = []() -> isa::Program {
+        throw std::runtime_error("kernel build exploded");
+    };
+    std::vector<const workloads::BenchmarkEntry *> entries = good;
+    entries.push_back(&broken);
+
+    MicaRunnerConfig rc;
+    rc.maxInsts = 5000;
+    ResultFn persist = [&store](const StoredProfile &p) { store.put(p); };
+    EXPECT_THROW(collectProfiles(entries, rc, 4, {}, persist),
+                 std::runtime_error);
+
+    // Everything that completed before the failure survives on disk.
+    ProfileStore reopened(tmp.dir, key);
+    ASSERT_TRUE(reopened.open());
+    EXPECT_EQ(reopened.size(), good.size());
+    for (const auto *e : good)
+        EXPECT_NE(reopened.find(e->info.fullName()), nullptr);
+    EXPECT_EQ(reopened.find("Fake/broken.x"), nullptr);
+}
+
+// ----------------------------------------------------------------------
+// Hardened CSV loaders
+// ----------------------------------------------------------------------
+
+TEST(CsvHardeningTest, TruncatedAndGarbageRowsRejected)
+{
+    const std::string path = "/tmp/mica_test_bad.csv";
+
+    {
+        std::ofstream out(path);
+        out << "name,inst_count";
+        for (size_t i = 0; i < kNumMicaChars; ++i)
+            out << ",c" << i;
+        out << "\nbench/a.x,123,0.5\n";    // truncated row
+    }
+    EXPECT_TRUE(loadProfilesCsv(path).empty());
+
+    {
+        std::ofstream out(path);
+        out << "name,inst_count";
+        for (size_t i = 0; i < kNumMicaChars; ++i)
+            out << ",c" << i;
+        out << "\nbench/a.x,NOTANUMBER";
+        for (size_t i = 0; i < kNumMicaChars; ++i)
+            out << ",0.5";
+        out << '\n';
+    }
+    EXPECT_TRUE(loadProfilesCsv(path).empty());    // non-numeric count
+
+    {
+        std::ofstream out(path);
+        out << "name,inst_count";
+        for (size_t i = 0; i < kNumMicaChars; ++i)
+            out << ",c" << i;
+        out << "\nbench/a.x,123";
+        for (size_t i = 0; i < kNumMicaChars; ++i)
+            out << (i == 5 ? ",bogus" : ",0.5");
+        out << '\n';
+    }
+    EXPECT_TRUE(loadProfilesCsv(path).empty());    // non-numeric cell
+
+    {
+        std::ofstream out(path);
+        out << "name,inst_count";
+        for (size_t i = 0; i < kNumMicaChars; ++i)
+            out << ",c" << i;
+        out << "\nbench/a.x,-1";    // strtoull would wrap to 2^64-1
+        for (size_t i = 0; i < kNumMicaChars; ++i)
+            out << ",0.5";
+        out << "\nbench/b.y,123";
+        for (size_t i = 0; i < kNumMicaChars; ++i)
+            out << (i == 2 ? ",nan" : ",0.5");    // non-finite cell
+        out << '\n';
+    }
+    EXPECT_TRUE(loadProfilesCsv(path).empty());
+
+    {
+        std::ofstream out(path);
+        out << "name,inst_count,ipc_ev56,ipc_ev67,branch_miss,l1d_miss,"
+               "l1i_miss,l2_miss,dtlb_miss\n";
+        out << "bench/a.x,100,0.9,1.4\n";    // truncated HPC row
+    }
+    EXPECT_TRUE(loadHpcCsv(path).empty());
+
+    std::filesystem::remove(path);
+}
+
+TEST(CsvHardeningTest, WellFormedCsvStillRoundTrips)
+{
+    const std::string path = "/tmp/mica_test_good.csv";
+    MicaProfile p;
+    p.name = "bench/a.x";
+    p.instCount = 4242;
+    for (size_t i = 0; i < kNumMicaChars; ++i)
+        p.values[i] = 0.25 * static_cast<double>(i);
+    saveProfilesCsv(path, {p});
+    const auto loaded = loadProfilesCsv(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].name, p.name);
+    EXPECT_EQ(loaded[0].instCount, p.instCount);
+    for (size_t i = 0; i < kNumMicaChars; ++i)
+        EXPECT_DOUBLE_EQ(loaded[0].values[i], p.values[i]);
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace mica::pipeline

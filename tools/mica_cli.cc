@@ -9,7 +9,10 @@
  *   mica select                    run GA feature selection
  *   mica subset                    pick suite representatives
  *
- * Common flags: --budget=N, --cache=DIR, --csv=FILE (profile/hpc all).
+ * Common flags: --budget=N, --cache=DIR, --jobs=N (0 = auto),
+ * --csv=FILE (profile/hpc all). Profiling fans out across --jobs
+ * worker threads with bit-identical output for any job count; --cache
+ * names a config-keyed profile store that is reused across runs.
  */
 
 #include <cstdio>
@@ -37,7 +40,8 @@ int
 usage()
 {
     std::printf(
-        "usage: mica <command> [args] [--budget=N] [--cache=DIR]\n"
+        "usage: mica <command> [args] [--budget=N] [--cache=DIR] "
+        "[--jobs=N]\n"
         "  list [suite]              list registered benchmarks\n"
         "  profile <name>|all [--csv=FILE]   MICA profiles\n"
         "  hpc <name>|all [--csv=FILE]       hardware-counter profiles\n"
@@ -90,7 +94,10 @@ cmdProfile(int argc, char **argv, const experiments::DatasetConfig &cfg,
     const std::string csv = flagValue(argc, argv, "--csv");
 
     if (target == "all") {
-        const auto ds = experiments::collectSuiteDataset(cfg);
+        experiments::DatasetConfig runCfg = cfg;
+        if (!runCfg.progress)
+            runCfg.progress = pipeline::stderrProgress();
+        const auto ds = experiments::collectSuiteDataset(runCfg);
         if (!csv.empty()) {
             if (hpc)
                 saveMatrixCsv(csv, ds.hpcMatrix());
