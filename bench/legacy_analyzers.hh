@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Frozen copies of the PR-1 (seed) analyzer hot paths, bench-only.
+ *
+ * These are the node-container, record-at-a-time implementations the
+ * batched engine and flat-hash analyzers replaced: std::unordered_map
+ * PPM context tables with separate find and update passes,
+ * std::unordered_set working sets, per-cut compare loops, and the
+ * modulo ILP ring. perf_analyzers drives them through
+ * AnalysisEngine::runPerRecord() to measure the *seed baseline*
+ * throughput on the current machine, so BENCH_profile.json records an
+ * honest before/after pair for every run instead of a number measured
+ * once on somebody else's hardware.
+ *
+ * Do not use these outside the benchmark; they exist only as the
+ * measurement baseline.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/trace_source.hh"
+
+namespace mica::legacy
+{
+
+/** Seed instruction-mix analyzer (identical hot path to current). */
+class InstMixAnalyzer : public TraceAnalyzer
+{
+  public:
+    void
+    accept(const InstRecord &rec) override
+    {
+        ++counts_[static_cast<size_t>(rec.cls)];
+        ++total_;
+    }
+
+  private:
+    std::array<uint64_t, kNumInstClasses> counts_{};
+    uint64_t total_ = 0;
+};
+
+/** Seed ILP analyzer: modulo ring indexing. */
+class IlpAnalyzer : public TraceAnalyzer
+{
+  public:
+    explicit IlpAnalyzer(
+        std::vector<size_t> windows = {32, 64, 128, 256})
+    {
+        for (size_t w : windows)
+            states_.emplace_back(w);
+    }
+
+    void
+    accept(const InstRecord &rec) override
+    {
+        for (auto &st : states_)
+            st.step(rec);
+    }
+
+  private:
+    struct WindowState
+    {
+        explicit WindowState(size_t w) : window(w), complete(w, 0) {}
+
+        void
+        step(const InstRecord &rec)
+        {
+            uint64_t start = complete[count % window];
+            for (unsigned s = 0; s < rec.numSrcRegs; ++s) {
+                const uint16_t r = rec.srcRegs[s];
+                if (r == kZeroReg || r >= kNumRegs)
+                    continue;
+                start = std::max(start, regReady[r]);
+            }
+            const uint64_t comp = start + 1;
+            complete[count % window] = comp;
+            if (rec.hasDst() && rec.dstReg != kZeroReg &&
+                rec.dstReg < kNumRegs) {
+                regReady[rec.dstReg] = comp;
+            }
+            maxComplete = std::max(maxComplete, comp);
+            ++count;
+        }
+
+        size_t window;
+        std::vector<uint64_t> complete;
+        std::array<uint64_t, kNumRegs> regReady{};
+        uint64_t count = 0;
+        uint64_t maxComplete = 0;
+    };
+
+    std::vector<WindowState> states_;
+};
+
+/** Seed register-traffic analyzer: per-cut compare loop. */
+class RegTrafficAnalyzer : public TraceAnalyzer
+{
+  public:
+    static constexpr std::array<uint64_t, 7> kDistCuts =
+        {1, 2, 4, 8, 16, 32, 64};
+
+    void
+    accept(const InstRecord &rec) override
+    {
+        for (unsigned s = 0; s < rec.numSrcRegs; ++s) {
+            const uint16_t r = rec.srcRegs[s];
+            if (r == kZeroReg || r >= kNumRegs)
+                continue;
+            ++totalReads_;
+            auto &st = regs_[r];
+            if (st.written) {
+                ++st.uses;
+                const uint64_t dist = instIdx_ - st.lastWriteIdx;
+                ++totalDeps_;
+                for (size_t c = 0; c < kDistCuts.size(); ++c) {
+                    if (dist <= kDistCuts[c])
+                        ++distCum_[c];
+                }
+            }
+        }
+        if (rec.hasDst() && rec.dstReg != kZeroReg &&
+            rec.dstReg < kNumRegs) {
+            auto &st = regs_[rec.dstReg];
+            if (st.written) {
+                useSum_ += st.uses;
+                ++instances_;
+            }
+            st.written = true;
+            st.uses = 0;
+            st.lastWriteIdx = instIdx_;
+        }
+        ++instIdx_;
+        ++totalInsts_;
+    }
+
+    void
+    finish() override
+    {
+        if (flushed_)
+            return;
+        flushed_ = true;
+        for (auto &st : regs_) {
+            if (st.written) {
+                useSum_ += st.uses;
+                ++instances_;
+            }
+        }
+    }
+
+  private:
+    struct RegState
+    {
+        bool written = false;
+        uint64_t uses = 0;
+        uint64_t lastWriteIdx = 0;
+    };
+
+    std::array<RegState, kNumRegs> regs_{};
+    std::array<uint64_t, 7> distCum_{};
+    uint64_t totalReads_ = 0;
+    uint64_t totalDeps_ = 0;
+    uint64_t totalInsts_ = 0;
+    uint64_t instIdx_ = 0;
+    uint64_t useSum_ = 0;
+    uint64_t instances_ = 0;
+    bool flushed_ = false;
+};
+
+/** Seed working-set analyzer: node-based unordered_sets. */
+class WorkingSetAnalyzer : public TraceAnalyzer
+{
+  public:
+    static constexpr unsigned kBlockBits = 5;
+    static constexpr unsigned kPageBits = 12;
+
+    void
+    accept(const InstRecord &rec) override
+    {
+        iBlocks_.insert(rec.pc >> kBlockBits);
+        iPages_.insert(rec.pc >> kPageBits);
+        if (rec.isMem()) {
+            dBlocks_.insert(rec.memAddr >> kBlockBits);
+            dPages_.insert(rec.memAddr >> kPageBits);
+        }
+    }
+
+  private:
+    std::unordered_set<uint64_t> dBlocks_;
+    std::unordered_set<uint64_t> dPages_;
+    std::unordered_set<uint64_t> iBlocks_;
+    std::unordered_set<uint64_t> iPages_;
+};
+
+/** Seed stride analyzer: unordered_map last-address tables. */
+class StrideAnalyzer : public TraceAnalyzer
+{
+  public:
+    static constexpr std::array<uint64_t, 5> kCuts = {0, 8, 64, 512, 4096};
+
+    struct Dist
+    {
+        std::array<uint64_t, 5> cum{};
+        uint64_t total = 0;
+
+        void
+        add(uint64_t stride)
+        {
+            ++total;
+            for (size_t c = 0; c < kCuts.size(); ++c) {
+                if (stride <= kCuts[c])
+                    ++cum[c];
+            }
+        }
+    };
+
+    void
+    accept(const InstRecord &rec) override
+    {
+        if (!rec.isMem())
+            return;
+        const bool is_load = rec.cls == InstClass::Load;
+        auto &globalLast = is_load ? lastGlobalLoad_ : lastGlobalStore_;
+        auto &globalDist = is_load ? globalLoad_ : globalStore_;
+        auto &localMap = is_load ? lastLocalLoad_ : lastLocalStore_;
+        auto &localDist = is_load ? localLoad_ : localStore_;
+
+        if (globalLast.valid)
+            globalDist.add(absDiff(rec.memAddr, globalLast.addr));
+        globalLast.addr = rec.memAddr;
+        globalLast.valid = true;
+
+        auto [it, inserted] = localMap.try_emplace(rec.pc, rec.memAddr);
+        if (!inserted) {
+            localDist.add(absDiff(rec.memAddr, it->second));
+            it->second = rec.memAddr;
+        }
+    }
+
+  private:
+    static uint64_t
+    absDiff(uint64_t a, uint64_t b)
+    {
+        return a > b ? a - b : b - a;
+    }
+
+    struct Last
+    {
+        uint64_t addr = 0;
+        bool valid = false;
+    };
+
+    Dist localLoad_, globalLoad_, localStore_, globalStore_;
+    Last lastGlobalLoad_, lastGlobalStore_;
+    std::unordered_map<uint64_t, uint64_t> lastLocalLoad_;
+    std::unordered_map<uint64_t, uint64_t> lastLocalStore_;
+};
+
+/** Seed PPM predictor: unordered_map tables, find + update passes. */
+class PpmPredictor
+{
+  public:
+    enum class History { Global, PerAddress };
+    enum class Tables { Shared, PerBranch };
+
+    PpmPredictor(History hist, Tables tables, unsigned maxOrder = 8)
+        : hist_(hist), tables_(tables), maxOrder_(maxOrder),
+          ctx_(maxOrder + 1)
+    {}
+
+    bool
+    predictAndUpdate(uint64_t pc, bool taken)
+    {
+        const uint64_t history = currentHistory(pc);
+
+        bool prediction = true;
+        for (int k = static_cast<int>(maxOrder_); k >= 0; --k) {
+            const auto it = ctx_[k].find(key(pc, history, k));
+            if (it != ctx_[k].end() && it->second != 0) {
+                prediction = it->second > 0;
+                break;
+            }
+        }
+
+        for (int k = static_cast<int>(maxOrder_); k >= 0; --k) {
+            int8_t &ctr = ctx_[k][key(pc, history, k)];
+            if (taken) {
+                if (ctr < kCtrMax)
+                    ++ctr;
+            } else {
+                if (ctr > -kCtrMax)
+                    --ctr;
+            }
+        }
+
+        pushHistory(pc, taken);
+        return prediction;
+    }
+
+  private:
+    static constexpr int8_t kCtrMax = 4;
+
+    uint64_t
+    currentHistory(uint64_t pc) const
+    {
+        if (hist_ == History::Global)
+            return ghist_;
+        const auto it = lhist_.find(pc);
+        return it == lhist_.end() ? 0 : it->second;
+    }
+
+    void
+    pushHistory(uint64_t pc, bool taken)
+    {
+        if (hist_ == History::Global)
+            ghist_ = (ghist_ << 1) | (taken ? 1 : 0);
+        else
+            lhist_[pc] = (lhist_[pc] << 1) | (taken ? 1 : 0);
+    }
+
+    uint64_t
+    key(uint64_t pc, uint64_t history, int order) const
+    {
+        const uint64_t h =
+            order > 0 ? (history & ((1ull << order) - 1)) : 0;
+        uint64_t k = h * 0x9e3779b97f4a7c15ull;
+        if (tables_ == Tables::PerBranch)
+            k ^= pc * 0xc2b2ae3d27d4eb4full;
+        return k ^ (static_cast<uint64_t>(order) << 56);
+    }
+
+    History hist_;
+    Tables tables_;
+    unsigned maxOrder_;
+    std::vector<std::unordered_map<uint64_t, int8_t>> ctx_;
+    uint64_t ghist_ = 0;
+    std::unordered_map<uint64_t, uint64_t> lhist_;
+};
+
+/** Seed four-variant PPM branch analyzer. */
+class PpmBranchAnalyzer : public TraceAnalyzer
+{
+  public:
+    explicit PpmBranchAnalyzer(unsigned maxOrder = 8)
+        : gag_(PpmPredictor::History::Global,
+               PpmPredictor::Tables::Shared, maxOrder),
+          pag_(PpmPredictor::History::PerAddress,
+               PpmPredictor::Tables::Shared, maxOrder),
+          gas_(PpmPredictor::History::Global,
+               PpmPredictor::Tables::PerBranch, maxOrder),
+          pas_(PpmPredictor::History::PerAddress,
+               PpmPredictor::Tables::PerBranch, maxOrder)
+    {}
+
+    void
+    accept(const InstRecord &rec) override
+    {
+        if (!rec.isCondBranch())
+            return;
+        ++branches_;
+        miss_[0] += gag_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
+        miss_[1] += pag_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
+        miss_[2] += gas_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
+        miss_[3] += pas_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
+    }
+
+  private:
+    PpmPredictor gag_, pag_, gas_, pas_;
+    uint64_t branches_ = 0;
+    uint64_t miss_[4] = {};
+};
+
+} // namespace mica::legacy

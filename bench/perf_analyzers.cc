@@ -6,12 +6,28 @@
  * 47 characteristics take ~110 machine-days, the 8 GA-selected ones
  * ~37 (about 3X less), because fewer analyzer families need to run.
  * These google-benchmark timers measure each analyzer family and the
- * full vs key-subset collection over identical traces.
+ * full vs key-subset collection over identical traces, for both the
+ * batched engine (the default) and the per-record reference path.
+ *
+ * Besides the google-benchmark timers, `--json=<path>` runs a small
+ * self-timed harness and writes a machine-readable throughput profile
+ * (records/sec per analyzer family plus full-profile and key-subset
+ * collection on both engine paths) so the perf trajectory can be
+ * tracked across commits; CI runs it as a non-gating step.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "isa/interpreter.hh"
+#include "legacy_analyzers.hh"
 #include "mica/ilp.hh"
 #include "mica/inst_mix.hh"
 #include "mica/ppm.hh"
@@ -48,6 +64,18 @@ sharedTrace()
     return trace;
 }
 
+/** Paper Table IV key-characteristic subset. */
+const std::vector<size_t> &
+keySubset()
+{
+    static const std::vector<size_t> key = {PctLoads, AvgInputOperands,
+                                            RegDepLe8, LocalLoadStrideLe64,
+                                            GlobalLoadStrideLe512,
+                                            LocalStoreStrideLe4096,
+                                            DWorkSet4K, Ilp256};
+    return key;
+}
+
 template <typename Analyzer, typename... Args>
 void
 runAnalyzer(benchmark::State &state, Args &&...args)
@@ -57,6 +85,22 @@ runAnalyzer(benchmark::State &state, Args &&...args)
         Analyzer a(std::forward<Args>(args)...);
         for (const auto &r : trace)
             a.accept(r);
+        a.finish();
+        benchmark::DoNotOptimize(&a);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(trace.size()));
+}
+
+/** Same analyzer, driven through one acceptBatch span per iteration. */
+template <typename Analyzer, typename... Args>
+void
+runAnalyzerBatched(benchmark::State &state, Args &&...args)
+{
+    const auto &trace = sharedTrace();
+    for (auto _ : state) {
+        Analyzer a(std::forward<Args>(args)...);
+        a.acceptBatch(trace.data(), trace.size());
         a.finish();
         benchmark::DoNotOptimize(&a);
     }
@@ -87,6 +131,131 @@ BENCHMARK(BM_WorkingSet);
 BENCHMARK(BM_Strides);
 BENCHMARK(BM_Ppm);
 
+void BM_InstMixBatched(benchmark::State &s)
+{
+    runAnalyzerBatched<InstMixAnalyzer>(s);
+}
+void BM_IlpBatched(benchmark::State &s)
+{
+    runAnalyzerBatched<IlpAnalyzer>(s);
+}
+void BM_RegTrafficBatched(benchmark::State &s)
+{
+    runAnalyzerBatched<RegTrafficAnalyzer>(s);
+}
+void BM_WorkingSetBatched(benchmark::State &s)
+{
+    runAnalyzerBatched<WorkingSetAnalyzer>(s);
+}
+void BM_StridesBatched(benchmark::State &s)
+{
+    runAnalyzerBatched<StrideAnalyzer>(s);
+}
+void BM_PpmBatched(benchmark::State &s)
+{
+    runAnalyzerBatched<PpmBranchAnalyzer>(s, 8u);
+}
+
+BENCHMARK(BM_InstMixBatched);
+BENCHMARK(BM_IlpBatched);
+BENCHMARK(BM_RegTrafficBatched);
+BENCHMARK(BM_WorkingSetBatched);
+BENCHMARK(BM_StridesBatched);
+BENCHMARK(BM_PpmBatched);
+
+/**
+ * Full 47-characteristic collection over the shared replay trace —
+ * the apples-to-apples engine comparison: identical records, identical
+ * analyzers, only the dispatch granularity differs.
+ */
+void
+runFullProfile(benchmark::State &state, size_t engineBatch)
+{
+    VectorTraceSource src(sharedTrace());
+    for (auto _ : state) {
+        src.reset();
+        MicaRunnerConfig cfg;
+        cfg.engineBatch = engineBatch;
+        const MicaProfile p = collectMicaProfile(src, "x", cfg);
+        benchmark::DoNotOptimize(p.values[0]);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(sharedTrace().size()));
+}
+
+void BM_FullProfilePerRecord(benchmark::State &s) { runFullProfile(s, 0); }
+void BM_FullProfileBatched(benchmark::State &s)
+{
+    runFullProfile(s, AnalysisEngine::kDefaultBatchSize);
+}
+
+BENCHMARK(BM_FullProfilePerRecord);
+BENCHMARK(BM_FullProfileBatched);
+
+/**
+ * The seed baseline: all six PR-1 analyzer implementations (node
+ * containers, two-pass PPM, modulo ILP) driven record-at-a-time —
+ * what one full profile cost before this change. The key-subset
+ * variant drops PPM, mirroring which families the Table IV subset
+ * needs.
+ */
+struct LegacyAnalyzerSet
+{
+    legacy::InstMixAnalyzer mix;
+    legacy::IlpAnalyzer ilp;
+    legacy::RegTrafficAnalyzer rt;
+    legacy::WorkingSetAnalyzer ws;
+    legacy::StrideAnalyzer st;
+    legacy::PpmBranchAnalyzer ppm{8};
+
+    void
+    addTo(AnalysisEngine &eng, bool keyOnly)
+    {
+        eng.add(&mix);
+        eng.add(&ilp);
+        eng.add(&rt);
+        eng.add(&ws);
+        eng.add(&st);
+        if (!keyOnly)
+            eng.add(&ppm);
+    }
+};
+
+/** One record-at-a-time run of the frozen seed analyzer set. */
+void
+runSeedOnce(VectorTraceSource &src, bool keyOnly)
+{
+    LegacyAnalyzerSet set;
+    AnalysisEngine eng;
+    set.addTo(eng, keyOnly);
+    src.reset();
+    eng.runPerRecord(src);
+    benchmark::DoNotOptimize(&eng);
+}
+
+template <bool KeyOnly>
+void
+runSeedBaseline(benchmark::State &state)
+{
+    VectorTraceSource src(sharedTrace());
+    for (auto _ : state)
+        runSeedOnce(src, KeyOnly);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(sharedTrace().size()));
+}
+
+void BM_FullProfileSeedBaseline(benchmark::State &s)
+{
+    runSeedBaseline<false>(s);
+}
+void BM_KeySubsetSeedBaseline(benchmark::State &s)
+{
+    runSeedBaseline<true>(s);
+}
+
+BENCHMARK(BM_FullProfileSeedBaseline);
+BENCHMARK(BM_KeySubsetSeedBaseline);
+
 /** Full 47-characteristic collection over a registry benchmark. */
 void
 BM_CollectAll47(benchmark::State &state)
@@ -115,18 +284,13 @@ BM_CollectKey8(benchmark::State &state)
     const auto *e = workloads::BenchmarkRegistry::instance().find(
         "SPEC2000/bzip2.source");
     const isa::Program prog = e->build();
-    const std::vector<size_t> key = {PctLoads, AvgInputOperands,
-                                     RegDepLe8, LocalLoadStrideLe64,
-                                     GlobalLoadStrideLe512,
-                                     LocalStoreStrideLe4096, DWorkSet4K,
-                                     Ilp256};
     uint64_t insts = 0;
     for (auto _ : state) {
         isa::Interpreter interp(prog);
         MicaRunnerConfig cfg;
         cfg.maxInsts = 100000;
         const MicaProfile p =
-            collectMicaProfileSubset(interp, "x", key, cfg);
+            collectMicaProfileSubset(interp, "x", keySubset(), cfg);
         insts = p.instCount;
         benchmark::DoNotOptimize(p.values[0]);
     }
@@ -168,6 +332,147 @@ BM_InterpreterOnly(benchmark::State &state)
 }
 BENCHMARK(BM_InterpreterOnly);
 
+// ----------------------------------------------------------------------
+// --json mode: self-timed throughput profile for trend tracking.
+// ----------------------------------------------------------------------
+
+/** Best-of-N records/sec for one collection run over the trace. */
+template <typename Fn>
+double
+bestRate(uint64_t records, Fn &&run)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        run();
+        const double dt = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+        if (dt > 0.0)
+            best = std::max(best, static_cast<double>(records) / dt);
+    }
+    return best;
+}
+
+/** Time one analyzer family over the shared trace, batched engine. */
+template <typename MakeAnalyzer>
+double
+familyRate(VectorTraceSource &src, MakeAnalyzer &&make)
+{
+    return bestRate(src.size(), [&] {
+        auto a = make();
+        AnalysisEngine eng;
+        eng.add(&a);
+        src.reset();
+        eng.run(src);
+        benchmark::DoNotOptimize(&a);
+    });
+}
+
+/** Time a full or key-subset collection on one engine path. */
+double
+collectRate(VectorTraceSource &src, size_t engineBatch, bool keyOnly)
+{
+    return bestRate(src.size(), [&] {
+        MicaRunnerConfig cfg;
+        cfg.engineBatch = engineBatch;
+        src.reset();
+        const MicaProfile p = keyOnly
+            ? collectMicaProfileSubset(src, "x", keySubset(), cfg)
+            : collectMicaProfile(src, "x", cfg);
+        benchmark::DoNotOptimize(p.values[0]);
+    });
+}
+
+/** Time the frozen seed implementations (see legacy_analyzers.hh). */
+double
+seedBaselineRate(VectorTraceSource &src, bool keyOnly)
+{
+    return bestRate(src.size(), [&] { runSeedOnce(src, keyOnly); });
+}
+
+int
+writeJsonProfile(const std::string &path)
+{
+    VectorTraceSource src(sharedTrace());
+    const uint64_t records = src.size();
+
+    const double mix = familyRate(src, [] { return InstMixAnalyzer(); });
+    const double ilp = familyRate(src, [] { return IlpAnalyzer(); });
+    const double rt = familyRate(src, [] { return RegTrafficAnalyzer(); });
+    const double ws = familyRate(src, [] { return WorkingSetAnalyzer(); });
+    const double st = familyRate(src, [] { return StrideAnalyzer(); });
+    const double ppm =
+        familyRate(src, [] { return PpmBranchAnalyzer(8); });
+
+    const double fullSeed = seedBaselineRate(src, false);
+    const double fullPerRecord = collectRate(src, 0, false);
+    const double fullBatched =
+        collectRate(src, AnalysisEngine::kDefaultBatchSize, false);
+    const double keySeed = seedBaselineRate(src, true);
+    const double keyPerRecord = collectRate(src, 0, true);
+    const double keyBatched =
+        collectRate(src, AnalysisEngine::kDefaultBatchSize, true);
+
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "perf_analyzers: cannot write " << path << "\n";
+        return 1;
+    }
+    out.precision(17);
+    out << "{\n"
+        << "  \"schema\": \"mica-perf-profile/1\",\n"
+        << "  \"records\": " << records << ",\n"
+        << "  \"per_family_records_per_sec\": {\n"
+        << "    \"inst_mix\": " << mix << ",\n"
+        << "    \"ilp\": " << ilp << ",\n"
+        << "    \"reg_traffic\": " << rt << ",\n"
+        << "    \"working_set\": " << ws << ",\n"
+        << "    \"strides\": " << st << ",\n"
+        << "    \"ppm\": " << ppm << "\n"
+        << "  },\n"
+        << "  \"full_profile_records_per_sec\": {\n"
+        << "    \"seed_baseline\": " << fullSeed << ",\n"
+        << "    \"per_record\": " << fullPerRecord << ",\n"
+        << "    \"batched\": " << fullBatched << ",\n"
+        << "    \"speedup_vs_seed\": " << fullBatched / fullSeed << "\n"
+        << "  },\n"
+        << "  \"key_subset_records_per_sec\": {\n"
+        << "    \"seed_baseline\": " << keySeed << ",\n"
+        << "    \"per_record\": " << keyPerRecord << ",\n"
+        << "    \"batched\": " << keyBatched << ",\n"
+        << "    \"speedup_vs_seed\": " << keyBatched / keySeed << "\n"
+        << "  }\n"
+        << "}\n";
+    std::cout << "perf profile written to " << path
+              << " (full-profile speedup vs seed "
+              << fullBatched / fullSeed << "x)\n";
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip our --json flag before google-benchmark sees (and rejects)
+    // it; any other arguments pass through untouched.
+    std::string jsonPath;
+    std::vector<char *> args;
+    args.reserve(static_cast<size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            jsonPath = argv[i] + 7;
+        else
+            args.push_back(argv[i]);
+    }
+    if (!jsonPath.empty())
+        return writeJsonProfile(jsonPath);
+
+    int rest = static_cast<int>(args.size());
+    benchmark::Initialize(&rest, args.data());
+    if (benchmark::ReportUnrecognizedArguments(rest, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -33,6 +33,16 @@ class Interpreter : public TraceSource
 
     bool next(InstRecord &rec) override;
 
+    size_t
+    nextBatch(InstRecord *buf, size_t n) override
+    {
+        // Qualified call: no per-record virtual dispatch.
+        size_t got = 0;
+        while (got < n && Interpreter::next(buf[got]))
+            ++got;
+        return got;
+    }
+
     bool
     reset() override
     {

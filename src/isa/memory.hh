@@ -9,9 +9,9 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
 
 #include "isa/program.hh"
+#include "util/flat_hash.hh"
 
 namespace mica::isa
 {
@@ -119,8 +119,13 @@ class Memory
         return lastPage_;
     }
 
-    std::unordered_map<uint64_t,
-                       std::unique_ptr<std::array<uint8_t, kPageSize>>>
+    // Flat-hash page table: page lookups on read/write misses of the
+    // one-entry cache stay allocation-free and probe one cache line.
+    // Page payloads are heap blocks, so rehashing moves only the
+    // unique_ptrs and never invalidates lastPage_.
+    util::FlatHashMap<uint64_t,
+                      std::unique_ptr<std::array<uint8_t, kPageSize>>,
+                      util::MulHash>
         pages_;
     uint64_t lastPageNum_ = ~0ull;
     uint8_t *lastPage_ = nullptr;

@@ -52,6 +52,7 @@ Matrix
 profilesToMatrix(const std::vector<MicaProfile> &profiles)
 {
     Matrix m;
+    m.rowNames.reserve(profiles.size());
     for (const auto &info : micaCharTable())
         m.colNames.push_back(info.name);
     for (const auto &p : profiles) {
@@ -86,6 +87,9 @@ loadProfilesCsv(const std::string &path)
     std::vector<MicaProfile> profiles;
     if (!in)
         return profiles;
+    // A full sweep is the paper's 122-benchmark Table I; reserving
+    // that up front makes the common reload allocation-free.
+    profiles.reserve(128);
 
     std::string line;
     if (!std::getline(in, line))
@@ -150,6 +154,7 @@ loadHpcCsv(const std::string &path)
     std::vector<uarch::HwCounterProfile> out;
     if (!in)
         return out;
+    out.reserve(128);
     std::string line;
     if (!std::getline(in, line))
         return out;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -47,8 +48,29 @@ class IlpAnalyzer : public TraceAnalyzer
     void
     accept(const InstRecord &rec) override
     {
+        uint16_t srcs[3];
+        unsigned nsrc;
+        uint16_t dst;
+        extractOps(rec, srcs, nsrc, dst);
         for (auto &st : states_)
-            st.step(rec);
+            st.step(srcs, nsrc, dst);
+    }
+
+    void
+    acceptBatch(const InstRecord *recs, size_t n) override
+    {
+        // Records outer: every window state is small (ring + regReady
+        // fit in a few KB), so all of them stay hot while each record
+        // is touched exactly once — and the operand filtering is done
+        // once per record instead of once per window.
+        for (size_t i = 0; i < n; ++i) {
+            uint16_t srcs[3];
+            unsigned nsrc;
+            uint16_t dst;
+            extractOps(recs[i], srcs, nsrc, dst);
+            for (auto &st : states_)
+                st.step(srcs, nsrc, dst);
+        }
     }
 
     /** @return number of window configurations. */
@@ -69,33 +91,54 @@ class IlpAnalyzer : public TraceAnalyzer
     }
 
   private:
+    /** Filter a record down to its in-range, non-zero operands. */
+    static void
+    extractOps(const InstRecord &rec, uint16_t srcs[3], unsigned &nsrc,
+               uint16_t &dst)
+    {
+        nsrc = 0;
+        for (unsigned s = 0; s < rec.numSrcRegs; ++s) {
+            const uint16_t r = rec.srcRegs[s];
+            if (r != kZeroReg && r < kNumRegs)
+                srcs[nsrc++] = r;
+        }
+        dst = (rec.hasDst() && rec.dstReg != kZeroReg &&
+               rec.dstReg < kNumRegs) ? rec.dstReg : kInvalidReg;
+    }
+
     struct WindowState
     {
-        explicit WindowState(size_t w) : window(w), complete(w, 0) {}
+        explicit WindowState(size_t w)
+            : window(w), mask(w - 1), pow2(w != 0 && (w & (w - 1)) == 0),
+              complete(w, 0)
+        {
+            assert(w > 0 && "ILP window size must be positive");
+        }
 
         void
-        step(const InstRecord &rec)
+        step(const uint16_t srcs[3], unsigned nsrc, uint16_t dst)
         {
             // Window-entry constraint: in-order advance; this slot frees
             // when the instruction `window` positions older completed.
-            uint64_t start = complete[count % window];
-            for (unsigned s = 0; s < rec.numSrcRegs; ++s) {
-                const uint16_t r = rec.srcRegs[s];
-                if (r == kZeroReg || r >= kNumRegs)
-                    continue;
-                start = std::max(start, regReady[r]);
-            }
+            // All paper windows are powers of two, so the ring index is
+            // an AND; a non-pow2 window still works via the modulo
+            // slow path.
+            const size_t slot = pow2 ? static_cast<size_t>(count & mask)
+                                     : static_cast<size_t>(count % window);
+            uint64_t start = complete[slot];
+            for (unsigned s = 0; s < nsrc; ++s)
+                start = std::max(start, regReady[srcs[s]]);
             const uint64_t comp = start + 1;
-            complete[count % window] = comp;
-            if (rec.hasDst() && rec.dstReg != kZeroReg &&
-                rec.dstReg < kNumRegs) {
-                regReady[rec.dstReg] = comp;
-            }
+            complete[slot] = comp;
+            if (dst != kInvalidReg)
+                regReady[dst] = comp;
             maxComplete = std::max(maxComplete, comp);
             ++count;
         }
 
         size_t window;
+        uint64_t mask;
+        bool pow2;
         std::vector<uint64_t> complete;
         std::array<uint64_t, kNumRegs> regReady{};
         uint64_t count = 0;

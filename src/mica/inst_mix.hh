@@ -21,11 +21,13 @@ namespace mica
 class InstMixAnalyzer : public TraceAnalyzer
 {
   public:
+    void accept(const InstRecord &rec) override { step(rec); }
+
     void
-    accept(const InstRecord &rec) override
+    acceptBatch(const InstRecord *recs, size_t n) override
     {
-        ++counts_[static_cast<size_t>(rec.cls)];
-        ++total_;
+        for (size_t i = 0; i < n; ++i)
+            step(recs[i]);
     }
 
     /** @return total dynamic instructions observed. */
@@ -84,6 +86,13 @@ class InstMixAnalyzer : public TraceAnalyzer
     }
 
   private:
+    void
+    step(const InstRecord &rec)
+    {
+        ++counts_[static_cast<size_t>(rec.cls)];
+        ++total_;
+    }
+
     std::array<uint64_t, kNumInstClasses> counts_{};
     uint64_t total_ = 0;
 };

@@ -13,13 +13,124 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/trace_source.hh"
+#include "util/flat_hash.hh"
 
 namespace mica
 {
+
+/**
+ * Open-addressing pattern table specialized for PPM context counters.
+ *
+ * One 8-byte slot holds everything a context needs — bit 63 marks the
+ * slot used, bits 62..4 are a 59-bit fingerprint (the low 59 bits of
+ * the already-hashed context key), bits 3..0 a biased saturating
+ * counter — so a table of N contexts costs half the bytes of a
+ * key/value/flag slot layout and packs 8 slots per cache line. With
+ * GAs/PAs growing to ~10^5 contexts per table, table bytes are the
+ * profiling bottleneck, not instruction count.
+ *
+ * The 5 dropped key bits make aliasing *possible* (two contexts whose
+ * 64-bit keys agree in the low 59 bits would share a counter), with
+ * probability ~2^-59 per context pair — the standard partial-tag
+ * trade-off of hardware pattern tables. Keys are pre-mixed by
+ * PpmPredictor::key(), so the low bits carry full entropy and index
+ * the table directly.
+ */
+class PpmContextTable
+{
+  public:
+    /** @return number of live contexts. */
+    size_t size() const { return size_; }
+
+    /** Hint the CPU to pull the key's home slot into cache. */
+    void
+    prefetch(uint64_t key) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        if (!slots_.empty())
+            __builtin_prefetch(&slots_[key & mask_]);
+#endif
+    }
+
+    /**
+     * Read the context's counter, then apply one saturating step
+     * toward rail (+kMax for taken, -kMax for not taken).
+     *
+     * @return the counter value *before* the update — the evidence a
+     *         PPM prediction is made from. Missing contexts read 0
+     *         and are inserted.
+     */
+    int8_t
+    updateSaturating(uint64_t key, int8_t delta, int8_t rail)
+    {
+        growIfNeeded();
+        const uint64_t tagged = kUsed | ((key & kFpMask) << kCtrBits);
+        for (size_t i = key & mask_;; i = (i + 1) & mask_) {
+            uint64_t &s = slots_[i];
+            if (s == 0) {
+                // New context: pre-update evidence is 0, counter
+                // steps off zero (never saturates).
+                s = tagged | static_cast<uint64_t>(kBias + delta);
+                ++size_;
+                return 0;
+            }
+            if ((s & ~kCtrMask) == tagged) {
+                const int8_t pre =
+                    static_cast<int8_t>(s & kCtrMask) - kBias;
+                const int8_t next = pre == rail
+                    ? pre : static_cast<int8_t>(pre + delta);
+                s = (s & ~kCtrMask) |
+                    static_cast<uint64_t>(next + kBias);
+                return pre;
+            }
+        }
+    }
+
+  private:
+    static constexpr unsigned kCtrBits = 4;
+    static constexpr uint64_t kCtrMask = (1ull << kCtrBits) - 1;
+    static constexpr int8_t kBias = 8;
+    static constexpr uint64_t kUsed = 1ull << 63;
+    static constexpr uint64_t kFpMask = (1ull << 59) - 1;
+    static constexpr size_t kMinCapacity = 16;
+
+    void
+    growIfNeeded()
+    {
+        if (slots_.empty())
+            rehash(kMinCapacity);
+        else if ((size_ + 1) * 10 > slots_.size() * 7)
+            rehash(slots_.size() * 2);
+    }
+
+    void
+    rehash(size_t newCap)
+    {
+        std::vector<uint64_t> old = std::move(slots_);
+        slots_.assign(newCap, 0);
+        mask_ = newCap - 1;
+        for (uint64_t s : old) {
+            if (s == 0)
+                continue;
+            // The stored fingerprint contains the low key bits the
+            // index is derived from.
+            const uint64_t keyLow = (s >> kCtrBits) & kFpMask;
+            for (size_t i = keyLow & mask_;; i = (i + 1) & mask_) {
+                if (slots_[i] == 0) {
+                    slots_[i] = s;
+                    break;
+                }
+            }
+        }
+    }
+
+    std::vector<uint64_t> slots_;
+    size_t size_ = 0;
+    size_t mask_ = 0;
+};
 
 /**
  * One PPM predictor instance.
@@ -45,41 +156,66 @@ class PpmPredictor
 
     PpmPredictor(History hist, Tables tables, unsigned maxOrder = 8)
         : hist_(hist), tables_(tables), maxOrder_(maxOrder),
-          ctx_(maxOrder + 1)
+          ctx_(maxOrder + 1), keyBuf_(maxOrder + 1)
     {}
 
     /**
      * Predict the branch at pc, then update with the actual outcome.
      * @return the prediction made before the update.
+     *
+     * Prediction and update are fused into one table walk: each
+     * (order, context) counter is touched exactly once per branch, so
+     * reading it just before updating it observes the same pre-update
+     * evidence the original find-then-update formulation saw — half
+     * the hash lookups, bit-identical miss rates. Keys are computed up
+     * front and their slots prefetched so the per-order cache misses
+     * overlap instead of serializing.
      */
     bool
     predictAndUpdate(uint64_t pc, bool taken)
     {
-        const uint64_t history = currentHistory(pc);
+        if (!prepared_ || preparedPc_ != pc)
+            prepare(pc);
+        prepared_ = false;
 
         bool prediction = true;     // cold default: predict taken
+        bool decided = false;
+        const int8_t delta = taken ? 1 : -1;
+        const int8_t rail = taken ? kCtrMax : -kCtrMax;
         for (int k = static_cast<int>(maxOrder_); k >= 0; --k) {
-            const auto it = ctx_[k].find(key(pc, history, k));
-            if (it != ctx_[k].end() && it->second != 0) {
-                prediction = it->second > 0;
-                break;
-            }
-        }
-
-        for (int k = static_cast<int>(maxOrder_); k >= 0; --k) {
-            int8_t &ctr = ctx_[k][key(pc, history, k)];
-            if (taken) {
-                if (ctr < kCtrMax)
-                    ++ctr;
-            } else {
-                if (ctr > -kCtrMax)
-                    --ctr;
+            const int8_t pre =
+                ctx_[k].updateSaturating(keyBuf_[k], delta, rail);
+            if (!decided && pre != 0) {
+                prediction = pre > 0;
+                decided = true;
             }
         }
 
         pushHistory(pc, taken);
         return prediction;
     }
+
+    /**
+     * Compute the keys and hashes a predictAndUpdate(pc, ...) call
+     * will use and prefetch their context slots. Callers running
+     * several predictors over the same branch issue every predictor's
+     * prepare() first so the table misses overlap instead of
+     * serializing per predictor; the following predictAndUpdate(pc)
+     * then reuses the buffered keys and hashes. Purely a performance
+     * hint — predictAndUpdate() recomputes them when not prepared.
+     */
+    void
+    prepare(uint64_t pc)
+    {
+        const uint64_t history = currentHistory(pc);
+        for (int k = static_cast<int>(maxOrder_); k >= 0; --k) {
+            keyBuf_[k] = key(pc, history, k);
+            ctx_[k].prefetch(keyBuf_[k]);
+        }
+        prepared_ = true;
+        preparedPc_ = pc;
+    }
+
 
     unsigned maxOrder() const { return maxOrder_; }
 
@@ -101,17 +237,19 @@ class PpmPredictor
     {
         if (hist_ == History::Global)
             return ghist_;
-        const auto it = lhist_.find(pc);
-        return it == lhist_.end() ? 0 : it->second;
+        const uint64_t *h = lhist_.find(pc);
+        return h ? *h : 0;
     }
 
     void
     pushHistory(uint64_t pc, bool taken)
     {
-        if (hist_ == History::Global)
+        if (hist_ == History::Global) {
             ghist_ = (ghist_ << 1) | (taken ? 1 : 0);
-        else
-            lhist_[pc] = (lhist_[pc] << 1) | (taken ? 1 : 0);
+        } else {
+            uint64_t &h = lhist_[pc];
+            h = (h << 1) | (taken ? 1 : 0);
+        }
     }
 
     /** Mix (order, masked history, optional pc) into a table key. */
@@ -129,9 +267,12 @@ class PpmPredictor
     History hist_;
     Tables tables_;
     unsigned maxOrder_;
-    std::vector<std::unordered_map<uint64_t, int8_t>> ctx_;
+    std::vector<PpmContextTable> ctx_;
+    std::vector<uint64_t> keyBuf_;  ///< per-call key scratch (no alloc)
+    bool prepared_ = false;         ///< keyBuf_ valid for
+    uint64_t preparedPc_ = 0;       ///< this pc
     uint64_t ghist_ = 0;
-    std::unordered_map<uint64_t, uint64_t> lhist_;
+    util::FlatHashMap<uint64_t, uint64_t, util::MulHash> lhist_;
 };
 
 /**
@@ -154,16 +295,13 @@ class PpmBranchAnalyzer : public TraceAnalyzer
                PpmPredictor::Tables::PerBranch, maxOrder)
     {}
 
+    void accept(const InstRecord &rec) override { step(rec); }
+
     void
-    accept(const InstRecord &rec) override
+    acceptBatch(const InstRecord *recs, size_t n) override
     {
-        if (!rec.isCondBranch())
-            return;
-        ++branches_;
-        miss_[0] += gag_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
-        miss_[1] += pag_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
-        miss_[2] += gas_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
-        miss_[3] += pas_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
+        for (size_t i = 0; i < n; ++i)
+            step(recs[i]);
     }
 
     /** @return dynamic conditional branches observed. */
@@ -175,6 +313,24 @@ class PpmBranchAnalyzer : public TraceAnalyzer
     double missRatePAs() const { return rate(3); }
 
   private:
+    void
+    step(const InstRecord &rec)
+    {
+        if (!rec.isCondBranch())
+            return;
+        ++branches_;
+        // All four variants' slots first, then the four walks: the
+        // table misses of 4 x (maxOrder + 1) lookups overlap.
+        gag_.prepare(rec.pc);
+        pag_.prepare(rec.pc);
+        gas_.prepare(rec.pc);
+        pas_.prepare(rec.pc);
+        miss_[0] += gag_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
+        miss_[1] += pag_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
+        miss_[2] += gas_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
+        miss_[3] += pas_.predictAndUpdate(rec.pc, rec.taken) != rec.taken;
+    }
+
     double
     rate(size_t v) const
     {

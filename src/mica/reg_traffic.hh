@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 
@@ -35,8 +36,18 @@ class RegTrafficAnalyzer : public TraceAnalyzer
     static constexpr std::array<uint64_t, 7> kDistCuts =
         {1, 2, 4, 8, 16, 32, 64};
 
+    void accept(const InstRecord &rec) override { step(rec); }
+
     void
-    accept(const InstRecord &rec) override
+    acceptBatch(const InstRecord *recs, size_t n) override
+    {
+        for (size_t i = 0; i < n; ++i)
+            step(recs[i]);
+    }
+
+  private:
+    void
+    step(const InstRecord &rec)
     {
         // Reads first: an instruction consumes its sources before it
         // produces its destination.
@@ -50,10 +61,18 @@ class RegTrafficAnalyzer : public TraceAnalyzer
                 ++st.uses;
                 const uint64_t dist = instIdx_ - st.lastWriteIdx;
                 ++totalDeps_;
-                for (size_t c = 0; c < kDistCuts.size(); ++c) {
-                    if (dist <= kDistCuts[c])
-                        ++distCum_[c];
-                }
+                // One histogram bucket per dependence instead of a
+                // comparison per cut: the cuts are powers of two, so
+                // the bucket is the bit width of dist - 1 (dist >= 1
+                // always: the producer precedes the reader). Bucket 7
+                // collects distances beyond the last cut;
+                // depDistanceCum() folds the histogram back into the
+                // cumulative counts.
+                const int bucket = dist <= 1
+                    ? 0
+                    : std::min<int>(kDistCuts.size(),
+                                    64 - __builtin_clzll(dist - 1));
+                ++distHist_[bucket];
             }
         }
         if (rec.hasDst() && rec.dstReg != kZeroReg &&
@@ -71,6 +90,7 @@ class RegTrafficAnalyzer : public TraceAnalyzer
         ++totalInsts_;
     }
 
+  public:
     void
     finish() override
     {
@@ -109,8 +129,13 @@ class RegTrafficAnalyzer : public TraceAnalyzer
     double
     depDistanceCum(size_t cut) const
     {
-        return totalDeps_ ? static_cast<double>(distCum_[cut]) /
-                            static_cast<double>(totalDeps_) : 0.0;
+        if (!totalDeps_)
+            return 0.0;
+        uint64_t n = 0;
+        for (size_t b = 0; b <= cut; ++b)
+            n += distHist_[b];
+        return static_cast<double>(n) /
+               static_cast<double>(totalDeps_);
     }
 
     /** @return total register reads with a known producer. */
@@ -125,7 +150,7 @@ class RegTrafficAnalyzer : public TraceAnalyzer
     };
 
     std::array<RegState, kNumRegs> regs_{};
-    std::array<uint64_t, 7> distCum_{};
+    std::array<uint64_t, 8> distHist_{};    ///< [7] = beyond last cut
     uint64_t totalReads_ = 0;
     uint64_t totalDeps_ = 0;
     uint64_t totalInsts_ = 0;

@@ -75,6 +75,17 @@ fillPpm(MicaProfile &p, const PpmBranchAnalyzer &ppm)
     p[PpmPAs] = ppm.missRatePAs();
 }
 
+/** Drive the engine through the path the config selects. */
+uint64_t
+runEngine(AnalysisEngine &engine, TraceSource &src,
+          const MicaRunnerConfig &cfg)
+{
+    if (cfg.engineBatch == 0)
+        return engine.runPerRecord(src, cfg.maxInsts);
+    engine.setBatchSize(cfg.engineBatch);
+    return engine.run(src, cfg.maxInsts);
+}
+
 } // namespace
 
 MicaProfile
@@ -98,7 +109,7 @@ collectMicaProfile(TraceSource &src, const std::string &name,
 
     MicaProfile p;
     p.name = name;
-    p.instCount = engine.run(src, cfg.maxInsts);
+    p.instCount = runEngine(engine, src, cfg);
     fillMix(p, mix);
     fillIlp(p, ilp);
     fillRegTraffic(p, rt);
@@ -153,7 +164,7 @@ collectMicaProfileSubset(TraceSource &src, const std::string &name,
 
     MicaProfile p;
     p.name = name;
-    p.instCount = engine.run(src, cfg.maxInsts);
+    p.instCount = runEngine(engine, src, cfg);
     if (needMix)
         fillMix(p, mix);
     if (needIlp)

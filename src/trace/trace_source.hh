@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "trace/inst_record.hh"
@@ -33,6 +34,50 @@ class TraceSource
     virtual bool next(InstRecord &rec) = 0;
 
     /**
+     * Produce up to n records into buf.
+     *
+     * The default implementation loops next(), so every source gets
+     * the bulk API for free; sources with cheap bulk access (replay
+     * buffers, generators, the interpreter) override it to amortize
+     * the per-record virtual call. A batch is a plain prefix of the
+     * record stream: mixing next() and nextBatch() calls observes the
+     * same trace in the same order.
+     *
+     * @param buf destination for up to n records
+     * @param n   batch capacity (may be 0)
+     * @return number of records produced; < n only at end of trace.
+     */
+    virtual size_t
+    nextBatch(InstRecord *buf, size_t n)
+    {
+        size_t got = 0;
+        while (got < n && next(buf[got]))
+            ++got;
+        return got;
+    }
+
+    /**
+     * Borrow the next span of up to n records with no copy when the
+     * source already holds materialized records (replay buffers).
+     *
+     * On return, span points either into the source's own storage or
+     * at buf (the default implementation fills buf via nextBatch).
+     * The span stays valid until the next call that advances this
+     * source. Consumes the same records as nextBatch would.
+     *
+     * @param span out-parameter: start of the produced records
+     * @param buf  caller-provided backing store of capacity n
+     * @param n    maximum records to produce
+     * @return number of records in span; < n only at end of trace.
+     */
+    virtual size_t
+    nextSpan(const InstRecord *&span, InstRecord *buf, size_t n)
+    {
+        span = buf;
+        return nextBatch(buf, n);
+    }
+
+    /**
      * Rewind the source to the beginning of the trace.
      *
      * @retval true the source supports re-running and has been rewound.
@@ -55,6 +100,25 @@ class TraceAnalyzer
 
     /** Observe one dynamic instruction. */
     virtual void accept(const InstRecord &rec) = 0;
+
+    /**
+     * Observe a contiguous span of n dynamic instructions in trace
+     * order.
+     *
+     * The contract: acceptBatch(recs, n) must be observationally
+     * identical to calling accept(recs[i]) for i in [0, n) — the
+     * default implementation does exactly that, so analyzers that
+     * only implement accept() are always correct. Analyzers on the
+     * profiling hot path override it so their whole batch loop is one
+     * tight, devirtualized kernel: one virtual call per batch instead
+     * of one per instruction.
+     */
+    virtual void
+    acceptBatch(const InstRecord *recs, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            accept(recs[i]);
+    }
 
     /** Called once after the last record of the trace. */
     virtual void finish() {}

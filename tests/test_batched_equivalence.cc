@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Golden A/B tests: the batched analysis engine must be bit-identical
+ * to the per-record reference path — same MicaProfile bytes for every
+ * batch size, trace source, seed, and instruction budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "isa/interpreter.hh"
+#include "mica/ilp.hh"
+#include "mica/ppm.hh"
+#include "mica/profile.hh"
+#include "mica/reg_traffic.hh"
+#include "mica/runner.hh"
+#include "mica/strides.hh"
+#include "mica/working_set.hh"
+#include "trace/engine.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
+
+namespace mica
+{
+namespace
+{
+
+/** Bitwise profile comparison: no tolerance, no rounding. */
+void
+expectProfilesIdentical(const MicaProfile &a, const MicaProfile &b,
+                        const std::string &what)
+{
+    EXPECT_EQ(a.name, b.name) << what;
+    EXPECT_EQ(a.instCount, b.instCount) << what;
+    EXPECT_EQ(std::memcmp(a.values.data(), b.values.data(),
+                          sizeof(a.values)),
+              0)
+        << what;
+}
+
+MicaProfile
+profileRandom(uint64_t seed, size_t engineBatch, uint64_t budget)
+{
+    RandomTraceParams p;
+    p.numInsts = 20000;
+    p.seed = seed;
+    RandomTraceSource src(p);
+    MicaRunnerConfig cfg;
+    cfg.maxInsts = budget;
+    cfg.engineBatch = engineBatch;
+    return collectMicaProfile(src, "rand", cfg);
+}
+
+TEST(BatchedEquivalenceTest, RandomTracesAcrossSeedsAndBatchSizes)
+{
+    // Batch size 1, a non-divisor of the trace length, the default,
+    // and one larger than the whole trace.
+    const size_t batchSizes[] = {1, 3, 333,
+                                 AnalysisEngine::kDefaultBatchSize,
+                                 1 << 16};
+    for (uint64_t seed : {1ull, 7ull, 42ull}) {
+        const MicaProfile ref = profileRandom(seed, 0, 0);
+        for (size_t bs : batchSizes) {
+            const MicaProfile got = profileRandom(seed, bs, 0);
+            expectProfilesIdentical(
+                ref, got,
+                "seed=" + std::to_string(seed) +
+                    " batch=" + std::to_string(bs));
+        }
+    }
+}
+
+TEST(BatchedEquivalenceTest, BudgetNotAMultipleOfBatchSize)
+{
+    // 12345 records through 1024-record batches: the last batch is
+    // partial and the budget cuts mid-batch.
+    const MicaProfile ref = profileRandom(11, 0, 12345);
+    const MicaProfile got =
+        profileRandom(11, AnalysisEngine::kDefaultBatchSize, 12345);
+    expectProfilesIdentical(ref, got, "budget=12345");
+    EXPECT_EQ(got.instCount, 12345u);
+}
+
+TEST(BatchedEquivalenceTest, VectorReplayMatchesGenerator)
+{
+    // The borrowed-span (zero-copy) VectorTraceSource path must agree
+    // with both the generator-backed batched path and the per-record
+    // reference.
+    RandomTraceParams p;
+    p.numInsts = 20000;
+    p.seed = 42;
+    RandomTraceSource gen(p);
+    std::vector<InstRecord> recs;
+    recs.reserve(p.numInsts);
+    InstRecord r;
+    while (gen.next(r))
+        recs.push_back(r);
+    VectorTraceSource replay(std::move(recs));
+
+    MicaRunnerConfig batched;
+    const MicaProfile viaReplay =
+        collectMicaProfile(replay, "rand", batched);
+    const MicaProfile viaGenerator = profileRandom(42, 0, 0);
+    expectProfilesIdentical(viaReplay, viaGenerator, "replay vs gen");
+}
+
+TEST(BatchedEquivalenceTest, RealKernelsMatchBitForBit)
+{
+    // Two registry kernels through the interpreter: the engine path
+    // must not change a single profile byte.
+    const char *names[] = {"SPEC2000/bzip2.source",
+                           "MediaBench/epic.test2"};
+    for (const char *name : names) {
+        const auto *e = workloads::BenchmarkRegistry::instance().find(
+            name);
+        ASSERT_NE(e, nullptr) << name;
+        const isa::Program prog = e->build();
+
+        MicaRunnerConfig perRecord;
+        perRecord.maxInsts = 50000;
+        perRecord.engineBatch = 0;
+        isa::Interpreter interpA(prog);
+        const MicaProfile ref =
+            collectMicaProfile(interpA, name, perRecord);
+
+        for (size_t bs : {size_t(1), size_t(100),
+                          AnalysisEngine::kDefaultBatchSize}) {
+            MicaRunnerConfig batched = perRecord;
+            batched.engineBatch = bs;
+            isa::Interpreter interpB(prog);
+            const MicaProfile got =
+                collectMicaProfile(interpB, name, batched);
+            expectProfilesIdentical(ref, got,
+                                    std::string(name) + " batch=" +
+                                        std::to_string(bs));
+        }
+    }
+}
+
+/**
+ * A lone analyzer takes the engine's span-sized acceptBatch path —
+ * the only place the analyzers' batch-kernel overrides (e.g.
+ * StrideAnalyzer's two-pass load/store split) actually run in
+ * production. Drive each analyzer alone, batched vs per-record.
+ */
+template <typename Analyzer, typename Check>
+void
+loneAnalyzerAB(Check &&check)
+{
+    RandomTraceParams p;
+    p.numInsts = 20000;
+    p.seed = 13;
+
+    Analyzer perRecord;
+    {
+        RandomTraceSource src(p);
+        AnalysisEngine eng;
+        eng.add(&perRecord);
+        eng.runPerRecord(src);
+    }
+    for (size_t bs : {size_t(1), size_t(97),
+                      AnalysisEngine::kDefaultBatchSize}) {
+        Analyzer batched;
+        RandomTraceSource src(p);
+        AnalysisEngine eng;
+        eng.add(&batched);
+        eng.setBatchSize(bs);
+        eng.run(src);
+        check(perRecord, batched);
+    }
+}
+
+TEST(BatchedEquivalenceTest, LoneStrideAnalyzerBatchKernel)
+{
+    loneAnalyzerAB<StrideAnalyzer>([](const StrideAnalyzer &a,
+                                      const StrideAnalyzer &b) {
+        for (size_t c = 0; c < StrideAnalyzer::kCuts.size(); ++c) {
+            EXPECT_DOUBLE_EQ(a.localLoad().prob(c), b.localLoad().prob(c));
+            EXPECT_DOUBLE_EQ(a.globalLoad().prob(c),
+                             b.globalLoad().prob(c));
+            EXPECT_DOUBLE_EQ(a.localStore().prob(c),
+                             b.localStore().prob(c));
+            EXPECT_DOUBLE_EQ(a.globalStore().prob(c),
+                             b.globalStore().prob(c));
+        }
+        EXPECT_EQ(a.localLoad().total, b.localLoad().total);
+        EXPECT_EQ(a.globalStore().total, b.globalStore().total);
+    });
+}
+
+TEST(BatchedEquivalenceTest, LoneWorkingSetAnalyzerBatchKernel)
+{
+    loneAnalyzerAB<WorkingSetAnalyzer>([](const WorkingSetAnalyzer &a,
+                                          const WorkingSetAnalyzer &b) {
+        EXPECT_EQ(a.dBlocks(), b.dBlocks());
+        EXPECT_EQ(a.dPages(), b.dPages());
+        EXPECT_EQ(a.iBlocks(), b.iBlocks());
+        EXPECT_EQ(a.iPages(), b.iPages());
+    });
+}
+
+TEST(BatchedEquivalenceTest, LoneIlpAnalyzerBatchKernel)
+{
+    loneAnalyzerAB<IlpAnalyzer>([](const IlpAnalyzer &a,
+                                   const IlpAnalyzer &b) {
+        for (size_t w = 0; w < a.numWindows(); ++w)
+            EXPECT_DOUBLE_EQ(a.ipc(w), b.ipc(w));
+    });
+}
+
+TEST(BatchedEquivalenceTest, LonePpmAnalyzerBatchKernel)
+{
+    loneAnalyzerAB<PpmBranchAnalyzer>([](const PpmBranchAnalyzer &a,
+                                         const PpmBranchAnalyzer &b) {
+        EXPECT_EQ(a.branches(), b.branches());
+        EXPECT_DOUBLE_EQ(a.missRateGAg(), b.missRateGAg());
+        EXPECT_DOUBLE_EQ(a.missRatePAg(), b.missRatePAg());
+        EXPECT_DOUBLE_EQ(a.missRateGAs(), b.missRateGAs());
+        EXPECT_DOUBLE_EQ(a.missRatePAs(), b.missRatePAs());
+    });
+}
+
+TEST(BatchedEquivalenceTest, LoneRegTrafficAnalyzerBatchKernel)
+{
+    loneAnalyzerAB<RegTrafficAnalyzer>(
+        [](const RegTrafficAnalyzer &a, const RegTrafficAnalyzer &b) {
+            EXPECT_DOUBLE_EQ(a.avgInputOperands(), b.avgInputOperands());
+            EXPECT_DOUBLE_EQ(a.avgDegreeOfUse(), b.avgDegreeOfUse());
+            EXPECT_EQ(a.totalDeps(), b.totalDeps());
+            for (size_t c = 0; c < RegTrafficAnalyzer::kDistCuts.size();
+                 ++c)
+                EXPECT_DOUBLE_EQ(a.depDistanceCum(c),
+                                 b.depDistanceCum(c));
+        });
+}
+
+TEST(BatchedEquivalenceTest, StrideOnlySubsetUsesLoneAnalyzerPath)
+{
+    // All requested characteristics come from one family, so the
+    // engine registers exactly one analyzer and takes the
+    // acceptBatch fast path end to end through the runner.
+    const std::vector<size_t> strideOnly = {LocalLoadStrideEq0,
+                                            GlobalLoadStrideLe512,
+                                            LocalStoreStrideLe4096};
+    RandomTraceParams p;
+    p.numInsts = 20000;
+    p.seed = 29;
+
+    RandomTraceSource a(p);
+    MicaRunnerConfig perRecord;
+    perRecord.engineBatch = 0;
+    const MicaProfile ref =
+        collectMicaProfileSubset(a, "rand", strideOnly, perRecord);
+
+    RandomTraceSource b(p);
+    MicaRunnerConfig batched;
+    const MicaProfile got =
+        collectMicaProfileSubset(b, "rand", strideOnly, batched);
+    expectProfilesIdentical(ref, got, "stride-only subset");
+}
+
+TEST(BatchedEquivalenceTest, SubsetCollectionMatches)
+{
+    const std::vector<size_t> key = {PctLoads, AvgInputOperands,
+                                     RegDepLe8, LocalLoadStrideLe64,
+                                     GlobalLoadStrideLe512,
+                                     LocalStoreStrideLe4096, DWorkSet4K,
+                                     Ilp256};
+    RandomTraceParams p;
+    p.numInsts = 20000;
+    p.seed = 5;
+
+    RandomTraceSource a(p);
+    MicaRunnerConfig perRecord;
+    perRecord.engineBatch = 0;
+    const MicaProfile ref =
+        collectMicaProfileSubset(a, "rand", key, perRecord);
+
+    RandomTraceSource b(p);
+    MicaRunnerConfig batched;
+    const MicaProfile got =
+        collectMicaProfileSubset(b, "rand", key, batched);
+    expectProfilesIdentical(ref, got, "subset");
+}
+
+} // namespace
+} // namespace mica

@@ -117,6 +117,25 @@ TEST(MemoryTest, F64RoundTrip)
     EXPECT_DOUBLE_EQ(m.readF64(0x2000), -1234.5678);
 }
 
+TEST(MemoryTest, ManyPagesSurviveTableGrowth)
+{
+    // Touch enough pages to force the flat-hash page table through
+    // several growth cycles, then verify every byte.
+    Memory m;
+    constexpr uint64_t kPages = 1500;
+    for (uint64_t p = 0; p < kPages; ++p)
+        m.write8(p * Memory::kPageSize + (p % Memory::kPageSize),
+                 static_cast<uint8_t>(p * 7 + 1));
+    EXPECT_EQ(m.numPages(), kPages);
+    for (uint64_t p = 0; p < kPages; ++p) {
+        EXPECT_EQ(m.read8(p * Memory::kPageSize +
+                          (p % Memory::kPageSize)),
+                  static_cast<uint8_t>(p * 7 + 1));
+    }
+    // Untouched pages still read zero and allocate on demand.
+    EXPECT_EQ(m.read8(kPages * Memory::kPageSize + 5), 0u);
+}
+
 TEST(MemoryTest, ClearDropsAllPages)
 {
     Memory m;

@@ -288,6 +288,154 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(0.5, 0.2, 0.2),
                       std::make_tuple(0.0, 0.0, 0.5)));
 
+TEST(VectorTraceSourceTest, NextBatchDrainsInChunks)
+{
+    std::vector<InstRecord> recs(10, test::alu(1));
+    VectorTraceSource src(recs);
+    InstRecord buf[4];
+    EXPECT_EQ(src.nextBatch(buf, 4), 4u);
+    EXPECT_EQ(src.nextBatch(buf, 4), 4u);
+    EXPECT_EQ(src.nextBatch(buf, 4), 2u);   // partial final batch
+    EXPECT_EQ(src.nextBatch(buf, 4), 0u);   // exhausted
+}
+
+TEST(VectorTraceSourceTest, NextBatchInterleavesWithNext)
+{
+    VectorTraceSource src({test::alu(1), test::alu(2), test::alu(3),
+                           test::alu(4)});
+    InstRecord r;
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.dstReg, 1);
+    InstRecord buf[2];
+    ASSERT_EQ(src.nextBatch(buf, 2), 2u);
+    EXPECT_EQ(buf[0].dstReg, 2);
+    EXPECT_EQ(buf[1].dstReg, 3);
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.dstReg, 4);
+    EXPECT_FALSE(src.next(r));
+}
+
+TEST(VectorTraceSourceTest, NextSpanBorrowsWithoutCopying)
+{
+    VectorTraceSource src({test::alu(1), test::alu(2), test::alu(3)});
+    InstRecord backing[8];
+    const InstRecord *span = nullptr;
+    EXPECT_EQ(src.nextSpan(span, backing, 8), 3u);
+    // The span points into the source's own storage, not at the
+    // caller's backing buffer.
+    EXPECT_NE(span, backing);
+    EXPECT_EQ(span[0].dstReg, 1);
+    EXPECT_EQ(span[2].dstReg, 3);
+    EXPECT_EQ(src.nextSpan(span, backing, 8), 0u);
+}
+
+TEST(RandomTraceSourceTest, NextBatchMatchesNext)
+{
+    RandomTraceParams p;
+    p.numInsts = 1000;
+    p.seed = 3;
+    RandomTraceSource a(p), b(p);
+    std::vector<InstRecord> viaNext;
+    InstRecord r;
+    while (a.next(r))
+        viaNext.push_back(r);
+    std::vector<InstRecord> viaBatch(p.numInsts + 10);
+    size_t got = 0, n = 0;
+    while ((got = b.nextBatch(viaBatch.data() + n, 77)) != 0)
+        n += got;
+    ASSERT_EQ(n, viaNext.size());
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(viaBatch[i].pc, viaNext[i].pc);
+        EXPECT_EQ(viaBatch[i].cls, viaNext[i].cls);
+        EXPECT_EQ(viaBatch[i].memAddr, viaNext[i].memAddr);
+        EXPECT_EQ(viaBatch[i].taken, viaNext[i].taken);
+    }
+}
+
+TEST(AnalysisEngineTest, BatchedRunMatchesPerRecordCounts)
+{
+    for (size_t bs : {size_t(1), size_t(3), size_t(100),
+                      AnalysisEngine::kDefaultBatchSize}) {
+        std::vector<InstRecord> recs(101, test::alu(1));
+        VectorTraceSource src(recs);
+        CountingAnalyzer a;
+        AnalysisEngine eng;
+        eng.add(&a);
+        eng.setBatchSize(bs);
+        EXPECT_EQ(eng.run(src), 101u) << "batch=" << bs;
+        EXPECT_EQ(a.accepts, 101) << "batch=" << bs;
+        EXPECT_EQ(a.finishes, 1) << "batch=" << bs;
+    }
+}
+
+TEST(AnalysisEngineTest, BatchedBudgetCutsMidBatch)
+{
+    std::vector<InstRecord> recs(100, test::alu(1));
+    VectorTraceSource src(recs);
+    CountingAnalyzer a;
+    AnalysisEngine eng;
+    eng.add(&a);
+    eng.setBatchSize(8);
+    EXPECT_EQ(eng.run(src, 42), 42u);   // 42 is not a multiple of 8
+    EXPECT_EQ(a.accepts, 42);
+}
+
+TEST(AnalysisEngineTest, ZeroBatchSizeClampsToOne)
+{
+    AnalysisEngine eng;
+    eng.setBatchSize(0);
+    EXPECT_EQ(eng.batchSize(), 1u);
+    std::vector<InstRecord> recs(5, test::alu(1));
+    VectorTraceSource src(recs);
+    CountingAnalyzer a;
+    eng.add(&a);
+    EXPECT_EQ(eng.run(src), 5u);
+    EXPECT_EQ(a.accepts, 5);
+}
+
+TEST(AnalysisEngineTest, RunPerRecordIsTheReferencePath)
+{
+    std::vector<InstRecord> recs(57, test::alu(1));
+    VectorTraceSource src(recs);
+    CountingAnalyzer a;
+    AnalysisEngine eng;
+    eng.add(&a);
+    EXPECT_EQ(eng.runPerRecord(src), 57u);
+    EXPECT_EQ(a.accepts, 57);
+    EXPECT_EQ(a.finishes, 1);
+}
+
+/** Records how accept/acceptBatch were invoked. */
+class BatchSpyAnalyzer : public TraceAnalyzer
+{
+  public:
+    void accept(const InstRecord &) override { ++singles; }
+
+    void
+    acceptBatch(const InstRecord *recs, size_t n) override
+    {
+        batchSizes.push_back(n);
+        TraceAnalyzer::acceptBatch(recs, n);
+    }
+
+    int singles = 0;
+    std::vector<size_t> batchSizes;
+};
+
+TEST(AnalysisEngineTest, BatchedRunDeliversSpans)
+{
+    std::vector<InstRecord> recs(10, test::alu(1));
+    VectorTraceSource src(recs);
+    BatchSpyAnalyzer a;
+    AnalysisEngine eng;
+    eng.add(&a);
+    eng.setBatchSize(4);
+    eng.run(src);
+    EXPECT_EQ(a.batchSizes, (std::vector<size_t>{4, 4, 2}));
+    // The default acceptBatch forwarded every record to accept().
+    EXPECT_EQ(a.singles, 10);
+}
+
 TEST(RandomTraceSourceTest, FootprintBoundsDataAddresses)
 {
     RandomTraceParams p;
