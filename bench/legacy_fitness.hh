@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Frozen seed implementation of the GA fitness evaluation, kept as the
+ * same-machine baseline for the methodology perf profile (the same
+ * role bench/legacy_analyzers.hh plays for the analyzer engine). This
+ * is the pre-refactor FitnessEval verbatim: per-characteristic pair
+ * columns in separate vectors, a fresh distance scratch allocation per
+ * mask, one sweep per selected column, and a full two-vector
+ * stats::pearson per evaluation. Do not "fix" or optimize it — its
+ * value is that it never changes.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "methodology/workload_space.hh"
+#include "stats/descriptive.hh"
+
+namespace mica::legacy
+{
+
+/** Seed GA fitness engine (serial, memoized per bitmask). */
+class FitnessEval
+{
+  public:
+    explicit FitnessEval(const WorkloadSpace &space)
+        : numChars_(space.numChars()),
+          fullDist_(space.distances().condensed())
+    {
+        if (numChars_ > 64)
+            throw std::invalid_argument("GA supports up to 64 chars");
+        const Matrix &m = space.normalized();
+        const size_t pairs = fullDist_.size();
+        sq_.assign(numChars_, std::vector<double>(pairs));
+        size_t p = 0;
+        for (size_t i = 0; i < m.rows(); ++i) {
+            for (size_t j = i + 1; j < m.rows(); ++j, ++p) {
+                for (size_t c = 0; c < numChars_; ++c) {
+                    const double d = m.at(i, c) - m.at(j, c);
+                    sq_[c][p] = d * d;
+                }
+            }
+        }
+    }
+
+    size_t numChars() const { return numChars_; }
+
+    /** @return {fitness, rho} for a bitmask. */
+    std::pair<double, double>
+    operator()(uint64_t mask)
+    {
+        auto it = memo_.find(mask);
+        if (it != memo_.end())
+            return it->second;
+
+        const size_t pairs = fullDist_.size();
+        std::vector<double> dist(pairs, 0.0);
+        size_t n = 0;
+        for (size_t c = 0; c < numChars_; ++c) {
+            if (!(mask & (1ull << c)))
+                continue;
+            ++n;
+            const auto &col = sq_[c];
+            for (size_t p = 0; p < pairs; ++p)
+                dist[p] += col[p];
+        }
+        std::pair<double, double> result{0.0, 0.0};
+        if (n > 0) {
+            for (double &d : dist)
+                d = std::sqrt(d);
+            const double rho = pearson(fullDist_, dist);
+            const double sizeFactor = 1.0 -
+                static_cast<double>(n) / static_cast<double>(numChars_);
+            result = {rho * sizeFactor, rho};
+        }
+        memo_[mask] = result;
+        return result;
+    }
+
+  private:
+    size_t numChars_;
+    std::vector<double> fullDist_;
+    std::vector<std::vector<double>> sq_;
+    std::unordered_map<uint64_t, std::pair<double, double>> memo_;
+};
+
+} // namespace mica::legacy

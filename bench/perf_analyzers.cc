@@ -24,10 +24,14 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "isa/interpreter.hh"
 #include "legacy_analyzers.hh"
+#include "legacy_fitness.hh"
+#include "methodology/genetic_selector.hh"
+#include "methodology/workload_space.hh"
 #include "mica/ilp.hh"
 #include "mica/inst_mix.hh"
 #include "mica/ppm.hh"
@@ -35,6 +39,9 @@
 #include "mica/runner.hh"
 #include "mica/strides.hh"
 #include "mica/working_set.hh"
+#include "pipeline/thread_pool.hh"
+#include "stats/kmeans.hh"
+#include "stats/rng.hh"
 #include "trace/engine.hh"
 #include "trace/synthetic.hh"
 #include "uarch/hpc_runner.hh"
@@ -333,6 +340,99 @@ BM_InterpreterOnly(benchmark::State &state)
 BENCHMARK(BM_InterpreterOnly);
 
 // ----------------------------------------------------------------------
+// Methodology engine (GA fitness, clustering sweep) benchmarks.
+// ----------------------------------------------------------------------
+
+/**
+ * Paper-scale synthetic workload space: 122 benchmarks x 47
+ * characteristics of fixed gaussian data, so the methodology numbers
+ * track the engine, not the profiling pipeline.
+ */
+const WorkloadSpace &
+methodologySpace()
+{
+    static const WorkloadSpace space = [] {
+        Matrix m;
+        Rng rng(20061027);
+        for (int r = 0; r < 122; ++r) {
+            std::vector<double> v(47);
+            for (auto &x : v)
+                x = rng.gauss();
+            m.appendRow(v);
+            m.rowNames.push_back("b" + std::to_string(r));
+        }
+        return WorkloadSpace(std::move(m));
+    }();
+    return space;
+}
+
+/** Fixed bitmask workload with the GA's subset-size distribution. */
+const std::vector<uint64_t> &
+methodologyMasks()
+{
+    static const std::vector<uint64_t> masks = [] {
+        std::vector<uint64_t> v;
+        Rng rng(7);
+        const size_t n = methodologySpace().numChars();
+        for (int i = 0; i < 256; ++i) {
+            const double density = 0.1 + 0.8 * rng.unit();
+            uint64_t m = 0;
+            for (size_t c = 0; c < n; ++c)
+                if (rng.chance(density))
+                    m |= 1ull << c;
+            v.push_back(m ? m : 1);
+        }
+        return v;
+    }();
+    return masks;
+}
+
+void
+BM_GaFitnessSeed(benchmark::State &state)
+{
+    legacy::FitnessEval eval(methodologySpace());
+    for (auto _ : state) {
+        double acc = 0.0;
+        // Clone the engine so every iteration starts with a cold memo,
+        // like the masks of one fresh GA generation.
+        legacy::FitnessEval fresh = eval;
+        for (uint64_t m : methodologyMasks())
+            acc += fresh(m).first;
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(methodologyMasks().size()));
+}
+BENCHMARK(BM_GaFitnessSeed);
+
+void
+BM_GaFitnessEngine(benchmark::State &state)
+{
+    FitnessEval eval(methodologySpace());
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (uint64_t m : methodologyMasks())
+            acc += eval.compute(m).first;    // pure path, no memo
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(methodologyMasks().size()));
+}
+BENCHMARK(BM_GaFitnessEngine);
+
+void
+BM_BicSweep(benchmark::State &state)
+{
+    const Matrix reduced = methodologySpace().normalized().selectCols(
+        {0, 1, 2, 3, 4, 5, 6, 7});
+    for (auto _ : state) {
+        const BicSweepResult r = bicSweep(reduced, 24, 5);
+        benchmark::DoNotOptimize(r.chosenK);
+    }
+}
+BENCHMARK(BM_BicSweep);
+
+// ----------------------------------------------------------------------
 // --json mode: self-timed throughput profile for trend tracking.
 // ----------------------------------------------------------------------
 
@@ -390,6 +490,70 @@ seedBaselineRate(VectorTraceSource &src, bool keyOnly)
     return bestRate(src.size(), [&] { runSeedOnce(src, keyOnly); });
 }
 
+/** Masks/sec of the frozen seed fitness engine (cold memo per rep). */
+double
+seedFitnessRate()
+{
+    const auto &masks = methodologyMasks();
+    legacy::FitnessEval proto(methodologySpace());
+    return bestRate(masks.size(), [&] {
+        legacy::FitnessEval eval = proto;
+        double acc = 0.0;
+        for (uint64_t m : masks)
+            acc += eval(m).first;
+        benchmark::DoNotOptimize(acc);
+    });
+}
+
+/**
+ * Masks/sec of the current fitness engine through the pure compute()
+ * path, serial or fanned across a pool in the same fixed-size chunks
+ * geneticSelect uses.
+ */
+double
+engineFitnessRate(const FitnessEval &eval, mica::pipeline::ThreadPool *pool)
+{
+    const auto &masks = methodologyMasks();
+    std::vector<double> out(masks.size());
+    const size_t chunks = pool
+        ? std::min(masks.size(), pool->workerCount() * 4) : 1;
+    return bestRate(masks.size(), [&] {
+        mica::pipeline::parallelBlocks(pool, chunks, [&](size_t b) {
+            const size_t lo = masks.size() * b / chunks;
+            const size_t hi = masks.size() * (b + 1) / chunks;
+            for (size_t i = lo; i < hi; ++i)
+                out[i] = eval.compute(masks[i]).first;
+        });
+        benchmark::DoNotOptimize(out.data());
+    });
+}
+
+/** GA generations/sec for a fixed-length run (stall exit disabled). */
+double
+gaGenerationsRate(mica::pipeline::ThreadPool *pool)
+{
+    GaConfig cfg;
+    cfg.maxGenerations = 25;
+    cfg.stallGenerations = 10000;
+    return bestRate(cfg.maxGenerations, [&] {
+        const GaResult r = geneticSelect(methodologySpace(), cfg, pool);
+        benchmark::DoNotOptimize(r.fitness);
+    });
+}
+
+/** Full BIC K-sweeps/sec over the reduced 8-D methodology space. */
+double
+clusterSweepRate(mica::pipeline::ThreadPool *pool)
+{
+    const Matrix reduced = methodologySpace().normalized().selectCols(
+        {0, 1, 2, 3, 4, 5, 6, 7});
+    return bestRate(1, [&] {
+        const BicSweepResult r =
+            bicSweep(reduced, 24, 5, 0.9, 0.0, pool);
+        benchmark::DoNotOptimize(r.chosenK);
+    });
+}
+
 int
 writeJsonProfile(const std::string &path)
 {
@@ -412,6 +576,21 @@ writeJsonProfile(const std::string &path)
     const double keyPerRecord = collectRate(src, 0, true);
     const double keyBatched =
         collectRate(src, AnalysisEngine::kDefaultBatchSize, true);
+
+    // Methodology engine family: the GA fitness stage (masks/sec,
+    // frozen seed vs current engine vs 8-job fan-out), whole-GA
+    // generations/sec, and clustering K-sweeps/sec. The 8-job numbers
+    // only beat serial on multi-core machines, so the worker and CPU
+    // counts are recorded alongside.
+    mica::pipeline::ThreadPool pool8(8);
+    const FitnessEval methodologyEval(methodologySpace());
+    const double fitSeed = seedFitnessRate();
+    const double fitSerial = engineFitnessRate(methodologyEval, nullptr);
+    const double fitJobs8 = engineFitnessRate(methodologyEval, &pool8);
+    const double gaSerial = gaGenerationsRate(nullptr);
+    const double gaJobs8 = gaGenerationsRate(&pool8);
+    const double sweepSerial = clusterSweepRate(nullptr);
+    const double sweepJobs8 = clusterSweepRate(&pool8);
 
     std::ofstream out(path);
     if (!out) {
@@ -441,6 +620,29 @@ writeJsonProfile(const std::string &path)
         << "    \"per_record\": " << keyPerRecord << ",\n"
         << "    \"batched\": " << keyBatched << ",\n"
         << "    \"speedup_vs_seed\": " << keyBatched / keySeed << "\n"
+        << "  },\n"
+        << "  \"methodology\": {\n"
+        << "    \"workers\": 8,\n"
+        << "    \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "    \"ga_fitness_masks_per_sec\": {\n"
+        << "      \"seed_baseline\": " << fitSeed << ",\n"
+        << "      \"serial\": " << fitSerial << ",\n"
+        << "      \"jobs8\": " << fitJobs8 << ",\n"
+        << "      \"speedup_vs_seed\": " << fitJobs8 / fitSeed << ",\n"
+        << "      \"serial_speedup_vs_seed\": " << fitSerial / fitSeed
+        << "\n"
+        << "    },\n"
+        << "    \"ga_generations_per_sec\": {\n"
+        << "      \"serial\": " << gaSerial << ",\n"
+        << "      \"jobs8\": " << gaJobs8 << ",\n"
+        << "      \"speedup\": " << gaJobs8 / gaSerial << "\n"
+        << "    },\n"
+        << "    \"clustering_sweeps_per_sec\": {\n"
+        << "      \"serial\": " << sweepSerial << ",\n"
+        << "      \"jobs8\": " << sweepJobs8 << ",\n"
+        << "      \"speedup\": " << sweepJobs8 / sweepSerial << "\n"
+        << "    }\n"
         << "  }\n"
         << "}\n";
     std::cout << "perf profile written to " << path

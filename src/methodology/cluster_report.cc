@@ -24,13 +24,16 @@ ClusterReport::suiteHistogram(
 
 ClusterReport
 clusterBenchmarks(const Matrix &data, size_t maxK, uint64_t seed,
-                  double bicFrac, double bicVarFloor)
+                  double bicFrac, double bicVarFloor,
+                  pipeline::ThreadPool *pool)
 {
     ClusterReport rep;
     BicSweepResult sweep =
-        bicSweep(data, maxK, seed, bicFrac, bicVarFloor);
+        bicSweep(data, maxK, seed, bicFrac, bicVarFloor, pool);
     rep.chosenK = sweep.chosenK;
     rep.bicByK = sweep.bicByK;
+    if (sweep.fits.empty())
+        return rep;     // empty dataset: no clusters, chosenK == 0
     const KMeansResult &fit = sweep.fits[sweep.chosenK - 1];
     rep.assignment = fit.assignment;
 

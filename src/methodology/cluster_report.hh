@@ -57,9 +57,12 @@ struct ClusterReport
  *        standard deviation per axis as measurement-identical, which
  *        keeps deterministic-kernel populations from degenerating into
  *        one cluster per benchmark.
+ * @param pool  fan the sweep's (k, restart) Lloyd runs across these
+ *        workers; the report is byte-identical for any worker count
  */
 ClusterReport clusterBenchmarks(const Matrix &data, size_t maxK,
                                 uint64_t seed, double bicFrac = 0.9,
-                                double bicVarFloor = 0.25);
+                                double bicVarFloor = 0.25,
+                                pipeline::ThreadPool *pool = nullptr);
 
 } // namespace mica

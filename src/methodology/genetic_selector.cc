@@ -3,86 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_map>
 
-#include "stats/descriptive.hh"
+#include "pipeline/thread_pool.hh"
 #include "stats/rng.hh"
+#include "util/flat_hash.hh"
 
 namespace mica
 {
 
 namespace
 {
-
-/**
- * Fitness evaluation engine. Pre-computes, for every characteristic,
- * the squared per-pair contribution to the Euclidean distance; a
- * subset's distance vector is then a masked sum, which keeps the GA's
- * inner loop cheap. Fitness values are memoized per bitmask.
- */
-class FitnessEval
-{
-  public:
-    explicit FitnessEval(const WorkloadSpace &space)
-        : numChars_(space.numChars()),
-          fullDist_(space.distances().condensed())
-    {
-        if (numChars_ > 64)
-            throw std::invalid_argument("GA supports up to 64 chars");
-        const Matrix &m = space.normalized();
-        const size_t pairs = fullDist_.size();
-        sq_.assign(numChars_, std::vector<double>(pairs));
-        size_t p = 0;
-        for (size_t i = 0; i < m.rows(); ++i) {
-            for (size_t j = i + 1; j < m.rows(); ++j, ++p) {
-                for (size_t c = 0; c < numChars_; ++c) {
-                    const double d = m.at(i, c) - m.at(j, c);
-                    sq_[c][p] = d * d;
-                }
-            }
-        }
-    }
-
-    size_t numChars() const { return numChars_; }
-
-    /** @return {fitness, rho} for a bitmask. */
-    std::pair<double, double>
-    operator()(uint64_t mask)
-    {
-        auto it = memo_.find(mask);
-        if (it != memo_.end())
-            return it->second;
-
-        const size_t pairs = fullDist_.size();
-        std::vector<double> dist(pairs, 0.0);
-        size_t n = 0;
-        for (size_t c = 0; c < numChars_; ++c) {
-            if (!(mask & (1ull << c)))
-                continue;
-            ++n;
-            const auto &col = sq_[c];
-            for (size_t p = 0; p < pairs; ++p)
-                dist[p] += col[p];
-        }
-        std::pair<double, double> result{0.0, 0.0};
-        if (n > 0) {
-            for (double &d : dist)
-                d = std::sqrt(d);
-            const double rho = pearson(fullDist_, dist);
-            const double sizeFactor = 1.0 -
-                static_cast<double>(n) / static_cast<double>(numChars_);
-            result = {rho * sizeFactor, rho};
-        }
-        memo_[mask] = result;
-        return result;
-    }
-
-  private:
-    size_t numChars_;
-    std::vector<double> fullDist_;
-    std::vector<std::vector<double>> sq_;
-    std::unordered_map<uint64_t, std::pair<double, double>> memo_;
-};
 
 uint64_t
 randomMask(Rng &rng, size_t n)
@@ -112,20 +42,165 @@ tournament(Rng &rng, const std::vector<double> &fit, size_t k)
 
 } // namespace
 
-std::pair<double, double>
-subsetFitness(const WorkloadSpace &space, const std::vector<size_t> &subset)
+FitnessEval::FitnessEval(const WorkloadSpace &space,
+                         pipeline::ThreadPool *pool)
+    : numChars_(space.numChars()),
+      pairs_(space.distances().numPairs()),
+      fullDist_(space.distances().condensed())
 {
-    FitnessEval eval(space);
+    if (numChars_ > 64)
+        throw std::invalid_argument("GA supports up to 64 chars");
+
+    // Moments of the full-space distance vector, computed once with the
+    // same summation order as stats::pearson so cached rho values match
+    // a from-scratch pearson() call bit for bit.
+    double sum = 0.0;
+    for (double v : fullDist_)
+        sum += v;
+    fullMean_ = pairs_ ? sum / static_cast<double>(pairs_) : 0.0;
+    fullVar_ = 0.0;
+    for (double v : fullDist_) {
+        const double dv = v - fullMean_;
+        fullVar_ += dv * dv;
+    }
+
+    // Per-characteristic squared pair deltas, blocked over contiguous
+    // condensed ranges: block b owns pairs [cuts[b], cuts[b+1]) and
+    // writes sq_[c * pairs_ + p] for every c — disjoint slices, so the
+    // parallel fill is bit-identical to the serial one.
+    const Matrix &m = space.normalized();
+    sq_.resize(numChars_ * pairs_);
+    const size_t blocks =
+        pool && pool->workerCount() > 1
+            ? std::min<size_t>(pairs_, pool->workerCount() * 4)
+            : 1;
+    pipeline::parallelBlocks(pool, blocks, [&](size_t b) {
+        const size_t p0 = pairs_ * b / blocks;
+        const size_t p1 = pairs_ * (b + 1) / blocks;
+        if (p0 >= p1)
+            return;
+        auto [i, j] = space.distances().pairOf(p0);
+        const double *ri = m.row(i);
+        for (size_t p = p0; p < p1; ++p) {
+            const double *rj = m.row(j);
+            for (size_t c = 0; c < numChars_; ++c) {
+                const double d = ri[c] - rj[c];
+                sq_[c * pairs_ + p] = d * d;
+            }
+            if (++j == m.rows()) {
+                ++i;
+                j = i + 1;
+                ri = m.row(i);
+            }
+        }
+    });
+}
+
+std::pair<double, double>
+FitnessEval::compute(uint64_t mask) const
+{
+    size_t idx[64];
+    size_t n = 0;
+    for (size_t c = 0; c < numChars_; ++c)
+        if (mask & (1ull << c))
+            idx[n++] = c;
+    if (n == 0 || pairs_ == 0)
+        return {0.0, 0.0};
+
+    // Reused per-thread scratch: one allocation per worker, not per
+    // evaluated genome.
+    thread_local std::vector<double> dist;
+    dist.assign(pairs_, 0.0);
+
+    // Masked sum of the squared per-characteristic contributions,
+    // four columns per sweep. Each element still accumulates its
+    // columns in ascending order, so the sums match the one-column-
+    // per-sweep reference bit for bit; the fusion just quarters the
+    // passes over the scratch vector.
+    size_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+        const double *c0 = &sq_[idx[c + 0] * pairs_];
+        const double *c1 = &sq_[idx[c + 1] * pairs_];
+        const double *c2 = &sq_[idx[c + 2] * pairs_];
+        const double *c3 = &sq_[idx[c + 3] * pairs_];
+        for (size_t p = 0; p < pairs_; ++p) {
+            double s = dist[p];
+            s += c0[p];
+            s += c1[p];
+            s += c2[p];
+            s += c3[p];
+            dist[p] = s;
+        }
+    }
+    for (; c < n; ++c) {
+        const double *col = &sq_[idx[c] * pairs_];
+        for (size_t p = 0; p < pairs_; ++p)
+            dist[p] += col[p];
+    }
+
+    // Fused sqrt + Pearson against the full-space distances, using the
+    // precomputed full-side moments (same arithmetic as
+    // stats::pearson, minus the redundant full-vector passes).
+    double sumB = 0.0;
+    for (size_t p = 0; p < pairs_; ++p) {
+        dist[p] = std::sqrt(dist[p]);
+        sumB += dist[p];
+    }
+    const double mb = sumB / static_cast<double>(pairs_);
+    double sab = 0.0, sbb = 0.0;
+    for (size_t p = 0; p < pairs_; ++p) {
+        const double da = fullDist_[p] - fullMean_;
+        const double db = dist[p] - mb;
+        sab += da * db;
+        sbb += db * db;
+    }
+    const double rho = (fullVar_ <= 0.0 || sbb <= 0.0)
+        ? 0.0
+        : sab / std::sqrt(fullVar_ * sbb);
+    const double sizeFactor =
+        1.0 - static_cast<double>(n) / static_cast<double>(numChars_);
+    return {rho * sizeFactor, rho};
+}
+
+std::pair<double, double>
+FitnessEval::operator()(uint64_t mask) const
+{
+    Shard &shard = shards_[util::hashMix(mask) % kShards];
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.memo.find(mask);
+        if (it != shard.memo.end())
+            return it->second;
+    }
+    // Compute outside the lock: concurrent workers may race on the
+    // same fresh mask and both compute it, but the value is a pure
+    // function of the mask, so whichever insert lands is identical.
+    const std::pair<double, double> result = compute(mask);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.memo.emplace(mask, result);
+    return result;
+}
+
+std::pair<double, double>
+subsetFitness(const FitnessEval &eval, const std::vector<size_t> &subset)
+{
     uint64_t mask = 0;
     for (size_t c : subset)
         mask |= 1ull << c;
     return eval(mask);
 }
 
-GaResult
-geneticSelect(const WorkloadSpace &space, const GaConfig &cfg)
+std::pair<double, double>
+subsetFitness(const WorkloadSpace &space, const std::vector<size_t> &subset)
 {
-    FitnessEval eval(space);
+    return subsetFitness(FitnessEval(space), subset);
+}
+
+GaResult
+geneticSelect(const WorkloadSpace &space, const GaConfig &cfg,
+              pipeline::ThreadPool *pool)
+{
+    FitnessEval eval(space, pool);
     const size_t n = eval.numChars();
     Rng rng(cfg.seed);
 
@@ -140,9 +215,22 @@ geneticSelect(const WorkloadSpace &space, const GaConfig &cfg)
     GaResult res;
     std::vector<double> fit(pop.size());
 
+    // Genome evaluations fan out across the pool. fit[i] depends only
+    // on pop[i] (FitnessEval is pure per mask), so any worker count —
+    // including the serial fallback — produces identical fitness
+    // vectors; everything that consumes the shared RNG stays on this
+    // thread, in program order.
+    const size_t chunks = pool && pool->workerCount() > 1
+        ? std::min(pop.size(), pool->workerCount() * 4)
+        : 1;
+
     for (size_t gen = 0; gen < cfg.maxGenerations; ++gen) {
-        for (size_t i = 0; i < pop.size(); ++i)
-            fit[i] = eval(pop[i]).first;
+        pipeline::parallelBlocks(pool, chunks, [&](size_t b) {
+            const size_t lo = pop.size() * b / chunks;
+            const size_t hi = pop.size() * (b + 1) / chunks;
+            for (size_t i = lo; i < hi; ++i)
+                fit[i] = eval(pop[i]).first;
+        });
 
         // Track the global best.
         bool improved = false;

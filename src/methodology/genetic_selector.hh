@@ -11,18 +11,79 @@
  * number of selected characteristics. The first factor rewards fidelity
  * to the full-space structure; the second rewards small subsets, which
  * is what makes the retained characteristics cheap to measure.
+ *
+ * The fitness engine (FitnessEval) is public so callers scoring many
+ * subsets against one space (the GA itself, the evaluation benches,
+ * correlation-elimination comparisons) build its O(n^2 * C) per-pair
+ * precompute once and share it, instead of rebuilding it per call.
+ * A fitness value is a pure function of the bitmask, so evaluating
+ * genomes across a pipeline::ThreadPool is byte-identical to the
+ * serial loop for any worker count; the per-bitmask memo is sharded by
+ * mask hash so concurrent workers merge their results without
+ * serializing on one lock.
  */
 
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "methodology/workload_space.hh"
 
 namespace mica
 {
+
+/**
+ * Fitness evaluation engine. Pre-computes, for every characteristic,
+ * the squared per-pair contribution to the Euclidean distance; a
+ * subset's distance vector is then a masked sum, which keeps the GA's
+ * inner loop cheap. Thread-safe: compute() is pure, operator() memoizes
+ * per bitmask in hash-sharded caches.
+ */
+class FitnessEval
+{
+  public:
+    /**
+     * Build the per-characteristic pair precompute (blocked across the
+     * pool when given; the space must stay alive only for the ctor).
+     * @throw std::invalid_argument for more than 64 characteristics.
+     */
+    explicit FitnessEval(const WorkloadSpace &space,
+                         pipeline::ThreadPool *pool = nullptr);
+
+    size_t numChars() const { return numChars_; }
+    size_t numPairs() const { return pairs_; }
+
+    /**
+     * Evaluate a bitmask from scratch — a pure function of the mask,
+     * no cache involved. @return {fitness, rho}.
+     */
+    std::pair<double, double> compute(uint64_t mask) const;
+
+    /** Memoized compute(); safe to call from pool workers. */
+    std::pair<double, double> operator()(uint64_t mask) const;
+
+  private:
+    struct Shard
+    {
+        std::mutex mutex;
+        std::unordered_map<uint64_t, std::pair<double, double>> memo;
+    };
+    static constexpr size_t kShards = 16;
+
+    size_t numChars_ = 0;
+    size_t pairs_ = 0;
+    std::vector<double> fullDist_;
+    double fullMean_ = 0.0;         ///< mean of fullDist_
+    double fullVar_ = 0.0;          ///< sum of squared deviations
+    std::vector<double> sq_;        ///< [c * pairs_ + p] squared deltas
+    mutable std::array<Shard, kShards> shards_;
+};
 
 /** GA hyper-parameters (defaults tuned for the 47-char space). */
 struct GaConfig
@@ -48,16 +109,29 @@ struct GaResult
 };
 
 /**
- * Evaluate the GA fitness of an explicit subset (used by tests and the
- * evaluation benches). @return {fitness, rho}.
+ * Evaluate the GA fitness of an explicit subset against a shared
+ * engine. @return {fitness, rho}.
+ */
+std::pair<double, double>
+subsetFitness(const FitnessEval &eval, const std::vector<size_t> &subset);
+
+/**
+ * Convenience overload that builds a throwaway FitnessEval — fine for
+ * a one-off score, quadratic-in-benchmarks wasteful in a loop; build
+ * one FitnessEval and use the overload above instead.
  */
 std::pair<double, double>
 subsetFitness(const WorkloadSpace &space, const std::vector<size_t> &subset);
 
 /**
  * Run the genetic algorithm against a workload space. Deterministic for
- * a given configuration/seed.
+ * a given configuration/seed: with a pool, each generation's genome
+ * evaluations fan out across the workers, and the selected masks are
+ * byte-identical to the serial run for any worker count (breeding and
+ * selection always consume the single RNG stream on the calling
+ * thread).
  */
-GaResult geneticSelect(const WorkloadSpace &space, const GaConfig &cfg = {});
+GaResult geneticSelect(const WorkloadSpace &space, const GaConfig &cfg = {},
+                       pipeline::ThreadPool *pool = nullptr);
 
 } // namespace mica

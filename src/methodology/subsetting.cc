@@ -107,21 +107,25 @@ SubsetResult::selectedRows() const
 
 SubsetResult
 selectRepresentatives(const Matrix &data, size_t maxK, uint64_t seed,
-                      double bicFrac, double bicVarFloor)
+                      double bicFrac, double bicVarFloor,
+                      pipeline::ThreadPool *pool)
 {
     const BicSweepResult sweep =
-        bicSweep(data, maxK, seed, bicFrac, bicVarFloor);
+        bicSweep(data, maxK, seed, bicFrac, bicVarFloor, pool);
+    if (sweep.fits.empty())
+        return {};      // empty dataset: nothing to represent
     return fromFit(data, sweep.fits[sweep.chosenK - 1]);
 }
 
 SubsetResult
-selectKRepresentatives(const Matrix &data, size_t k, uint64_t seed)
+selectKRepresentatives(const Matrix &data, size_t k, uint64_t seed,
+                       pipeline::ThreadPool *pool)
 {
     KMeansParams params;
     params.k = std::min(k, data.rows());
     params.seed = seed;
     params.restarts = 5;
-    return fromFit(data, kMeansFit(data, params));
+    return fromFit(data, kMeansFit(data, params, pool));
 }
 
 } // namespace mica

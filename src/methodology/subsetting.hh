@@ -61,16 +61,21 @@ struct SubsetResult
  * @param seed k-means seeding
  * @param bicFrac   BIC within-fraction-of-max rule (0.9 in the paper)
  * @param bicVarFloor measurement-resolution floor (see bicScore)
+ * @param pool fan the sweep's (k, restart) Lloyd runs across these
+ *        workers; the result is byte-identical for any worker count
  */
 SubsetResult selectRepresentatives(const Matrix &data, size_t maxK,
                                    uint64_t seed, double bicFrac = 0.9,
-                                   double bicVarFloor = 0.25);
+                                   double bicVarFloor = 0.25,
+                                   pipeline::ThreadPool *pool = nullptr);
 
 /**
  * Select exactly k representatives (fixed-size subset), bypassing the
  * BIC sweep; used to trade subset size against coverage explicitly.
+ * The k-means restarts run as pool jobs when a pool is given.
  */
 SubsetResult selectKRepresentatives(const Matrix &data, size_t k,
-                                    uint64_t seed);
+                                    uint64_t seed,
+                                    pipeline::ThreadPool *pool = nullptr);
 
 } // namespace mica

@@ -5,11 +5,12 @@
 namespace mica
 {
 
-WorkloadSpace::WorkloadSpace(Matrix raw) : raw_(std::move(raw))
+WorkloadSpace::WorkloadSpace(Matrix raw, pipeline::ThreadPool *pool)
+    : raw_(std::move(raw))
 {
     norm_ = raw_;
     zscoreNormalize(norm_);
-    dist_ = DistanceMatrix(norm_);
+    dist_ = DistanceMatrix(norm_, pool);
 }
 
 } // namespace mica

@@ -23,8 +23,13 @@ namespace mica
 class WorkloadSpace
 {
   public:
-    /** Normalize (z-score per column) and compute all pair distances. */
-    explicit WorkloadSpace(Matrix raw);
+    /**
+     * Normalize (z-score per column) and compute all pair distances.
+     * A pool parallelizes the distance-matrix build (bit-identical to
+     * the serial build; see DistanceMatrix).
+     */
+    explicit WorkloadSpace(Matrix raw,
+                           pipeline::ThreadPool *pool = nullptr);
 
     /** @return the dataset as measured. */
     const Matrix &raw() const { return raw_; }

@@ -74,4 +74,44 @@ class ThreadPool
     bool stopping_ = false;
 };
 
+/**
+ * Run fn(0) .. fn(count - 1) and wait for all of them, fanning the
+ * calls across @p pool (nullptr or a single worker degrades to a plain
+ * serial loop — the reference path every parallel caller is checked
+ * against). Blocks must write disjoint state; the first exception is
+ * rethrown after every block finished, so no block still runs when the
+ * caller unwinds.
+ *
+ * Callers must not submit nested parallelBlocks from inside a block:
+ * a worker blocking on an inner wave's futures can deadlock once every
+ * worker is parked the same way. The methodology engine therefore
+ * always fans out leaf work (one Lloyd run, one fitness chunk, one
+ * distance block) and keeps reductions on the calling thread.
+ */
+template <typename Fn>
+void
+parallelBlocks(ThreadPool *pool, size_t count, Fn &&fn)
+{
+    if (!pool || pool->workerCount() <= 1 || count <= 1) {
+        for (size_t b = 0; b < count; ++b)
+            fn(b);
+        return;
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (size_t b = 0; b < count; ++b)
+        futures.push_back(pool->submit([&fn, b] { fn(b); }));
+    std::exception_ptr firstError;
+    for (auto &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
 } // namespace mica::pipeline

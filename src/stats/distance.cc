@@ -1,44 +1,98 @@
 #include "stats/distance.hh"
 
 #include <cmath>
+#include <stdexcept>
+
+#include "pipeline/thread_pool.hh"
 
 namespace mica
 {
 
-DistanceMatrix::DistanceMatrix(const Matrix &m) : n_(m.rows())
+namespace
 {
-    d_.reserve(n_ * (n_ - 1) / 2);
-    for (size_t i = 0; i < n_; ++i) {
-        const double *ri = m.row(i);
-        for (size_t j = i + 1; j < n_; ++j) {
-            const double *rj = m.row(j);
-            double s = 0.0;
-            for (size_t c = 0; c < m.cols(); ++c) {
-                const double dlt = ri[c] - rj[c];
-                s += dlt * dlt;
-            }
-            d_.push_back(std::sqrt(s));
-        }
+
+/**
+ * Partition rows 0..n-1 into contiguous blocks of roughly equal pair
+ * counts (row i owns n-1-i pairs, so equal *row* counts would leave the
+ * first block with almost half the work). Returns block boundaries:
+ * block b covers rows [cuts[b], cuts[b+1]).
+ */
+std::vector<size_t>
+rowCuts(size_t n, size_t blocks)
+{
+    const size_t totalPairs = n * (n - 1) / 2;
+    std::vector<size_t> cuts;
+    cuts.push_back(0);
+    size_t acc = 0;
+    for (size_t i = 0; i < n && cuts.size() < blocks; ++i) {
+        acc += n - 1 - i;
+        if (acc * blocks >= totalPairs * cuts.size())
+            cuts.push_back(i + 1);
     }
+    if (cuts.back() != n)
+        cuts.push_back(n);
+    return cuts;
+}
+
+} // namespace
+
+DistanceMatrix::DistanceMatrix(const Matrix &m, pipeline::ThreadPool *pool)
+    : n_(m.rows())
+{
+    build(m, nullptr, m.cols(), pool);
 }
 
 DistanceMatrix::DistanceMatrix(const Matrix &m,
-                               const std::vector<size_t> &cols)
+                               const std::vector<size_t> &cols,
+                               pipeline::ThreadPool *pool)
     : n_(m.rows())
 {
-    d_.reserve(n_ * (n_ - 1) / 2);
-    for (size_t i = 0; i < n_; ++i) {
-        const double *ri = m.row(i);
-        for (size_t j = i + 1; j < n_; ++j) {
-            const double *rj = m.row(j);
-            double s = 0.0;
-            for (size_t c : cols) {
-                const double dlt = ri[c] - rj[c];
-                s += dlt * dlt;
+    build(m, cols.data(), cols.size(), pool);
+}
+
+void
+DistanceMatrix::build(const Matrix &m, const size_t *cols, size_t numCols,
+                      pipeline::ThreadPool *pool)
+{
+    if (n_ < 2)
+        return;
+    d_.resize(n_ * (n_ - 1) / 2);
+
+    // Each block owns a contiguous row range and therefore a contiguous
+    // slice of the condensed vector starting at pairIndex(i0, i0 + 1);
+    // every element is computed exactly as in the serial double loop.
+    auto fillRows = [&](size_t r0, size_t r1) {
+        size_t p = pairIndex(r0, r0 + 1);
+        for (size_t i = r0; i < r1; ++i) {
+            const double *ri = m.row(i);
+            for (size_t j = i + 1; j < n_; ++j, ++p) {
+                const double *rj = m.row(j);
+                double s = 0.0;
+                if (cols) {
+                    for (size_t c = 0; c < numCols; ++c) {
+                        const double dlt = ri[cols[c]] - rj[cols[c]];
+                        s += dlt * dlt;
+                    }
+                } else {
+                    for (size_t c = 0; c < numCols; ++c) {
+                        const double dlt = ri[c] - rj[c];
+                        s += dlt * dlt;
+                    }
+                }
+                d_[p] = std::sqrt(s);
             }
-            d_.push_back(std::sqrt(s));
         }
+    };
+
+    const size_t workers = pool ? pool->workerCount() : 1;
+    if (workers <= 1) {
+        fillRows(0, n_);
+        return;
     }
+    const std::vector<size_t> cuts = rowCuts(n_, workers * 4);
+    pipeline::parallelBlocks(pool, cuts.size() - 1, [&](size_t b) {
+        fillRows(cuts[b], cuts[b + 1]);
+    });
 }
 
 double
@@ -53,6 +107,13 @@ DistanceMatrix::maxDistance() const
 std::pair<size_t, size_t>
 DistanceMatrix::pairOf(size_t idx) const
 {
+    // An index past the condensed triangle would underflow rowLen and
+    // walk unbounded; reject it (this also covers n <= 1, whose pair
+    // set is empty).
+    if (idx >= d_.size())
+        throw std::out_of_range("DistanceMatrix::pairOf: index " +
+                                std::to_string(idx) + " >= " +
+                                std::to_string(d_.size()) + " pairs");
     // Walk rows of the condensed triangle; n is small (hundreds).
     size_t i = 0;
     size_t rowLen = n_ - 1;

@@ -6,6 +6,11 @@
  * of benchmarks ("benchmark tuples") in a normalized workload space; with
  * 122 benchmarks that is C(122,2) = 7381 tuples. DistanceMatrix stores
  * the condensed upper triangle.
+ *
+ * Construction can fan out across a pipeline::ThreadPool: rows are
+ * partitioned into blocks of roughly equal pair counts and every block
+ * writes its own contiguous slice of the condensed vector, so the
+ * result is bit-identical to the serial build for any worker count.
  */
 
 #pragma once
@@ -14,6 +19,11 @@
 #include <vector>
 
 #include "stats/matrix.hh"
+
+namespace mica::pipeline
+{
+class ThreadPool;
+} // namespace mica::pipeline
 
 namespace mica
 {
@@ -25,13 +35,15 @@ class DistanceMatrix
     DistanceMatrix() = default;
 
     /** Compute all pairwise distances over full rows. */
-    explicit DistanceMatrix(const Matrix &m);
+    explicit DistanceMatrix(const Matrix &m,
+                            pipeline::ThreadPool *pool = nullptr);
 
     /**
      * Compute pairwise distances using only a subset of columns; used by
      * the feature-selection methods to score reduced spaces.
      */
-    DistanceMatrix(const Matrix &m, const std::vector<size_t> &cols);
+    DistanceMatrix(const Matrix &m, const std::vector<size_t> &cols,
+                   pipeline::ThreadPool *pool = nullptr);
 
     /** @return number of rows (benchmarks) n. */
     size_t numItems() const { return n_; }
@@ -64,10 +76,17 @@ class DistanceMatrix
         return i * n_ - i * (i + 1) / 2 + (j - i - 1);
     }
 
-    /** @return the (i, j) pair for a condensed index. */
+    /**
+     * @return the (i, j) pair for a condensed index.
+     * @throw std::out_of_range for idx >= numPairs() — which covers the
+     *        degenerate n <= 1 matrices, whose pair set is empty.
+     */
     std::pair<size_t, size_t> pairOf(size_t idx) const;
 
   private:
+    void build(const Matrix &m, const size_t *cols, size_t numCols,
+               pipeline::ThreadPool *pool);
+
     size_t n_ = 0;
     std::vector<double> d_;
 };

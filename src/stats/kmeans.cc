@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "pipeline/thread_pool.hh"
 #include "stats/rng.hh"
 
 namespace mica
@@ -23,9 +24,10 @@ sqDist(const double *a, const double *b, size_t d)
     return s;
 }
 
-/** k-means++ seeding: spread initial centroids by D^2 sampling. */
+} // namespace
+
 Matrix
-seedCentroids(const Matrix &data, size_t k, Rng &rng)
+kMeansSeedCentroids(const Matrix &data, size_t k, Rng &rng)
 {
     const size_t n = data.rows(), d = data.cols();
     Matrix cent(k, d);
@@ -41,7 +43,7 @@ seedCentroids(const Matrix &data, size_t k, Rng &rng)
             bestD[r] = std::min(bestD[r], dd);
             total += bestD[r];
         }
-        size_t pick = 0;
+        size_t pick = n;
         if (total > 0.0) {
             double target = rng.unit() * total;
             for (size_t r = 0; r < n; ++r) {
@@ -51,22 +53,79 @@ seedCentroids(const Matrix &data, size_t k, Rng &rng)
                     break;
                 }
             }
-        } else {
-            pick = rng.below(n);
+            if (pick == n) {
+                // Rounding left target > 0 after the scan (or total
+                // overflowed to inf, whose running difference never
+                // reaches zero): take the last row that actually
+                // carries weight instead of silently repeating row 0,
+                // which can duplicate an existing centroid.
+                for (size_t r = n; r-- > 0;) {
+                    if (bestD[r] > 0.0) {
+                        pick = r;
+                        break;
+                    }
+                }
+            }
         }
+        if (pick == n)
+            pick = rng.below(n);
         for (size_t c = 0; c < d; ++c)
             cent.at(ci, c) = data.at(pick, c);
     }
     return cent;
 }
 
+void
+kMeansReseedEmpty(const Matrix &data, const std::vector<int> &assignment,
+                  const std::vector<size_t> &counts, Matrix &centroids)
+{
+    const size_t n = data.rows(), d = data.cols();
+    const size_t k = counts.size();
+    // Points already handed to an empty cluster this step; without
+    // this, two empty clusters could both re-seed onto the same
+    // farthest point and stay duplicated centroids forever.
+    std::vector<char> used(n, 0);
+    for (size_t c = 0; c < k; ++c) {
+        if (counts[c] != 0)
+            continue;
+        // Re-seed with the worst-fit point not yet used, recomputed
+        // per empty cluster (an earlier re-seed may have consumed the
+        // previous winner).
+        size_t far = n;
+        double farD = -1.0;
+        for (size_t r = 0; r < n; ++r) {
+            if (used[r])
+                continue;
+            const double dd =
+                sqDist(data.row(r),
+                       centroids.row(static_cast<size_t>(assignment[r])),
+                       d);
+            if (dd > farD) {
+                farD = dd;
+                far = r;
+            }
+        }
+        if (far == n)
+            continue;   // fewer points than empty clusters
+        used[far] = 1;
+        for (size_t j = 0; j < d; ++j)
+            centroids.at(c, j) = data.at(far, j);
+    }
+}
+
 KMeansResult
-lloyd(const Matrix &data, size_t k, Rng &rng, int maxIters)
+kMeansRunOnce(const Matrix &data, size_t k, uint64_t streamSeed,
+              int maxIters)
 {
     const size_t n = data.rows(), d = data.cols();
     KMeansResult res;
+    if (n == 0 || k == 0) {
+        res.centroids = Matrix(0, d);
+        return res;     // nothing to cluster (below(0) is undefined)
+    }
+    Rng rng(streamSeed);
     res.k = k;
-    res.centroids = seedCentroids(data, k, rng);
+    res.centroids = kMeansSeedCentroids(data, k, rng);
     res.assignment.assign(n, -1);
 
     for (int it = 0; it < maxIters; ++it) {
@@ -101,28 +160,14 @@ lloyd(const Matrix &data, size_t k, Rng &rng, int maxIters)
                 sums.at(c, j) += data.at(r, j);
         }
         for (size_t c = 0; c < k; ++c) {
-            if (counts[c] == 0) {
-                // Re-seed an empty cluster with the worst-fit point.
-                size_t far = 0;
-                double farD = -1.0;
-                for (size_t r = 0; r < n; ++r) {
-                    const double dd = sqDist(
-                        data.row(r),
-                        res.centroids.row(res.assignment[r]), d);
-                    if (dd > farD) {
-                        farD = dd;
-                        far = r;
-                    }
-                }
-                for (size_t j = 0; j < d; ++j)
-                    res.centroids.at(c, j) = data.at(far, j);
-            } else {
-                for (size_t j = 0; j < d; ++j) {
-                    res.centroids.at(c, j) =
-                        sums.at(c, j) / static_cast<double>(counts[c]);
-                }
+            if (counts[c] == 0)
+                continue;
+            for (size_t j = 0; j < d; ++j) {
+                res.centroids.at(c, j) =
+                    sums.at(c, j) / static_cast<double>(counts[c]);
             }
         }
+        kMeansReseedEmpty(data, res.assignment, counts, res.centroids);
     }
 
     res.inertia = 0.0;
@@ -132,8 +177,6 @@ lloyd(const Matrix &data, size_t k, Rng &rng, int maxIters)
     }
     return res;
 }
-
-} // namespace
 
 std::vector<size_t>
 KMeansResult::members(size_t c) const
@@ -146,18 +189,24 @@ KMeansResult::members(size_t c) const
 }
 
 KMeansResult
-kMeansFit(const Matrix &data, const KMeansParams &params)
+kMeansFit(const Matrix &data, const KMeansParams &params,
+          pipeline::ThreadPool *pool)
 {
-    Rng rng(params.seed);
-    KMeansResult best;
-    best.inertia = std::numeric_limits<double>::max();
     const size_t k = std::min(params.k, data.rows());
-    for (int r = 0; r < std::max(1, params.restarts); ++r) {
-        KMeansResult cur = lloyd(data, k, rng, params.maxIters);
-        if (cur.inertia < best.inertia)
-            best = std::move(cur);
-    }
-    return best;
+    const size_t restarts =
+        static_cast<size_t>(std::max(1, params.restarts));
+    std::vector<KMeansResult> runs(restarts);
+    pipeline::parallelBlocks(pool, restarts, [&](size_t r) {
+        runs[r] = kMeansRunOnce(data, k, Rng::childSeed(params.seed, r),
+                                params.maxIters);
+    });
+    // Fixed-order reduction: strict < keeps the lowest restart index on
+    // inertia ties, independent of which job finished first.
+    size_t best = 0;
+    for (size_t r = 1; r < restarts; ++r)
+        if (runs[r].inertia < runs[best].inertia)
+            best = r;
+    return std::move(runs[best]);
 }
 
 double
@@ -198,19 +247,44 @@ bicScore(const Matrix &data, const KMeansResult &res, double varianceFloor)
 
 BicSweepResult
 bicSweep(const Matrix &data, size_t maxK, uint64_t seed, double frac,
-         double varianceFloor)
+         double varianceFloor, pipeline::ThreadPool *pool)
 {
     BicSweepResult out;
     maxK = std::min(maxK, data.rows());
+    const size_t restarts =
+        static_cast<size_t>(std::max(1, KMeansParams{}.restarts));
+
+    // Flatten every (k, restart) pair into one wave of independent
+    // Lloyd jobs — no nested submission, maximal overlap between the
+    // cheap small-k and expensive large-k fits. Job (k, r) draws from
+    // stream childSeed(seed + k, r), exactly as the serial per-k
+    // kMeansFit would.
+    std::vector<KMeansResult> runs(maxK * restarts);
+    pipeline::parallelBlocks(pool, runs.size(), [&](size_t b) {
+        const size_t k = 1 + b / restarts;
+        const size_t r = b % restarts;
+        runs[b] = kMeansRunOnce(data, k, Rng::childSeed(seed + k, r),
+                                KMeansParams{}.maxIters);
+    });
+
     out.bicByK.reserve(maxK);
     out.fits.reserve(maxK);
     for (size_t k = 1; k <= maxK; ++k) {
-        KMeansParams p;
-        p.k = k;
-        p.seed = seed + k;
-        KMeansResult fit = kMeansFit(data, p);
-        out.bicByK.push_back(bicScore(data, fit, varianceFloor));
-        out.fits.push_back(std::move(fit));
+        size_t best = (k - 1) * restarts;
+        for (size_t r = 1; r < restarts; ++r) {
+            const size_t b = (k - 1) * restarts + r;
+            if (runs[b].inertia < runs[best].inertia)
+                best = b;
+        }
+        out.bicByK.push_back(
+            bicScore(data, runs[best], varianceFloor));
+        out.fits.push_back(std::move(runs[best]));
+    }
+    if (out.bicByK.empty()) {
+        // No rows to cluster: empty sweep, and chosenK = 0 so callers
+        // cannot index fits[chosenK - 1] into an empty vector.
+        out.chosenK = 0;
+        return out;
     }
     // "BIC within frac of the maximum": BIC scores can be negative, so
     // apply the rule on the min-max normalized score (documented

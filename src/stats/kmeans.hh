@@ -3,6 +3,15 @@
  * K-means clustering with k-means++ seeding and a BIC model-selection
  * score, as used for Fig. 6 of the paper (cluster the benchmarks in the
  * GA-selected 8-D space; pick K by the BIC-within-90%-of-max rule).
+ *
+ * Determinism contract: every stochastic entry point is a pure function
+ * of (data, parameters, seed). Multi-restart fits give restart r its
+ * own generator seeded with Rng::childSeed(seed, r), and the K sweep
+ * flattens (k, restart) into independent Lloyd runs, so fanning them
+ * across a pipeline::ThreadPool returns byte-identical results for any
+ * worker count — the reduction (best inertia, ties to the lowest
+ * restart index / smallest k) always happens in fixed order on the
+ * calling thread.
  */
 
 #pragma once
@@ -13,8 +22,15 @@
 
 #include "stats/matrix.hh"
 
+namespace mica::pipeline
+{
+class ThreadPool;
+} // namespace mica::pipeline
+
 namespace mica
 {
+
+class Rng;
 
 /** Result of one k-means fit. */
 struct KMeansResult
@@ -39,11 +55,48 @@ struct KMeansParams
 };
 
 /**
- * Fit k-means with k-means++ initialization and Lloyd iterations.
- * Deterministic given the seed. Empty clusters are re-seeded with the
- * point farthest from its centroid.
+ * k-means++ seeding: spread initial centroids by D^2 sampling.
+ * Exposed for the determinism tests; callers normally go through
+ * kMeansFit. When floating-point rounding exhausts the sampling scan
+ * without landing (or the total weight overflows to infinity), the
+ * last row with nonzero weight is chosen — never a silently repeated
+ * row 0, which could duplicate an existing centroid.
  */
-KMeansResult kMeansFit(const Matrix &data, const KMeansParams &params);
+Matrix kMeansSeedCentroids(const Matrix &data, size_t k, Rng &rng);
+
+/**
+ * Re-seed every empty cluster (counts[c] == 0) with the point farthest
+ * from its currently assigned centroid, recomputed per empty cluster
+ * and excluding points already handed out in this step — two clusters
+ * emptying in the same Lloyd update must not both re-seed onto the
+ * same point, which would leave them duplicated centroids forever.
+ * Exposed for the regression tests; kMeansRunOnce calls it on every
+ * update step.
+ */
+void kMeansReseedEmpty(const Matrix &data,
+                       const std::vector<int> &assignment,
+                       const std::vector<size_t> &counts,
+                       Matrix &centroids);
+
+/**
+ * One seeded Lloyd run: k-means++ initialization from a generator
+ * seeded with exactly @p streamSeed, then Lloyd iterations. This is
+ * the unit of parallelism for restarts and BIC sweeps. Empty clusters
+ * are re-seeded with the farthest-from-centroid points, each empty
+ * cluster receiving a *distinct* point.
+ */
+KMeansResult kMeansRunOnce(const Matrix &data, size_t k,
+                           uint64_t streamSeed, int maxIters = 100);
+
+/**
+ * Fit k-means with k-means++ initialization and Lloyd iterations,
+ * keeping the best of params.restarts runs (lowest inertia, ties to
+ * the lowest restart index). Restart r uses the RNG stream
+ * Rng::childSeed(params.seed, r); with a pool the restarts run as
+ * independent jobs, byte-identical to the serial loop.
+ */
+KMeansResult kMeansFit(const Matrix &data, const KMeansParams &params,
+                       pipeline::ThreadPool *pool = nullptr);
 
 /**
  * Bayesian Information Criterion of a k-means clustering under the
@@ -70,9 +123,12 @@ struct BicSweepResult
 /**
  * Sweep K = 1..maxK and choose the smallest K whose BIC is at least
  * frac (default 0.9) of the maximum observed BIC, the selection rule
- * of Section VI. varianceFloor is forwarded to bicScore.
+ * of Section VI. varianceFloor is forwarded to bicScore. The sweep
+ * flattens every (k, restart) pair into one wave of Lloyd jobs over
+ * the pool; results are identical for any worker count.
  */
 BicSweepResult bicSweep(const Matrix &data, size_t maxK, uint64_t seed,
-                        double frac = 0.9, double varianceFloor = 0.0);
+                        double frac = 0.9, double varianceFloor = 0.0,
+                        pipeline::ThreadPool *pool = nullptr);
 
 } // namespace mica

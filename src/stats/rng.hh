@@ -78,6 +78,27 @@ class Rng
     /** @return true with probability p. */
     bool chance(double p) { return unit() < p; }
 
+    /**
+     * Derive a decorrelated seed for child stream @p stream of @p seed.
+     *
+     * Parallel work units (k-means restarts, per-k sweep fits) each get
+     * their own generator seeded with childSeed(seed, index), so the
+     * random sequence a unit consumes depends only on (seed, index) —
+     * never on how many draws other units made or on which thread ran
+     * first. That is what makes the parallel methodology engine
+     * byte-identical to its serial counterpart.
+     */
+    static uint64_t
+    childSeed(uint64_t seed, uint64_t stream)
+    {
+        // splitmix64 over seed advanced by (stream + 1) golden-gamma
+        // steps; +1 keeps childSeed(s, 0) distinct from s itself.
+        uint64_t z = seed + (stream + 1) * 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
   private:
     uint64_t state_ = 1;
     bool haveGauss_ = false;

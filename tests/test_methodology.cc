@@ -15,6 +15,7 @@
 #include "methodology/genetic_selector.hh"
 #include "methodology/kiviat.hh"
 #include "methodology/workload_space.hh"
+#include "pipeline/thread_pool.hh"
 #include "stats/descriptive.hh"
 #include "stats/rng.hh"
 
@@ -295,6 +296,9 @@ TEST(GeneticSelectorTest, BeatsTheAverageRandomSubsetOfSameSize)
     Rng rng(53);
     double randTotal = 0;
     const int trials = 30;
+    // One shared engine for all trials — the loop pattern the shared
+    // FitnessEval API exists for.
+    const FitnessEval eval(ws);
     for (int t = 0; t < trials; ++t) {
         std::vector<size_t> subset;
         while (subset.size() < res.selected.size()) {
@@ -305,9 +309,83 @@ TEST(GeneticSelectorTest, BeatsTheAverageRandomSubsetOfSameSize)
             if (!dup)
                 subset.push_back(c);
         }
-        randTotal += subsetFitness(ws, subset).first;
+        randTotal += subsetFitness(eval, subset).first;
     }
     EXPECT_GE(res.fitness, randTotal / trials);
+}
+
+TEST(GeneticSelectorTest, ParallelRunsAreByteIdenticalAcrossSeeds)
+{
+    // The determinism contract of the methodology engine: for a fixed
+    // seed, the GA run fanned across 8 workers must match the serial
+    // run exactly — selected masks, fitness values, and the whole
+    // per-generation history.
+    const WorkloadSpace ws(randomDataset(40, 12, 59));
+    pipeline::ThreadPool pool(8);
+    for (uint64_t seed : {7ull, 99ull, 20061027ull}) {
+        GaConfig cfg;
+        cfg.maxGenerations = 40;
+        cfg.seed = seed;
+        const GaResult serial = geneticSelect(ws, cfg);
+        const GaResult parallel = geneticSelect(ws, cfg, &pool);
+        EXPECT_EQ(serial.selected, parallel.selected) << "seed " << seed;
+        EXPECT_EQ(serial.generationsRun, parallel.generationsRun);
+        EXPECT_EQ(serial.bestFitnessHistory, parallel.bestFitnessHistory);
+        EXPECT_DOUBLE_EQ(serial.fitness, parallel.fitness);
+        EXPECT_DOUBLE_EQ(serial.distanceCorrelation,
+                         parallel.distanceCorrelation);
+    }
+}
+
+TEST(GeneticSelectorTest, SharedFitnessEvalMatchesThrowawayEngine)
+{
+    // One engine, many scores: the shared-FitnessEval API must agree
+    // exactly with the convenience overload that rebuilds the engine.
+    const WorkloadSpace ws(randomDataset(30, 9, 61));
+    const FitnessEval eval(ws);
+    EXPECT_EQ(eval.numChars(), 9u);
+    EXPECT_EQ(eval.numPairs(), 30u * 29u / 2u);
+    const std::vector<std::vector<size_t>> subsets = {
+        {0}, {1, 4}, {2, 5, 8}, {0, 1, 2, 3, 4, 5, 6, 7, 8}, {}};
+    for (const auto &subset : subsets) {
+        const auto shared = subsetFitness(eval, subset);
+        const auto throwaway = subsetFitness(ws, subset);
+        EXPECT_DOUBLE_EQ(shared.first, throwaway.first);
+        EXPECT_DOUBLE_EQ(shared.second, throwaway.second);
+    }
+}
+
+TEST(GeneticSelectorTest, MemoizedAndPureFitnessPathsAgree)
+{
+    const WorkloadSpace ws(randomDataset(25, 10, 67));
+    const FitnessEval eval(ws);
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        const uint64_t mask = rng.next() & ((1ull << 10) - 1);
+        const auto memoized = eval(mask ? mask : 1);
+        const auto pure = eval.compute(mask ? mask : 1);
+        EXPECT_DOUBLE_EQ(memoized.first, pure.first);
+        EXPECT_DOUBLE_EQ(memoized.second, pure.second);
+    }
+}
+
+TEST(GeneticSelectorTest, ParallelPrecomputeMatchesSerial)
+{
+    pipeline::ThreadPool pool(8);
+    const WorkloadSpace serialSpace(randomDataset(35, 11, 71));
+    const WorkloadSpace parallelSpace(randomDataset(35, 11, 71), &pool);
+    EXPECT_EQ(serialSpace.distances().condensed(),
+              parallelSpace.distances().condensed());
+    const FitnessEval serial(serialSpace);
+    const FitnessEval parallel(parallelSpace, &pool);
+    Rng rng(3);
+    for (int i = 0; i < 40; ++i) {
+        const uint64_t mask = (rng.next() & ((1ull << 11) - 1)) | 1;
+        EXPECT_DOUBLE_EQ(serial.compute(mask).first,
+                         parallel.compute(mask).first);
+        EXPECT_DOUBLE_EQ(serial.compute(mask).second,
+                         parallel.compute(mask).second);
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -389,6 +467,32 @@ TEST(ClusterReportTest, SingletonDetection)
         }
     }
     EXPECT_TRUE(foundSingleton);
+}
+
+TEST(ClusterReportTest, EmptyDatasetYieldsEmptyReport)
+{
+    const Matrix empty;
+    const ClusterReport rep = clusterBenchmarks(empty, 10, 3);
+    EXPECT_EQ(rep.chosenK, 0u);
+    EXPECT_TRUE(rep.clusters.empty());
+    EXPECT_TRUE(rep.assignment.empty());
+}
+
+TEST(ClusterReportTest, ParallelSweepIsByteIdentical)
+{
+    const Matrix data = groupedDataset(73);
+    pipeline::ThreadPool pool(8);
+    const ClusterReport serial = clusterBenchmarks(data, 10, 3);
+    const ClusterReport parallel =
+        clusterBenchmarks(data, 10, 3, 0.9, 0.25, &pool);
+    EXPECT_EQ(serial.chosenK, parallel.chosenK);
+    EXPECT_EQ(serial.bicByK, parallel.bicByK);
+    EXPECT_EQ(serial.assignment, parallel.assignment);
+    ASSERT_EQ(serial.clusters.size(), parallel.clusters.size());
+    for (size_t c = 0; c < serial.clusters.size(); ++c) {
+        EXPECT_EQ(serial.clusters[c].members,
+                  parallel.clusters[c].members);
+    }
 }
 
 TEST(KiviatTest, StarsAreMinMaxNormalized)

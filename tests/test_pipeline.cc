@@ -73,6 +73,41 @@ TEST(ThreadPoolTest, ManyConcurrentTasksAllComplete)
     EXPECT_EQ(count.load(), 500);
 }
 
+TEST(ThreadPoolTest, ParallelBlocksCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<int> hits(300, 0);
+    parallelBlocks(&pool, hits.size(), [&](size_t b) { ++hits[b]; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+
+    // Null pool and zero count degrade to plain loops.
+    std::vector<int> serialHits(7, 0);
+    parallelBlocks(nullptr, serialHits.size(),
+                   [&](size_t b) { ++serialHits[b]; });
+    for (int h : serialHits)
+        EXPECT_EQ(h, 1);
+    parallelBlocks(&pool, 0, [&](size_t) { ADD_FAILURE(); });
+}
+
+TEST(ThreadPoolTest, ParallelBlocksFinishesAllBeforeRethrowing)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    try {
+        parallelBlocks(&pool, 64, [&](size_t b) {
+            ++ran;
+            if (b % 16 == 3)
+                throw std::runtime_error("block failed");
+        });
+        FAIL() << "expected rethrow";
+    } catch (const std::runtime_error &) {
+    }
+    // Every block ran to completion before the exception unwound the
+    // caller — no worker can still touch caller state afterwards.
+    EXPECT_EQ(ran.load(), 64);
+}
+
 // ----------------------------------------------------------------------
 // ProfileStore
 // ----------------------------------------------------------------------

@@ -5,9 +5,11 @@
  */
 
 #include <cmath>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
+#include "pipeline/thread_pool.hh"
 #include "stats/descriptive.hh"
 #include "stats/distance.hh"
 #include "stats/kmeans.hh"
@@ -232,6 +234,53 @@ TEST(DistanceTest, MaxDistanceMatchesScan)
     EXPECT_DOUBLE_EQ(d.maxDistance(), 10.0);
 }
 
+TEST(DistanceTest, PairOfRejectsOutOfRangeIndices)
+{
+    Matrix m(3, 2);
+    const DistanceMatrix d(m);
+    ASSERT_EQ(d.numPairs(), 3u);
+    EXPECT_EQ(d.pairOf(2), (std::pair<size_t, size_t>{1, 2}));
+    // One past the condensed triangle used to underflow the row walk.
+    EXPECT_THROW(d.pairOf(3), std::out_of_range);
+    EXPECT_THROW(d.pairOf(static_cast<size_t>(-1)), std::out_of_range);
+}
+
+TEST(DistanceTest, DegenerateMatricesHaveNoPairs)
+{
+    const DistanceMatrix empty;
+    EXPECT_EQ(empty.numItems(), 0u);
+    EXPECT_EQ(empty.numPairs(), 0u);
+    EXPECT_DOUBLE_EQ(empty.maxDistance(), 0.0);
+    EXPECT_THROW(empty.pairOf(0), std::out_of_range);
+
+    Matrix one;
+    one.appendRow({1.0, 2.0});
+    const DistanceMatrix single(one);
+    EXPECT_EQ(single.numItems(), 1u);
+    EXPECT_EQ(single.numPairs(), 0u);
+    EXPECT_DOUBLE_EQ(single.maxDistance(), 0.0);
+    EXPECT_DOUBLE_EQ(single.at(0, 0), 0.0);
+    EXPECT_THROW(single.pairOf(0), std::out_of_range);
+}
+
+TEST(DistanceTest, ParallelConstructionIsBitIdentical)
+{
+    Matrix m;
+    Rng rng(21);
+    for (int r = 0; r < 70; ++r)
+        m.appendRow({rng.gauss(), rng.gauss(), rng.gauss(),
+                     rng.gauss(), rng.gauss()});
+    pipeline::ThreadPool pool(8);
+    const DistanceMatrix serial(m);
+    const DistanceMatrix parallel(m, &pool);
+    EXPECT_EQ(serial.condensed(), parallel.condensed());
+
+    const std::vector<size_t> cols = {0, 2, 4};
+    const DistanceMatrix subSerial(m, cols);
+    const DistanceMatrix subParallel(m, cols, &pool);
+    EXPECT_EQ(subSerial.condensed(), subParallel.condensed());
+}
+
 // ----------------------------------------------------------------------
 // PCA.
 // ----------------------------------------------------------------------
@@ -378,6 +427,155 @@ TEST(KMeansTest, MembersListMatchesAssignment)
         total += res.members(c).size();
     }
     EXPECT_EQ(total, m.rows());
+}
+
+TEST(KMeansTest, SeedingFallbackAvoidsDuplicatingARow)
+{
+    // Squared distances of 1e308 and inf make the D^2 total overflow to
+    // inf, so the sampling scan's running difference never reaches
+    // zero and the fallback decides the pick. The seed code silently
+    // kept row 0 — duplicating the first centroid whenever row 0
+    // seeded it — instead of taking a row that carries weight.
+    Matrix m;
+    m.appendRow({0.0});
+    m.appendRow({1e154});
+    m.appendRow({3e154});
+    bool checked = false;
+    for (uint64_t seed = 0; seed < 64 && !checked; ++seed) {
+        Rng probe(seed);
+        if (probe.below(3) != 0)
+            continue;   // want the first centroid on row 0
+        Rng rng(seed);
+        const Matrix cent = kMeansSeedCentroids(m, 2, rng);
+        EXPECT_DOUBLE_EQ(cent(0, 0), 0.0);
+        // The fallback must land on the last weighted row, never back
+        // on the row that is already centroid 0.
+        EXPECT_DOUBLE_EQ(cent(1, 0), 3e154);
+        checked = true;
+    }
+    EXPECT_TRUE(checked);
+}
+
+TEST(KMeansTest, EmptyClustersReseedOntoDistinctPoints)
+{
+    // Three empty clusters in one update step: the farthest point must
+    // be handed out once, then recomputed excluding it — the seed code
+    // gave every empty cluster the same point, leaving duplicated
+    // centroids that never win a member again.
+    Matrix data;
+    data.appendRow({0.0, 0.0});
+    data.appendRow({10.0, 0.0});
+    data.appendRow({0.0, 10.0});
+    data.appendRow({20.0, 20.0});
+    data.appendRow({21.0, 21.0});
+    Matrix cent(4, 2, 0.0);    // cluster 0 at the origin, rest empty
+    const std::vector<int> assignment = {0, 0, 0, 0, 0};
+    const std::vector<size_t> counts = {5, 0, 0, 0};
+    kMeansReseedEmpty(data, assignment, counts, cent);
+    // Farthest first: (21,21), then (20,20), then the first of the two
+    // equidistant points (10,0).
+    EXPECT_DOUBLE_EQ(cent(1, 0), 21.0);
+    EXPECT_DOUBLE_EQ(cent(1, 1), 21.0);
+    EXPECT_DOUBLE_EQ(cent(2, 0), 20.0);
+    EXPECT_DOUBLE_EQ(cent(2, 1), 20.0);
+    EXPECT_DOUBLE_EQ(cent(3, 0), 10.0);
+    EXPECT_DOUBLE_EQ(cent(3, 1), 0.0);
+}
+
+TEST(KMeansTest, ReseedStopsWhenPointsRunOut)
+{
+    Matrix data;
+    data.appendRow({1.0});
+    data.appendRow({2.0});
+    Matrix cent(4, 1, 7.0);
+    const std::vector<int> assignment = {0, 0};
+    const std::vector<size_t> counts = {2, 0, 0, 0};
+    kMeansReseedEmpty(data, assignment, counts, cent);
+    // Two re-seeds possible, the third empty cluster is left alone.
+    EXPECT_DOUBLE_EQ(cent(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(cent(2, 0), 2.0);
+    EXPECT_DOUBLE_EQ(cent(3, 0), 7.0);
+}
+
+TEST(KMeansTest, ConvergedFitsHaveNoEmptyClusters)
+{
+    // With at least k distinct rows, distinct re-seed points guarantee
+    // a converged fit fills every cluster, whatever the RNG stream.
+    const Matrix m = threeBlobs(8, 77);
+    for (uint64_t stream = 0; stream < 40; ++stream) {
+        const KMeansResult res = kMeansRunOnce(m, 6, stream, 100);
+        for (size_t c = 0; c < res.k; ++c)
+            EXPECT_FALSE(res.members(c).empty())
+                << "stream " << stream << " cluster " << c;
+    }
+}
+
+TEST(KMeansTest, MultiRestartPoolInvariantAndReproducible)
+{
+    const Matrix m = threeBlobs(20, 83);
+    KMeansParams params;
+    params.k = 4;
+    params.seed = 17;
+    params.restarts = 7;
+    pipeline::ThreadPool pool(8);
+    const KMeansResult serial = kMeansFit(m, params);
+    const KMeansResult parallel = kMeansFit(m, params, &pool);
+    const KMeansResult again = kMeansFit(m, params, &pool);
+    EXPECT_EQ(serial.assignment, parallel.assignment);
+    EXPECT_DOUBLE_EQ(serial.inertia, parallel.inertia);
+    for (size_t c = 0; c < serial.k; ++c) {
+        for (size_t j = 0; j < m.cols(); ++j) {
+            EXPECT_DOUBLE_EQ(serial.centroids(c, j),
+                             parallel.centroids(c, j));
+        }
+    }
+    EXPECT_EQ(parallel.assignment, again.assignment);
+    EXPECT_DOUBLE_EQ(parallel.inertia, again.inertia);
+}
+
+TEST(KMeansTest, RestartStreamsAreIndependentOfRestartCount)
+{
+    // Restart r draws from childSeed(seed, r), so prepending restarts
+    // never changes what an existing restart computes — the best of 3
+    // can only improve (or stay) when extended to 6.
+    const Matrix m = threeBlobs(12, 89);
+    KMeansParams p3;
+    p3.k = 5;
+    p3.seed = 23;
+    p3.restarts = 3;
+    KMeansParams p6 = p3;
+    p6.restarts = 6;
+    EXPECT_LE(kMeansFit(m, p6).inertia, kMeansFit(m, p3).inertia);
+}
+
+TEST(BicTest, EmptyDatasetGivesEmptySweep)
+{
+    // A zero-row dataset (e.g. a suite filter matching nothing) must
+    // come back as an empty sweep with chosenK = 0, never hand callers
+    // an index into an empty fits vector.
+    const Matrix empty;
+    const BicSweepResult sweep = bicSweep(empty, 10, 1);
+    EXPECT_EQ(sweep.chosenK, 0u);
+    EXPECT_TRUE(sweep.bicByK.empty());
+    EXPECT_TRUE(sweep.fits.empty());
+
+    const KMeansResult none = kMeansRunOnce(empty, 3, 1, 100);
+    EXPECT_EQ(none.k, 0u);
+    EXPECT_TRUE(none.assignment.empty());
+}
+
+TEST(BicTest, SweepPoolInvariant)
+{
+    const Matrix m = threeBlobs(15, 91);
+    pipeline::ThreadPool pool(8);
+    const BicSweepResult serial = bicSweep(m, 7, 13);
+    const BicSweepResult parallel =
+        bicSweep(m, 7, 13, 0.9, 0.0, &pool);
+    EXPECT_EQ(serial.chosenK, parallel.chosenK);
+    EXPECT_EQ(serial.bicByK, parallel.bicByK);
+    ASSERT_EQ(serial.fits.size(), parallel.fits.size());
+    for (size_t k = 0; k < serial.fits.size(); ++k)
+        EXPECT_EQ(serial.fits[k].assignment, parallel.fits[k].assignment);
 }
 
 TEST(BicTest, PrefersTheTrueClusterCount)

@@ -119,6 +119,14 @@ TEST(SubsettingTest, KEqualPopulationGivesZeroCoverage)
     EXPECT_NEAR(r.reductionFactor, 1.0, 1e-9);
 }
 
+TEST(SubsettingTest, EmptyDatasetYieldsEmptyResult)
+{
+    const Matrix empty;
+    const SubsetResult r = selectRepresentatives(empty, 10, 5);
+    EXPECT_TRUE(r.representatives.empty());
+    EXPECT_EQ(r.populationSize, 0u);
+}
+
 TEST(SubsettingTest, RepresentativesSortedBySizeDescending)
 {
     Matrix m = groups(47, 9);

@@ -7,25 +7,32 @@
  *   mica hpc <name>|all            print hardware-counter profiles
  *   mica distance <nameA> <nameB>  distances in both workload spaces
  *   mica select                    run GA feature selection
+ *   mica cluster                   cluster benchmarks in the key space
  *   mica subset                    pick suite representatives
  *
  * Common flags: --budget=N, --cache=DIR, --jobs=N (0 = auto),
- * --csv=FILE (profile/hpc all). Profiling fans out across --jobs
- * worker threads with bit-identical output for any job count; --cache
- * names a config-keyed profile store that is reused across runs.
+ * --csv=FILE (profile/hpc all), --maxk=N (cluster/subset). Profiling
+ * AND the methodology verbs (select/cluster/subset) fan out across
+ * --jobs worker threads with bit-identical output for any job count;
+ * --cache names a config-keyed profile store that is reused across
+ * runs, so methodology verbs re-profile nothing when a store exists.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "experiments/experiments.hh"
 #include "isa/interpreter.hh"
 #include "mica/dataset.hh"
 #include "mica/runner.hh"
+#include "methodology/cluster_report.hh"
 #include "methodology/genetic_selector.hh"
 #include "methodology/subsetting.hh"
 #include "methodology/workload_space.hh"
+#include "pipeline/thread_pool.hh"
 #include "report/table.hh"
 #include "stats/descriptive.hh"
 #include "uarch/hpc_runner.hh"
@@ -47,8 +54,22 @@ usage()
         "  hpc <name>|all [--csv=FILE]       hardware-counter profiles\n"
         "  distance <nameA> <nameB>  distances in both spaces\n"
         "  select                    GA key-characteristic selection\n"
-        "  subset                    cluster-medoid representatives\n");
+        "  cluster [--maxk=N]        cluster benchmarks (key space)\n"
+        "  subset [--maxk=N]         cluster-medoid representatives\n");
     return 2;
+}
+
+/**
+ * Worker pool for the methodology verbs, sized from --jobs exactly
+ * like the profiling pipeline: 1 = run on the calling thread (no
+ * pool), 0 = one worker per hardware thread.
+ */
+std::unique_ptr<pipeline::ThreadPool>
+methodologyPool(const experiments::DatasetConfig &cfg)
+{
+    if (cfg.jobs == 1)
+        return nullptr;
+    return std::make_unique<pipeline::ThreadPool>(cfg.jobs);
 }
 
 std::string
@@ -198,9 +219,11 @@ int
 cmdSelect(const experiments::DatasetConfig &cfg)
 {
     const auto ds = experiments::collectSuiteDataset(cfg);
-    const WorkloadSpace mica(ds.micaMatrix());
+    auto pool = methodologyPool(cfg);
+    pipeline::ThreadPool *p = pool.get();
+    const WorkloadSpace mica(ds.micaMatrix(), p);
     GaConfig gcfg;
-    const GaResult ga = geneticSelect(mica, gcfg);
+    const GaResult ga = geneticSelect(mica, gcfg, p);
     report::TextTable t({"Table II no.", "characteristic"},
                         {report::Align::Right, report::Align::Left});
     for (size_t s : ga.selected)
@@ -210,17 +233,79 @@ cmdSelect(const experiments::DatasetConfig &cfg)
     return 0;
 }
 
-int
-cmdSubset(const experiments::DatasetConfig &cfg)
+/** @return --maxk=N (default 70, the paper's sweep ceiling). */
+size_t
+maxKFlag(int argc, char **argv)
 {
-    const auto ds = experiments::collectSuiteDataset(cfg);
+    const std::string v = flagValue(argc, argv, "--maxk");
+    if (v.empty())
+        return 70;
+    const long n = std::atol(v.c_str());
+    return n > 0 ? static_cast<size_t>(n) : 70;
+}
+
+/** GA-select the key characteristics and project the space onto them. */
+Matrix
+reducedKeySpace(const experiments::SuiteDataset &ds,
+                pipeline::ThreadPool *p)
+{
     Matrix mm = ds.micaMatrix();
-    const WorkloadSpace mica(mm);
+    const WorkloadSpace mica(mm, p);
     GaConfig gcfg;
-    const GaResult ga = geneticSelect(mica, gcfg);
+    const GaResult ga = geneticSelect(mica, gcfg, p);
     Matrix reduced = mica.normalized().selectCols(ga.selected);
     reduced.rowNames = mm.rowNames;
-    const SubsetResult r = selectRepresentatives(reduced, 70, 20061027);
+    return reduced;
+}
+
+int
+cmdCluster(int argc, char **argv, const experiments::DatasetConfig &cfg)
+{
+    const auto ds = experiments::collectSuiteDataset(cfg);
+    auto pool = methodologyPool(cfg);
+    pipeline::ThreadPool *p = pool.get();
+    const Matrix reduced = reducedKeySpace(ds, p);
+    const ClusterReport rep =
+        clusterBenchmarks(reduced, maxKFlag(argc, argv), 20061027, 0.9,
+                          0.25, p);
+
+    const auto &suites = experiments::suiteNames();
+    std::vector<std::string> headers = {"cluster", "size"};
+    for (const auto &s : suites)
+        headers.push_back(s.substr(0, 3));
+    headers.push_back("members");
+    report::TextTable t(std::move(headers));
+    for (const auto &c : rep.clusters) {
+        std::vector<std::string> row = {std::to_string(c.id),
+                                        std::to_string(c.members.size())};
+        for (size_t h : rep.suiteHistogram(c, suites))
+            row.push_back(std::to_string(h));
+        // First few member names; the full list is in the assignment.
+        std::string names;
+        for (size_t i = 0; i < c.memberNames.size() && i < 3; ++i)
+            names += (i ? ", " : "") + c.memberNames[i];
+        if (c.memberNames.size() > 3) {
+            names += " +" +
+                std::to_string(c.memberNames.size() - 3) + " more";
+        }
+        row.push_back(std::move(names));
+        t.addRow(std::move(row));
+    }
+    std::printf("%s\nchose K = %zu of %zu benchmarks "
+                "(BIC within 90%% of max)\n",
+                t.render().c_str(), rep.chosenK, reduced.rows());
+    return 0;
+}
+
+int
+cmdSubset(int argc, char **argv, const experiments::DatasetConfig &cfg)
+{
+    const auto ds = experiments::collectSuiteDataset(cfg);
+    auto pool = methodologyPool(cfg);
+    pipeline::ThreadPool *p = pool.get();
+    const Matrix reduced = reducedKeySpace(ds, p);
+    const SubsetResult r = selectRepresentatives(
+        reduced, maxKFlag(argc, argv), 20061027, 0.9, 0.25, p);
     report::TextTable t({"representative", "covers"},
                         {report::Align::Left, report::Align::Right});
     for (const auto &rep : r.representatives)
@@ -251,7 +336,9 @@ main(int argc, char **argv)
         return cmdDistance(argc, argv, cfg);
     if (cmd == "select")
         return cmdSelect(cfg);
+    if (cmd == "cluster")
+        return cmdCluster(argc, argv, cfg);
     if (cmd == "subset")
-        return cmdSubset(cfg);
+        return cmdSubset(argc, argv, cfg);
     return usage();
 }
