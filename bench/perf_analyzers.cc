@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "index/fingerprint_index.hh"
 #include "isa/interpreter.hh"
 #include "legacy_analyzers.hh"
 #include "legacy_fitness.hh"
@@ -433,6 +434,75 @@ BM_BicSweep(benchmark::State &state)
 BENCHMARK(BM_BicSweep);
 
 // ----------------------------------------------------------------------
+// Index family: fingerprint-index build and query throughput. The
+// population is synthetic but index-shaped: a few thousand workloads
+// in a GA-reduced-size space, far past the paper's 122 so the tree
+// has something to prune.
+// ----------------------------------------------------------------------
+
+constexpr size_t kIndexPoints = 4096;
+constexpr size_t kIndexDim = 16;
+constexpr size_t kIndexK = 10;
+
+/** Raw dataset the index benchmarks fingerprint. */
+const Matrix &
+indexDataset()
+{
+    static const Matrix m = [] {
+        Matrix raw;
+        Rng rng(20061027);
+        for (size_t r = 0; r < kIndexPoints; ++r) {
+            std::vector<double> v(kIndexDim);
+            for (auto &x : v)
+                x = rng.gauss();
+            raw.appendRow(v);
+            raw.rowNames.push_back("w" + std::to_string(r));
+        }
+        return raw;
+    }();
+    return m;
+}
+
+const index::FingerprintIndex &
+indexCorpus()
+{
+    static const index::FingerprintIndex idx =
+        index::FingerprintIndex::build(indexDataset());
+    return idx;
+}
+
+void
+BM_IndexBuild(benchmark::State &state)
+{
+    const Matrix &raw = indexDataset();
+    for (auto _ : state) {
+        const auto idx = index::FingerprintIndex::build(raw);
+        benchmark::DoNotOptimize(idx.size());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(kIndexPoints));
+}
+BENCHMARK(BM_IndexBuild);
+
+template <bool brute>
+void
+BM_IndexKnn(benchmark::State &state)
+{
+    const auto &idx = indexCorpus();
+    size_t q = 0;
+    for (auto _ : state) {
+        const auto r = idx.knn(q, kIndexK, brute);
+        benchmark::DoNotOptimize(r.data());
+        q = (q + 1) % idx.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+void BM_IndexKnnTree(benchmark::State &s) { BM_IndexKnn<false>(s); }
+void BM_IndexKnnBrute(benchmark::State &s) { BM_IndexKnn<true>(s); }
+BENCHMARK(BM_IndexKnnTree);
+BENCHMARK(BM_IndexKnnBrute);
+
+// ----------------------------------------------------------------------
 // --json mode: self-timed throughput profile for trend tracking.
 // ----------------------------------------------------------------------
 
@@ -554,6 +624,42 @@ clusterSweepRate(mica::pipeline::ThreadPool *pool)
     });
 }
 
+/** Index builds/sec over the synthetic population. */
+double
+indexBuildRate()
+{
+    const Matrix &raw = indexDataset();
+    return bestRate(1, [&] {
+        const auto idx = index::FingerprintIndex::build(raw);
+        benchmark::DoNotOptimize(idx.size());
+    });
+}
+
+/** Single-query kNN throughput, tree or brute reference. */
+double
+indexKnnRate(bool brute)
+{
+    const auto &idx = indexCorpus();
+    const size_t queries = 512;
+    return bestRate(queries, [&] {
+        for (size_t q = 0; q < queries; ++q) {
+            const auto r = idx.knn(q, kIndexK, brute);
+            benchmark::DoNotOptimize(r.data());
+        }
+    });
+}
+
+/** Whole-population batch kNN throughput (queries/sec). */
+double
+indexBatchRate(mica::pipeline::ThreadPool *pool)
+{
+    const auto &idx = indexCorpus();
+    return bestRate(idx.size(), [&] {
+        const auto r = idx.batchKnn(kIndexK, pool);
+        benchmark::DoNotOptimize(r.data());
+    });
+}
+
 int
 writeJsonProfile(const std::string &path)
 {
@@ -591,6 +697,15 @@ writeJsonProfile(const std::string &path)
     const double gaJobs8 = gaGenerationsRate(&pool8);
     const double sweepSerial = clusterSweepRate(nullptr);
     const double sweepJobs8 = clusterSweepRate(&pool8);
+
+    // Index family: build cost and query throughput of the
+    // fingerprint similarity index, VP-tree vs the brute-force
+    // reference, plus the pooled batch-query path at 1 and 8 jobs.
+    const double idxBuild = indexBuildRate();
+    const double idxTree = indexKnnRate(false);
+    const double idxBrute = indexKnnRate(true);
+    const double idxBatchSerial = indexBatchRate(nullptr);
+    const double idxBatchJobs8 = indexBatchRate(&pool8);
 
     std::ofstream out(path);
     if (!out) {
@@ -642,6 +757,23 @@ writeJsonProfile(const std::string &path)
         << "      \"serial\": " << sweepSerial << ",\n"
         << "      \"jobs8\": " << sweepJobs8 << ",\n"
         << "      \"speedup\": " << sweepJobs8 / sweepSerial << "\n"
+        << "    }\n"
+        << "  },\n"
+        << "  \"index\": {\n"
+        << "    \"points\": " << kIndexPoints << ",\n"
+        << "    \"dim\": " << kIndexDim << ",\n"
+        << "    \"k\": " << kIndexK << ",\n"
+        << "    \"builds_per_sec\": " << idxBuild << ",\n"
+        << "    \"knn_queries_per_sec\": {\n"
+        << "      \"vp_tree\": " << idxTree << ",\n"
+        << "      \"brute\": " << idxBrute << ",\n"
+        << "      \"speedup_vs_brute\": " << idxTree / idxBrute << "\n"
+        << "    },\n"
+        << "    \"batch_knn_queries_per_sec\": {\n"
+        << "      \"serial\": " << idxBatchSerial << ",\n"
+        << "      \"jobs8\": " << idxBatchJobs8 << ",\n"
+        << "      \"speedup\": " << idxBatchJobs8 / idxBatchSerial
+        << "\n"
         << "    }\n"
         << "  }\n"
         << "}\n";

@@ -1,0 +1,102 @@
+#include "index/fingerprint.hh"
+
+#include <stdexcept>
+
+#include "stats/descriptive.hh"
+#include "stats/pca.hh"
+
+namespace mica::index
+{
+
+std::vector<double>
+FingerprintSet::embed(const std::vector<double> &rawRow) const
+{
+    if (rawRow.size() != sourceCols)
+        throw std::invalid_argument("embed: raw row has " +
+                                    std::to_string(rawRow.size()) +
+                                    " columns, fingerprint space expects " +
+                                    std::to_string(sourceCols));
+    // Select + z-score with the frozen population parameters. The
+    // expression matches zscoreNormalize exactly (constant columns go
+    // to zero), so in-population rows reproduce their stored vectors.
+    std::vector<double> z(columns.size());
+    for (size_t j = 0; j < columns.size(); ++j) {
+        const double x = rawRow[columns[j]];
+        z[j] = colStddev[j] > 0.0 ? (x - colMean[j]) / colStddev[j] : 0.0;
+    }
+    if (pcaDims == 0)
+        return z;
+    std::vector<double> out(pcaDims);
+    for (size_t pc = 0; pc < pcaDims; ++pc) {
+        double s = 0.0;
+        const double *basis = pcaBasis.data() + pc * columns.size();
+        for (size_t j = 0; j < columns.size(); ++j)
+            s += (z[j] - pcaMean[j]) * basis[j];
+        out[pc] = s;
+    }
+    return out;
+}
+
+FingerprintSet
+buildFingerprints(const Matrix &raw, const FingerprintOptions &opt)
+{
+    FingerprintSet fps;
+    fps.sourceCols = raw.cols();
+    fps.columns = opt.columns;
+    if (fps.columns.empty()) {
+        fps.columns.resize(raw.cols());
+        for (size_t c = 0; c < raw.cols(); ++c)
+            fps.columns[c] = c;
+    }
+    for (size_t c : fps.columns) {
+        if (c >= raw.cols())
+            throw std::invalid_argument(
+                "buildFingerprints: column index out of range");
+    }
+
+    // Freeze the normalization parameters over the selected columns.
+    const size_t nc = fps.columns.size();
+    fps.colMean.resize(nc);
+    fps.colStddev.resize(nc);
+    for (size_t j = 0; j < nc; ++j) {
+        const auto col = raw.colVec(fps.columns[j]);
+        fps.colMean[j] = mean(col);
+        fps.colStddev[j] = stddev(col);
+    }
+
+    // Fit the optional PCA basis on the z-scored data, then freeze it.
+    fps.pcaDims = std::min(opt.pcaDims, nc);
+    if (fps.pcaDims > 0) {
+        Matrix norm(raw.rows(), nc);
+        for (size_t r = 0; r < raw.rows(); ++r) {
+            for (size_t j = 0; j < nc; ++j) {
+                const double x = raw.at(r, fps.columns[j]);
+                norm.at(r, j) = fps.colStddev[j] > 0.0
+                    ? (x - fps.colMean[j]) / fps.colStddev[j] : 0.0;
+            }
+        }
+        const PcaResult pca = pcaFit(norm);
+        fps.pcaDims = std::min(fps.pcaDims, pca.components.rows());
+        fps.pcaMean = pca.colMeans;
+        fps.pcaBasis.resize(fps.pcaDims * nc);
+        for (size_t pc = 0; pc < fps.pcaDims; ++pc)
+            for (size_t j = 0; j < nc; ++j)
+                fps.pcaBasis[pc * nc + j] = pca.components.at(pc, j);
+    }
+
+    fps.dim = fps.pcaDims > 0 ? fps.pcaDims : nc;
+    fps.names.reserve(raw.rows());
+    fps.data.reserve(raw.rows() * fps.dim);
+    for (size_t r = 0; r < raw.rows(); ++r) {
+        fps.names.push_back(r < raw.rowNames.size()
+                                ? raw.rowNames[r]
+                                : "row" + std::to_string(r));
+        // Every stored vector goes through embed(), the same path
+        // later external queries take.
+        const auto v = fps.embed(raw.rowVec(r));
+        fps.data.insert(fps.data.end(), v.begin(), v.end());
+    }
+    return fps;
+}
+
+} // namespace mica::index

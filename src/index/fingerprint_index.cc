@@ -1,0 +1,161 @@
+#include "index/fingerprint_index.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pipeline/thread_pool.hh"
+
+namespace mica::index
+{
+
+namespace
+{
+
+/** FNV-1a over the name bytes, then avalanched for the flat map. */
+uint64_t
+nameHash(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return util::hashMix(h);
+}
+
+} // namespace
+
+FingerprintIndex
+FingerprintIndex::build(const Matrix &raw, const FingerprintOptions &opt)
+{
+    FingerprintIndex idx;
+    idx.fps_ = buildFingerprints(raw, opt);
+    idx.tree_ = VpTree::build(idx.fps_.data.data(), idx.fps_.size(),
+                              idx.fps_.dim);
+    idx.buildNameMap();
+    return idx;
+}
+
+FingerprintIndex
+FingerprintIndex::fromParts(FingerprintSet fps, VpTree tree)
+{
+    if (tree.size() != fps.size() || tree.dim() != fps.dim)
+        throw std::invalid_argument(
+            "FingerprintIndex: tree does not match fingerprint set");
+    FingerprintIndex idx;
+    idx.fps_ = std::move(fps);
+    idx.tree_ = std::move(tree);
+    idx.buildNameMap();
+    return idx;
+}
+
+void
+FingerprintIndex::buildNameMap()
+{
+    nameMap_.clear();
+    collision_ = false;
+    nameMap_.reserve(fps_.size());
+    for (size_t i = 0; i < fps_.size(); ++i) {
+        auto [slot, inserted] = nameMap_.tryEmplace(
+            nameHash(fps_.names[i]), static_cast<uint32_t>(i));
+        if (!inserted && fps_.names[*slot] != fps_.names[i])
+            collision_ = true;
+    }
+}
+
+int64_t
+FingerprintIndex::idOf(const std::string &name) const
+{
+    if (collision_) {
+        for (size_t i = 0; i < fps_.size(); ++i) {
+            if (fps_.names[i] == name)
+                return static_cast<int64_t>(i);
+        }
+        return -1;
+    }
+    const uint32_t *id = nameMap_.find(nameHash(name));
+    if (!id || fps_.names[*id] != name)
+        return -1;
+    return static_cast<int64_t>(*id);
+}
+
+std::vector<Neighbor>
+FingerprintIndex::knn(size_t id, size_t k, bool brute) const
+{
+    const double *q = fps_.vec(id);
+    const uint32_t skip = static_cast<uint32_t>(id);
+    return brute ? bruteKnn(fps_.data.data(), fps_.size(), fps_.dim, q, k,
+                            skip)
+                 : tree_.knn(fps_.data.data(), q, k, skip);
+}
+
+std::vector<Neighbor>
+FingerprintIndex::knnOfRaw(const std::vector<double> &rawRow, size_t k,
+                           bool brute) const
+{
+    const std::vector<double> q = fps_.embed(rawRow);
+    return brute ? bruteKnn(fps_.data.data(), fps_.size(), fps_.dim,
+                            q.data(), k)
+                 : tree_.knn(fps_.data.data(), q.data(), k);
+}
+
+std::vector<Neighbor>
+FingerprintIndex::radius(size_t id, double r, bool brute) const
+{
+    const double *q = fps_.vec(id);
+    const uint32_t skip = static_cast<uint32_t>(id);
+    return brute ? bruteRadius(fps_.data.data(), fps_.size(), fps_.dim, q,
+                               r, skip)
+                 : tree_.radius(fps_.data.data(), q, r, skip);
+}
+
+std::vector<std::vector<Neighbor>>
+FingerprintIndex::batchKnn(size_t k, pipeline::ThreadPool *pool,
+                           bool brute) const
+{
+    const size_t n = fps_.size();
+    std::vector<std::vector<Neighbor>> out(n);
+    const size_t blocks = pool && pool->workerCount() > 1
+        ? std::min(n, pool->workerCount() * 4) : 1;
+    pipeline::parallelBlocks(pool, blocks, [&](size_t b) {
+        const size_t lo = n * b / blocks;
+        const size_t hi = n * (b + 1) / blocks;
+        for (size_t i = lo; i < hi; ++i)
+            out[i] = knn(i, k, brute);
+    });
+    return out;
+}
+
+std::vector<RedundantPair>
+FingerprintIndex::mostRedundant(size_t topN, pipeline::ThreadPool *pool,
+                                bool brute) const
+{
+    const size_t n = fps_.size();
+    if (n < 2 || topN == 0)
+        return {};
+    const size_t k = std::min(topN, n - 1);
+    const auto perRow = batchKnn(k, pool, brute);
+
+    // Serial merge in id order: canonicalize to a < b, drop the
+    // duplicate each pair produces from its other endpoint.
+    util::FlatHashSet<uint64_t> seen;
+    seen.reserve(n * k);
+    std::vector<RedundantPair> pairs;
+    pairs.reserve(n * k / 2);
+    for (size_t i = 0; i < n; ++i) {
+        for (const Neighbor &nb : perRow[i]) {
+            const uint32_t a = std::min<uint32_t>(i, nb.id);
+            const uint32_t b = std::max<uint32_t>(i, nb.id);
+            const uint64_t pairKey =
+                (static_cast<uint64_t>(a) << 32) | b;
+            if (seen.insert(pairKey))
+                pairs.push_back({nb.dist, a, b});
+        }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    if (pairs.size() > topN)
+        pairs.resize(topN);
+    return pairs;
+}
+
+} // namespace mica::index

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * FingerprintIndex: the queryable workload-similarity index.
+ *
+ * Binds a FingerprintSet (the frozen vectors + embedding parameters)
+ * to a VpTree and a flat-hash name→id map, and answers the three
+ * queries the paper's methodology keeps re-deriving from scratch:
+ * nearest neighbors of a workload (is this application already
+ * covered?), everything within a similarity radius (the paper's
+ * 20%-of-max threshold), and the most redundant benchmark pairs in a
+ * population (which tuples waste simulation time).
+ *
+ * Every query has a brute-force reference path and the same
+ * determinism contract as the rest of the repo: tree and brute
+ * results are bit-identical, and batch queries fanned across a
+ * ThreadPool are byte-identical for any worker count (each query
+ * writes its own result slot; no reduction order exists to vary).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/fingerprint.hh"
+#include "index/vp_tree.hh"
+#include "util/flat_hash.hh"
+
+namespace mica::pipeline
+{
+class ThreadPool;
+} // namespace mica::pipeline
+
+namespace mica::index
+{
+
+/** One redundant tuple: two benchmarks and their distance, a < b. */
+struct RedundantPair
+{
+    double dist = 0.0;
+    uint32_t a = 0;
+    uint32_t b = 0;
+
+    bool
+    operator<(const RedundantPair &o) const
+    {
+        if (dist != o.dist)
+            return dist < o.dist;
+        return a != o.a ? a < o.a : b < o.b;
+    }
+
+    bool
+    operator==(const RedundantPair &o) const
+    {
+        return dist == o.dist && a == o.a && b == o.b;
+    }
+};
+
+class FingerprintIndex
+{
+  public:
+    FingerprintIndex() = default;
+
+    /** Fingerprint a raw dataset and index it. */
+    static FingerprintIndex build(const Matrix &raw,
+                                  const FingerprintOptions &opt = {});
+
+    /**
+     * Re-assemble from snapshot parts; the tree is adopted as-is (that
+     * is the point of the snapshot — reopen without rebuilding).
+     * @throw std::invalid_argument when tree and set disagree
+     */
+    static FingerprintIndex fromParts(FingerprintSet fps, VpTree tree);
+
+    size_t size() const { return fps_.size(); }
+
+    size_t dim() const { return fps_.dim; }
+
+    const FingerprintSet &fingerprints() const { return fps_; }
+
+    const VpTree &tree() const { return tree_; }
+
+    /** @return fingerprint id for a benchmark name, or -1. */
+    int64_t idOf(const std::string &name) const;
+
+    /** @return benchmark name for a fingerprint id. */
+    const std::string &nameOf(size_t id) const { return fps_.names[id]; }
+
+    /**
+     * k nearest indexed neighbors of indexed benchmark @p id, self
+     * excluded, ascending (distance, id).
+     * @param brute use the brute-force reference path
+     */
+    std::vector<Neighbor> knn(size_t id, size_t k,
+                              bool brute = false) const;
+
+    /** k nearest neighbors of an external raw row (embedded first). */
+    std::vector<Neighbor> knnOfRaw(const std::vector<double> &rawRow,
+                                   size_t k, bool brute = false) const;
+
+    /** Indexed neighbors of @p id within r (inclusive), self excluded. */
+    std::vector<Neighbor> radius(size_t id, double r,
+                                 bool brute = false) const;
+
+    /**
+     * knn(id, k) for every indexed benchmark, fanned across @p pool
+     * (nullptr = serial). Byte-identical for any worker count.
+     */
+    std::vector<std::vector<Neighbor>>
+    batchKnn(size_t k, pipeline::ThreadPool *pool = nullptr,
+             bool brute = false) const;
+
+    /**
+     * The topN closest (most redundant) pairs in the population,
+     * ascending (distance, a, b). Per-benchmark kNN candidates are
+     * fanned across @p pool, then merged serially in id order — any
+     * globally top-N pair (a, b) has fewer than N pairs below it, so b
+     * is within a's N nearest and the merge sees every winner.
+     */
+    std::vector<RedundantPair>
+    mostRedundant(size_t topN, pipeline::ThreadPool *pool = nullptr,
+                  bool brute = false) const;
+
+  private:
+    void buildNameMap();
+
+    FingerprintSet fps_;
+    VpTree tree_;
+
+    /**
+     * name→id over 64-bit name hashes (flat_hash keys are integral).
+     * A full-hash collision flips collision_ and lookups fall back to
+     * a scan; either way idOf verifies the name before answering.
+     */
+    util::FlatHashMap<uint64_t, uint32_t> nameMap_;
+    bool collision_ = false;
+};
+
+} // namespace mica::index

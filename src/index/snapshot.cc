@@ -1,0 +1,260 @@
+#include "index/snapshot.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace mica::index
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'M', 'I', 'C', 'A', 'I', 'D', 'X', '\n'};
+
+/**
+ * Sanity ceilings so a corrupt header or length field is rejected
+ * before any allocation is attempted. The per-field caps alone are
+ * not enough — count and dim can each be in range while their
+ * product asks for terabytes — so total payload sizes are bounded
+ * too (kMaxTotalDoubles = 1 GiB of doubles).
+ */
+constexpr uint64_t kMaxCount = 1u << 20;
+constexpr uint64_t kMaxDim = 1u << 16;
+constexpr uint64_t kMaxTotalDoubles = 1ull << 27;
+constexpr uint32_t kMaxStringLen = 4096;
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+readPod(std::istream &in, T &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return in.gcount() == sizeof(T);
+}
+
+void
+writeString(std::ostream &out, const std::string &s)
+{
+    writePod(out, static_cast<uint32_t>(s.size()));
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool
+readString(std::istream &in, std::string &s)
+{
+    uint32_t len = 0;
+    if (!readPod(in, len) || len > kMaxStringLen)
+        return false;
+    s.resize(len);
+    in.read(s.data(), len);
+    return in.gcount() == static_cast<std::streamsize>(len);
+}
+
+void
+writeDoubles(std::ostream &out, const std::vector<double> &v)
+{
+    writePod(out, static_cast<uint64_t>(v.size()));
+    out.write(reinterpret_cast<const char *>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+bool
+readDoubles(std::istream &in, std::vector<double> &v, uint64_t maxLen)
+{
+    uint64_t len = 0;
+    if (!readPod(in, len) || len > maxLen)
+        return false;
+    v.resize(len);
+    in.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(len * sizeof(double)));
+    return in.gcount() ==
+        static_cast<std::streamsize>(len * sizeof(double));
+}
+
+bool
+fail(std::string *why, const char *reason)
+{
+    if (why)
+        *why = reason;
+    return false;
+}
+
+} // namespace
+
+bool
+saveIndexSnapshot(const FingerprintIndex &idx, const std::string &path,
+                  const std::string &configKey)
+{
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+
+    const FingerprintSet &fps = idx.fingerprints();
+    out.write(kMagic, sizeof(kMagic));
+    writePod(out, kSnapshotVersion);
+    writePod(out, FingerprintSet::kVersion);
+    writeString(out, configKey);
+
+    writePod(out, static_cast<uint64_t>(fps.size()));
+    writePod(out, static_cast<uint64_t>(fps.dim));
+    writePod(out, static_cast<uint64_t>(fps.sourceCols));
+    writePod(out, static_cast<uint64_t>(fps.pcaDims));
+
+    writePod(out, static_cast<uint64_t>(fps.columns.size()));
+    for (size_t c : fps.columns)
+        writePod(out, static_cast<uint64_t>(c));
+    for (const auto &n : fps.names)
+        writeString(out, n);
+    writeDoubles(out, fps.colMean);
+    writeDoubles(out, fps.colStddev);
+    writeDoubles(out, fps.pcaMean);
+    writeDoubles(out, fps.pcaBasis);
+    writeDoubles(out, fps.data);
+
+    const auto &nodes = idx.tree().nodes();
+    writePod(out, static_cast<uint64_t>(nodes.size()));
+    for (const VpNode &n : nodes) {
+        writePod(out, n.point);
+        writePod(out, n.left);
+        writePod(out, n.right);
+        writePod(out, n.threshold);
+    }
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+bool
+readSnapshotKey(const std::string &path, std::string *key)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return false;
+    uint32_t version = 0, fpVersion = 0;
+    if (!readPod(in, version) || version != kSnapshotVersion ||
+        !readPod(in, fpVersion) || fpVersion != FingerprintSet::kVersion)
+        return false;
+    return readString(in, *key);
+}
+
+bool
+loadIndexSnapshot(const std::string &path, const std::string &configKey,
+                  FingerprintIndex *out, std::string *why)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail(why, "no snapshot file");
+
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return fail(why, "not an index snapshot");
+    uint32_t version = 0, fpVersion = 0;
+    if (!readPod(in, version) || version != kSnapshotVersion ||
+        !readPod(in, fpVersion) || fpVersion != FingerprintSet::kVersion)
+        return fail(why, "snapshot format version mismatch");
+    std::string key;
+    if (!readString(in, key))
+        return fail(why, "truncated snapshot header");
+    if (key != configKey) {
+        if (why)
+            *why = "snapshot key mismatch (built under '" + key +
+                "', expected '" + configKey + "')";
+        return false;
+    }
+
+    uint64_t count = 0, dim = 0, sourceCols = 0, pcaDims = 0, nc = 0;
+    if (!readPod(in, count) || count > kMaxCount || !readPod(in, dim) ||
+        dim > kMaxDim || !readPod(in, sourceCols) ||
+        sourceCols > kMaxDim || !readPod(in, pcaDims) ||
+        !readPod(in, nc) || nc > kMaxDim)
+        return fail(why, "truncated or corrupt snapshot header");
+    // Internal consistency pins every later allocation: pcaDims never
+    // exceeds the column count, the fingerprint dimensionality is
+    // fully determined by (pcaDims, nc), and the payloads are bounded.
+    if (pcaDims > nc || dim != (pcaDims > 0 ? pcaDims : nc) ||
+        count * dim > kMaxTotalDoubles ||
+        pcaDims * nc > kMaxTotalDoubles)
+        return fail(why, "corrupt snapshot header");
+
+    FingerprintSet fps;
+    fps.dim = dim;
+    fps.sourceCols = sourceCols;
+    fps.pcaDims = pcaDims;
+    fps.columns.resize(nc);
+    for (auto &c : fps.columns) {
+        uint64_t v = 0;
+        if (!readPod(in, v) || v >= sourceCols)
+            return fail(why, "corrupt column table");
+        c = static_cast<size_t>(v);
+    }
+    fps.names.resize(count);
+    for (auto &n : fps.names) {
+        if (!readString(in, n))
+            return fail(why, "truncated name table");
+    }
+    // Length caps are the *expected* sizes given the already-validated
+    // header counts, so a corrupt length field is rejected before any
+    // resize rather than attempting a huge allocation.
+    if (!readDoubles(in, fps.colMean, nc) ||
+        !readDoubles(in, fps.colStddev, nc) ||
+        !readDoubles(in, fps.pcaMean, nc) ||
+        !readDoubles(in, fps.pcaBasis, pcaDims * nc) ||
+        !readDoubles(in, fps.data, count * dim))
+        return fail(why, "truncated snapshot payload");
+    if (fps.colMean.size() != nc || fps.colStddev.size() != nc ||
+        fps.pcaMean.size() != (pcaDims > 0 ? nc : 0) ||
+        fps.pcaBasis.size() != pcaDims * nc ||
+        fps.data.size() != count * dim)
+        return fail(why, "snapshot payload shape mismatch");
+
+    uint64_t nodeCount = 0;
+    if (!readPod(in, nodeCount) || nodeCount != count)
+        return fail(why, "corrupt tree node count");
+    std::vector<VpNode> nodes(nodeCount);
+    std::vector<uint8_t> refs(nodeCount, 0);
+    for (auto &n : nodes) {
+        if (!readPod(in, n.point) || !readPod(in, n.left) ||
+            !readPod(in, n.right) || !readPod(in, n.threshold))
+            return fail(why, "truncated tree nodes");
+        if (n.point >= count ||
+            (n.left != VpNode::kNil && n.left >= nodeCount) ||
+            (n.right != VpNode::kNil && n.right >= nodeCount))
+            return fail(why, "corrupt tree node");
+        if (n.left != VpNode::kNil && refs[n.left] < 255)
+            ++refs[n.left];
+        if (n.right != VpNode::kNil && refs[n.right] < 255)
+            ++refs[n.right];
+    }
+    // Structural sanity: a tree references every non-root node exactly
+    // once and the root never. Anything else (self-links, shared
+    // subtrees, cycles) would make queries visit nodes twice or
+    // recurse forever instead of hitting the reject-and-rebuild path.
+    for (uint64_t i = 0; i < nodeCount; ++i) {
+        if (refs[i] != (i == 0 ? 0 : 1))
+            return fail(why, "corrupt tree structure");
+    }
+
+    *out = FingerprintIndex::fromParts(
+        std::move(fps), VpTree(std::move(nodes), dim));
+    return true;
+}
+
+} // namespace mica::index

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Versioned binary snapshot of a FingerprintIndex.
+ *
+ * Follows the ProfileStore's durability rules: the header carries a
+ * format version and the caller's canonical configuration key
+ * (collection config + fingerprint space), compared *exactly* on
+ * load — a snapshot built under a different budget, suite filter,
+ * characteristic subset, or PCA setting is rejected wholesale rather
+ * than answering queries in a stale space. The payload is a flat,
+ * offset-free dump (names, frozen normalization parameters, vectors,
+ * VP-tree node array), so a reopen is a sequential read plus a
+ * name-map rebuild — no re-profiling, no re-normalization, no tree
+ * construction — and queries against the reloaded index are
+ * byte-identical to queries against the freshly built one.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "index/fingerprint_index.hh"
+
+namespace mica::index
+{
+
+/** Bump when the snapshot layout or fingerprint semantics change. */
+constexpr uint32_t kSnapshotVersion = 1;
+
+/** Conventional snapshot file name inside a cache directory. */
+inline std::string
+snapshotPath(const std::string &dir)
+{
+    return dir + "/index.bin";
+}
+
+/**
+ * Write the index to @p path (parent directories are created),
+ * stamped with @p configKey.
+ * @return false on I/O failure
+ */
+bool saveIndexSnapshot(const FingerprintIndex &idx,
+                       const std::string &path,
+                       const std::string &configKey);
+
+/**
+ * Read only the config key a snapshot was recorded under (header must
+ * be a valid current-version snapshot).
+ * @return false when the file is missing, foreign, or truncated
+ */
+bool readSnapshotKey(const std::string &path, std::string *key);
+
+/**
+ * Load a snapshot recorded under exactly @p configKey.
+ * @param why on failure, a one-line reason (missing file, version or
+ *        key mismatch, truncation/corruption)
+ * @return the reloaded index, or no value
+ */
+bool loadIndexSnapshot(const std::string &path,
+                       const std::string &configKey,
+                       FingerprintIndex *out, std::string *why = nullptr);
+
+} // namespace mica::index

@@ -1,0 +1,226 @@
+#include "index/vp_tree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace mica::index
+{
+
+double
+l2Dist(const double *a, const double *b, size_t dim)
+{
+    double s = 0.0;
+    for (size_t c = 0; c < dim; ++c) {
+        const double d = a[c] - b[c];
+        s += d * d;
+    }
+    return std::sqrt(s);
+}
+
+namespace
+{
+
+/** (distance to current vantage, id) — the partition sort key. */
+struct DistId
+{
+    double dist;
+    uint32_t id;
+
+    bool
+    operator<(const DistId &o) const
+    {
+        return dist != o.dist ? dist < o.dist : id < o.id;
+    }
+};
+
+struct Builder
+{
+    const double *data;
+    size_t dim;
+    std::vector<VpNode> nodes;
+    std::vector<DistId> ids;    ///< one scratch array, partitioned in place
+
+    /**
+     * Build the partition ids[lo..hi): ids[lo] becomes the vantage,
+     * the rest are sorted by (distance, id) in place and split at the
+     * positional median, so the tree shape is a pure function of the
+     * input vectors and no per-level copies are made.
+     */
+    uint32_t
+    buildRange(size_t lo, size_t hi)
+    {
+        const uint32_t self = static_cast<uint32_t>(nodes.size());
+        nodes.push_back(VpNode{});
+        nodes[self].point = ids[lo].id;
+        if (hi - lo == 1)
+            return self;
+
+        const double *vantage = data + ids[lo].id * dim;
+        for (size_t i = lo + 1; i < hi; ++i)
+            ids[i].dist = l2Dist(vantage, data + ids[i].id * dim, dim);
+        std::sort(ids.begin() + static_cast<ptrdiff_t>(lo) + 1,
+                  ids.begin() + static_cast<ptrdiff_t>(hi));
+
+        const size_t m = lo + 1 + (hi - lo - 1) / 2;
+        nodes[self].threshold = ids[m].dist;
+        if (m > lo + 1)
+            nodes[self].left = buildRange(lo + 1, m);
+        nodes[self].right = buildRange(m, hi);
+        return self;
+    }
+};
+
+} // namespace
+
+VpTree
+VpTree::build(const double *data, size_t count, size_t dim)
+{
+    VpTree t;
+    t.dim_ = dim;
+    if (count == 0)
+        return t;
+    Builder b{data, dim, {}, {}};
+    b.nodes.reserve(count);
+    b.ids.resize(count);
+    for (size_t i = 0; i < count; ++i)
+        b.ids[i] = {0.0, static_cast<uint32_t>(i)};
+    b.buildRange(0, count);
+    t.nodes_ = std::move(b.nodes);
+    return t;
+}
+
+struct VpTree::KnnState
+{
+    size_t k;
+    uint32_t skip;
+    // Max-heap ordered by (dist, id): top is the current worst keeper.
+    std::priority_queue<Neighbor> heap;
+
+    double
+    tau() const
+    {
+        return heap.size() < k ? std::numeric_limits<double>::infinity()
+                               : heap.top().dist;
+    }
+
+    void
+    offer(const Neighbor &n)
+    {
+        if (n.id == skip)
+            return;
+        if (heap.size() < k) {
+            heap.push(n);
+        } else if (n < heap.top()) {
+            heap.pop();
+            heap.push(n);
+        }
+    }
+};
+
+void
+VpTree::knnVisit(const double *data, const double *q, uint32_t node,
+                 KnnState &st) const
+{
+    const VpNode &n = nodes_[node];
+    const double d = l2Dist(q, data + n.point * dim_, dim_);
+    st.offer({d, n.point});
+    if (n.left == VpNode::kNil && n.right == VpNode::kNil)
+        return;
+
+    // Visit the side the query falls in first (shrinks tau sooner),
+    // then the far side unless no point there can *tie or beat* the
+    // current cutoff: left holds dist-to-vantage <= threshold, so its
+    // points are >= d - threshold from q; right holds >= threshold,
+    // so its points are >= threshold - d. Inclusive comparisons keep
+    // equal-distance candidates alive for the id tie-break.
+    const uint32_t near = d < n.threshold ? n.left : n.right;
+    const uint32_t far = d < n.threshold ? n.right : n.left;
+    if (near != VpNode::kNil)
+        knnVisit(data, q, near, st);
+    const double gap =
+        d < n.threshold ? n.threshold - d : d - n.threshold;
+    if (far != VpNode::kNil && gap <= st.tau())
+        knnVisit(data, q, far, st);
+}
+
+std::vector<Neighbor>
+VpTree::knn(const double *data, const double *q, size_t k,
+            uint32_t skip) const
+{
+    std::vector<Neighbor> out;
+    if (nodes_.empty() || k == 0)
+        return out;
+    KnnState st{k, skip, {}};
+    knnVisit(data, q, 0, st);
+    out.resize(st.heap.size());
+    for (size_t i = st.heap.size(); i-- > 0;) {
+        out[i] = st.heap.top();
+        st.heap.pop();
+    }
+    return out;
+}
+
+void
+VpTree::radiusVisit(const double *data, const double *q, uint32_t node,
+                    double r, uint32_t skip,
+                    std::vector<Neighbor> &out) const
+{
+    const VpNode &n = nodes_[node];
+    const double d = l2Dist(q, data + n.point * dim_, dim_);
+    if (d <= r && n.point != skip)
+        out.push_back({d, n.point});
+    if (n.left != VpNode::kNil && d - n.threshold <= r)
+        radiusVisit(data, q, n.left, r, skip, out);
+    if (n.right != VpNode::kNil && n.threshold - d <= r)
+        radiusVisit(data, q, n.right, r, skip, out);
+}
+
+std::vector<Neighbor>
+VpTree::radius(const double *data, const double *q, double r,
+               uint32_t skip) const
+{
+    std::vector<Neighbor> out;
+    if (nodes_.empty())
+        return out;
+    radiusVisit(data, q, 0, r, skip, out);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Neighbor>
+bruteKnn(const double *data, size_t count, size_t dim, const double *q,
+         size_t k, uint32_t skip)
+{
+    std::vector<Neighbor> all;
+    all.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        if (i == skip)
+            continue;
+        all.push_back(
+            {l2Dist(q, data + i * dim, dim), static_cast<uint32_t>(i)});
+    }
+    std::sort(all.begin(), all.end());
+    if (all.size() > k)
+        all.resize(k);
+    return all;
+}
+
+std::vector<Neighbor>
+bruteRadius(const double *data, size_t count, size_t dim, const double *q,
+            double r, uint32_t skip)
+{
+    std::vector<Neighbor> out;
+    for (size_t i = 0; i < count; ++i) {
+        if (i == skip)
+            continue;
+        const double d = l2Dist(q, data + i * dim, dim);
+        if (d <= r)
+            out.push_back({d, static_cast<uint32_t>(i)});
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace mica::index

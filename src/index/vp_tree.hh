@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Exact vantage-point tree over fingerprint vectors.
+ *
+ * The index must answer kNN and radius queries with *exactly* the
+ * answer a brute-force scan gives — same neighbors, same distance
+ * bits, same order — because the repo's determinism contract is
+ * byte-identical reports for any execution strategy. Three choices
+ * make that hold:
+ *
+ *  - results are totally ordered by (distance, id), so ties on
+ *    distance (duplicated benchmarks exist!) have one canonical order;
+ *  - every query evaluates the same l2Dist() expression per visited
+ *    pair the brute path evaluates, so a distance value has one bit
+ *    pattern no matter which path produced it;
+ *  - pruning bounds are inclusive (a subtree is visited when it could
+ *    hold a point at distance *equal* to the current cutoff), so an
+ *    id tie-break winner at the cutoff distance is never discarded.
+ *
+ * Construction is deterministic: the vantage point of a partition is
+ * its first id in build order, the rest are sorted by (distance to
+ * vantage, id) and split at the positional median, giving a balanced
+ * tree independent of input quirks. Nodes live in one flat array
+ * (children by index), which serializes verbatim into the snapshot.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mica::index
+{
+
+/** One query result: distance to the query plus the fingerprint id. */
+struct Neighbor
+{
+    double dist = 0.0;
+    uint32_t id = 0;
+
+    /** Canonical result order: by distance, ties by id. */
+    bool
+    operator<(const Neighbor &o) const
+    {
+        return dist != o.dist ? dist < o.dist : id < o.id;
+    }
+
+    bool
+    operator==(const Neighbor &o) const
+    {
+        return dist == o.dist && id == o.id;
+    }
+};
+
+/** Euclidean distance between two dim-wide vectors. */
+double l2Dist(const double *a, const double *b, size_t dim);
+
+/** Sentinel id meaning "exclude nothing" in queries. */
+constexpr uint32_t kNoSkip = 0xffffffffu;
+
+/** Vantage-point tree node, flat-array layout. */
+struct VpNode
+{
+    /** Child sentinel: no subtree on that side. */
+    static constexpr uint32_t kNil = 0xffffffffu;
+
+    uint32_t point = 0;             ///< fingerprint id of the vantage
+    uint32_t left = kNil;           ///< node index, dist <= threshold side
+    uint32_t right = kNil;          ///< node index, dist >= threshold side
+    double threshold = 0.0;         ///< median distance to the vantage
+};
+
+/**
+ * The tree itself holds only structure (nodes + dimensionality); the
+ * fingerprint vectors stay in their owning FingerprintSet and are
+ * passed to every query. Queries against data the tree was not built
+ * over are undefined.
+ */
+class VpTree
+{
+  public:
+    VpTree() = default;
+
+    /** Adopt nodes deserialized from a snapshot. */
+    VpTree(std::vector<VpNode> nodes, size_t dim)
+        : nodes_(std::move(nodes)), dim_(dim)
+    {}
+
+    /** Build over count dim-wide vectors stored flat at data. */
+    static VpTree build(const double *data, size_t count, size_t dim);
+
+    /**
+     * Exact k nearest neighbors of q, ascending (distance, id) order.
+     * @param skip fingerprint id to exclude (kNoSkip = none) — queries
+     *        by an indexed benchmark exclude the benchmark itself
+     */
+    std::vector<Neighbor> knn(const double *data, const double *q,
+                              size_t k, uint32_t skip = kNoSkip) const;
+
+    /** All neighbors with dist <= r (inclusive), same order. */
+    std::vector<Neighbor> radius(const double *data, const double *q,
+                                 double r, uint32_t skip = kNoSkip) const;
+
+    /** @return number of indexed points. */
+    size_t size() const { return nodes_.size(); }
+
+    size_t dim() const { return dim_; }
+
+    /** @return flat node array (root at index 0; for the snapshot). */
+    const std::vector<VpNode> &nodes() const { return nodes_; }
+
+  private:
+    struct KnnState;
+
+    void knnVisit(const double *data, const double *q, uint32_t node,
+                  KnnState &st) const;
+    void radiusVisit(const double *data, const double *q, uint32_t node,
+                     double r, uint32_t skip,
+                     std::vector<Neighbor> &out) const;
+
+    std::vector<VpNode> nodes_;
+    size_t dim_ = 0;
+};
+
+/**
+ * Brute-force reference paths: scan every point, sort by
+ * (distance, id). The tree is checked against these for bit equality
+ * (tests, CLI --brute, CI cmp).
+ */
+std::vector<Neighbor> bruteKnn(const double *data, size_t count,
+                               size_t dim, const double *q, size_t k,
+                               uint32_t skip = kNoSkip);
+std::vector<Neighbor> bruteRadius(const double *data, size_t count,
+                                  size_t dim, const double *q, double r,
+                                  uint32_t skip = kNoSkip);
+
+} // namespace mica::index

@@ -1,5 +1,6 @@
 #include "methodology/kiviat.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -26,9 +27,24 @@ buildKiviats(const Matrix &data)
     return stars;
 }
 
+namespace
+{
+
+/** Clamp one axis value to [0, 1]; non-finite plots at the center. */
+double
+clampAxis(double v)
+{
+    if (!std::isfinite(v))
+        return 0.0;
+    return std::min(1.0, std::max(0.0, v));
+}
+
+} // namespace
+
 std::string
 renderKiviat(const KiviatStar &star, int radius)
 {
+    radius = std::max(radius, 1);   // radius <= 0 would make an empty grid
     const int h = 2 * radius + 1;
     const int w = 4 * radius + 1;     // x stretched 2:1 for aspect ratio
     std::vector<std::string> grid(h, std::string(w, ' '));
@@ -51,7 +67,7 @@ renderKiviat(const KiviatStar &star, int radius)
             plot(cx + 2.0 * dx * t, cy + dy * t, '.');
         }
         // Value marker plus axis digit at the rim.
-        const double v = std::min(1.0, std::max(0.0, star.values[a]));
+        const double v = clampAxis(star.values[a]);
         plot(cx + 2.0 * dx * v * radius, cy + dy * v * radius, 'o');
         plot(cx + 2.0 * dx * (radius + 0.49), cy + dy * (radius + 0.49),
              static_cast<char>('1' + static_cast<int>(a % 9)));
@@ -76,7 +92,7 @@ renderKiviatBars(const KiviatStar &star, int width)
 {
     std::ostringstream out;
     for (size_t a = 0; a < star.values.size(); ++a) {
-        const double v = std::min(1.0, std::max(0.0, star.values[a]));
+        const double v = clampAxis(star.values[a]);
         const int fill = static_cast<int>(std::lround(v * width));
         out << '[';
         for (int i = 0; i < width; ++i)

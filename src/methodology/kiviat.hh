@@ -28,16 +28,21 @@ struct KiviatStar
 
 /**
  * Build kiviat stars for every row of a dataset. Values are min-max
- * normalized per column.
+ * normalized per column; degenerate datasets stay well-defined (an
+ * empty matrix yields no stars, constant columns and non-finite
+ * values sit at the 0.5 midpoint — see minmaxNormalize).
  */
 std::vector<KiviatStar> buildKiviats(const Matrix &data);
 
 /**
  * Render one star as monospace ASCII art: spokes at equal angles, the
  * value marked on each spoke, axis labels in a legend below.
+ * Non-finite values plot at the center; a star with no axes renders
+ * as just the center glyph and its name.
  *
  * @param star   the star to render
- * @param radius plot radius in character cells (rows; columns are 2x)
+ * @param radius plot radius in character cells (rows; columns are 2x),
+ *               clamped to at least 1
  */
 std::string renderKiviat(const KiviatStar &star, int radius = 8);
 

@@ -60,15 +60,24 @@ zscoreNormalize(Matrix &m)
 void
 minmaxNormalize(Matrix &m)
 {
+    if (m.rows() == 0)
+        return;     // the lo/hi scan below would read row 0
     for (size_t c = 0; c < m.cols(); ++c) {
         double lo = m.at(0, c), hi = m.at(0, c);
         for (size_t r = 1; r < m.rows(); ++r) {
             lo = std::min(lo, m.at(r, c));
             hi = std::max(hi, m.at(r, c));
         }
+        // Constant columns (span 0) and columns whose span is not a
+        // finite number (a NaN/inf value, or inf - -inf) both map to
+        // the midpoint — dividing would fill the axis with NaNs.
         const double span = hi - lo;
-        for (size_t r = 0; r < m.rows(); ++r)
-            m.at(r, c) = span > 0.0 ? (m.at(r, c) - lo) / span : 0.5;
+        const bool degenerate = !(span > 0.0) || !std::isfinite(span);
+        for (size_t r = 0; r < m.rows(); ++r) {
+            const double x = m.at(r, c);
+            m.at(r, c) = degenerate || !std::isfinite(x)
+                ? 0.5 : (x - lo) / span;
+        }
     }
 }
 

@@ -40,7 +40,9 @@ void zscoreNormalize(Matrix &m);
 
 /**
  * Min-max normalize every column of m in place to [0, 1]; used for the
- * kiviat plot axes (Fig. 6). Constant columns map to 0.5.
+ * kiviat plot axes (Fig. 6). Degenerate inputs stay well-defined
+ * instead of producing NaN axes: constant columns, non-finite values,
+ * and non-finite spans map to 0.5, and an empty matrix is a no-op.
  */
 void minmaxNormalize(Matrix &m);
 

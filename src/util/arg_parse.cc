@@ -1,0 +1,123 @@
+#include "util/arg_parse.hh"
+
+#include <cstdlib>
+
+namespace mica::util
+{
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    for (const auto &f : flags) {
+        if (f.first == name)
+            return true;
+    }
+    return false;
+}
+
+std::string
+CliArgs::value(const std::string &name, const std::string &fallback) const
+{
+    // Last wins, like every conventional CLI: a wrapper script can
+    // append an override after a base command's flags.
+    for (auto it = flags.rbegin(); it != flags.rend(); ++it) {
+        if (it->first == name)
+            return it->second;
+    }
+    return fallback;
+}
+
+namespace
+{
+
+/** @return whether s is a plain decimal number. */
+bool
+isDecimal(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+long long
+CliArgs::intValue(const std::string &name, long long fallback) const
+{
+    const std::string v = value(name);
+    return isDecimal(v) ? std::strtoll(v.c_str(), nullptr, 10) : fallback;
+}
+
+bool
+CliArgs::intOk(const std::string &name) const
+{
+    return !has(name) || isDecimal(value(name));
+}
+
+CliArgs
+parseCliArgs(int argc, char **argv, const std::vector<std::string> &known)
+{
+    CliArgs out;
+    auto accepted = [&] {
+        std::string list;
+        if (known.empty())
+            return list;
+        list = " (accepted:";
+        for (const auto &k : known) {
+            list += " --" +
+                (k.back() == '=' ? k.substr(0, k.size() - 1) : k);
+        }
+        list += ")";
+        return list;
+    };
+    auto reject = [&](const std::string &flag) {
+        out.error = "unknown flag '" + flag + "'" + accepted();
+        return out;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.size() < 2 || arg[0] != '-') {
+            out.positionals.push_back(arg);
+            continue;
+        }
+        if (arg[1] != '-')
+            return reject(arg);
+        const size_t eq = arg.find('=');
+        const bool hasValue = eq != std::string::npos;
+        const std::string name =
+            arg.substr(2, hasValue ? eq - 2 : std::string::npos);
+        bool found = false, takesValue = false;
+        for (const auto &k : known) {
+            if (k == name || (k.back() == '=' &&
+                              k.compare(0, k.size() - 1, name) == 0 &&
+                              k.size() - 1 == name.size())) {
+                found = true;
+                takesValue = k.back() == '=';
+                break;
+            }
+        }
+        if (!found)
+            return reject(hasValue ? arg.substr(0, eq) : arg);
+        if (hasValue && !takesValue) {
+            out.error = "flag '--" + name + "' takes no value (got '" +
+                arg.substr(eq + 1) + "')";
+            return out;
+        }
+        if (!hasValue && takesValue) {
+            // "--cache /tmp/x" (space instead of '=') would silently
+            // drop the value into the positionals and run uncached.
+            out.error = "flag '--" + name + "' needs a value (--" +
+                name + "=...)";
+            return out;
+        }
+        out.flags.emplace_back(name, hasValue ? arg.substr(eq + 1) : "");
+    }
+    return out;
+}
+
+} // namespace mica::util

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the strict CLI flag parser the mica front end validates
+ * argv with: known flags parse into (name, value) pairs, anything
+ * unknown is rejected with an error that names the flag.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/arg_parse.hh"
+
+namespace mica::util
+{
+namespace
+{
+
+/** Build a mutable argv from string literals. */
+struct Argv
+{
+    std::vector<std::string> store;
+    std::vector<char *> ptrs;
+
+    explicit Argv(std::initializer_list<const char *> args)
+    {
+        store.assign(args.begin(), args.end());
+        for (auto &s : store)
+            ptrs.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs.size()); }
+
+    char **argv() { return ptrs.data(); }
+};
+
+// Trailing '=' marks value-taking flags; "quick" is bare.
+const std::vector<std::string> kKnown = {"budget=", "cache=", "jobs=",
+                                         "quick"};
+
+TEST(ArgParseTest, SplitsPositionalsAndFlags)
+{
+    Argv a({"mica", "profile", "all", "--budget=5000", "--quick",
+            "--cache=/tmp/store"});
+    const CliArgs r = parseCliArgs(a.argc(), a.argv(), kKnown);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.positionals,
+              (std::vector<std::string>{"profile", "all"}));
+    EXPECT_EQ(r.value("budget"), "5000");
+    EXPECT_EQ(r.value("cache"), "/tmp/store");
+    EXPECT_TRUE(r.has("quick"));
+    EXPECT_EQ(r.value("quick"), "");
+    EXPECT_FALSE(r.has("jobs"));
+    EXPECT_EQ(r.value("jobs", "fallback"), "fallback");
+}
+
+TEST(ArgParseTest, RejectsUnknownFlagNamingIt)
+{
+    Argv a({"mica", "cluster", "--mask=40"});
+    const CliArgs r = parseCliArgs(a.argc(), a.argv(), kKnown);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("--mask"), std::string::npos);
+    EXPECT_NE(r.error.find("--budget"), std::string::npos);    // accepted list
+    // The value is not part of the reported name.
+    EXPECT_EQ(r.error.find("=40"), std::string::npos);
+}
+
+TEST(ArgParseTest, RejectsSingleDashOptions)
+{
+    Argv a({"mica", "list", "-j4"});
+    const CliArgs r = parseCliArgs(a.argc(), a.argv(), kKnown);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("-j4"), std::string::npos);
+}
+
+TEST(ArgParseTest, FlagPrefixOfAKnownFlagIsStillUnknown)
+{
+    Argv a({"mica", "profile", "--budge=1"});
+    EXPECT_FALSE(parseCliArgs(a.argc(), a.argv(), kKnown).ok());
+    Argv b({"mica", "profile", "--budgets=1"});
+    EXPECT_FALSE(parseCliArgs(b.argc(), b.argv(), kKnown).ok());
+}
+
+TEST(ArgParseTest, IntValueParsesStrictDecimals)
+{
+    Argv a({"mica", "x", "--budget=123", "--cache=12abc", "--jobs=-4"});
+    const CliArgs r = parseCliArgs(a.argc(), a.argv(), kKnown);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.intValue("budget", 7), 123);
+    EXPECT_EQ(r.intValue("cache", 7), 7);    // trailing garbage
+    EXPECT_EQ(r.intValue("jobs", 7), 7);     // negative
+    EXPECT_EQ(r.intValue("absent", 9), 9);
+    // intOk distinguishes "absent" (fine) from "present but garbage"
+    // (callers reject instead of silently using the fallback).
+    EXPECT_TRUE(r.intOk("budget"));
+    EXPECT_TRUE(r.intOk("absent"));
+    EXPECT_FALSE(r.intOk("cache"));
+    EXPECT_FALSE(r.intOk("jobs"));
+}
+
+TEST(ArgParseTest, BareFlagRejectsAValue)
+{
+    // "--quick=50000" must not silently mean quick mode off (nor
+    // "--brute=false" mean brute mode on).
+    Argv a({"mica", "profile", "all", "--quick=50000"});
+    const CliArgs r = parseCliArgs(a.argc(), a.argv(), kKnown);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("--quick"), std::string::npos);
+    EXPECT_NE(r.error.find("takes no value"), std::string::npos);
+}
+
+TEST(ArgParseTest, ValueFlagRejectsBareForm)
+{
+    // "--cache /tmp/x" (space instead of '=') must not silently run
+    // uncached with "/tmp/x" as a stray positional.
+    Argv a({"mica", "cluster", "--cache", "/tmp/x"});
+    const CliArgs r = parseCliArgs(a.argc(), a.argv(), kKnown);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("--cache"), std::string::npos);
+    EXPECT_NE(r.error.find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParseTest, RepeatedFlagLastWins)
+{
+    Argv a({"mica", "x", "--budget=5", "--budget=9"});
+    const CliArgs r = parseCliArgs(a.argc(), a.argv(), kKnown);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value("budget"), "9");
+    EXPECT_EQ(r.intValue("budget", 0), 9);
+}
+
+TEST(ArgParseTest, LoneDashAndEmptyValueEdgeCases)
+{
+    Argv a({"mica", "x", "-", "--cache="});
+    const CliArgs r = parseCliArgs(a.argc(), a.argv(), kKnown);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.positionals, (std::vector<std::string>{"x", "-"}));
+    EXPECT_TRUE(r.has("cache"));
+    EXPECT_EQ(r.value("cache"), "");
+}
+
+} // namespace
+} // namespace mica::util

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Tests for the workload-fingerprint similarity index: fingerprint
+ * canonicalization, VP-tree vs brute-force bit equality (the property
+ * the whole subsystem rests on), pooled batch-query determinism, the
+ * most-redundant-pair engine, and snapshot durability.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/fingerprint.hh"
+#include "index/fingerprint_index.hh"
+#include "index/snapshot.hh"
+#include "index/vp_tree.hh"
+#include "methodology/workload_space.hh"
+#include "pipeline/thread_pool.hh"
+#include "stats/rng.hh"
+
+namespace mica::index
+{
+namespace
+{
+
+Matrix
+randomDataset(size_t rows, size_t cols, uint64_t seed)
+{
+    Matrix m;
+    Rng rng(seed);
+    for (size_t r = 0; r < rows; ++r) {
+        std::vector<double> v(cols);
+        for (auto &x : v)
+            x = rng.gauss();
+        m.appendRow(v);
+        m.rowNames.push_back("bench" + std::to_string(r));
+    }
+    return m;
+}
+
+/** Self-cleaning temp directory for snapshot tests. */
+struct SnapDir
+{
+    std::string dir;
+
+    SnapDir()
+    {
+        char tmpl[] = "/tmp/mica_test_index_XXXXXX";
+        const char *made = mkdtemp(tmpl);
+        dir = made ? made : "/tmp/mica_test_index_fallback";
+    }
+
+    ~SnapDir() { std::filesystem::remove_all(dir); }
+
+    std::string path() const { return snapshotPath(dir); }
+};
+
+// ----------------------------------------------------------------------
+// Fingerprint canonicalization.
+// ----------------------------------------------------------------------
+
+TEST(FingerprintTest, MatchesWorkloadSpaceNormalizationBitwise)
+{
+    const Matrix raw = randomDataset(20, 5, 3);
+    const FingerprintSet fps = buildFingerprints(raw);
+    const WorkloadSpace space{raw};
+    ASSERT_EQ(fps.size(), 20u);
+    ASSERT_EQ(fps.dim, 5u);
+    for (size_t r = 0; r < 20; ++r)
+        for (size_t c = 0; c < 5; ++c)
+            EXPECT_EQ(fps.vec(r)[c], space.normalized().at(r, c))
+                << "row " << r << " col " << c;
+}
+
+TEST(FingerprintTest, EmbedReproducesStoredVectorsBitwise)
+{
+    const Matrix raw = randomDataset(17, 6, 11);
+    for (const size_t pca : {size_t{0}, size_t{3}}) {
+        FingerprintOptions opt;
+        opt.pcaDims = pca;
+        const FingerprintSet fps = buildFingerprints(raw, opt);
+        EXPECT_EQ(fps.dim, pca == 0 ? 6u : 3u);
+        for (size_t r = 0; r < raw.rows(); ++r) {
+            const auto v = fps.embed(raw.rowVec(r));
+            ASSERT_EQ(v.size(), fps.dim);
+            for (size_t c = 0; c < fps.dim; ++c)
+                EXPECT_EQ(v[c], fps.vec(r)[c]);
+        }
+    }
+}
+
+TEST(FingerprintTest, ColumnSubsetRefreezesNormalization)
+{
+    const Matrix raw = randomDataset(12, 8, 7);
+    FingerprintOptions opt;
+    opt.columns = {1, 4, 6};
+    const FingerprintSet fps = buildFingerprints(raw, opt);
+    EXPECT_EQ(fps.dim, 3u);
+    // Same as a fingerprint set over the projected matrix.
+    const FingerprintSet direct =
+        buildFingerprints(raw.selectCols(opt.columns));
+    for (size_t r = 0; r < raw.rows(); ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(fps.vec(r)[c], direct.vec(r)[c]);
+}
+
+TEST(FingerprintTest, ConstantColumnsAndWidthMismatchAreHandled)
+{
+    Matrix raw;
+    raw.appendRow({1.0, 2.0});
+    raw.appendRow({1.0, 4.0});
+    raw.rowNames = {"a", "b"};
+    const FingerprintSet fps = buildFingerprints(raw);
+    EXPECT_EQ(fps.vec(0)[0], 0.0);      // constant column -> zero
+    EXPECT_EQ(fps.vec(1)[0], 0.0);
+    EXPECT_THROW(fps.embed({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------------
+// VP-tree vs brute force: the bit-equality property.
+// ----------------------------------------------------------------------
+
+TEST(VpTreeTest, KnnMatchesBruteAcrossSeedsSizesAndK)
+{
+    for (const uint64_t seed : {1u, 7u, 42u}) {
+        for (const size_t n : {size_t{1}, size_t{2}, size_t{17},
+                               size_t{64}}) {
+            for (const size_t dim : {size_t{1}, size_t{4}}) {
+                const Matrix raw = randomDataset(n, dim, seed);
+                const FingerprintIndex idx = FingerprintIndex::build(raw);
+                for (const size_t k : {size_t{1}, size_t{3}, n + 3}) {
+                    for (size_t q = 0; q < n; ++q) {
+                        const auto tree = idx.knn(q, k);
+                        const auto brute = idx.knn(q, k, true);
+                        ASSERT_EQ(tree.size(), brute.size());
+                        for (size_t i = 0; i < tree.size(); ++i) {
+                            EXPECT_EQ(tree[i].id, brute[i].id);
+                            EXPECT_EQ(tree[i].dist, brute[i].dist);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(VpTreeTest, ExternalQueriesMatchBrute)
+{
+    const Matrix raw = randomDataset(40, 5, 13);
+    const FingerprintIndex idx = FingerprintIndex::build(raw);
+    Rng rng(99);
+    for (int t = 0; t < 20; ++t) {
+        std::vector<double> q(5);
+        for (auto &x : q)
+            x = 3.0 * rng.gauss();
+        const auto tree = idx.knnOfRaw(q, 7);
+        const auto brute = idx.knnOfRaw(q, 7, true);
+        ASSERT_EQ(tree.size(), brute.size());
+        for (size_t i = 0; i < tree.size(); ++i)
+            EXPECT_TRUE(tree[i] == brute[i]);
+    }
+}
+
+TEST(VpTreeTest, DuplicatePointsTieBreakById)
+{
+    // Three identical rows plus distinct ones: distance ties must
+    // resolve by id identically on both paths.
+    Matrix raw;
+    raw.appendRow({1.0, 1.0});
+    raw.appendRow({0.0, 0.0});
+    raw.appendRow({1.0, 1.0});
+    raw.appendRow({1.0, 1.0});
+    raw.appendRow({2.0, 2.0});
+    for (size_t r = 0; r < raw.rows(); ++r)
+        raw.rowNames.push_back("b" + std::to_string(r));
+    const FingerprintIndex idx = FingerprintIndex::build(raw);
+    for (size_t q = 0; q < raw.rows(); ++q) {
+        const auto tree = idx.knn(q, 4);
+        const auto brute = idx.knn(q, 4, true);
+        ASSERT_EQ(tree.size(), brute.size());
+        for (size_t i = 0; i < tree.size(); ++i)
+            EXPECT_TRUE(tree[i] == brute[i]) << "query " << q;
+    }
+}
+
+TEST(VpTreeTest, RadiusMatchesBruteIncludingBoundary)
+{
+    const Matrix raw = randomDataset(30, 4, 5);
+    const FingerprintIndex idx = FingerprintIndex::build(raw);
+    // Use realized distances as radii so the boundary case (dist ==
+    // r) is actually exercised: both paths must include it.
+    for (size_t q = 0; q < 5; ++q) {
+        const auto nbs = idx.knn(q, 10);
+        for (const auto &nb : nbs) {
+            const auto tree = idx.radius(q, nb.dist);
+            const auto brute = idx.radius(q, nb.dist, true);
+            ASSERT_EQ(tree.size(), brute.size());
+            bool boundary = false;
+            for (size_t i = 0; i < tree.size(); ++i) {
+                EXPECT_TRUE(tree[i] == brute[i]);
+                boundary = boundary || tree[i].dist == nb.dist;
+            }
+            EXPECT_TRUE(boundary);
+        }
+    }
+}
+
+TEST(VpTreeTest, DegenerateSizes)
+{
+    const FingerprintIndex empty = FingerprintIndex::build(Matrix{});
+    EXPECT_EQ(empty.size(), 0u);
+    const Matrix one = randomDataset(1, 3, 2);
+    const FingerprintIndex single = FingerprintIndex::build(one);
+    EXPECT_TRUE(single.knn(0, 5).empty());          // only self exists
+    EXPECT_TRUE(single.radius(0, 100.0).empty());
+    EXPECT_TRUE(single.mostRedundant(4).empty());
+}
+
+// ----------------------------------------------------------------------
+// Batch queries: jobs invariance.
+// ----------------------------------------------------------------------
+
+TEST(FingerprintIndexTest, BatchKnnIsJobsInvariant)
+{
+    const Matrix raw = randomDataset(60, 6, 21);
+    const FingerprintIndex idx = FingerprintIndex::build(raw);
+    pipeline::ThreadPool pool(8);
+    const auto serial = idx.batchKnn(5, nullptr);
+    const auto jobs8 = idx.batchKnn(5, &pool);
+    ASSERT_EQ(serial.size(), jobs8.size());
+    for (size_t q = 0; q < serial.size(); ++q) {
+        ASSERT_EQ(serial[q].size(), jobs8[q].size());
+        for (size_t i = 0; i < serial[q].size(); ++i)
+            EXPECT_TRUE(serial[q][i] == jobs8[q][i]);
+    }
+}
+
+TEST(FingerprintIndexTest, MostRedundantMatchesAllPairsScan)
+{
+    const Matrix raw = randomDataset(25, 4, 17);
+    const FingerprintIndex idx = FingerprintIndex::build(raw);
+    pipeline::ThreadPool pool(8);
+    const size_t topN = 8;
+    const auto tree = idx.mostRedundant(topN);
+    const auto brute = idx.mostRedundant(topN, nullptr, true);
+    const auto pooled = idx.mostRedundant(topN, &pool);
+
+    // Ground truth: every pair, sorted by (dist, a, b).
+    std::vector<RedundantPair> all;
+    const auto &fps = idx.fingerprints();
+    for (size_t a = 0; a < fps.size(); ++a)
+        for (size_t b = a + 1; b < fps.size(); ++b)
+            all.push_back({l2Dist(fps.vec(a), fps.vec(b), fps.dim),
+                           static_cast<uint32_t>(a),
+                           static_cast<uint32_t>(b)});
+    std::sort(all.begin(), all.end());
+    all.resize(topN);
+
+    ASSERT_EQ(tree.size(), topN);
+    for (size_t i = 0; i < topN; ++i) {
+        EXPECT_TRUE(tree[i] == all[i]) << "rank " << i;
+        EXPECT_TRUE(brute[i] == all[i]) << "rank " << i;
+        EXPECT_TRUE(pooled[i] == all[i]) << "rank " << i;
+    }
+}
+
+TEST(FingerprintIndexTest, NameLookup)
+{
+    const Matrix raw = randomDataset(10, 3, 1);
+    const FingerprintIndex idx = FingerprintIndex::build(raw);
+    EXPECT_EQ(idx.idOf("bench7"), 7);
+    EXPECT_EQ(idx.idOf("nope"), -1);
+    EXPECT_EQ(idx.nameOf(3), "bench3");
+}
+
+// ----------------------------------------------------------------------
+// Snapshot durability.
+// ----------------------------------------------------------------------
+
+TEST(SnapshotTest, RoundTripPreservesEveryQueryBitwise)
+{
+    SnapDir tmp;
+    const Matrix raw = randomDataset(33, 7, 29);
+    FingerprintOptions opt;
+    opt.pcaDims = 4;
+    const FingerprintIndex built = FingerprintIndex::build(raw, opt);
+    ASSERT_TRUE(saveIndexSnapshot(built, tmp.path(), "key-v1"));
+
+    FingerprintIndex loaded;
+    std::string why;
+    ASSERT_TRUE(loadIndexSnapshot(tmp.path(), "key-v1", &loaded, &why))
+        << why;
+    EXPECT_EQ(loaded.size(), built.size());
+    EXPECT_EQ(loaded.dim(), built.dim());
+    EXPECT_EQ(loaded.fingerprints().data, built.fingerprints().data);
+    EXPECT_EQ(loaded.fingerprints().names, built.fingerprints().names);
+    EXPECT_EQ(loaded.tree().nodes().size(), built.tree().nodes().size());
+
+    for (size_t q = 0; q < built.size(); ++q) {
+        const auto a = built.knn(q, 6);
+        const auto b = loaded.knn(q, 6);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i)
+            EXPECT_TRUE(a[i] == b[i]);
+    }
+    // The frozen embedding survives too: external queries agree.
+    const auto ea = built.knnOfRaw(raw.rowVec(0), 3);
+    const auto eb = loaded.knnOfRaw(raw.rowVec(0), 3);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (size_t i = 0; i < ea.size(); ++i)
+        EXPECT_TRUE(ea[i] == eb[i]);
+}
+
+TEST(SnapshotTest, ReadSnapshotKeyPeeksWithoutLoading)
+{
+    SnapDir tmp;
+    const FingerprintIndex built =
+        FingerprintIndex::build(randomDataset(6, 2, 9));
+    ASSERT_TRUE(saveIndexSnapshot(built, tmp.path(),
+                                  "budget=1|space=key|pca=2"));
+    std::string key;
+    ASSERT_TRUE(readSnapshotKey(tmp.path(), &key));
+    EXPECT_EQ(key, "budget=1|space=key|pca=2");
+    EXPECT_FALSE(readSnapshotKey(tmp.dir + "/absent.bin", &key));
+}
+
+TEST(SnapshotTest, RejectsKeyMismatchMissingAndCorruptFiles)
+{
+    SnapDir tmp;
+    const FingerprintIndex built =
+        FingerprintIndex::build(randomDataset(8, 3, 2));
+    ASSERT_TRUE(saveIndexSnapshot(built, tmp.path(), "key-A"));
+
+    FingerprintIndex out;
+    std::string why;
+    EXPECT_FALSE(loadIndexSnapshot(tmp.path(), "key-B", &out, &why));
+    EXPECT_NE(why.find("mismatch"), std::string::npos);
+    EXPECT_FALSE(
+        loadIndexSnapshot(tmp.dir + "/absent.bin", "key-A", &out, &why));
+
+    // Truncation anywhere in the payload rejects the file.
+    std::ifstream in(tmp.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    {
+        std::ofstream cut(tmp.path(), std::ios::binary | std::ios::trunc);
+        cut.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    EXPECT_FALSE(loadIndexSnapshot(tmp.path(), "key-A", &out, &why));
+
+    // A scribbled magic is not an index snapshot.
+    {
+        std::ofstream bad(tmp.path(), std::ios::binary | std::ios::trunc);
+        bad << "NOTANIDX and then some garbage bytes";
+    }
+    EXPECT_FALSE(loadIndexSnapshot(tmp.path(), "key-A", &out, &why));
+    EXPECT_NE(why.find("not an index snapshot"), std::string::npos);
+}
+
+TEST(SnapshotTest, RejectsStructurallyCorruptTrees)
+{
+    // A tree whose links form a shared subtree (or a cycle) must be
+    // rejected at load, not crash the first query.
+    SnapDir tmp;
+    const Matrix raw = randomDataset(3, 2, 4);
+    const FingerprintSet fps = buildFingerprints(raw);
+    std::vector<VpNode> bad(3);
+    bad[0] = {0, 1, 1, 0.5};            // both children point at node 1
+    bad[1] = {1, VpNode::kNil, VpNode::kNil, 0.0};
+    bad[2] = {2, VpNode::kNil, VpNode::kNil, 0.0};
+    const FingerprintIndex idx = FingerprintIndex::fromParts(
+        fps, VpTree(std::move(bad), fps.dim));
+    ASSERT_TRUE(saveIndexSnapshot(idx, tmp.path(), "key-A"));
+
+    FingerprintIndex out;
+    std::string why;
+    EXPECT_FALSE(loadIndexSnapshot(tmp.path(), "key-A", &out, &why));
+    EXPECT_NE(why.find("corrupt tree structure"), std::string::npos);
+}
+
+TEST(SnapshotTest, RejectsHugeHeaderCountsWithoutAllocating)
+{
+    SnapDir tmp;
+    const std::string key = "key-A";
+    const FingerprintIndex built =
+        FingerprintIndex::build(randomDataset(8, 3, 2));
+    ASSERT_TRUE(saveIndexSnapshot(built, tmp.path(), key));
+
+    // Patch count and dim to values that pass the per-field caps but
+    // whose product would ask for tens of gigabytes: the loader must
+    // reject the header, not attempt the allocation.
+    std::fstream f(tmp.path(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    const std::streamoff countOff = 8 + 4 + 4 + 4 +
+        static_cast<std::streamoff>(key.size());
+    const uint64_t hugeCount = 1u << 20, hugeDim = 1u << 16;
+    f.seekp(countOff);
+    f.write(reinterpret_cast<const char *>(&hugeCount),
+            sizeof(hugeCount));
+    f.write(reinterpret_cast<const char *>(&hugeDim), sizeof(hugeDim));
+    f.close();
+
+    FingerprintIndex out;
+    std::string why;
+    EXPECT_FALSE(loadIndexSnapshot(tmp.path(), key, &out, &why));
+    EXPECT_NE(why.find("corrupt"), std::string::npos);
+}
+
+} // namespace
+} // namespace mica::index

@@ -6,6 +6,7 @@
  */
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -524,6 +525,71 @@ TEST(KiviatTest, RenderProducesNonEmptyArt)
     EXPECT_GT(art.size(), 100u);
     const std::string bars = renderKiviatBars(stars[0], 10);
     EXPECT_FALSE(bars.empty());
+}
+
+// Degenerate-input regressions: an empty matrix used to read row 0
+// out of bounds in minmaxNormalize, and constant or non-finite
+// columns produced NaN axes that renderKiviat then plotted nowhere.
+
+TEST(KiviatTest, EmptyMatrixYieldsNoStars)
+{
+    Matrix empty;
+    EXPECT_TRUE(buildKiviats(empty).empty());
+    Matrix colsOnly(0, 3);
+    colsOnly.colNames = {"a", "b", "c"};
+    EXPECT_TRUE(buildKiviats(colsOnly).empty());
+}
+
+TEST(KiviatTest, ConstantColumnsSitAtTheMidpoint)
+{
+    Matrix m;
+    m.appendRow({5.0, 1.0});
+    m.appendRow({5.0, 2.0});
+    m.rowNames = {"a", "b"};
+    m.colNames = {"const", "varies"};
+    const auto stars = buildKiviats(m);
+    ASSERT_EQ(stars.size(), 2u);
+    EXPECT_DOUBLE_EQ(stars[0].values[0], 0.5);
+    EXPECT_DOUBLE_EQ(stars[1].values[0], 0.5);
+    for (const auto &s : stars)
+        for (double v : s.values)
+            EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(KiviatTest, NonFiniteValuesStayWellDefined)
+{
+    Matrix m;
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    m.appendRow({nan, 1.0, inf});
+    m.appendRow({0.5, 2.0, -inf});
+    m.rowNames = {"a", "b"};
+    m.colNames = {"x", "y", "z"};
+    const auto stars = buildKiviats(m);
+    ASSERT_EQ(stars.size(), 2u);
+    for (const auto &s : stars)
+        for (double v : s.values)
+            EXPECT_TRUE(std::isfinite(v)) << s.name;
+
+    // Rendering a hand-built star with raw non-finite values must not
+    // place markers out of the grid either.
+    KiviatStar hostile;
+    hostile.name = "hostile";
+    hostile.axes = {"x", "y", "z"};
+    hostile.values = {nan, inf, -inf};
+    const std::string art = renderKiviat(hostile, 5);
+    EXPECT_NE(art.find("hostile"), std::string::npos);
+    EXPECT_FALSE(renderKiviatBars(hostile, 8).empty());
+}
+
+TEST(KiviatTest, ZeroAxesAndTinyRadiusRender)
+{
+    KiviatStar none;
+    none.name = "empty";
+    const std::string art = renderKiviat(none, 0);   // radius clamped
+    EXPECT_NE(art.find("empty"), std::string::npos);
+    EXPECT_NE(art.find('+'), std::string::npos);
+    EXPECT_TRUE(renderKiviatBars(none, 5).empty());
 }
 
 } // namespace

@@ -9,6 +9,7 @@
  *   mica select                    run GA feature selection
  *   mica cluster                   cluster benchmarks in the key space
  *   mica subset                    pick suite representatives
+ *   mica index build|query|redundant   persistent similarity index
  *
  * Common flags: --budget=N, --cache=DIR, --jobs=N (0 = auto),
  * --csv=FILE (profile/hpc all), --maxk=N (cluster/subset). Profiling
@@ -16,6 +17,12 @@
  * --jobs worker threads with bit-identical output for any job count;
  * --cache names a config-keyed profile store that is reused across
  * runs, so methodology verbs re-profile nothing when a store exists.
+ * The index verbs persist a fingerprint-index snapshot next to that
+ * store (<cache>/index.bin) and answer kNN/radius/most-redundant
+ * queries from it without re-profiling anything.
+ *
+ * Unknown --flags are rejected with an error naming the flag (each
+ * verb validates against its accepted set via util::parseCliArgs).
  */
 
 #include <cstdio>
@@ -25,6 +32,8 @@
 #include <string>
 
 #include "experiments/experiments.hh"
+#include "index/fingerprint_index.hh"
+#include "index/snapshot.hh"
 #include "isa/interpreter.hh"
 #include "mica/dataset.hh"
 #include "mica/runner.hh"
@@ -32,10 +41,12 @@
 #include "methodology/genetic_selector.hh"
 #include "methodology/subsetting.hh"
 #include "methodology/workload_space.hh"
+#include "pipeline/profile_store.hh"
 #include "pipeline/thread_pool.hh"
 #include "report/table.hh"
 #include "stats/descriptive.hh"
 #include "uarch/hpc_runner.hh"
+#include "util/arg_parse.hh"
 #include "workloads/registry.hh"
 
 using namespace mica;
@@ -55,7 +66,13 @@ usage()
         "  distance <nameA> <nameB>  distances in both spaces\n"
         "  select                    GA key-characteristic selection\n"
         "  cluster [--maxk=N]        cluster benchmarks (key space)\n"
-        "  subset [--maxk=N]         cluster-medoid representatives\n");
+        "  subset [--maxk=N]         cluster-medoid representatives\n"
+        "  index build [--space=mica|hpc|key] [--pca=K]\n"
+        "                            build + persist the similarity index\n"
+        "  index query <bench>|all [--k=N|--radius=R] [--brute]\n"
+        "                            kNN / radius queries from the index\n"
+        "  index redundant [--top=N] [--brute]\n"
+        "                            most redundant benchmark pairs\n");
     return 2;
 }
 
@@ -72,24 +89,12 @@ methodologyPool(const experiments::DatasetConfig &cfg)
     return std::make_unique<pipeline::ThreadPool>(cfg.jobs);
 }
 
-std::string
-flagValue(int argc, char **argv, const char *flag)
-{
-    const size_t n = std::strlen(flag);
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], flag, n) == 0 && argv[i][n] == '=')
-            return argv[i] + n + 1;
-    }
-    return "";
-}
-
 int
-cmdList(int argc, char **argv)
+cmdList(const util::CliArgs &args)
 {
     const auto &reg = workloads::BenchmarkRegistry::instance();
-    std::string suite;
-    if (argc >= 3 && std::strncmp(argv[2], "--", 2) != 0)
-        suite = argv[2];
+    const std::string suite =
+        args.positionals.size() >= 2 ? args.positionals[1] : "";
 
     report::TextTable t({"name", "paper I-cnt (M)"},
                         {report::Align::Left, report::Align::Right});
@@ -106,13 +111,13 @@ cmdList(int argc, char **argv)
 }
 
 int
-cmdProfile(int argc, char **argv, const experiments::DatasetConfig &cfg,
-           bool hpc)
+cmdProfile(const util::CliArgs &args,
+           const experiments::DatasetConfig &cfg, bool hpc)
 {
-    if (argc < 3)
+    if (args.positionals.size() < 2)
         return usage();
-    const std::string target = argv[2];
-    const std::string csv = flagValue(argc, argv, "--csv");
+    const std::string target = args.positionals[1];
+    const std::string csv = args.value("csv");
 
     if (target == "all") {
         experiments::DatasetConfig runCfg = cfg;
@@ -184,20 +189,23 @@ cmdProfile(int argc, char **argv, const experiments::DatasetConfig &cfg,
 }
 
 int
-cmdDistance(int argc, char **argv, const experiments::DatasetConfig &cfg)
+cmdDistance(const util::CliArgs &args,
+            const experiments::DatasetConfig &cfg)
 {
-    if (argc < 4)
+    if (args.positionals.size() < 3)
         return usage();
+    const std::string &nameA = args.positionals[1];
+    const std::string &nameB = args.positionals[2];
     const auto ds = experiments::collectSuiteDataset(cfg);
-    const size_t a = ds.indexOf(argv[2]);
-    const size_t b = ds.indexOf(argv[3]);
+    const size_t a = ds.indexOf(nameA);
+    const size_t b = ds.indexOf(nameB);
     if (a == static_cast<size_t>(-1) || b == static_cast<size_t>(-1)) {
         std::fprintf(stderr, "unknown benchmark name\n");
         return 1;
     }
     const WorkloadSpace mica(ds.micaMatrix());
     const WorkloadSpace hpc(ds.hpcMatrix());
-    std::printf("%s vs %s\n", argv[2], argv[3]);
+    std::printf("%s vs %s\n", nameA.c_str(), nameB.c_str());
     std::printf("  MICA-space distance: %7.3f  (population max %.3f)\n",
                 mica.distances().at(a, b),
                 mica.distances().maxDistance());
@@ -233,14 +241,27 @@ cmdSelect(const experiments::DatasetConfig &cfg)
     return 0;
 }
 
+/**
+ * Print an error and return true when --flag carries a value that is
+ * not a plain decimal — a typo must not silently mean "the default".
+ */
+bool
+rejectBadInt(const util::CliArgs &args, const char *verb,
+             const char *flag)
+{
+    if (args.intOk(flag))
+        return false;
+    std::fprintf(stderr, "mica %s: --%s needs a non-negative integer "
+                         "(got '%s')\n",
+                 verb, flag, args.value(flag).c_str());
+    return true;
+}
+
 /** @return --maxk=N (default 70, the paper's sweep ceiling). */
 size_t
-maxKFlag(int argc, char **argv)
+maxKFlag(const util::CliArgs &args)
 {
-    const std::string v = flagValue(argc, argv, "--maxk");
-    if (v.empty())
-        return 70;
-    const long n = std::atol(v.c_str());
+    const long long n = args.intValue("maxk", 70);
     return n > 0 ? static_cast<size_t>(n) : 70;
 }
 
@@ -259,14 +280,17 @@ reducedKeySpace(const experiments::SuiteDataset &ds,
 }
 
 int
-cmdCluster(int argc, char **argv, const experiments::DatasetConfig &cfg)
+cmdCluster(const util::CliArgs &args,
+           const experiments::DatasetConfig &cfg)
 {
+    if (rejectBadInt(args, "cluster", "maxk"))
+        return 2;
     const auto ds = experiments::collectSuiteDataset(cfg);
     auto pool = methodologyPool(cfg);
     pipeline::ThreadPool *p = pool.get();
     const Matrix reduced = reducedKeySpace(ds, p);
     const ClusterReport rep =
-        clusterBenchmarks(reduced, maxKFlag(argc, argv), 20061027, 0.9,
+        clusterBenchmarks(reduced, maxKFlag(args), 20061027, 0.9,
                           0.25, p);
 
     const auto &suites = experiments::suiteNames();
@@ -298,14 +322,17 @@ cmdCluster(int argc, char **argv, const experiments::DatasetConfig &cfg)
 }
 
 int
-cmdSubset(int argc, char **argv, const experiments::DatasetConfig &cfg)
+cmdSubset(const util::CliArgs &args,
+          const experiments::DatasetConfig &cfg)
 {
+    if (rejectBadInt(args, "subset", "maxk"))
+        return 2;
     const auto ds = experiments::collectSuiteDataset(cfg);
     auto pool = methodologyPool(cfg);
     pipeline::ThreadPool *p = pool.get();
     const Matrix reduced = reducedKeySpace(ds, p);
     const SubsetResult r = selectRepresentatives(
-        reduced, maxKFlag(argc, argv), 20061027, 0.9, 0.25, p);
+        reduced, maxKFlag(args), 20061027, 0.9, 0.25, p);
     report::TextTable t({"representative", "covers"},
                         {report::Align::Left, report::Align::Right});
     for (const auto &rep : r.representatives)
@@ -317,6 +344,303 @@ cmdSubset(int argc, char **argv, const experiments::DatasetConfig &cfg)
     return 0;
 }
 
+// ----------------------------------------------------------------------
+// index verbs: persistent workload-fingerprint similarity index.
+// ----------------------------------------------------------------------
+
+/** The dataset half of the snapshot key (the ProfileStore key). */
+std::string
+datasetKeyPart(const experiments::DatasetConfig &cfg)
+{
+    pipeline::StoreKey key;
+    key.maxInsts = cfg.maxInsts;
+    key.ppmMaxOrder = cfg.ppmMaxOrder;
+    key.suites = cfg.suites;
+    return key.describe();
+}
+
+/**
+ * Canonical snapshot key: the collection knobs that change measured
+ * profiles (exactly the ProfileStore key) plus the fingerprint-space
+ * knobs. A snapshot recorded under any other key is rejected on load.
+ */
+std::string
+indexKey(const experiments::DatasetConfig &cfg, const std::string &space,
+         size_t pca)
+{
+    return datasetKeyPart(cfg) + "|space=" + space +
+        "|pca=" + std::to_string(pca);
+}
+
+/**
+ * Default --space/--pca for the query verbs to what the existing
+ * snapshot was built with (when its dataset config matches), so
+ * `index build --space=key` followed by a plain `index query` answers
+ * from the key-space snapshot instead of silently rebuilding — and
+ * overwriting it — in the default space. Giving *either* flag opts
+ * out entirely: explicit knobs are never mixed with snapshot ones
+ * (adopting the snapshot's pca under an explicit --space would query
+ * a space the user never asked for). The space knobs are adopted even
+ * when the dataset half of the key differs (a changed --budget forces
+ * a re-profile regardless, but it should re-profile into the space
+ * the snapshot holds, not silently switch to the default).
+ */
+void
+adoptSnapshotSpace(const experiments::DatasetConfig &cfg, bool spaceGiven,
+                   std::string *space, bool pcaGiven, size_t *pca)
+{
+    if (spaceGiven || pcaGiven)
+        return;
+    std::string stored;
+    if (!index::readSnapshotKey(index::snapshotPath(cfg.cacheDir),
+                                &stored))
+        return;
+    const size_t sPos = stored.rfind("|space=");
+    const size_t pPos = stored.rfind("|pca=");
+    if (sPos == std::string::npos || pPos == std::string::npos ||
+        pPos <= sPos)
+        return;
+    *space = stored.substr(sPos + 7, pPos - (sPos + 7));
+    *pca = static_cast<size_t>(
+        std::strtoull(stored.c_str() + pPos + 5, nullptr, 10));
+}
+
+/** Collect the dataset and build the index for one space choice. */
+index::FingerprintIndex
+buildIndexFromDataset(const experiments::DatasetConfig &cfg,
+                      const std::string &space, size_t pca,
+                      pipeline::ThreadPool *pool)
+{
+    const auto ds = experiments::collectSuiteDataset(cfg);
+    index::FingerprintOptions opt;
+    opt.pcaDims = pca;
+    Matrix m;
+    if (space == "hpc") {
+        m = ds.hpcMatrix();
+    } else {
+        m = ds.micaMatrix();
+        if (space == "key") {
+            // Fingerprint the raw matrix restricted to the GA-selected
+            // key characteristics; normalization is re-frozen over the
+            // subset, as the paper's reduced space does.
+            const WorkloadSpace ws(m, pool);
+            GaConfig gcfg;
+            opt.columns = geneticSelect(ws, gcfg, pool).selected;
+        }
+    }
+    return index::FingerprintIndex::build(m, opt);
+}
+
+/**
+ * Reopen the snapshot, or (re)build and persist it when missing or
+ * keyed to a different config. Status goes to stderr so reports on
+ * stdout stay byte-comparable between the reload and fresh-build
+ * paths.
+ */
+index::FingerprintIndex
+openOrBuildIndex(const experiments::DatasetConfig &cfg,
+                 const std::string &space, size_t pca,
+                 pipeline::ThreadPool *pool)
+{
+    const std::string path = index::snapshotPath(cfg.cacheDir);
+    const std::string key = indexKey(cfg, space, pca);
+    index::FingerprintIndex idx;
+    std::string why;
+    if (index::loadIndexSnapshot(path, key, &idx, &why))
+        return idx;
+    std::fprintf(stderr, "index: %s; rebuilding\n", why.c_str());
+    idx = buildIndexFromDataset(cfg, space, pca, pool);
+    if (!index::saveIndexSnapshot(idx, path, key))
+        std::fprintf(stderr, "index: warning: cannot write %s\n",
+                     path.c_str());
+    return idx;
+}
+
+/** One "rank / benchmark / distance" table from a neighbor list. */
+void
+printNeighbors(const index::FingerprintIndex &idx,
+               const std::vector<index::Neighbor> &neighbors,
+               const std::string &title)
+{
+    report::TextTable t({"rank", "benchmark", "distance"},
+                        {report::Align::Right, report::Align::Left,
+                         report::Align::Right});
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+        t.addRow({std::to_string(i + 1), idx.nameOf(neighbors[i].id),
+                  report::TextTable::num(neighbors[i].dist, 4)});
+    }
+    std::printf("%s\n", t.render(title).c_str());
+}
+
+int
+cmdIndex(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
+{
+    if (args.positionals.size() < 2)
+        return usage();
+    const std::string sub = args.positionals[1];
+
+    // A typo'd numeric value must not silently become the default.
+    for (const char *flag : {"pca", "k", "top"}) {
+        if (rejectBadInt(args, "index", flag))
+            return 2;
+    }
+
+    std::string space = args.value("space", "mica");
+    size_t pca = static_cast<size_t>(args.intValue("pca", 0));
+    const bool brute = args.has("brute");
+
+    // The snapshot lives next to the profile store; without --cache it
+    // still needs a durable home, so a default directory steps in.
+    experiments::DatasetConfig icfg = cfg;
+    if (icfg.cacheDir.empty())
+        icfg.cacheDir = ".mica-index";
+
+    // Query verbs answer from whatever space the snapshot holds
+    // unless told otherwise; `build` always uses the explicit flags.
+    if (sub != "build")
+        adoptSnapshotSpace(icfg, args.has("space"), &space,
+                           args.has("pca"), &pca);
+    if (space != "mica" && space != "hpc" && space != "key") {
+        std::fprintf(stderr,
+                     "mica index: --space must be mica, hpc, or key "
+                     "(got '%s')\n", space.c_str());
+        return 2;
+    }
+    auto pool = methodologyPool(icfg);
+    pipeline::ThreadPool *p = pool.get();
+
+    if (sub == "build") {
+        const index::FingerprintIndex idx =
+            buildIndexFromDataset(icfg, space, pca, p);
+        const std::string path = index::snapshotPath(icfg.cacheDir);
+        if (!index::saveIndexSnapshot(idx, path,
+                                      indexKey(icfg, space, pca))) {
+            std::fprintf(stderr, "mica index build: cannot write %s\n",
+                         path.c_str());
+            return 1;
+        }
+        std::printf("indexed %zu fingerprints (dim %zu, space %s, "
+                    "pca %zu)\nsnapshot: %s\n",
+                    idx.size(), idx.dim(), space.c_str(), pca,
+                    path.c_str());
+        return 0;
+    }
+
+    if (sub == "query") {
+        if (args.positionals.size() < 3)
+            return usage();
+        const std::string target = args.positionals[2];
+        const size_t k = static_cast<size_t>(args.intValue("k", 10));
+        const bool hasRadius = args.has("radius");
+        if (hasRadius && args.has("k")) {
+            std::fprintf(stderr, "mica index query: give either --k or "
+                                 "--radius, not both\n");
+            return 2;
+        }
+        const index::FingerprintIndex idx =
+            openOrBuildIndex(icfg, space, pca, p);
+
+        if (target == "all") {
+            if (hasRadius) {
+                std::fprintf(stderr, "mica index query: --radius needs "
+                                     "a single benchmark, not 'all'\n");
+                return 2;
+            }
+            const auto results = idx.batchKnn(k, p, brute);
+            for (size_t i = 0; i < results.size(); ++i) {
+                std::printf("%s ->", idx.nameOf(i).c_str());
+                for (const auto &nb : results[i]) {
+                    std::printf("  %s:%s", idx.nameOf(nb.id).c_str(),
+                                report::TextTable::num(nb.dist, 4)
+                                    .c_str());
+                }
+                std::printf("\n");
+            }
+            std::printf("%zu benchmarks, k=%zu, space %s, dim %zu\n",
+                        results.size(), k, space.c_str(), idx.dim());
+            return 0;
+        }
+
+        const int64_t id = idx.idOf(target);
+        if (id < 0) {
+            std::fprintf(stderr, "'%s' is not in the index (see 'mica "
+                                 "list'; rebuild with 'mica index "
+                                 "build' after config changes)\n",
+                         target.c_str());
+            return 1;
+        }
+        if (hasRadius) {
+            // Strict parse: a typo'd radius must not silently become
+            // 0.0 and report "no neighbors".
+            const std::string rv = args.value("radius");
+            char *end = nullptr;
+            const double r =
+                rv.empty() ? -1.0 : std::strtod(rv.c_str(), &end);
+            if (rv.empty() || *end != '\0' || !(r >= 0.0)) {
+                std::fprintf(stderr, "mica index query: --radius needs "
+                                     "a non-negative number (got "
+                                     "'%s')\n", rv.c_str());
+                return 2;
+            }
+            printNeighbors(idx,
+                           idx.radius(static_cast<size_t>(id), r, brute),
+                           target + ": neighbors within " +
+                               report::TextTable::num(r, 4));
+        } else {
+            printNeighbors(idx,
+                           idx.knn(static_cast<size_t>(id), k, brute),
+                           target + ": " + std::to_string(k) +
+                               " nearest");
+        }
+        return 0;
+    }
+
+    if (sub == "redundant") {
+        const size_t top = static_cast<size_t>(args.intValue("top", 10));
+        const index::FingerprintIndex idx =
+            openOrBuildIndex(icfg, space, pca, p);
+        const auto pairs = idx.mostRedundant(top, p, brute);
+        report::TextTable t({"rank", "benchmark A", "benchmark B",
+                             "distance"},
+                            {report::Align::Right, report::Align::Left,
+                             report::Align::Left, report::Align::Right});
+        for (size_t i = 0; i < pairs.size(); ++i) {
+            t.addRow({std::to_string(i + 1), idx.nameOf(pairs[i].a),
+                      idx.nameOf(pairs[i].b),
+                      report::TextTable::num(pairs[i].dist, 4)});
+        }
+        std::printf("%s\n%zu most redundant of %zu benchmarks "
+                    "(space %s)\n",
+                    t.render("Most redundant pairs").c_str(),
+                    pairs.size(), idx.size(), space.c_str());
+        return 0;
+    }
+    return usage();
+}
+
+/**
+ * @return the flag allow-list for one verb (strict parsing; a
+ * trailing '=' marks a value-taking flag — see util::parseCliArgs).
+ */
+std::vector<std::string>
+knownFlags(const std::string &cmd, const std::string &sub)
+{
+    std::vector<std::string> known = {"budget=", "cache=", "jobs=",
+                                      "quick"};
+    if (cmd == "profile" || cmd == "hpc")
+        known.push_back("csv=");
+    if (cmd == "cluster" || cmd == "subset")
+        known.push_back("maxk=");
+    if (cmd == "index") {
+        known.insert(known.end(), {"space=", "pca="});
+        if (sub == "query")
+            known.insert(known.end(), {"k=", "radius=", "brute"});
+        if (sub == "redundant")
+            known.insert(known.end(), {"top=", "brute"});
+    }
+    return known;
+}
+
 } // namespace
 
 int
@@ -324,21 +648,45 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
-    const auto cfg = experiments::configFromArgs(argc, argv);
     const std::string cmd = argv[1];
+    // The sub-verb is the second positional (flags may come first, so
+    // argv[2] is not necessarily it).
+    std::string sub;
+    for (int i = 2; i < argc; ++i) {
+        if (argv[i][0] == '-' && argv[i][1] != '\0')
+            continue;
+        sub = argv[i];
+        break;
+    }
+    const util::CliArgs args =
+        util::parseCliArgs(argc, argv, knownFlags(cmd, sub));
+    if (!args.ok()) {
+        std::fprintf(stderr, "mica %s: %s\n", cmd.c_str(),
+                     args.error.c_str());
+        return 2;
+    }
+    // The shared numeric flags get the same strictness as the verb
+    // ones: --budget=20k must not silently profile 20 instructions.
+    for (const char *flag : {"budget", "jobs"}) {
+        if (rejectBadInt(args, cmd.c_str(), flag))
+            return 2;
+    }
+    const auto cfg = experiments::configFromArgs(argc, argv);
     if (cmd == "list")
-        return cmdList(argc, argv);
+        return cmdList(args);
     if (cmd == "profile")
-        return cmdProfile(argc, argv, cfg, false);
+        return cmdProfile(args, cfg, false);
     if (cmd == "hpc")
-        return cmdProfile(argc, argv, cfg, true);
+        return cmdProfile(args, cfg, true);
     if (cmd == "distance")
-        return cmdDistance(argc, argv, cfg);
+        return cmdDistance(args, cfg);
     if (cmd == "select")
         return cmdSelect(cfg);
     if (cmd == "cluster")
-        return cmdCluster(argc, argv, cfg);
+        return cmdCluster(args, cfg);
     if (cmd == "subset")
-        return cmdSubset(argc, argv, cfg);
+        return cmdSubset(args, cfg);
+    if (cmd == "index")
+        return cmdIndex(args, cfg);
     return usage();
 }
