@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -45,6 +46,7 @@
 #include "stats/rng.hh"
 #include "trace/engine.hh"
 #include "trace/synthetic.hh"
+#include "trace/trace_file.hh"
 #include "uarch/hpc_runner.hh"
 #include "workloads/registry.hh"
 
@@ -341,6 +343,83 @@ BM_InterpreterOnly(benchmark::State &state)
 BENCHMARK(BM_InterpreterOnly);
 
 // ----------------------------------------------------------------------
+// Trace recording / replay benchmarks: what does moving records
+// through a file cost relative to interpreting the program directly?
+// ----------------------------------------------------------------------
+
+/** The shared trace recorded once to a scratch trace file. */
+const std::string &
+recordedTracePath()
+{
+    static const std::string path = [] {
+        std::string p =
+            (std::filesystem::temp_directory_path() /
+             "mica_perf_replay.trace")
+                .string();
+        VectorTraceSource src(sharedTrace());
+        TraceFileWriter w(p);
+        RecordingSource tee(src, w);
+        std::vector<InstRecord> buf(4096);
+        const InstRecord *span = nullptr;
+        while (tee.nextSpan(span, buf.data(), buf.size()) != 0) {
+        }
+        w.close();
+        return p;
+    }();
+    return path;
+}
+
+void
+BM_TraceRecord(benchmark::State &state)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "mica_perf_record_bm.trace")
+            .string();
+    VectorTraceSource src(sharedTrace());
+    for (auto _ : state) {
+        src.reset();
+        TraceFileWriter w(path);
+        RecordingSource tee(src, w);
+        std::vector<InstRecord> buf(4096);
+        const InstRecord *span = nullptr;
+        while (tee.nextSpan(span, buf.data(), buf.size()) != 0) {
+        }
+        w.close();
+        benchmark::DoNotOptimize(w.recordCount());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(sharedTrace().size()));
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_TraceRecord);
+
+/** Full 47-characteristic collection replayed from the trace file. */
+template <bool Streamed>
+void
+BM_TraceReplayProfile(benchmark::State &state)
+{
+    const std::string &path = recordedTracePath();
+    for (auto _ : state) {
+        auto src = openTraceFile(path, Streamed);
+        const MicaProfile p = collectMicaProfile(*src, "x", {});
+        benchmark::DoNotOptimize(p.values[0]);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(sharedTrace().size()));
+}
+void BM_TraceReplayMmap(benchmark::State &s)
+{
+    BM_TraceReplayProfile<false>(s);
+}
+void BM_TraceReplayStream(benchmark::State &s)
+{
+    BM_TraceReplayProfile<true>(s);
+}
+BENCHMARK(BM_TraceReplayMmap);
+BENCHMARK(BM_TraceReplayStream);
+
+// ----------------------------------------------------------------------
 // Methodology engine (GA fitness, clustering sweep) benchmarks.
 // ----------------------------------------------------------------------
 
@@ -624,6 +703,87 @@ clusterSweepRate(mica::pipeline::ThreadPool *pool)
     });
 }
 
+/**
+ * trace_replay family: one registry program, one record stream —
+ * profile it from the interpreter vs from a recorded trace file, so
+ * the ratio isolates what the trace source itself costs (record =
+ * interpret + write; replay = read instead of interpret; open cost,
+ * including the full checksum validation pass, is in the loop).
+ */
+struct TraceReplayRates
+{
+    uint64_t records = 0;
+    double interp = 0, record = 0, stream = 0, mmap = 0;
+};
+
+TraceReplayRates
+traceReplayRates()
+{
+    const auto *e = workloads::BenchmarkRegistry::instance().find(
+        "SPEC2000/bzip2.source");
+    const isa::Program prog = e->build();
+    MicaRunnerConfig cfg;
+    cfg.maxInsts = 200000;
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "mica_perf_replay_vs_interp.trace")
+            .string();
+
+    TraceReplayRates r;
+    {
+        // Record once (also learns the record count) ...
+        isa::Interpreter interp(prog);
+        TraceFileWriter w(path);
+        RecordingSource tee(interp, w);
+        std::vector<InstRecord> buf(4096);
+        const InstRecord *span = nullptr;
+        size_t got;
+        while (r.records < cfg.maxInsts &&
+               (got = tee.nextSpan(
+                    span, buf.data(),
+                    std::min<uint64_t>(buf.size(),
+                                       cfg.maxInsts - r.records))) != 0)
+            r.records += got;
+        w.close();
+    }
+
+    r.interp = bestRate(r.records, [&] {
+        isa::Interpreter interp(prog);
+        const MicaProfile p = collectMicaProfile(interp, "x", cfg);
+        benchmark::DoNotOptimize(p.values[0]);
+    });
+    r.record = bestRate(r.records, [&] {
+        isa::Interpreter interp(prog);
+        TraceFileWriter w(path + ".rec");
+        RecordingSource tee(interp, w);
+        std::vector<InstRecord> buf(4096);
+        const InstRecord *span = nullptr;
+        uint64_t n = 0;
+        size_t got;
+        while (n < cfg.maxInsts &&
+               (got = tee.nextSpan(
+                    span, buf.data(),
+                    std::min<uint64_t>(buf.size(),
+                                       cfg.maxInsts - n))) != 0)
+            n += got;
+        w.close();
+        benchmark::DoNotOptimize(n);
+    });
+    r.stream = bestRate(r.records, [&] {
+        FileTraceSource src(path);
+        const MicaProfile p = collectMicaProfile(src, "x", cfg);
+        benchmark::DoNotOptimize(p.values[0]);
+    });
+    r.mmap = bestRate(r.records, [&] {
+        MappedTraceSource src(path);
+        const MicaProfile p = collectMicaProfile(src, "x", cfg);
+        benchmark::DoNotOptimize(p.values[0]);
+    });
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".rec");
+    return r;
+}
+
 /** Index builds/sec over the synthetic population. */
 double
 indexBuildRate()
@@ -698,6 +858,11 @@ writeJsonProfile(const std::string &path)
     const double sweepSerial = clusterSweepRate(nullptr);
     const double sweepJobs8 = clusterSweepRate(&pool8);
 
+    // Trace-replay family: records/sec profiling the same program
+    // from the interpreter, while recording, and replayed through
+    // each reader.
+    const TraceReplayRates trr = traceReplayRates();
+
     // Index family: build cost and query throughput of the
     // fingerprint similarity index, VP-tree vs the brute-force
     // reference, plus the pooled batch-query path at 1 and 8 jobs.
@@ -757,6 +922,17 @@ writeJsonProfile(const std::string &path)
         << "      \"serial\": " << sweepSerial << ",\n"
         << "      \"jobs8\": " << sweepJobs8 << ",\n"
         << "      \"speedup\": " << sweepJobs8 / sweepSerial << "\n"
+        << "    }\n"
+        << "  },\n"
+        << "  \"trace_replay\": {\n"
+        << "    \"records\": " << trr.records << ",\n"
+        << "    \"full_profile_records_per_sec\": {\n"
+        << "      \"interpreter\": " << trr.interp << ",\n"
+        << "      \"recording\": " << trr.record << ",\n"
+        << "      \"stream_replay\": " << trr.stream << ",\n"
+        << "      \"mmap_replay\": " << trr.mmap << ",\n"
+        << "      \"mmap_speedup_vs_interp\": " << trr.mmap / trr.interp
+        << "\n"
         << "    }\n"
         << "  },\n"
         << "  \"index\": {\n"

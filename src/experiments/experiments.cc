@@ -10,6 +10,8 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
 
 #include "mica/dataset.hh"
 #include "mica/runner.hh"
@@ -84,22 +86,60 @@ collectSuiteDataset(const DatasetConfig &cfg)
     const auto &reg = workloads::BenchmarkRegistry::instance();
 
     SuiteDataset ds;
+    // Trace-backed entries need owned storage; registry entries are
+    // borrowed from the singleton. Both flow through one pointer list
+    // so everything downstream (store, collector) is source-agnostic.
+    std::vector<workloads::BenchmarkEntry> traceEntries;
     std::vector<const workloads::BenchmarkEntry *> selected;
-    for (const auto &e : reg.all()) {
-        if (suiteSelected(cfg, e.info.suite)) {
-            ds.benchmarks.push_back(e.info);
-            selected.push_back(&e);
+    uint64_t traceStamp = 0;
+    if (!cfg.traceDir.empty()) {
+        traceEntries = workloads::traceBenchmarks(
+            cfg.traceDir, cfg.traceStream, cfg.maxInsts, &traceStamp);
+        for (const auto &e : traceEntries) {
+            if (suiteSelected(cfg, e.info.suite)) {
+                ds.benchmarks.push_back(e.info);
+                selected.push_back(&e);
+            }
+        }
+    } else {
+        for (const auto &e : reg.all()) {
+            if (suiteSelected(cfg, e.info.suite)) {
+                ds.benchmarks.push_back(e.info);
+                selected.push_back(&e);
+            }
+        }
+    }
+
+    // A suite filter that matches nothing is a typo, and a typo must
+    // not silently mean "profile zero benchmarks" (the same
+    // strictness the CLI applies to its numeric flags).
+    for (const auto &want : cfg.suites) {
+        bool any = false;
+        for (const auto &info : ds.benchmarks)
+            any = any || info.suite == want;
+        if (!any) {
+            throw std::invalid_argument(
+                "unknown suite '" + want +
+                "' (selects no benchmarks; see 'mica list')");
         }
     }
 
     // The store is keyed by everything that changes measured values; a
-    // store written under a different budget/PPM-order/suite filter (or
-    // a legacy CSV-era directory, which has no profiles.bin at all) is
-    // rejected wholesale and the sweep re-collects.
+    // store written under a different budget/PPM-order/suite filter/
+    // trace directory (or a legacy CSV-era directory, which has no
+    // profiles.bin at all) is rejected wholesale and the sweep
+    // re-collects. For trace replay the key carries a digest of the
+    // trace *contents*, so re-recording a file invalidates the cache
+    // instead of silently serving profiles of the old bytes.
     pipeline::StoreKey key;
     key.maxInsts = cfg.maxInsts;
     key.ppmMaxOrder = cfg.ppmMaxOrder;
     key.suites = cfg.suites;
+    if (!cfg.traceDir.empty()) {
+        std::ostringstream stamped;
+        stamped << cfg.traceDir << '#' << std::hex << traceStamp;
+        key.traceDir = stamped.str();
+    }
 
     std::unique_ptr<pipeline::ProfileStore> store;
     if (!cfg.cacheDir.empty()) {
@@ -161,6 +201,31 @@ collectSuiteDataset(const DatasetConfig &cfg)
     return ds;
 }
 
+namespace
+{
+
+/** Split "A,B,C" into its non-empty parts. */
+std::vector<std::string>
+splitCommas(const char *s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (; ; ++s) {
+        if (*s == ',' || *s == '\0') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            if (*s == '\0')
+                break;
+        } else {
+            cur.push_back(*s);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
 DatasetConfig
 configFromArgs(int argc, char **argv)
 {
@@ -173,6 +238,12 @@ configFromArgs(int argc, char **argv)
             cfg.cacheDir = arg + 8;
         else if (std::strncmp(arg, "--jobs=", 7) == 0)
             cfg.jobs = parseJobs(arg + 7);
+        else if (std::strncmp(arg, "--suites=", 9) == 0)
+            cfg.suites = splitCommas(arg + 9);
+        else if (std::strncmp(arg, "--traces=", 9) == 0)
+            cfg.traceDir = arg + 9;
+        else if (std::strncmp(arg, "--reader=", 9) == 0)
+            cfg.traceStream = std::strcmp(arg + 9, "stream") == 0;
         else if (std::strcmp(arg, "--quick") == 0)
             cfg.maxInsts = 50000;
     }
@@ -182,6 +253,8 @@ configFromArgs(int argc, char **argv)
         cfg.cacheDir = env;
     if (const char *env = std::getenv("MICA_JOBS"))
         cfg.jobs = parseJobs(env);
+    if (const char *env = std::getenv("MICA_TRACES"))
+        cfg.traceDir = env;
     return cfg;
 }
 

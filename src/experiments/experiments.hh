@@ -50,6 +50,27 @@ struct DatasetConfig
     std::vector<std::string> suites;
 
     /**
+     * Replay benchmarks from recorded trace files in this directory
+     * (see workloads::traceBenchmarks) instead of interpreting the
+     * registry kernels. Replayed profiles are byte-identical to
+     * interpreting the same programs directly. The profile-store key
+     * carries the directory plus a digest of the trace contents, so
+     * re-recorded files re-profile instead of hitting a stale cache.
+     * Throws TraceFileError when the directory is missing, a trace
+     * file is corrupt/mismatched, or a nonzero maxInsts exceeds a
+     * trace's record count (the replay would silently come up short)
+     * — replay never silently falls back to interpretation.
+     */
+    std::string traceDir;
+
+    /**
+     * Replay through the streamed FileTraceSource instead of the
+     * default mmap-backed reader. Byte-identical output either way,
+     * so (like jobs) this is not part of the store key.
+     */
+    bool traceStream = false;
+
+    /**
      * Profiling worker threads (1 = serial on the calling thread,
      * 0 = one per hardware thread). Output is bit-identical for every
      * value; this only changes wall-clock time.
@@ -90,9 +111,11 @@ SuiteDataset collectSuiteDataset(const DatasetConfig &cfg = {});
 /**
  * Parse harness flags shared by the bench executables:
  * --budget=N (maxInsts), --cache=DIR, --jobs=N (0 = auto),
- * --quick (reduced budget). Environment overrides: MICA_BUDGET,
- * MICA_CACHE, MICA_JOBS. Unrecognized arguments are ignored so
- * google-benchmark flags pass through.
+ * --quick (reduced budget), --suites=A,B (suite filter),
+ * --traces=DIR (replay recorded traces), --reader=stream|mmap
+ * (trace reader choice). Environment overrides: MICA_BUDGET,
+ * MICA_CACHE, MICA_JOBS, MICA_TRACES. Unrecognized arguments are
+ * ignored so google-benchmark flags pass through.
  */
 DatasetConfig configFromArgs(int argc, char **argv);
 

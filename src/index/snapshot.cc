@@ -97,7 +97,11 @@ saveIndexSnapshot(const FingerprintIndex &idx, const std::string &path,
     if (!parent.empty())
         std::filesystem::create_directories(parent, ec);
 
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    // Write through a .tmp sibling and rename into place so a crash
+    // mid-write leaves the previous snapshot intact instead of a
+    // truncated file (same durability contract as ProfileStore::put).
+    const std::string tmp = path + ".tmp";
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out)
         return false;
 
@@ -132,7 +136,18 @@ saveIndexSnapshot(const FingerprintIndex &idx, const std::string &path,
         writePod(out, n.threshold);
     }
     out.flush();
-    return static_cast<bool>(out);
+    const bool ok = static_cast<bool>(out);
+    out.close();
+    if (!ok) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
 }
 
 bool

@@ -85,17 +85,30 @@ collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
     if (jobs == 1) {
         // Serial path: one build, one interpreter, reset between the
         // two characterizations — same behavior (and cost) as the
-        // original serial sweep.
+        // original serial sweep. Trace-backed entries substitute
+        // their replay source for the interpreter; the records are
+        // the same stream either way, so the profiles are too.
         for (size_t i = 0; i < entries.size(); ++i) {
             const auto &e = *entries[i];
-            const isa::Program program = e.build();
-            isa::Interpreter interp(program);
-            results[i].mica =
-                collectMicaProfile(interp, e.info.fullName(), rc);
-            prog.tick(e.info.fullName() + " [mica]");
-            interp.reset();
-            results[i].hpc = uarch::collectHwProfile(
-                interp, e.info.fullName(), rc.maxInsts);
+            if (e.source) {
+                auto src = e.source();
+                results[i].mica =
+                    collectMicaProfile(*src, e.info.fullName(), rc);
+                prog.tick(e.info.fullName() + " [mica]");
+                if (!src->reset())
+                    src = e.source();
+                results[i].hpc = uarch::collectHwProfile(
+                    *src, e.info.fullName(), rc.maxInsts);
+            } else {
+                const isa::Program program = e.build();
+                isa::Interpreter interp(program);
+                results[i].mica =
+                    collectMicaProfile(interp, e.info.fullName(), rc);
+                prog.tick(e.info.fullName() + " [mica]");
+                interp.reset();
+                results[i].hpc = uarch::collectHwProfile(
+                    interp, e.info.fullName(), rc.maxInsts);
+            }
             prog.tick(e.info.fullName() + " [hpc]");
             if (onResult)
                 onResult(results[i]);
@@ -119,6 +132,28 @@ collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
     futures.reserve(entries.size() * 2);
     for (size_t i = 0; i < entries.size(); ++i) {
         const auto *e = entries[i];
+        if (e->source) {
+            // Trace-backed entries have nothing to share: each job
+            // opens its own (cheap) replay source, so the two jobs
+            // never contend on a read cursor.
+            futures.push_back(pool.submit([e, &rc, &results, &prog,
+                                           &finishJob, i] {
+                auto src = e->source();
+                results[i].mica =
+                    collectMicaProfile(*src, e->info.fullName(), rc);
+                prog.tick(e->info.fullName() + " [mica]");
+                finishJob(i);
+            }));
+            futures.push_back(pool.submit([e, &rc, &results, &prog,
+                                           &finishJob, i] {
+                auto src = e->source();
+                results[i].hpc = uarch::collectHwProfile(
+                    *src, e->info.fullName(), rc.maxInsts);
+                prog.tick(e->info.fullName() + " [hpc]");
+                finishJob(i);
+            }));
+            continue;
+        }
         // Build each program once and lend the immutable result to
         // both profiling jobs instead of rebuilding it per job; the
         // shared_ptr keeps it alive until the slower job finishes.

@@ -101,6 +101,10 @@ StoreKey::describe() const
     ss << "budget=" << maxInsts << "|ppm=" << ppmMaxOrder << "|suites=";
     for (size_t i = 0; i < suites.size(); ++i)
         ss << (i ? "," : "") << suites[i];
+    // Appended only when set so interpreter-sourced stores keep their
+    // pre-trace-era key strings (and stay readable).
+    if (!traceDir.empty())
+        ss << "|traces=" << traceDir;
     return ss.str();
 }
 
@@ -114,7 +118,6 @@ ProfileStore::open()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
-    headerOnDisk_ = false;
 
     std::ifstream in(path_, std::ios::binary);
     if (!in)
@@ -132,7 +135,6 @@ ProfileStore::open()
     if (!readString(in, keyCanon) || keyCanon != keyCanon_)
         return false;
 
-    headerOnDisk_ = true;
     StoredProfile p;
     while (readEntry(in, p))
         entries_[p.name()] = p;
@@ -155,22 +157,32 @@ ProfileStore::put(const StoredProfile &profile)
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
 
-    if (!headerOnDisk_) {
-        // First write under this key: start the file over so stale or
-        // foreign-keyed bytes can never be read back.
-        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    // Write the complete store to a sibling and rename it into place:
+    // a crash at any byte of the write leaves the previous complete
+    // file untouched, and rename() on one filesystem is atomic, so a
+    // reader can never observe a header without its entries or an
+    // entry cut mid-double. Rewriting everything per put costs tens
+    // of KB for the full 122-benchmark suite — noise next to one
+    // benchmark's profiling time.
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
             return;
         out.write(kMagic, sizeof(kMagic));
         writePod(out, kFormatVersion);
         writeString(out, keyCanon_);
-        headerOnDisk_ = static_cast<bool>(out);
-        if (!headerOnDisk_)
+        for (const auto &kv : entries_)
+            writeEntry(out, kv.second);
+        out.flush();
+        if (!out) {
+            std::filesystem::remove(tmp, ec);
             return;
+        }
     }
-    std::ofstream out(path_, std::ios::binary | std::ios::app);
-    if (out)
-        writeEntry(out, profile);
+    std::filesystem::rename(tmp, path_, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
 }
 
 } // namespace mica::pipeline

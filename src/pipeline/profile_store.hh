@@ -11,9 +11,11 @@
  * file instead of silently serving stale numbers, which is exactly the
  * bug the old mica_profiles.csv/hpc_profiles.csv cache had.
  *
- * Entries are stored per benchmark and appended as they are produced,
- * so an interrupted sweep resumes from the benchmarks already on disk
- * (a partial cache hit re-profiles only the missing ones).
+ * Entries are stored per benchmark and persisted as they are
+ * produced, so an interrupted sweep resumes from the benchmarks
+ * already on disk (a partial cache hit re-profiles only the missing
+ * ones). Every write goes through a ".tmp" sibling and an atomic
+ * rename, so a crash mid-write can never leave a torn store behind.
  */
 
 #pragma once
@@ -36,6 +38,17 @@ struct StoreKey
     uint64_t maxInsts = 0;
     unsigned ppmMaxOrder = 8;
     std::vector<std::string> suites;
+
+    /**
+     * Trace-replay source (empty = interpret registry kernels).
+     * Callers set it to "<dir>#<content-digest>" — the digest covers
+     * every trace file's name and payload checksum, so re-recording a
+     * trace invalidates the store instead of silently serving
+     * profiles of the old bytes. The reader kind (mmap vs streamed)
+     * is deliberately *not* part of the key — profiles are
+     * byte-identical either way, like engineBatch.
+     */
+    std::string traceDir;
 
     /**
      * @return the canonical key string recorded in the store header
@@ -83,8 +96,11 @@ class ProfileStore
     size_t size() const { return entries_.size(); }
 
     /**
-     * Record one benchmark's result and append it to disk immediately,
-     * creating/rewriting the file (with header) on first write.
+     * Record one benchmark's result and persist immediately. Each
+     * put rewrites the complete store (header + every entry, tens of
+     * KB for the full suite) to a ".tmp" sibling and renames it into
+     * place, so a crash at any instant leaves either the previous
+     * complete file or the new complete file — never a torn one.
      */
     void put(const StoredProfile &profile);
 
@@ -97,7 +113,6 @@ class ProfileStore
     std::string keyCanon_;
     std::map<std::string, StoredProfile> entries_;
     std::mutex mutex_;
-    bool headerOnDisk_ = false;
 };
 
 } // namespace mica::pipeline

@@ -16,26 +16,42 @@ struct Bounds
     double xMin = 0, xMax = 1, yMin = 0, yMax = 1;
 };
 
+/**
+ * Points drawable from a series: x and y can disagree in length (a
+ * caller bug), in which case only the common prefix is plotted —
+ * indexing past the shorter vector read out of bounds here.
+ */
+size_t
+seriesLen(const Series &s)
+{
+    return std::min(s.x.size(), s.y.size());
+}
+
 Bounds
 findBounds(const std::vector<Series> &series, const PlotConfig &cfg)
 {
-    if (cfg.fixedScale)
-        return {cfg.xMin, cfg.xMax, cfg.yMin, cfg.yMax};
     Bounds b;
-    bool first = true;
-    for (const auto &s : series) {
-        for (size_t i = 0; i < s.x.size(); ++i) {
-            if (first) {
-                b.xMin = b.xMax = s.x[i];
-                b.yMin = b.yMax = s.y[i];
-                first = false;
+    if (cfg.fixedScale) {
+        b = {cfg.xMin, cfg.xMax, cfg.yMin, cfg.yMax};
+    } else {
+        bool first = true;
+        for (const auto &s : series) {
+            for (size_t i = 0; i < seriesLen(s); ++i) {
+                if (first) {
+                    b.xMin = b.xMax = s.x[i];
+                    b.yMin = b.yMax = s.y[i];
+                    first = false;
+                }
+                b.xMin = std::min(b.xMin, s.x[i]);
+                b.xMax = std::max(b.xMax, s.x[i]);
+                b.yMin = std::min(b.yMin, s.y[i]);
+                b.yMax = std::max(b.yMax, s.y[i]);
             }
-            b.xMin = std::min(b.xMin, s.x[i]);
-            b.xMax = std::max(b.xMax, s.x[i]);
-            b.yMin = std::min(b.yMin, s.y[i]);
-            b.yMax = std::max(b.yMax, s.y[i]);
         }
     }
+    // Degenerate ranges divide by zero in the cell mapping; widening
+    // applies to fixed scales too (a caller passing xMax == xMin used
+    // to get NaN coordinates on every point).
     if (b.xMax <= b.xMin)
         b.xMax = b.xMin + 1.0;
     if (b.yMax <= b.yMin)
@@ -73,7 +89,7 @@ scatterPlot(const std::vector<Series> &series, const PlotConfig &cfg)
     std::vector<std::string> grid(cfg.height,
                                   std::string(cfg.width, ' '));
     for (const auto &s : series) {
-        for (size_t i = 0; i < s.x.size(); ++i) {
+        for (size_t i = 0; i < seriesLen(s); ++i) {
             const double fx = (s.x[i] - b.xMin) / (b.xMax - b.xMin);
             const double fy = (s.y[i] - b.yMin) / (b.yMax - b.yMin);
             const int cx = std::clamp(
@@ -103,7 +119,7 @@ densityPlot(const std::vector<double> &x, const std::vector<double> &y,
     const Bounds b = findBounds({s}, cfg);
     std::vector<std::vector<int>> count(
         cfg.height, std::vector<int>(cfg.width, 0));
-    for (size_t i = 0; i < x.size(); ++i) {
+    for (size_t i = 0; i < std::min(x.size(), y.size()); ++i) {
         const double fx = (x[i] - b.xMin) / (b.xMax - b.xMin);
         const double fy = (y[i] - b.yMin) / (b.yMax - b.yMin);
         const int cx = std::clamp(

@@ -1,0 +1,735 @@
+#include "trace/trace_file.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "trace/synthetic.hh"
+
+namespace mica
+{
+
+namespace
+{
+
+constexpr char kTraceMagic[8] = {'M', 'I', 'C', 'A', 'T', 'R', 'C', '\n'};
+constexpr uint32_t kTraceChunkMagic = 0x4b484354;   // "TCHK"
+constexpr size_t kTraceHeaderBytes = 48;
+constexpr size_t kChunkHeaderBytes = 8;
+
+static_assert(std::is_trivially_copyable<InstRecord>::value,
+              "trace files store raw InstRecord bytes");
+static_assert(alignof(InstRecord) <= 8,
+              "chunk layout only guarantees 8-byte record alignment");
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/** Fixed-size header, written and patched field by field. */
+struct TraceHeader
+{
+    uint32_t version = kTraceFormatVersion;
+    uint32_t recordBytes = sizeof(InstRecord);
+    uint64_t layoutHash = kTraceLayoutHash;
+    uint64_t recordCount = kTraceUnfinished;
+    uint64_t payloadBytes = 0;
+    uint64_t payloadHash = kFnvOffset;
+};
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+readPod(std::istream &in, T &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return in.gcount() == sizeof(T);
+}
+
+void
+writeHeader(std::ostream &out, const TraceHeader &h)
+{
+    out.write(kTraceMagic, sizeof(kTraceMagic));
+    writePod(out, h.version);
+    writePod(out, h.recordBytes);
+    writePod(out, h.layoutHash);
+    writePod(out, h.recordCount);
+    writePod(out, h.payloadBytes);
+    writePod(out, h.payloadHash);
+}
+
+/**
+ * Parse and check everything the header alone can prove; chunk-chain
+ * checks need the file size and are done by probeTraceFile.
+ */
+void
+readAndCheckHeader(std::istream &in, const std::string &path,
+                   TraceHeader &h)
+{
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() != sizeof(magic) ||
+        std::memcmp(magic, kTraceMagic, sizeof(kTraceMagic)) != 0)
+        throw TraceFileError(path, "not a mica trace file (bad magic)");
+    if (!readPod(in, h.version) || !readPod(in, h.recordBytes) ||
+        !readPod(in, h.layoutHash) || !readPod(in, h.recordCount) ||
+        !readPod(in, h.payloadBytes) || !readPod(in, h.payloadHash))
+        throw TraceFileError(path, "truncated header");
+    if (h.version != kTraceFormatVersion) {
+        throw TraceFileError(
+            path, "unsupported trace format version " +
+                std::to_string(h.version) + " (expected " +
+                std::to_string(kTraceFormatVersion) + ")");
+    }
+    if (h.recordBytes != sizeof(InstRecord) ||
+        h.layoutHash != kTraceLayoutHash) {
+        throw TraceFileError(path,
+                             "record layout mismatch (file recorded by "
+                             "an incompatible build)");
+    }
+    if (h.recordCount == kTraceUnfinished)
+        throw TraceFileError(path,
+                             "unfinished recording (writer never closed)");
+}
+
+} // namespace
+
+/**
+ * Incremental FNV-1a folding 8 bytes per step (then byte-at-a-time
+ * for the tail). Word-wise keeps the open-time validation pass at a
+ * small fraction of replay cost instead of dominating it; detection
+ * strength is equivalent for the flipped-bits/truncation corruption
+ * this guards against.
+ */
+uint64_t
+fnv1a(const void *data, size_t n, uint64_t h)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    while (n >= 8) {
+        uint64_t w;
+        std::memcpy(&w, p, 8);
+        h ^= w;
+        h *= kFnvPrime;
+        p += 8;
+        n -= 8;
+    }
+    while (n > 0) {
+        h ^= *p++;
+        h *= kFnvPrime;
+        --n;
+    }
+    return h;
+}
+
+TraceFileInfo
+probeTraceFile(const std::string &path)
+{
+    std::error_code ec;
+    const uint64_t fileBytes = std::filesystem::file_size(path, ec);
+    if (ec)
+        throw TraceFileError(path, "cannot stat: " + ec.message());
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw TraceFileError(path, "cannot open");
+
+    TraceHeader h;
+    readAndCheckHeader(in, path, h);
+    if (fileBytes != kTraceHeaderBytes + h.payloadBytes)
+        throw TraceFileError(path, "truncated or oversized payload (" +
+                                       std::to_string(fileBytes) +
+                                       " bytes on disk, header claims " +
+                                       std::to_string(kTraceHeaderBytes +
+                                                      h.payloadBytes) +
+                                       ")");
+
+    // Walk the chunk chain in one sequential read: every chunk
+    // magic/count must check out, the counts must add up to exactly
+    // the header's record count, and every payload byte feeds the
+    // checksum — a flipped bit anywhere rejects the file instead of
+    // silently replaying altered records.
+    TraceFileInfo info;
+    info.recordCount = h.recordCount;
+    info.payloadBytes = h.payloadBytes;
+    uint64_t offset = 0;
+    uint64_t records = 0;
+    uint64_t hash = kFnvOffset;
+    std::vector<char> io(1 << 20);
+    while (offset < h.payloadBytes) {
+        if (h.payloadBytes - offset < kChunkHeaderBytes)
+            throw TraceFileError(path, "truncated chunk header");
+        uint32_t magic = 0, count = 0;
+        if (!readPod(in, magic) || !readPod(in, count))
+            throw TraceFileError(path, "truncated chunk header");
+        if (magic != kTraceChunkMagic || count == 0)
+            throw TraceFileError(path, "corrupt chunk header at payload "
+                                       "offset " + std::to_string(offset));
+        hash = fnv1a(&magic, sizeof(magic), hash);
+        hash = fnv1a(&count, sizeof(count), hash);
+        uint64_t bytes = uint64_t(count) * sizeof(InstRecord);
+        if (h.payloadBytes - offset - kChunkHeaderBytes < bytes)
+            throw TraceFileError(path, "truncated chunk payload");
+        offset += kChunkHeaderBytes + bytes;
+        while (bytes > 0) {
+            const size_t take =
+                static_cast<size_t>(std::min<uint64_t>(bytes, io.size()));
+            in.read(io.data(), static_cast<std::streamsize>(take));
+            if (in.gcount() != static_cast<std::streamsize>(take))
+                throw TraceFileError(path, "truncated chunk payload");
+            hash = fnv1a(io.data(), take, hash);
+            bytes -= take;
+        }
+        records += count;
+        ++info.chunkCount;
+    }
+    if (records != h.recordCount)
+        throw TraceFileError(path, "record count mismatch (header says " +
+                                       std::to_string(h.recordCount) +
+                                       ", chunks hold " +
+                                       std::to_string(records) + ")");
+    if (hash != h.payloadHash)
+        throw TraceFileError(path, "payload checksum mismatch");
+    info.payloadHash = hash;
+    return info;
+}
+
+// ----------------------------------------------------------------------
+// TraceFileWriter
+// ----------------------------------------------------------------------
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : path_(path), tmpPath_(path + ".tmp")
+{
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+
+    out_.open(tmpPath_, std::ios::binary | std::ios::trunc);
+    if (!out_)
+        throw TraceFileError(tmpPath_, "cannot open for writing");
+    writeHeader(out_, TraceHeader{});    // recordCount = unfinished
+    chunk_.reserve(kChunkRecords);
+    open_ = true;
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (open_)
+        abort();
+}
+
+void
+TraceFileWriter::append(const InstRecord &rec)
+{
+    append(&rec, 1);
+}
+
+void
+TraceFileWriter::append(const InstRecord *recs, size_t n)
+{
+    // Copy field by field into a once-zeroed scratch record so struct
+    // padding bytes land on disk as zeros — recordings of the same
+    // trace are byte-identical files, not just equivalent ones.
+    InstRecord clean;
+    std::memset(static_cast<void *>(&clean), 0, sizeof(clean));
+    for (size_t i = 0; i < n; ++i) {
+        const InstRecord &r = recs[i];
+        clean.pc = r.pc;
+        clean.cls = r.cls;
+        clean.numSrcRegs = r.numSrcRegs;
+        clean.srcRegs = r.srcRegs;
+        clean.dstReg = r.dstReg;
+        clean.memAddr = r.memAddr;
+        clean.memSize = r.memSize;
+        clean.taken = r.taken;
+        clean.target = r.target;
+        chunk_.push_back(clean);
+        if (chunk_.size() == kChunkRecords)
+            flushChunk();
+    }
+    count_ += n;
+}
+
+void
+TraceFileWriter::flushChunk()
+{
+    if (chunk_.empty())
+        return;
+    const uint32_t count = static_cast<uint32_t>(chunk_.size());
+    const size_t bytes = chunk_.size() * sizeof(InstRecord);
+    writePod(out_, kTraceChunkMagic);
+    writePod(out_, count);
+    out_.write(reinterpret_cast<const char *>(chunk_.data()),
+               static_cast<std::streamsize>(bytes));
+    payloadHash_ = fnv1a(&kTraceChunkMagic, sizeof(kTraceChunkMagic),
+                         payloadHash_);
+    payloadHash_ = fnv1a(&count, sizeof(count), payloadHash_);
+    payloadHash_ = fnv1a(chunk_.data(), bytes, payloadHash_);
+    payloadBytes_ += kChunkHeaderBytes + bytes;
+    chunk_.clear();
+}
+
+void
+TraceFileWriter::close()
+{
+    if (!open_)
+        return;
+    flushChunk();
+
+    TraceHeader h;
+    h.recordCount = count_;
+    h.payloadBytes = payloadBytes_;
+    h.payloadHash = payloadHash_;
+    out_.seekp(0);
+    writeHeader(out_, h);
+    out_.flush();
+    const bool ok = static_cast<bool>(out_);
+    out_.close();
+    open_ = false;
+
+    std::error_code ec;
+    if (ok)
+        std::filesystem::rename(tmpPath_, path_, ec);
+    if (!ok || ec) {
+        std::error_code rmEc;
+        std::filesystem::remove(tmpPath_, rmEc);
+        throw TraceFileError(path_, ok ? "cannot rename into place"
+                                       : "write failed (disk full?)");
+    }
+}
+
+void
+TraceFileWriter::abort()
+{
+    if (open_) {
+        out_.close();
+        open_ = false;
+    }
+    std::error_code ec;
+    std::filesystem::remove(tmpPath_, ec);
+}
+
+// ----------------------------------------------------------------------
+// FileTraceSource (streamed)
+// ----------------------------------------------------------------------
+
+FileTraceSource::FileTraceSource(const std::string &path,
+                                 const TraceFileInfo *known)
+    : path_(path), info_(known ? *known : probeTraceFile(path))
+{
+    in_.open(path_, std::ios::binary);
+    if (!in_)
+        throw TraceFileError(path_, "cannot open");
+    if (known) {
+        // The caller already validated the payload; re-check only the
+        // header so a file swapped since that scan still rejects.
+        TraceHeader h;
+        readAndCheckHeader(in_, path_, h);
+        if (h.recordCount != info_.recordCount ||
+            h.payloadBytes != info_.payloadBytes ||
+            h.payloadHash != info_.payloadHash)
+            throw TraceFileError(path_, "file changed since it was "
+                                        "scanned");
+    }
+    in_.seekg(kTraceHeaderBytes);
+}
+
+bool
+FileTraceSource::refill()
+{
+    if (chunksRead_ == info_.chunkCount)
+        return false;
+    uint32_t magic = 0, count = 0;
+    // probeTraceFile validated the whole chain; a mismatch here means
+    // the file changed underneath us, which must not degrade into a
+    // silently short trace.
+    if (!readPod(in_, magic) || !readPod(in_, count) ||
+        magic != kTraceChunkMagic || count == 0)
+        throw TraceFileError(path_, "chunk header changed after open");
+    buf_.resize(count);
+    in_.read(reinterpret_cast<char *>(buf_.data()),
+             static_cast<std::streamsize>(count * sizeof(InstRecord)));
+    if (in_.gcount() !=
+        static_cast<std::streamsize>(count * sizeof(InstRecord)))
+        throw TraceFileError(path_, "chunk payload changed after open");
+    pos_ = 0;
+    ++chunksRead_;
+    return true;
+}
+
+bool
+FileTraceSource::next(InstRecord &rec)
+{
+    if (pos_ == buf_.size() && !refill())
+        return false;
+    rec = buf_[pos_++];
+    return true;
+}
+
+size_t
+FileTraceSource::nextBatch(InstRecord *buf, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        if (pos_ == buf_.size() && !refill())
+            break;
+        const size_t take = std::min(n - got, buf_.size() - pos_);
+        std::copy_n(buf_.data() + pos_, take, buf + got);
+        pos_ += take;
+        got += take;
+    }
+    return got;
+}
+
+size_t
+FileTraceSource::nextSpan(const InstRecord *&span, InstRecord *, size_t n)
+{
+    if (pos_ == buf_.size() && !refill())
+        return 0;
+    const size_t got = std::min(n, buf_.size() - pos_);
+    span = buf_.data() + pos_;
+    pos_ += got;
+    return got;
+}
+
+bool
+FileTraceSource::reset()
+{
+    in_.clear();
+    in_.seekg(kTraceHeaderBytes);
+    buf_.clear();
+    pos_ = 0;
+    chunksRead_ = 0;
+    return true;
+}
+
+// ----------------------------------------------------------------------
+// MappedTraceSource
+// ----------------------------------------------------------------------
+
+MappedTraceSource::MappedTraceSource(const std::string &path,
+                                     const TraceFileInfo *known)
+    : path_(path), info_(known ? *known : probeTraceFile(path))
+{
+    mapBytes_ = kTraceHeaderBytes + info_.payloadBytes;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw TraceFileError(path, "cannot open");
+    // The probe ran against a separate open: re-stat through this fd
+    // so a file swapped in between cannot shrink the mapping under
+    // the validated byte counts (reads past EOF in a mapping are
+    // SIGBUS, not recoverable errors).
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 ||
+        static_cast<uint64_t>(st.st_size) != mapBytes_) {
+        ::close(fd);
+        throw TraceFileError(path, "file changed since it was scanned");
+    }
+    void *base =
+        ::mmap(nullptr, mapBytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED)
+        throw TraceFileError(path, "mmap failed");
+    base_ = static_cast<const char *>(base);
+    cursor_ = base_ + kTraceHeaderBytes;
+
+    // Validate the mapped header itself (cheap), so both the no-probe
+    // fast path and a probe raced by a same-size rewrite reject here.
+    TraceHeader h;
+    std::memcpy(&h.version, base_ + 8, sizeof(h.version));
+    std::memcpy(&h.recordBytes, base_ + 12, sizeof(h.recordBytes));
+    std::memcpy(&h.layoutHash, base_ + 16, sizeof(h.layoutHash));
+    std::memcpy(&h.recordCount, base_ + 24, sizeof(h.recordCount));
+    std::memcpy(&h.payloadBytes, base_ + 32, sizeof(h.payloadBytes));
+    std::memcpy(&h.payloadHash, base_ + 40, sizeof(h.payloadHash));
+    if (std::memcmp(base_, kTraceMagic, sizeof(kTraceMagic)) != 0 ||
+        h.version != kTraceFormatVersion ||
+        h.recordBytes != sizeof(InstRecord) ||
+        h.layoutHash != kTraceLayoutHash ||
+        h.recordCount != info_.recordCount ||
+        h.payloadBytes != info_.payloadBytes ||
+        h.payloadHash != info_.payloadHash) {
+        ::munmap(const_cast<char *>(base_), mapBytes_);
+        base_ = nullptr;
+        throw TraceFileError(path, "file changed since it was scanned");
+    }
+}
+
+MappedTraceSource::~MappedTraceSource()
+{
+    if (base_)
+        ::munmap(const_cast<char *>(base_), mapBytes_);
+}
+
+bool
+MappedTraceSource::advanceChunk()
+{
+    const char *end = base_ + mapBytes_;
+    if (cursor_ == end)
+        return false;
+    // Bounds-check every chunk walk: the validation probe ran against
+    // a separate open of the path, so a concurrent rewrite could put
+    // arbitrary counts here — decoding them unchecked would walk the
+    // cursor (and the next memcpy) out of the mapping.
+    uint32_t magic = 0, count = 0;
+    if (end - cursor_ < static_cast<ptrdiff_t>(kChunkHeaderBytes))
+        throw TraceFileError(path_, "chunk header out of bounds (file "
+                                    "changed after open?)");
+    std::memcpy(&magic, cursor_, sizeof(magic));
+    std::memcpy(&count, cursor_ + 4, sizeof(count));
+    if (magic != kTraceChunkMagic || count == 0 ||
+        static_cast<uint64_t>(end - cursor_) - kChunkHeaderBytes <
+            uint64_t(count) * sizeof(InstRecord))
+        throw TraceFileError(path_, "corrupt chunk in mapping (file "
+                                    "changed after open?)");
+    recs_ = reinterpret_cast<const InstRecord *>(cursor_ +
+                                                 kChunkHeaderBytes);
+    left_ = count;
+    cursor_ += kChunkHeaderBytes + size_t(count) * sizeof(InstRecord);
+    return true;
+}
+
+bool
+MappedTraceSource::next(InstRecord &rec)
+{
+    if (left_ == 0 && !advanceChunk())
+        return false;
+    rec = *recs_++;
+    --left_;
+    return true;
+}
+
+size_t
+MappedTraceSource::nextBatch(InstRecord *buf, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        if (left_ == 0 && !advanceChunk())
+            break;
+        const size_t take = std::min(n - got, left_);
+        std::copy_n(recs_, take, buf + got);
+        recs_ += take;
+        left_ -= take;
+        got += take;
+    }
+    return got;
+}
+
+size_t
+MappedTraceSource::nextSpan(const InstRecord *&span, InstRecord *,
+                            size_t n)
+{
+    if (left_ == 0 && !advanceChunk())
+        return 0;
+    const size_t got = std::min(n, left_);
+    span = recs_;
+    recs_ += got;
+    left_ -= got;
+    return got;
+}
+
+bool
+MappedTraceSource::reset()
+{
+    cursor_ = base_ ? base_ + kTraceHeaderBytes : nullptr;
+    recs_ = nullptr;
+    left_ = 0;
+    return true;
+}
+
+// ----------------------------------------------------------------------
+// Text traces
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+/** Lower-cased copy for case-insensitive matching. */
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+/** @return true and the class for a known class token. */
+bool
+classFromToken(const std::string &token, InstClass &cls)
+{
+    const std::string t = lowered(token);
+    if (t == "intalu" || t == "alu" || t == "int")
+        cls = InstClass::IntAlu;
+    else if (t == "intmul" || t == "mul")
+        cls = InstClass::IntMul;
+    else if (t == "intdiv" || t == "div")
+        cls = InstClass::IntDiv;
+    else if (t == "fpalu" || t == "fp")
+        cls = InstClass::FpAlu;
+    else if (t == "fpmul")
+        cls = InstClass::FpMul;
+    else if (t == "fpdiv")
+        cls = InstClass::FpDiv;
+    else if (t == "load" || t == "ld")
+        cls = InstClass::Load;
+    else if (t == "store" || t == "st")
+        cls = InstClass::Store;
+    else if (t == "branch" || t == "br")
+        cls = InstClass::Branch;
+    else if (t == "jump" || t == "jmp")
+        cls = InstClass::Jump;
+    else if (t == "call")
+        cls = InstClass::Call;
+    else if (t == "return" || t == "ret")
+        cls = InstClass::Return;
+    else if (t == "nop")
+        cls = InstClass::Nop;
+    else
+        return false;
+    return true;
+}
+
+/** Lenient number parse (decimal or 0x hex); false on garbage. */
+bool
+parseU64(const std::string &s, uint64_t &v)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    v = std::strtoull(s.c_str(), &end, 0);
+    return *end == '\0';
+}
+
+bool
+parseBool(const std::string &s, bool &v)
+{
+    const std::string t = lowered(s);
+    if (t == "1" || t == "true" || t == "t" || t == "yes") {
+        v = true;
+        return true;
+    }
+    if (t == "0" || t == "false" || t == "f" || t == "no") {
+        v = false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<InstRecord>
+parseTextTrace(std::istream &in, const std::string &what)
+{
+    std::vector<InstRecord> out;
+    std::string line;
+    size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        // Strip comments; commas count as whitespace so CSV-style
+        // rows parse the same as space-separated ones.
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        for (char &c : line) {
+            if (c == ',')
+                c = ' ';
+        }
+        std::istringstream ls(line);
+        std::string token;
+        if (!(ls >> token))
+            continue;   // blank line
+
+        InstRecord rec;
+        if (!classFromToken(token, rec.cls)) {
+            throw TraceFileError(
+                what, "line " + std::to_string(lineNo) +
+                          ": unknown instruction class '" + token + "'");
+        }
+        // Defaults a hand-made trace should not have to spell out:
+        // sequential PCs, 8-byte accesses, unconditional transfers
+        // taken.
+        rec.pc = 0x400000 + 4 * out.size();
+        if (rec.isMem())
+            rec.memSize = 8;
+        if (rec.cls == InstClass::Jump || rec.cls == InstClass::Call ||
+            rec.cls == InstClass::Return)
+            rec.taken = true;
+
+        while (ls >> token) {
+            const size_t eq = token.find('=');
+            if (eq == std::string::npos)
+                continue;   // lenient: stray token
+            const std::string key = lowered(token.substr(0, eq));
+            const std::string val = token.substr(eq + 1);
+            uint64_t num = 0;
+            if (key == "pc" && parseU64(val, num)) {
+                rec.pc = num;
+            } else if ((key == "addr" || key == "mem") &&
+                       parseU64(val, num)) {
+                rec.memAddr = num;
+            } else if (key == "size" && parseU64(val, num)) {
+                rec.memSize = static_cast<uint8_t>(num);
+            } else if (key == "dst" && parseU64(val, num)) {
+                rec.dstReg = static_cast<uint16_t>(num);
+            } else if (key == "target" && parseU64(val, num)) {
+                rec.target = num;
+            } else if (key == "taken") {
+                bool b = false;
+                if (parseBool(val, b))
+                    rec.taken = b;
+            } else if (key == "src") {
+                std::istringstream ss(val);
+                std::string part;
+                rec.numSrcRegs = 0;
+                while (std::getline(ss, part, ':') &&
+                       rec.numSrcRegs < rec.srcRegs.size()) {
+                    if (parseU64(part, num)) {
+                        rec.srcRegs[rec.numSrcRegs++] =
+                            static_cast<uint16_t>(num);
+                    }
+                }
+            }
+            // Unknown keys and malformed values fall through: lenient.
+        }
+        out.push_back(rec);
+    }
+    return out;
+}
+
+std::vector<InstRecord>
+readTextTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw TraceFileError(path, "cannot open");
+    return parseTextTrace(in, path);
+}
+
+std::unique_ptr<TraceSource>
+openTraceFile(const std::string &path, bool streamed,
+              const TraceFileInfo *known)
+{
+    const std::string ext =
+        std::filesystem::path(path).extension().string();
+    if (ext == ".csv" || ext == ".txt")
+        return std::make_unique<VectorTraceSource>(readTextTrace(path));
+    if (streamed)
+        return std::make_unique<FileTraceSource>(path, known);
+    return std::make_unique<MappedTraceSource>(path, known);
+}
+
+} // namespace mica

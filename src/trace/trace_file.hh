@@ -1,0 +1,359 @@
+/**
+ * @file
+ * File-backed trace recording and replay.
+ *
+ * The paper's methodology is defined over dynamic instruction traces,
+ * but until this subsystem every trace had to come from the built-in
+ * mini-ISA interpreter. A versioned binary trace format decouples the
+ * two: any TraceSource can be teed to disk once (RecordingSource +
+ * TraceFileWriter) and replayed any number of times, byte-identically,
+ * by either of two readers — a streamed FileTraceSource and an
+ * mmap-backed MappedTraceSource whose spans point straight into the
+ * mapping (zero copy). A lenient text reader covers hand-made traces.
+ *
+ * Format (all integers native-endian; a byte-swapped file fails the
+ * version check and is rejected):
+ *
+ *   header, 48 bytes:
+ *     char[8]  magic        "MICATRC\n"
+ *     u32      version      kTraceFormatVersion
+ *     u32      recordBytes  sizeof(InstRecord)
+ *     u64      layoutHash   kTraceLayoutHash (field offsets + sizes)
+ *     u64      recordCount  total records (kTraceUnfinished until the
+ *                           writer's close() patches it)
+ *     u64      payloadBytes total bytes of all chunks after the header
+ *     u64      payloadHash  FNV-1a over every payload byte
+ *   payload: a sequence of chunks
+ *     u32      chunkMagic   kTraceChunkMagic
+ *     u32      count        records in this chunk (> 0)
+ *     InstRecord[count]     raw records, padding bytes zeroed
+ *
+ * The header is 48 bytes and every chunk advances the file offset by
+ * 8 + count * sizeof(InstRecord), so records stay 8-byte aligned and
+ * the mmap reader can lend InstRecord spans directly out of the
+ * mapping. Every reader validates the whole chunk structure AND the
+ * payload checksum up front (one sequential read at open; the replay
+ * hot loop stays untouched) and rejects corrupt, truncated, or
+ * version/layout-mismatched files with a TraceFileError naming the
+ * file and the reason — a bad trace file can never silently degrade
+ * into re-interpreting, partial replay, or replaying flipped bits.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/inst_record.hh"
+#include "trace/trace_source.hh"
+
+namespace mica
+{
+
+/** Bump when the on-disk trace layout changes. */
+constexpr uint32_t kTraceFormatVersion = 1;
+
+/** Sentinel recordCount of a recording whose writer never closed. */
+constexpr uint64_t kTraceUnfinished = ~0ull;
+
+/**
+ * Hash of the InstRecord memory layout (size, alignment, and every
+ * field's offset + size). Recorded in the header and compared on open,
+ * so a trace written by a build with a different record layout is
+ * rejected instead of reinterpreting its bytes as garbage.
+ */
+constexpr uint64_t
+traceLayoutHash()
+{
+    uint64_t h = 14695981039346656037ull;   // FNV-1a
+    const uint64_t parts[] = {
+        sizeof(InstRecord), alignof(InstRecord),
+        offsetof(InstRecord, pc), sizeof(uint64_t),
+        offsetof(InstRecord, cls), sizeof(InstClass),
+        offsetof(InstRecord, numSrcRegs), sizeof(uint8_t),
+        offsetof(InstRecord, srcRegs), 3 * sizeof(uint16_t),
+        offsetof(InstRecord, dstReg), sizeof(uint16_t),
+        offsetof(InstRecord, memAddr), sizeof(uint64_t),
+        offsetof(InstRecord, memSize), sizeof(uint8_t),
+        offsetof(InstRecord, taken), sizeof(bool),
+        offsetof(InstRecord, target), sizeof(uint64_t),
+        static_cast<uint64_t>(kNumInstClasses),
+    };
+    for (uint64_t v : parts) {
+        h ^= v;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+constexpr uint64_t kTraceLayoutHash = traceLayoutHash();
+
+/** Every trace-file failure carries the file path and a reason. */
+class TraceFileError : public std::runtime_error
+{
+  public:
+    TraceFileError(const std::string &path, const std::string &reason)
+        : std::runtime_error("trace file " + path + ": " + reason)
+    {}
+};
+
+/** Header facts of one validated binary trace file. */
+struct TraceFileInfo
+{
+    uint64_t recordCount = 0;   ///< total records across all chunks
+    uint64_t payloadBytes = 0;  ///< bytes after the 48-byte header
+    uint64_t chunkCount = 0;    ///< number of payload chunks
+    uint64_t payloadHash = 0;   ///< verified FNV-1a of the payload
+};
+
+/** Word-folding FNV-1a, the hash the trace format uses throughout. */
+uint64_t fnv1a(const void *data, size_t n,
+               uint64_t h = 14695981039346656037ull);
+
+/**
+ * Validate @p path as a binary trace file: header fields, exact file
+ * size, and the full chunk chain (magics, counts, and their sum).
+ *
+ * @return the validated header facts.
+ * @throws TraceFileError naming the file and the failed check.
+ */
+TraceFileInfo probeTraceFile(const std::string &path);
+
+/**
+ * Streaming writer for the binary trace format.
+ *
+ * Records are buffered into fixed-size chunks and flushed as each
+ * chunk fills. All bytes go to "<path>.tmp"; close() patches the
+ * final record count into the header and renames the file into place,
+ * so readers only ever see complete traces — a crash mid-recording
+ * leaves at most a stale .tmp sibling, never a torn trace file.
+ */
+class TraceFileWriter
+{
+  public:
+    /** Records buffered per chunk (192 KB of payload). */
+    static constexpr size_t kChunkRecords = 4096;
+
+    /**
+     * Create the destination directory if needed and open the .tmp
+     * sibling. @throws TraceFileError when the file cannot be opened.
+     */
+    explicit TraceFileWriter(const std::string &path);
+
+    /** Discards the .tmp file unless close() already ran. */
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    /** Append one record. */
+    void append(const InstRecord &rec);
+
+    /** Append @p n records. */
+    void append(const InstRecord *recs, size_t n);
+
+    /**
+     * Flush pending records, finalize the header, and atomically
+     * rename the .tmp file to the destination path.
+     * @throws TraceFileError when any write or the rename fails.
+     */
+    void close();
+
+    /** Abandon the recording and delete the .tmp file. */
+    void abort();
+
+    /** @return records appended so far. */
+    uint64_t recordCount() const { return count_; }
+
+    /** @return the destination path. */
+    const std::string &path() const { return path_; }
+
+  private:
+    void flushChunk();
+
+    std::string path_;
+    std::string tmpPath_;
+    std::ofstream out_;
+    std::vector<InstRecord> chunk_;
+    uint64_t count_ = 0;
+    uint64_t payloadBytes_ = 0;
+    uint64_t payloadHash_ = 14695981039346656037ull;    // FNV-1a basis
+    bool open_ = false;
+};
+
+/**
+ * Streamed reader: one buffered chunk in memory at a time, so replay
+ * cost is O(chunk) memory regardless of trace length. Supports
+ * reset(); spans point into the internal chunk buffer.
+ */
+class FileTraceSource : public TraceSource
+{
+  public:
+    /**
+     * @param known facts from an earlier probeTraceFile of this file:
+     *        when given, the constructor re-validates only the header
+     *        (cheap) instead of re-reading the whole payload — the
+     *        chunk-level guards still reject a file that changed
+     *        underneath. When omitted, the file is fully probed.
+     * @throws TraceFileError when the file fails validation.
+     */
+    explicit FileTraceSource(const std::string &path,
+                             const TraceFileInfo *known = nullptr);
+
+    bool next(InstRecord &rec) override;
+    size_t nextBatch(InstRecord *buf, size_t n) override;
+    size_t nextSpan(const InstRecord *&span, InstRecord *buf,
+                    size_t n) override;
+    bool reset() override;
+
+    /** @return total records in the file. */
+    uint64_t recordCount() const { return info_.recordCount; }
+
+  private:
+    /** Load the next chunk into buf_; @return false at end of trace. */
+    bool refill();
+
+    std::string path_;
+    TraceFileInfo info_;
+    std::ifstream in_;
+    std::vector<InstRecord> buf_;
+    size_t pos_ = 0;            ///< consumed records within buf_
+    uint64_t chunksRead_ = 0;
+};
+
+/**
+ * mmap-backed reader: the whole file is mapped read-only and
+ * nextSpan() lends records directly out of the mapping — zero copies
+ * on the profiling hot path (chunks keep records 8-byte aligned).
+ * Supports reset().
+ */
+class MappedTraceSource : public TraceSource
+{
+  public:
+    /**
+     * @param known as for FileTraceSource: skips the full payload
+     *        re-probe; the mapping's header and size are still
+     *        verified and every chunk walk is bounds-checked.
+     * @throws TraceFileError when the file fails validation or mmap.
+     */
+    explicit MappedTraceSource(const std::string &path,
+                               const TraceFileInfo *known = nullptr);
+
+    ~MappedTraceSource() override;
+
+    MappedTraceSource(const MappedTraceSource &) = delete;
+    MappedTraceSource &operator=(const MappedTraceSource &) = delete;
+
+    bool next(InstRecord &rec) override;
+    size_t nextBatch(InstRecord *buf, size_t n) override;
+    size_t nextSpan(const InstRecord *&span, InstRecord *buf,
+                    size_t n) override;
+    bool reset() override;
+
+    /** @return total records in the file. */
+    uint64_t recordCount() const { return info_.recordCount; }
+
+  private:
+    /** Position cursor at the next chunk; @return false at end. */
+    bool advanceChunk();
+
+    std::string path_;
+    TraceFileInfo info_;
+    const char *base_ = nullptr;    ///< mapping base (nullptr if empty)
+    size_t mapBytes_ = 0;
+    const char *cursor_ = nullptr;  ///< next unread chunk header
+    const InstRecord *recs_ = nullptr;  ///< next record in current chunk
+    size_t left_ = 0;               ///< records left in current chunk
+};
+
+/**
+ * Tees every record pulled through it to a TraceFileWriter, whatever
+ * mix of next()/nextBatch()/nextSpan() the consumer uses — each
+ * consumed record is written exactly once, in trace order. The
+ * wrapper is single-pass: reset() refuses (a rewound replay would be
+ * recorded twice), so record a fresh wrapper per pass instead.
+ */
+class RecordingSource : public TraceSource
+{
+  public:
+    RecordingSource(TraceSource &inner, TraceFileWriter &writer)
+        : inner_(inner), writer_(writer)
+    {}
+
+    bool
+    next(InstRecord &rec) override
+    {
+        if (!inner_.next(rec))
+            return false;
+        writer_.append(rec);
+        return true;
+    }
+
+    size_t
+    nextBatch(InstRecord *buf, size_t n) override
+    {
+        const size_t got = inner_.nextBatch(buf, n);
+        writer_.append(buf, got);
+        return got;
+    }
+
+    size_t
+    nextSpan(const InstRecord *&span, InstRecord *buf, size_t n) override
+    {
+        const size_t got = inner_.nextSpan(span, buf, n);
+        writer_.append(span, got);
+        return got;
+    }
+
+    bool reset() override { return false; }
+
+  private:
+    TraceSource &inner_;
+    TraceFileWriter &writer_;
+};
+
+/**
+ * Parse a hand-made text trace. One record per line:
+ *
+ *   # comment                (blank lines and '#' comments skipped)
+ *   load  pc=0x400000 addr=0x10000 size=8 dst=3 src=1:2
+ *   alu   dst=4 src=3
+ *   branch pc=0x400008 taken=1 target=0x400000
+ *
+ * The first token is the instruction class (case-insensitive; the
+ * aliases ld/st/br/jmp/ret/mul/div are accepted), followed by
+ * whitespace- or comma-separated key=value fields: pc, addr, size,
+ * dst, src (colon-separated list), taken (0/1/true/false), target.
+ * The reader is lenient: unknown keys and malformed values are
+ * ignored, missing fields get sensible defaults (sequential PCs,
+ * 8-byte accesses, unconditional transfers taken) — but an unknown
+ * instruction class throws TraceFileError naming the line, because
+ * silently dropping instructions would skew every characteristic.
+ *
+ * @param what label used in error messages (e.g. the file path)
+ */
+std::vector<InstRecord> parseTextTrace(std::istream &in,
+                                       const std::string &what);
+
+/** Read a text trace file. @throws TraceFileError (open or parse). */
+std::vector<InstRecord> readTextTrace(const std::string &path);
+
+/**
+ * Open a trace file with the reader its extension calls for: binary
+ * ".trace" files via MappedTraceSource (or FileTraceSource when
+ * @p streamed), ".csv"/".txt" text traces via a replay buffer.
+ * @param known optional earlier probe result for binary files (see
+ *        the reader constructors); ignored for text traces.
+ * @throws TraceFileError when the file fails validation.
+ */
+std::unique_ptr<TraceSource> openTraceFile(const std::string &path,
+                                           bool streamed = false,
+                                           const TraceFileInfo *known =
+                                               nullptr);
+
+} // namespace mica

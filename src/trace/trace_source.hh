@@ -65,10 +65,15 @@ class TraceSource
      * The span stays valid until the next call that advances this
      * source. Consumes the same records as nextBatch would.
      *
+     * Unlike nextBatch, a span may be shorter than n away from the
+     * end of the trace: sources with chunked storage (file-backed
+     * traces) lend one chunk's worth at a time, so only a return of 0
+     * signals exhaustion. Consumers must loop until 0.
+     *
      * @param span out-parameter: start of the produced records
      * @param buf  caller-provided backing store of capacity n
      * @param n    maximum records to produce
-     * @return number of records in span; < n only at end of trace.
+     * @return number of records in span; 0 only at end of trace.
      */
     virtual size_t
     nextSpan(const InstRecord *&span, InstRecord *buf, size_t n)

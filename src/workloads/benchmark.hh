@@ -14,9 +14,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "isa/program.hh"
+#include "trace/trace_source.hh"
 
 namespace mica::workloads
 {
@@ -48,11 +50,18 @@ struct BenchmarkInfo
  * One registered benchmark: its Table I identity plus a builder that
  * assembles the substitute kernel. Building is deferred so that merely
  * enumerating the registry is cheap; programs are assembled on demand.
+ *
+ * Trace-backed entries (see traceBenchmarks) carry a source factory
+ * instead: when `source` is set, profiling pulls records from a fresh
+ * TraceSource per job — positioned at the start of the trace — and
+ * `build` is never consulted, so a recorded workload is profiled
+ * exactly like an interpreted one everywhere downstream.
  */
 struct BenchmarkEntry
 {
     BenchmarkInfo info;
     std::function<isa::Program()> build;
+    std::function<std::unique_ptr<TraceSource>()> source;
 };
 
 } // namespace mica::workloads

@@ -13,6 +13,12 @@
 
 #include "workloads/registry.hh"
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "trace/trace_file.hh"
 #include "workloads/kernel_lib.hh"
 
 namespace mica::workloads
@@ -576,6 +582,16 @@ BenchmarkRegistry::find(const std::string &fullName) const
     return nullptr;
 }
 
+size_t
+BenchmarkRegistry::indexOf(const std::string &fullName) const
+{
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].info.fullName() == fullName)
+            return i;
+    }
+    return static_cast<size_t>(-1);
+}
+
 std::vector<std::string>
 BenchmarkRegistry::suites() const
 {
@@ -588,6 +604,155 @@ BenchmarkRegistry::suites() const
             out.push_back(e.info.suite);
     }
     return out;
+}
+
+namespace
+{
+
+/** Invert the "suite__program.input" filename-stem encoding. */
+BenchmarkInfo
+traceInfoFromStem(const std::string &stem)
+{
+    BenchmarkInfo info;
+    std::string rest = stem;
+    const size_t sep = stem.find("__");
+    if (sep != std::string::npos) {
+        info.suite = stem.substr(0, sep);
+        rest = stem.substr(sep + 2);
+    } else {
+        info.suite = "traces";
+    }
+    // Split at the first '.': inputs may themselves contain dots
+    // ("perlbmk.splitmail.535"), programs never do.
+    const size_t dot = rest.find('.');
+    info.program = rest.substr(0, dot);
+    if (dot != std::string::npos)
+        info.input = rest.substr(dot + 1);
+    return info;
+}
+
+} // namespace
+
+std::vector<BenchmarkEntry>
+traceBenchmarks(const std::string &dir, bool streamReader,
+                uint64_t maxInsts, uint64_t *contentStamp)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        throw TraceFileError(dir, "not a trace directory");
+
+    // Per-entry content identity, folded into *contentStamp after the
+    // deterministic sort so cache keys depend on what the traces hold.
+    std::vector<uint64_t> fileHash;
+    std::vector<BenchmarkEntry> out;
+    for (const auto &de : fs::directory_iterator(dir)) {
+        if (!de.is_regular_file())
+            continue;
+        const fs::path &p = de.path();
+        const std::string ext = p.extension().string();
+        const bool binary = ext == ".trace";
+        if (!binary && ext != ".csv" && ext != ".txt")
+            continue;
+
+        BenchmarkEntry e;
+        e.info = traceInfoFromStem(p.stem().string());
+        uint64_t contentId = 0;
+        if (binary) {
+            // Eager validation: a bad file must reject at scan time,
+            // not degrade the sweep later. The factories reuse this
+            // probe (header-only re-check per open) instead of
+            // re-reading the payload on every job.
+            const TraceFileInfo fi = probeTraceFile(p.string());
+            e.info.paperICountM = fi.recordCount / 1000000;
+            if (maxInsts != 0 && maxInsts > fi.recordCount) {
+                throw TraceFileError(
+                    p.string(),
+                    "holds " + std::to_string(fi.recordCount) +
+                        " records but the profiling budget is " +
+                        std::to_string(maxInsts) +
+                        " — replay would silently diverge from direct "
+                        "interpretation (lower --budget, use 0, or "
+                        "re-record)");
+            }
+            contentId = fnv1a(&fi.recordCount, sizeof(fi.recordCount),
+                              fnv1a(&fi.payloadHash,
+                                    sizeof(fi.payloadHash)));
+            e.source = [path = p.string(), streamReader, fi] {
+                return openTraceFile(path, streamReader, &fi);
+            };
+        } else {
+            if (contentStamp || maxInsts != 0) {
+                std::ifstream in(p.string(), std::ios::binary);
+                std::ostringstream bytes;
+                bytes << in.rdbuf();
+                const std::string s = bytes.str();
+                contentId = fnv1a(s.data(), s.size());
+                if (maxInsts != 0) {
+                    // Text traces get the same budget guard as binary
+                    // ones: coming up short must reject, not silently
+                    // profile a shorter stream.
+                    std::istringstream text(s);
+                    const size_t n =
+                        parseTextTrace(text, p.string()).size();
+                    if (maxInsts > n) {
+                        throw TraceFileError(
+                            p.string(),
+                            "holds " + std::to_string(n) +
+                                " records but the profiling budget "
+                                "is " + std::to_string(maxInsts) +
+                                " — replay would silently diverge "
+                                "(lower --budget or use 0)");
+                    }
+                }
+            }
+            e.source = [path = p.string(), streamReader] {
+                return openTraceFile(path, streamReader);
+            };
+        }
+        fileHash.push_back(contentId);
+        out.push_back(std::move(e));
+    }
+
+    // Precompute each entry's Table I position and name once: the
+    // comparator runs O(M log M) times and indexOf is a linear
+    // registry scan.
+    const auto &reg = BenchmarkRegistry::instance();
+    std::vector<size_t> regIdx(out.size());
+    std::vector<std::string> names(out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+        names[i] = out[i].info.fullName();
+        regIdx[i] = reg.indexOf(names[i]);
+    }
+    std::vector<size_t> order(out.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (regIdx[a] != regIdx[b])
+            return regIdx[a] < regIdx[b];
+        return names[a] < names[b];
+    });
+
+    std::vector<BenchmarkEntry> sorted;
+    sorted.reserve(out.size());
+    uint64_t stamp = fnv1a(nullptr, 0);
+    for (size_t k = 0; k < order.size(); ++k) {
+        const size_t idx = order[k];
+        const std::string &name = names[idx];
+        // Two files mapping to one benchmark name would profile
+        // whichever happened to win — reject instead of guessing.
+        if (k > 0 && names[order[k - 1]] == name)
+            throw TraceFileError(dir, "duplicate trace benchmark '" +
+                                          name +
+                                          "' (two files map to the "
+                                          "same name)");
+        stamp = fnv1a(name.data(), name.size(), stamp);
+        stamp = fnv1a(&fileHash[idx], sizeof(fileHash[idx]), stamp);
+        sorted.push_back(std::move(out[idx]));
+    }
+    if (contentStamp)
+        *contentStamp = stamp;
+    return sorted;
 }
 
 } // namespace mica::workloads

@@ -38,6 +38,9 @@ class BenchmarkRegistry
     /** @return entry with the given "suite/program.input" name. */
     const BenchmarkEntry *find(const std::string &fullName) const;
 
+    /** @return Table I position of a name, or npos when unknown. */
+    size_t indexOf(const std::string &fullName) const;
+
     /** @return the distinct suite names, in first-appearance order. */
     std::vector<std::string> suites() const;
 
@@ -46,5 +49,50 @@ class BenchmarkRegistry
 
     std::vector<BenchmarkEntry> entries_;
 };
+
+/**
+ * Surface a directory of recorded traces as first-class benchmarks.
+ *
+ * Every "*.trace" (binary, see trace/trace_file.hh) and "*.csv"/
+ * "*.txt" (hand-made text trace) file in @p dir becomes one entry
+ * whose source factory replays the file; the filename stem maps back
+ * to the benchmark identity by replacing the first "__" with "/"
+ * ("SPEC2000__gzip.graphic.trace" -> "SPEC2000/gzip.graphic", the
+ * inverse of what `mica trace record` writes). Stems without "__"
+ * land in the synthetic "traces" suite. Entries are ordered by Table
+ * I position (unknown names after, sorted by name), so replaying a
+ * recorded registry sweep reproduces the interpreter sweep's report
+ * ordering byte for byte.
+ *
+ * Binary files are validated eagerly (header + chunk chain +
+ * payload checksum), so a corrupt or version-mismatched trace
+ * rejects at scan time with a TraceFileError instead of failing
+ * mid-sweep — and never silently falls back to interpreting the
+ * registry kernel. The source factories reuse that validation
+ * (header-only re-check per open, no second payload pass). Two
+ * files mapping to the same benchmark name reject too.
+ *
+ * @param dir directory holding the trace files
+ * @param streamReader replay via FileTraceSource instead of the
+ *        default MappedTraceSource (profiles are byte-identical
+ *        either way)
+ * @param maxInsts the profiling budget the entries will run under:
+ *        a binary trace holding fewer records than a nonzero budget
+ *        rejects, because replay would silently produce a shorter
+ *        stream than interpreting the program directly (0 = replay
+ *        whatever was recorded)
+ * @param contentStamp when non-null, receives a digest of every
+ *        file's identity and content (names, record counts, payload
+ *        checksums; raw bytes for text traces) so callers can key
+ *        caches on what the traces *hold*, not just the directory
+ *        path
+ * @throws TraceFileError when @p dir is not a directory or a trace
+ *         file in it fails validation
+ */
+std::vector<BenchmarkEntry> traceBenchmarks(const std::string &dir,
+                                            bool streamReader = false,
+                                            uint64_t maxInsts = 0,
+                                            uint64_t *contentStamp =
+                                                nullptr);
 
 } // namespace mica::workloads

@@ -316,6 +316,34 @@ TEST(SnapshotTest, RoundTripPreservesEveryQueryBitwise)
         EXPECT_TRUE(ea[i] == eb[i]);
 }
 
+TEST(SnapshotTest, SaveIsAtomicTornWriteRejectsAndRebuilds)
+{
+    SnapDir tmp;
+    const FingerprintIndex built =
+        FingerprintIndex::build(randomDataset(12, 4, 5));
+    ASSERT_TRUE(saveIndexSnapshot(built, tmp.path(), "key-A"));
+    // The staging file was renamed into place, never left behind.
+    EXPECT_FALSE(std::filesystem::exists(tmp.path() + ".tmp"));
+
+    // Tear the snapshot mid-file (what a crash used to leave when the
+    // writer targeted the final path directly): load rejects cleanly.
+    const auto full = std::filesystem::file_size(tmp.path());
+    std::filesystem::resize_file(tmp.path(), full / 2);
+    FingerprintIndex out;
+    std::string why;
+    EXPECT_FALSE(loadIndexSnapshot(tmp.path(), "key-A", &out, &why));
+    EXPECT_FALSE(why.empty());
+
+    // Re-saving over the torn file rebuilds a loadable snapshot, and
+    // a stale .tmp from a crashed writer never blocks it.
+    std::ofstream(tmp.path() + ".tmp") << "crash debris";
+    ASSERT_TRUE(saveIndexSnapshot(built, tmp.path(), "key-A"));
+    EXPECT_FALSE(std::filesystem::exists(tmp.path() + ".tmp"));
+    ASSERT_TRUE(loadIndexSnapshot(tmp.path(), "key-A", &out, &why))
+        << why;
+    EXPECT_EQ(out.size(), built.size());
+}
+
 TEST(SnapshotTest, ReadSnapshotKeyPeeksWithoutLoading)
 {
     SnapDir tmp;

@@ -238,6 +238,69 @@ TEST(ProfileStoreTest, TruncatedTrailingEntryIsDroppedNotFatal)
     EXPECT_EQ(reader.find("s/b.y"), nullptr);
 }
 
+TEST(ProfileStoreTest, PutIsAtomicNoTmpSiblingSurvives)
+{
+    StoreDir tmp;
+    StoreKey key;
+    ProfileStore writer(tmp.dir, key);
+    writer.put(fakeProfile("s/a.x", 0.5));
+    // The tmp staging file was renamed into place, not left behind.
+    EXPECT_FALSE(
+        std::filesystem::exists(tmp.dir + "/profiles.bin.tmp"));
+    EXPECT_TRUE(std::filesystem::exists(tmp.dir + "/profiles.bin"));
+
+    // A stale .tmp from a crashed run never confuses a later put.
+    std::ofstream(tmp.dir + "/profiles.bin.tmp") << "crash debris";
+    writer.put(fakeProfile("s/b.y", 0.25));
+    ProfileStore reader(tmp.dir, key);
+    ASSERT_TRUE(reader.open());
+    EXPECT_EQ(reader.size(), 2u);
+    EXPECT_FALSE(
+        std::filesystem::exists(tmp.dir + "/profiles.bin.tmp"));
+}
+
+TEST(ProfileStoreTest, TornHeaderRejectsCleanlyAndPutRebuilds)
+{
+    StoreDir tmp;
+    StoreKey key;
+    ProfileStore writer(tmp.dir, key);
+    writer.put(fakeProfile("s/a.x", 0.5));
+    writer.put(fakeProfile("s/b.y", 0.25));
+
+    // Tear the file inside the header — the kind of state a crash
+    // mid-write used to leave before writes went through tmp+rename.
+    const auto path = tmp.dir + "/profiles.bin";
+    std::filesystem::resize_file(path, 10);
+
+    ProfileStore reader(tmp.dir, key);
+    EXPECT_FALSE(reader.open());    // clean rejection, no entries
+    EXPECT_EQ(reader.size(), 0u);
+
+    // The next put rebuilds a complete, loadable store.
+    reader.put(fakeProfile("s/c.z", 0.75));
+    ProfileStore reopened(tmp.dir, key);
+    ASSERT_TRUE(reopened.open());
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_NE(reopened.find("s/c.z"), nullptr);
+}
+
+TEST(ProfileStoreTest, EveryPutLeavesACompleteLoadableFile)
+{
+    // The atomic-rewrite scheme means the on-disk file is a complete
+    // store after every single put — an interrupted sweep can always
+    // reload everything persisted so far.
+    StoreDir tmp;
+    StoreKey key;
+    ProfileStore writer(tmp.dir, key);
+    for (int i = 0; i < 5; ++i) {
+        writer.put(fakeProfile("s/bench." + std::to_string(i),
+                               0.125 * (i + 1)));
+        ProfileStore reader(tmp.dir, key);
+        ASSERT_TRUE(reader.open());
+        EXPECT_EQ(reader.size(), static_cast<size_t>(i + 1));
+    }
+}
+
 // ----------------------------------------------------------------------
 // ParallelCollector
 // ----------------------------------------------------------------------

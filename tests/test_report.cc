@@ -3,6 +3,8 @@
  * Tests for the reporting helpers: text tables and ASCII plots.
  */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "report/ascii_plot.hh"
@@ -101,6 +103,73 @@ TEST(ScatterPlotTest, EmptySeriesDoesNotCrash)
     PlotConfig cfg;
     const std::string out = scatterPlot({}, cfg);
     EXPECT_FALSE(out.empty());
+}
+
+TEST(ScatterPlotTest, MismatchedSeriesLengthsPlotTheCommonPrefix)
+{
+    // Regression: y shorter than x used to read y past its end in
+    // findBounds and the render loop (OOB). Only the common prefix
+    // is plotted now.
+    Series s;
+    s.label = "ragged";
+    s.marker = 'o';
+    s.x = {0.0, 0.25, 0.5, 0.75, 1.0};
+    s.y = {0.0, 1.0};   // three x values have no y partner
+    PlotConfig cfg;
+    cfg.width = 21;
+    cfg.height = 11;
+    const std::string out = scatterPlot({s}, cfg);
+    EXPECT_FALSE(out.empty());
+    // Exactly the two paired points land on the grid.
+    EXPECT_EQ(std::count(out.begin(), out.end(), 'o'),
+              2 + 1);   // two cells + the legend marker
+    EXPECT_EQ(out.find("nan"), std::string::npos);
+
+    // x shorter than y is the mirror case.
+    Series t;
+    t.label = "mirror";
+    t.marker = 'x';
+    t.x = {0.5};
+    t.y = {0.5, 0.6, 0.7};
+    EXPECT_FALSE(scatterPlot({t}, cfg).empty());
+
+    // densityPlot takes raw vectors and had the same read.
+    EXPECT_FALSE(densityPlot({0.1, 0.9}, {0.4}, cfg).empty());
+}
+
+TEST(ScatterPlotTest, DegenerateFixedScaleIsWidenedNotNaN)
+{
+    // Regression: fixedScale bounds bypassed the degenerate-range
+    // widening, so xMax == xMin divided by zero and every coordinate
+    // went NaN.
+    Series s;
+    s.label = "pt";
+    s.marker = 'o';
+    s.x = {2.0, 2.0};
+    s.y = {3.0, 7.0};
+    PlotConfig cfg;
+    cfg.width = 13;
+    cfg.height = 7;
+    cfg.fixedScale = true;
+    cfg.xMin = 2.0;
+    cfg.xMax = 2.0;     // degenerate x range
+    cfg.yMin = 3.0;
+    cfg.yMax = 7.0;
+    const std::string out = scatterPlot({s}, cfg);
+    EXPECT_NE(out.find('o'), std::string::npos);    // points rendered
+    EXPECT_EQ(out.find("nan"), std::string::npos);
+    EXPECT_EQ(out.find("-nan"), std::string::npos);
+
+    // Both axes degenerate at once.
+    PlotConfig both = cfg;
+    both.yMin = both.yMax = 3.0;
+    const std::string out2 = scatterPlot({s}, both);
+    EXPECT_NE(out2.find('o'), std::string::npos);
+    EXPECT_EQ(out2.find("nan"), std::string::npos);
+
+    // densityPlot shares findBounds and the cell mapping.
+    const std::string out3 = densityPlot({2.0}, {3.0}, both);
+    EXPECT_EQ(out3.find("nan"), std::string::npos);
 }
 
 TEST(DensityPlotTest, RampsWithDensity)

@@ -10,6 +10,8 @@
  *   mica cluster                   cluster benchmarks in the key space
  *   mica subset                    pick suite representatives
  *   mica index build|query|redundant   persistent similarity index
+ *   mica trace record <bench>|<suite>|all   record traces to disk
+ *   mica trace ls [DIR]            list recorded trace files
  *
  * Common flags: --budget=N, --cache=DIR, --jobs=N (0 = auto),
  * --csv=FILE (profile/hpc all), --maxk=N (cluster/subset). Profiling
@@ -21,15 +23,25 @@
  * store (<cache>/index.bin) and answer kNN/radius/most-redundant
  * queries from it without re-profiling anything.
  *
+ * Every dataset verb also takes --suites=A,B (suite filter),
+ * --traces=DIR (profile recorded trace files instead of interpreting
+ * the registry kernels — byte-identical profiles, keyed into the
+ * store like everything else) and --reader=mmap|stream (trace reader
+ * choice; byte-identical either way).
+ *
  * Unknown --flags are rejected with an error naming the flag (each
  * verb validates against its accepted set via util::parseCliArgs).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "experiments/experiments.hh"
 #include "index/fingerprint_index.hh"
@@ -45,6 +57,8 @@
 #include "pipeline/thread_pool.hh"
 #include "report/table.hh"
 #include "stats/descriptive.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_file.hh"
 #include "uarch/hpc_runner.hh"
 #include "util/arg_parse.hh"
 #include "workloads/registry.hh"
@@ -72,7 +86,13 @@ usage()
         "  index query <bench>|all [--k=N|--radius=R] [--brute]\n"
         "                            kNN / radius queries from the index\n"
         "  index redundant [--top=N] [--brute]\n"
-        "                            most redundant benchmark pairs\n");
+        "                            most redundant benchmark pairs\n"
+        "  trace record <bench>|<suite>|all [--out=DIR]\n"
+        "                            record traces to DIR (default "
+        "traces)\n"
+        "  trace ls [DIR]            list recorded trace files\n"
+        "dataset verbs also take --suites=A,B --traces=DIR "
+        "--reader=mmap|stream\n");
     return 2;
 }
 
@@ -148,19 +168,70 @@ cmdProfile(const util::CliArgs &args,
         return 0;
     }
 
-    const auto *e =
-        workloads::BenchmarkRegistry::instance().find(target);
-    if (!e) {
-        std::fprintf(stderr, "unknown benchmark '%s' (try 'mica list')\n",
-                     target.c_str());
-        return 1;
+    // Single benchmark: the record stream comes from the interpreter
+    // or, under --traces, from the recorded file. Only the target's
+    // own file is opened and validated — one unrelated bad trace in
+    // the directory must not block (or cost reading) this query.
+    isa::Program prog;
+    std::unique_ptr<TraceSource> src;
+    if (!cfg.traceDir.empty()) {
+        std::string stem = target;
+        const size_t slash = stem.find('/');
+        if (slash != std::string::npos)
+            stem.replace(slash, 1, "__");
+        std::string found, foundExt;
+        for (const char *ext : {".trace", ".csv", ".txt"}) {
+            const std::string cand = cfg.traceDir + "/" + stem + ext;
+            std::error_code ec;
+            if (std::filesystem::is_regular_file(cand, ec)) {
+                found = cand;
+                foundExt = ext;
+                break;
+            }
+        }
+        if (found.empty()) {
+            std::fprintf(stderr,
+                         "'%s' has no trace in %s (try 'mica trace "
+                         "ls %s')\n",
+                         target.c_str(), cfg.traceDir.c_str(),
+                         cfg.traceDir.c_str());
+            return 1;
+        }
+        // Same budget guard traceBenchmarks applies to a full sweep.
+        uint64_t records = 0;
+        if (foundExt == ".trace") {
+            const TraceFileInfo fi = probeTraceFile(found);
+            records = fi.recordCount;
+            src = openTraceFile(found, cfg.traceStream, &fi);
+        } else {
+            auto recs = readTextTrace(found);
+            records = recs.size();
+            src = std::make_unique<VectorTraceSource>(std::move(recs));
+        }
+        if (cfg.maxInsts != 0 && cfg.maxInsts > records) {
+            throw TraceFileError(
+                found, "holds " + std::to_string(records) +
+                           " records but the profiling budget is " +
+                           std::to_string(cfg.maxInsts) +
+                           " — replay would silently diverge (lower "
+                           "--budget or use 0)");
+        }
+    } else {
+        const auto *e =
+            workloads::BenchmarkRegistry::instance().find(target);
+        if (!e) {
+            std::fprintf(stderr,
+                         "unknown benchmark '%s' (try 'mica list')\n",
+                         target.c_str());
+            return 1;
+        }
+        prog = e->build();
+        src = std::make_unique<isa::Interpreter>(prog);
     }
-    const isa::Program prog = e->build();
-    isa::Interpreter interp(prog);
 
     if (hpc) {
         const auto p =
-            uarch::collectHwProfile(interp, target, cfg.maxInsts);
+            uarch::collectHwProfile(*src, target, cfg.maxInsts);
         report::TextTable t({"metric", "value"},
                             {report::Align::Left, report::Align::Right});
         const auto v = p.toVector();
@@ -175,7 +246,7 @@ cmdProfile(const util::CliArgs &args,
 
     MicaRunnerConfig rc;
     rc.maxInsts = cfg.maxInsts;
-    const MicaProfile p = collectMicaProfile(interp, target, rc);
+    const MicaProfile p = collectMicaProfile(*src, target, rc);
     report::TextTable t({"no.", "characteristic", "value"},
                         {report::Align::Right, report::Align::Left,
                          report::Align::Right});
@@ -618,6 +689,168 @@ cmdIndex(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
     return usage();
 }
 
+// ----------------------------------------------------------------------
+// trace verbs: record interpreter runs to disk; list recorded files.
+// ----------------------------------------------------------------------
+
+/** Filename for one benchmark ("suite/prog.in" -> "suite__prog.in"). */
+std::string
+traceFileName(const workloads::BenchmarkInfo &info)
+{
+    std::string stem = info.fullName();
+    const size_t slash = stem.find('/');
+    if (slash != std::string::npos)
+        stem.replace(slash, 1, "__");
+    return stem + ".trace";
+}
+
+/**
+ * Interpret one benchmark and tee every record to a trace file.
+ * @return records written.
+ */
+uint64_t
+recordOne(const workloads::BenchmarkEntry &e, const std::string &path,
+          uint64_t maxInsts)
+{
+    const isa::Program prog = e.build();
+    isa::Interpreter interp(prog);
+    TraceFileWriter writer(path);
+    RecordingSource tee(interp, writer);
+    std::vector<InstRecord> buf(TraceFileWriter::kChunkRecords);
+    uint64_t n = 0;
+    for (;;) {
+        size_t want = buf.size();
+        if (maxInsts != 0 && maxInsts - n < want)
+            want = static_cast<size_t>(maxInsts - n);
+        if (want == 0)
+            break;
+        const InstRecord *span = nullptr;
+        const size_t got = tee.nextSpan(span, buf.data(), want);
+        if (got == 0)
+            break;
+        n += got;
+    }
+    writer.close();
+    return n;
+}
+
+int
+cmdTraceRecord(const util::CliArgs &args,
+               const experiments::DatasetConfig &cfg)
+{
+    if (args.positionals.size() < 3)
+        return usage();
+    const std::string target = args.positionals[2];
+    const std::string outDir = args.value("out", "traces");
+
+    const auto &reg = workloads::BenchmarkRegistry::instance();
+    std::vector<const workloads::BenchmarkEntry *> entries;
+    if (target == "all") {
+        for (const auto &e : reg.all())
+            entries.push_back(&e);
+    } else {
+        entries = reg.bySuite(target);
+        if (entries.empty()) {
+            const auto *e = reg.find(target);
+            if (!e) {
+                std::fprintf(stderr,
+                             "unknown benchmark or suite '%s' (try "
+                             "'mica list')\n",
+                             target.c_str());
+                return 1;
+            }
+            entries.push_back(e);
+        }
+    }
+
+    // Each benchmark records into its own file, so the fan-out is as
+    // embarrassingly parallel as the profiling sweep.
+    std::vector<uint64_t> records(entries.size(), 0);
+    auto pool = methodologyPool(cfg);
+    pipeline::parallelBlocks(pool.get(), entries.size(), [&](size_t i) {
+        records[i] =
+            recordOne(*entries[i],
+                      outDir + "/" + traceFileName(entries[i]->info),
+                      cfg.maxInsts);
+    });
+
+    report::TextTable t({"benchmark", "records", "file"},
+                        {report::Align::Left, report::Align::Right,
+                         report::Align::Left});
+    uint64_t total = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        t.addRow({entries[i]->info.fullName(),
+                  std::to_string(records[i]),
+                  traceFileName(entries[i]->info)});
+        total += records[i];
+    }
+    std::printf("%s\nrecorded %zu traces (%llu records) into %s\n",
+                t.render().c_str(), entries.size(),
+                static_cast<unsigned long long>(total), outDir.c_str());
+    return 0;
+}
+
+int
+cmdTraceLs(const util::CliArgs &args)
+{
+    const std::string dir =
+        args.positionals.size() >= 3 ? args.positionals[2] : "traces";
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+        std::fprintf(stderr, "mica trace ls: '%s' is not a directory\n",
+                     dir.c_str());
+        return 1;
+    }
+    std::vector<fs::path> files;
+    for (const auto &de : fs::directory_iterator(dir)) {
+        if (de.is_regular_file())
+            files.push_back(de.path());
+    }
+    std::sort(files.begin(), files.end());
+
+    report::TextTable t({"file", "format", "records", "bytes", "status"},
+                        {report::Align::Left, report::Align::Left,
+                         report::Align::Right, report::Align::Right,
+                         report::Align::Left});
+    size_t listed = 0, rejected = 0;
+    for (const auto &p : files) {
+        const std::string ext = p.extension().string();
+        const bool binary = ext == ".trace";
+        if (!binary && ext != ".csv" && ext != ".txt")
+            continue;   // .tmp leftovers, READMEs, ...
+        std::string recs = "-", status = "ok";
+        if (binary) {
+            try {
+                recs = std::to_string(
+                    probeTraceFile(p.string()).recordCount);
+            } catch (const TraceFileError &e) {
+                status = "rejected";
+                ++rejected;
+                std::fprintf(stderr, "%s\n", e.what());
+            }
+        } else {
+            try {
+                recs = std::to_string(readTextTrace(p.string()).size());
+            } catch (const TraceFileError &e) {
+                status = "rejected";
+                ++rejected;
+                std::fprintf(stderr, "%s\n", e.what());
+            }
+        }
+        const uint64_t bytes = fs::file_size(p, ec);
+        t.addRow({p.filename().string(), binary ? "binary" : "text",
+                  recs, std::to_string(ec ? 0 : bytes), status});
+        ++listed;
+    }
+    std::printf("%s\n%zu trace files in %s", t.render().c_str(), listed,
+                dir.c_str());
+    if (rejected)
+        std::printf(" (%zu rejected — see stderr)", rejected);
+    std::printf("\n");
+    return rejected ? 1 : 0;
+}
+
 /**
  * @return the flag allow-list for one verb (strict parsing; a
  * trailing '=' marks a value-taking flag — see util::parseCliArgs).
@@ -627,10 +860,18 @@ knownFlags(const std::string &cmd, const std::string &sub)
 {
     std::vector<std::string> known = {"budget=", "cache=", "jobs=",
                                       "quick"};
+    // Verbs that collect a dataset can filter suites and swap the
+    // interpreter for recorded traces.
+    if (cmd == "profile" || cmd == "hpc" || cmd == "distance" ||
+        cmd == "select" || cmd == "cluster" || cmd == "subset" ||
+        cmd == "index")
+        known.insert(known.end(), {"suites=", "traces=", "reader="});
     if (cmd == "profile" || cmd == "hpc")
         known.push_back("csv=");
     if (cmd == "cluster" || cmd == "subset")
         known.push_back("maxk=");
+    if (cmd == "trace" && sub == "record")
+        known.push_back("out=");
     if (cmd == "index") {
         known.insert(known.end(), {"space=", "pca="});
         if (sub == "query")
@@ -671,22 +912,47 @@ main(int argc, char **argv)
         if (rejectBadInt(args, cmd.c_str(), flag))
             return 2;
     }
+    // A typo'd reader must not silently mean "the mmap default".
+    if (args.has("reader")) {
+        const std::string r = args.value("reader");
+        if (r != "mmap" && r != "stream") {
+            std::fprintf(stderr, "mica %s: --reader must be mmap or "
+                                 "stream (got '%s')\n",
+                         cmd.c_str(), r.c_str());
+            return 2;
+        }
+    }
     const auto cfg = experiments::configFromArgs(argc, argv);
-    if (cmd == "list")
-        return cmdList(args);
-    if (cmd == "profile")
-        return cmdProfile(args, cfg, false);
-    if (cmd == "hpc")
-        return cmdProfile(args, cfg, true);
-    if (cmd == "distance")
-        return cmdDistance(args, cfg);
-    if (cmd == "select")
-        return cmdSelect(cfg);
-    if (cmd == "cluster")
-        return cmdCluster(args, cfg);
-    if (cmd == "subset")
-        return cmdSubset(args, cfg);
-    if (cmd == "index")
-        return cmdIndex(args, cfg);
+    // Trace-file problems (corrupt, truncated, layout-mismatched, or
+    // unwritable files) surface as TraceFileError from any depth; they
+    // must reject with the named reason, not crash the process.
+    try {
+        if (cmd == "list")
+            return cmdList(args);
+        if (cmd == "profile")
+            return cmdProfile(args, cfg, false);
+        if (cmd == "hpc")
+            return cmdProfile(args, cfg, true);
+        if (cmd == "distance")
+            return cmdDistance(args, cfg);
+        if (cmd == "select")
+            return cmdSelect(cfg);
+        if (cmd == "cluster")
+            return cmdCluster(args, cfg);
+        if (cmd == "subset")
+            return cmdSubset(args, cfg);
+        if (cmd == "index")
+            return cmdIndex(args, cfg);
+        if (cmd == "trace") {
+            if (sub == "record")
+                return cmdTraceRecord(args, cfg);
+            if (sub == "ls")
+                return cmdTraceLs(args);
+            return usage();
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "mica %s: %s\n", cmd.c_str(), e.what());
+        return 1;
+    }
     return usage();
 }
