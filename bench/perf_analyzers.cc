@@ -20,7 +20,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -41,6 +43,7 @@
 #include "mica/runner.hh"
 #include "mica/strides.hh"
 #include "mica/working_set.hh"
+#include "obs/obs.hh"
 #include "pipeline/thread_pool.hh"
 #include "stats/kmeans.hh"
 #include "stats/rng.hh"
@@ -820,8 +823,61 @@ indexBatchRate(mica::pipeline::ThreadPool *pool)
     });
 }
 
+// ----------------------------------------------------------------------
+// obs family: what the telemetry layer itself costs. The acceptance
+// bar for the subsystem is that an instrumented build with no sinks
+// attached keeps >= 97% of the MICA_OBS=0 build's full-profile
+// throughput; the reference rate comes from a separately-built binary
+// via --obs-ref so the ratio lands in one JSON document.
+// ----------------------------------------------------------------------
+
+/** Best-of-5 nanoseconds per call for a hot telemetry primitive. */
+template <typename Fn>
+double
+primitiveNs(uint64_t calls, Fn &&loop)
+{
+    double best = 1e18;
+    for (int rep = 0; rep < 5; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        loop();
+        const double ns = std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - t0).count();
+        best = std::min(best, ns / static_cast<double>(calls));
+    }
+    return best;
+}
+
+/** ns per Counter::add on the sharded fast path. */
+double
+counterAddNs()
+{
+    static obs::Counter c("bench.obs.counter");
+    constexpr uint64_t kAdds = 1u << 22;
+    return primitiveNs(kAdds, [] {
+        for (uint64_t i = 0; i < kAdds; ++i)
+            c.add(1);
+        benchmark::DoNotOptimize(&c);
+    });
+}
+
+/** ns per armed span (construct, one arg, record into the ring). */
+double
+spanRecordNs()
+{
+    obs::setTraceEnabled(true);
+    constexpr uint64_t kSpans = 1u << 16;
+    const double ns = primitiveNs(kSpans, [] {
+        for (uint64_t i = 0; i < kSpans; ++i) {
+            obs::ObsSpan sp("bench.obs.span");
+            sp.arg("i", i);
+        }
+    });
+    obs::setTraceEnabled(false);
+    return ns;
+}
+
 int
-writeJsonProfile(const std::string &path)
+writeJsonProfile(const std::string &path, double obsRef)
 {
     VectorTraceSource src(sharedTrace());
     const uint64_t records = src.size();
@@ -872,6 +928,23 @@ writeJsonProfile(const std::string &path)
     const double idxBatchSerial = indexBatchRate(nullptr);
     const double idxBatchJobs8 = indexBatchRate(&pool8);
 
+    // obs family: telemetry primitives, plus the full-profile rate
+    // with the tracer armed (idle = compiled in but no sinks, which is
+    // exactly the fullBatched number above).
+    const double obsCounterNs = counterAddNs();
+    const double obsSpanNs = spanRecordNs();
+    obs::setTraceEnabled(true);
+    const double fullTraced =
+        collectRate(src, AnalysisEngine::kDefaultBatchSize, false);
+    obs::setTraceEnabled(false);
+
+    // Wall-clock stamp (UTC) so trend dashboards can order documents
+    // without trusting file mtimes.
+    char generatedAt[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (const std::tm *tm = std::gmtime(&now))
+        std::strftime(generatedAt, sizeof(generatedAt), "%FT%TZ", tm);
+
     std::ofstream out(path);
     if (!out) {
         std::cerr << "perf_analyzers: cannot write " << path << "\n";
@@ -880,6 +953,9 @@ writeJsonProfile(const std::string &path)
     out.precision(17);
     out << "{\n"
         << "  \"schema\": \"mica-perf-profile/1\",\n"
+        << "  \"generated_at\": \"" << generatedAt << "\",\n"
+        << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n"
         << "  \"records\": " << records << ",\n"
         << "  \"per_family_records_per_sec\": {\n"
         << "    \"inst_mix\": " << mix << ",\n"
@@ -951,6 +1027,22 @@ writeJsonProfile(const std::string &path)
         << "      \"speedup\": " << idxBatchJobs8 / idxBatchSerial
         << "\n"
         << "    }\n"
+        << "  },\n"
+        << "  \"obs\": {\n"
+        << "    \"compiled\": " << (MICA_OBS ? "true" : "false") << ",\n"
+        << "    \"counter_add_ns\": " << obsCounterNs << ",\n"
+        << "    \"span_record_ns\": " << obsSpanNs << ",\n"
+        << "    \"full_profile_records_per_sec\": {\n"
+        << "      \"idle\": " << fullBatched << ",\n"
+        << "      \"traced\": " << fullTraced << ",\n"
+        << "      \"traced_over_idle\": " << fullTraced / fullBatched;
+    if (obsRef > 0.0) {
+        out << ",\n"
+            << "      \"obs_off_reference\": " << obsRef << ",\n"
+            << "      \"idle_over_obs_off\": " << fullBatched / obsRef;
+    }
+    out << "\n"
+        << "    }\n"
         << "  }\n"
         << "}\n";
     std::cout << "perf profile written to " << path
@@ -964,19 +1056,24 @@ writeJsonProfile(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    // Strip our --json flag before google-benchmark sees (and rejects)
-    // it; any other arguments pass through untouched.
+    // Strip our --json / --obs-ref flags before google-benchmark sees
+    // (and rejects) them; any other arguments pass through untouched.
+    // --obs-ref feeds the MICA_OBS=0 build's full-profile rate into
+    // the obs family so one document holds the compiled-in/out ratio.
     std::string jsonPath;
+    double obsRef = 0.0;
     std::vector<char *> args;
     args.reserve(static_cast<size_t>(argc));
     for (int i = 0; i < argc; ++i) {
         if (std::strncmp(argv[i], "--json=", 7) == 0)
             jsonPath = argv[i] + 7;
+        else if (std::strncmp(argv[i], "--obs-ref=", 10) == 0)
+            obsRef = std::strtod(argv[i] + 10, nullptr);
         else
             args.push_back(argv[i]);
     }
     if (!jsonPath.empty())
-        return writeJsonProfile(jsonPath);
+        return writeJsonProfile(jsonPath, obsRef);
 
     int rest = static_cast<int>(args.size());
     benchmark::Initialize(&rest, args.data());

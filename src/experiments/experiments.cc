@@ -6,6 +6,7 @@
 
 #include "experiments/experiments.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -14,6 +15,7 @@
 #include <stdexcept>
 
 #include "mica/dataset.hh"
+#include "obs/obs.hh"
 #include "mica/runner.hh"
 #include "pipeline/parallel_collector.hh"
 #include "pipeline/profile_store.hh"
@@ -151,6 +153,19 @@ collectSuiteDataset(const DatasetConfig &cfg)
     for (const auto *e : selected) {
         if (!store || !store->find(e->info.fullName()))
             missing.push_back(e);
+    }
+
+    if (store) {
+        // Make cache effectiveness visible: a warm rerun that serves
+        // every profile from the store should say so instead of just
+        // finishing suspiciously fast.
+        static obs::Counter hitC("store.profile.hit");
+        static obs::Counter computedC("store.profile.computed");
+        const size_t hits = selected.size() - missing.size();
+        hitC.add(hits);
+        computedC.add(missing.size());
+        std::fprintf(stderr, "store: %zu hit / %zu computed\n", hits,
+                     missing.size());
     }
 
     MicaRunnerConfig rc;

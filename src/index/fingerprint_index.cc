@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hh"
 #include "pipeline/thread_pool.hh"
 
 namespace mica::index
@@ -28,11 +29,14 @@ nameHash(const std::string &s)
 FingerprintIndex
 FingerprintIndex::build(const Matrix &raw, const FingerprintOptions &opt)
 {
+    obs::ObsSpan sp("index.build");
     FingerprintIndex idx;
     idx.fps_ = buildFingerprints(raw, opt);
     idx.tree_ = VpTree::build(idx.fps_.data.data(), idx.fps_.size(),
                               idx.fps_.dim);
     idx.buildNameMap();
+    sp.arg("points", static_cast<uint64_t>(idx.fps_.size()));
+    sp.arg("dim", static_cast<uint64_t>(idx.fps_.dim));
     return idx;
 }
 
@@ -114,6 +118,9 @@ FingerprintIndex::batchKnn(size_t k, pipeline::ThreadPool *pool,
                            bool brute) const
 {
     const size_t n = fps_.size();
+    obs::ObsSpan sp("index.batch_knn");
+    sp.arg("queries", static_cast<uint64_t>(n));
+    sp.arg("k", static_cast<uint64_t>(k));
     std::vector<std::vector<Neighbor>> out(n);
     const size_t blocks = pool && pool->workerCount() > 1
         ? std::min(n, pool->workerCount() * 4) : 1;

@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/obs.hh"
+
 namespace mica::index
 {
 
@@ -92,6 +94,8 @@ bool
 saveIndexSnapshot(const FingerprintIndex &idx, const std::string &path,
                   const std::string &configKey)
 {
+    obs::ObsSpan sp("index.snapshot.save");
+    sp.arg("points", static_cast<uint64_t>(idx.fingerprints().size()));
     std::error_code ec;
     const auto parent = std::filesystem::path(path).parent_path();
     if (!parent.empty())
@@ -172,9 +176,25 @@ bool
 loadIndexSnapshot(const std::string &path, const std::string &configKey,
                   FingerprintIndex *out, std::string *why)
 {
+    obs::ObsSpan sp("index.snapshot.load");
+    static obs::Counter rejects("index.snapshot.reject");
     std::ifstream in(path, std::ios::binary);
     if (!in)
         return fail(why, "no snapshot file");
+    // Every failure past this point is a real reject (a file existed
+    // but did not validate); an absent snapshot is the normal first
+    // run and stays uncounted. Counted via scope guard so each of the
+    // early returns below is covered.
+    struct RejectGuard
+    {
+        bool ok = false;
+        ~RejectGuard()
+        {
+            if (!ok)
+                rejects.add(1);
+        }
+        obs::Counter &rejects;
+    } guard{false, rejects};
 
     char magic[8] = {};
     in.read(magic, sizeof(magic));
@@ -269,6 +289,8 @@ loadIndexSnapshot(const std::string &path, const std::string &configKey,
 
     *out = FingerprintIndex::fromParts(
         std::move(fps), VpTree(std::move(nodes), dim));
+    guard.ok = true;
+    sp.arg("points", count);
     return true;
 }
 

@@ -5,8 +5,31 @@
 #include <limits>
 #include <queue>
 
+#include "obs/obs.hh"
+
 namespace mica::index
 {
+
+namespace
+{
+
+/**
+ * Per-query flush of the traversal tallies: one counter add per
+ * query, not per node, keeps the hot recursion free of registry
+ * traffic (4096-query batches would otherwise pay it per visit).
+ */
+void
+flushVisitStats(uint32_t visited, uint32_t pruned)
+{
+    static obs::Counter visitedC("index.query.nodes_visited");
+    static obs::Counter prunedC("index.query.nodes_pruned");
+    static obs::Histogram perQuery("index.query.visited");
+    visitedC.add(visited);
+    prunedC.add(pruned);
+    perQuery.record(visited);
+}
+
+} // namespace
 
 double
 l2Dist(const double *a, const double *b, size_t dim)
@@ -95,6 +118,7 @@ struct VpTree::KnnState
 {
     size_t k;
     uint32_t skip;
+    VisitStats vs;
     // Max-heap ordered by (dist, id): top is the current worst keeper.
     std::priority_queue<Neighbor> heap;
 
@@ -125,6 +149,7 @@ VpTree::knnVisit(const double *data, const double *q, uint32_t node,
 {
     const VpNode &n = nodes_[node];
     const double d = l2Dist(q, data + n.point * dim_, dim_);
+    ++st.vs.visited;
     st.offer({d, n.point});
     if (n.left == VpNode::kNil && n.right == VpNode::kNil)
         return;
@@ -141,8 +166,12 @@ VpTree::knnVisit(const double *data, const double *q, uint32_t node,
         knnVisit(data, q, near, st);
     const double gap =
         d < n.threshold ? n.threshold - d : d - n.threshold;
-    if (far != VpNode::kNil && gap <= st.tau())
-        knnVisit(data, q, far, st);
+    if (far != VpNode::kNil) {
+        if (gap <= st.tau())
+            knnVisit(data, q, far, st);
+        else
+            ++st.vs.pruned;
+    }
 }
 
 std::vector<Neighbor>
@@ -152,8 +181,9 @@ VpTree::knn(const double *data, const double *q, size_t k,
     std::vector<Neighbor> out;
     if (nodes_.empty() || k == 0)
         return out;
-    KnnState st{k, skip, {}};
+    KnnState st{k, skip, {}, {}};
     knnVisit(data, q, 0, st);
+    flushVisitStats(st.vs.visited, st.vs.pruned);
     out.resize(st.heap.size());
     for (size_t i = st.heap.size(); i-- > 0;) {
         out[i] = st.heap.top();
@@ -164,17 +194,26 @@ VpTree::knn(const double *data, const double *q, size_t k,
 
 void
 VpTree::radiusVisit(const double *data, const double *q, uint32_t node,
-                    double r, uint32_t skip,
-                    std::vector<Neighbor> &out) const
+                    double r, uint32_t skip, std::vector<Neighbor> &out,
+                    VisitStats &vs) const
 {
     const VpNode &n = nodes_[node];
     const double d = l2Dist(q, data + n.point * dim_, dim_);
+    ++vs.visited;
     if (d <= r && n.point != skip)
         out.push_back({d, n.point});
-    if (n.left != VpNode::kNil && d - n.threshold <= r)
-        radiusVisit(data, q, n.left, r, skip, out);
-    if (n.right != VpNode::kNil && n.threshold - d <= r)
-        radiusVisit(data, q, n.right, r, skip, out);
+    if (n.left != VpNode::kNil) {
+        if (d - n.threshold <= r)
+            radiusVisit(data, q, n.left, r, skip, out, vs);
+        else
+            ++vs.pruned;
+    }
+    if (n.right != VpNode::kNil) {
+        if (n.threshold - d <= r)
+            radiusVisit(data, q, n.right, r, skip, out, vs);
+        else
+            ++vs.pruned;
+    }
 }
 
 std::vector<Neighbor>
@@ -184,7 +223,9 @@ VpTree::radius(const double *data, const double *q, double r,
     std::vector<Neighbor> out;
     if (nodes_.empty())
         return out;
-    radiusVisit(data, q, 0, r, skip, out);
+    VisitStats vs;
+    radiusVisit(data, q, 0, r, skip, out, vs);
+    flushVisitStats(vs.visited, vs.pruned);
     std::sort(out.begin(), out.end());
     return out;
 }

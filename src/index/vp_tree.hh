@@ -113,11 +113,18 @@ class VpTree
   private:
     struct KnnState;
 
+    /** Per-query traversal tallies, flushed to telemetry per query. */
+    struct VisitStats
+    {
+        uint32_t visited = 0;    ///< nodes whose distance was evaluated
+        uint32_t pruned = 0;     ///< subtree links skipped by the bound
+    };
+
     void knnVisit(const double *data, const double *q, uint32_t node,
                   KnnState &st) const;
     void radiusVisit(const double *data, const double *q, uint32_t node,
-                     double r, uint32_t skip,
-                     std::vector<Neighbor> &out) const;
+                     double r, uint32_t skip, std::vector<Neighbor> &out,
+                     VisitStats &vs) const;
 
     std::vector<VpNode> nodes_;
     size_t dim_ = 0;

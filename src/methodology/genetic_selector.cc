@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hh"
 #include "pipeline/thread_pool.hh"
 #include "stats/rng.hh"
 #include "util/flat_hash.hh"
@@ -225,6 +226,10 @@ geneticSelect(const WorkloadSpace &space, const GaConfig &cfg,
         : 1;
 
     for (size_t gen = 0; gen < cfg.maxGenerations; ++gen) {
+        static obs::Counter generations("ga.generation.count");
+        generations.add(1);
+        obs::ObsSpan sp("ga.generation");
+        sp.arg("gen", static_cast<uint64_t>(gen));
         pipeline::parallelBlocks(pool, chunks, [&](size_t b) {
             const size_t lo = pop.size() * b / chunks;
             const size_t hi = pop.size() * (b + 1) / chunks;
@@ -241,6 +246,7 @@ geneticSelect(const WorkloadSpace &space, const GaConfig &cfg,
                 improved = true;
             }
         }
+        sp.argF("best_fitness", bestFit);
         res.bestFitnessHistory.push_back(bestFit);
         res.generationsRun = gen + 1;
         sinceImprove = improved ? 0 : sinceImprove + 1;

@@ -31,6 +31,8 @@ namespace mica
 class IlpAnalyzer : public TraceAnalyzer
 {
   public:
+    const char *name() const override { return "ilp"; }
+
     /** Default window sweep from the paper. */
     static const std::vector<size_t> &
     paperWindows()

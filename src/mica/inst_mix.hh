@@ -21,6 +21,8 @@ namespace mica
 class InstMixAnalyzer : public TraceAnalyzer
 {
   public:
+    const char *name() const override { return "inst_mix"; }
+
     void accept(const InstRecord &rec) override { step(rec); }
 
     void

@@ -282,6 +282,8 @@ class PpmPredictor
 class PpmBranchAnalyzer : public TraceAnalyzer
 {
   public:
+    const char *name() const override { return "ppm"; }
+
     static constexpr size_t kNumVariants = 4;
 
     explicit PpmBranchAnalyzer(unsigned maxOrder = 8)

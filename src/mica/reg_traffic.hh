@@ -32,6 +32,8 @@ namespace mica
 class RegTrafficAnalyzer : public TraceAnalyzer
 {
   public:
+    const char *name() const override { return "reg_traffic"; }
+
     /** Cumulative dependency-distance cut points from Table II. */
     static constexpr std::array<uint64_t, 7> kDistCuts =
         {1, 2, 4, 8, 16, 32, 64};

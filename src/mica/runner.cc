@@ -8,6 +8,7 @@
 #include "mica/reg_traffic.hh"
 #include "mica/strides.hh"
 #include "mica/working_set.hh"
+#include "obs/obs.hh"
 #include "trace/engine.hh"
 
 namespace mica
@@ -92,6 +93,8 @@ MicaProfile
 collectMicaProfile(TraceSource &src, const std::string &name,
                    const MicaRunnerConfig &cfg)
 {
+    obs::ObsSpan sp("mica.collect");
+    sp.arg("bench", name);
     InstMixAnalyzer mix;
     IlpAnalyzer ilp;
     RegTrafficAnalyzer rt;

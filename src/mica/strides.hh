@@ -32,6 +32,8 @@ namespace mica
 class StrideAnalyzer : public TraceAnalyzer
 {
   public:
+    const char *name() const override { return "strides"; }
+
     /** Cumulative stride cut points from Table II (0 means exactly 0). */
     static constexpr std::array<uint64_t, 5> kCuts = {0, 8, 64, 512, 4096};
 

@@ -23,6 +23,8 @@ namespace mica
 class WorkingSetAnalyzer : public TraceAnalyzer
 {
   public:
+    const char *name() const override { return "working_set"; }
+
     static constexpr unsigned kBlockBits = 5;   ///< 32-byte blocks
     static constexpr unsigned kPageBits = 12;   ///< 4 KB pages
 

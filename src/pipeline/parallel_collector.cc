@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "isa/interpreter.hh"
+#include "obs/obs.hh"
 #include "pipeline/thread_pool.hh"
 #include "uarch/hpc_runner.hh"
 
@@ -15,6 +16,29 @@ namespace mica::pipeline
 
 namespace
 {
+
+/**
+ * Telemetry for one profiling job: a pipeline.job span labeled with
+ * the benchmark and characterization kind, plus the job-completion
+ * counter the progress reporter's final line is derived from.
+ */
+struct JobObs
+{
+    JobObs(const std::string &bench, const char *kind)
+        : span_("pipeline.job")
+    {
+        span_.arg("bench", bench);
+        span_.arg("kind", kind);
+    }
+
+    ~JobObs()
+    {
+        static obs::Counter done("pipeline.job.done");
+        done.add(1);
+    }
+
+    obs::ObsSpan span_;
+};
 
 /** Shared progress state, serializing callback invocations. */
 struct Progress
@@ -92,20 +116,28 @@ collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
             const auto &e = *entries[i];
             if (e.source) {
                 auto src = e.source();
-                results[i].mica =
-                    collectMicaProfile(*src, e.info.fullName(), rc);
+                {
+                    JobObs jo(e.info.fullName(), "mica");
+                    results[i].mica =
+                        collectMicaProfile(*src, e.info.fullName(), rc);
+                }
                 prog.tick(e.info.fullName() + " [mica]");
                 if (!src->reset())
                     src = e.source();
+                JobObs jo(e.info.fullName(), "hpc");
                 results[i].hpc = uarch::collectHwProfile(
                     *src, e.info.fullName(), rc.maxInsts);
             } else {
                 const isa::Program program = e.build();
                 isa::Interpreter interp(program);
-                results[i].mica =
-                    collectMicaProfile(interp, e.info.fullName(), rc);
+                {
+                    JobObs jo(e.info.fullName(), "mica");
+                    results[i].mica =
+                        collectMicaProfile(interp, e.info.fullName(), rc);
+                }
                 prog.tick(e.info.fullName() + " [mica]");
                 interp.reset();
+                JobObs jo(e.info.fullName(), "hpc");
                 results[i].hpc = uarch::collectHwProfile(
                     interp, e.info.fullName(), rc.maxInsts);
             }
@@ -139,16 +171,22 @@ collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
             futures.push_back(pool.submit([e, &rc, &results, &prog,
                                            &finishJob, i] {
                 auto src = e->source();
-                results[i].mica =
-                    collectMicaProfile(*src, e->info.fullName(), rc);
+                {
+                    JobObs jo(e->info.fullName(), "mica");
+                    results[i].mica =
+                        collectMicaProfile(*src, e->info.fullName(), rc);
+                }
                 prog.tick(e->info.fullName() + " [mica]");
                 finishJob(i);
             }));
             futures.push_back(pool.submit([e, &rc, &results, &prog,
                                            &finishJob, i] {
                 auto src = e->source();
-                results[i].hpc = uarch::collectHwProfile(
-                    *src, e->info.fullName(), rc.maxInsts);
+                {
+                    JobObs jo(e->info.fullName(), "hpc");
+                    results[i].hpc = uarch::collectHwProfile(
+                        *src, e->info.fullName(), rc.maxInsts);
+                }
                 prog.tick(e->info.fullName() + " [hpc]");
                 finishJob(i);
             }));
@@ -160,15 +198,21 @@ collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
         auto program = std::make_shared<SharedProgram>();
         futures.push_back(pool.submit([e, program, &rc, &results, &prog,
                                        &finishJob, i] {
-            results[i].mica =
-                runMicaJob(program->get(*e), e->info.fullName(), rc);
+            {
+                JobObs jo(e->info.fullName(), "mica");
+                results[i].mica =
+                    runMicaJob(program->get(*e), e->info.fullName(), rc);
+            }
             prog.tick(e->info.fullName() + " [mica]");
             finishJob(i);
         }));
         futures.push_back(pool.submit([e, program, &rc, &results, &prog,
                                        &finishJob, i] {
-            results[i].hpc =
-                runHpcJob(program->get(*e), e->info.fullName(), rc);
+            {
+                JobObs jo(e->info.fullName(), "hpc");
+                results[i].hpc =
+                    runHpcJob(program->get(*e), e->info.fullName(), rc);
+            }
             prog.tick(e->info.fullName() + " [hpc]");
             finishJob(i);
         }));

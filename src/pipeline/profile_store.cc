@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.hh"
+
 namespace mica::pipeline
 {
 
@@ -116,43 +118,67 @@ ProfileStore::ProfileStore(const std::string &dir, const StoreKey &key)
 bool
 ProfileStore::open()
 {
+    static obs::Counter opened("store.open.ok");
+    static obs::Counter rejected("store.open.reject");
+    static obs::Counter bytesRead("store.bytes.read");
+    obs::ObsSpan sp("store.open");
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
 
     std::ifstream in(path_, std::ios::binary);
     if (!in)
-        return false;
+        return false;    // absent is not a reject: first run is normal
 
     char magic[8] = {};
     in.read(magic, sizeof(magic));
     if (in.gcount() != sizeof(magic) ||
-        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        rejected.add(1);
         return false;
+    }
     uint32_t version = 0;
     std::string keyCanon;
-    if (!readPod(in, version) || version != kFormatVersion)
+    if (!readPod(in, version) || version != kFormatVersion) {
+        rejected.add(1);
         return false;
-    if (!readString(in, keyCanon) || keyCanon != keyCanon_)
+    }
+    if (!readString(in, keyCanon) || keyCanon != keyCanon_) {
+        rejected.add(1);
         return false;
+    }
 
     StoredProfile p;
     while (readEntry(in, p))
         entries_[p.name()] = p;
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path_, ec);
+    if (!ec)
+        bytesRead.add(size);
+    opened.add(1);
+    sp.arg("entries", static_cast<uint64_t>(entries_.size()));
     return true;
 }
 
 const StoredProfile *
 ProfileStore::find(const std::string &fullName) const
 {
+    static obs::Counter hits("store.find.hit");
+    static obs::Counter misses("store.find.miss");
     auto it = entries_.find(fullName);
+    (it == entries_.end() ? misses : hits).add(1);
     return it == entries_.end() ? nullptr : &it->second;
 }
 
 void
 ProfileStore::put(const StoredProfile &profile)
 {
+    static obs::Counter puts("store.put.count");
+    static obs::Counter bytesWritten("store.bytes.written");
+    obs::ObsSpan sp("store.commit");
+    puts.add(1);
     std::lock_guard<std::mutex> lock(mutex_);
     entries_[profile.name()] = profile;
+    sp.arg("entries", static_cast<uint64_t>(entries_.size()));
 
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
@@ -179,6 +205,9 @@ ProfileStore::put(const StoredProfile &profile)
             std::filesystem::remove(tmp, ec);
             return;
         }
+        const auto pos = out.tellp();
+        if (pos > 0)
+            bytesWritten.add(static_cast<uint64_t>(pos));
     }
     std::filesystem::rename(tmp, path_, ec);
     if (ec)

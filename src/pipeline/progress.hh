@@ -25,8 +25,11 @@ using ProgressFn =
     std::function<void(size_t done, size_t total, const std::string &label)>;
 
 /**
- * @return the standard interactive reporter: a carriage-return status
- * line on stderr, newline-terminated when the last job finishes.
+ * @return the standard stderr reporter. On a TTY: a carriage-return
+ * status line, newline-terminated when the last job finishes. When
+ * stderr is a pipe or file (CI logs), repainting is suppressed in
+ * favor of ~10 newline-terminated milestone lines, and the final line
+ * reports the job tally from the telemetry snapshot.
  */
 ProgressFn stderrProgress();
 

@@ -22,7 +22,10 @@ ThreadPool::~ThreadPool()
         stopping_ = true;
         // Abandon queued tasks; their futures report broken_promise,
         // which callers never see because collectors join before
-        // destruction.
+        // destruction. The abandoned tasks will never hit the dequeue
+        // decrement, so the queue-depth gauge settles here.
+        static obs::Gauge depth("pool.queue.depth");
+        depth.add(-static_cast<int64_t>(queue_.size()));
         std::queue<std::function<void()>> empty;
         queue_.swap(empty);
     }
@@ -45,7 +48,13 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop();
         }
+        static obs::Gauge depth("pool.queue.depth");
+        depth.add(-1);
+        static obs::Histogram runUs("pool.task.run_us");
+        obs::ObsSpan sp("pool.task");
+        const uint64_t t0 = obs::nowNs();
         task();    // packaged_task captures any exception
+        runUs.record((obs::nowNs() - t0) / 1000);
     }
 }
 

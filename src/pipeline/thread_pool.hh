@@ -21,6 +21,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/obs.hh"
+
 namespace mica::pipeline
 {
 
@@ -51,11 +53,21 @@ class ThreadPool
         auto task = std::make_shared<std::packaged_task<R()>>(
             std::forward<F>(fn));
         std::future<R> fut = task->get_future();
+        // Queue-wait time is measured inside the wrapper: submit
+        // stamps the enqueue instant, the worker's first act when it
+        // invokes the wrapper is recording the difference.
+        const uint64_t enqueuedNs = obs::nowNs();
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (stopping_)
                 throw std::runtime_error("submit on stopped ThreadPool");
-            queue_.emplace([task] { (*task)(); });
+            queue_.emplace([task, enqueuedNs] {
+                static obs::Histogram waitUs("pool.task.wait_us");
+                waitUs.record((obs::nowNs() - enqueuedNs) / 1000);
+                (*task)();
+            });
+            static obs::Gauge depth("pool.queue.depth");
+            depth.add(1);
         }
         available_.notify_one();
         return fut;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hh"
 #include "pipeline/thread_pool.hh"
 #include "stats/rng.hh"
 
@@ -107,6 +108,8 @@ kMeansReseedEmpty(const Matrix &data, const std::vector<int> &assignment,
         }
         if (far == n)
             continue;   // fewer points than empty clusters
+        static obs::Counter reseeds("kmeans.reseed.count");
+        reseeds.add(1);
         used[far] = 1;
         for (size_t j = 0; j < d; ++j)
             centroids.at(c, j) = data.at(far, j);
@@ -123,6 +126,8 @@ kMeansRunOnce(const Matrix &data, size_t k, uint64_t streamSeed,
         res.centroids = Matrix(0, d);
         return res;     // nothing to cluster (below(0) is undefined)
     }
+    static obs::Counter restarts("kmeans.restart.count");
+    restarts.add(1);
     Rng rng(streamSeed);
     res.k = k;
     res.centroids = kMeansSeedCentroids(data, k, rng);

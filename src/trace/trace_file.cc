@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "obs/obs.hh"
 #include "trace/synthetic.hh"
 
 namespace mica
@@ -137,6 +138,9 @@ fnv1a(const void *data, size_t n, uint64_t h)
 TraceFileInfo
 probeTraceFile(const std::string &path)
 {
+    static obs::Histogram validateUs("trace.probe.validate_us");
+    obs::ObsSpan sp("trace.probe");
+    const uint64_t t0 = obs::nowNs();
     std::error_code ec;
     const uint64_t fileBytes = std::filesystem::file_size(path, ec);
     if (ec)
@@ -202,6 +206,9 @@ probeTraceFile(const std::string &path)
     if (hash != h.payloadHash)
         throw TraceFileError(path, "payload checksum mismatch");
     info.payloadHash = hash;
+    validateUs.record((obs::nowNs() - t0) / 1000);
+    sp.arg("records", info.recordCount);
+    sp.arg("chunks", info.chunkCount);
     return info;
 }
 
@@ -330,6 +337,8 @@ FileTraceSource::FileTraceSource(const std::string &path,
                                  const TraceFileInfo *known)
     : path_(path), info_(known ? *known : probeTraceFile(path))
 {
+    static obs::Counter opens("trace.open.stream");
+    opens.add(1);
     in_.open(path_, std::ios::binary);
     if (!in_)
         throw TraceFileError(path_, "cannot open");
@@ -365,6 +374,10 @@ FileTraceSource::refill()
     if (in_.gcount() !=
         static_cast<std::streamsize>(count * sizeof(InstRecord)))
         throw TraceFileError(path_, "chunk payload changed after open");
+    static obs::Counter chunks("trace.chunk.decoded");
+    static obs::Counter bytes("trace.bytes.read");
+    chunks.add(1);
+    bytes.add(kChunkHeaderBytes + uint64_t(count) * sizeof(InstRecord));
     pos_ = 0;
     ++chunksRead_;
     return true;
@@ -424,6 +437,8 @@ MappedTraceSource::MappedTraceSource(const std::string &path,
                                      const TraceFileInfo *known)
     : path_(path), info_(known ? *known : probeTraceFile(path))
 {
+    static obs::Counter opens("trace.open.mmap");
+    opens.add(1);
     mapBytes_ = kTraceHeaderBytes + info_.payloadBytes;
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0)
@@ -499,6 +514,8 @@ MappedTraceSource::advanceChunk()
                                                  kChunkHeaderBytes);
     left_ = count;
     cursor_ += kChunkHeaderBytes + size_t(count) * sizeof(InstRecord);
+    static obs::Counter chunks("trace.chunk.decoded");
+    chunks.add(1);
     return true;
 }
 

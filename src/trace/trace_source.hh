@@ -103,6 +103,13 @@ class TraceAnalyzer
   public:
     virtual ~TraceAnalyzer() = default;
 
+    /**
+     * Short stable identifier ("inst_mix", "ppm", ...) used to label
+     * telemetry — per-analyzer batch-kernel histograms are named
+     * engine.<name>.batch_ns. Not a display string.
+     */
+    virtual const char *name() const { return "analyzer"; }
+
     /** Observe one dynamic instruction. */
     virtual void accept(const InstRecord &rec) = 0;
 

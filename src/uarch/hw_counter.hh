@@ -83,6 +83,8 @@ struct HwCounterProfile
 class HwCounterAnalyzer : public TraceAnalyzer
 {
   public:
+    const char *name() const override { return "hw_counter"; }
+
     explicit HwCounterAnalyzer(const MachineConfig &cfg = {});
 
     void accept(const InstRecord &rec) override;

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Tests for the runtime telemetry subsystem (src/obs): sharded
+ * counters fold exactly under any worker count, histogram buckets sit
+ * on power-of-two boundaries, span export is well-formed Chrome-
+ * tracing JSON with strict per-thread nesting, the bounded ring drops
+ * oldest-first, and the MICA_OBS=0 stub API stays compilable.
+ *
+ * Each TEST runs in its own gtest process (gtest_discover_tests), so
+ * obs::resetForTest() gives every test a clean registry without
+ * cross-test interference.
+ */
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hh"
+#include "pipeline/thread_pool.hh"
+
+namespace mica::obs
+{
+namespace
+{
+
+#if MICA_OBS
+
+/** Look up one folded metric, failing the test when it is absent. */
+MetricValue
+metric(const MetricsSnapshot &snap, const std::string &name)
+{
+    const auto it = snap.metrics.find(name);
+    EXPECT_NE(it, snap.metrics.end()) << "metric " << name << " missing";
+    return it == snap.metrics.end() ? MetricValue{} : it->second;
+}
+
+/** 64 blocks x 10000 adds through a pool of the given size. */
+void
+hammerCounter(size_t jobs)
+{
+    pipeline::ThreadPool pool(jobs);
+    pipeline::parallelBlocks(&pool, 64, [&](size_t) {
+        static Counter c("test.obs.hammer");
+        for (int i = 0; i < 10000; ++i)
+            c.add(1);
+    });
+}
+
+TEST(ObsCounter, ExactUnderSerialFanout)
+{
+    resetForTest();
+    hammerCounter(1);
+    EXPECT_EQ(metric(snapshotMetrics(), "test.obs.hammer").value,
+              640000);
+}
+
+TEST(ObsCounter, ExactUnderParallelFanout)
+{
+    resetForTest();
+    hammerCounter(8);
+    EXPECT_EQ(metric(snapshotMetrics(), "test.obs.hammer").value,
+              640000);
+}
+
+TEST(ObsCounter, CopiesShareOneCell)
+{
+    resetForTest();
+    // Two Counter objects with the same name are handles to the same
+    // cell — the idiom is `static obs::Counter c("...")` at every use
+    // site, and the registry dedups by name.
+    Counter a("test.obs.shared");
+    Counter b("test.obs.shared");
+    a.add(3);
+    b.add(4);
+    EXPECT_EQ(metric(snapshotMetrics(), "test.obs.shared").value, 7);
+}
+
+TEST(ObsGauge, FoldsSignedDeltasAcrossThreads)
+{
+    resetForTest();
+    // +1 on the submitting thread, -1 on the worker: per-slab deltas
+    // are signed, so the fold nets out to the live depth (zero once
+    // the pool drains) even though no single slab holds the truth.
+    pipeline::ThreadPool pool(4);
+    std::vector<std::future<void>> done;
+    for (int i = 0; i < 100; ++i) {
+        static Gauge depth("test.obs.depth");
+        depth.add(1);
+        done.push_back(pool.submit([] {
+            static Gauge depth2("test.obs.depth");
+            depth2.add(-1);
+        }));
+    }
+    for (auto &f : done)
+        f.get();
+    EXPECT_EQ(metric(snapshotMetrics(), "test.obs.depth").value, 0);
+}
+
+TEST(ObsHistogram, BucketBoundaries)
+{
+    // Bucket b holds values whose bit width is b: 0 -> bucket 0,
+    // 1 -> bucket 1, [2,3] -> 2, [4,7] -> 3, ..., so boundaries sit
+    // exactly on powers of two.
+    static_assert(histBucket(0) == 0, "zero gets its own bucket");
+    static_assert(histBucket(1) == 1, "one starts bucket 1");
+    static_assert(histBucket(2) == 2 && histBucket(3) == 2,
+                  "[2,4) is bucket 2");
+    static_assert(histBucket(4) == 3 && histBucket(7) == 3,
+                  "[4,8) is bucket 3");
+    static_assert(histBucket(255) == 8 && histBucket(256) == 9,
+                  "boundary at 256");
+    static_assert(histBucket(1ull << 63) == 64, "top bit is bucket 64");
+
+    resetForTest();
+    Histogram h("test.obs.hist");
+    for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 7ull, 255ull,
+                       256ull})
+        h.record(v);
+    const auto mv = metric(snapshotMetrics(), "test.obs.hist");
+    ASSERT_EQ(mv.kind, MetricKind::Histogram);
+    EXPECT_EQ(mv.hist.count, 8);
+    EXPECT_EQ(mv.hist.sum, 0 + 1 + 2 + 3 + 4 + 7 + 255 + 256);
+    EXPECT_EQ(mv.hist.buckets[0], 1);   // 0
+    EXPECT_EQ(mv.hist.buckets[1], 1);   // 1
+    EXPECT_EQ(mv.hist.buckets[2], 2);   // 2, 3
+    EXPECT_EQ(mv.hist.buckets[3], 2);   // 4, 7
+    EXPECT_EQ(mv.hist.buckets[8], 1);   // 255
+    EXPECT_EQ(mv.hist.buckets[9], 1);   // 256
+}
+
+// ----------------------------------------------------------------------
+// A minimal recursive-descent JSON validator: enough to prove the
+// exported documents parse, without pulling in a JSON dependency.
+// ----------------------------------------------------------------------
+
+struct JsonCursor
+{
+    const char *p;
+    const char *end;
+
+    void ws()
+    {
+        while (p < end && std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+    }
+
+    bool lit(const char *s)
+    {
+        const size_t n = std::strlen(s);
+        if (static_cast<size_t>(end - p) < n ||
+            std::strncmp(p, s, n) != 0)
+            return false;
+        p += n;
+        return true;
+    }
+
+    bool string()
+    {
+        if (p >= end || *p != '"')
+            return false;
+        ++p;
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return false;
+            }
+            ++p;
+        }
+        if (p >= end)
+            return false;
+        ++p;   // closing quote
+        return true;
+    }
+
+    bool number()
+    {
+        const char *start = p;
+        if (p < end && *p == '-')
+            ++p;
+        while (p < end &&
+               (std::isdigit(static_cast<unsigned char>(*p)) ||
+                *p == '.' || *p == 'e' || *p == 'E' || *p == '+' ||
+                *p == '-'))
+            ++p;
+        return p != start;
+    }
+
+    bool value()
+    {
+        ws();
+        if (p >= end)
+            return false;
+        if (*p == '"')
+            return string();
+        if (*p == '{')
+            return object();
+        if (*p == '[')
+            return array();
+        if (lit("true") || lit("false") || lit("null"))
+            return true;
+        return number();
+    }
+
+    bool object()
+    {
+        if (*p != '{')
+            return false;
+        ++p;
+        ws();
+        if (p < end && *p == '}') {
+            ++p;
+            return true;
+        }
+        for (;;) {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (p >= end || *p != ':')
+                return false;
+            ++p;
+            if (!value())
+                return false;
+            ws();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        if (*p != '[')
+            return false;
+        ++p;
+        ws();
+        if (p < end && *p == ']') {
+            ++p;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            ws();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            return false;
+        }
+    }
+};
+
+bool
+validJson(const std::string &doc)
+{
+    JsonCursor c{doc.data(), doc.data() + doc.size()};
+    if (!c.value())
+        return false;
+    c.ws();
+    return c.p == c.end;
+}
+
+TEST(ObsTrace, SpanJsonWellFormedAndNested)
+{
+    resetForTest();
+    setTraceEnabled(true);
+
+    // Two workers each record a parent span wrapping two children,
+    // with args that need escaping; the export must parse and the
+    // (ts, ts+dur) intervals must nest strictly per thread.
+    pipeline::ThreadPool pool(2);
+    pipeline::parallelBlocks(&pool, 2, [&](size_t b) {
+        ObsSpan parent("test.parent");
+        parent.arg("label", "quote\"back\\slash");
+        parent.arg("block", static_cast<uint64_t>(b));
+        for (int i = 0; i < 2; ++i) {
+            ObsSpan child("test.child");
+            child.argF("ratio", 0.5);
+        }
+    });
+    setTraceEnabled(false);
+
+    EXPECT_TRUE(validJson(traceJson()));
+    EXPECT_TRUE(validJson(metricsJson()));
+
+    // 2 x (1 parent + 2 children); the pool's own pool.task spans ride
+    // along when the blocks ran on workers, wrapping each parent.
+    const auto events = traceEvents();
+    size_t parents = 0, children = 0;
+    for (const auto &e : events) {
+        parents += e.name == "test.parent";
+        children += e.name == "test.child";
+    }
+    EXPECT_EQ(parents, 2u);
+    EXPECT_EQ(children, 4u);
+
+    // Strict nesting per thread: walking in (ts asc, dur desc) order,
+    // every event must fit inside whatever interval is open on its
+    // thread. Parents sort before their children at equal ts because
+    // the drain orders longer durations first.
+    std::vector<std::vector<const TraceEventCopy *>> stacks(64);
+    for (const auto &e : events) {
+        ASSERT_LT(e.tid, stacks.size());
+        auto &stack = stacks[e.tid];
+        while (!stack.empty() &&
+               e.tsNs >= stack.back()->tsNs + stack.back()->durNs)
+            stack.pop_back();
+        if (!stack.empty()) {
+            EXPECT_GE(e.tsNs, stack.back()->tsNs);
+            EXPECT_LE(e.tsNs + e.durNs,
+                      stack.back()->tsNs + stack.back()->durNs);
+        }
+        stack.push_back(&e);
+    }
+}
+
+TEST(ObsTrace, DisabledTracerRecordsNothing)
+{
+    resetForTest();
+    ASSERT_FALSE(traceEnabled());
+    {
+        ObsSpan sp("test.ghost");
+        sp.arg("n", static_cast<uint64_t>(1));
+    }
+    EXPECT_TRUE(traceEvents().empty());
+    EXPECT_TRUE(spanStats().empty());
+}
+
+TEST(ObsTrace, RingOverflowDropsOldest)
+{
+    resetForTest();
+    setTraceEnabled(true);
+    const size_t extra = 500;
+    for (size_t i = 0; i < kTraceRingCap + extra; ++i) {
+        ObsSpan sp("test.ring");
+        sp.arg("i", static_cast<uint64_t>(i));
+    }
+    setTraceEnabled(false);
+
+    const auto events = traceEvents();
+    ASSERT_EQ(events.size(), kTraceRingCap);
+    // Oldest dropped: the surviving window is the most recent
+    // kTraceRingCap spans, i.e. args start at i=extra.
+    const std::string first = "\"i\": " + std::to_string(extra);
+    EXPECT_NE(events.front().args.find(first), std::string::npos)
+        << "got: " << events.front().args;
+    EXPECT_EQ(metric(snapshotMetrics(), "obs.trace.dropped").value,
+              static_cast<int64_t>(extra));
+}
+
+TEST(ObsSummary, NamesTopCountersAndSpans)
+{
+    resetForTest();
+    setTraceEnabled(true);
+    static Counter c("test.obs.summary");
+    c.add(42);
+    {
+        ObsSpan sp("test.summary.span");
+    }
+    setTraceEnabled(false);
+    const std::string s = summaryText();
+    EXPECT_NE(s.find("test.obs.summary"), std::string::npos);
+    EXPECT_NE(s.find("test.summary.span"), std::string::npos);
+}
+
+#endif   // MICA_OBS
+
+// The no-op surface must stay compilable and inert in both modes —
+// this is the whole contract that lets instrumented code build under
+// MICA_OBS=0 without a single #ifdef at the use sites.
+TEST(ObsStub, ApiCompilesAndIsInert)
+{
+    static Counter c("test.obs.stub.count");
+    c.add(1);
+    static Gauge g("test.obs.stub.gauge");
+    g.add(-1);
+    static Histogram h("test.obs.stub.hist");
+    h.record(12345);
+    {
+        ObsSpan sp("test.obs.stub.span");
+        sp.arg("k", static_cast<uint64_t>(1));
+        sp.arg("s", "text");
+        sp.arg("t", std::string("text"));
+        sp.argF("f", 1.5);
+    }
+    // Exports are valid JSON documents in both modes.
+    EXPECT_FALSE(metricsJson().empty());
+    EXPECT_NE(traceJson().find("traceEvents"), std::string::npos);
+    EXPECT_FALSE(summaryText().empty());
+}
+
+} // namespace
+} // namespace mica::obs

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate the telemetry JSON a `mica` run exported.
+
+CI runs a suite profile with --metrics/--trace-out and then asserts,
+via this script, that the artifacts are what the observability layer
+promises: the trace is Chrome-tracing JSON with complete spans from
+every instrumented layer, and the metrics snapshot's store counters
+account for every benchmark in the run.
+
+Usage:
+  check_obs_json.py trace FILE --expect-prefixes=pipeline.,engine.
+  check_obs_json.py metrics FILE [--hits=N] [--computed=N] [--total=N]
+
+`--total` asserts hits + computed == N without pinning the split;
+`--hits`/`--computed` pin the individual counters (warm-cache runs).
+Exit status is non-zero, with a message naming the failed check, on
+any violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_obs_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_trace(path, prefixes):
+    doc = load(path)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    names = set()
+    for i, e in enumerate(events):
+        for field in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if field not in e:
+                fail(f"{path}: event {i} lacks '{field}': {e}")
+        if e["ph"] != "X":
+            fail(f"{path}: event {i} is not a complete span: {e}")
+        names.add(e["name"])
+    for prefix in prefixes:
+        if not any(n.startswith(prefix) for n in names):
+            fail(f"{path}: no span named {prefix}* "
+                 f"(got: {', '.join(sorted(names))})")
+    print(f"check_obs_json: OK: {path}: {len(events)} spans, "
+          f"layers {sorted(prefixes)} all present")
+
+
+def counter(doc, path, name):
+    v = doc.get("counters", {}).get(name)
+    if v is None:
+        fail(f"{path}: counter {name} missing")
+    return v
+
+
+def check_metrics(path, args):
+    doc = load(path)
+    if doc.get("schema") != "mica-obs-metrics/1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    if not doc.get("compiled"):
+        fail(f"{path}: telemetry not compiled in")
+    hits = counter(doc, path, "store.profile.hit")
+    computed = counter(doc, path, "store.profile.computed")
+    if args.total is not None and hits + computed != args.total:
+        fail(f"{path}: hit {hits} + computed {computed} != "
+             f"expected total {args.total}")
+    if args.hits is not None and hits != args.hits:
+        fail(f"{path}: store.profile.hit is {hits}, expected {args.hits}")
+    if args.computed is not None and computed != args.computed:
+        fail(f"{path}: store.profile.computed is {computed}, "
+             f"expected {args.computed}")
+    print(f"check_obs_json: OK: {path}: hit={hits} computed={computed}")
+
+
+def main():
+    p = argparse.ArgumentParser()
+    p.add_argument("kind", choices=["trace", "metrics"])
+    p.add_argument("file")
+    p.add_argument("--expect-prefixes", default="")
+    p.add_argument("--hits", type=int)
+    p.add_argument("--computed", type=int)
+    p.add_argument("--total", type=int)
+    args = p.parse_args()
+
+    if args.kind == "trace":
+        prefixes = [s for s in args.expect_prefixes.split(",") if s]
+        check_trace(args.file, prefixes)
+    else:
+        check_metrics(args.file, args)
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,15 @@
  *   mica index build|query|redundant   persistent similarity index
  *   mica trace record <bench>|<suite>|all   record traces to disk
  *   mica trace ls [DIR]            list recorded trace files
+ *   mica obs demo                  telemetry self-test
+ *
+ * Every verb also takes the telemetry sinks: --metrics=FILE writes a
+ * metrics-registry snapshot as JSON on exit, --trace-out=FILE writes
+ * the span trace as Chrome-tracing JSON (load in chrome://tracing or
+ * ui.perfetto.dev), and --obs-summary prints a top-counters/slowest-
+ * spans footer to stderr. Tracing is armed only when a trace sink or
+ * the summary is requested, so undecorated runs pay no ring-buffer
+ * cost.
  *
  * Common flags: --budget=N, --cache=DIR, --jobs=N (0 = auto),
  * --csv=FILE (profile/hpc all), --maxk=N (cluster/subset). Profiling
@@ -53,6 +62,7 @@
 #include "methodology/genetic_selector.hh"
 #include "methodology/subsetting.hh"
 #include "methodology/workload_space.hh"
+#include "obs/obs.hh"
 #include "pipeline/profile_store.hh"
 #include "pipeline/thread_pool.hh"
 #include "report/table.hh"
@@ -91,8 +101,11 @@ usage()
         "                            record traces to DIR (default "
         "traces)\n"
         "  trace ls [DIR]            list recorded trace files\n"
+        "  obs demo                  telemetry self-test\n"
         "dataset verbs also take --suites=A,B --traces=DIR "
-        "--reader=mmap|stream\n");
+        "--reader=mmap|stream\n"
+        "every verb takes --metrics=FILE --trace-out=FILE "
+        "--obs-summary\n");
     return 2;
 }
 
@@ -851,6 +864,103 @@ cmdTraceLs(const util::CliArgs &args)
     return rejected ? 1 : 0;
 }
 
+// ----------------------------------------------------------------------
+// obs verb: exercise the telemetry subsystem end to end and verify the
+// folded numbers, so a broken build is caught by one cheap command
+// instead of a silently wrong metrics file.
+// ----------------------------------------------------------------------
+
+int
+cmdObsDemo()
+{
+#if !MICA_OBS
+    std::printf("obs: telemetry compiled out (MICA_OBS=0)\n");
+    return 0;
+#else
+    constexpr size_t kBlocks = 64;
+    constexpr size_t kAdds = 10000;
+    {
+        // Nested spans across a full pool fan-out: the exact shape the
+        // instrumented pipeline produces.
+        obs::ObsSpan sp("obs.demo");
+        pipeline::ThreadPool pool(0);
+        pipeline::parallelBlocks(&pool, kBlocks, [&](size_t b) {
+            obs::ObsSpan inner("obs.demo.block");
+            inner.arg("block", static_cast<uint64_t>(b));
+            static obs::Counter count("obs.demo.count");
+            static obs::Histogram value("obs.demo.value_us");
+            for (size_t i = 0; i < kAdds; ++i)
+                count.add(1);
+            value.record(b);
+        });
+    }
+
+    bool ok = true;
+    const auto snap = obs::snapshotMetrics();
+    const auto cit = snap.metrics.find("obs.demo.count");
+    const int64_t want = static_cast<int64_t>(kBlocks * kAdds);
+    if (cit == snap.metrics.end() || cit->second.value != want) {
+        std::fprintf(stderr,
+                     "obs demo: counter folded to %lld, expected %lld\n",
+                     static_cast<long long>(
+                         cit == snap.metrics.end() ? -1
+                                                   : cit->second.value),
+                     static_cast<long long>(want));
+        ok = false;
+    }
+    const auto hit = snap.metrics.find("obs.demo.value_us");
+    if (hit == snap.metrics.end() ||
+        hit->second.hist.count != static_cast<int64_t>(kBlocks)) {
+        std::fprintf(stderr, "obs demo: histogram count wrong\n");
+        ok = false;
+    }
+    uint64_t blockSpans = 0;
+    for (const auto &s : obs::spanStats()) {
+        if (s.name == "obs.demo.block")
+            blockSpans = s.count;
+    }
+    if (blockSpans != kBlocks) {
+        std::fprintf(stderr,
+                     "obs demo: %llu obs.demo.block spans, expected "
+                     "%zu\n",
+                     static_cast<unsigned long long>(blockSpans),
+                     kBlocks);
+        ok = false;
+    }
+    std::fprintf(stderr, "%s", obs::summaryText().c_str());
+    std::printf("obs self-test: %s\n", ok ? "OK" : "FAIL");
+    return ok ? 0 : 1;
+#endif
+}
+
+/**
+ * Exit epilogue shared by every verb: flush the requested telemetry
+ * sinks. A sink that cannot be written turns a successful run into a
+ * failure — the caller asked for the file, silently missing it would
+ * poison whatever consumes it (CI asserts on these).
+ */
+int
+obsFinish(const util::CliArgs &args, int rc)
+{
+    const std::string metricsPath = args.value("metrics");
+    if (!metricsPath.empty() && !obs::writeMetricsJson(metricsPath)) {
+        std::fprintf(stderr, "mica: cannot write metrics file %s\n",
+                     metricsPath.c_str());
+        if (rc == 0)
+            rc = 1;
+    }
+    const std::string tracePath = args.value("trace-out");
+    if (!tracePath.empty() && !obs::writeTraceJson(tracePath)) {
+        std::fprintf(stderr, "mica: cannot write trace file %s\n",
+                     tracePath.c_str());
+        if (rc == 0)
+            rc = 1;
+    }
+    if (args.has("obs-summary"))
+        std::fprintf(stderr, "%s", obs::summaryText().c_str());
+    return rc;
+}
+
 /**
  * @return the flag allow-list for one verb (strict parsing; a
  * trailing '=' marks a value-taking flag — see util::parseCliArgs).
@@ -858,8 +968,12 @@ cmdTraceLs(const util::CliArgs &args)
 std::vector<std::string>
 knownFlags(const std::string &cmd, const std::string &sub)
 {
-    std::vector<std::string> known = {"budget=", "cache=", "jobs=",
-                                      "quick"};
+    // The telemetry sinks are global: every verb can export metrics
+    // and spans.
+    std::vector<std::string> known = {"budget=",  "cache=",
+                                      "jobs=",    "quick",
+                                      "metrics=", "trace-out=",
+                                      "obs-summary"};
     // Verbs that collect a dataset can filter suites and swap the
     // interpreter for recorded traces.
     if (cmd == "profile" || cmd == "hpc" || cmd == "distance" ||
@@ -923,36 +1037,52 @@ main(int argc, char **argv)
         }
     }
     const auto cfg = experiments::configFromArgs(argc, argv);
+
+    // Arm the span ring only when something will drain it; metric
+    // counters are always live (their cost is a relaxed add).
+    if (args.has("trace-out") || args.has("obs-summary") || cmd == "obs")
+        obs::setTraceEnabled(true);
+
     // Trace-file problems (corrupt, truncated, layout-mismatched, or
     // unwritable files) surface as TraceFileError from any depth; they
-    // must reject with the named reason, not crash the process.
-    try {
-        if (cmd == "list")
-            return cmdList(args);
-        if (cmd == "profile")
-            return cmdProfile(args, cfg, false);
-        if (cmd == "hpc")
-            return cmdProfile(args, cfg, true);
-        if (cmd == "distance")
-            return cmdDistance(args, cfg);
-        if (cmd == "select")
-            return cmdSelect(cfg);
-        if (cmd == "cluster")
-            return cmdCluster(args, cfg);
-        if (cmd == "subset")
-            return cmdSubset(args, cfg);
-        if (cmd == "index")
-            return cmdIndex(args, cfg);
-        if (cmd == "trace") {
-            if (sub == "record")
-                return cmdTraceRecord(args, cfg);
-            if (sub == "ls")
-                return cmdTraceLs(args);
-            return usage();
+    // must reject with the named reason, not crash the process. Every
+    // exit path — including those failures — funnels through
+    // obsFinish so the telemetry sinks always get written.
+    const int rc = [&]() -> int {
+        try {
+            if (cmd == "list")
+                return cmdList(args);
+            if (cmd == "profile")
+                return cmdProfile(args, cfg, false);
+            if (cmd == "hpc")
+                return cmdProfile(args, cfg, true);
+            if (cmd == "distance")
+                return cmdDistance(args, cfg);
+            if (cmd == "select")
+                return cmdSelect(cfg);
+            if (cmd == "cluster")
+                return cmdCluster(args, cfg);
+            if (cmd == "subset")
+                return cmdSubset(args, cfg);
+            if (cmd == "index")
+                return cmdIndex(args, cfg);
+            if (cmd == "trace") {
+                if (sub == "record")
+                    return cmdTraceRecord(args, cfg);
+                if (sub == "ls")
+                    return cmdTraceLs(args);
+                return usage();
+            }
+            if (cmd == "obs") {
+                if (sub == "demo")
+                    return cmdObsDemo();
+                return usage();
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "mica %s: %s\n", cmd.c_str(), e.what());
+            return 1;
         }
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "mica %s: %s\n", cmd.c_str(), e.what());
-        return 1;
-    }
-    return usage();
+        return usage();
+    }();
+    return obsFinish(args, rc);
 }
