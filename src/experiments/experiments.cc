@@ -6,6 +6,7 @@
 
 #include "experiments/experiments.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +14,8 @@
 #include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
+#include <utility>
 
 #include "mica/dataset.hh"
 #include "obs/obs.hh"
@@ -20,6 +23,7 @@
 #include "pipeline/parallel_collector.hh"
 #include "pipeline/profile_store.hh"
 #include "uarch/hpc_runner.hh"
+#include "util/checked_io.hh"
 #include "workloads/registry.hh"
 
 namespace mica::experiments
@@ -95,8 +99,25 @@ collectSuiteDataset(const DatasetConfig &cfg)
     std::vector<const workloads::BenchmarkEntry *> selected;
     uint64_t traceStamp = 0;
     if (!cfg.traceDir.empty()) {
+        // Scan-time quarantine: a corrupt or short trace file is
+        // reported and skipped; the rest of the sweep proceeds. The
+        // directory iterator's order is filesystem-dependent, so sort
+        // the report to keep it deterministic across runs and hosts.
+        std::vector<std::pair<std::string, std::string>> badFiles;
         traceEntries = workloads::traceBenchmarks(
-            cfg.traceDir, cfg.traceStream, cfg.maxInsts, &traceStamp);
+            cfg.traceDir, cfg.traceStream, cfg.maxInsts, &traceStamp,
+            &badFiles);
+        std::sort(badFiles.begin(), badFiles.end());
+        for (auto &bad : badFiles)
+            ds.failures.push_back({std::move(bad.first), "scan",
+                                   std::move(bad.second)});
+        if (!ds.failures.empty()) {
+            static obs::Counter quarantined("pipeline.quarantined");
+            quarantined.add(ds.failures.size());
+            if (ds.failures.size() > cfg.maxFailures)
+                throw pipeline::SweepAborted(ds.failures.size(),
+                                             cfg.maxFailures);
+        }
         for (const auto &e : traceEntries) {
             if (suiteSelected(cfg, e.info.suite)) {
                 ds.benchmarks.push_back(e.info);
@@ -146,7 +167,20 @@ collectSuiteDataset(const DatasetConfig &cfg)
     std::unique_ptr<pipeline::ProfileStore> store;
     if (!cfg.cacheDir.empty()) {
         store = std::make_unique<pipeline::ProfileStore>(cfg.cacheDir, key);
-        store->open();
+        try {
+            store->open();
+        } catch (const util::IoError &e) {
+            // A store that exists but cannot be read must not take
+            // the sweep down with it: results are still computable,
+            // just not cacheable. Degrade loudly.
+            static obs::Counter degraded("store.degraded_open");
+            degraded.add(1);
+            std::fprintf(stderr,
+                         "warning: profile store unusable, computing "
+                         "without cache: %s\n",
+                         e.what());
+            store.reset();
+        }
     }
 
     std::vector<const workloads::BenchmarkEntry *> missing;
@@ -182,26 +216,66 @@ collectSuiteDataset(const DatasetConfig &cfg)
         };
     }
 
+    // Profiling failures are isolated: the sweep finishes everyone
+    // else, and the budget left over from scan-time quarantine caps
+    // how many more benchmarks may fail.
+    pipeline::FaultPolicy policy;
+    policy.isolate = true;
+    policy.maxFailures = cfg.maxFailures - ds.failures.size();
+    std::vector<pipeline::SweepFailure> sweepFailures;
     std::vector<pipeline::StoredProfile> fresh;
     if (!missing.empty())
         fresh = pipeline::collectProfiles(missing, rc, cfg.jobs,
-                                          cfg.progress, persist);
+                                          cfg.progress, persist, policy,
+                                          &sweepFailures);
+
+    std::unordered_set<std::string> failedNames;
+    for (auto &f : sweepFailures) {
+        failedNames.insert(f.bench);
+        ds.failures.push_back(std::move(f));
+    }
 
     ds.micaProfiles.reserve(selected.size());
     ds.hpcProfiles.reserve(selected.size());
     if (store) {
         // Assemble everything from the store so cached and fresh
-        // entries flow through one path.
+        // entries flow through one path. A name the store cannot
+        // produce despite a "successful" sweep is itself quarantined
+        // (belt and braces — put() never removes entries).
         for (const auto *e : selected) {
-            const auto *p = store->find(e->info.fullName());
+            const std::string name = e->info.fullName();
+            if (failedNames.count(name))
+                continue;
+            const auto *p = store->find(name);
+            if (!p) {
+                failedNames.insert(name);
+                ds.failures.push_back(
+                    {name, "store", "missing from store after sweep"});
+                continue;
+            }
             ds.micaProfiles.push_back(p->mica);
             ds.hpcProfiles.push_back(p->hpc);
         }
     } else {
-        for (auto &p : fresh) {
-            ds.micaProfiles.push_back(std::move(p.mica));
-            ds.hpcProfiles.push_back(std::move(p.hpc));
+        for (size_t k = 0; k < fresh.size(); ++k) {
+            if (failedNames.count(missing[k]->info.fullName()))
+                continue;
+            ds.micaProfiles.push_back(std::move(fresh[k].mica));
+            ds.hpcProfiles.push_back(std::move(fresh[k].hpc));
         }
+    }
+
+    if (!failedNames.empty()) {
+        // Quarantined benchmarks leave every dataset vector, so rows
+        // stay aligned and downstream analyses see only completed
+        // profiles.
+        std::vector<workloads::BenchmarkInfo> kept;
+        kept.reserve(ds.benchmarks.size());
+        for (auto &info : ds.benchmarks) {
+            if (!failedNames.count(info.fullName()))
+                kept.push_back(std::move(info));
+        }
+        ds.benchmarks = std::move(kept);
     }
 
     if (store && !fresh.empty()) {
@@ -259,6 +333,8 @@ configFromArgs(int argc, char **argv)
             cfg.traceDir = arg + 9;
         else if (std::strncmp(arg, "--reader=", 9) == 0)
             cfg.traceStream = std::strcmp(arg + 9, "stream") == 0;
+        else if (std::strncmp(arg, "--max-failures=", 15) == 0)
+            cfg.maxFailures = std::strtoull(arg + 15, nullptr, 10);
         else if (std::strcmp(arg, "--quick") == 0)
             cfg.maxInsts = 50000;
     }

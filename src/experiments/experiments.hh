@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mica/profile.hh"
+#include "pipeline/parallel_collector.hh"
 #include "pipeline/progress.hh"
 #include "stats/matrix.hh"
 #include "uarch/hw_counter.hh"
@@ -42,7 +43,10 @@ struct DatasetConfig
      * Reference CSVs (mica_profiles.csv / hpc_profiles.csv) are also
      * exported there for human inspection, but are never read back as a
      * cache — the legacy CSV cache ignored the collection config and
-     * could silently serve stale profiles.
+     * could silently serve stale profiles. A store file that exists
+     * but cannot be read (permissions, I/O errors) degrades the sweep
+     * to compute-without-cache with a loud stderr warning and the
+     * "store.degraded_open" counter, rather than failing it.
      */
     std::string cacheDir;
 
@@ -56,10 +60,12 @@ struct DatasetConfig
      * interpreting the same programs directly. The profile-store key
      * carries the directory plus a digest of the trace contents, so
      * re-recorded files re-profile instead of hitting a stale cache.
-     * Throws TraceFileError when the directory is missing, a trace
-     * file is corrupt/mismatched, or a nonzero maxInsts exceeds a
-     * trace's record count (the replay would silently come up short)
-     * — replay never silently falls back to interpretation.
+     * Throws TraceFileError when the directory is missing or two
+     * files map to one benchmark name. A file that is corrupt,
+     * version-mismatched, or shorter than a nonzero maxInsts (the
+     * replay would silently come up short) is quarantined instead —
+     * reported in SuiteDataset::failures, subject to maxFailures —
+     * and replay never silently falls back to interpretation.
      */
     std::string traceDir;
 
@@ -79,6 +85,18 @@ struct DatasetConfig
 
     /** Optional live status hook (see pipeline::ProgressFn). */
     pipeline::ProgressFn progress;
+
+    /**
+     * Fault-isolation cap: a benchmark whose trace fails validation
+     * at scan time, or whose profiling job throws, is quarantined
+     * (reported in SuiteDataset::failures, excluded from the
+     * dataset) instead of aborting the sweep — up to this many.
+     * Exceeding the cap throws pipeline::SweepAborted after the pool
+     * drains, on the theory that mass failure is an environment
+     * problem, not a per-input one. The default tolerates any number
+     * of stragglers; 0 makes any failure abort.
+     */
+    size_t maxFailures = static_cast<size_t>(-1);
 };
 
 /** The two workload datasets of Section III. */
@@ -87,6 +105,15 @@ struct SuiteDataset
     std::vector<workloads::BenchmarkInfo> benchmarks;
     std::vector<MicaProfile> micaProfiles;
     std::vector<uarch::HwCounterProfile> hpcProfiles;
+
+    /**
+     * Benchmarks quarantined during collection (scan-time trace
+     * rejects, then profiling-job failures), in deterministic order;
+     * every name here is absent from the three vectors above. Empty
+     * on a clean sweep. Callers presenting results should surface
+     * these and exit with the partial-failure status.
+     */
+    std::vector<pipeline::SweepFailure> failures;
 
     /** @return 122 x 47 matrix in Table II column order. */
     Matrix micaMatrix() const;
@@ -113,7 +140,8 @@ SuiteDataset collectSuiteDataset(const DatasetConfig &cfg = {});
  * --budget=N (maxInsts), --cache=DIR, --jobs=N (0 = auto),
  * --quick (reduced budget), --suites=A,B (suite filter),
  * --traces=DIR (replay recorded traces), --reader=stream|mmap
- * (trace reader choice). Environment overrides: MICA_BUDGET,
+ * (trace reader choice), --max-failures=N (fault-isolation cap,
+ * see DatasetConfig::maxFailures). Environment overrides: MICA_BUDGET,
  * MICA_CACHE, MICA_JOBS, MICA_TRACES. Unrecognized arguments are
  * ignored so google-benchmark flags pass through.
  */

@@ -1,10 +1,13 @@
 #include "index/snapshot.hh"
 
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "obs/obs.hh"
+#include "util/checked_io.hh"
 
 namespace mica::index
 {
@@ -92,7 +95,7 @@ fail(std::string *why, const char *reason)
 
 bool
 saveIndexSnapshot(const FingerprintIndex &idx, const std::string &path,
-                  const std::string &configKey)
+                  const std::string &configKey, std::string *why)
 {
     obs::ObsSpan sp("index.snapshot.save");
     sp.arg("points", static_cast<uint64_t>(idx.fingerprints().size()));
@@ -101,14 +104,11 @@ saveIndexSnapshot(const FingerprintIndex &idx, const std::string &path,
     if (!parent.empty())
         std::filesystem::create_directories(parent, ec);
 
-    // Write through a .tmp sibling and rename into place so a crash
-    // mid-write leaves the previous snapshot intact instead of a
-    // truncated file (same durability contract as ProfileStore::put).
-    const std::string tmp = path + ".tmp";
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out)
-        return false;
-
+    // Serialize to memory, then commit through a .tmp sibling and an
+    // atomic rename, so a crash or I/O failure mid-write leaves the
+    // previous snapshot intact instead of a truncated file (same
+    // durability contract as ProfileStore::put).
+    std::ostringstream out;
     const FingerprintSet &fps = idx.fingerprints();
     out.write(kMagic, sizeof(kMagic));
     writePod(out, kSnapshotVersion);
@@ -139,16 +139,12 @@ saveIndexSnapshot(const FingerprintIndex &idx, const std::string &path,
         writePod(out, n.right);
         writePod(out, n.threshold);
     }
-    out.flush();
-    const bool ok = static_cast<bool>(out);
-    out.close();
-    if (!ok) {
-        std::filesystem::remove(tmp, ec);
-        return false;
-    }
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        std::filesystem::remove(tmp, ec);
+
+    try {
+        util::atomicWriteFile(path, out.str(), "index.snapshot");
+    } catch (const util::IoError &e) {
+        if (why)
+            *why = e.what();
         return false;
     }
     return true;
@@ -178,9 +174,18 @@ loadIndexSnapshot(const std::string &path, const std::string &configKey,
 {
     obs::ObsSpan sp("index.snapshot.load");
     static obs::Counter rejects("index.snapshot.reject");
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return fail(why, "no snapshot file");
+    std::string bytes;
+    try {
+        bytes = util::readFileBytes(path, "index.load");
+    } catch (const util::IoError &e) {
+        if (e.code() == ENOENT)
+            return fail(why, "no snapshot file");
+        if (why)
+            *why = e.what();
+        return false;
+    }
+    std::istringstream in;
+    in.str(bytes);
     // Every failure past this point is a real reject (a file existed
     // but did not validate); an absent snapshot is the normal first
     // run and stays uncounted. Counted via scope guard so each of the

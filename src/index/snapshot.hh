@@ -36,12 +36,16 @@ snapshotPath(const std::string &dir)
 
 /**
  * Write the index to @p path (parent directories are created),
- * stamped with @p configKey.
+ * stamped with @p configKey. The commit is atomic (.tmp + rename); a
+ * failure removes the .tmp and leaves any previous snapshot intact.
+ * @param why on failure, a one-line reason naming the failed
+ *        operation, the path, and strerror(errno)
  * @return false on I/O failure
  */
 bool saveIndexSnapshot(const FingerprintIndex &idx,
                        const std::string &path,
-                       const std::string &configKey);
+                       const std::string &configKey,
+                       std::string *why = nullptr);
 
 /**
  * Read only the config key a snapshot was recorded under (header must

@@ -1,21 +1,83 @@
 #include "pipeline/parallel_collector.hh"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 
 #include "isa/interpreter.hh"
 #include "obs/obs.hh"
 #include "pipeline/thread_pool.hh"
 #include "uarch/hpc_runner.hh"
+#include "util/failpoint.hh"
 
 namespace mica::pipeline
 {
 
 namespace
 {
+
+/**
+ * Fault-injection hook for the analysis phase itself (as opposed to
+ * the I/O layer hooks in checked_io). Evaluated once per mica job —
+ * never in the hpc job — so an `error@N` trigger quarantines a
+ * deterministic benchmark count regardless of worker interleaving.
+ */
+void
+checkAnalyzeFault(const std::string &bench)
+{
+    if (!util::failpointsArmed())
+        return;
+    const util::FailDecision d = util::evalFailpoint("pipeline.analyze");
+    if (!d)
+        return;
+    switch (d.op) {
+    case util::FailOp::Delay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(d.param));
+        return;
+    case util::FailOp::Abort:
+        ::_exit(util::kCrashExitCode);
+    default:
+        throw std::runtime_error(
+            "injected analyzer fault (pipeline.analyze): " + bench);
+    }
+}
+
+/**
+ * Per-entry failure ledger for fault-isolated sweeps. Workers record
+ * under a mutex; the flush after the pool drains reads it single-
+ * threaded, so the report is in input order no matter which worker
+ * failed first.
+ */
+struct FailState
+{
+    explicit FailState(size_t n)
+        : errMica(n), errHpc(n),
+          failed(std::make_unique<std::atomic<bool>[]>(n))
+    {
+        for (size_t i = 0; i < n; ++i)
+            failed[i].store(false, std::memory_order_relaxed);
+    }
+
+    void
+    record(size_t i, bool micaJob, std::string msg)
+    {
+        if (msg.empty())
+            msg = "unknown error";
+        std::lock_guard<std::mutex> lock(mutex);
+        (micaJob ? errMica : errHpc)[i] = std::move(msg);
+        failed[i].store(true, std::memory_order_release);
+    }
+
+    std::vector<std::string> errMica, errHpc;
+    std::unique_ptr<std::atomic<bool>[]> failed;
+    std::mutex mutex;
+};
 
 /**
  * Telemetry for one profiling job: a pipeline.job span labeled with
@@ -101,10 +163,55 @@ struct SharedProgram
 std::vector<StoredProfile>
 collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
                 const MicaRunnerConfig &rc, unsigned jobs,
-                const ProgressFn &progress, const ResultFn &onResult)
+                const ProgressFn &progress, const ResultFn &onResult,
+                const FaultPolicy &policy,
+                std::vector<SweepFailure> *failures)
 {
     std::vector<StoredProfile> results(entries.size());
     Progress prog(progress, entries.size() * 2);
+    FailState fail(entries.size());
+
+    // Called from inside a catch block. Without isolation the active
+    // exception propagates exactly as it always has; with isolation
+    // it becomes a ledger entry and the sweep moves on.
+    auto handleJobError = [&](size_t i, bool micaJob) {
+        if (!policy.isolate)
+            throw;
+        try {
+            throw;
+        } catch (const std::exception &ex) {
+            fail.record(i, micaJob, ex.what());
+        } catch (...) {
+            fail.record(i, micaJob, "unknown error");
+        }
+    };
+
+    // After all workers drain: clear any half-written result slots,
+    // emit the input-order failure report, and enforce the cap.
+    auto flushFailures = [&]() {
+        if (!policy.isolate)
+            return;
+        size_t count = 0;
+        for (size_t i = 0; i < entries.size(); ++i) {
+            if (!fail.failed[i].load(std::memory_order_acquire))
+                continue;
+            ++count;
+            results[i] = StoredProfile{};
+            if (failures) {
+                const bool micaJob = !fail.errMica[i].empty();
+                failures->push_back(
+                    {entries[i]->info.fullName(),
+                     micaJob ? "mica" : "hpc",
+                     micaJob ? fail.errMica[i] : fail.errHpc[i]});
+            }
+        }
+        if (count > 0) {
+            static obs::Counter quarantined("pipeline.quarantined");
+            quarantined.add(count);
+        }
+        if (count > policy.maxFailures)
+            throw SweepAborted(count, policy.maxFailures);
+    };
 
     if (jobs == 1) {
         // Serial path: one build, one interpreter, reset between the
@@ -114,37 +221,47 @@ collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
         // the same stream either way, so the profiles are too.
         for (size_t i = 0; i < entries.size(); ++i) {
             const auto &e = *entries[i];
-            if (e.source) {
-                auto src = e.source();
-                {
-                    JobObs jo(e.info.fullName(), "mica");
-                    results[i].mica =
-                        collectMicaProfile(*src, e.info.fullName(), rc);
+            bool micaJob = true;
+            try {
+                if (e.source) {
+                    auto src = e.source();
+                    {
+                        JobObs jo(e.info.fullName(), "mica");
+                        checkAnalyzeFault(e.info.fullName());
+                        results[i].mica =
+                            collectMicaProfile(*src, e.info.fullName(), rc);
+                    }
+                    prog.tick(e.info.fullName() + " [mica]");
+                    micaJob = false;
+                    if (!src->reset())
+                        src = e.source();
+                    JobObs jo(e.info.fullName(), "hpc");
+                    results[i].hpc = uarch::collectHwProfile(
+                        *src, e.info.fullName(), rc.maxInsts);
+                } else {
+                    const isa::Program program = e.build();
+                    isa::Interpreter interp(program);
+                    {
+                        JobObs jo(e.info.fullName(), "mica");
+                        checkAnalyzeFault(e.info.fullName());
+                        results[i].mica =
+                            collectMicaProfile(interp, e.info.fullName(), rc);
+                    }
+                    prog.tick(e.info.fullName() + " [mica]");
+                    micaJob = false;
+                    interp.reset();
+                    JobObs jo(e.info.fullName(), "hpc");
+                    results[i].hpc = uarch::collectHwProfile(
+                        interp, e.info.fullName(), rc.maxInsts);
                 }
-                prog.tick(e.info.fullName() + " [mica]");
-                if (!src->reset())
-                    src = e.source();
-                JobObs jo(e.info.fullName(), "hpc");
-                results[i].hpc = uarch::collectHwProfile(
-                    *src, e.info.fullName(), rc.maxInsts);
-            } else {
-                const isa::Program program = e.build();
-                isa::Interpreter interp(program);
-                {
-                    JobObs jo(e.info.fullName(), "mica");
-                    results[i].mica =
-                        collectMicaProfile(interp, e.info.fullName(), rc);
-                }
-                prog.tick(e.info.fullName() + " [mica]");
-                interp.reset();
-                JobObs jo(e.info.fullName(), "hpc");
-                results[i].hpc = uarch::collectHwProfile(
-                    interp, e.info.fullName(), rc.maxInsts);
+                prog.tick(e.info.fullName() + " [hpc]");
+                if (onResult)
+                    onResult(results[i]);
+            } catch (...) {
+                handleJobError(i, micaJob);
             }
-            prog.tick(e.info.fullName() + " [hpc]");
-            if (onResult)
-                onResult(results[i]);
         }
+        flushFailures();
         return results;
     }
 
@@ -155,7 +272,7 @@ collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
         pending[i].store(2, std::memory_order_relaxed);
     auto finishJob = [&](size_t i) {
         if (pending[i].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
-            onResult)
+            onResult && !fail.failed[i].load(std::memory_order_acquire))
             onResult(results[i]);
     };
 
@@ -169,25 +286,34 @@ collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
             // opens its own (cheap) replay source, so the two jobs
             // never contend on a read cursor.
             futures.push_back(pool.submit([e, &rc, &results, &prog,
-                                           &finishJob, i] {
-                auto src = e->source();
-                {
-                    JobObs jo(e->info.fullName(), "mica");
-                    results[i].mica =
-                        collectMicaProfile(*src, e->info.fullName(), rc);
+                                           &finishJob, &handleJobError, i] {
+                try {
+                    auto src = e->source();
+                    {
+                        JobObs jo(e->info.fullName(), "mica");
+                        checkAnalyzeFault(e->info.fullName());
+                        results[i].mica =
+                            collectMicaProfile(*src, e->info.fullName(), rc);
+                    }
+                    prog.tick(e->info.fullName() + " [mica]");
+                } catch (...) {
+                    handleJobError(i, true);
                 }
-                prog.tick(e->info.fullName() + " [mica]");
                 finishJob(i);
             }));
             futures.push_back(pool.submit([e, &rc, &results, &prog,
-                                           &finishJob, i] {
-                auto src = e->source();
-                {
-                    JobObs jo(e->info.fullName(), "hpc");
-                    results[i].hpc = uarch::collectHwProfile(
-                        *src, e->info.fullName(), rc.maxInsts);
+                                           &finishJob, &handleJobError, i] {
+                try {
+                    auto src = e->source();
+                    {
+                        JobObs jo(e->info.fullName(), "hpc");
+                        results[i].hpc = uarch::collectHwProfile(
+                            *src, e->info.fullName(), rc.maxInsts);
+                    }
+                    prog.tick(e->info.fullName() + " [hpc]");
+                } catch (...) {
+                    handleJobError(i, false);
                 }
-                prog.tick(e->info.fullName() + " [hpc]");
                 finishJob(i);
             }));
             continue;
@@ -197,29 +323,40 @@ collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
         // shared_ptr keeps it alive until the slower job finishes.
         auto program = std::make_shared<SharedProgram>();
         futures.push_back(pool.submit([e, program, &rc, &results, &prog,
-                                       &finishJob, i] {
-            {
-                JobObs jo(e->info.fullName(), "mica");
-                results[i].mica =
-                    runMicaJob(program->get(*e), e->info.fullName(), rc);
+                                       &finishJob, &handleJobError, i] {
+            try {
+                {
+                    JobObs jo(e->info.fullName(), "mica");
+                    checkAnalyzeFault(e->info.fullName());
+                    results[i].mica =
+                        runMicaJob(program->get(*e), e->info.fullName(), rc);
+                }
+                prog.tick(e->info.fullName() + " [mica]");
+            } catch (...) {
+                handleJobError(i, true);
             }
-            prog.tick(e->info.fullName() + " [mica]");
             finishJob(i);
         }));
         futures.push_back(pool.submit([e, program, &rc, &results, &prog,
-                                       &finishJob, i] {
-            {
-                JobObs jo(e->info.fullName(), "hpc");
-                results[i].hpc =
-                    runHpcJob(program->get(*e), e->info.fullName(), rc);
+                                       &finishJob, &handleJobError, i] {
+            try {
+                {
+                    JobObs jo(e->info.fullName(), "hpc");
+                    results[i].hpc =
+                        runHpcJob(program->get(*e), e->info.fullName(), rc);
+                }
+                prog.tick(e->info.fullName() + " [hpc]");
+            } catch (...) {
+                handleJobError(i, false);
             }
-            prog.tick(e->info.fullName() + " [hpc]");
             finishJob(i);
         }));
     }
 
     // Wait for every job before rethrowing so no worker still touches
-    // `results` when an exception unwinds this frame.
+    // `results` when an exception unwinds this frame. Under isolation
+    // no future carries an exception — failures land in the ledger
+    // and are flushed (and possibly escalated) below.
     std::exception_ptr firstError;
     for (auto &f : futures) {
         try {
@@ -231,6 +368,7 @@ collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
     }
     if (firstError)
         std::rethrow_exception(firstError);
+    flushFailures();
     return results;
 }
 

@@ -12,6 +12,8 @@
 
 #pragma once
 
+#include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,52 @@
 
 namespace mica::pipeline
 {
+
+/**
+ * One quarantined benchmark: which one, which phase gave up on it
+ * ("scan" for trace validation, "mica"/"hpc" for a profiling job),
+ * and the error message. Reports are deterministic: failures are
+ * listed in input (registry) order regardless of worker count.
+ */
+struct SweepFailure
+{
+    std::string bench;    ///< benchmark full name (or file path at scan)
+    std::string phase;    ///< "scan", "mica", or "hpc"
+    std::string error;    ///< the exception's message
+};
+
+/**
+ * How a sweep treats a failing benchmark. The default (isolate =
+ * false) preserves the historical contract: the first job exception
+ * rethrows after all workers drain. With isolate = true the failing
+ * benchmark is quarantined — recorded in the failures list, skipped
+ * in the results — and the sweep completes everything else, unless
+ * more than maxFailures benchmarks fail, which aborts the sweep with
+ * SweepAborted (a runaway fault should stop burning cycles).
+ */
+struct FaultPolicy
+{
+    bool isolate = false;
+    size_t maxFailures = static_cast<size_t>(-1);
+};
+
+/** Thrown when quarantined benchmarks exceed FaultPolicy::maxFailures. */
+class SweepAborted : public std::runtime_error
+{
+  public:
+    SweepAborted(size_t failures, size_t maxFailures)
+        : std::runtime_error(
+              "sweep aborted: " + std::to_string(failures) +
+              " benchmarks failed (--max-failures=" +
+              std::to_string(maxFailures) + ")"),
+          failures_(failures)
+    {}
+
+    size_t failures() const { return failures_; }
+
+  private:
+    size_t failures_;
+};
 
 /**
  * Completion hook: invoked once per benchmark as soon as BOTH of its
@@ -39,15 +87,26 @@ using ResultFn = std::function<void(const StoredProfile &)>;
  *
  * @return one StoredProfile per entry, in input order. Results are
  * bit-identical for any worker count: each job is a pure function of
- * its benchmark and @p rc. The first exception thrown by a job (in
- * input order) is rethrown on the calling thread after all workers
- * drain; results completed before the failure are still delivered
- * through @p onResult.
+ * its benchmark and @p rc.
+ *
+ * Failure handling depends on @p policy. Without isolation, the first
+ * exception thrown by a job is rethrown on the calling thread after
+ * all workers drain; results completed before the failure are still
+ * delivered through @p onResult. With isolation, failing benchmarks
+ * are appended to @p failures (in input order, one entry per
+ * benchmark, preferring the mica job's message when both jobs fail)
+ * and their result slots are left default-constructed; @p onResult is
+ * never called for a quarantined benchmark. Each quarantined
+ * benchmark bumps the "pipeline.quarantined" counter. If more than
+ * policy.maxFailures benchmarks fail, SweepAborted is thrown after
+ * the pool drains.
  */
 std::vector<StoredProfile>
 collectProfiles(const std::vector<const workloads::BenchmarkEntry *> &entries,
                 const MicaRunnerConfig &rc, unsigned jobs,
                 const ProgressFn &progress = {},
-                const ResultFn &onResult = {});
+                const ResultFn &onResult = {},
+                const FaultPolicy &policy = {},
+                std::vector<SweepFailure> *failures = nullptr);
 
 } // namespace mica::pipeline

@@ -1,11 +1,15 @@
 #include "pipeline/profile_store.hh"
 
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
+#include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "obs/obs.hh"
+#include "util/checked_io.hh"
 
 namespace mica::pipeline
 {
@@ -125,9 +129,19 @@ ProfileStore::open()
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
 
-    std::ifstream in(path_, std::ios::binary);
-    if (!in)
-        return false;    // absent is not a reject: first run is normal
+    std::string bytes;
+    try {
+        bytes = util::readFileBytes(path_, "store.load");
+    } catch (const util::IoError &e) {
+        if (e.code() == ENOENT)
+            return false;    // absent is not a reject: first run is normal
+        // A store that exists but cannot be read (EACCES, EIO, …) is a
+        // real failure the caller must decide about — experiments
+        // degrade to compute-without-cache with a loud warning.
+        throw;
+    }
+    std::istringstream in;
+    in.str(bytes);
 
     char magic[8] = {};
     in.read(magic, sizeof(magic));
@@ -150,10 +164,7 @@ ProfileStore::open()
     StoredProfile p;
     while (readEntry(in, p))
         entries_[p.name()] = p;
-    std::error_code ec;
-    const auto size = std::filesystem::file_size(path_, ec);
-    if (!ec)
-        bytesRead.add(size);
+    bytesRead.add(bytes.size());
     opened.add(1);
     sp.arg("entries", static_cast<uint64_t>(entries_.size()));
     return true;
@@ -183,35 +194,49 @@ ProfileStore::put(const StoredProfile &profile)
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
 
-    // Write the complete store to a sibling and rename it into place:
-    // a crash at any byte of the write leaves the previous complete
-    // file untouched, and rename() on one filesystem is atomic, so a
-    // reader can never observe a header without its entries or an
-    // entry cut mid-double. Rewriting everything per put costs tens
-    // of KB for the full 122-benchmark suite — noise next to one
-    // benchmark's profiling time.
-    const std::string tmp = path_ + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
+    // Serialize the complete store once, then write it to a sibling
+    // and rename it into place: a crash at any byte of the write
+    // leaves the previous complete file untouched, and rename() on
+    // one filesystem is atomic, so a reader can never observe a
+    // header without its entries or an entry cut mid-double.
+    // Rewriting everything per put costs tens of KB for the full
+    // 122-benchmark suite — noise next to one benchmark's profiling
+    // time.
+    std::ostringstream out;
+    out.write(kMagic, sizeof(kMagic));
+    writePod(out, kFormatVersion);
+    writeString(out, keyCanon_);
+    for (const auto &kv : entries_)
+        writeEntry(out, kv.second);
+    const std::string bytes = out.str();
+
+    // Transient I/O errors (NFS hiccup, EINTR-adjacent weirdness) get
+    // a bounded exponential-backoff retry; a persistently failing
+    // store warns loudly once and the sweep continues computing — the
+    // results of this run are still correct, they just are not
+    // cached. Every put keeps trying, so debris or a transient
+    // condition from one failure never blocks the next attempt.
+    static obs::Counter retries("store.retry");
+    for (int attempt = 0;; ++attempt) {
+        try {
+            util::atomicWriteFile(path_, bytes, "store.put");
+            bytesWritten.add(bytes.size());
             return;
-        out.write(kMagic, sizeof(kMagic));
-        writePod(out, kFormatVersion);
-        writeString(out, keyCanon_);
-        for (const auto &kv : entries_)
-            writeEntry(out, kv.second);
-        out.flush();
-        if (!out) {
-            std::filesystem::remove(tmp, ec);
-            return;
+        } catch (const util::IoError &e) {
+            if (attempt + 1 >= kPutAttempts) {
+                if (!warnedPutFailure_) {
+                    warnedPutFailure_ = true;
+                    std::cerr << "warning: profile store commit failed"
+                              << " (results not cached): " << e.what()
+                              << "\n";
+                }
+                return;
+            }
+            retries.add(1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1 << attempt));
         }
-        const auto pos = out.tellp();
-        if (pos > 0)
-            bytesWritten.add(static_cast<uint64_t>(pos));
     }
-    std::filesystem::rename(tmp, path_, ec);
-    if (ec)
-        std::filesystem::remove(tmp, ec);
 }
 
 } // namespace mica::pipeline

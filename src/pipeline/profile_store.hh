@@ -82,10 +82,14 @@ class ProfileStore
 
     /**
      * Load every valid entry recorded under this store's key.
-     * @return false when the file is absent, unreadable, or keyed to a
-     * different configuration/format version; the store is then empty
-     * and the first put() rewrites it from scratch. A truncated
-     * trailing entry (interrupted run) is dropped, keeping the rest.
+     * @return false when the file is absent or keyed to a different
+     * configuration/format version; the store is then empty and the
+     * first put() rewrites it from scratch. A truncated trailing
+     * entry (interrupted run) is dropped, keeping the rest.
+     * @throws util::IoError when the file exists but cannot be read
+     * (EACCES, EIO, …) — callers degrade to compute-without-cache
+     * with a loud warning rather than serving silently from an
+     * unreadable store.
      */
     bool open();
 
@@ -95,12 +99,20 @@ class ProfileStore
     /** @return number of loaded + newly put entries. */
     size_t size() const { return entries_.size(); }
 
+    /** Commit attempts per put (first try + retries with backoff). */
+    static constexpr int kPutAttempts = 3;
+
     /**
      * Record one benchmark's result and persist immediately. Each
      * put rewrites the complete store (header + every entry, tens of
      * KB for the full suite) to a ".tmp" sibling and renames it into
      * place, so a crash at any instant leaves either the previous
      * complete file or the new complete file — never a torn one.
+     * Transient commit failures are retried (kPutAttempts, bounded
+     * exponential backoff, `store.retry` counter); a persistent
+     * failure warns once on stderr and the entry stays in memory —
+     * put never throws for I/O, so one full disk cannot abort a
+     * sweep whose computation is fine.
      */
     void put(const StoredProfile &profile);
 
@@ -113,6 +125,7 @@ class ProfileStore
     std::string keyCanon_;
     std::map<std::string, StoredProfile> entries_;
     std::mutex mutex_;
+    bool warnedPutFailure_ = false;
 };
 
 } // namespace mica::pipeline

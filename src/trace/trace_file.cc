@@ -7,13 +7,18 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "obs/obs.hh"
 #include "trace/synthetic.hh"
+#include "util/failpoint.hh"
 
 namespace mica
 {
@@ -47,48 +52,81 @@ struct TraceHeader
 
 template <typename T>
 void
-writePod(std::ostream &out, const T &v)
+putPod(std::string &out, const T &v)
 {
-    out.write(reinterpret_cast<const char *>(&v), sizeof(T));
+    out.append(reinterpret_cast<const char *>(&v), sizeof(T));
 }
 
-template <typename T>
-bool
-readPod(std::istream &in, T &v)
+/** The header's exact on-disk bytes (written whole, and re-patched). */
+std::string
+headerBytes(const TraceHeader &h)
 {
-    in.read(reinterpret_cast<char *>(&v), sizeof(T));
-    return in.gcount() == sizeof(T);
+    std::string b;
+    b.reserve(kTraceHeaderBytes);
+    b.append(kTraceMagic, sizeof(kTraceMagic));
+    putPod(b, h.version);
+    putPod(b, h.recordBytes);
+    putPod(b, h.layoutHash);
+    putPod(b, h.recordCount);
+    putPod(b, h.payloadBytes);
+    putPod(b, h.payloadHash);
+    return b;
 }
 
-void
-writeHeader(std::ostream &out, const TraceHeader &h)
+/** Re-raise a checked-I/O failure as this subsystem's error type. */
+[[noreturn]] void
+rethrowTraceIo(const util::IoError &e)
 {
-    out.write(kTraceMagic, sizeof(kTraceMagic));
-    writePod(out, h.version);
-    writePod(out, h.recordBytes);
-    writePod(out, h.layoutHash);
-    writePod(out, h.recordCount);
-    writePod(out, h.payloadBytes);
-    writePod(out, h.payloadHash);
+    throw TraceFileError(e.path(),
+                         e.op() + " failed: " +
+                             (e.code() ? std::strerror(e.code())
+                                       : "unexpected end of file"),
+                         e.code());
 }
 
 /**
- * Parse and check everything the header alone can prove; chunk-chain
- * checks need the file size and are done by probeTraceFile.
+ * Act on an armed read-path failpoint: stall for Delay, simulate a
+ * crash for Abort, otherwise fail the read with the injected errno.
  */
 void
-readAndCheckHeader(std::istream &in, const std::string &path,
-                   TraceHeader &h)
+checkReadFailpoint(const char *site, const std::string &path,
+                   const char *what)
 {
-    char magic[8] = {};
-    in.read(magic, sizeof(magic));
-    if (in.gcount() != sizeof(magic) ||
-        std::memcmp(magic, kTraceMagic, sizeof(kTraceMagic)) != 0)
+    if (!util::failpointsArmed())
+        return;
+    util::FailDecision d = util::evalFailpoint(site);
+    if (!d)
+        return;
+    if (d.op == util::FailOp::Delay) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(d.param));
+        return;
+    }
+    if (d.op == util::FailOp::Abort)
+        ::_exit(util::kCrashExitCode);
+    const int err = d.err ? d.err : EIO;
+    throw TraceFileError(path,
+                         std::string(what) + " failed: " +
+                             std::strerror(err),
+                         err);
+}
+
+/**
+ * Parse and check everything a 48-byte header buffer alone can prove;
+ * chunk-chain checks need the file size and are done by
+ * probeTraceFile.
+ */
+void
+checkHeaderBytes(const char *buf, const std::string &path,
+                 TraceHeader &h)
+{
+    if (std::memcmp(buf, kTraceMagic, sizeof(kTraceMagic)) != 0)
         throw TraceFileError(path, "not a mica trace file (bad magic)");
-    if (!readPod(in, h.version) || !readPod(in, h.recordBytes) ||
-        !readPod(in, h.layoutHash) || !readPod(in, h.recordCount) ||
-        !readPod(in, h.payloadBytes) || !readPod(in, h.payloadHash))
-        throw TraceFileError(path, "truncated header");
+    std::memcpy(&h.version, buf + 8, sizeof(h.version));
+    std::memcpy(&h.recordBytes, buf + 12, sizeof(h.recordBytes));
+    std::memcpy(&h.layoutHash, buf + 16, sizeof(h.layoutHash));
+    std::memcpy(&h.recordCount, buf + 24, sizeof(h.recordCount));
+    std::memcpy(&h.payloadBytes, buf + 32, sizeof(h.payloadBytes));
+    std::memcpy(&h.payloadHash, buf + 40, sizeof(h.payloadHash));
     if (h.version != kTraceFormatVersion) {
         throw TraceFileError(
             path, "unsupported trace format version " +
@@ -141,16 +179,26 @@ probeTraceFile(const std::string &path)
     static obs::Histogram validateUs("trace.probe.validate_us");
     obs::ObsSpan sp("trace.probe");
     const uint64_t t0 = obs::nowNs();
-    std::error_code ec;
-    const uint64_t fileBytes = std::filesystem::file_size(path, ec);
-    if (ec)
-        throw TraceFileError(path, "cannot stat: " + ec.message());
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        throw TraceFileError(path, "cannot open");
-
+    util::CheckedFile in;
+    uint64_t fileBytes = 0;
     TraceHeader h;
-    readAndCheckHeader(in, path, h);
+    try {
+        in = util::CheckedFile::openRead(path, "trace.probe");
+        fileBytes = in.size();
+        char hb[kTraceHeaderBytes] = {};
+        const size_t got = in.readUpTo(hb, sizeof(hb));
+        // Check the magic before the length so any non-trace file —
+        // however short — reports "not a trace", not "truncated".
+        if (got < sizeof(kTraceMagic) ||
+            std::memcmp(hb, kTraceMagic, sizeof(kTraceMagic)) != 0)
+            throw TraceFileError(path,
+                                 "not a mica trace file (bad magic)");
+        if (got < kTraceHeaderBytes)
+            throw TraceFileError(path, "truncated header");
+        checkHeaderBytes(hb, path, h);
+    } catch (const util::IoError &e) {
+        rethrowTraceIo(e);
+    }
     if (fileBytes != kTraceHeaderBytes + h.payloadBytes)
         throw TraceFileError(path, "truncated or oversized payload (" +
                                        std::to_string(fileBytes) +
@@ -175,8 +223,16 @@ probeTraceFile(const std::string &path)
         if (h.payloadBytes - offset < kChunkHeaderBytes)
             throw TraceFileError(path, "truncated chunk header");
         uint32_t magic = 0, count = 0;
-        if (!readPod(in, magic) || !readPod(in, count))
-            throw TraceFileError(path, "truncated chunk header");
+        char ch[kChunkHeaderBytes];
+        try {
+            in.readExact(ch, sizeof(ch));
+        } catch (const util::IoError &e) {
+            if (e.code() == 0)
+                throw TraceFileError(path, "truncated chunk header");
+            rethrowTraceIo(e);
+        }
+        std::memcpy(&magic, ch, sizeof(magic));
+        std::memcpy(&count, ch + 4, sizeof(count));
         if (magic != kTraceChunkMagic || count == 0)
             throw TraceFileError(path, "corrupt chunk header at payload "
                                        "offset " + std::to_string(offset));
@@ -189,9 +245,13 @@ probeTraceFile(const std::string &path)
         while (bytes > 0) {
             const size_t take =
                 static_cast<size_t>(std::min<uint64_t>(bytes, io.size()));
-            in.read(io.data(), static_cast<std::streamsize>(take));
-            if (in.gcount() != static_cast<std::streamsize>(take))
-                throw TraceFileError(path, "truncated chunk payload");
+            try {
+                in.readExact(io.data(), take);
+            } catch (const util::IoError &e) {
+                if (e.code() == 0)
+                    throw TraceFileError(path, "truncated chunk payload");
+                rethrowTraceIo(e);
+            }
             hash = fnv1a(io.data(), take, hash);
             bytes -= take;
         }
@@ -224,10 +284,15 @@ TraceFileWriter::TraceFileWriter(const std::string &path)
     if (!parent.empty())
         std::filesystem::create_directories(parent, ec);
 
-    out_.open(tmpPath_, std::ios::binary | std::ios::trunc);
-    if (!out_)
-        throw TraceFileError(tmpPath_, "cannot open for writing");
-    writeHeader(out_, TraceHeader{});    // recordCount = unfinished
+    try {
+        out_ = util::CheckedFile::openWrite(tmpPath_, "trace.record");
+        const std::string h = headerBytes(TraceHeader{});
+        out_.writeAll(h.data(), h.size());    // recordCount = unfinished
+    } catch (const util::IoError &e) {
+        out_ = util::CheckedFile();
+        std::filesystem::remove(tmpPath_, ec);
+        rethrowTraceIo(e);
+    }
     chunk_.reserve(kChunkRecords);
     open_ = true;
 }
@@ -277,10 +342,11 @@ TraceFileWriter::flushChunk()
         return;
     const uint32_t count = static_cast<uint32_t>(chunk_.size());
     const size_t bytes = chunk_.size() * sizeof(InstRecord);
-    writePod(out_, kTraceChunkMagic);
-    writePod(out_, count);
-    out_.write(reinterpret_cast<const char *>(chunk_.data()),
-               static_cast<std::streamsize>(bytes));
+    char ch[kChunkHeaderBytes];
+    std::memcpy(ch, &kTraceChunkMagic, sizeof(kTraceChunkMagic));
+    std::memcpy(ch + 4, &count, sizeof(count));
+    out_.writeAll(ch, sizeof(ch));
+    out_.writeAll(chunk_.data(), bytes);
     payloadHash_ = fnv1a(&kTraceChunkMagic, sizeof(kTraceChunkMagic),
                          payloadHash_);
     payloadHash_ = fnv1a(&count, sizeof(count), payloadHash_);
@@ -294,27 +360,26 @@ TraceFileWriter::close()
 {
     if (!open_)
         return;
-    flushChunk();
+    try {
+        flushChunk();
 
-    TraceHeader h;
-    h.recordCount = count_;
-    h.payloadBytes = payloadBytes_;
-    h.payloadHash = payloadHash_;
-    out_.seekp(0);
-    writeHeader(out_, h);
-    out_.flush();
-    const bool ok = static_cast<bool>(out_);
-    out_.close();
-    open_ = false;
-
-    std::error_code ec;
-    if (ok)
-        std::filesystem::rename(tmpPath_, path_, ec);
-    if (!ok || ec) {
-        std::error_code rmEc;
-        std::filesystem::remove(tmpPath_, rmEc);
-        throw TraceFileError(path_, ok ? "cannot rename into place"
-                                       : "write failed (disk full?)");
+        TraceHeader h;
+        h.recordCount = count_;
+        h.payloadBytes = payloadBytes_;
+        h.payloadHash = payloadHash_;
+        const std::string hb = headerBytes(h);
+        out_.seekTo(0);
+        out_.writeAll(hb.data(), hb.size());
+        out_.syncToDisk();
+        out_.close();
+        open_ = false;
+        util::checkedRename(tmpPath_, path_, "trace.record");
+    } catch (const util::IoError &e) {
+        open_ = false;
+        out_ = util::CheckedFile();    // drop the fd, silently
+        std::error_code ec;
+        std::filesystem::remove(tmpPath_, ec);
+        rethrowTraceIo(e);
     }
 }
 
@@ -322,7 +387,7 @@ void
 TraceFileWriter::abort()
 {
     if (open_) {
-        out_.close();
+        out_ = util::CheckedFile();    // drop the fd, silently
         open_ = false;
     }
     std::error_code ec;
@@ -339,21 +404,27 @@ FileTraceSource::FileTraceSource(const std::string &path,
 {
     static obs::Counter opens("trace.open.stream");
     opens.add(1);
-    in_.open(path_, std::ios::binary);
-    if (!in_)
-        throw TraceFileError(path_, "cannot open");
-    if (known) {
-        // The caller already validated the payload; re-check only the
-        // header so a file swapped since that scan still rejects.
-        TraceHeader h;
-        readAndCheckHeader(in_, path_, h);
-        if (h.recordCount != info_.recordCount ||
-            h.payloadBytes != info_.payloadBytes ||
-            h.payloadHash != info_.payloadHash)
-            throw TraceFileError(path_, "file changed since it was "
-                                        "scanned");
+    try {
+        in_ = util::CheckedFile::openRead(path_, "trace.replay");
+        if (known) {
+            // The caller already validated the payload; re-check only
+            // the header so a file swapped since that scan still
+            // rejects.
+            char hb[kTraceHeaderBytes];
+            in_.readExact(hb, sizeof(hb));
+            TraceHeader h;
+            checkHeaderBytes(hb, path_, h);
+            if (h.recordCount != info_.recordCount ||
+                h.payloadBytes != info_.payloadBytes ||
+                h.payloadHash != info_.payloadHash)
+                throw TraceFileError(path_, "file changed since it was "
+                                            "scanned");
+        } else {
+            in_.seekTo(kTraceHeaderBytes);
+        }
+    } catch (const util::IoError &e) {
+        rethrowTraceIo(e);
     }
-    in_.seekg(kTraceHeaderBytes);
 }
 
 bool
@@ -361,19 +432,33 @@ FileTraceSource::refill()
 {
     if (chunksRead_ == info_.chunkCount)
         return false;
+    checkReadFailpoint("trace.chunk.read", path_, "chunk read");
     uint32_t magic = 0, count = 0;
     // probeTraceFile validated the whole chain; a mismatch here means
     // the file changed underneath us, which must not degrade into a
     // silently short trace.
-    if (!readPod(in_, magic) || !readPod(in_, count) ||
-        magic != kTraceChunkMagic || count == 0)
+    char ch[kChunkHeaderBytes];
+    try {
+        in_.readExact(ch, sizeof(ch));
+    } catch (const util::IoError &e) {
+        if (e.code() == 0)
+            throw TraceFileError(path_,
+                                 "chunk header changed after open");
+        rethrowTraceIo(e);
+    }
+    std::memcpy(&magic, ch, sizeof(magic));
+    std::memcpy(&count, ch + 4, sizeof(count));
+    if (magic != kTraceChunkMagic || count == 0)
         throw TraceFileError(path_, "chunk header changed after open");
     buf_.resize(count);
-    in_.read(reinterpret_cast<char *>(buf_.data()),
-             static_cast<std::streamsize>(count * sizeof(InstRecord)));
-    if (in_.gcount() !=
-        static_cast<std::streamsize>(count * sizeof(InstRecord)))
-        throw TraceFileError(path_, "chunk payload changed after open");
+    try {
+        in_.readExact(buf_.data(), count * sizeof(InstRecord));
+    } catch (const util::IoError &e) {
+        if (e.code() == 0)
+            throw TraceFileError(path_,
+                                 "chunk payload changed after open");
+        rethrowTraceIo(e);
+    }
     static obs::Counter chunks("trace.chunk.decoded");
     static obs::Counter bytes("trace.bytes.read");
     chunks.add(1);
@@ -421,8 +506,11 @@ FileTraceSource::nextSpan(const InstRecord *&span, InstRecord *, size_t n)
 bool
 FileTraceSource::reset()
 {
-    in_.clear();
-    in_.seekg(kTraceHeaderBytes);
+    try {
+        in_.seekTo(kTraceHeaderBytes);
+    } catch (const util::IoError &e) {
+        rethrowTraceIo(e);
+    }
     buf_.clear();
     pos_ = 0;
     chunksRead_ = 0;
@@ -440,9 +528,13 @@ MappedTraceSource::MappedTraceSource(const std::string &path,
     static obs::Counter opens("trace.open.mmap");
     opens.add(1);
     mapBytes_ = kTraceHeaderBytes + info_.payloadBytes;
-    const int fd = ::open(path.c_str(), O_RDONLY);
+    checkReadFailpoint("trace.replay.open", path, "open");
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0)
-        throw TraceFileError(path, "cannot open");
+        throw TraceFileError(path,
+                             std::string("open failed: ") +
+                                 std::strerror(errno),
+                             errno);
     // The probe ran against a separate open: re-stat through this fd
     // so a file swapped in between cannot shrink the mapping under
     // the validated byte counts (reads past EOF in a mapping are
@@ -457,7 +549,10 @@ MappedTraceSource::MappedTraceSource(const std::string &path,
         ::mmap(nullptr, mapBytes_, PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd);
     if (base == MAP_FAILED)
-        throw TraceFileError(path, "mmap failed");
+        throw TraceFileError(path,
+                             std::string("mmap failed: ") +
+                                 std::strerror(errno),
+                             errno);
     base_ = static_cast<const char *>(base);
     cursor_ = base_ + kTraceHeaderBytes;
 
@@ -730,9 +825,15 @@ parseTextTrace(std::istream &in, const std::string &what)
 std::vector<InstRecord>
 readTextTrace(const std::string &path)
 {
+    checkReadFailpoint("trace.replay.open", path, "open");
     std::ifstream in(path);
-    if (!in)
-        throw TraceFileError(path, "cannot open");
+    if (!in) {
+        const int err = errno;
+        throw TraceFileError(path,
+                             std::string("open failed: ") +
+                                 std::strerror(err),
+                             err);
+    }
     return parseTextTrace(in, path);
 }
 

@@ -43,7 +43,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -51,6 +50,7 @@
 
 #include "trace/inst_record.hh"
 #include "trace/trace_source.hh"
+#include "util/checked_io.hh"
 
 namespace mica
 {
@@ -93,13 +93,26 @@ traceLayoutHash()
 
 constexpr uint64_t kTraceLayoutHash = traceLayoutHash();
 
-/** Every trace-file failure carries the file path and a reason. */
+/**
+ * Every trace-file failure carries the file path, a reason, and —
+ * when the OS was involved — the errno, so callers can distinguish a
+ * missing file (ENOENT) from a permission problem (EACCES) from
+ * corruption (code() == 0) without parsing the message.
+ */
 class TraceFileError : public std::runtime_error
 {
   public:
-    TraceFileError(const std::string &path, const std::string &reason)
-        : std::runtime_error("trace file " + path + ": " + reason)
+    TraceFileError(const std::string &path, const std::string &reason,
+                   int err = 0)
+        : std::runtime_error("trace file " + path + ": " + reason),
+          err_(err)
     {}
+
+    /** @return the errno, or 0 for format/corruption failures. */
+    int code() const { return err_; }
+
+  private:
+    int err_;
 };
 
 /** Header facts of one validated binary trace file. */
@@ -178,7 +191,7 @@ class TraceFileWriter
 
     std::string path_;
     std::string tmpPath_;
-    std::ofstream out_;
+    util::CheckedFile out_;
     std::vector<InstRecord> chunk_;
     uint64_t count_ = 0;
     uint64_t payloadBytes_ = 0;
@@ -220,7 +233,7 @@ class FileTraceSource : public TraceSource
 
     std::string path_;
     TraceFileInfo info_;
-    std::ifstream in_;
+    util::CheckedFile in_;
     std::vector<InstRecord> buf_;
     size_t pos_ = 0;            ///< consumed records within buf_
     uint64_t chunksRead_ = 0;

@@ -635,7 +635,9 @@ traceInfoFromStem(const std::string &stem)
 
 std::vector<BenchmarkEntry>
 traceBenchmarks(const std::string &dir, bool streamReader,
-                uint64_t maxInsts, uint64_t *contentStamp)
+                uint64_t maxInsts, uint64_t *contentStamp,
+                std::vector<std::pair<std::string, std::string>>
+                    *quarantined)
 {
     namespace fs = std::filesystem;
     std::error_code ec;
@@ -658,57 +660,70 @@ traceBenchmarks(const std::string &dir, bool streamReader,
         BenchmarkEntry e;
         e.info = traceInfoFromStem(p.stem().string());
         uint64_t contentId = 0;
-        if (binary) {
-            // Eager validation: a bad file must reject at scan time,
-            // not degrade the sweep later. The factories reuse this
-            // probe (header-only re-check per open) instead of
-            // re-reading the payload on every job.
-            const TraceFileInfo fi = probeTraceFile(p.string());
-            e.info.paperICountM = fi.recordCount / 1000000;
-            if (maxInsts != 0 && maxInsts > fi.recordCount) {
-                throw TraceFileError(
-                    p.string(),
-                    "holds " + std::to_string(fi.recordCount) +
-                        " records but the profiling budget is " +
-                        std::to_string(maxInsts) +
-                        " — replay would silently diverge from direct "
-                        "interpretation (lower --budget, use 0, or "
-                        "re-record)");
-            }
-            contentId = fnv1a(&fi.recordCount, sizeof(fi.recordCount),
-                              fnv1a(&fi.payloadHash,
-                                    sizeof(fi.payloadHash)));
-            e.source = [path = p.string(), streamReader, fi] {
-                return openTraceFile(path, streamReader, &fi);
-            };
-        } else {
-            if (contentStamp || maxInsts != 0) {
-                std::ifstream in(p.string(), std::ios::binary);
-                std::ostringstream bytes;
-                bytes << in.rdbuf();
-                const std::string s = bytes.str();
-                contentId = fnv1a(s.data(), s.size());
-                if (maxInsts != 0) {
-                    // Text traces get the same budget guard as binary
-                    // ones: coming up short must reject, not silently
-                    // profile a shorter stream.
-                    std::istringstream text(s);
-                    const size_t n =
-                        parseTextTrace(text, p.string()).size();
-                    if (maxInsts > n) {
-                        throw TraceFileError(
-                            p.string(),
-                            "holds " + std::to_string(n) +
-                                " records but the profiling budget "
-                                "is " + std::to_string(maxInsts) +
-                                " — replay would silently diverge "
-                                "(lower --budget or use 0)");
+        try {
+            if (binary) {
+                // Eager validation: a bad file must reject at scan
+                // time, not degrade the sweep later. The factories
+                // reuse this probe (header-only re-check per open)
+                // instead of re-reading the payload on every job.
+                const TraceFileInfo fi = probeTraceFile(p.string());
+                e.info.paperICountM = fi.recordCount / 1000000;
+                if (maxInsts != 0 && maxInsts > fi.recordCount) {
+                    throw TraceFileError(
+                        p.string(),
+                        "holds " + std::to_string(fi.recordCount) +
+                            " records but the profiling budget is " +
+                            std::to_string(maxInsts) +
+                            " — replay would silently diverge from "
+                            "direct interpretation (lower --budget, "
+                            "use 0, or re-record)");
+                }
+                contentId =
+                    fnv1a(&fi.recordCount, sizeof(fi.recordCount),
+                          fnv1a(&fi.payloadHash,
+                                sizeof(fi.payloadHash)));
+                e.source = [path = p.string(), streamReader, fi] {
+                    return openTraceFile(path, streamReader, &fi);
+                };
+            } else {
+                if (contentStamp || maxInsts != 0) {
+                    std::ifstream in(p.string(), std::ios::binary);
+                    std::ostringstream bytes;
+                    bytes << in.rdbuf();
+                    const std::string s = bytes.str();
+                    contentId = fnv1a(s.data(), s.size());
+                    if (maxInsts != 0) {
+                        // Text traces get the same budget guard as
+                        // binary ones: coming up short must reject,
+                        // not silently profile a shorter stream.
+                        std::istringstream text(s);
+                        const size_t n =
+                            parseTextTrace(text, p.string()).size();
+                        if (maxInsts > n) {
+                            throw TraceFileError(
+                                p.string(),
+                                "holds " + std::to_string(n) +
+                                    " records but the profiling "
+                                    "budget is " +
+                                    std::to_string(maxInsts) +
+                                    " — replay would silently "
+                                    "diverge (lower --budget or "
+                                    "use 0)");
+                        }
                     }
                 }
+                e.source = [path = p.string(), streamReader] {
+                    return openTraceFile(path, streamReader);
+                };
             }
-            e.source = [path = p.string(), streamReader] {
-                return openTraceFile(path, streamReader);
-            };
+        } catch (const TraceFileError &ex) {
+            // Scan-time quarantine: one bad file must not take down
+            // the whole sweep when the caller opted into isolation.
+            // The file contributes neither an entry nor a stamp bit.
+            if (!quarantined)
+                throw;
+            quarantined->emplace_back(p.string(), ex.what());
+            continue;
         }
         fileHash.push_back(contentId);
         out.push_back(std::move(e));

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "workloads/benchmark.hh"
@@ -85,14 +86,22 @@ class BenchmarkRegistry
  *        file's identity and content (names, record counts, payload
  *        checksums; raw bytes for text traces) so callers can key
  *        caches on what the traces *hold*, not just the directory
- *        path
- * @throws TraceFileError when @p dir is not a directory or a trace
- *         file in it fails validation
+ *        path — quarantined files are excluded from the digest, so a
+ *        directory with a corrupt file keys differently from the
+ *        same directory healthy
+ * @param quarantined when non-null, a file that fails validation (or
+ *        the budget guard) is recorded here as {path, error} and
+ *        skipped instead of throwing; directory-level problems (not
+ *        a directory, duplicate benchmark names) still throw. Order
+ *        follows the directory scan, which is filesystem-dependent —
+ *        callers wanting a deterministic report should sort.
+ * @throws TraceFileError when @p dir is not a directory or (with
+ *         @p quarantined null) a trace file in it fails validation
  */
-std::vector<BenchmarkEntry> traceBenchmarks(const std::string &dir,
-                                            bool streamReader = false,
-                                            uint64_t maxInsts = 0,
-                                            uint64_t *contentStamp =
-                                                nullptr);
+std::vector<BenchmarkEntry>
+traceBenchmarks(const std::string &dir, bool streamReader = false,
+                uint64_t maxInsts = 0, uint64_t *contentStamp = nullptr,
+                std::vector<std::pair<std::string, std::string>>
+                    *quarantined = nullptr);
 
 } // namespace mica::workloads

@@ -286,7 +286,7 @@ TEST(TraceFileTest, RejectsMissingAndNonTraceFiles)
 {
     TmpDir tmp;
     expectReject([&] { probeTraceFile(tmp.file("absent.trace")); },
-                 "cannot");
+                 "No such file or directory");
     std::ofstream(tmp.file("junk.trace")) << "this is not a trace";
     expectReject([&] { probeTraceFile(tmp.file("junk.trace")); },
                  "not a mica trace file");

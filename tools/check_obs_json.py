@@ -10,9 +10,16 @@ account for every benchmark in the run.
 Usage:
   check_obs_json.py trace FILE --expect-prefixes=pipeline.,engine.
   check_obs_json.py metrics FILE [--hits=N] [--computed=N] [--total=N]
+                    [--counter NAME=N]... [--counter-min NAME=N]...
 
 `--total` asserts hits + computed == N without pinning the split;
 `--hits`/`--computed` pin the individual counters (warm-cache runs).
+`--counter NAME=N` pins any counter exactly and `--counter-min NAME=N`
+bounds it from below — CI's fault smoke uses these to prove the
+robustness counters (pipeline.quarantined, store.retry,
+store.degraded_open, failpoint.fired) actually reached the snapshot
+on a faulted run. A fault counter that never fired is absent from the
+snapshot, so `--counter NAME=0` accepts both absent and literal zero.
 Exit status is non-zero, with a message naming the failed check, on
 any violation.
 """
@@ -57,10 +64,21 @@ def check_trace(path, prefixes):
 
 
 def counter(doc, path, name):
-    v = doc.get("counters", {}).get(name)
-    if v is None:
-        fail(f"{path}: counter {name} missing")
-    return v
+    # Counters register on their first bump, so a counter that never
+    # fired (e.g. store.* on a cacheless run) is absent, not zero.
+    # Reading absent as 0 keeps --total/--hits/--counter assertions
+    # exact without demanding the event occurred.
+    return doc.get("counters", {}).get(name, 0)
+
+
+def parse_counter_spec(spec):
+    name, eq, value = spec.partition("=")
+    if not eq or not name:
+        fail(f"bad counter spec {spec!r} (want NAME=N)")
+    try:
+        return name, int(value)
+    except ValueError:
+        fail(f"bad counter spec {spec!r}: {value!r} is not an integer")
 
 
 def check_metrics(path, args):
@@ -79,7 +97,23 @@ def check_metrics(path, args):
     if args.computed is not None and computed != args.computed:
         fail(f"{path}: store.profile.computed is {computed}, "
              f"expected {args.computed}")
-    print(f"check_obs_json: OK: {path}: hit={hits} computed={computed}")
+    checked = []
+    for spec in args.counter:
+        name, want = parse_counter_spec(spec)
+        # Counters register on first bump, so "never fired" is absent.
+        got = doc.get("counters", {}).get(name, 0)
+        if got != want:
+            fail(f"{path}: counter {name} is {got}, expected {want}")
+        checked.append(f"{name}={got}")
+    for spec in args.counter_min:
+        name, want = parse_counter_spec(spec)
+        got = doc.get("counters", {}).get(name, 0)
+        if got < want:
+            fail(f"{path}: counter {name} is {got}, expected >= {want}")
+        checked.append(f"{name}={got}")
+    extra = f" {' '.join(checked)}" if checked else ""
+    print(f"check_obs_json: OK: {path}: hit={hits} "
+          f"computed={computed}{extra}")
 
 
 def main():
@@ -90,6 +124,10 @@ def main():
     p.add_argument("--hits", type=int)
     p.add_argument("--computed", type=int)
     p.add_argument("--total", type=int)
+    p.add_argument("--counter", action="append", default=[],
+                   metavar="NAME=N")
+    p.add_argument("--counter-min", action="append", default=[],
+                   metavar="NAME=N")
     args = p.parse_args()
 
     if args.kind == "trace":

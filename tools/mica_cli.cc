@@ -12,6 +12,8 @@
  *   mica index build|query|redundant   persistent similarity index
  *   mica trace record <bench>|<suite>|all   record traces to disk
  *   mica trace ls [DIR]            list recorded trace files
+ *   mica faults ls                 list fault-injection points
+ *   mica faults crash-matrix       crash-consistency verification
  *   mica obs demo                  telemetry self-test
  *
  * Every verb also takes the telemetry sinks: --metrics=FILE writes a
@@ -38,11 +40,22 @@
  * store like everything else) and --reader=mmap|stream (trace reader
  * choice; byte-identical either way).
  *
+ * Failure semantics: dataset verbs quarantine failing benchmarks
+ * (bad trace files at scan time, throwing profiling jobs) instead of
+ * aborting, report them on stderr, and exit with the partial-failure
+ * code 3; --max-failures=N caps the tolerance. --failpoints=SPEC (or
+ * the MICA_FAILPOINTS environment variable) arms deterministic fault
+ * injection at the named I/O sites — see util/failpoint.hh for the
+ * grammar and `mica faults ls` for the site registry.
+ *
  * Unknown --flags are rejected with an error naming the flag (each
  * verb validates against its accepted set via util::parseCliArgs).
  */
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +65,7 @@
 #include <string>
 #include <vector>
 
+#include "experiments/crash_matrix.hh"
 #include "experiments/experiments.hh"
 #include "index/fingerprint_index.hh"
 #include "index/snapshot.hh"
@@ -71,12 +85,70 @@
 #include "trace/trace_file.hh"
 #include "uarch/hpc_runner.hh"
 #include "util/arg_parse.hh"
+#include "util/checked_io.hh"
+#include "util/failpoint.hh"
 #include "workloads/registry.hh"
 
 using namespace mica;
 
 namespace
 {
+
+/**
+ * Exit codes. 0 = success, 1 = failure, 2 = usage error; the rest
+ * distinguish failure classes scripts and CI branch on:
+ * kExitPartial — the sweep completed but quarantined at least one
+ * benchmark (results are valid for everything reported); kExitNoEnt /
+ * kExitPerm — the named file or directory is missing / unreadable
+ * (corruption stays exit 1: the file is there, its *contents* are the
+ * problem). util::kCrashExitCode (97) is reserved for simulated
+ * crashes under --failpoints=...abort.
+ */
+constexpr int kExitPartial = 3;
+constexpr int kExitNoEnt = 4;
+constexpr int kExitPerm = 5;
+
+/** Map an errno (0 = corruption/unknown) onto the exit-code classes. */
+int
+exitCodeFor(int err)
+{
+    if (err == ENOENT)
+        return kExitNoEnt;
+    if (err == EACCES)
+        return kExitPerm;
+    return 1;
+}
+
+/**
+ * Benchmarks quarantined across every dataset collection this run; a
+ * clean verb exit escalates to kExitPartial when nonzero, so partial
+ * results are never mistaken for complete ones.
+ */
+size_t gQuarantined = 0;
+
+/**
+ * collectSuiteDataset plus the CLI's failure reporting: quarantined
+ * benchmarks are listed on stderr (deterministic order — scan
+ * failures sorted by path, then sweep failures in registry order)
+ * and counted into gQuarantined.
+ */
+experiments::SuiteDataset
+collectReported(const experiments::DatasetConfig &cfg)
+{
+    auto ds = experiments::collectSuiteDataset(cfg);
+    for (const auto &f : ds.failures) {
+        std::fprintf(stderr, "mica: quarantined [%s] %s: %s\n",
+                     f.phase.c_str(), f.bench.c_str(), f.error.c_str());
+    }
+    if (!ds.failures.empty()) {
+        std::fprintf(stderr,
+                     "mica: %zu benchmark(s) quarantined; continuing "
+                     "with the remaining %zu\n",
+                     ds.failures.size(), ds.benchmarks.size());
+        gQuarantined += ds.failures.size();
+    }
+    return ds;
+}
 
 int
 usage()
@@ -101,11 +173,19 @@ usage()
         "                            record traces to DIR (default "
         "traces)\n"
         "  trace ls [DIR]            list recorded trace files\n"
+        "  faults ls                 list fault-injection points\n"
+        "  faults crash-matrix [--dir=DIR]\n"
+        "                            crash-consistency check of every\n"
+        "                            durable write path\n"
         "  obs demo                  telemetry self-test\n"
         "dataset verbs also take --suites=A,B --traces=DIR "
-        "--reader=mmap|stream\n"
+        "--reader=mmap|stream --max-failures=N\n"
         "every verb takes --metrics=FILE --trace-out=FILE "
-        "--obs-summary\n");
+        "--obs-summary --failpoints=SPEC\n"
+        "exit codes: 0 ok, 1 error, 2 usage, 3 partial (quarantined "
+        "benchmarks),\n"
+        "            4 missing file, 5 permission denied, 97 simulated "
+        "crash\n");
     return 2;
 }
 
@@ -156,7 +236,7 @@ cmdProfile(const util::CliArgs &args,
         experiments::DatasetConfig runCfg = cfg;
         if (!runCfg.progress)
             runCfg.progress = pipeline::stderrProgress();
-        const auto ds = experiments::collectSuiteDataset(runCfg);
+        const auto ds = collectReported(runCfg);
         if (!csv.empty()) {
             if (hpc)
                 saveMatrixCsv(csv, ds.hpcMatrix());
@@ -208,7 +288,7 @@ cmdProfile(const util::CliArgs &args,
                          "ls %s')\n",
                          target.c_str(), cfg.traceDir.c_str(),
                          cfg.traceDir.c_str());
-            return 1;
+            return kExitNoEnt;
         }
         // Same budget guard traceBenchmarks applies to a full sweep.
         uint64_t records = 0;
@@ -280,7 +360,7 @@ cmdDistance(const util::CliArgs &args,
         return usage();
     const std::string &nameA = args.positionals[1];
     const std::string &nameB = args.positionals[2];
-    const auto ds = experiments::collectSuiteDataset(cfg);
+    const auto ds = collectReported(cfg);
     const size_t a = ds.indexOf(nameA);
     const size_t b = ds.indexOf(nameB);
     if (a == static_cast<size_t>(-1) || b == static_cast<size_t>(-1)) {
@@ -310,7 +390,7 @@ cmdDistance(const util::CliArgs &args,
 int
 cmdSelect(const experiments::DatasetConfig &cfg)
 {
-    const auto ds = experiments::collectSuiteDataset(cfg);
+    const auto ds = collectReported(cfg);
     auto pool = methodologyPool(cfg);
     pipeline::ThreadPool *p = pool.get();
     const WorkloadSpace mica(ds.micaMatrix(), p);
@@ -369,7 +449,7 @@ cmdCluster(const util::CliArgs &args,
 {
     if (rejectBadInt(args, "cluster", "maxk"))
         return 2;
-    const auto ds = experiments::collectSuiteDataset(cfg);
+    const auto ds = collectReported(cfg);
     auto pool = methodologyPool(cfg);
     pipeline::ThreadPool *p = pool.get();
     const Matrix reduced = reducedKeySpace(ds, p);
@@ -411,7 +491,7 @@ cmdSubset(const util::CliArgs &args,
 {
     if (rejectBadInt(args, "subset", "maxk"))
         return 2;
-    const auto ds = experiments::collectSuiteDataset(cfg);
+    const auto ds = collectReported(cfg);
     auto pool = methodologyPool(cfg);
     pipeline::ThreadPool *p = pool.get();
     const Matrix reduced = reducedKeySpace(ds, p);
@@ -495,7 +575,7 @@ buildIndexFromDataset(const experiments::DatasetConfig &cfg,
                       const std::string &space, size_t pca,
                       pipeline::ThreadPool *pool)
 {
-    const auto ds = experiments::collectSuiteDataset(cfg);
+    const auto ds = collectReported(cfg);
     index::FingerprintOptions opt;
     opt.pcaDims = pca;
     Matrix m;
@@ -534,9 +614,9 @@ openOrBuildIndex(const experiments::DatasetConfig &cfg,
         return idx;
     std::fprintf(stderr, "index: %s; rebuilding\n", why.c_str());
     idx = buildIndexFromDataset(cfg, space, pca, pool);
-    if (!index::saveIndexSnapshot(idx, path, key))
-        std::fprintf(stderr, "index: warning: cannot write %s\n",
-                     path.c_str());
+    if (!index::saveIndexSnapshot(idx, path, key, &why))
+        std::fprintf(stderr, "index: warning: snapshot not written: %s\n",
+                     why.c_str());
     return idx;
 }
 
@@ -597,10 +677,11 @@ cmdIndex(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
         const index::FingerprintIndex idx =
             buildIndexFromDataset(icfg, space, pca, p);
         const std::string path = index::snapshotPath(icfg.cacheDir);
+        std::string why;
         if (!index::saveIndexSnapshot(idx, path,
-                                      indexKey(icfg, space, pca))) {
-            std::fprintf(stderr, "mica index build: cannot write %s\n",
-                         path.c_str());
+                                      indexKey(icfg, space, pca),
+                                      &why)) {
+            std::fprintf(stderr, "mica index build: %s\n", why.c_str());
             return 1;
         }
         std::printf("indexed %zu fingerprints (dim %zu, space %s, "
@@ -810,15 +891,31 @@ cmdTraceLs(const util::CliArgs &args)
         args.positionals.size() >= 3 ? args.positionals[2] : "traces";
     namespace fs = std::filesystem;
     std::error_code ec;
-    if (!fs::is_directory(dir, ec)) {
+    // Error classes matter to callers: an absent directory (exit 4)
+    // is a different situation from an unreadable one (exit 5) or a
+    // path that is a file (exit 1).
+    const fs::file_status st = fs::status(dir, ec);
+    if (!fs::exists(st)) {
+        std::fprintf(stderr,
+                     "mica trace ls: %s: No such file or directory\n",
+                     dir.c_str());
+        return kExitNoEnt;
+    }
+    if (!fs::is_directory(st)) {
         std::fprintf(stderr, "mica trace ls: '%s' is not a directory\n",
                      dir.c_str());
         return 1;
     }
     std::vector<fs::path> files;
-    for (const auto &de : fs::directory_iterator(dir)) {
-        if (de.is_regular_file())
-            files.push_back(de.path());
+    try {
+        for (const auto &de : fs::directory_iterator(dir)) {
+            if (de.is_regular_file())
+                files.push_back(de.path());
+        }
+    } catch (const fs::filesystem_error &e) {
+        std::fprintf(stderr, "mica trace ls: %s: %s\n", dir.c_str(),
+                     e.code().message().c_str());
+        return exitCodeFor(e.code().value());
     }
     std::sort(files.begin(), files.end());
 
@@ -833,23 +930,21 @@ cmdTraceLs(const util::CliArgs &args)
         if (!binary && ext != ".csv" && ext != ".txt")
             continue;   // .tmp leftovers, READMEs, ...
         std::string recs = "-", status = "ok";
-        if (binary) {
-            try {
+        // The status column separates the error classes: "corrupt"
+        // means the file was readable but its contents failed
+        // validation; "io-error" means the bytes could not be read
+        // at all (the message on stderr names the errno).
+        try {
+            if (binary) {
                 recs = std::to_string(
                     probeTraceFile(p.string()).recordCount);
-            } catch (const TraceFileError &e) {
-                status = "rejected";
-                ++rejected;
-                std::fprintf(stderr, "%s\n", e.what());
-            }
-        } else {
-            try {
+            } else {
                 recs = std::to_string(readTextTrace(p.string()).size());
-            } catch (const TraceFileError &e) {
-                status = "rejected";
-                ++rejected;
-                std::fprintf(stderr, "%s\n", e.what());
             }
+        } catch (const TraceFileError &e) {
+            status = e.code() == 0 ? "corrupt" : "io-error";
+            ++rejected;
+            std::fprintf(stderr, "%s\n", e.what());
         }
         const uint64_t bytes = fs::file_size(p, ec);
         t.addRow({p.filename().string(), binary ? "binary" : "text",
@@ -862,6 +957,73 @@ cmdTraceLs(const util::CliArgs &args)
         std::printf(" (%zu rejected — see stderr)", rejected);
     std::printf("\n");
     return rejected ? 1 : 0;
+}
+
+// ----------------------------------------------------------------------
+// faults verbs: the fault-injection registry and the crash matrix.
+// ----------------------------------------------------------------------
+
+int
+cmdFaultsLs()
+{
+    report::TextTable t({"failpoint", "kind", "fired"},
+                        {report::Align::Left, report::Align::Left,
+                         report::Align::Right});
+    const auto &known = util::knownFailpoints();
+    for (const auto &fp : known) {
+        t.addRow({fp.name, fp.writeSite ? "write" : "read",
+                  std::to_string(util::failpointFireCount(fp.name))});
+    }
+    std::printf("%s\n%zu failpoints", t.render().c_str(), known.size());
+#if !MICA_FAILPOINTS
+    std::printf(" (fault injection compiled out: MICA_FAILPOINTS=0)");
+#endif
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdFaultsCrashMatrix(const util::CliArgs &args)
+{
+    if (!experiments::crashMatrixSupported()) {
+        std::fprintf(stderr,
+                     "mica faults crash-matrix: fault injection "
+                     "compiled out (MICA_FAILPOINTS=0)\n");
+        return 1;
+    }
+    namespace fs = std::filesystem;
+    std::string dir = args.value("dir");
+    const bool scratch = dir.empty();
+    if (scratch) {
+        std::error_code ec;
+        dir = (fs::temp_directory_path(ec) /
+               ("mica-crash-matrix-" + std::to_string(::getpid())))
+                  .string();
+    }
+
+    const auto rows = experiments::runCrashMatrix(dir);
+    report::TextTable t({"site", "scenario", "crash", "survivor",
+                         "recovery", "detail"},
+                        {report::Align::Left, report::Align::Left,
+                         report::Align::Left, report::Align::Left,
+                         report::Align::Left, report::Align::Left});
+    size_t ok = 0;
+    for (const auto &r : rows) {
+        t.addRow({r.site, r.scenario, r.crashed ? "yes" : "NO",
+                  r.oldValid       ? "old-valid"
+                      : r.newValid ? "new-valid"
+                                   : "INVALID",
+                  r.recovered ? "ok" : "FAILED", r.detail});
+        if (r.ok())
+            ++ok;
+    }
+    if (scratch) {
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+    }
+    std::printf("%s\ncrash matrix: %zu/%zu cells OK\n",
+                t.render().c_str(), ok, rows.size());
+    return (!rows.empty() && ok == rows.size()) ? 0 : 1;
 }
 
 // ----------------------------------------------------------------------
@@ -968,18 +1130,21 @@ obsFinish(const util::CliArgs &args, int rc)
 std::vector<std::string>
 knownFlags(const std::string &cmd, const std::string &sub)
 {
-    // The telemetry sinks are global: every verb can export metrics
-    // and spans.
+    // The telemetry sinks and the fault-injection switch are global:
+    // every verb can export metrics and run under armed failpoints.
     std::vector<std::string> known = {"budget=",  "cache=",
                                       "jobs=",    "quick",
                                       "metrics=", "trace-out=",
-                                      "obs-summary"};
-    // Verbs that collect a dataset can filter suites and swap the
-    // interpreter for recorded traces.
+                                      "obs-summary", "failpoints="};
+    // Verbs that collect a dataset can filter suites, swap the
+    // interpreter for recorded traces, and cap quarantines.
     if (cmd == "profile" || cmd == "hpc" || cmd == "distance" ||
         cmd == "select" || cmd == "cluster" || cmd == "subset" ||
         cmd == "index")
-        known.insert(known.end(), {"suites=", "traces=", "reader="});
+        known.insert(known.end(),
+                     {"suites=", "traces=", "reader=", "max-failures="});
+    if (cmd == "faults" && sub == "crash-matrix")
+        known.push_back("dir=");
     if (cmd == "profile" || cmd == "hpc")
         known.push_back("csv=");
     if (cmd == "cluster" || cmd == "subset")
@@ -1022,7 +1187,7 @@ main(int argc, char **argv)
     }
     // The shared numeric flags get the same strictness as the verb
     // ones: --budget=20k must not silently profile 20 instructions.
-    for (const char *flag : {"budget", "jobs"}) {
+    for (const char *flag : {"budget", "jobs", "max-failures"}) {
         if (rejectBadInt(args, cmd.c_str(), flag))
             return 2;
     }
@@ -1037,6 +1202,24 @@ main(int argc, char **argv)
         }
     }
     const auto cfg = experiments::configFromArgs(argc, argv);
+
+    // Arm fault injection: the flag beats the environment, and a spec
+    // that does not parse (or names an unknown site, or was given to
+    // a binary with the hooks compiled out) rejects loudly — a typo
+    // must not silently test nothing.
+    std::string fpSpec = args.value("failpoints");
+    if (fpSpec.empty()) {
+        if (const char *env = std::getenv("MICA_FAILPOINTS"))
+            fpSpec = env;
+    }
+    if (!fpSpec.empty()) {
+        std::string fpErr;
+        if (!util::armFailpoints(fpSpec, &fpErr)) {
+            std::fprintf(stderr, "mica: --failpoints: %s\n",
+                         fpErr.c_str());
+            return 2;
+        }
+    }
 
     // Arm the span ring only when something will drain it; metric
     // counters are always live (their cost is a relaxed add).
@@ -1073,16 +1256,39 @@ main(int argc, char **argv)
                     return cmdTraceLs(args);
                 return usage();
             }
+            if (cmd == "faults") {
+                if (sub == "ls")
+                    return cmdFaultsLs();
+                if (sub == "crash-matrix")
+                    return cmdFaultsCrashMatrix(args);
+                return usage();
+            }
             if (cmd == "obs") {
                 if (sub == "demo")
                     return cmdObsDemo();
                 return usage();
             }
+        } catch (const pipeline::SweepAborted &e) {
+            // More quarantines than --max-failures allows: a hard
+            // failure, not a partial result.
+            std::fprintf(stderr, "mica %s: %s\n", cmd.c_str(), e.what());
+            return 1;
+        } catch (const TraceFileError &e) {
+            // code() carries the errno class (0 = the file was
+            // readable but corrupt), so scripts can branch on
+            // missing-vs-unreadable-vs-corrupt.
+            std::fprintf(stderr, "mica %s: %s\n", cmd.c_str(), e.what());
+            return exitCodeFor(e.code());
+        } catch (const util::IoError &e) {
+            std::fprintf(stderr, "mica %s: %s\n", cmd.c_str(), e.what());
+            return exitCodeFor(e.code());
         } catch (const std::exception &e) {
             std::fprintf(stderr, "mica %s: %s\n", cmd.c_str(), e.what());
             return 1;
         }
         return usage();
     }();
-    return obsFinish(args, rc);
+    // A verb that succeeded over an incomplete dataset reports the
+    // distinct partial-failure code; real failures keep theirs.
+    return obsFinish(args, rc == 0 && gQuarantined ? kExitPartial : rc);
 }
