@@ -30,7 +30,10 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "index/fingerprint_index.hh"
+#include "index/snapshot.hh"
 #include "isa/interpreter.hh"
 #include "legacy_analyzers.hh"
 #include "legacy_fitness.hh"
@@ -45,6 +48,9 @@
 #include "mica/working_set.hh"
 #include "obs/obs.hh"
 #include "pipeline/thread_pool.hh"
+#include "service/client.hh"
+#include "service/query_engine.hh"
+#include "service/server.hh"
 #include "stats/kmeans.hh"
 #include "stats/rng.hh"
 #include "trace/engine.hh"
@@ -585,6 +591,98 @@ BENCHMARK(BM_IndexKnnTree);
 BENCHMARK(BM_IndexKnnBrute);
 
 // ----------------------------------------------------------------------
+// serve family: the similarity-query daemon under load. The snapshot
+// is the synthetic index corpus (queries hit the same VP-tree the
+// index family measures), so the delta between local_requests_per_sec
+// and the daemon numbers is exactly what the wire adds: socket round
+// trip, envelope parse/serialize, and the poll-loop handoff.
+// ----------------------------------------------------------------------
+
+/** The immutable snapshot every serve benchmark queries. */
+std::shared_ptr<const service::ServerSnapshot>
+serveSnapshot()
+{
+    static const std::shared_ptr<const service::ServerSnapshot> snap =
+        [] {
+            auto s = std::make_shared<service::ServerSnapshot>();
+            s->idx = indexCorpus();
+            s->space = "mica";
+            s->key = "bench-serve";
+            s->maxPairDist = 1.0;
+            return s;
+        }();
+    return snap;
+}
+
+/** A daemon on a temp unix socket, alive for the harness's lifetime. */
+struct ServeHarness
+{
+    std::filesystem::path dir;
+    std::unique_ptr<service::Server> server;
+    std::thread loop;
+
+    ServeHarness()
+    {
+        dir = std::filesystem::temp_directory_path() /
+              "mica_perf_serve";
+        std::filesystem::create_directories(dir);
+        service::ServerOptions opt;
+        opt.address = "unix:" + (dir / "bench.sock").string();
+        opt.jobs = 4;
+        server = std::make_unique<service::Server>(
+            opt, serveSnapshot(), experiments::DatasetConfig{},
+            service::SpaceChoice{});
+        std::string err;
+        if (!server->start(&err)) {
+            std::cerr << "serve bench: " << err << "\n";
+            return;
+        }
+        loop = std::thread([this] { server->run(); });
+    }
+
+    ~ServeHarness()
+    {
+        if (loop.joinable()) {
+            server->requestStop();
+            loop.join();
+        }
+        std::filesystem::remove_all(dir);
+    }
+};
+
+/** One knn request line against the synthetic corpus. */
+std::string
+serveRequestLine(size_t i)
+{
+    const auto &idx = indexCorpus();
+    return "{\"op\":\"knn\",\"bench\":\"" +
+           idx.nameOf(i % idx.size()) + "\",\"k\":10}";
+}
+
+void
+BM_ServeRoundTrip(benchmark::State &state)
+{
+    static ServeHarness harness;
+    service::ServiceClient client;
+    std::string err;
+    if (!client.connect(harness.server->boundAddress(), &err)) {
+        state.SkipWithError(err.c_str());
+        return;
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        std::string reply;
+        if (!client.request(serveRequestLine(i++), &reply, &err)) {
+            state.SkipWithError(err.c_str());
+            return;
+        }
+        benchmark::DoNotOptimize(reply.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeRoundTrip);
+
+// ----------------------------------------------------------------------
 // --json mode: self-timed throughput profile for trend tracking.
 // ----------------------------------------------------------------------
 
@@ -812,6 +910,80 @@ indexKnnRate(bool brute)
     });
 }
 
+/**
+ * Warm daemon starts/sec: reopen the persisted index snapshot instead
+ * of rebuilding (the cold counterpart is indexBuildRate).
+ */
+double
+serveSnapshotLoadRate()
+{
+    const auto path = (std::filesystem::temp_directory_path() /
+                       "mica_perf_serve.idx")
+                          .string();
+    std::string why;
+    if (!index::saveIndexSnapshot(indexCorpus(), path, "bench-serve",
+                                  &why)) {
+        std::cerr << "serve bench: save snapshot: " << why << "\n";
+        return 0.0;
+    }
+    const double rate = bestRate(1, [&] {
+        index::FingerprintIndex loaded;
+        if (index::loadIndexSnapshot(path, "bench-serve", &loaded,
+                                     &why))
+            benchmark::DoNotOptimize(loaded.size());
+    });
+    std::filesystem::remove(path);
+    return rate;
+}
+
+/** In-process requests/sec: the one-shot CLI path, no socket. */
+double
+serveLocalRate()
+{
+    auto snap = serveSnapshot();
+    constexpr size_t kReqs = 512;
+    return bestRate(kReqs, [&] {
+        for (size_t i = 0; i < kReqs; ++i) {
+            const std::string reply =
+                service::executeLine(*snap, serveRequestLine(i));
+            benchmark::DoNotOptimize(reply.data());
+        }
+    });
+}
+
+/** Aggregate daemon requests/sec with @p conns concurrent clients. */
+double
+serveDaemonRate(service::Server &server, size_t conns)
+{
+    constexpr size_t kPerConn = 256;
+    return bestRate(conns * kPerConn, [&] {
+        std::atomic<size_t> failures{0};
+        std::vector<std::thread> clients;
+        for (size_t c = 0; c < conns; ++c) {
+            clients.emplace_back([&, c] {
+                service::ServiceClient client;
+                std::string err;
+                if (!client.connect(server.boundAddress(), &err)) {
+                    failures.fetch_add(kPerConn);
+                    return;
+                }
+                std::string reply;
+                for (size_t i = 0; i < kPerConn; ++i) {
+                    if (!client.request(
+                            serveRequestLine(c * kPerConn + i),
+                            &reply, &err))
+                        failures.fetch_add(1);
+                }
+            });
+        }
+        for (auto &t : clients)
+            t.join();
+        if (failures.load() != 0)
+            std::cerr << "serve bench: " << failures.load()
+                      << " failed requests\n";
+    });
+}
+
 /** Whole-population batch kNN throughput (queries/sec). */
 double
 indexBatchRate(mica::pipeline::ThreadPool *pool)
@@ -928,6 +1100,21 @@ writeJsonProfile(const std::string &path, double obsRef)
     const double idxBatchSerial = indexBatchRate(nullptr);
     const double idxBatchJobs8 = indexBatchRate(&pool8);
 
+    // serve family: daemon saturation (aggregate requests/sec at 1,
+    // 2, 4, 8 concurrent connections against a 4-worker daemon), the
+    // in-process one-shot rate for contrast, and cold-vs-warm daemon
+    // start (index rebuild vs snapshot reopen).
+    const double serveWarmLoad = serveSnapshotLoadRate();
+    const double serveLocal = serveLocalRate();
+    double serveConns[4] = {0, 0, 0, 0};
+    {
+        ServeHarness harness;
+        const size_t counts[4] = {1, 2, 4, 8};
+        for (size_t i = 0; i < 4; ++i)
+            serveConns[i] = serveDaemonRate(*harness.server,
+                                            counts[i]);
+    }
+
     // obs family: telemetry primitives, plus the full-profile rate
     // with the tracer armed (idle = compiled in but no sinks, which is
     // exactly the fullBatched number above).
@@ -1025,6 +1212,23 @@ writeJsonProfile(const std::string &path, double obsRef)
         << "      \"serial\": " << idxBatchSerial << ",\n"
         << "      \"jobs8\": " << idxBatchJobs8 << ",\n"
         << "      \"speedup\": " << idxBatchJobs8 / idxBatchSerial
+        << "\n"
+        << "    }\n"
+        << "  },\n"
+        << "  \"serve\": {\n"
+        << "    \"workers\": 4,\n"
+        << "    \"snapshot_cold_builds_per_sec\": " << idxBuild
+        << ",\n"
+        << "    \"snapshot_warm_loads_per_sec\": " << serveWarmLoad
+        << ",\n"
+        << "    \"local_requests_per_sec\": " << serveLocal << ",\n"
+        << "    \"daemon_requests_per_sec\": {\n"
+        << "      \"conns1\": " << serveConns[0] << ",\n"
+        << "      \"conns2\": " << serveConns[1] << ",\n"
+        << "      \"conns4\": " << serveConns[2] << ",\n"
+        << "      \"conns8\": " << serveConns[3] << ",\n"
+        << "      \"saturation_speedup\": "
+        << (serveConns[0] > 0.0 ? serveConns[3] / serveConns[0] : 0.0)
         << "\n"
         << "    }\n"
         << "  },\n"

@@ -168,6 +168,18 @@ readSnapshotKey(const std::string &path, std::string *key)
     return readString(in, *key);
 }
 
+SnapshotKeyProbe
+probeSnapshotKey(const std::string &path)
+{
+    static obs::Counter probes("index.snapshot.probe");
+    probes.add(1);
+    SnapshotKeyProbe p;
+    p.valid = readSnapshotKey(path, &p.key);
+    if (!p.valid)
+        p.key.clear();
+    return p;
+}
+
 bool
 loadIndexSnapshot(const std::string &path, const std::string &configKey,
                   FingerprintIndex *out, std::string *why)

@@ -54,6 +54,23 @@ bool saveIndexSnapshot(const FingerprintIndex &idx,
  */
 bool readSnapshotKey(const std::string &path, std::string *key);
 
+/** Result of a header-only snapshot probe. */
+struct SnapshotKeyProbe
+{
+    bool valid = false;   ///< header parsed as a current-version snapshot
+    std::string key;      ///< config key the snapshot was recorded under
+};
+
+/**
+ * Probe a snapshot's header — a few hundred bytes, never the payload.
+ * One probe answers both questions a caller has before committing to
+ * a load: which space/pca the snapshot holds (key adoption) and
+ * whether its key matches the wanted config (load vs. rebuild). Call
+ * once and branch on the result; only a matching key justifies the
+ * full-payload loadIndexSnapshot read.
+ */
+SnapshotKeyProbe probeSnapshotKey(const std::string &path);
+
 /**
  * Load a snapshot recorded under exactly @p configKey.
  * @param why on failure, a one-line reason (missing file, version or

@@ -1,0 +1,163 @@
+#include "service/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "service/protocol.hh"
+#include "service/server.hh"
+
+namespace mica::service
+{
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+ServiceClient::ServiceClient(ServiceClient &&o) noexcept
+    : fd_(o.fd_), buf_(std::move(o.buf_))
+{
+    o.fd_ = -1;
+}
+
+ServiceClient &
+ServiceClient::operator=(ServiceClient &&o) noexcept
+{
+    if (this != &o) {
+        close();
+        fd_ = o.fd_;
+        buf_ = std::move(o.buf_);
+        o.fd_ = -1;
+    }
+    return *this;
+}
+
+bool
+ServiceClient::connect(const std::string &address, std::string *err)
+{
+    close();
+    SocketAddress addr;
+    if (!parseAddress(address, &addr, err))
+        return false;
+    auto fail = [&](const char *what) {
+        if (err)
+            *err = std::string(what) + ": " + std::strerror(errno);
+        close();
+        return false;
+    };
+    if (addr.isUnix) {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            return fail("socket");
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        std::strncpy(sa.sun_path, addr.path.c_str(),
+                     sizeof(sa.sun_path) - 1);
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&sa),
+                      sizeof(sa)) != 0)
+            return fail("connect");
+        return true;
+    }
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return fail("socket");
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(addr.port);
+    if (inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+        errno = EINVAL;
+        return fail("host");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&sa),
+                  sizeof(sa)) != 0)
+        return fail("connect");
+    return true;
+}
+
+bool
+ServiceClient::sendLine(const std::string &line, std::string *err)
+{
+    std::string data = line;
+    data += '\n';
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = std::string("send: ") + std::strerror(errno);
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+ServiceClient::recvLine(std::string *reply, std::string *err)
+{
+    for (;;) {
+        const size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            *reply = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            return true;
+        }
+        if (buf_.size() > kMaxLineBytes + 1024) {
+            if (err)
+                *err = "response line too long";
+            return false;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buf_.append(chunk, static_cast<size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            if (err)
+                *err = "server closed the connection";
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        if (err)
+            *err = std::string("recv: ") + std::strerror(errno);
+        return false;
+    }
+}
+
+bool
+ServiceClient::request(const std::string &line, std::string *reply,
+                       std::string *err)
+{
+    return sendLine(line, err) && recvLine(reply, err);
+}
+
+void
+ServiceClient::shutdownWrite()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+} // namespace mica::service

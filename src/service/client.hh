@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal blocking client for the mica service wire protocol: connect
+ * to a daemon, send one request line, read one response line. Used by
+ * `mica query --connect`, the `mica serve-bench` load generator, and
+ * the service tests — one implementation, so every consumer speaks
+ * the protocol identically.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace mica::service
+{
+
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    ServiceClient(ServiceClient &&o) noexcept;
+    ServiceClient &operator=(ServiceClient &&o) noexcept;
+
+    /**
+     * Connect to "unix:PATH" / "tcp:HOST:PORT" (see parseAddress).
+     * @return false with *err on failure
+     */
+    bool connect(const std::string &address, std::string *err);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Send @p line (newline appended) and block for the full response
+     * line. @return false with *err on I/O failure or a closed peer
+     */
+    bool request(const std::string &line, std::string *reply,
+                 std::string *err);
+
+    /** Send only; pair with recvLine for pipelined use. */
+    bool sendLine(const std::string &line, std::string *err);
+
+    /** Read one '\n'-terminated line (newline stripped). */
+    bool recvLine(std::string *reply, std::string *err);
+
+    /** Half-close the write side (the server sees EOF after replies). */
+    void shutdownWrite();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string buf_;   ///< bytes read past the last returned line
+};
+
+} // namespace mica::service

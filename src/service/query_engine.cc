@@ -1,0 +1,431 @@
+#include "service/query_engine.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+#include "index/snapshot.hh"
+#include "index/vp_tree.hh"
+#include "methodology/genetic_selector.hh"
+#include "methodology/workload_space.hh"
+#include "mica/profile.hh"
+#include "obs/obs.hh"
+#include "pipeline/profile_store.hh"
+#include "pipeline/thread_pool.hh"
+#include "uarch/hw_counter.hh"
+
+namespace mica::service
+{
+
+std::string
+datasetKeyPart(const experiments::DatasetConfig &cfg)
+{
+    pipeline::StoreKey key;
+    key.maxInsts = cfg.maxInsts;
+    key.ppmMaxOrder = cfg.ppmMaxOrder;
+    key.suites = cfg.suites;
+    return key.describe();
+}
+
+std::string
+indexKey(const experiments::DatasetConfig &cfg, const std::string &space,
+         size_t pca)
+{
+    return datasetKeyPart(cfg) + "|space=" + space +
+        "|pca=" + std::to_string(pca);
+}
+
+bool
+adoptSpaceFromKey(const std::string &storedKey, SpaceChoice *sc)
+{
+    if (sc->given)
+        return false;
+    const size_t sPos = storedKey.rfind("|space=");
+    const size_t pPos = storedKey.rfind("|pca=");
+    if (sPos == std::string::npos || pPos == std::string::npos ||
+        pPos <= sPos)
+        return false;
+    sc->space = storedKey.substr(sPos + 7, pPos - (sPos + 7));
+    sc->pca = static_cast<size_t>(
+        std::strtoull(storedKey.c_str() + pPos + 5, nullptr, 10));
+    return true;
+}
+
+index::FingerprintIndex
+indexFromDataset(const experiments::SuiteDataset &ds,
+                 const std::string &space, size_t pca,
+                 pipeline::ThreadPool *pool)
+{
+    index::FingerprintOptions opt;
+    opt.pcaDims = pca;
+    Matrix m;
+    if (space == "hpc") {
+        m = ds.hpcMatrix();
+    } else {
+        m = ds.micaMatrix();
+        if (space == "key") {
+            // Fingerprint the raw matrix restricted to the GA-selected
+            // key characteristics; normalization is re-frozen over the
+            // subset, as the paper's reduced space does.
+            const WorkloadSpace ws(m, pool);
+            GaConfig gcfg;
+            opt.columns = geneticSelect(ws, gcfg, pool).selected;
+        }
+    }
+    return index::FingerprintIndex::build(m, opt);
+}
+
+namespace
+{
+
+/** Max pairwise fingerprint distance across the whole population. */
+double
+populationMaxDist(const index::FingerprintIndex &idx)
+{
+    const index::FingerprintSet &fps = idx.fingerprints();
+    double maxD = 0.0;
+    for (size_t a = 0; a + 1 < fps.size(); ++a) {
+        for (size_t b = a + 1; b < fps.size(); ++b) {
+            const double d =
+                index::l2Dist(fps.vec(a), fps.vec(b), fps.dim);
+            if (d > maxD)
+                maxD = d;
+        }
+    }
+    return maxD;
+}
+
+} // namespace
+
+std::shared_ptr<const ServerSnapshot>
+buildServerSnapshot(const experiments::DatasetConfig &cfg, SpaceChoice sc,
+                    pipeline::ThreadPool *pool, uint64_t generation,
+                    const CollectFn &collect, std::string *err)
+{
+    obs::ObsSpan span("serve.snapshot.build");
+    experiments::DatasetConfig icfg = cfg;
+    if (icfg.cacheDir.empty())
+        icfg.cacheDir = ".mica-index";
+
+    // One header probe serves both the space adoption and the
+    // load-vs-rebuild decision; the payload is only read below when
+    // the key already matches.
+    const std::string path = index::snapshotPath(icfg.cacheDir);
+    const index::SnapshotKeyProbe probe = index::probeSnapshotKey(path);
+    if (probe.valid)
+        adoptSpaceFromKey(probe.key, &sc);
+    if (sc.space != "mica" && sc.space != "hpc" && sc.space != "key") {
+        if (err)
+            *err = "space must be mica, hpc, or key (got '" + sc.space +
+                "')";
+        return nullptr;
+    }
+
+    auto snap = std::make_shared<ServerSnapshot>();
+    snap->space = sc.space;
+    snap->pca = sc.pca;
+    snap->key = indexKey(icfg, sc.space, sc.pca);
+    snap->generation = generation;
+
+    try {
+        snap->ds = collect ? collect(icfg)
+                           : experiments::collectSuiteDataset(icfg);
+    } catch (const std::exception &e) {
+        if (err)
+            *err = e.what();
+        return nullptr;
+    }
+    if (snap->ds.benchmarks.empty()) {
+        if (err)
+            *err = "dataset is empty — nothing to serve";
+        return nullptr;
+    }
+
+    bool loaded = false;
+    if (probe.valid && probe.key == snap->key) {
+        std::string why;
+        loaded = index::loadIndexSnapshot(path, snap->key, &snap->idx,
+                                          &why);
+    }
+    if (!loaded) {
+        snap->idx =
+            indexFromDataset(snap->ds, sc.space, sc.pca, pool);
+        // Persisting is best-effort: an unwritable cache degrades the
+        // next start to a rebuild, it does not fail this one.
+        std::string why;
+        index::saveIndexSnapshot(snap->idx, path, snap->key, &why);
+    }
+
+    // A quarantined benchmark is absent from both the dataset and a
+    // freshly built index, but a *reloaded* snapshot may predate the
+    // quarantine. The index stands alone (similarity queries answer
+    // from fingerprints), but profile queries answer only from the
+    // dataset, so the two can legitimately differ in membership.
+    snap->maxPairDist = populationMaxDist(snap->idx);
+    span.arg("benchmarks", static_cast<uint64_t>(snap->ds.benchmarks.size()));
+    span.arg("generation", generation);
+    return snap;
+}
+
+namespace
+{
+
+JsonValue
+neighborsJson(const ServerSnapshot &snap,
+              const std::vector<index::Neighbor> &neighbors)
+{
+    JsonValue arr = JsonValue::array();
+    for (const auto &nb : neighbors) {
+        JsonValue one = JsonValue::object();
+        one.set("bench", JsonValue::str(snap.idx.nameOf(nb.id)));
+        one.set("dist", JsonValue::number(nb.dist));
+        arr.push(std::move(one));
+    }
+    return arr;
+}
+
+JsonValue
+execProfile(const ServerSnapshot &snap, const Request &req,
+            ErrorCode *code, std::string *message)
+{
+    const size_t row = snap.ds.indexOf(req.bench);
+    if (row == static_cast<size_t>(-1)) {
+        *code = ErrorCode::UnknownBench;
+        *message = "'" + req.bench + "' is not in the served dataset";
+        return JsonValue();
+    }
+    JsonValue result = JsonValue::object();
+    result.set("bench", JsonValue::str(req.bench));
+    result.set("space", JsonValue::str(req.space));
+    JsonValue values = JsonValue::object();
+    if (req.space == "hpc") {
+        const auto &p = snap.ds.hpcProfiles[row];
+        result.set("inst_count", JsonValue::number(p.instCount));
+        const auto v = p.toVector();
+        for (size_t i = 0; i < v.size(); ++i) {
+            values.set(uarch::HwCounterProfile::metricNames()[i],
+                       JsonValue::number(v[i]));
+        }
+    } else {
+        const auto &p = snap.ds.micaProfiles[row];
+        result.set("inst_count", JsonValue::number(p.instCount));
+        for (size_t c = 0; c < kNumMicaChars; ++c) {
+            values.set(micaCharInfo(c).name, JsonValue::number(p[c]));
+        }
+    }
+    result.set("values", std::move(values));
+    return result;
+}
+
+JsonValue
+execKnn(const ServerSnapshot &snap, const Request &req, ErrorCode *code,
+        std::string *message)
+{
+    const int64_t id = snap.idx.idOf(req.bench);
+    if (id < 0) {
+        *code = ErrorCode::UnknownBench;
+        *message = "'" + req.bench + "' is not in the index";
+        return JsonValue();
+    }
+    JsonValue result = JsonValue::object();
+    result.set("bench", JsonValue::str(req.bench));
+    result.set("k", JsonValue::number(static_cast<uint64_t>(req.k)));
+    result.set("neighbors",
+               neighborsJson(snap, snap.idx.knn(static_cast<size_t>(id),
+                                                req.k, req.brute)));
+    return result;
+}
+
+JsonValue
+execRadius(const ServerSnapshot &snap, const Request &req,
+           ErrorCode *code, std::string *message)
+{
+    const int64_t id = snap.idx.idOf(req.bench);
+    if (id < 0) {
+        *code = ErrorCode::UnknownBench;
+        *message = "'" + req.bench + "' is not in the index";
+        return JsonValue();
+    }
+    JsonValue result = JsonValue::object();
+    result.set("bench", JsonValue::str(req.bench));
+    result.set("r", JsonValue::number(req.radius));
+    result.set("neighbors",
+               neighborsJson(snap,
+                             snap.idx.radius(static_cast<size_t>(id),
+                                             req.radius, req.brute)));
+    return result;
+}
+
+JsonValue
+execRedundant(const ServerSnapshot &snap, const Request &req)
+{
+    const auto pairs =
+        snap.idx.mostRedundant(req.top, nullptr, req.brute);
+    JsonValue result = JsonValue::object();
+    result.set("top", JsonValue::number(static_cast<uint64_t>(req.top)));
+    JsonValue arr = JsonValue::array();
+    for (const auto &p : pairs) {
+        JsonValue one = JsonValue::object();
+        one.set("a", JsonValue::str(snap.idx.nameOf(p.a)));
+        one.set("b", JsonValue::str(snap.idx.nameOf(p.b)));
+        one.set("dist", JsonValue::number(p.dist));
+        arr.push(std::move(one));
+    }
+    result.set("pairs", std::move(arr));
+    return result;
+}
+
+JsonValue
+execSuites(const ServerSnapshot &snap, const Request &req,
+           ErrorCode *code, std::string *message)
+{
+    // Suites in first-appearance order of the served dataset: stable,
+    // and only suites the snapshot actually holds.
+    std::vector<std::string> suites;
+    for (const auto &b : snap.ds.benchmarks) {
+        if (std::find(suites.begin(), suites.end(), b.suite) ==
+            suites.end())
+            suites.push_back(b.suite);
+    }
+    if (!req.suite.empty()) {
+        if (std::find(suites.begin(), suites.end(), req.suite) ==
+            suites.end()) {
+            *code = ErrorCode::UnknownBench;
+            *message =
+                "suite '" + req.suite + "' is not in the served dataset";
+            return JsonValue();
+        }
+        suites = {req.suite};
+    }
+
+    const index::FingerprintSet &fps = snap.idx.fingerprints();
+    const double simCut = 0.2 * snap.maxPairDist;
+    JsonValue arr = JsonValue::array();
+    for (const auto &suite : suites) {
+        // Member fingerprint ids (benchmarks present in the index).
+        std::vector<size_t> ids;
+        for (const auto &b : snap.ds.benchmarks) {
+            if (b.suite != suite)
+                continue;
+            const int64_t id = snap.idx.idOf(b.fullName());
+            if (id >= 0)
+                ids.push_back(static_cast<size_t>(id));
+        }
+        double minD = 0.0, maxD = 0.0, sum = 0.0;
+        size_t pairs = 0, redundant = 0;
+        for (size_t i = 0; i + 1 < ids.size(); ++i) {
+            for (size_t j = i + 1; j < ids.size(); ++j) {
+                const double d = index::l2Dist(
+                    fps.vec(ids[i]), fps.vec(ids[j]), fps.dim);
+                if (pairs == 0 || d < minD)
+                    minD = d;
+                if (d > maxD)
+                    maxD = d;
+                sum += d;
+                ++pairs;
+                if (d <= simCut)
+                    ++redundant;
+            }
+        }
+        JsonValue one = JsonValue::object();
+        one.set("suite", JsonValue::str(suite));
+        one.set("count",
+                JsonValue::number(static_cast<uint64_t>(ids.size())));
+        one.set("mean_dist",
+                JsonValue::number(pairs ? sum / static_cast<double>(pairs)
+                                        : 0.0));
+        one.set("min_dist", JsonValue::number(pairs ? minD : 0.0));
+        one.set("max_dist", JsonValue::number(pairs ? maxD : 0.0));
+        // The paper's 20%-of-max similarity threshold: how many
+        // within-suite pairs are redundant by that cut.
+        one.set("pairs_within_20pct_max",
+                JsonValue::number(static_cast<uint64_t>(redundant)));
+        arr.push(std::move(one));
+    }
+    JsonValue result = JsonValue::object();
+    result.set("population_max_dist",
+               JsonValue::number(snap.maxPairDist));
+    result.set("suites", std::move(arr));
+    return result;
+}
+
+} // namespace
+
+JsonValue
+executeRequest(const ServerSnapshot &snap, const Request &req,
+               bool serverMode)
+{
+    try {
+        ErrorCode code = ErrorCode::Internal;
+        std::string message;
+        JsonValue result;
+        switch (req.op) {
+        case Op::Ping:
+            result = JsonValue::object();
+            result.set("pong", JsonValue::boolean(true));
+            result.set("generation", JsonValue::number(snap.generation));
+            return makeResponse(req, std::move(result));
+        case Op::Stats:
+            result = JsonValue::object();
+            result.set("generation", JsonValue::number(snap.generation));
+            result.set("benchmarks",
+                       JsonValue::number(static_cast<uint64_t>(
+                           snap.ds.benchmarks.size())));
+            result.set("indexed",
+                       JsonValue::number(
+                           static_cast<uint64_t>(snap.idx.size())));
+            result.set("dim", JsonValue::number(
+                                  static_cast<uint64_t>(snap.idx.dim())));
+            result.set("space", JsonValue::str(snap.space));
+            result.set("pca", JsonValue::number(
+                                  static_cast<uint64_t>(snap.pca)));
+            result.set("population_max_dist",
+                       JsonValue::number(snap.maxPairDist));
+            return makeResponse(req, std::move(result));
+        case Op::Profile:
+            result = execProfile(snap, req, &code, &message);
+            break;
+        case Op::Knn:
+            result = execKnn(snap, req, &code, &message);
+            break;
+        case Op::Radius:
+            result = execRadius(snap, req, &code, &message);
+            break;
+        case Op::Redundant:
+            return makeResponse(req, execRedundant(snap, req));
+        case Op::Suites:
+            result = execSuites(snap, req, &code, &message);
+            break;
+        case Op::Reindex:
+            // The daemon intercepts reindex before dispatching here;
+            // reaching the engine means there is no server to rebuild.
+            return makeError(req, ErrorCode::Unavailable,
+                             serverMode
+                                 ? "reindex is handled by the server"
+                                 : "reindex needs a running server "
+                                   "(mica serve)");
+        }
+        if (result.isNull())
+            return makeError(req, code, message);
+        return makeResponse(req, std::move(result));
+    } catch (const std::exception &e) {
+        return makeError(req, ErrorCode::Internal, e.what());
+    } catch (...) {
+        return makeError(req, ErrorCode::Internal, "unknown error");
+    }
+}
+
+std::string
+executeLine(const ServerSnapshot &snap, const std::string &line,
+            bool serverMode)
+{
+    Request req;
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
+    if (!parseRequest(line, &req, &code, &message))
+        return serializeResponse(makeError(req, code, message));
+    return serializeResponse(executeRequest(snap, req, serverMode));
+}
+
+} // namespace mica::service

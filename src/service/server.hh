@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The `mica serve` daemon: a concurrent similarity-query server over
+ * line-delimited JSON.
+ *
+ * Threading model — one poll loop, N workers, zero reader locks:
+ *
+ *  - The **event loop** (Server::run, on the caller's thread) owns
+ *    every socket: it accepts, reads request bytes, and flushes
+ *    response bytes. Sockets are nonblocking; a self-pipe wakes the
+ *    loop when a worker finishes or a stop is requested (the write
+ *    end is async-signal-safe, so signal handlers may call
+ *    requestStop directly).
+ *
+ *  - Complete request lines are handed to a ThreadPool (the PR-1
+ *    pool). Each connection processes one request at a time (replies
+ *    stay in request order per client); different connections execute
+ *    concurrently. Workers never touch sockets — they compute the
+ *    response string, append it to the connection's output buffer
+ *    under its mutex, and wake the loop to flush.
+ *
+ *  - Queries read the current snapshot via SnapshotHolder::get(): an
+ *    atomic shared_ptr load, no lock, never blocked by a writer. A
+ *    `reindex` request builds a whole new ServerSnapshot on its
+ *    worker (other workers keep answering from the old one) and
+ *    publishes it with one atomic pointer swap — a reader sees the
+ *    old snapshot or the new one, complete either way, never a mix.
+ *
+ * Failure containment: the serve.accept/read/write failpoints (and
+ * real socket errors) quarantine exactly one connection — close it,
+ * count it (serve.conn.quarantined), keep serving everyone else. A
+ * request line that fails to parse gets an error *reply*, not a
+ * dropped connection; a line that exceeds kMaxLineBytes gets a
+ * line_too_long reply and then the connection is closed (the buffer
+ * is the resource being protected).
+ *
+ * Shutdown (SIGINT/SIGTERM → requestStop): stop accepting, let
+ * in-flight requests finish, flush every pending reply (bounded by
+ * kDrainDeadlineMs), close, return 0.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/query_engine.hh"
+
+namespace mica::service
+{
+
+/** One parsed listen/connect endpoint. */
+struct SocketAddress
+{
+    bool isUnix = false;
+    std::string path;          ///< unix: filesystem path
+    std::string host;          ///< tcp: numeric host (default loopback)
+    uint16_t port = 0;         ///< tcp: port (0 = ephemeral)
+};
+
+/**
+ * Parse an address spec: "unix:PATH", "tcp:HOST:PORT", "tcp:PORT",
+ * "HOST:PORT", "PORT", or a bare path containing '/' (unix).
+ * @return false with *err naming the problem
+ */
+bool parseAddress(const std::string &spec, SocketAddress *out,
+                  std::string *err);
+
+/**
+ * The one mutable cell of the service: the current snapshot pointer.
+ * get() is an atomic load of a shared_ptr — wait-free for readers —
+ * and swap() is an atomic store, so publication is a single pointer
+ * move and old readers keep their (complete, immutable) snapshot
+ * alive until they drop it.
+ */
+class SnapshotHolder
+{
+  public:
+    explicit SnapshotHolder(
+        std::shared_ptr<const ServerSnapshot> initial);
+
+    std::shared_ptr<const ServerSnapshot> get() const;
+
+    void swap(std::shared_ptr<const ServerSnapshot> next);
+
+  private:
+    // C++17: free atomic_load/atomic_store on shared_ptr (the
+    // std::atomic<shared_ptr> specialization is C++20).
+    std::shared_ptr<const ServerSnapshot> snap_;
+};
+
+/** Daemon knobs, all optional beyond the address. */
+struct ServerOptions
+{
+    std::string address = "unix:mica.sock";
+    size_t jobs = 0;               ///< worker threads (0 = hardware)
+    size_t maxConnections = 256;   ///< accepted clients at once
+
+    /** Drain budget for graceful shutdown, milliseconds. */
+    uint64_t drainDeadlineMs = 5000;
+};
+
+class Server
+{
+  public:
+    /**
+     * @param opt      listen address and sizing
+     * @param initial  the startup snapshot (generation 0)
+     * @param cfg      collection config, kept for `reindex` rebuilds
+     * @param sc       space knobs, kept for `reindex` rebuilds
+     * @param collect  dataset-collection hook (CLI quarantine wrapper)
+     */
+    Server(ServerOptions opt,
+           std::shared_ptr<const ServerSnapshot> initial,
+           experiments::DatasetConfig cfg, SpaceChoice sc,
+           CollectFn collect = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind + listen. Separate from run() so callers learn the bound
+     * address (ephemeral TCP ports, tests) before serving.
+     * @return false with *err on bind/listen failure
+     */
+    bool start(std::string *err);
+
+    /** Address actually bound ("unix:PATH" / "tcp:HOST:PORT"). */
+    std::string boundAddress() const;
+
+    /**
+     * Serve until requestStop(). Blocks the calling thread (the CLI
+     * runs this on main; tests run it on a std::thread).
+     * @return 0 on clean drain, 1 when the listener died
+     */
+    int run();
+
+    /**
+     * Ask the loop to shut down gracefully. Async-signal-safe (one
+     * write() to the self-pipe) and idempotent.
+     */
+    void requestStop() noexcept;
+
+    /** Current snapshot accessor (tests; the loop uses it per request). */
+    std::shared_ptr<const ServerSnapshot> snapshot() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace mica::service

@@ -59,6 +59,12 @@ constexpr SiteDef kSites[] = {
     {"trace.replay.open", false},
     // Analyzer-stage hook (sweep quarantine of a throwing job).
     {"pipeline.analyze", false},
+    // Service daemon connection handling: a fired site fails one
+    // client's accept/read/write, which quarantines that connection —
+    // the daemon itself must stay up (tested in CI's serve smoke).
+    {"serve.accept", false},
+    {"serve.read", false},
+    {"serve.write", false},
 };
 
 constexpr size_t kSiteCount = sizeof(kSites) / sizeof(kSites[0]);

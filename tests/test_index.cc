@@ -357,6 +357,38 @@ TEST(SnapshotTest, ReadSnapshotKeyPeeksWithoutLoading)
     EXPECT_FALSE(readSnapshotKey(tmp.dir + "/absent.bin", &key));
 }
 
+TEST(SnapshotTest, ProbeReadsHeaderOnlyAndFailsClosed)
+{
+    SnapDir tmp;
+    const FingerprintIndex built =
+        FingerprintIndex::build(randomDataset(6, 2, 9));
+    ASSERT_TRUE(saveIndexSnapshot(built, tmp.path(), "key-v1"));
+
+    const auto hit = probeSnapshotKey(tmp.path());
+    EXPECT_TRUE(hit.valid);
+    EXPECT_EQ(hit.key, "key-v1");
+
+    // A missing file probes invalid with an empty key, not stale
+    // state from an earlier probe.
+    const auto gone = probeSnapshotKey(tmp.dir + "/absent.bin");
+    EXPECT_FALSE(gone.valid);
+    EXPECT_TRUE(gone.key.empty());
+
+    // A header torn mid-key fails the probe rather than yielding a
+    // truncated key that would spuriously mismatch (and rebuild).
+    std::filesystem::resize_file(tmp.path(), 8);
+    const auto torn = probeSnapshotKey(tmp.path());
+    EXPECT_FALSE(torn.valid);
+    EXPECT_TRUE(torn.key.empty());
+
+    // Wrong magic is not a snapshot at all.
+    {
+        std::ofstream bad(tmp.path(), std::ios::binary | std::ios::trunc);
+        bad << "NOTANIDX with a plausible-looking tail";
+    }
+    EXPECT_FALSE(probeSnapshotKey(tmp.path()).valid);
+}
+
 TEST(SnapshotTest, RejectsKeyMismatchMissingAndCorruptFiles)
 {
     SnapDir tmp;

@@ -11,6 +11,7 @@ Usage:
   check_obs_json.py trace FILE --expect-prefixes=pipeline.,engine.
   check_obs_json.py metrics FILE [--hits=N] [--computed=N] [--total=N]
                     [--counter NAME=N]... [--counter-min NAME=N]...
+                    [--gauge NAME=N]...
 
 `--total` asserts hits + computed == N without pinning the split;
 `--hits`/`--computed` pin the individual counters (warm-cache runs).
@@ -111,6 +112,14 @@ def check_metrics(path, args):
         if got < want:
             fail(f"{path}: counter {name} is {got}, expected >= {want}")
         checked.append(f"{name}={got}")
+    for spec in args.gauge:
+        name, want = parse_counter_spec(spec)
+        # Gauges fold signed deltas; one that was never touched is
+        # absent, which reads as 0 just like counters.
+        got = doc.get("gauges", {}).get(name, 0)
+        if got != want:
+            fail(f"{path}: gauge {name} is {got}, expected {want}")
+        checked.append(f"{name}={got}")
     extra = f" {' '.join(checked)}" if checked else ""
     print(f"check_obs_json: OK: {path}: hit={hits} "
           f"computed={computed}{extra}")
@@ -127,6 +136,8 @@ def main():
     p.add_argument("--counter", action="append", default=[],
                    metavar="NAME=N")
     p.add_argument("--counter-min", action="append", default=[],
+                   metavar="NAME=N")
+    p.add_argument("--gauge", action="append", default=[],
                    metavar="NAME=N")
     args = p.parse_args()
 

@@ -55,14 +55,19 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "experiments/crash_matrix.hh"
@@ -80,6 +85,9 @@
 #include "pipeline/profile_store.hh"
 #include "pipeline/thread_pool.hh"
 #include "report/table.hh"
+#include "service/client.hh"
+#include "service/query_engine.hh"
+#include "service/server.hh"
 #include "stats/descriptive.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace_file.hh"
@@ -150,44 +158,12 @@ collectReported(const experiments::DatasetConfig &cfg)
     return ds;
 }
 
-int
-usage()
-{
-    std::printf(
-        "usage: mica <command> [args] [--budget=N] [--cache=DIR] "
-        "[--jobs=N]\n"
-        "  list [suite]              list registered benchmarks\n"
-        "  profile <name>|all [--csv=FILE]   MICA profiles\n"
-        "  hpc <name>|all [--csv=FILE]       hardware-counter profiles\n"
-        "  distance <nameA> <nameB>  distances in both spaces\n"
-        "  select                    GA key-characteristic selection\n"
-        "  cluster [--maxk=N]        cluster benchmarks (key space)\n"
-        "  subset [--maxk=N]         cluster-medoid representatives\n"
-        "  index build [--space=mica|hpc|key] [--pca=K]\n"
-        "                            build + persist the similarity index\n"
-        "  index query <bench>|all [--k=N|--radius=R] [--brute]\n"
-        "                            kNN / radius queries from the index\n"
-        "  index redundant [--top=N] [--brute]\n"
-        "                            most redundant benchmark pairs\n"
-        "  trace record <bench>|<suite>|all [--out=DIR]\n"
-        "                            record traces to DIR (default "
-        "traces)\n"
-        "  trace ls [DIR]            list recorded trace files\n"
-        "  faults ls                 list fault-injection points\n"
-        "  faults crash-matrix [--dir=DIR]\n"
-        "                            crash-consistency check of every\n"
-        "                            durable write path\n"
-        "  obs demo                  telemetry self-test\n"
-        "dataset verbs also take --suites=A,B --traces=DIR "
-        "--reader=mmap|stream --max-failures=N\n"
-        "every verb takes --metrics=FILE --trace-out=FILE "
-        "--obs-summary --failpoints=SPEC\n"
-        "exit codes: 0 ok, 1 error, 2 usage, 3 partial (quarantined "
-        "benchmarks),\n"
-        "            4 missing file, 5 permission denied, 97 simulated "
-        "crash\n");
-    return 2;
-}
+// usage() prints the top-level verb list; verbHelp() the one verb's
+// page. Both render from the kVerbs dispatch table (defined after the
+// handlers), so the verb list, per-verb `--help`, and the dispatch
+// itself can never drift apart.
+int usage();
+int verbHelp(const std::string &verb);
 
 /**
  * Worker pool for the methodology verbs, sized from --jobs exactly
@@ -512,108 +488,39 @@ cmdSubset(const util::CliArgs &args,
 // index verbs: persistent workload-fingerprint similarity index.
 // ----------------------------------------------------------------------
 
-/** The dataset half of the snapshot key (the ProfileStore key). */
-std::string
-datasetKeyPart(const experiments::DatasetConfig &cfg)
-{
-    pipeline::StoreKey key;
-    key.maxInsts = cfg.maxInsts;
-    key.ppmMaxOrder = cfg.ppmMaxOrder;
-    key.suites = cfg.suites;
-    return key.describe();
-}
-
-/**
- * Canonical snapshot key: the collection knobs that change measured
- * profiles (exactly the ProfileStore key) plus the fingerprint-space
- * knobs. A snapshot recorded under any other key is rejected on load.
- */
-std::string
-indexKey(const experiments::DatasetConfig &cfg, const std::string &space,
-         size_t pca)
-{
-    return datasetKeyPart(cfg) + "|space=" + space +
-        "|pca=" + std::to_string(pca);
-}
-
-/**
- * Default --space/--pca for the query verbs to what the existing
- * snapshot was built with (when its dataset config matches), so
- * `index build --space=key` followed by a plain `index query` answers
- * from the key-space snapshot instead of silently rebuilding — and
- * overwriting it — in the default space. Giving *either* flag opts
- * out entirely: explicit knobs are never mixed with snapshot ones
- * (adopting the snapshot's pca under an explicit --space would query
- * a space the user never asked for). The space knobs are adopted even
- * when the dataset half of the key differs (a changed --budget forces
- * a re-profile regardless, but it should re-profile into the space
- * the snapshot holds, not silently switch to the default).
- */
-void
-adoptSnapshotSpace(const experiments::DatasetConfig &cfg, bool spaceGiven,
-                   std::string *space, bool pcaGiven, size_t *pca)
-{
-    if (spaceGiven || pcaGiven)
-        return;
-    std::string stored;
-    if (!index::readSnapshotKey(index::snapshotPath(cfg.cacheDir),
-                                &stored))
-        return;
-    const size_t sPos = stored.rfind("|space=");
-    const size_t pPos = stored.rfind("|pca=");
-    if (sPos == std::string::npos || pPos == std::string::npos ||
-        pPos <= sPos)
-        return;
-    *space = stored.substr(sPos + 7, pPos - (sPos + 7));
-    *pca = static_cast<size_t>(
-        std::strtoull(stored.c_str() + pPos + 5, nullptr, 10));
-}
-
-/** Collect the dataset and build the index for one space choice. */
-index::FingerprintIndex
-buildIndexFromDataset(const experiments::DatasetConfig &cfg,
-                      const std::string &space, size_t pca,
-                      pipeline::ThreadPool *pool)
-{
-    const auto ds = collectReported(cfg);
-    index::FingerprintOptions opt;
-    opt.pcaDims = pca;
-    Matrix m;
-    if (space == "hpc") {
-        m = ds.hpcMatrix();
-    } else {
-        m = ds.micaMatrix();
-        if (space == "key") {
-            // Fingerprint the raw matrix restricted to the GA-selected
-            // key characteristics; normalization is re-frozen over the
-            // subset, as the paper's reduced space does.
-            const WorkloadSpace ws(m, pool);
-            GaConfig gcfg;
-            opt.columns = geneticSelect(ws, gcfg, pool).selected;
-        }
-    }
-    return index::FingerprintIndex::build(m, opt);
-}
-
 /**
  * Reopen the snapshot, or (re)build and persist it when missing or
- * keyed to a different config. Status goes to stderr so reports on
- * stdout stay byte-comparable between the reload and fresh-build
- * paths.
+ * keyed to a different config. The decision comes from @p probe — the
+ * header was already read exactly once by the caller (for space/pca
+ * adoption); the full payload is only read when the probed key
+ * matches, never to *discover* a mismatch. Status goes to stderr so
+ * reports on stdout stay byte-comparable between the reload and
+ * fresh-build paths.
  */
 index::FingerprintIndex
 openOrBuildIndex(const experiments::DatasetConfig &cfg,
+                 const index::SnapshotKeyProbe &probe,
                  const std::string &space, size_t pca,
                  pipeline::ThreadPool *pool)
 {
     const std::string path = index::snapshotPath(cfg.cacheDir);
-    const std::string key = indexKey(cfg, space, pca);
+    const std::string key = service::indexKey(cfg, space, pca);
     index::FingerprintIndex idx;
     std::string why;
-    if (index::loadIndexSnapshot(path, key, &idx, &why))
-        return idx;
-    std::fprintf(stderr, "index: %s; rebuilding\n", why.c_str());
-    idx = buildIndexFromDataset(cfg, space, pca, pool);
+    if (probe.valid && probe.key == key) {
+        if (index::loadIndexSnapshot(path, key, &idx, &why))
+            return idx;
+        std::fprintf(stderr, "index: %s; rebuilding\n", why.c_str());
+    } else if (probe.valid) {
+        std::fprintf(stderr,
+                     "index: snapshot key mismatch (built under '%s', "
+                     "expected '%s'); rebuilding\n",
+                     probe.key.c_str(), key.c_str());
+    } else {
+        std::fprintf(stderr, "index: no snapshot file; rebuilding\n");
+    }
+    idx = service::indexFromDataset(collectReported(cfg), space, pca,
+                                    pool);
     if (!index::saveIndexSnapshot(idx, path, key, &why))
         std::fprintf(stderr, "index: warning: snapshot not written: %s\n",
                      why.c_str());
@@ -649,8 +556,10 @@ cmdIndex(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
             return 2;
     }
 
-    std::string space = args.value("space", "mica");
-    size_t pca = static_cast<size_t>(args.intValue("pca", 0));
+    service::SpaceChoice sc;
+    sc.space = args.value("space", "mica");
+    sc.pca = static_cast<size_t>(args.intValue("pca", 0));
+    sc.given = args.has("space") || args.has("pca");
     const bool brute = args.has("brute");
 
     // The snapshot lives next to the profile store; without --cache it
@@ -661,9 +570,18 @@ cmdIndex(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
 
     // Query verbs answer from whatever space the snapshot holds
     // unless told otherwise; `build` always uses the explicit flags.
-    if (sub != "build")
-        adoptSnapshotSpace(icfg, args.has("space"), &space,
-                           args.has("pca"), &pca);
+    // One header probe serves both the adoption and the later
+    // load-vs-rebuild decision — the payload is never read (or
+    // re-validated) just to learn the key.
+    index::SnapshotKeyProbe probe;
+    if (sub != "build") {
+        probe = index::probeSnapshotKey(
+            index::snapshotPath(icfg.cacheDir));
+        if (probe.valid)
+            service::adoptSpaceFromKey(probe.key, &sc);
+    }
+    std::string space = sc.space;
+    size_t pca = sc.pca;
     if (space != "mica" && space != "hpc" && space != "key") {
         std::fprintf(stderr,
                      "mica index: --space must be mica, hpc, or key "
@@ -674,12 +592,12 @@ cmdIndex(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
     pipeline::ThreadPool *p = pool.get();
 
     if (sub == "build") {
-        const index::FingerprintIndex idx =
-            buildIndexFromDataset(icfg, space, pca, p);
+        const index::FingerprintIndex idx = service::indexFromDataset(
+            collectReported(icfg), space, pca, p);
         const std::string path = index::snapshotPath(icfg.cacheDir);
         std::string why;
         if (!index::saveIndexSnapshot(idx, path,
-                                      indexKey(icfg, space, pca),
+                                      service::indexKey(icfg, space, pca),
                                       &why)) {
             std::fprintf(stderr, "mica index build: %s\n", why.c_str());
             return 1;
@@ -703,7 +621,7 @@ cmdIndex(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
             return 2;
         }
         const index::FingerprintIndex idx =
-            openOrBuildIndex(icfg, space, pca, p);
+            openOrBuildIndex(icfg, probe, space, pca, p);
 
         if (target == "all") {
             if (hasRadius) {
@@ -763,7 +681,7 @@ cmdIndex(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
     if (sub == "redundant") {
         const size_t top = static_cast<size_t>(args.intValue("top", 10));
         const index::FingerprintIndex idx =
-            openOrBuildIndex(icfg, space, pca, p);
+            openOrBuildIndex(icfg, probe, space, pca, p);
         const auto pairs = idx.mostRedundant(top, p, brute);
         report::TextTable t({"rank", "benchmark A", "benchmark B",
                              "distance"},
@@ -781,6 +699,254 @@ cmdIndex(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
         return 0;
     }
     return usage();
+}
+
+// ----------------------------------------------------------------------
+// service verbs: the query daemon (`serve`), the one-shot protocol
+// front end (`query` — byte-identical to the daemon's replies, CI
+// cmp's them), and the load generator (`serve-bench`).
+// ----------------------------------------------------------------------
+
+/** --space/--pca as a SpaceChoice (shared by serve and query). */
+service::SpaceChoice
+spaceChoiceFromArgs(const util::CliArgs &args)
+{
+    service::SpaceChoice sc;
+    sc.space = args.value("space", "mica");
+    sc.pca = static_cast<size_t>(args.intValue("pca", 0));
+    sc.given = args.has("space") || args.has("pca");
+    return sc;
+}
+
+/** Build the immutable query snapshot the way every front end must. */
+std::shared_ptr<const service::ServerSnapshot>
+buildSnapshotReported(const experiments::DatasetConfig &cfg,
+                      const service::SpaceChoice &sc,
+                      pipeline::ThreadPool *pool, std::string *err)
+{
+    return service::buildServerSnapshot(
+        cfg, sc, pool, /*generation=*/0,
+        [](const experiments::DatasetConfig &c) {
+            return collectReported(c);
+        },
+        err);
+}
+
+/**
+ * The running daemon, for the signal handlers. requestStop() is
+ * async-signal-safe (an atomic store plus one write() to the loop's
+ * self-pipe), so SIGINT/SIGTERM translate directly into a graceful
+ * drain instead of killing in-flight queries.
+ */
+service::Server *gServer = nullptr;
+
+extern "C" void
+serveSignalHandler(int)
+{
+    if (gServer)
+        gServer->requestStop();
+}
+
+int
+cmdServe(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
+{
+    for (const char *flag : {"pca", "max-conns", "drain-ms"}) {
+        if (rejectBadInt(args, "serve", flag))
+            return 2;
+    }
+    service::SpaceChoice sc = spaceChoiceFromArgs(args);
+    experiments::DatasetConfig icfg = cfg;
+    if (icfg.cacheDir.empty())
+        icfg.cacheDir = ".mica-index";
+    if (!icfg.progress)
+        icfg.progress = pipeline::stderrProgress();
+
+    auto pool = methodologyPool(icfg);
+    std::string err;
+    auto snap = buildSnapshotReported(icfg, sc, pool.get(), &err);
+    if (!snap) {
+        std::fprintf(stderr, "mica serve: %s\n", err.c_str());
+        return 1;
+    }
+
+    service::ServerOptions opt;
+    opt.address = args.value("listen", "unix:mica.sock");
+    opt.jobs = icfg.jobs;
+    opt.maxConnections =
+        static_cast<size_t>(args.intValue("max-conns", 256));
+    opt.drainDeadlineMs =
+        static_cast<uint64_t>(args.intValue("drain-ms", 5000));
+
+    service::Server server(opt, snap, icfg, sc,
+                           [](const experiments::DatasetConfig &c) {
+                               return collectReported(c);
+                           });
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "mica serve: %s\n", err.c_str());
+        return 1;
+    }
+    gServer = &server;
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+
+    // The ready line goes to stdout (and is flushed) so wrappers can
+    // wait for it before connecting.
+    std::printf("mica serve: listening on %s (%zu benchmarks, "
+                "space %s, generation %llu)\n",
+                server.boundAddress().c_str(),
+                snap->ds.benchmarks.size(), snap->space.c_str(),
+                static_cast<unsigned long long>(snap->generation));
+    std::fflush(stdout);
+
+    const int rc = server.run();
+
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    gServer = nullptr;
+    std::fprintf(stderr, "mica serve: drained, shutting down\n");
+    return rc;
+}
+
+int
+cmdQuery(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
+{
+    if (args.positionals.size() < 2)
+        return usage();
+    if (rejectBadInt(args, "query", "pca"))
+        return 2;
+    const std::string reqArg = args.positionals[1];
+
+    // "-" streams request lines from stdin; anything else is one
+    // request given as a single (shell-quoted) argument.
+    std::vector<std::string> lines;
+    if (reqArg == "-") {
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            if (!line.empty())
+                lines.push_back(line);
+        }
+    } else {
+        lines.push_back(reqArg);
+    }
+
+    const std::string connect = args.value("connect");
+    if (!connect.empty()) {
+        service::ServiceClient cli;
+        std::string err;
+        if (!cli.connect(connect, &err)) {
+            std::fprintf(stderr, "mica query: %s\n", err.c_str());
+            return 1;
+        }
+        for (const auto &line : lines) {
+            std::string reply;
+            if (!cli.request(line, &reply, &err)) {
+                std::fprintf(stderr, "mica query: %s\n", err.c_str());
+                return 1;
+            }
+            std::printf("%s\n", reply.c_str());
+        }
+        return 0;
+    }
+
+    // Local one-shot: the same snapshot build and the same
+    // executeLine path the daemon runs, so the printed line is
+    // byte-identical to a server's reply for the same request.
+    service::SpaceChoice sc = spaceChoiceFromArgs(args);
+    experiments::DatasetConfig icfg = cfg;
+    if (icfg.cacheDir.empty())
+        icfg.cacheDir = ".mica-index";
+    auto pool = methodologyPool(icfg);
+    std::string err;
+    auto snap = buildSnapshotReported(icfg, sc, pool.get(), &err);
+    if (!snap) {
+        std::fprintf(stderr, "mica query: %s\n", err.c_str());
+        return 1;
+    }
+    for (const auto &line : lines)
+        std::printf("%s\n", service::executeLine(*snap, line).c_str());
+    return 0;
+}
+
+int
+cmdServeBench(const util::CliArgs &args,
+              const experiments::DatasetConfig &)
+{
+    for (const char *flag : {"conns", "requests"}) {
+        if (rejectBadInt(args, "serve-bench", flag))
+            return 2;
+    }
+    const std::string connect = args.value("connect");
+    if (connect.empty()) {
+        std::fprintf(stderr,
+                     "mica serve-bench: --connect=ADDR is required\n");
+        return 2;
+    }
+    const size_t conns =
+        static_cast<size_t>(args.intValue("conns", 4));
+    const size_t requests =
+        static_cast<size_t>(args.intValue("requests", 100));
+    const std::string bench = args.value("bench");
+    if (conns == 0 || requests == 0) {
+        std::fprintf(stderr, "mica serve-bench: --conns and --requests "
+                             "must be positive\n");
+        return 2;
+    }
+
+    // Per-connection request mix, rotated deterministically: cheap ops
+    // (ping/stats), a mid-weight scan (suites), and the heavy
+    // population query (redundant). --bench adds kNN of a real
+    // benchmark to the rotation.
+    std::vector<std::string> mix = {
+        "{\"op\":\"ping\"}",
+        "{\"op\":\"stats\"}",
+        "{\"op\":\"suites\"}",
+        "{\"op\":\"redundant\",\"top\":5}",
+    };
+    if (!bench.empty())
+        mix.push_back("{\"op\":\"knn\",\"bench\":\"" + bench +
+                      "\",\"k\":5}");
+
+    std::atomic<uint64_t> okCount{0}, failCount{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(conns);
+    for (size_t c = 0; c < conns; ++c) {
+        workers.emplace_back([&, c] {
+            service::ServiceClient cli;
+            std::string err;
+            if (!cli.connect(connect, &err)) {
+                failCount.fetch_add(requests);
+                return;
+            }
+            for (size_t i = 0; i < requests; ++i) {
+                const std::string &line = mix[(c + i) % mix.size()];
+                std::string reply;
+                if (cli.request(line, &reply, &err) &&
+                    reply.find("\"ok\":true") != std::string::npos)
+                    okCount.fetch_add(1);
+                else
+                    failCount.fetch_add(1);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const uint64_t total = okCount.load() + failCount.load();
+    const double secs = static_cast<double>(elapsed) / 1e6;
+    std::printf("serve-bench: %zu conns x %zu requests = %llu total, "
+                "%llu ok, %llu failed\n",
+                conns, requests,
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(okCount.load()),
+                static_cast<unsigned long long>(failCount.load()));
+    std::printf("serve-bench: %.3f s, %.0f req/s\n", secs,
+                secs > 0 ? static_cast<double>(total) / secs : 0.0);
+    return failCount.load() == 0 ? 0 : 1;
 }
 
 // ----------------------------------------------------------------------
@@ -1095,6 +1261,228 @@ cmdObsDemo()
 #endif
 }
 
+// ----------------------------------------------------------------------
+// Verb dispatch table. One entry per top-level verb: the handler, the
+// usage lines shown in the top-level verb list, and the flag notes
+// shown by `mica <verb> --help`. usage(), verbHelp(), and main()'s
+// dispatch all render from this table — the single source of truth
+// for what verbs exist and how they are invoked.
+// ----------------------------------------------------------------------
+
+int
+cmdListVerb(const util::CliArgs &args, const experiments::DatasetConfig &)
+{
+    return cmdList(args);
+}
+
+int
+cmdProfileMica(const util::CliArgs &args,
+               const experiments::DatasetConfig &cfg)
+{
+    return cmdProfile(args, cfg, false);
+}
+
+int
+cmdProfileHpc(const util::CliArgs &args,
+              const experiments::DatasetConfig &cfg)
+{
+    return cmdProfile(args, cfg, true);
+}
+
+int
+cmdSelectVerb(const util::CliArgs &,
+              const experiments::DatasetConfig &cfg)
+{
+    return cmdSelect(cfg);
+}
+
+int
+cmdTrace(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
+{
+    const std::string sub =
+        args.positionals.size() >= 2 ? args.positionals[1] : "";
+    if (sub == "record")
+        return cmdTraceRecord(args, cfg);
+    if (sub == "ls")
+        return cmdTraceLs(args);
+    return usage();
+}
+
+int
+cmdFaults(const util::CliArgs &args, const experiments::DatasetConfig &)
+{
+    const std::string sub =
+        args.positionals.size() >= 2 ? args.positionals[1] : "";
+    if (sub == "ls")
+        return cmdFaultsLs();
+    if (sub == "crash-matrix")
+        return cmdFaultsCrashMatrix(args);
+    return usage();
+}
+
+int
+cmdObs(const util::CliArgs &args, const experiments::DatasetConfig &)
+{
+    const std::string sub =
+        args.positionals.size() >= 2 ? args.positionals[1] : "";
+    if (sub == "demo")
+        return cmdObsDemo();
+    return usage();
+}
+
+int cmdHelp(const util::CliArgs &args, const experiments::DatasetConfig &);
+
+struct VerbDef
+{
+    const char *name;
+
+    /**
+     * Lines for the top-level verb list, already formatted
+     * ("  invocation            what it does\n"); multi-form verbs
+     * (index, trace) carry one line per form.
+     */
+    const char *usageLines;
+
+    /** Verb-specific flags, one per line, for `mica <verb> --help`. */
+    const char *flagHelp;
+
+    int (*run)(const util::CliArgs &, const experiments::DatasetConfig &);
+};
+
+constexpr VerbDef kVerbs[] = {
+    {"list", "  list [suite]              list registered benchmarks\n",
+     "", cmdListVerb},
+    {"profile",
+     "  profile <name>|all        print MICA profiles\n",
+     "  --csv=FILE     dump `all` as CSV instead of a table\n",
+     cmdProfileMica},
+    {"hpc",
+     "  hpc <name>|all            print hardware-counter profiles\n",
+     "  --csv=FILE     dump `all` as CSV instead of a table\n",
+     cmdProfileHpc},
+    {"distance",
+     "  distance <nameA> <nameB>  distances in both spaces\n", "",
+     cmdDistance},
+    {"select",
+     "  select                    GA key-characteristic selection\n",
+     "", cmdSelectVerb},
+    {"cluster",
+     "  cluster                   cluster benchmarks (key space)\n",
+     "  --maxk=N       K sweep ceiling (default 70)\n", cmdCluster},
+    {"subset",
+     "  subset                    cluster-medoid representatives\n",
+     "  --maxk=N       K sweep ceiling (default 70)\n", cmdSubset},
+    {"index",
+     "  index build               build + persist the similarity index\n"
+     "  index query <bench>|all   kNN / radius queries from the index\n"
+     "  index redundant           most redundant benchmark pairs\n",
+     "  --space=mica|hpc|key  fingerprint space (build; queries adopt\n"
+     "                 the snapshot's space unless told otherwise)\n"
+     "  --pca=K        project onto K principal components\n"
+     "  --k=N          neighbors per query (query)\n"
+     "  --radius=R     radius query instead of kNN (query)\n"
+     "  --top=N        pairs to report (redundant)\n"
+     "  --brute        brute-force reference path (no VP-tree)\n",
+     cmdIndex},
+    {"serve",
+     "  serve [--listen=ADDR]     similarity-query daemon (JSON lines)\n",
+     "  --listen=ADDR  unix:PATH or tcp:HOST:PORT (default "
+     "unix:mica.sock)\n"
+     "  --space=mica|hpc|key / --pca=K   fingerprint space knobs\n"
+     "  --max-conns=N  concurrent client cap (default 256)\n"
+     "  --drain-ms=N   graceful-shutdown drain budget (default 5000)\n"
+     "  SIGINT/SIGTERM drain in-flight queries, flush telemetry "
+     "sinks,\n"
+     "  and exit 0.\n",
+     cmdServe},
+    {"query",
+     "  query <REQUEST>|-         one-shot protocol query (local or\n"
+     "                            --connect=ADDR against a daemon)\n",
+     "  --connect=ADDR ask a running daemon instead of answering\n"
+     "                 locally; replies are byte-identical either way\n"
+     "  --space=mica|hpc|key / --pca=K   fingerprint space (local)\n"
+     "  REQUEST is one JSON object, e.g. "
+     "'{\"op\":\"knn\",\"bench\":\"B\",\"k\":5}';\n"
+     "  '-' streams request lines from stdin.\n",
+     cmdQuery},
+    {"serve-bench",
+     "  serve-bench --connect=ADDR  load-generate against a daemon\n",
+     "  --conns=N      concurrent connections (default 4)\n"
+     "  --requests=N   requests per connection (default 100)\n"
+     "  --bench=NAME   add kNN of NAME to the request mix\n",
+     cmdServeBench},
+    {"trace",
+     "  trace record <bench>|<suite>|all  record traces to --out=DIR\n"
+     "  trace ls [DIR]            list recorded trace files\n",
+     "  --out=DIR      destination directory (record; default "
+     "traces)\n",
+     cmdTrace},
+    {"faults",
+     "  faults ls                 list fault-injection points\n"
+     "  faults crash-matrix       crash-consistency check of every\n"
+     "                            durable write path\n",
+     "  --dir=DIR      scratch directory (crash-matrix)\n", cmdFaults},
+    {"obs",
+     "  obs demo                  telemetry self-test\n", "", cmdObs},
+    {"help",
+     "  help [verb]               this list, or one verb's flags\n", "",
+     cmdHelp},
+};
+
+const VerbDef *
+findVerb(const std::string &name)
+{
+    for (const auto &v : kVerbs) {
+        if (name == v.name)
+            return &v;
+    }
+    return nullptr;
+}
+
+int
+usage()
+{
+    std::printf("usage: mica <command> [args] [--budget=N] "
+                "[--cache=DIR] [--jobs=N]\n");
+    for (const auto &v : kVerbs)
+        std::printf("%s", v.usageLines);
+    std::printf(
+        "dataset verbs also take --suites=A,B --traces=DIR "
+        "--reader=mmap|stream --max-failures=N\n"
+        "every verb takes --metrics=FILE --trace-out=FILE "
+        "--obs-summary --failpoints=SPEC\n"
+        "`mica <verb> --help` lists one verb's flags\n"
+        "exit codes: 0 ok, 1 error, 2 usage, 3 partial (quarantined "
+        "benchmarks),\n"
+        "            4 missing file, 5 permission denied, 97 simulated "
+        "crash\n");
+    return 2;
+}
+
+int
+verbHelp(const std::string &verb)
+{
+    const VerbDef *v = findVerb(verb);
+    if (!v)
+        return usage();
+    std::printf("usage:\n%s", v->usageLines);
+    if (v->flagHelp[0] != '\0')
+        std::printf("flags:\n%s", v->flagHelp);
+    std::printf("global flags: --budget=N --cache=DIR --jobs=N "
+                "--metrics=FILE --trace-out=FILE --obs-summary "
+                "--failpoints=SPEC\n");
+    return 0;
+}
+
+int
+cmdHelp(const util::CliArgs &args, const experiments::DatasetConfig &)
+{
+    if (args.positionals.size() >= 2)
+        return verbHelp(args.positionals[1]);
+    usage();
+    return 0;
+}
+
 /**
  * Exit epilogue shared by every verb: flush the requested telemetry
  * sinks. A sink that cannot be written turns a successful run into a
@@ -1140,9 +1528,17 @@ knownFlags(const std::string &cmd, const std::string &sub)
     // interpreter for recorded traces, and cap quarantines.
     if (cmd == "profile" || cmd == "hpc" || cmd == "distance" ||
         cmd == "select" || cmd == "cluster" || cmd == "subset" ||
-        cmd == "index")
+        cmd == "index" || cmd == "serve" || cmd == "query")
         known.insert(known.end(),
                      {"suites=", "traces=", "reader=", "max-failures="});
+    if (cmd == "serve")
+        known.insert(known.end(), {"listen=", "space=", "pca=",
+                                   "max-conns=", "drain-ms="});
+    if (cmd == "query")
+        known.insert(known.end(), {"connect=", "space=", "pca="});
+    if (cmd == "serve-bench")
+        known.insert(known.end(),
+                     {"connect=", "conns=", "requests=", "bench="});
     if (cmd == "faults" && sub == "crash-matrix")
         known.push_back("dir=");
     if (cmd == "profile" || cmd == "hpc")
@@ -1169,6 +1565,14 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
+    // --help anywhere after a verb prints that verb's page (rendered
+    // from the dispatch table) before strict flag parsing would
+    // reject it as unknown.
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0)
+            return verbHelp(cmd);
+    }
     // The sub-verb is the second positional (flags may come first, so
     // argv[2] is not necessarily it).
     std::string sub;
@@ -1233,41 +1637,8 @@ main(int argc, char **argv)
     // obsFinish so the telemetry sinks always get written.
     const int rc = [&]() -> int {
         try {
-            if (cmd == "list")
-                return cmdList(args);
-            if (cmd == "profile")
-                return cmdProfile(args, cfg, false);
-            if (cmd == "hpc")
-                return cmdProfile(args, cfg, true);
-            if (cmd == "distance")
-                return cmdDistance(args, cfg);
-            if (cmd == "select")
-                return cmdSelect(cfg);
-            if (cmd == "cluster")
-                return cmdCluster(args, cfg);
-            if (cmd == "subset")
-                return cmdSubset(args, cfg);
-            if (cmd == "index")
-                return cmdIndex(args, cfg);
-            if (cmd == "trace") {
-                if (sub == "record")
-                    return cmdTraceRecord(args, cfg);
-                if (sub == "ls")
-                    return cmdTraceLs(args);
-                return usage();
-            }
-            if (cmd == "faults") {
-                if (sub == "ls")
-                    return cmdFaultsLs();
-                if (sub == "crash-matrix")
-                    return cmdFaultsCrashMatrix(args);
-                return usage();
-            }
-            if (cmd == "obs") {
-                if (sub == "demo")
-                    return cmdObsDemo();
-                return usage();
-            }
+            if (const VerbDef *v = findVerb(cmd))
+                return v->run(args, cfg);
         } catch (const pipeline::SweepAborted &e) {
             // More quarantines than --max-failures allows: a hard
             // failure, not a partial result.
