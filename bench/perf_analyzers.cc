@@ -10,10 +10,14 @@
  * batched engine (the default) and the per-record reference path.
  *
  * Besides the google-benchmark timers, `--json=<path>` runs a small
- * self-timed harness and writes a machine-readable throughput profile
- * (records/sec per analyzer family plus full-profile and key-subset
- * collection on both engine paths) so the perf trajectory can be
- * tracked across commits; CI runs it as a non-gating step.
+ * self-timed harness and writes a machine-readable mica-perf-profile/2
+ * document: every family runs one untimed warmup pass plus --reps
+ * timed repetitions, and each metric is a dispersion summary
+ * ({p50, p90, min, max, n} via util::QuantileSketch) instead of a
+ * single-shot number, so `mica perf compare` can gate regressions
+ * against noise. `--enable-file=<F>` restricts the run to the
+ * families named in an enable JSON (the benchmark-automation
+ * contract; see `mica capabilities` for the family list).
  */
 
 #include <benchmark/benchmark.h>
@@ -26,6 +30,9 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,6 +56,8 @@
 #include "obs/obs.hh"
 #include "pipeline/thread_pool.hh"
 #include "service/client.hh"
+#include "service/json.hh"
+#include "util/quantile.hh"
 #include "service/query_engine.hh"
 #include "service/server.hh"
 #include "stats/kmeans.hh"
@@ -683,32 +692,87 @@ BM_ServeRoundTrip(benchmark::State &state)
 BENCHMARK(BM_ServeRoundTrip);
 
 // ----------------------------------------------------------------------
-// --json mode: self-timed throughput profile for trend tracking.
+// --json mode: self-timed dispersion profile for trend tracking and
+// regression gating. Every family runs one untimed warmup pass (so a
+// cold first iteration never sets the number) and then g_reps timed
+// repetitions whose per-rep rates feed a deterministic quantile
+// sketch; the emitted summary is {p50, p90, min, max, n}.
 // ----------------------------------------------------------------------
 
-/** Best-of-N records/sec for one collection run over the trace. */
-template <typename Fn>
-double
-bestRate(uint64_t records, Fn &&run)
+/** Timed repetitions per family (--reps=N; warmup is extra). */
+int g_reps = 5;
+
+/** One metric's dispersion over the timed repetitions. */
+struct Summary
 {
-    double best = 0.0;
-    for (int rep = 0; rep < 5; ++rep) {
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    uint64_t n = 0;
+};
+
+Summary
+fromSketch(const util::QuantileSketch &sk)
+{
+    Summary s;
+    s.p50 = sk.quantile(0.5);
+    s.p90 = sk.quantile(0.9);
+    s.min = sk.min();
+    s.max = sk.max();
+    s.n = sk.count();
+    return s;
+}
+
+/** Warmup + g_reps timed runs; per-rep value is items/sec. */
+template <typename Fn>
+Summary
+rateSummary(uint64_t items, Fn &&run)
+{
+    run();   // warmup: first-touch page faults and cold caches
+    util::QuantileSketch sk;
+    for (int rep = 0; rep < g_reps; ++rep) {
         const auto t0 = std::chrono::steady_clock::now();
         run();
         const double dt = std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0).count();
-        if (dt > 0.0)
-            best = std::max(best, static_cast<double>(records) / dt);
+        sk.add(static_cast<double>(items) / std::max(dt, 1e-12));
     }
-    return best;
+    return fromSketch(sk);
+}
+
+/** Warmup + g_reps timed runs; per-rep value is ns/item. */
+template <typename Fn>
+Summary
+nsSummary(uint64_t items, Fn &&run)
+{
+    run();
+    util::QuantileSketch sk;
+    for (int rep = 0; rep < g_reps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        run();
+        const double ns = std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - t0).count();
+        sk.add(ns / static_cast<double>(items));
+    }
+    return fromSketch(sk);
+}
+
+/** Render one summary as a single-line JSON object. */
+void
+emitSummary(std::ostream &out, const Summary &s)
+{
+    out << "{\"p50\": " << s.p50 << ", \"p90\": " << s.p90
+        << ", \"min\": " << s.min << ", \"max\": " << s.max
+        << ", \"n\": " << s.n << "}";
 }
 
 /** Time one analyzer family over the shared trace, batched engine. */
 template <typename MakeAnalyzer>
-double
+Summary
 familyRate(VectorTraceSource &src, MakeAnalyzer &&make)
 {
-    return bestRate(src.size(), [&] {
+    return rateSummary(src.size(), [&] {
         auto a = make();
         AnalysisEngine eng;
         eng.add(&a);
@@ -719,10 +783,10 @@ familyRate(VectorTraceSource &src, MakeAnalyzer &&make)
 }
 
 /** Time a full or key-subset collection on one engine path. */
-double
+Summary
 collectRate(VectorTraceSource &src, size_t engineBatch, bool keyOnly)
 {
-    return bestRate(src.size(), [&] {
+    return rateSummary(src.size(), [&] {
         MicaRunnerConfig cfg;
         cfg.engineBatch = engineBatch;
         src.reset();
@@ -734,19 +798,19 @@ collectRate(VectorTraceSource &src, size_t engineBatch, bool keyOnly)
 }
 
 /** Time the frozen seed implementations (see legacy_analyzers.hh). */
-double
+Summary
 seedBaselineRate(VectorTraceSource &src, bool keyOnly)
 {
-    return bestRate(src.size(), [&] { runSeedOnce(src, keyOnly); });
+    return rateSummary(src.size(), [&] { runSeedOnce(src, keyOnly); });
 }
 
 /** Masks/sec of the frozen seed fitness engine (cold memo per rep). */
-double
+Summary
 seedFitnessRate()
 {
     const auto &masks = methodologyMasks();
     legacy::FitnessEval proto(methodologySpace());
-    return bestRate(masks.size(), [&] {
+    return rateSummary(masks.size(), [&] {
         legacy::FitnessEval eval = proto;
         double acc = 0.0;
         for (uint64_t m : masks)
@@ -760,14 +824,14 @@ seedFitnessRate()
  * path, serial or fanned across a pool in the same fixed-size chunks
  * geneticSelect uses.
  */
-double
+Summary
 engineFitnessRate(const FitnessEval &eval, mica::pipeline::ThreadPool *pool)
 {
     const auto &masks = methodologyMasks();
     std::vector<double> out(masks.size());
     const size_t chunks = pool
         ? std::min(masks.size(), pool->workerCount() * 4) : 1;
-    return bestRate(masks.size(), [&] {
+    return rateSummary(masks.size(), [&] {
         mica::pipeline::parallelBlocks(pool, chunks, [&](size_t b) {
             const size_t lo = masks.size() * b / chunks;
             const size_t hi = masks.size() * (b + 1) / chunks;
@@ -779,25 +843,25 @@ engineFitnessRate(const FitnessEval &eval, mica::pipeline::ThreadPool *pool)
 }
 
 /** GA generations/sec for a fixed-length run (stall exit disabled). */
-double
+Summary
 gaGenerationsRate(mica::pipeline::ThreadPool *pool)
 {
     GaConfig cfg;
     cfg.maxGenerations = 25;
     cfg.stallGenerations = 10000;
-    return bestRate(cfg.maxGenerations, [&] {
+    return rateSummary(cfg.maxGenerations, [&] {
         const GaResult r = geneticSelect(methodologySpace(), cfg, pool);
         benchmark::DoNotOptimize(r.fitness);
     });
 }
 
 /** Full BIC K-sweeps/sec over the reduced 8-D methodology space. */
-double
+Summary
 clusterSweepRate(mica::pipeline::ThreadPool *pool)
 {
     const Matrix reduced = methodologySpace().normalized().selectCols(
         {0, 1, 2, 3, 4, 5, 6, 7});
-    return bestRate(1, [&] {
+    return rateSummary(1, [&] {
         const BicSweepResult r =
             bicSweep(reduced, 24, 5, 0.9, 0.0, pool);
         benchmark::DoNotOptimize(r.chosenK);
@@ -814,7 +878,7 @@ clusterSweepRate(mica::pipeline::ThreadPool *pool)
 struct TraceReplayRates
 {
     uint64_t records = 0;
-    double interp = 0, record = 0, stream = 0, mmap = 0;
+    Summary interp, record, stream, mmap;
 };
 
 TraceReplayRates
@@ -848,12 +912,12 @@ traceReplayRates()
         w.close();
     }
 
-    r.interp = bestRate(r.records, [&] {
+    r.interp = rateSummary(r.records, [&] {
         isa::Interpreter interp(prog);
         const MicaProfile p = collectMicaProfile(interp, "x", cfg);
         benchmark::DoNotOptimize(p.values[0]);
     });
-    r.record = bestRate(r.records, [&] {
+    r.record = rateSummary(r.records, [&] {
         isa::Interpreter interp(prog);
         TraceFileWriter w(path + ".rec");
         RecordingSource tee(interp, w);
@@ -870,12 +934,12 @@ traceReplayRates()
         w.close();
         benchmark::DoNotOptimize(n);
     });
-    r.stream = bestRate(r.records, [&] {
+    r.stream = rateSummary(r.records, [&] {
         FileTraceSource src(path);
         const MicaProfile p = collectMicaProfile(src, "x", cfg);
         benchmark::DoNotOptimize(p.values[0]);
     });
-    r.mmap = bestRate(r.records, [&] {
+    r.mmap = rateSummary(r.records, [&] {
         MappedTraceSource src(path);
         const MicaProfile p = collectMicaProfile(src, "x", cfg);
         benchmark::DoNotOptimize(p.values[0]);
@@ -886,23 +950,23 @@ traceReplayRates()
 }
 
 /** Index builds/sec over the synthetic population. */
-double
+Summary
 indexBuildRate()
 {
     const Matrix &raw = indexDataset();
-    return bestRate(1, [&] {
+    return rateSummary(1, [&] {
         const auto idx = index::FingerprintIndex::build(raw);
         benchmark::DoNotOptimize(idx.size());
     });
 }
 
 /** Single-query kNN throughput, tree or brute reference. */
-double
+Summary
 indexKnnRate(bool brute)
 {
     const auto &idx = indexCorpus();
     const size_t queries = 512;
-    return bestRate(queries, [&] {
+    return rateSummary(queries, [&] {
         for (size_t q = 0; q < queries; ++q) {
             const auto r = idx.knn(q, kIndexK, brute);
             benchmark::DoNotOptimize(r.data());
@@ -914,7 +978,7 @@ indexKnnRate(bool brute)
  * Warm daemon starts/sec: reopen the persisted index snapshot instead
  * of rebuilding (the cold counterpart is indexBuildRate).
  */
-double
+Summary
 serveSnapshotLoadRate()
 {
     const auto path = (std::filesystem::temp_directory_path() /
@@ -924,9 +988,9 @@ serveSnapshotLoadRate()
     if (!index::saveIndexSnapshot(indexCorpus(), path, "bench-serve",
                                   &why)) {
         std::cerr << "serve bench: save snapshot: " << why << "\n";
-        return 0.0;
+        return {};
     }
-    const double rate = bestRate(1, [&] {
+    const Summary rate = rateSummary(1, [&] {
         index::FingerprintIndex loaded;
         if (index::loadIndexSnapshot(path, "bench-serve", &loaded,
                                      &why))
@@ -937,12 +1001,12 @@ serveSnapshotLoadRate()
 }
 
 /** In-process requests/sec: the one-shot CLI path, no socket. */
-double
+Summary
 serveLocalRate()
 {
     auto snap = serveSnapshot();
     constexpr size_t kReqs = 512;
-    return bestRate(kReqs, [&] {
+    return rateSummary(kReqs, [&] {
         for (size_t i = 0; i < kReqs; ++i) {
             const std::string reply =
                 service::executeLine(*snap, serveRequestLine(i));
@@ -952,11 +1016,11 @@ serveLocalRate()
 }
 
 /** Aggregate daemon requests/sec with @p conns concurrent clients. */
-double
+Summary
 serveDaemonRate(service::Server &server, size_t conns)
 {
     constexpr size_t kPerConn = 256;
-    return bestRate(conns * kPerConn, [&] {
+    return rateSummary(conns * kPerConn, [&] {
         std::atomic<size_t> failures{0};
         std::vector<std::thread> clients;
         for (size_t c = 0; c < conns; ++c) {
@@ -984,12 +1048,72 @@ serveDaemonRate(service::Server &server, size_t conns)
     });
 }
 
+/**
+ * Per-request knn round-trip latency (microseconds) on one
+ * connection: the latency-side complement of the aggregate
+ * requests/sec numbers, with every individual request feeding the
+ * sketch so the tail (p99) is visible.
+ */
+struct LatencySummary
+{
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0, min = 0.0, max = 0.0;
+    uint64_t n = 0;
+};
+
+void
+emitLatencySummary(std::ostream &out, const LatencySummary &s)
+{
+    out << "{\"p50\": " << s.p50 << ", \"p90\": " << s.p90
+        << ", \"p99\": " << s.p99 << ", \"min\": " << s.min
+        << ", \"max\": " << s.max << ", \"n\": " << s.n << "}";
+}
+
+LatencySummary
+latencyFromSketch(const util::QuantileSketch &sk)
+{
+    LatencySummary s;
+    s.p50 = sk.quantile(0.5);
+    s.p90 = sk.quantile(0.9);
+    s.p99 = sk.quantile(0.99);
+    s.min = sk.min();
+    s.max = sk.max();
+    s.n = sk.count();
+    return s;
+}
+
+LatencySummary
+serveKnnLatencyUs(service::Server &server)
+{
+    service::ServiceClient client;
+    std::string err;
+    if (!client.connect(server.boundAddress(), &err)) {
+        std::cerr << "serve bench: " << err << "\n";
+        return {};
+    }
+    constexpr size_t kWarmup = 64;
+    constexpr size_t kTimed = 1024;
+    util::QuantileSketch sk;
+    std::string reply;
+    for (size_t i = 0; i < kWarmup + kTimed; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!client.request(serveRequestLine(i), &reply, &err)) {
+            std::cerr << "serve bench: " << err << "\n";
+            return {};
+        }
+        const double us = std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0).count();
+        if (i >= kWarmup)
+            sk.add(us);
+    }
+    return latencyFromSketch(sk);
+}
+
 /** Whole-population batch kNN throughput (queries/sec). */
-double
+Summary
 indexBatchRate(mica::pipeline::ThreadPool *pool)
 {
     const auto &idx = indexCorpus();
-    return bestRate(idx.size(), [&] {
+    return rateSummary(idx.size(), [&] {
         const auto r = idx.batchKnn(kIndexK, pool);
         benchmark::DoNotOptimize(r.data());
     });
@@ -1003,29 +1127,13 @@ indexBatchRate(mica::pipeline::ThreadPool *pool)
 // via --obs-ref so the ratio lands in one JSON document.
 // ----------------------------------------------------------------------
 
-/** Best-of-5 nanoseconds per call for a hot telemetry primitive. */
-template <typename Fn>
-double
-primitiveNs(uint64_t calls, Fn &&loop)
-{
-    double best = 1e18;
-    for (int rep = 0; rep < 5; ++rep) {
-        const auto t0 = std::chrono::steady_clock::now();
-        loop();
-        const double ns = std::chrono::duration<double, std::nano>(
-            std::chrono::steady_clock::now() - t0).count();
-        best = std::min(best, ns / static_cast<double>(calls));
-    }
-    return best;
-}
-
 /** ns per Counter::add on the sharded fast path. */
-double
+Summary
 counterAddNs()
 {
     static obs::Counter c("bench.obs.counter");
     constexpr uint64_t kAdds = 1u << 22;
-    return primitiveNs(kAdds, [] {
+    return nsSummary(kAdds, [] {
         for (uint64_t i = 0; i < kAdds; ++i)
             c.add(1);
         benchmark::DoNotOptimize(&c);
@@ -1033,12 +1141,12 @@ counterAddNs()
 }
 
 /** ns per armed span (construct, one arg, record into the ring). */
-double
+Summary
 spanRecordNs()
 {
     obs::setTraceEnabled(true);
     constexpr uint64_t kSpans = 1u << 16;
-    const double ns = primitiveNs(kSpans, [] {
+    const Summary ns = nsSummary(kSpans, [] {
         for (uint64_t i = 0; i < kSpans; ++i) {
             obs::ObsSpan sp("bench.obs.span");
             sp.arg("i", i);
@@ -1048,82 +1156,330 @@ spanRecordNs()
     return ns;
 }
 
+/** The canonical family names (enable-file / capabilities contract). */
+const std::vector<std::string> &
+allFamilies()
+{
+    static const std::vector<std::string> fams = {
+        "analyzers", "engine", "methodology", "trace_replay",
+        "index",     "serve",  "obs"};
+    return fams;
+}
+
+/** Parse an enable JSON: {"families": ["index", "serve", ...]}. */
+bool
+loadEnableFile(const std::string &path, std::set<std::string> *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "perf_analyzers: cannot read " << path << "\n";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    service::JsonValue doc;
+    std::string err;
+    if (!service::parseJson(buf.str(), &doc, &err) || !doc.isObject()) {
+        std::cerr << "perf_analyzers: " << path << ": "
+                  << (err.empty() ? "not a JSON object" : err) << "\n";
+        return false;
+    }
+    const service::JsonValue *fams = doc.find("families");
+    if (fams == nullptr || !fams->isArray()) {
+        std::cerr << "perf_analyzers: " << path
+                  << ": missing \"families\" array\n";
+        return false;
+    }
+    const auto &known = allFamilies();
+    for (const auto &f : fams->items()) {
+        if (!f.isString() ||
+            std::find(known.begin(), known.end(), f.asString()) ==
+                known.end()) {
+            std::cerr << "perf_analyzers: " << path
+                      << ": unknown family "
+                      << (f.isString() ? f.asString() : f.dump())
+                      << "\n";
+            return false;
+        }
+        out->insert(f.asString());
+    }
+    if (out->empty()) {
+        std::cerr << "perf_analyzers: " << path
+                  << ": no families enabled\n";
+        return false;
+    }
+    return true;
+}
+
+/** p50 ratio with a zero guard (a failed family reports 0 rates). */
+double
+ratio(const Summary &num, const Summary &den)
+{
+    return den.p50 > 0.0 ? num.p50 / den.p50 : 0.0;
+}
+
 int
-writeJsonProfile(const std::string &path, double obsRef)
+writeJsonProfile(const std::string &path, double obsRef,
+                 const std::set<std::string> &enabled)
 {
     VectorTraceSource src(sharedTrace());
     const uint64_t records = src.size();
+    const auto on = [&](const char *fam) {
+        return enabled.count(fam) != 0;
+    };
 
-    const double mix = familyRate(src, [] { return InstMixAnalyzer(); });
-    const double ilp = familyRate(src, [] { return IlpAnalyzer(); });
-    const double rt = familyRate(src, [] { return RegTrafficAnalyzer(); });
-    const double ws = familyRate(src, [] { return WorkingSetAnalyzer(); });
-    const double st = familyRate(src, [] { return StrideAnalyzer(); });
-    const double ppm =
-        familyRate(src, [] { return PpmBranchAnalyzer(8); });
+    std::optional<mica::pipeline::ThreadPool> pool8;
+    const auto pool = [&]() -> mica::pipeline::ThreadPool * {
+        if (!pool8)
+            pool8.emplace(8);
+        return &*pool8;
+    };
 
-    const double fullSeed = seedBaselineRate(src, false);
-    const double fullPerRecord = collectRate(src, 0, false);
-    const double fullBatched =
-        collectRate(src, AnalysisEngine::kDefaultBatchSize, false);
-    const double keySeed = seedBaselineRate(src, true);
-    const double keyPerRecord = collectRate(src, 0, true);
-    const double keyBatched =
-        collectRate(src, AnalysisEngine::kDefaultBatchSize, true);
+    // The engine's batched full-profile rate doubles as the obs
+    // family's "idle" number; computed once, whichever family asks
+    // first.
+    std::optional<Summary> fullBatchedCache;
+    const auto fullBatched = [&]() -> const Summary & {
+        if (!fullBatchedCache)
+            fullBatchedCache = collectRate(
+                src, AnalysisEngine::kDefaultBatchSize, false);
+        return *fullBatchedCache;
+    };
 
-    // Methodology engine family: the GA fitness stage (masks/sec,
-    // frozen seed vs current engine vs 8-job fan-out), whole-GA
-    // generations/sec, and clustering K-sweeps/sec. The 8-job numbers
-    // only beat serial on multi-core machines, so the worker and CPU
-    // counts are recorded alongside.
-    mica::pipeline::ThreadPool pool8(8);
-    const FitnessEval methodologyEval(methodologySpace());
-    const double fitSeed = seedFitnessRate();
-    const double fitSerial = engineFitnessRate(methodologyEval, nullptr);
-    const double fitJobs8 = engineFitnessRate(methodologyEval, &pool8);
-    const double gaSerial = gaGenerationsRate(nullptr);
-    const double gaJobs8 = gaGenerationsRate(&pool8);
-    const double sweepSerial = clusterSweepRate(nullptr);
-    const double sweepJobs8 = clusterSweepRate(&pool8);
+    // Each enabled family renders its own object; disabled families
+    // are simply absent from the document (the enable-file contract).
+    std::vector<std::pair<std::string, std::string>> fams;
 
-    // Trace-replay family: records/sec profiling the same program
-    // from the interpreter, while recording, and replayed through
-    // each reader.
-    const TraceReplayRates trr = traceReplayRates();
-
-    // Index family: build cost and query throughput of the
-    // fingerprint similarity index, VP-tree vs the brute-force
-    // reference, plus the pooled batch-query path at 1 and 8 jobs.
-    const double idxBuild = indexBuildRate();
-    const double idxTree = indexKnnRate(false);
-    const double idxBrute = indexKnnRate(true);
-    const double idxBatchSerial = indexBatchRate(nullptr);
-    const double idxBatchJobs8 = indexBatchRate(&pool8);
-
-    // serve family: daemon saturation (aggregate requests/sec at 1,
-    // 2, 4, 8 concurrent connections against a 4-worker daemon), the
-    // in-process one-shot rate for contrast, and cold-vs-warm daemon
-    // start (index rebuild vs snapshot reopen).
-    const double serveWarmLoad = serveSnapshotLoadRate();
-    const double serveLocal = serveLocalRate();
-    double serveConns[4] = {0, 0, 0, 0};
-    {
-        ServeHarness harness;
-        const size_t counts[4] = {1, 2, 4, 8};
-        for (size_t i = 0; i < 4; ++i)
-            serveConns[i] = serveDaemonRate(*harness.server,
-                                            counts[i]);
+    if (on("analyzers")) {
+        const Summary mix =
+            familyRate(src, [] { return InstMixAnalyzer(); });
+        const Summary ilp = familyRate(src, [] { return IlpAnalyzer(); });
+        const Summary rt =
+            familyRate(src, [] { return RegTrafficAnalyzer(); });
+        const Summary ws =
+            familyRate(src, [] { return WorkingSetAnalyzer(); });
+        const Summary st =
+            familyRate(src, [] { return StrideAnalyzer(); });
+        const Summary ppm =
+            familyRate(src, [] { return PpmBranchAnalyzer(8); });
+        std::ostringstream os;
+        os.precision(17);
+        os << "{\n      \"units\": \"records_per_sec\",\n"
+           << "      \"inst_mix\": ";
+        emitSummary(os, mix);
+        os << ",\n      \"ilp\": ";
+        emitSummary(os, ilp);
+        os << ",\n      \"reg_traffic\": ";
+        emitSummary(os, rt);
+        os << ",\n      \"working_set\": ";
+        emitSummary(os, ws);
+        os << ",\n      \"strides\": ";
+        emitSummary(os, st);
+        os << ",\n      \"ppm\": ";
+        emitSummary(os, ppm);
+        os << "\n    }";
+        fams.emplace_back("analyzers", os.str());
     }
 
-    // obs family: telemetry primitives, plus the full-profile rate
-    // with the tracer armed (idle = compiled in but no sinks, which is
-    // exactly the fullBatched number above).
-    const double obsCounterNs = counterAddNs();
-    const double obsSpanNs = spanRecordNs();
-    obs::setTraceEnabled(true);
-    const double fullTraced =
-        collectRate(src, AnalysisEngine::kDefaultBatchSize, false);
-    obs::setTraceEnabled(false);
+    if (on("engine")) {
+        const Summary fullSeed = seedBaselineRate(src, false);
+        const Summary fullPerRecord = collectRate(src, 0, false);
+        const Summary fullB = fullBatched();
+        const Summary keySeed = seedBaselineRate(src, true);
+        const Summary keyPerRecord = collectRate(src, 0, true);
+        const Summary keyBatched = collectRate(
+            src, AnalysisEngine::kDefaultBatchSize, true);
+        std::ostringstream os;
+        os.precision(17);
+        os << "{\n      \"units\": \"records_per_sec\",\n"
+           << "      \"full_profile\": {\n"
+           << "        \"seed_baseline\": ";
+        emitSummary(os, fullSeed);
+        os << ",\n        \"per_record\": ";
+        emitSummary(os, fullPerRecord);
+        os << ",\n        \"batched\": ";
+        emitSummary(os, fullB);
+        os << ",\n        \"speedup_vs_seed\": " << ratio(fullB, fullSeed)
+           << "\n      },\n      \"key_subset\": {\n"
+           << "        \"seed_baseline\": ";
+        emitSummary(os, keySeed);
+        os << ",\n        \"per_record\": ";
+        emitSummary(os, keyPerRecord);
+        os << ",\n        \"batched\": ";
+        emitSummary(os, keyBatched);
+        os << ",\n        \"speedup_vs_seed\": "
+           << ratio(keyBatched, keySeed) << "\n      }\n    }";
+        fams.emplace_back("engine", os.str());
+    }
+
+    if (on("methodology")) {
+        // GA fitness stage (masks/sec, frozen seed vs current engine
+        // vs 8-job fan-out), whole-GA generations/sec, and clustering
+        // K-sweeps/sec. The 8-job numbers only beat serial on
+        // multi-core machines; the host block records the CPU count.
+        const FitnessEval methodologyEval(methodologySpace());
+        const Summary fitSeed = seedFitnessRate();
+        const Summary fitSerial =
+            engineFitnessRate(methodologyEval, nullptr);
+        const Summary fitJobs8 =
+            engineFitnessRate(methodologyEval, pool());
+        const Summary gaSerial = gaGenerationsRate(nullptr);
+        const Summary gaJobs8 = gaGenerationsRate(pool());
+        const Summary sweepSerial = clusterSweepRate(nullptr);
+        const Summary sweepJobs8 = clusterSweepRate(pool());
+        std::ostringstream os;
+        os.precision(17);
+        os << "{\n      \"workers\": 8,\n"
+           << "      \"ga_fitness_masks_per_sec\": {\n"
+           << "        \"seed_baseline\": ";
+        emitSummary(os, fitSeed);
+        os << ",\n        \"serial\": ";
+        emitSummary(os, fitSerial);
+        os << ",\n        \"jobs8\": ";
+        emitSummary(os, fitJobs8);
+        os << ",\n        \"speedup_vs_seed\": " << ratio(fitJobs8, fitSeed)
+           << ",\n        \"serial_speedup_vs_seed\": "
+           << ratio(fitSerial, fitSeed) << "\n      },\n"
+           << "      \"ga_generations_per_sec\": {\n"
+           << "        \"serial\": ";
+        emitSummary(os, gaSerial);
+        os << ",\n        \"jobs8\": ";
+        emitSummary(os, gaJobs8);
+        os << ",\n        \"speedup\": " << ratio(gaJobs8, gaSerial)
+           << "\n      },\n"
+           << "      \"clustering_sweeps_per_sec\": {\n"
+           << "        \"serial\": ";
+        emitSummary(os, sweepSerial);
+        os << ",\n        \"jobs8\": ";
+        emitSummary(os, sweepJobs8);
+        os << ",\n        \"speedup\": " << ratio(sweepJobs8, sweepSerial)
+           << "\n      }\n    }";
+        fams.emplace_back("methodology", os.str());
+    }
+
+    if (on("trace_replay")) {
+        const TraceReplayRates trr = traceReplayRates();
+        std::ostringstream os;
+        os.precision(17);
+        os << "{\n      \"records\": " << trr.records << ",\n"
+           << "      \"full_profile_records_per_sec\": {\n"
+           << "        \"interpreter\": ";
+        emitSummary(os, trr.interp);
+        os << ",\n        \"recording\": ";
+        emitSummary(os, trr.record);
+        os << ",\n        \"stream_replay\": ";
+        emitSummary(os, trr.stream);
+        os << ",\n        \"mmap_replay\": ";
+        emitSummary(os, trr.mmap);
+        os << ",\n        \"mmap_speedup_vs_interp\": "
+           << ratio(trr.mmap, trr.interp) << "\n      }\n    }";
+        fams.emplace_back("trace_replay", os.str());
+    }
+
+    if (on("index")) {
+        const Summary idxBuild = indexBuildRate();
+        const Summary idxTree = indexKnnRate(false);
+        const Summary idxBrute = indexKnnRate(true);
+        const Summary idxBatchSerial = indexBatchRate(nullptr);
+        const Summary idxBatchJobs8 = indexBatchRate(pool());
+        std::ostringstream os;
+        os.precision(17);
+        os << "{\n      \"points\": " << kIndexPoints << ",\n"
+           << "      \"dim\": " << kIndexDim << ",\n"
+           << "      \"k\": " << kIndexK << ",\n"
+           << "      \"builds_per_sec\": ";
+        emitSummary(os, idxBuild);
+        os << ",\n      \"knn_queries_per_sec\": {\n"
+           << "        \"vp_tree\": ";
+        emitSummary(os, idxTree);
+        os << ",\n        \"brute\": ";
+        emitSummary(os, idxBrute);
+        os << ",\n        \"speedup_vs_brute\": "
+           << ratio(idxTree, idxBrute) << "\n      },\n"
+           << "      \"batch_knn_queries_per_sec\": {\n"
+           << "        \"serial\": ";
+        emitSummary(os, idxBatchSerial);
+        os << ",\n        \"jobs8\": ";
+        emitSummary(os, idxBatchJobs8);
+        os << ",\n        \"speedup\": "
+           << ratio(idxBatchJobs8, idxBatchSerial) << "\n      }\n    }";
+        fams.emplace_back("index", os.str());
+    }
+
+    if (on("serve")) {
+        // Daemon saturation (aggregate requests/sec at 1, 2, 4, 8
+        // concurrent connections against a 4-worker daemon), the
+        // in-process one-shot rate for contrast, warm daemon start
+        // (snapshot reopen), and the per-request round-trip latency
+        // tail on one connection.
+        const Summary serveWarmLoad = serveSnapshotLoadRate();
+        const Summary serveLocal = serveLocalRate();
+        Summary serveConns[4];
+        LatencySummary lat;
+        {
+            ServeHarness harness;
+            const size_t counts[4] = {1, 2, 4, 8};
+            for (size_t i = 0; i < 4; ++i)
+                serveConns[i] =
+                    serveDaemonRate(*harness.server, counts[i]);
+            lat = serveKnnLatencyUs(*harness.server);
+        }
+        std::ostringstream os;
+        os.precision(17);
+        os << "{\n      \"workers\": 4,\n"
+           << "      \"snapshot_warm_loads_per_sec\": ";
+        emitSummary(os, serveWarmLoad);
+        os << ",\n      \"local_requests_per_sec\": ";
+        emitSummary(os, serveLocal);
+        os << ",\n      \"daemon_requests_per_sec\": {\n"
+           << "        \"conns1\": ";
+        emitSummary(os, serveConns[0]);
+        os << ",\n        \"conns2\": ";
+        emitSummary(os, serveConns[1]);
+        os << ",\n        \"conns4\": ";
+        emitSummary(os, serveConns[2]);
+        os << ",\n        \"conns8\": ";
+        emitSummary(os, serveConns[3]);
+        os << ",\n        \"saturation_speedup\": "
+           << ratio(serveConns[3], serveConns[0]) << "\n      },\n"
+           << "      \"knn_round_trip_us\": ";
+        emitLatencySummary(os, lat);
+        os << "\n    }";
+        fams.emplace_back("serve", os.str());
+    }
+
+    if (on("obs")) {
+        // Telemetry primitives plus the full-profile rate with the
+        // tracer armed (idle = compiled in but no sinks attached).
+        const Summary obsCounter = counterAddNs();
+        const Summary obsSpan = spanRecordNs();
+        const Summary idle = fullBatched();
+        obs::setTraceEnabled(true);
+        const Summary fullTraced = collectRate(
+            src, AnalysisEngine::kDefaultBatchSize, false);
+        obs::setTraceEnabled(false);
+        std::ostringstream os;
+        os.precision(17);
+        os << "{\n      \"compiled\": " << (MICA_OBS ? "true" : "false")
+           << ",\n      \"counter_add_ns\": ";
+        emitSummary(os, obsCounter);
+        os << ",\n      \"span_record_ns\": ";
+        emitSummary(os, obsSpan);
+        os << ",\n      \"full_profile_records_per_sec\": {\n"
+           << "        \"idle\": ";
+        emitSummary(os, idle);
+        os << ",\n        \"traced\": ";
+        emitSummary(os, fullTraced);
+        os << ",\n        \"traced_over_idle\": "
+           << ratio(fullTraced, idle);
+        if (obsRef > 0.0) {
+            os << ",\n        \"obs_off_reference\": " << obsRef
+               << ",\n        \"idle_over_obs_off\": "
+               << (idle.p50 / obsRef);
+        }
+        os << "\n      }\n    }";
+        fams.emplace_back("obs", os.str());
+    }
 
     // Wall-clock stamp (UTC) so trend dashboards can order documents
     // without trusting file mtimes.
@@ -1139,119 +1495,22 @@ writeJsonProfile(const std::string &path, double obsRef)
     }
     out.precision(17);
     out << "{\n"
-        << "  \"schema\": \"mica-perf-profile/1\",\n"
-        << "  \"generated_at\": \"" << generatedAt << "\",\n"
-        << "  \"hardware_concurrency\": "
-        << std::thread::hardware_concurrency() << ",\n"
-        << "  \"records\": " << records << ",\n"
-        << "  \"per_family_records_per_sec\": {\n"
-        << "    \"inst_mix\": " << mix << ",\n"
-        << "    \"ilp\": " << ilp << ",\n"
-        << "    \"reg_traffic\": " << rt << ",\n"
-        << "    \"working_set\": " << ws << ",\n"
-        << "    \"strides\": " << st << ",\n"
-        << "    \"ppm\": " << ppm << "\n"
-        << "  },\n"
-        << "  \"full_profile_records_per_sec\": {\n"
-        << "    \"seed_baseline\": " << fullSeed << ",\n"
-        << "    \"per_record\": " << fullPerRecord << ",\n"
-        << "    \"batched\": " << fullBatched << ",\n"
-        << "    \"speedup_vs_seed\": " << fullBatched / fullSeed << "\n"
-        << "  },\n"
-        << "  \"key_subset_records_per_sec\": {\n"
-        << "    \"seed_baseline\": " << keySeed << ",\n"
-        << "    \"per_record\": " << keyPerRecord << ",\n"
-        << "    \"batched\": " << keyBatched << ",\n"
-        << "    \"speedup_vs_seed\": " << keyBatched / keySeed << "\n"
-        << "  },\n"
-        << "  \"methodology\": {\n"
-        << "    \"workers\": 8,\n"
+        << "  \"schema\": \"mica-perf-profile/2\",\n"
+        << "  \"host\": {\n"
+        << "    \"generated_at\": \"" << generatedAt << "\",\n"
         << "    \"hardware_concurrency\": "
-        << std::thread::hardware_concurrency() << ",\n"
-        << "    \"ga_fitness_masks_per_sec\": {\n"
-        << "      \"seed_baseline\": " << fitSeed << ",\n"
-        << "      \"serial\": " << fitSerial << ",\n"
-        << "      \"jobs8\": " << fitJobs8 << ",\n"
-        << "      \"speedup_vs_seed\": " << fitJobs8 / fitSeed << ",\n"
-        << "      \"serial_speedup_vs_seed\": " << fitSerial / fitSeed
-        << "\n"
-        << "    },\n"
-        << "    \"ga_generations_per_sec\": {\n"
-        << "      \"serial\": " << gaSerial << ",\n"
-        << "      \"jobs8\": " << gaJobs8 << ",\n"
-        << "      \"speedup\": " << gaJobs8 / gaSerial << "\n"
-        << "    },\n"
-        << "    \"clustering_sweeps_per_sec\": {\n"
-        << "      \"serial\": " << sweepSerial << ",\n"
-        << "      \"jobs8\": " << sweepJobs8 << ",\n"
-        << "      \"speedup\": " << sweepJobs8 / sweepSerial << "\n"
-        << "    }\n"
+        << std::thread::hardware_concurrency() << "\n"
         << "  },\n"
-        << "  \"trace_replay\": {\n"
-        << "    \"records\": " << trr.records << ",\n"
-        << "    \"full_profile_records_per_sec\": {\n"
-        << "      \"interpreter\": " << trr.interp << ",\n"
-        << "      \"recording\": " << trr.record << ",\n"
-        << "      \"stream_replay\": " << trr.stream << ",\n"
-        << "      \"mmap_replay\": " << trr.mmap << ",\n"
-        << "      \"mmap_speedup_vs_interp\": " << trr.mmap / trr.interp
-        << "\n"
-        << "    }\n"
-        << "  },\n"
-        << "  \"index\": {\n"
-        << "    \"points\": " << kIndexPoints << ",\n"
-        << "    \"dim\": " << kIndexDim << ",\n"
-        << "    \"k\": " << kIndexK << ",\n"
-        << "    \"builds_per_sec\": " << idxBuild << ",\n"
-        << "    \"knn_queries_per_sec\": {\n"
-        << "      \"vp_tree\": " << idxTree << ",\n"
-        << "      \"brute\": " << idxBrute << ",\n"
-        << "      \"speedup_vs_brute\": " << idxTree / idxBrute << "\n"
-        << "    },\n"
-        << "    \"batch_knn_queries_per_sec\": {\n"
-        << "      \"serial\": " << idxBatchSerial << ",\n"
-        << "      \"jobs8\": " << idxBatchJobs8 << ",\n"
-        << "      \"speedup\": " << idxBatchJobs8 / idxBatchSerial
-        << "\n"
-        << "    }\n"
-        << "  },\n"
-        << "  \"serve\": {\n"
-        << "    \"workers\": 4,\n"
-        << "    \"snapshot_cold_builds_per_sec\": " << idxBuild
-        << ",\n"
-        << "    \"snapshot_warm_loads_per_sec\": " << serveWarmLoad
-        << ",\n"
-        << "    \"local_requests_per_sec\": " << serveLocal << ",\n"
-        << "    \"daemon_requests_per_sec\": {\n"
-        << "      \"conns1\": " << serveConns[0] << ",\n"
-        << "      \"conns2\": " << serveConns[1] << ",\n"
-        << "      \"conns4\": " << serveConns[2] << ",\n"
-        << "      \"conns8\": " << serveConns[3] << ",\n"
-        << "      \"saturation_speedup\": "
-        << (serveConns[0] > 0.0 ? serveConns[3] / serveConns[0] : 0.0)
-        << "\n"
-        << "    }\n"
-        << "  },\n"
-        << "  \"obs\": {\n"
-        << "    \"compiled\": " << (MICA_OBS ? "true" : "false") << ",\n"
-        << "    \"counter_add_ns\": " << obsCounterNs << ",\n"
-        << "    \"span_record_ns\": " << obsSpanNs << ",\n"
-        << "    \"full_profile_records_per_sec\": {\n"
-        << "      \"idle\": " << fullBatched << ",\n"
-        << "      \"traced\": " << fullTraced << ",\n"
-        << "      \"traced_over_idle\": " << fullTraced / fullBatched;
-    if (obsRef > 0.0) {
-        out << ",\n"
-            << "      \"obs_off_reference\": " << obsRef << ",\n"
-            << "      \"idle_over_obs_off\": " << fullBatched / obsRef;
-    }
-    out << "\n"
-        << "    }\n"
-        << "  }\n"
-        << "}\n";
-    std::cout << "perf profile written to " << path
-              << " (full-profile speedup vs seed "
-              << fullBatched / fullSeed << "x)\n";
+        << "  \"records\": " << records << ",\n"
+        << "  \"reps\": " << g_reps << ",\n"
+        << "  \"families\": {";
+    for (size_t i = 0; i < fams.size(); ++i)
+        out << (i == 0 ? "\n    \"" : ",\n    \"") << fams[i].first
+            << "\": " << fams[i].second;
+    out << "\n  }\n}\n";
+    std::cout << "perf profile written to " << path << " ("
+              << fams.size() << "/" << allFamilies().size()
+              << " families, reps=" << g_reps << ")\n";
     return 0;
 }
 
@@ -1260,11 +1519,12 @@ writeJsonProfile(const std::string &path, double obsRef)
 int
 main(int argc, char **argv)
 {
-    // Strip our --json / --obs-ref flags before google-benchmark sees
-    // (and rejects) them; any other arguments pass through untouched.
-    // --obs-ref feeds the MICA_OBS=0 build's full-profile rate into
-    // the obs family so one document holds the compiled-in/out ratio.
+    // Strip our own flags before google-benchmark sees (and rejects)
+    // them; any other arguments pass through untouched. --obs-ref
+    // feeds the MICA_OBS=0 build's full-profile p50 into the obs
+    // family so one document holds the compiled-in/out ratio.
     std::string jsonPath;
+    std::string enablePath;
     double obsRef = 0.0;
     std::vector<char *> args;
     args.reserve(static_cast<size_t>(argc));
@@ -1273,11 +1533,28 @@ main(int argc, char **argv)
             jsonPath = argv[i] + 7;
         else if (std::strncmp(argv[i], "--obs-ref=", 10) == 0)
             obsRef = std::strtod(argv[i] + 10, nullptr);
+        else if (std::strncmp(argv[i], "--enable-file=", 14) == 0)
+            enablePath = argv[i] + 14;
+        else if (std::strncmp(argv[i], "--reps=", 7) == 0)
+            g_reps = static_cast<int>(std::strtol(argv[i] + 7,
+                                                  nullptr, 10));
         else
             args.push_back(argv[i]);
     }
-    if (!jsonPath.empty())
-        return writeJsonProfile(jsonPath, obsRef);
+    if (g_reps < 2 || g_reps > 100) {
+        std::cerr << "perf_analyzers: --reps must be in [2, 100]\n";
+        return 2;
+    }
+    if (!jsonPath.empty()) {
+        std::set<std::string> enabled(allFamilies().begin(),
+                                      allFamilies().end());
+        if (!enablePath.empty()) {
+            enabled.clear();
+            if (!loadEnableFile(enablePath, &enabled))
+                return 2;
+        }
+        return writeJsonProfile(jsonPath, obsRef, enabled);
+    }
 
     int rest = static_cast<int>(args.size());
     benchmark::Initialize(&rest, args.data());

@@ -1,5 +1,7 @@
 #include "obs/obs.hh"
 
+#include "util/quantile.hh"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -27,6 +29,33 @@ writeFile(const std::string &path, const std::string &body)
 }
 
 } // namespace
+
+double
+histQuantile(const HistogramValue &h, double q)
+{
+    if (h.count <= 0)
+        return 0.0;
+    const auto rank = static_cast<int64_t>(
+        util::quantileRank(q, static_cast<uint64_t>(h.count)));
+    int64_t cum = 0;
+    size_t lastNonEmpty = 0;
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+        if (h.buckets[b] == 0)
+            continue;
+        lastNonEmpty = b;
+        if (cum + h.buckets[b] > rank) {
+            // The target is the (rank - cum)-th of this bucket's
+            // items; spread them uniformly across the bucket's span.
+            const auto lo = static_cast<double>(histBucketLo(b));
+            const auto hi = static_cast<double>(histBucketHi(b));
+            const double pos = static_cast<double>(rank - cum) + 0.5;
+            return lo +
+                   (hi - lo) * pos / static_cast<double>(h.buckets[b]);
+        }
+        cum += h.buckets[b];
+    }
+    return static_cast<double>(histBucketHi(lastNonEmpty));
+}
 
 #if MICA_OBS
 
@@ -291,6 +320,14 @@ appendHistogramJson(std::string &out, const HistogramValue &h)
                       static_cast<long long>(h.buckets[b]));
         out += buf;
         first = false;
+    }
+    out += "}, \"quantiles\": {";
+    const char *qn[] = {"p50", "p90", "p99"};
+    const double qs[] = {0.50, 0.90, 0.99};
+    for (int i = 0; i < 3; ++i) {
+        std::snprintf(buf, sizeof(buf), "%s\"%s\": %.6g",
+                      i == 0 ? "" : ", ", qn[i], histQuantile(h, qs[i]));
+        out += buf;
     }
     out += "}}";
 }

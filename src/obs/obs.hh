@@ -86,6 +86,16 @@ struct HistogramValue
     std::array<int64_t, kHistBuckets> buckets{};
 };
 
+/**
+ * Estimate the value at quantile @p q in [0, 1] from the log2
+ * buckets: walk to the bucket holding the nearest-rank target and
+ * interpolate linearly across its [histBucketLo, histBucketHi] span.
+ * Exact for the single-valued buckets (0 and 1); otherwise off by at
+ * most one bucket width. Available in both MICA_OBS legs — a stub
+ * build just never sees a non-empty histogram. @return 0.0 when empty.
+ */
+double histQuantile(const HistogramValue &h, double q);
+
 enum class MetricKind
 {
     Counter,

@@ -382,6 +382,61 @@ executeRequest(const ServerSnapshot &snap, const Request &req,
                                   static_cast<uint64_t>(snap.pca)));
             result.set("population_max_dist",
                        JsonValue::number(snap.maxPairDist));
+            // Server-only introspection: live request counters and
+            // latency quantiles folded from the telemetry registry.
+            // Gated on serverMode so a local `mica query` answer stays
+            // byte-identical to... itself — the local path has no
+            // daemon to describe (and CI diffs the other ops).
+            if (serverMode) {
+                const obs::MetricsSnapshot ms = obs::snapshotMetrics();
+                const auto count = [&](const char *name) -> int64_t {
+                    const auto it = ms.metrics.find(name);
+                    return it == ms.metrics.end() ? 0 : it->second.value;
+                };
+                result.set("uptime_s",
+                           JsonValue::number(
+                               static_cast<double>(obs::nowNs()) / 1e9));
+                JsonValue reqs = JsonValue::object();
+                reqs.set("total",
+                         JsonValue::number(count("serve.request.count")));
+                reqs.set("errors",
+                         JsonValue::number(count("serve.request.error")));
+                JsonValue byOp = JsonValue::object();
+                for (const char *op :
+                     {"ping", "stats", "profile", "knn", "radius",
+                      "redundant", "suites", "reindex"})
+                    byOp.set(op,
+                             JsonValue::number(count(
+                                 ("serve.request.op." + std::string(op))
+                                     .c_str())));
+                reqs.set("by_op", std::move(byOp));
+                obs::HistogramValue hist;
+                const auto it = ms.metrics.find("serve.request.us");
+                if (it != ms.metrics.end() &&
+                    it->second.kind == obs::MetricKind::Histogram)
+                    hist = it->second.hist;
+                JsonValue lat = JsonValue::object();
+                lat.set("count", JsonValue::number(hist.count));
+                lat.set("p50",
+                        JsonValue::number(obs::histQuantile(hist, 0.50)));
+                lat.set("p90",
+                        JsonValue::number(obs::histQuantile(hist, 0.90)));
+                lat.set("p99",
+                        JsonValue::number(obs::histQuantile(hist, 0.99)));
+                reqs.set("latency_us", std::move(lat));
+                result.set("requests", std::move(reqs));
+                JsonValue conns = JsonValue::object();
+                conns.set("open",
+                          JsonValue::number(count("serve.conn.open")));
+                conns.set("accepted",
+                          JsonValue::number(count("serve.conn.accepted")));
+                conns.set("rejected",
+                          JsonValue::number(count("serve.conn.rejected")));
+                conns.set(
+                    "quarantined",
+                    JsonValue::number(count("serve.conn.quarantined")));
+                result.set("connections", std::move(conns));
+            }
             return makeResponse(req, std::move(result));
         case Op::Profile:
             result = execProfile(snap, req, &code, &message);

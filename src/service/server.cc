@@ -128,6 +128,39 @@ failDecisionFails(const util::FailDecision &d)
     return true;
 }
 
+/** @return the per-op request counter for @p op (static registry). */
+obs::Counter &
+opCounter(Op op)
+{
+    static obs::Counter ping("serve.request.op.ping");
+    static obs::Counter stats("serve.request.op.stats");
+    static obs::Counter profile("serve.request.op.profile");
+    static obs::Counter knn("serve.request.op.knn");
+    static obs::Counter radius("serve.request.op.radius");
+    static obs::Counter redundant("serve.request.op.redundant");
+    static obs::Counter suites("serve.request.op.suites");
+    static obs::Counter reindex("serve.request.op.reindex");
+    switch (op) {
+    case Op::Ping:
+        return ping;
+    case Op::Stats:
+        return stats;
+    case Op::Profile:
+        return profile;
+    case Op::Knn:
+        return knn;
+    case Op::Radius:
+        return radius;
+    case Op::Redundant:
+        return redundant;
+    case Op::Suites:
+        return suites;
+    case Op::Reindex:
+        break;
+    }
+    return reindex;
+}
+
 /** One accepted client. Sockets are touched only by the event loop;
  *  workers append to `out` under `mu` and wake the loop. */
 struct Connection
@@ -466,9 +499,11 @@ Server::Impl::submitRequest(Connection &c, std::string line)
                 reply = serializeResponse(makeError(req, code, message));
             } else if (req.op == Op::Reindex) {
                 span.arg("op", opName(req.op));
+                opCounter(req.op).add(1);
                 reply = handleReindex(line);
             } else {
                 span.arg("op", opName(req.op));
+                opCounter(req.op).add(1);
                 const auto snap = holder.get();
                 reply = serializeResponse(
                     executeRequest(*snap, req, /*serverMode=*/true));
@@ -566,6 +601,9 @@ Server::Impl::run()
     using Clock = std::chrono::steady_clock;
     bool draining = false;
     Clock::time_point drainStart{};
+    const bool periodicMetrics =
+        !opt.metricsPath.empty() && opt.metricsIntervalMs > 0;
+    Clock::time_point lastFlush = Clock::now();
 
     for (;;) {
         if (stopping.load() && !draining) {
@@ -623,7 +661,23 @@ Server::Impl::run()
             who.push_back(c.get());
         }
 
-        const int timeoutMs = draining ? 20 : 1000;
+        int timeoutMs = draining ? 20 : 1000;
+        if (periodicMetrics && !draining) {
+            const auto sinceFlush =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Clock::now() - lastFlush)
+                    .count();
+            const int64_t untilFlush =
+                static_cast<int64_t>(opt.metricsIntervalMs) - sinceFlush;
+            if (untilFlush <= 0) {
+                // Best-effort: a transiently unwritable sink skips one
+                // interval rather than killing the daemon.
+                obs::writeMetricsJson(opt.metricsPath);
+                lastFlush = Clock::now();
+            } else if (untilFlush < timeoutMs) {
+                timeoutMs = static_cast<int>(untilFlush);
+            }
+        }
         const int rc = ::poll(fds.data(), fds.size(), timeoutMs);
         if (rc < 0 && errno != EINTR) {
             closeAllConnections();

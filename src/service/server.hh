@@ -99,6 +99,16 @@ struct ServerOptions
 
     /** Drain budget for graceful shutdown, milliseconds. */
     uint64_t drainDeadlineMs = 5000;
+
+    /**
+     * Live-introspection sink: while serving, rewrite this file
+     * (atomically) with obs::metricsJson() every metricsIntervalMs.
+     * Empty path or zero interval disables the periodic flush; the
+     * CLI's --metrics epilogue still writes the final state either
+     * way.
+     */
+    std::string metricsPath;
+    uint64_t metricsIntervalMs = 0;
 };
 
 class Server

@@ -382,6 +382,83 @@ TEST(ObsSummary, NamesTopCountersAndSpans)
 
 #endif   // MICA_OBS
 
+// histQuantile works on the unconditional HistogramValue type, so
+// these run in both MICA_OBS legs.
+
+TEST(ObsHistQuantile, EmptyIsZero)
+{
+    EXPECT_EQ(histQuantile(HistogramValue{}, 0.5), 0.0);
+}
+
+TEST(ObsHistQuantile, SingleValuedBucketsAreExact)
+{
+    // Buckets 0 and 1 span exactly one value each, so interpolation
+    // cannot smear them: an all-zeros histogram answers 0, an all-ones
+    // histogram answers 1, at every quantile.
+    HistogramValue zeros;
+    zeros.count = 7;
+    zeros.buckets[0] = 7;
+    HistogramValue ones;
+    ones.count = 7;
+    ones.buckets[1] = 7;
+    for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+        EXPECT_EQ(histQuantile(zeros, q), 0.0) << "q=" << q;
+        EXPECT_EQ(histQuantile(ones, q), 1.0) << "q=" << q;
+    }
+}
+
+TEST(ObsHistQuantile, StaysInsideTheTargetBucket)
+{
+    // 10 samples in bucket 4 ([8, 15]): every quantile must land
+    // inside that bucket's span, interpolated monotonically across it.
+    HistogramValue h;
+    h.count = 10;
+    h.buckets[4] = 10;
+    double prev = -1.0;
+    for (const double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+        const double v = histQuantile(h, q);
+        EXPECT_GE(v, static_cast<double>(histBucketLo(4)));
+        EXPECT_LE(v, static_cast<double>(histBucketHi(4)));
+        EXPECT_GE(v, prev) << "q=" << q;
+        prev = v;
+    }
+}
+
+TEST(ObsHistQuantile, SplitsAtTheBucketBoundary)
+{
+    // 50 samples in [4,7] and 50 in [8,15]: the lower half's
+    // quantiles stay in the low bucket, the upper half's in the high
+    // one. p50 hits rank 49 (nearest-rank) — still the low bucket.
+    HistogramValue h;
+    h.count = 100;
+    h.buckets[3] = 50;
+    h.buckets[4] = 50;
+    EXPECT_GE(histQuantile(h, 0.25), 4.0);
+    EXPECT_LE(histQuantile(h, 0.25), 7.0);
+    EXPECT_GE(histQuantile(h, 0.50), 4.0);
+    EXPECT_LE(histQuantile(h, 0.50), 7.0);
+    EXPECT_GE(histQuantile(h, 0.51), 8.0);
+    EXPECT_LE(histQuantile(h, 0.51), 15.0);
+    EXPECT_GE(histQuantile(h, 0.99), 8.0);
+    EXPECT_LE(histQuantile(h, 0.99), 15.0);
+}
+
+TEST(ObsHistQuantile, SparseBucketsSkipGaps)
+{
+    // Mass in buckets 2 and 10 only: mid quantiles never invent
+    // values in the empty gap between them.
+    HistogramValue h;
+    h.count = 4;
+    h.buckets[2] = 2;
+    h.buckets[10] = 2;
+    const double lo = histQuantile(h, 0.25);
+    EXPECT_GE(lo, 2.0);
+    EXPECT_LE(lo, 3.0);
+    const double hi = histQuantile(h, 0.9);
+    EXPECT_GE(hi, static_cast<double>(histBucketLo(10)));
+    EXPECT_LE(hi, static_cast<double>(histBucketHi(10)));
+}
+
 // The no-op surface must stay compilable and inert in both modes —
 // this is the whole contract that lets instrumented code build under
 // MICA_OBS=0 without a single #ifdef at the use sites.

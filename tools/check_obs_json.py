@@ -11,7 +11,15 @@ Usage:
   check_obs_json.py trace FILE --expect-prefixes=pipeline.,engine.
   check_obs_json.py metrics FILE [--hits=N] [--computed=N] [--total=N]
                     [--counter NAME=N]... [--counter-min NAME=N]...
-                    [--gauge NAME=N]...
+                    [--gauge NAME=N]... [--quantile NAME]...
+  check_obs_json.py stats FILE
+
+`--quantile NAME` asserts histogram NAME carries a well-formed
+quantiles object: p50/p90/p99 present, ordered, and non-negative,
+with a positive sample count. The `stats` mode validates one daemon
+stats reply (the line `mica query '{"op":"stats"}' --connect=...`
+prints): the server-only introspection block must be present with
+consistent per-op counters and ordered latency quantiles.
 
 `--total` asserts hits + computed == N without pinning the split;
 `--hits`/`--computed` pin the individual counters (warm-cache runs).
@@ -120,14 +128,77 @@ def check_metrics(path, args):
         if got != want:
             fail(f"{path}: gauge {name} is {got}, expected {want}")
         checked.append(f"{name}={got}")
+    for name in args.quantile:
+        hist = doc.get("histograms", {}).get(name)
+        if hist is None:
+            fail(f"{path}: histogram {name} missing")
+        if not hist.get("count", 0) > 0:
+            fail(f"{path}: histogram {name} is empty")
+        quant = hist.get("quantiles")
+        if not isinstance(quant, dict):
+            fail(f"{path}: histogram {name} lacks a quantiles object")
+        check_quantiles(quant, f"{path}: histogram {name}")
+        checked.append(f"{name}.p50={quant['p50']}")
     extra = f" {' '.join(checked)}" if checked else ""
     print(f"check_obs_json: OK: {path}: hit={hits} "
           f"computed={computed}{extra}")
 
 
+def check_quantiles(quant, where):
+    for key in ("p50", "p90", "p99"):
+        if not isinstance(quant.get(key), (int, float)):
+            fail(f"{where}: quantiles lack numeric {key!r}: {quant}")
+    if not 0 <= quant["p50"] <= quant["p90"] <= quant["p99"]:
+        fail(f"{where}: quantiles out of order: {quant}")
+
+
+def check_stats(path):
+    doc = load(path)
+    if doc.get("ok") is not True or doc.get("op") != "stats":
+        fail(f"{path}: not a successful stats reply: "
+             f"ok={doc.get('ok')!r} op={doc.get('op')!r}")
+    result = doc.get("result", {})
+    for key in ("generation", "benchmarks", "indexed", "uptime_s",
+                "requests", "connections"):
+        if key not in result:
+            fail(f"{path}: stats result lacks {key!r}")
+    if not result["uptime_s"] > 0:
+        fail(f"{path}: uptime_s is {result['uptime_s']}")
+    reqs = result["requests"]
+    by_op = reqs.get("by_op")
+    ops = {"ping", "stats", "profile", "knn", "radius", "redundant",
+           "suites", "reindex"}
+    if not isinstance(by_op, dict) or set(by_op) != ops:
+        fail(f"{path}: by_op keys are {sorted(by_op or {})}, "
+             f"expected {sorted(ops)}")
+    # The total counts every received line (unparseable ones too), so
+    # it can only exceed the per-op sum, never trail it.
+    if reqs.get("total", 0) < sum(by_op.values()):
+        fail(f"{path}: total {reqs.get('total')} < per-op sum "
+             f"{sum(by_op.values())}")
+    # This reply answers its own stats request, so at least one
+    # request was seen and timed.
+    if by_op["stats"] < 1:
+        fail(f"{path}: by_op.stats is {by_op['stats']}")
+    lat = reqs.get("latency_us", {})
+    if not lat.get("count", 0) > 0:
+        fail(f"{path}: latency_us.count is {lat.get('count')}")
+    check_quantiles(lat, f"{path}: latency_us")
+    conns = result["connections"]
+    for key in ("open", "accepted", "rejected", "quarantined"):
+        if key not in conns:
+            fail(f"{path}: connections lack {key!r}")
+    # The querying client itself holds a connection open right now.
+    if conns["accepted"] < 1 or conns["open"] < 1:
+        fail(f"{path}: connections implausible: {conns}")
+    print(f"check_obs_json: OK: {path}: total={reqs.get('total')} "
+          f"latency p50={lat['p50']:.1f}us p99={lat['p99']:.1f}us "
+          f"uptime={result['uptime_s']:.1f}s")
+
+
 def main():
     p = argparse.ArgumentParser()
-    p.add_argument("kind", choices=["trace", "metrics"])
+    p.add_argument("kind", choices=["trace", "metrics", "stats"])
     p.add_argument("file")
     p.add_argument("--expect-prefixes", default="")
     p.add_argument("--hits", type=int)
@@ -139,11 +210,15 @@ def main():
                    metavar="NAME=N")
     p.add_argument("--gauge", action="append", default=[],
                    metavar="NAME=N")
+    p.add_argument("--quantile", action="append", default=[],
+                   metavar="NAME")
     args = p.parse_args()
 
     if args.kind == "trace":
         prefixes = [s for s in args.expect_prefixes.split(",") if s]
         check_trace(args.file, prefixes)
+    elif args.kind == "stats":
+        check_stats(args.file)
     else:
         check_metrics(args.file, args)
 

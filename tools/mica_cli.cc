@@ -86,6 +86,7 @@
 #include "pipeline/thread_pool.hh"
 #include "report/table.hh"
 #include "service/client.hh"
+#include "service/json.hh"
 #include "service/query_engine.hh"
 #include "service/server.hh"
 #include "stats/descriptive.hh"
@@ -95,6 +96,7 @@
 #include "util/arg_parse.hh"
 #include "util/checked_io.hh"
 #include "util/failpoint.hh"
+#include "util/quantile.hh"
 #include "workloads/registry.hh"
 
 using namespace mica;
@@ -750,9 +752,24 @@ serveSignalHandler(int)
 int
 cmdServe(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
 {
-    for (const char *flag : {"pca", "max-conns", "drain-ms"}) {
+    for (const char *flag :
+         {"pca", "max-conns", "drain-ms", "metrics-interval"}) {
         if (rejectBadInt(args, "serve", flag))
             return 2;
+    }
+    const int64_t metricsInterval = args.intValue("metrics-interval", 0);
+    if (args.has("metrics-interval")) {
+        if (metricsInterval <= 0) {
+            std::fprintf(stderr, "mica serve: --metrics-interval must "
+                                 "be a positive number of seconds\n");
+            return 2;
+        }
+        if (args.value("metrics").empty()) {
+            std::fprintf(stderr,
+                         "mica serve: --metrics-interval needs "
+                         "--metrics=FILE for the sink path\n");
+            return 2;
+        }
     }
     service::SpaceChoice sc = spaceChoiceFromArgs(args);
     experiments::DatasetConfig icfg = cfg;
@@ -776,6 +793,11 @@ cmdServe(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
         static_cast<size_t>(args.intValue("max-conns", 256));
     opt.drainDeadlineMs =
         static_cast<uint64_t>(args.intValue("drain-ms", 5000));
+    if (metricsInterval > 0) {
+        opt.metricsPath = args.value("metrics");
+        opt.metricsIntervalMs =
+            static_cast<uint64_t>(metricsInterval) * 1000;
+    }
 
     service::Server server(opt, snap, icfg, sc,
                            [](const experiments::DatasetConfig &c) {
@@ -902,9 +924,19 @@ cmdServeBench(const util::CliArgs &args,
         "{\"op\":\"suites\"}",
         "{\"op\":\"redundant\",\"top\":5}",
     };
-    if (!bench.empty())
+    std::vector<std::string> opNames = {"ping", "stats", "suites",
+                                        "redundant"};
+    if (!bench.empty()) {
         mix.push_back("{\"op\":\"knn\",\"bench\":\"" + bench +
                       "\",\"k\":5}");
+        opNames.push_back("knn");
+    }
+
+    // Per-op round-trip sketches: each worker records into private
+    // sketches (no contention on the timed path) and merges them into
+    // the shared set once, after its connection is done.
+    std::vector<util::QuantileSketch> rtt(mix.size());
+    std::mutex rttMu;
 
     std::atomic<uint64_t> okCount{0}, failCount{0};
     const auto t0 = std::chrono::steady_clock::now();
@@ -918,15 +950,29 @@ cmdServeBench(const util::CliArgs &args,
                 failCount.fetch_add(requests);
                 return;
             }
+            std::vector<util::QuantileSketch> local(mix.size());
             for (size_t i = 0; i < requests; ++i) {
-                const std::string &line = mix[(c + i) % mix.size()];
+                const size_t slot = (c + i) % mix.size();
+                const std::string &line = mix[slot];
                 std::string reply;
-                if (cli.request(line, &reply, &err) &&
-                    reply.find("\"ok\":true") != std::string::npos)
+                const auto r0 = std::chrono::steady_clock::now();
+                const bool ok = cli.request(line, &reply, &err) &&
+                    reply.find("\"ok\":true") != std::string::npos;
+                const auto rtUs =
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - r0)
+                        .count() /
+                    1000.0;
+                if (ok) {
                     okCount.fetch_add(1);
-                else
+                    local[slot].add(rtUs);
+                } else {
                     failCount.fetch_add(1);
+                }
             }
+            std::lock_guard<std::mutex> lk(rttMu);
+            for (size_t s = 0; s < mix.size(); ++s)
+                rtt[s].merge(local[s]);
         });
     }
     for (auto &w : workers)
@@ -946,6 +992,16 @@ cmdServeBench(const util::CliArgs &args,
                 static_cast<unsigned long long>(failCount.load()));
     std::printf("serve-bench: %.3f s, %.0f req/s\n", secs,
                 secs > 0 ? static_cast<double>(total) / secs : 0.0);
+    for (size_t s = 0; s < mix.size(); ++s) {
+        if (rtt[s].empty())
+            continue;
+        std::printf("serve-bench: rtt %-9s p50=%.1fus p90=%.1fus "
+                    "p99=%.1fus max=%.1fus (n=%llu)\n",
+                    opNames[s].c_str(), rtt[s].quantile(0.50),
+                    rtt[s].quantile(0.90), rtt[s].quantile(0.99),
+                    rtt[s].max(),
+                    static_cast<unsigned long long>(rtt[s].count()));
+    }
     return failCount.load() == 0 ? 0 : 1;
 }
 
@@ -1330,6 +1386,270 @@ cmdObs(const util::CliArgs &args, const experiments::DatasetConfig &)
     return usage();
 }
 
+// ----------------------------------------------------------------------
+// perf verbs: noise-aware regression gating over mica-perf-profile/2
+// documents (written by bench/perf_analyzers --json=...).
+// ----------------------------------------------------------------------
+
+/** One dispersion summary pulled out of a profile document. */
+struct PerfMetric
+{
+    double p50 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    int64_t n = 0;
+};
+
+/** Per-family degradation thresholds (fractions of the base value). */
+struct PerfTolerance
+{
+    double noise;   ///< drops up to this are measurement noise: pass
+    double fail;    ///< drops past this are regressions: exit 1
+};
+
+/**
+ * Loose enough for shared CI runners: "degraded" (exit 3) carries the
+ * warning, and only unambiguous cliffs — an engine falling back to
+ * per-record dispatch, a family erroring out to zero — hard-fail.
+ * Socket-bound and telemetry numbers get the widest band.
+ */
+PerfTolerance
+perfToleranceFor(const std::string &family)
+{
+    if (family == "engine")
+        return {0.10, 0.40};
+    if (family == "serve" || family == "obs")
+        return {0.15, 0.60};
+    if (family == "methodology" || family == "trace_replay" ||
+        family == "index")
+        return {0.12, 0.50};
+    return {0.10, 0.45};   // analyzers and anything unrecognized
+}
+
+/** Metric paths ending in _ns/_us time a cost: smaller is better. */
+bool
+perfLowerIsBetter(const std::string &path)
+{
+    const auto endsWith = [&](const char *suffix) {
+        const size_t n = std::strlen(suffix);
+        return path.size() >= n &&
+               path.compare(path.size() - n, n, suffix) == 0;
+    };
+    return endsWith("_ns") || endsWith("_us");
+}
+
+/**
+ * Flatten every summary object ({p50, ..., n}) under @p node into
+ * dotted paths ("serve.daemon_requests_per_sec.conns8"). Bare numbers
+ * (derived speedup ratios, host facts) are not gated.
+ */
+void
+collectPerfMetrics(const service::JsonValue &node,
+                   const std::string &path,
+                   std::map<std::string, PerfMetric> *out)
+{
+    if (!node.isObject())
+        return;
+    const service::JsonValue *p50 = node.find("p50");
+    const service::JsonValue *n = node.find("n");
+    if (p50 != nullptr && p50->isNumber() && n != nullptr &&
+        n->isNumber()) {
+        PerfMetric m;
+        m.p50 = p50->asDouble();
+        const service::JsonValue *mn = node.find("min");
+        const service::JsonValue *mx = node.find("max");
+        m.min = mn != nullptr && mn->isNumber() ? mn->asDouble() : m.p50;
+        m.max = mx != nullptr && mx->isNumber() ? mx->asDouble() : m.p50;
+        m.n = n->asCount(0);
+        (*out)[path] = m;
+        return;
+    }
+    for (const auto &kv : node.members())
+        collectPerfMetrics(kv.second,
+                           path.empty() ? kv.first
+                                        : path + "." + kv.first,
+                           out);
+}
+
+/** Load a profile, check its schema, flatten families to metrics. */
+bool
+loadPerfProfile(const std::string &path,
+                std::map<std::string, PerfMetric> *out,
+                std::string *err)
+{
+    const std::string text = util::readFileBytes(path, "perf.compare");
+    service::JsonValue doc;
+    if (!service::parseJson(text, &doc, err) || !doc.isObject()) {
+        if (err->empty())
+            *err = "not a JSON object";
+        return false;
+    }
+    const service::JsonValue *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != "mica-perf-profile/2") {
+        *err = "schema is not mica-perf-profile/2 (regenerate with "
+               "perf_analyzers --json=...)";
+        return false;
+    }
+    const service::JsonValue *fams = doc.find("families");
+    if (fams == nullptr || !fams->isObject()) {
+        *err = "missing \"families\" object";
+        return false;
+    }
+    collectPerfMetrics(*fams, "", out);
+    if (out->empty()) {
+        *err = "no {p50, ..., n} summaries under \"families\"";
+        return false;
+    }
+    return true;
+}
+
+int
+cmdPerfCompare(const util::CliArgs &args)
+{
+    if (args.positionals.size() < 4)
+        return usage();
+    const std::string basePath = args.positionals[2];
+    const std::string newPath = args.positionals[3];
+    const bool allowMissing = args.has("allow-missing");
+
+    std::map<std::string, PerfMetric> base, fresh;
+    std::string err;
+    if (!loadPerfProfile(basePath, &base, &err)) {
+        std::fprintf(stderr, "mica perf compare: %s: %s\n",
+                     basePath.c_str(), err.c_str());
+        return 2;
+    }
+    if (!loadPerfProfile(newPath, &fresh, &err)) {
+        std::fprintf(stderr, "mica perf compare: %s: %s\n",
+                     newPath.c_str(), err.c_str());
+        return 2;
+    }
+
+    size_t okCount = 0, degradedCount = 0, regressedCount = 0;
+    std::vector<std::string> missing;
+    std::string worstPath;
+    double worstDrop = 0.0;
+    service::JsonValue findings = service::JsonValue::array();
+
+    std::printf("%-54s %13s %13s %8s  %s\n", "metric", "base", "new",
+                "delta", "status");
+    for (const auto &kv : base) {
+        const std::string &path = kv.first;
+        const PerfMetric &b = kv.second;
+        const auto it = fresh.find(path);
+        if (it == fresh.end()) {
+            missing.push_back(path);
+            continue;
+        }
+        const PerfMetric &f = it->second;
+        const std::string family = path.substr(0, path.find('.'));
+        const bool lower = perfLowerIsBetter(path);
+        // Min-based fallback: with too few repetitions the median is
+        // itself a noisy draw, so low-n metrics compare best observed
+        // values instead (max of a rate, min of a cost).
+        const bool lowN = b.n < 4 || f.n < 4;
+        const double bv = lowN ? (lower ? b.min : b.max) : b.p50;
+        const double fv = lowN ? (lower ? f.min : f.max) : f.p50;
+        const char *basis = lowN ? "best" : "p50";
+        const char *status = "ok";
+        double drop = 0.0;
+        if (bv <= 0.0 && fv <= 0.0) {
+            ++okCount;   // both zero: the family failed identically
+        } else if (bv <= 0.0) {
+            ++okCount;   // baseline had nothing; new data can only help
+        } else {
+            drop = lower ? (fv - bv) / bv : (bv - fv) / bv;
+            const PerfTolerance tol = perfToleranceFor(family);
+            if (drop <= tol.noise) {
+                ++okCount;
+            } else if (drop <= tol.fail) {
+                status = "degraded";
+                ++degradedCount;
+            } else {
+                status = "regression";
+                ++regressedCount;
+            }
+            if (drop > worstDrop) {
+                worstDrop = drop;
+                worstPath = path;
+            }
+        }
+        const double deltaPct = bv > 0.0 ? (fv - bv) / bv * 100.0 : 0.0;
+        std::printf("%-54s %13.6g %13.6g %+7.1f%%  %s\n", path.c_str(),
+                    bv, fv, deltaPct, status);
+
+        service::JsonValue fo = service::JsonValue::object();
+        fo.set("metric", service::JsonValue::str(path));
+        fo.set("family", service::JsonValue::str(family));
+        fo.set("base", service::JsonValue::number(bv));
+        fo.set("new", service::JsonValue::number(fv));
+        fo.set("basis", service::JsonValue::str(basis));
+        fo.set("drop", service::JsonValue::number(drop));
+        fo.set("status", service::JsonValue::str(status));
+        findings.push(std::move(fo));
+    }
+    for (const auto &path : missing)
+        std::printf("%-54s %13s %13s %8s  %s\n", path.c_str(), "-", "-",
+                    "-", allowMissing ? "missing" : "MISSING");
+
+    const bool missingFails = !missing.empty() && !allowMissing;
+    const char *verdict = regressedCount > 0 || missingFails
+        ? "regression"
+        : degradedCount > 0 ? "degraded"
+                            : "pass";
+    const int rc = regressedCount > 0 || missingFails
+        ? 1
+        : degradedCount > 0 ? kExitPartial
+                            : 0;
+    std::printf("perf compare: %s (%zu ok, %zu degraded, "
+                "%zu regressed, %zu missing",
+                verdict, okCount, degradedCount, regressedCount,
+                missing.size());
+    if (!worstPath.empty() && worstDrop > 0.0)
+        std::printf("; worst %s -%.1f%%", worstPath.c_str(),
+                    worstDrop * 100.0);
+    std::printf(")\n");
+
+    const std::string verdictPath = args.value("verdict");
+    if (!verdictPath.empty()) {
+        service::JsonValue doc = service::JsonValue::object();
+        doc.set("schema",
+                service::JsonValue::str("mica-perf-verdict/1"));
+        doc.set("base", service::JsonValue::str(basePath));
+        doc.set("new", service::JsonValue::str(newPath));
+        doc.set("verdict", service::JsonValue::str(verdict));
+        doc.set("exit_code",
+                service::JsonValue::number(int64_t(rc)));
+        doc.set("ok", service::JsonValue::number(int64_t(okCount)));
+        doc.set("degraded",
+                service::JsonValue::number(int64_t(degradedCount)));
+        doc.set("regressed",
+                service::JsonValue::number(int64_t(regressedCount)));
+        service::JsonValue miss = service::JsonValue::array();
+        for (const auto &path : missing)
+            miss.push(service::JsonValue::str(path));
+        doc.set("missing", std::move(miss));
+        doc.set("findings", std::move(findings));
+        util::atomicWriteFile(verdictPath, doc.dump() + "\n",
+                              "perf.verdict");
+    }
+    return rc;
+}
+
+int
+cmdPerf(const util::CliArgs &args, const experiments::DatasetConfig &)
+{
+    const std::string sub =
+        args.positionals.size() >= 2 ? args.positionals[1] : "";
+    if (sub == "compare")
+        return cmdPerfCompare(args);
+    return usage();
+}
+
+int cmdCapabilities(const util::CliArgs &,
+                    const experiments::DatasetConfig &);
+
 int cmdHelp(const util::CliArgs &args, const experiments::DatasetConfig &);
 
 struct VerbDef
@@ -1391,6 +1711,8 @@ constexpr VerbDef kVerbs[] = {
      "  --space=mica|hpc|key / --pca=K   fingerprint space knobs\n"
      "  --max-conns=N  concurrent client cap (default 256)\n"
      "  --drain-ms=N   graceful-shutdown drain budget (default 5000)\n"
+     "  --metrics-interval=SEC  rewrite --metrics=FILE every SEC\n"
+     "                 seconds while serving (live introspection)\n"
      "  SIGINT/SIGTERM drain in-flight queries, flush telemetry "
      "sinks,\n"
      "  and exit 0.\n",
@@ -1424,6 +1746,17 @@ constexpr VerbDef kVerbs[] = {
      "  --dir=DIR      scratch directory (crash-matrix)\n", cmdFaults},
     {"obs",
      "  obs demo                  telemetry self-test\n", "", cmdObs},
+    {"perf",
+     "  perf compare <base> <new> gate a perf profile against a "
+     "baseline\n",
+     "  --verdict=FILE write the machine-readable verdict JSON\n"
+     "  --allow-missing  metrics absent from <new> warn instead of "
+     "fail\n"
+     "  exit 0 within noise, 3 degraded, 1 regression/missing\n",
+     cmdPerf},
+    {"capabilities",
+     "  capabilities              machine-readable feature inventory\n",
+     "", cmdCapabilities},
     {"help",
      "  help [verb]               this list, or one verb's flags\n", "",
      cmdHelp},
@@ -1484,6 +1817,45 @@ cmdHelp(const util::CliArgs &args, const experiments::DatasetConfig &)
 }
 
 /**
+ * One JSON object a harness can interrogate instead of parsing help
+ * text: which verbs exist, which analyzers/spaces/bench families this
+ * build knows, and which compile-time legs it was built with.
+ */
+int
+cmdCapabilities(const util::CliArgs &, const experiments::DatasetConfig &)
+{
+    service::JsonValue doc = service::JsonValue::object();
+    doc.set("schema", service::JsonValue::str("mica-capabilities/1"));
+    service::JsonValue verbs = service::JsonValue::array();
+    for (const auto &v : kVerbs)
+        verbs.push(service::JsonValue::str(v.name));
+    doc.set("verbs", std::move(verbs));
+    service::JsonValue analyzers = service::JsonValue::array();
+    for (const char *a : {"inst_mix", "ilp", "reg_traffic",
+                          "working_set", "strides", "ppm"})
+        analyzers.push(service::JsonValue::str(a));
+    doc.set("analyzers", std::move(analyzers));
+    service::JsonValue spaces = service::JsonValue::array();
+    for (const char *s : {"mica", "hpc", "key"})
+        spaces.push(service::JsonValue::str(s));
+    doc.set("spaces", std::move(spaces));
+    service::JsonValue fams = service::JsonValue::array();
+    for (const char *f : {"analyzers", "engine", "methodology",
+                          "trace_replay", "index", "serve", "obs"})
+        fams.push(service::JsonValue::str(f));
+    doc.set("perf_families", std::move(fams));
+    doc.set("perf_profile_schema",
+            service::JsonValue::str("mica-perf-profile/2"));
+    service::JsonValue compiled = service::JsonValue::object();
+    compiled.set("obs", service::JsonValue::boolean(MICA_OBS != 0));
+    compiled.set("failpoints",
+                 service::JsonValue::boolean(MICA_FAILPOINTS != 0));
+    doc.set("compiled", std::move(compiled));
+    std::printf("%s\n", doc.dump().c_str());
+    return 0;
+}
+
+/**
  * Exit epilogue shared by every verb: flush the requested telemetry
  * sinks. A sink that cannot be written turns a successful run into a
  * failure — the caller asked for the file, silently missing it would
@@ -1532,8 +1904,9 @@ knownFlags(const std::string &cmd, const std::string &sub)
         known.insert(known.end(),
                      {"suites=", "traces=", "reader=", "max-failures="});
     if (cmd == "serve")
-        known.insert(known.end(), {"listen=", "space=", "pca=",
-                                   "max-conns=", "drain-ms="});
+        known.insert(known.end(),
+                     {"listen=", "space=", "pca=", "max-conns=",
+                      "drain-ms=", "metrics-interval="});
     if (cmd == "query")
         known.insert(known.end(), {"connect=", "space=", "pca="});
     if (cmd == "serve-bench")
@@ -1541,6 +1914,8 @@ knownFlags(const std::string &cmd, const std::string &sub)
                      {"connect=", "conns=", "requests=", "bench="});
     if (cmd == "faults" && sub == "crash-matrix")
         known.push_back("dir=");
+    if (cmd == "perf" && sub == "compare")
+        known.insert(known.end(), {"verdict=", "allow-missing"});
     if (cmd == "profile" || cmd == "hpc")
         known.push_back("csv=");
     if (cmd == "cluster" || cmd == "subset")
