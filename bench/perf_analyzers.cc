@@ -949,6 +949,92 @@ traceReplayRates()
     return r;
 }
 
+/**
+ * trace_v2 family: the columnar format against the flat one over the
+ * same record stream — encode and decode rates in isolation (no
+ * analyzers), the end-to-end replay rate through each reader, and the
+ * on-disk compression ratio the column streams buy.
+ */
+struct TraceV2Rates
+{
+    uint64_t records = 0;
+    uint64_t v1Bytes = 0, v2Bytes = 0;
+    Summary encode, decode, replayV1, replayV2;
+};
+
+TraceV2Rates
+traceV2Rates()
+{
+    const auto *e = workloads::BenchmarkRegistry::instance().find(
+        "SPEC2000/bzip2.source");
+    const isa::Program prog = e->build();
+    MicaRunnerConfig cfg;
+    cfg.maxInsts = 200000;
+    const auto tmp = std::filesystem::temp_directory_path();
+    const std::string p1 = (tmp / "mica_perf_trace_v2.v1.trace").string();
+    const std::string p2 = (tmp / "mica_perf_trace_v2.v2.trace").string();
+
+    TraceV2Rates r;
+    // Record the stream once into the flat format, then keep the
+    // records resident so encode timings see no interpreter cost.
+    std::vector<InstRecord> recs;
+    {
+        isa::Interpreter interp(prog);
+        TraceFileWriter w(p1, kTraceFormatV1);
+        RecordingSource tee(interp, w);
+        std::vector<InstRecord> buf(4096);
+        const InstRecord *span = nullptr;
+        size_t got;
+        while (r.records < cfg.maxInsts &&
+               (got = tee.nextSpan(
+                    span, buf.data(),
+                    std::min<uint64_t>(buf.size(),
+                                       cfg.maxInsts - r.records))) != 0) {
+            recs.insert(recs.end(), span, span + got);
+            r.records += got;
+        }
+        w.close();
+    }
+    {
+        TraceFileWriter w(p2, kTraceFormatV2);
+        w.append(recs.data(), recs.size());
+        w.close();
+    }
+    r.v1Bytes = std::filesystem::file_size(p1);
+    r.v2Bytes = std::filesystem::file_size(p2);
+
+    r.encode = rateSummary(r.records, [&] {
+        TraceFileWriter w(p2 + ".enc", kTraceFormatV2);
+        w.append(recs.data(), recs.size());
+        w.close();
+        benchmark::DoNotOptimize(w.version());
+    });
+    r.decode = rateSummary(r.records, [&] {
+        FileTraceSource src(p2);
+        std::vector<InstRecord> buf(4096);
+        const InstRecord *span = nullptr;
+        uint64_t n = 0;
+        size_t got;
+        while ((got = src.nextSpan(span, buf.data(), buf.size())) != 0)
+            n += got;
+        benchmark::DoNotOptimize(n);
+    });
+    r.replayV1 = rateSummary(r.records, [&] {
+        FileTraceSource src(p1);
+        const MicaProfile p = collectMicaProfile(src, "x", cfg);
+        benchmark::DoNotOptimize(p.values[0]);
+    });
+    r.replayV2 = rateSummary(r.records, [&] {
+        FileTraceSource src(p2);
+        const MicaProfile p = collectMicaProfile(src, "x", cfg);
+        benchmark::DoNotOptimize(p.values[0]);
+    });
+    std::filesystem::remove(p1);
+    std::filesystem::remove(p2);
+    std::filesystem::remove(p2 + ".enc");
+    return r;
+}
+
 /** Index builds/sec over the synthetic population. */
 Summary
 indexBuildRate()
@@ -1162,7 +1248,7 @@ allFamilies()
 {
     static const std::vector<std::string> fams = {
         "analyzers", "engine", "methodology", "trace_replay",
-        "index",     "serve",  "obs"};
+        "trace_v2",  "index",  "serve",       "obs"};
     return fams;
 }
 
@@ -1374,6 +1460,31 @@ writeJsonProfile(const std::string &path, double obsRef,
         os << ",\n        \"mmap_speedup_vs_interp\": "
            << ratio(trr.mmap, trr.interp) << "\n      }\n    }";
         fams.emplace_back("trace_replay", os.str());
+    }
+
+    if (on("trace_v2")) {
+        const TraceV2Rates tv = traceV2Rates();
+        std::ostringstream os;
+        os.precision(17);
+        os << "{\n      \"records\": " << tv.records << ",\n"
+           << "      \"v1_bytes\": " << tv.v1Bytes << ",\n"
+           << "      \"v2_bytes\": " << tv.v2Bytes << ",\n"
+           << "      \"compression_ratio\": "
+           << (tv.v2Bytes > 0 ? static_cast<double>(tv.v1Bytes) /
+                                    static_cast<double>(tv.v2Bytes)
+                              : 0.0)
+           << ",\n      \"encode_records_per_sec\": ";
+        emitSummary(os, tv.encode);
+        os << ",\n      \"decode_records_per_sec\": ";
+        emitSummary(os, tv.decode);
+        os << ",\n      \"full_profile_records_per_sec\": {\n"
+           << "        \"v1_stream_replay\": ";
+        emitSummary(os, tv.replayV1);
+        os << ",\n        \"v2_stream_replay\": ";
+        emitSummary(os, tv.replayV2);
+        os << ",\n        \"v2_speedup_vs_v1\": "
+           << ratio(tv.replayV2, tv.replayV1) << "\n      }\n    }";
+        fams.emplace_back("trace_v2", os.str());
     }
 
     if (on("index")) {

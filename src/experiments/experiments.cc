@@ -98,15 +98,26 @@ collectSuiteDataset(const DatasetConfig &cfg)
     std::vector<workloads::BenchmarkEntry> traceEntries;
     std::vector<const workloads::BenchmarkEntry *> selected;
     uint64_t traceStamp = 0;
-    if (!cfg.traceDir.empty()) {
+    if (!cfg.traceDir.empty() && !cfg.traceFiles.empty())
+        throw std::invalid_argument(
+            "traceDir and traceFiles are mutually exclusive");
+    if (!cfg.traceDir.empty() || !cfg.traceFiles.empty()) {
         // Scan-time quarantine: a corrupt or short trace file is
         // reported and skipped; the rest of the sweep proceeds. The
         // directory iterator's order is filesystem-dependent, so sort
         // the report to keep it deterministic across runs and hosts.
         std::vector<std::pair<std::string, std::string>> badFiles;
-        traceEntries = workloads::traceBenchmarks(
-            cfg.traceDir, cfg.traceStream, cfg.maxInsts, &traceStamp,
-            &badFiles);
+        traceEntries =
+            cfg.traceDir.empty()
+                ? workloads::traceBenchmarksFromFiles(
+                      cfg.traceFiles, cfg.traceStream, cfg.maxInsts,
+                      &traceStamp, &badFiles,
+                      cfg.traceLabel.empty() ? "trace set"
+                                             : cfg.traceLabel)
+                : workloads::traceBenchmarks(cfg.traceDir,
+                                             cfg.traceStream,
+                                             cfg.maxInsts, &traceStamp,
+                                             &badFiles);
         std::sort(badFiles.begin(), badFiles.end());
         for (auto &bad : badFiles)
             ds.failures.push_back({std::move(bad.first), "scan",
@@ -158,9 +169,16 @@ collectSuiteDataset(const DatasetConfig &cfg)
     key.maxInsts = cfg.maxInsts;
     key.ppmMaxOrder = cfg.ppmMaxOrder;
     key.suites = cfg.suites;
-    if (!cfg.traceDir.empty()) {
+    if (!cfg.traceDir.empty() || !cfg.traceFiles.empty()) {
+        // A file-list replay keys on its label (or "files") plus the
+        // same content digest a directory replay uses, so one shard's
+        // store never serves another's profiles.
         std::ostringstream stamped;
-        stamped << cfg.traceDir << '#' << std::hex << traceStamp;
+        stamped << (!cfg.traceDir.empty()
+                        ? cfg.traceDir
+                        : (cfg.traceLabel.empty() ? "files"
+                                                  : cfg.traceLabel))
+                << '#' << std::hex << traceStamp;
         key.traceDir = stamped.str();
     }
 

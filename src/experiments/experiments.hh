@@ -70,6 +70,24 @@ struct DatasetConfig
     std::string traceDir;
 
     /**
+     * Replay from an explicit list of trace files instead of a
+     * directory (mutually exclusive with traceDir; used by the corpus
+     * layer to profile one shard at a time). Same validation,
+     * quarantine, and byte-identity semantics as traceDir. The
+     * profile-store key carries traceLabel plus the content digest of
+     * exactly these files.
+     */
+    std::vector<std::string> traceFiles;
+
+    /**
+     * Cache-key label for a traceFiles replay (e.g.
+     * "corpus:shard-003"). Two different file sets never collide even
+     * under one label — the content digest is part of the key — but a
+     * stable label keeps a shard's store reusable across runs.
+     */
+    std::string traceLabel;
+
+    /**
      * Replay through the streamed FileTraceSource instead of the
      * default mmap-backed reader. Byte-identical output either way,
      * so (like jobs) this is not part of the store key.

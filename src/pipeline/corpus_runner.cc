@@ -1,0 +1,145 @@
+#include "pipeline/corpus_runner.hh"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/obs.hh"
+#include "service/json.hh"
+#include "util/checked_io.hh"
+
+namespace mica::pipeline
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+constexpr const char *kMarkerFile = "shard.done.json";
+constexpr const char *kMarkerSchema = "mica-shard-done/1";
+
+std::string
+hexDigest(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/**
+ * @return true when @p path holds a marker for exactly this shard
+ * (schema, name, and content digest all match), filling in the
+ * recorded counts. Any unreadable or mismatched marker reads as
+ * "not done" — resume must never trust a stale or torn marker.
+ */
+bool
+readDoneMarker(const std::string &path,
+               const workloads::CorpusShard &shard, ShardOutcome &out)
+{
+    std::string text;
+    try {
+        text = util::readFileBytes(path, "corpus.marker");
+    } catch (const util::IoError &) {
+        return false;
+    }
+    service::JsonValue doc;
+    if (!service::parseJson(text, &doc) || !doc.isObject())
+        return false;
+    const auto *schema = doc.find("schema");
+    const auto *name = doc.find("shard");
+    const auto *digest = doc.find("digest");
+    if (!schema || !schema->isString() ||
+        schema->asString() != kMarkerSchema || !name ||
+        !name->isString() || name->asString() != shard.name ||
+        !digest || !digest->isString() ||
+        digest->asString() != hexDigest(shard.digest()))
+        return false;
+    const auto *benchmarks = doc.find("benchmarks");
+    const auto *failures = doc.find("failures");
+    out.benchmarks = benchmarks && benchmarks->asCount() >= 0
+                         ? static_cast<size_t>(benchmarks->asCount())
+                         : 0;
+    out.failures = failures && failures->asCount() >= 0
+                       ? static_cast<size_t>(failures->asCount())
+                       : 0;
+    return true;
+}
+
+void
+writeDoneMarker(const std::string &path,
+                const workloads::CorpusShard &shard,
+                const ShardResult &result)
+{
+    using service::JsonValue;
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue::str(kMarkerSchema));
+    doc.set("shard", JsonValue::str(shard.name));
+    doc.set("digest", JsonValue::str(hexDigest(shard.digest())));
+    doc.set("benchmarks", JsonValue::number(
+                              static_cast<uint64_t>(result.benchmarks)));
+    doc.set("failures",
+            JsonValue::number(static_cast<uint64_t>(result.failures)));
+    util::atomicWriteFile(path, doc.dump() + "\n", "corpus.marker");
+}
+
+} // namespace
+
+std::vector<ShardOutcome>
+runCorpusShards(const workloads::CorpusManifest &manifest,
+                const CorpusRunOptions &opt, const ShardFn &fn)
+{
+    obs::ObsSpan sp("corpus.run");
+    static obs::Counter doneC("corpus.shard.done");
+    static obs::Counter skippedC("corpus.shard.skipped");
+    static obs::Counter failedC("corpus.shard.failed");
+
+    std::error_code ec;
+    fs::create_directories(opt.outDir, ec);
+    if (!fs::is_directory(opt.outDir, ec))
+        throw workloads::CorpusError(opt.outDir,
+                                     "cannot create output directory");
+
+    std::vector<ShardOutcome> outcomes;
+    outcomes.reserve(manifest.shards.size());
+    for (size_t i = 0; i < manifest.shards.size(); ++i) {
+        const auto &shard = manifest.shards[i];
+        const std::string shardDir =
+            (fs::path(opt.outDir) / shard.name).string();
+        const std::string marker =
+            (fs::path(shardDir) / kMarkerFile).string();
+
+        ShardOutcome out;
+        out.shard = shard.name;
+        if (!opt.rerunAll && readDoneMarker(marker, shard, out)) {
+            out.status = ShardOutcome::Status::Skipped;
+            skippedC.add(1);
+            outcomes.push_back(std::move(out));
+            continue;
+        }
+
+        fs::create_directories(shardDir, ec);
+        try {
+            const ShardResult r = fn(i, shardDir);
+            out.benchmarks = r.benchmarks;
+            out.failures = r.failures;
+            writeDoneMarker(marker, shard, r);
+            out.status = ShardOutcome::Status::Done;
+            doneC.add(1);
+        } catch (const std::exception &e) {
+            // Shard-level quarantine: record the failure, keep the
+            // marker absent (the shard recomputes next run), and let
+            // the rest of the corpus finish.
+            if (!opt.isolate)
+                throw;
+            out.status = ShardOutcome::Status::Failed;
+            out.error = e.what();
+            failedC.add(1);
+        }
+        outcomes.push_back(std::move(out));
+    }
+    sp.arg("shards", outcomes.size());
+    return outcomes;
+}
+
+} // namespace mica::pipeline

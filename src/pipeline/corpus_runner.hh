@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shard-at-a-time corpus execution with durable per-shard resume.
+ *
+ * runCorpusShards() walks a corpus manifest in shard order and hands
+ * each shard to a caller-supplied callback (the profiling step — the
+ * runner itself is policy-free, like the Server's collect callback).
+ * After a shard's callback returns, the runner writes a done marker
+ * (`shard.done.json`, atomic .tmp + rename) into the shard's output
+ * directory, stamped with the shard's content digest. On the next
+ * run, shards whose marker matches are skipped outright — so a sweep
+ * killed mid-corpus (crash, OOM, failpoint) resumes by recomputing
+ * only the unfinished shards, and a shard whose traces changed since
+ * the marker was written is recomputed, not trusted.
+ *
+ * Shards run sequentially: peak memory is bounded by one shard's
+ * working set no matter how large the corpus, and parallelism lives
+ * inside the callback (the per-benchmark job pool), where it can't
+ * defeat the memory bound. A shard whose callback throws is
+ * quarantined — recorded in its outcome, later shards still run —
+ * mirroring the per-benchmark quarantine semantics one layer up.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workloads/corpus.hh"
+
+namespace mica::pipeline
+{
+
+/** What the per-shard callback reports back on success. */
+struct ShardResult
+{
+    size_t benchmarks = 0;  ///< profiles produced
+    size_t failures = 0;    ///< benchmarks quarantined inside the shard
+};
+
+/** One shard's fate in a corpus run. */
+struct ShardOutcome
+{
+    enum class Status
+    {
+        Done,       ///< callback ran, marker written
+        Skipped,    ///< valid done marker found, callback not run
+        Failed,     ///< callback threw; error holds the reason
+    };
+
+    std::string shard;
+    Status status = Status::Done;
+    size_t benchmarks = 0;
+    size_t failures = 0;
+    std::string error;
+};
+
+/**
+ * The per-shard work: profile the manifest's shard @p shardIndex into
+ * @p shardOutDir (created by the runner before the call).
+ */
+using ShardFn =
+    std::function<ShardResult(size_t shardIndex,
+                              const std::string &shardOutDir)>;
+
+struct CorpusRunOptions
+{
+    /** Root output directory; each shard gets <outDir>/<shard-name>. */
+    std::string outDir;
+
+    /** Ignore done markers and recompute every shard. */
+    bool rerunAll = false;
+
+    /**
+     * When false, the first shard failure rethrows instead of being
+     * quarantined into its outcome.
+     */
+    bool isolate = true;
+};
+
+/**
+ * Run every shard of @p manifest through @p fn with resume and
+ * quarantine as described above.
+ *
+ * @return one outcome per shard, in manifest order.
+ * @throws workloads::CorpusError when opt.outDir cannot be created;
+ *         rethrows the callback's exception when opt.isolate is off.
+ */
+std::vector<ShardOutcome>
+runCorpusShards(const workloads::CorpusManifest &manifest,
+                const CorpusRunOptions &opt, const ShardFn &fn);
+
+} // namespace mica::pipeline

@@ -1,0 +1,327 @@
+#include "trace/columnar.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "trace/trace_file.hh"
+
+namespace mica
+{
+namespace columnar
+{
+
+namespace
+{
+
+constexpr const char *kColumnNames[kNumColumns] = {
+    "cls", "pc", "reg", "mem_addr", "mem_size", "target",
+};
+
+/** Uniform error text so every corrupt column reads the same way. */
+[[noreturn]] void
+columnError(const std::string &path, size_t col, const std::string &why)
+{
+    throw TraceFileError(path, "corrupt column '" +
+                                   std::string(columnName(col)) + "': " +
+                                   why);
+}
+
+/** Bits needed to store @p v (0 for 0). */
+unsigned
+bitWidth(uint64_t v)
+{
+    unsigned w = 0;
+    while (v != 0) {
+        ++w;
+        v >>= 1;
+    }
+    return w;
+}
+
+} // namespace
+
+const char *
+columnName(size_t col)
+{
+    return col < kNumColumns ? kColumnNames[col] : "?";
+}
+
+void
+putVarint(std::string &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+bool
+getVarint(const unsigned char *&p, const unsigned char *end, uint64_t &v)
+{
+    uint64_t out = 0;
+    unsigned shift = 0;
+    while (p != end) {
+        const unsigned char b = *p++;
+        if (shift == 63 && (b & 0x7e) != 0)
+            return false;   // would overflow 64 bits
+        if (shift > 63)
+            return false;   // overlong encoding
+        out |= uint64_t(b & 0x7f) << shift;
+        if ((b & 0x80) == 0) {
+            v = out;
+            return true;
+        }
+        shift += 7;
+    }
+    return false;   // ran off the end mid-varint
+}
+
+InstRecord
+canonicalRecord(const InstRecord &r)
+{
+    InstRecord c;
+    std::memset(static_cast<void *>(&c), 0, sizeof(c));
+    c.pc = r.pc;
+    c.cls = r.cls;
+    c.numSrcRegs = r.numSrcRegs <= 3 ? r.numSrcRegs : uint8_t(3);
+    c.srcRegs = {kInvalidReg, kInvalidReg, kInvalidReg};
+    for (size_t i = 0; i < c.numSrcRegs; ++i)
+        c.srcRegs[i] = r.srcRegs[i];
+    c.dstReg = r.dstReg;
+    c.taken = r.taken;
+    if (r.isMem()) {
+        c.memAddr = r.memAddr;
+        c.memSize = r.memSize;
+    }
+    if (r.isControl())
+        c.target = r.target;
+    return c;
+}
+
+void
+encodeChunk(const InstRecord *recs, size_t n, std::string &out,
+            uint32_t colBytes[kNumColumns])
+{
+    // Column 0: class + taken, one byte per record; also the pass that
+    // finds the register bit width for column 2.
+    size_t mark = out.size();
+    unsigned regWidth = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const InstRecord &r = recs[i];
+        out.push_back(static_cast<char>(
+            (static_cast<uint8_t>(r.cls) & 0x7f) |
+            (r.taken ? 0x80 : 0x00)));
+        const unsigned srcs = r.numSrcRegs <= 3 ? r.numSrcRegs : 3u;
+        for (size_t s = 0; s < srcs; ++s)
+            regWidth = std::max(regWidth, bitWidth(r.srcRegs[s]));
+        if (r.hasDst())
+            regWidth = std::max(regWidth, bitWidth(r.dstReg));
+    }
+    colBytes[kColCls] = static_cast<uint32_t>(out.size() - mark);
+
+    // Column 1: PC deltas. The previous PC starts at 0 per chunk so a
+    // chunk decodes with no cross-chunk state; deltas wrap mod 2^64.
+    mark = out.size();
+    uint64_t prevPc = 0;
+    for (size_t i = 0; i < n; ++i) {
+        putVarint(out, zigzagEncode(
+                           static_cast<int64_t>(recs[i].pc - prevPc)));
+        prevPc = recs[i].pc;
+    }
+    colBytes[kColPc] = static_cast<uint32_t>(out.size() - mark);
+
+    // Column 2: register operands, bit-packed at the chunk-wide width.
+    mark = out.size();
+    out.push_back(static_cast<char>(regWidth));
+    {
+        BitWriter bw(out);
+        for (size_t i = 0; i < n; ++i) {
+            const InstRecord &r = recs[i];
+            const unsigned srcs = r.numSrcRegs <= 3 ? r.numSrcRegs : 3u;
+            bw.put(srcs, 2);
+            bw.put(r.hasDst() ? 1 : 0, 1);
+            for (size_t s = 0; s < srcs; ++s)
+                bw.put(r.srcRegs[s], regWidth);
+            if (r.hasDst())
+                bw.put(r.dstReg, regWidth);
+        }
+        bw.flush();
+    }
+    colBytes[kColReg] = static_cast<uint32_t>(out.size() - mark);
+
+    // Columns 3+4: memory address deltas and access sizes, entries for
+    // memory records only.
+    mark = out.size();
+    uint64_t prevAddr = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (!recs[i].isMem())
+            continue;
+        putVarint(out, zigzagEncode(static_cast<int64_t>(
+                           recs[i].memAddr - prevAddr)));
+        prevAddr = recs[i].memAddr;
+    }
+    colBytes[kColMemAddr] = static_cast<uint32_t>(out.size() - mark);
+
+    mark = out.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (recs[i].isMem())
+            out.push_back(static_cast<char>(recs[i].memSize));
+    }
+    colBytes[kColMemSize] = static_cast<uint32_t>(out.size() - mark);
+
+    // Column 5: control-transfer targets as PC-relative deltas.
+    mark = out.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (!recs[i].isControl())
+            continue;
+        putVarint(out, zigzagEncode(static_cast<int64_t>(
+                           recs[i].target - recs[i].pc)));
+    }
+    colBytes[kColTarget] = static_cast<uint32_t>(out.size() - mark);
+}
+
+void
+decodeChunk(const char *payload, const uint32_t colBytes[kNumColumns],
+            size_t n, InstRecord *out, const std::string &path)
+{
+    const unsigned char *cols[kNumColumns];
+    const unsigned char *ends[kNumColumns];
+    {
+        const auto *p = reinterpret_cast<const unsigned char *>(payload);
+        for (size_t c = 0; c < kNumColumns; ++c) {
+            cols[c] = p;
+            p += colBytes[c];
+            ends[c] = p;
+        }
+    }
+
+    // Column 0 first: the class stream decides which records consume
+    // entries from the memory and target columns.
+    if (colBytes[kColCls] != n)
+        columnError(path, kColCls,
+                    "expected " + std::to_string(n) + " bytes, have " +
+                        std::to_string(colBytes[kColCls]));
+    for (size_t i = 0; i < n; ++i) {
+        InstRecord &r = out[i];
+        r = InstRecord{};
+        const unsigned char b = cols[kColCls][i];
+        const unsigned cls = b & 0x7f;
+        if (cls >= static_cast<unsigned>(kNumInstClasses))
+            columnError(path, kColCls,
+                        "invalid class value " + std::to_string(cls) +
+                            " at record " + std::to_string(i));
+        r.cls = static_cast<InstClass>(cls);
+        r.taken = (b & 0x80) != 0;
+    }
+
+    // Column 1: PC deltas.
+    {
+        const unsigned char *p = cols[kColPc];
+        uint64_t prevPc = 0;
+        for (size_t i = 0; i < n; ++i) {
+            uint64_t z = 0;
+            if (!getVarint(p, ends[kColPc], z))
+                columnError(path, kColPc,
+                            "bad varint at record " + std::to_string(i));
+            prevPc += static_cast<uint64_t>(zigzagDecode(z));
+            out[i].pc = prevPc;
+        }
+        if (p != ends[kColPc])
+            columnError(path, kColPc,
+                        std::to_string(ends[kColPc] - p) +
+                            " trailing bytes");
+    }
+
+    // Column 2: register operands.
+    {
+        if (colBytes[kColReg] < 1)
+            columnError(path, kColReg, "missing width byte");
+        const unsigned width = cols[kColReg][0];
+        if (width > 16)
+            columnError(path, kColReg,
+                        "register width " + std::to_string(width) +
+                            " exceeds 16 bits");
+        BitReader br(cols[kColReg] + 1, ends[kColReg]);
+        for (size_t i = 0; i < n; ++i) {
+            InstRecord &r = out[i];
+            uint64_t srcs = 0, hasDst = 0, v = 0;
+            if (!br.get(2, srcs) || !br.get(1, hasDst))
+                columnError(path, kColReg,
+                            "truncated at record " + std::to_string(i));
+            r.numSrcRegs = static_cast<uint8_t>(srcs);
+            for (size_t s = 0; s < srcs; ++s) {
+                if (!br.get(width, v))
+                    columnError(path, kColReg,
+                                "truncated at record " +
+                                    std::to_string(i));
+                r.srcRegs[s] = static_cast<uint16_t>(v);
+            }
+            if (hasDst) {
+                if (!br.get(width, v))
+                    columnError(path, kColReg,
+                                "truncated at record " +
+                                    std::to_string(i));
+                r.dstReg = static_cast<uint16_t>(v);
+            }
+        }
+        // Everything after the consumed bits must be padding within
+        // the final byte — whole trailing bytes mean a corrupt length.
+        if (1 + br.consumed() != colBytes[kColReg])
+            columnError(path, kColReg,
+                        std::to_string(colBytes[kColReg] -
+                                       (1 + br.consumed())) +
+                            " trailing bytes");
+    }
+
+    // Columns 3+4: memory records, in order.
+    {
+        const unsigned char *pa = cols[kColMemAddr];
+        const unsigned char *ps = cols[kColMemSize];
+        uint64_t prevAddr = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (!out[i].isMem())
+                continue;
+            uint64_t z = 0;
+            if (!getVarint(pa, ends[kColMemAddr], z))
+                columnError(path, kColMemAddr,
+                            "bad varint at record " + std::to_string(i));
+            prevAddr += static_cast<uint64_t>(zigzagDecode(z));
+            out[i].memAddr = prevAddr;
+            if (ps == ends[kColMemSize])
+                columnError(path, kColMemSize,
+                            "truncated at record " + std::to_string(i));
+            out[i].memSize = *ps++;
+        }
+        if (pa != ends[kColMemAddr])
+            columnError(path, kColMemAddr,
+                        std::to_string(ends[kColMemAddr] - pa) +
+                            " trailing bytes");
+        if (ps != ends[kColMemSize])
+            columnError(path, kColMemSize,
+                        std::to_string(ends[kColMemSize] - ps) +
+                            " trailing bytes");
+    }
+
+    // Column 5: control-transfer targets.
+    {
+        const unsigned char *p = cols[kColTarget];
+        for (size_t i = 0; i < n; ++i) {
+            if (!out[i].isControl())
+                continue;
+            uint64_t z = 0;
+            if (!getVarint(p, ends[kColTarget], z))
+                columnError(path, kColTarget,
+                            "bad varint at record " + std::to_string(i));
+            out[i].target =
+                out[i].pc + static_cast<uint64_t>(zigzagDecode(z));
+        }
+        if (p != ends[kColTarget])
+            columnError(path, kColTarget,
+                        std::to_string(ends[kColTarget] - p) +
+                            " trailing bytes");
+    }
+}
+
+} // namespace columnar
+} // namespace mica

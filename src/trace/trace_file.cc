@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "obs/obs.hh"
+#include "trace/columnar.hh"
 #include "trace/synthetic.hh"
 #include "util/failpoint.hh"
 
@@ -27,9 +28,56 @@ namespace
 {
 
 constexpr char kTraceMagic[8] = {'M', 'I', 'C', 'A', 'T', 'R', 'C', '\n'};
-constexpr uint32_t kTraceChunkMagic = 0x4b484354;   // "TCHK"
+constexpr uint32_t kTraceChunkMagic = 0x4b484354;     // "TCHK"
+constexpr uint32_t kTraceChunkMagicV2 = 0x32484354;   // "TCH2"
 constexpr size_t kTraceHeaderBytes = 48;
 constexpr size_t kChunkHeaderBytes = 8;
+
+/** v2 chunk header: magic, count, and six column byte lengths. */
+constexpr size_t kChunkHeaderBytesV2 =
+    8 + columnar::kNumColumns * sizeof(uint32_t);
+
+/**
+ * Upper bounds a v2 chunk header may claim. The writer emits at most
+ * kChunkRecordsV2 records (< 1 MB encoded); these caps only exist so
+ * a corrupt or concurrently rewritten file cannot make a reader
+ * allocate gigabytes before validation catches up.
+ */
+constexpr uint32_t kMaxChunkRecordsV2 = 1u << 20;
+constexpr uint64_t kMaxChunkPayloadV2 = 64ull << 20;
+
+/** Parsed v2 chunk header (validated against the caps above). */
+struct ChunkHeaderV2
+{
+    uint32_t count = 0;
+    uint32_t colBytes[columnar::kNumColumns] = {};
+    uint64_t payloadBytes = 0;  ///< sum of colBytes
+};
+
+/**
+ * Validate the 32 raw bytes of a v2 chunk header. @p remaining is the
+ * payload left in the file after this header; @p what distinguishes
+ * the probe ("corrupt chunk header at payload offset N") from the
+ * replay-path guard ("chunk header changed after open").
+ */
+ChunkHeaderV2
+checkChunkHeaderV2(const char *raw, uint64_t remaining,
+                   const std::string &path, const std::string &what)
+{
+    uint32_t magic = 0;
+    ChunkHeaderV2 ch;
+    std::memcpy(&magic, raw, sizeof(magic));
+    std::memcpy(&ch.count, raw + 4, sizeof(ch.count));
+    std::memcpy(ch.colBytes, raw + 8, sizeof(ch.colBytes));
+    for (uint32_t b : ch.colBytes)
+        ch.payloadBytes += b;
+    if (magic != kTraceChunkMagicV2 || ch.count == 0 ||
+        ch.count > kMaxChunkRecordsV2 ||
+        ch.payloadBytes > kMaxChunkPayloadV2 ||
+        ch.payloadBytes > remaining)
+        throw TraceFileError(path, what);
+    return ch;
+}
 
 static_assert(std::is_trivially_copyable<InstRecord>::value,
               "trace files store raw InstRecord bytes");
@@ -42,7 +90,7 @@ constexpr uint64_t kFnvPrime = 1099511628211ull;
 /** Fixed-size header, written and patched field by field. */
 struct TraceHeader
 {
-    uint32_t version = kTraceFormatVersion;
+    uint32_t version = kTraceFormatV1;
     uint32_t recordBytes = sizeof(InstRecord);
     uint64_t layoutHash = kTraceLayoutHash;
     uint64_t recordCount = kTraceUnfinished;
@@ -127,11 +175,11 @@ checkHeaderBytes(const char *buf, const std::string &path,
     std::memcpy(&h.recordCount, buf + 24, sizeof(h.recordCount));
     std::memcpy(&h.payloadBytes, buf + 32, sizeof(h.payloadBytes));
     std::memcpy(&h.payloadHash, buf + 40, sizeof(h.payloadHash));
-    if (h.version != kTraceFormatVersion) {
+    if (h.version < kTraceFormatV1 || h.version > kTraceFormatLatest) {
         throw TraceFileError(
             path, "unsupported trace format version " +
-                std::to_string(h.version) + " (expected " +
-                std::to_string(kTraceFormatVersion) + ")");
+                std::to_string(h.version) + " (this build reads 1.." +
+                std::to_string(kTraceFormatLatest) + ")");
     }
     if (h.recordBytes != sizeof(InstRecord) ||
         h.layoutHash != kTraceLayoutHash) {
@@ -211,52 +259,94 @@ probeTraceFile(const std::string &path)
     // magic/count must check out, the counts must add up to exactly
     // the header's record count, and every payload byte feeds the
     // checksum — a flipped bit anywhere rejects the file instead of
-    // silently replaying altered records.
+    // silently replaying altered records. v2 chunks are additionally
+    // decoded in full, so corruption that survives as a structurally
+    // valid column stream still rejects — and names the column.
     TraceFileInfo info;
+    info.version = h.version;
     info.recordCount = h.recordCount;
     info.payloadBytes = h.payloadBytes;
     uint64_t offset = 0;
     uint64_t records = 0;
     uint64_t hash = kFnvOffset;
-    std::vector<char> io(1 << 20);
-    while (offset < h.payloadBytes) {
-        if (h.payloadBytes - offset < kChunkHeaderBytes)
-            throw TraceFileError(path, "truncated chunk header");
-        uint32_t magic = 0, count = 0;
-        char ch[kChunkHeaderBytes];
-        try {
-            in.readExact(ch, sizeof(ch));
-        } catch (const util::IoError &e) {
-            if (e.code() == 0)
+    if (h.version == kTraceFormatV1) {
+        std::vector<char> io(1 << 20);
+        while (offset < h.payloadBytes) {
+            if (h.payloadBytes - offset < kChunkHeaderBytes)
                 throw TraceFileError(path, "truncated chunk header");
-            rethrowTraceIo(e);
-        }
-        std::memcpy(&magic, ch, sizeof(magic));
-        std::memcpy(&count, ch + 4, sizeof(count));
-        if (magic != kTraceChunkMagic || count == 0)
-            throw TraceFileError(path, "corrupt chunk header at payload "
-                                       "offset " + std::to_string(offset));
-        hash = fnv1a(&magic, sizeof(magic), hash);
-        hash = fnv1a(&count, sizeof(count), hash);
-        uint64_t bytes = uint64_t(count) * sizeof(InstRecord);
-        if (h.payloadBytes - offset - kChunkHeaderBytes < bytes)
-            throw TraceFileError(path, "truncated chunk payload");
-        offset += kChunkHeaderBytes + bytes;
-        while (bytes > 0) {
-            const size_t take =
-                static_cast<size_t>(std::min<uint64_t>(bytes, io.size()));
+            uint32_t magic = 0, count = 0;
+            char ch[kChunkHeaderBytes];
             try {
-                in.readExact(io.data(), take);
+                in.readExact(ch, sizeof(ch));
+            } catch (const util::IoError &e) {
+                if (e.code() == 0)
+                    throw TraceFileError(path, "truncated chunk header");
+                rethrowTraceIo(e);
+            }
+            std::memcpy(&magic, ch, sizeof(magic));
+            std::memcpy(&count, ch + 4, sizeof(count));
+            if (magic != kTraceChunkMagic || count == 0)
+                throw TraceFileError(path,
+                                     "corrupt chunk header at payload "
+                                     "offset " + std::to_string(offset));
+            hash = fnv1a(&magic, sizeof(magic), hash);
+            hash = fnv1a(&count, sizeof(count), hash);
+            uint64_t bytes = uint64_t(count) * sizeof(InstRecord);
+            if (h.payloadBytes - offset - kChunkHeaderBytes < bytes)
+                throw TraceFileError(path, "truncated chunk payload");
+            offset += kChunkHeaderBytes + bytes;
+            while (bytes > 0) {
+                const size_t take = static_cast<size_t>(
+                    std::min<uint64_t>(bytes, io.size()));
+                try {
+                    in.readExact(io.data(), take);
+                } catch (const util::IoError &e) {
+                    if (e.code() == 0)
+                        throw TraceFileError(path,
+                                             "truncated chunk payload");
+                    rethrowTraceIo(e);
+                }
+                hash = fnv1a(io.data(), take, hash);
+                bytes -= take;
+            }
+            records += count;
+            ++info.chunkCount;
+        }
+    } else {
+        std::vector<char> enc;
+        std::vector<InstRecord> scratch;
+        while (offset < h.payloadBytes) {
+            if (h.payloadBytes - offset < kChunkHeaderBytesV2)
+                throw TraceFileError(path, "truncated chunk header");
+            char ch[kChunkHeaderBytesV2];
+            try {
+                in.readExact(ch, sizeof(ch));
+            } catch (const util::IoError &e) {
+                if (e.code() == 0)
+                    throw TraceFileError(path, "truncated chunk header");
+                rethrowTraceIo(e);
+            }
+            const ChunkHeaderV2 hdr = checkChunkHeaderV2(
+                ch, h.payloadBytes - offset - kChunkHeaderBytesV2, path,
+                "corrupt chunk header at payload offset " +
+                    std::to_string(offset));
+            hash = fnv1a(ch, sizeof(ch), hash);
+            enc.resize(hdr.payloadBytes);
+            try {
+                in.readExact(enc.data(), enc.size());
             } catch (const util::IoError &e) {
                 if (e.code() == 0)
                     throw TraceFileError(path, "truncated chunk payload");
                 rethrowTraceIo(e);
             }
-            hash = fnv1a(io.data(), take, hash);
-            bytes -= take;
+            hash = fnv1a(enc.data(), enc.size(), hash);
+            scratch.resize(hdr.count);
+            columnar::decodeChunk(enc.data(), hdr.colBytes, hdr.count,
+                                  scratch.data(), path);
+            offset += kChunkHeaderBytesV2 + hdr.payloadBytes;
+            records += hdr.count;
+            ++info.chunkCount;
         }
-        records += count;
-        ++info.chunkCount;
     }
     if (records != h.recordCount)
         throw TraceFileError(path, "record count mismatch (header says " +
@@ -276,9 +366,15 @@ probeTraceFile(const std::string &path)
 // TraceFileWriter
 // ----------------------------------------------------------------------
 
-TraceFileWriter::TraceFileWriter(const std::string &path)
-    : path_(path), tmpPath_(path + ".tmp")
+TraceFileWriter::TraceFileWriter(const std::string &path,
+                                 uint32_t version)
+    : path_(path), tmpPath_(path + ".tmp"), version_(version),
+      chunkCap_(version == kTraceFormatV2 ? kChunkRecordsV2
+                                          : kChunkRecords)
 {
+    if (version < kTraceFormatV1 || version > kTraceFormatLatest)
+        throw TraceFileError(path, "unknown trace format version " +
+                                       std::to_string(version));
     std::error_code ec;
     const auto parent = std::filesystem::path(path).parent_path();
     if (!parent.empty())
@@ -286,14 +382,16 @@ TraceFileWriter::TraceFileWriter(const std::string &path)
 
     try {
         out_ = util::CheckedFile::openWrite(tmpPath_, "trace.record");
-        const std::string h = headerBytes(TraceHeader{});
+        TraceHeader unfinished;
+        unfinished.version = version_;
+        const std::string h = headerBytes(unfinished);
         out_.writeAll(h.data(), h.size());    // recordCount = unfinished
     } catch (const util::IoError &e) {
         out_ = util::CheckedFile();
         std::filesystem::remove(tmpPath_, ec);
         rethrowTraceIo(e);
     }
-    chunk_.reserve(kChunkRecords);
+    chunk_.reserve(chunkCap_);
     open_ = true;
 }
 
@@ -329,7 +427,7 @@ TraceFileWriter::append(const InstRecord *recs, size_t n)
         clean.taken = r.taken;
         clean.target = r.target;
         chunk_.push_back(clean);
-        if (chunk_.size() == kChunkRecords)
+        if (chunk_.size() == chunkCap_)
             flushChunk();
     }
     count_ += n;
@@ -341,17 +439,36 @@ TraceFileWriter::flushChunk()
     if (chunk_.empty())
         return;
     const uint32_t count = static_cast<uint32_t>(chunk_.size());
-    const size_t bytes = chunk_.size() * sizeof(InstRecord);
-    char ch[kChunkHeaderBytes];
-    std::memcpy(ch, &kTraceChunkMagic, sizeof(kTraceChunkMagic));
-    std::memcpy(ch + 4, &count, sizeof(count));
-    out_.writeAll(ch, sizeof(ch));
-    out_.writeAll(chunk_.data(), bytes);
-    payloadHash_ = fnv1a(&kTraceChunkMagic, sizeof(kTraceChunkMagic),
-                         payloadHash_);
-    payloadHash_ = fnv1a(&count, sizeof(count), payloadHash_);
-    payloadHash_ = fnv1a(chunk_.data(), bytes, payloadHash_);
-    payloadBytes_ += kChunkHeaderBytes + bytes;
+    if (version_ == kTraceFormatV1) {
+        const size_t bytes = chunk_.size() * sizeof(InstRecord);
+        char ch[kChunkHeaderBytes];
+        std::memcpy(ch, &kTraceChunkMagic, sizeof(kTraceChunkMagic));
+        std::memcpy(ch + 4, &count, sizeof(count));
+        out_.writeAll(ch, sizeof(ch));
+        out_.writeAll(chunk_.data(), bytes);
+        // Hash magic and count as two 4-byte pieces, exactly as the
+        // probe does — FNV's word folding makes piecewise and whole
+        // hashing differ.
+        payloadHash_ = fnv1a(&kTraceChunkMagic, sizeof(kTraceChunkMagic),
+                             payloadHash_);
+        payloadHash_ = fnv1a(&count, sizeof(count), payloadHash_);
+        payloadHash_ = fnv1a(chunk_.data(), bytes, payloadHash_);
+        payloadBytes_ += kChunkHeaderBytes + bytes;
+    } else {
+        enc_.clear();
+        uint32_t colBytes[columnar::kNumColumns] = {};
+        columnar::encodeChunk(chunk_.data(), chunk_.size(), enc_,
+                              colBytes);
+        char ch[kChunkHeaderBytesV2];
+        std::memcpy(ch, &kTraceChunkMagicV2, sizeof(kTraceChunkMagicV2));
+        std::memcpy(ch + 4, &count, sizeof(count));
+        std::memcpy(ch + 8, colBytes, sizeof(colBytes));
+        out_.writeAll(ch, sizeof(ch));
+        out_.writeAll(enc_.data(), enc_.size());
+        payloadHash_ = fnv1a(ch, sizeof(ch), payloadHash_);
+        payloadHash_ = fnv1a(enc_.data(), enc_.size(), payloadHash_);
+        payloadBytes_ += kChunkHeaderBytesV2 + enc_.size();
+    }
     chunk_.clear();
 }
 
@@ -364,6 +481,7 @@ TraceFileWriter::close()
         flushChunk();
 
         TraceHeader h;
+        h.version = version_;
         h.recordCount = count_;
         h.payloadBytes = payloadBytes_;
         h.payloadHash = payloadHash_;
@@ -414,7 +532,10 @@ FileTraceSource::FileTraceSource(const std::string &path,
             in_.readExact(hb, sizeof(hb));
             TraceHeader h;
             checkHeaderBytes(hb, path_, h);
-            if (h.recordCount != info_.recordCount ||
+            if (info_.version == 0)
+                info_.version = h.version;  // pre-v2 probe results
+            if (h.version != info_.version ||
+                h.recordCount != info_.recordCount ||
                 h.payloadBytes != info_.payloadBytes ||
                 h.payloadHash != info_.payloadHash)
                 throw TraceFileError(path_, "file changed since it was "
@@ -433,36 +554,66 @@ FileTraceSource::refill()
     if (chunksRead_ == info_.chunkCount)
         return false;
     checkReadFailpoint("trace.chunk.read", path_, "chunk read");
-    uint32_t magic = 0, count = 0;
+    static obs::Counter chunks("trace.chunk.decoded");
+    static obs::Counter bytes("trace.bytes.read");
     // probeTraceFile validated the whole chain; a mismatch here means
     // the file changed underneath us, which must not degrade into a
     // silently short trace.
-    char ch[kChunkHeaderBytes];
-    try {
-        in_.readExact(ch, sizeof(ch));
-    } catch (const util::IoError &e) {
-        if (e.code() == 0)
+    if (info_.version == kTraceFormatV1) {
+        uint32_t magic = 0, count = 0;
+        char ch[kChunkHeaderBytes];
+        try {
+            in_.readExact(ch, sizeof(ch));
+        } catch (const util::IoError &e) {
+            if (e.code() == 0)
+                throw TraceFileError(path_,
+                                     "chunk header changed after open");
+            rethrowTraceIo(e);
+        }
+        std::memcpy(&magic, ch, sizeof(magic));
+        std::memcpy(&count, ch + 4, sizeof(count));
+        if (magic != kTraceChunkMagic || count == 0)
             throw TraceFileError(path_,
                                  "chunk header changed after open");
-        rethrowTraceIo(e);
+        buf_.resize(count);
+        try {
+            in_.readExact(buf_.data(), count * sizeof(InstRecord));
+        } catch (const util::IoError &e) {
+            if (e.code() == 0)
+                throw TraceFileError(path_,
+                                     "chunk payload changed after open");
+            rethrowTraceIo(e);
+        }
+        bytes.add(kChunkHeaderBytes +
+                  uint64_t(count) * sizeof(InstRecord));
+    } else {
+        char ch[kChunkHeaderBytesV2];
+        try {
+            in_.readExact(ch, sizeof(ch));
+        } catch (const util::IoError &e) {
+            if (e.code() == 0)
+                throw TraceFileError(path_,
+                                     "chunk header changed after open");
+            rethrowTraceIo(e);
+        }
+        const ChunkHeaderV2 hdr =
+            checkChunkHeaderV2(ch, info_.payloadBytes, path_,
+                               "chunk header changed after open");
+        enc_.resize(hdr.payloadBytes);
+        try {
+            in_.readExact(enc_.data(), enc_.size());
+        } catch (const util::IoError &e) {
+            if (e.code() == 0)
+                throw TraceFileError(path_,
+                                     "chunk payload changed after open");
+            rethrowTraceIo(e);
+        }
+        buf_.resize(hdr.count);
+        columnar::decodeChunk(enc_.data(), hdr.colBytes, hdr.count,
+                              buf_.data(), path_);
+        bytes.add(kChunkHeaderBytesV2 + hdr.payloadBytes);
     }
-    std::memcpy(&magic, ch, sizeof(magic));
-    std::memcpy(&count, ch + 4, sizeof(count));
-    if (magic != kTraceChunkMagic || count == 0)
-        throw TraceFileError(path_, "chunk header changed after open");
-    buf_.resize(count);
-    try {
-        in_.readExact(buf_.data(), count * sizeof(InstRecord));
-    } catch (const util::IoError &e) {
-        if (e.code() == 0)
-            throw TraceFileError(path_,
-                                 "chunk payload changed after open");
-        rethrowTraceIo(e);
-    }
-    static obs::Counter chunks("trace.chunk.decoded");
-    static obs::Counter bytes("trace.bytes.read");
     chunks.add(1);
-    bytes.add(kChunkHeaderBytes + uint64_t(count) * sizeof(InstRecord));
     pos_ = 0;
     ++chunksRead_;
     return true;
@@ -527,6 +678,12 @@ MappedTraceSource::MappedTraceSource(const std::string &path,
 {
     static obs::Counter opens("trace.open.mmap");
     opens.add(1);
+    // v2 chunks hold encoded column streams, not InstRecord bytes, so
+    // there is nothing a mapping could lend spans out of.
+    if (info_.version == kTraceFormatV2)
+        throw TraceFileError(path,
+                             "columnar v2 trace: mmap replay is "
+                             "v1-only; use the streamed reader");
     mapBytes_ = kTraceHeaderBytes + info_.payloadBytes;
     checkReadFailpoint("trace.replay.open", path, "open");
     const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
@@ -566,7 +723,7 @@ MappedTraceSource::MappedTraceSource(const std::string &path,
     std::memcpy(&h.payloadBytes, base_ + 32, sizeof(h.payloadBytes));
     std::memcpy(&h.payloadHash, base_ + 40, sizeof(h.payloadHash));
     if (std::memcmp(base_, kTraceMagic, sizeof(kTraceMagic)) != 0 ||
-        h.version != kTraceFormatVersion ||
+        h.version != kTraceFormatV1 ||
         h.recordBytes != sizeof(InstRecord) ||
         h.layoutHash != kTraceLayoutHash ||
         h.recordCount != info_.recordCount ||
@@ -845,9 +1002,88 @@ openTraceFile(const std::string &path, bool streamed,
         std::filesystem::path(path).extension().string();
     if (ext == ".csv" || ext == ".txt")
         return std::make_unique<VectorTraceSource>(readTextTrace(path));
-    if (streamed)
+    // Dispatch on the header format version: v2 files always replay
+    // through the streamed reader (mmap has no raw records to lend).
+    TraceFileInfo local;
+    if (known == nullptr) {
+        local = probeTraceFile(path);
+        known = &local;
+    }
+    if (streamed || known->version == kTraceFormatV2)
         return std::make_unique<FileTraceSource>(path, known);
     return std::make_unique<MappedTraceSource>(path, known);
+}
+
+TraceConvertStats
+convertTraceFile(const std::string &src, const std::string &dst,
+                 uint32_t dstVersion)
+{
+    obs::ObsSpan sp("trace.convert");
+    const TraceFileInfo srcInfo = probeTraceFile(src);
+    TraceConvertStats stats;
+    stats.srcVersion = srcInfo.version;
+    stats.dstVersion = dstVersion;
+    stats.srcBytes = kTraceHeaderBytes + srcInfo.payloadBytes;
+
+    {
+        FileTraceSource in(src, &srcInfo);
+        TraceFileWriter out(dst, dstVersion);
+        const InstRecord *span = nullptr;
+        size_t got = 0;
+        while ((got = in.nextSpan(span, nullptr, size_t(-1))) > 0)
+            out.append(span, got);
+        stats.records = out.recordCount();
+        out.close();
+    }
+
+    // Trust nothing about the copy loop: re-open both files and prove
+    // them record-identical before reporting success.
+    std::string why;
+    if (!traceRecordsIdentical(src, dst, why)) {
+        std::error_code ec;
+        std::filesystem::remove(dst, ec);
+        throw TraceFileError(dst, "conversion verification failed: " +
+                                      why);
+    }
+    stats.dstBytes =
+        kTraceHeaderBytes + probeTraceFile(dst).payloadBytes;
+    sp.arg("records", stats.records);
+    sp.arg("dst_bytes", stats.dstBytes);
+    return stats;
+}
+
+bool
+traceRecordsIdentical(const std::string &a, const std::string &b,
+                      std::string &why)
+{
+    FileTraceSource ra(a);
+    FileTraceSource rb(b);
+    if (ra.recordCount() != rb.recordCount()) {
+        why = a + " holds " + std::to_string(ra.recordCount()) +
+              " records, " + b + " holds " +
+              std::to_string(rb.recordCount());
+        return false;
+    }
+    InstRecord x, y;
+    uint64_t i = 0;
+    while (ra.next(x)) {
+        if (!rb.next(y)) {
+            why = b + " ended early at record " + std::to_string(i);
+            return false;
+        }
+        // Compare canonical forms: the validity rules in
+        // inst_record.hh make anything beyond them unobservable, and
+        // v2 encoding canonicalizes by construction.
+        const InstRecord ca = columnar::canonicalRecord(x);
+        const InstRecord cb = columnar::canonicalRecord(y);
+        if (std::memcmp(&ca, &cb, sizeof(InstRecord)) != 0) {
+            why = "record " + std::to_string(i) + " differs";
+            return false;
+        }
+        ++i;
+    }
+    why.clear();
+    return true;
 }
 
 } // namespace mica

@@ -16,27 +16,39 @@
  *
  *   header, 48 bytes:
  *     char[8]  magic        "MICATRC\n"
- *     u32      version      kTraceFormatVersion
+ *     u32      version      1 (raw records) or 2 (columnar)
  *     u32      recordBytes  sizeof(InstRecord)
  *     u64      layoutHash   kTraceLayoutHash (field offsets + sizes)
  *     u64      recordCount  total records (kTraceUnfinished until the
  *                           writer's close() patches it)
  *     u64      payloadBytes total bytes of all chunks after the header
  *     u64      payloadHash  FNV-1a over every payload byte
- *   payload: a sequence of chunks
- *     u32      chunkMagic   kTraceChunkMagic
+ *   v1 payload: a sequence of chunks
+ *     u32      chunkMagic   kTraceChunkMagic ("TCHK")
  *     u32      count        records in this chunk (> 0)
  *     InstRecord[count]     raw records, padding bytes zeroed
+ *   v2 payload: a sequence of columnar chunks
+ *     u32      chunkMagic   kTraceChunkMagicV2 ("TCH2")
+ *     u32      count        records in this chunk (> 0)
+ *     u32[6]   colBytes     byte length of each column stream
+ *     byte[..] columns      the six streams, concatenated in column
+ *                           order (see trace/columnar.hh)
  *
- * The header is 48 bytes and every chunk advances the file offset by
- * 8 + count * sizeof(InstRecord), so records stay 8-byte aligned and
- * the mmap reader can lend InstRecord spans directly out of the
- * mapping. Every reader validates the whole chunk structure AND the
- * payload checksum up front (one sequential read at open; the replay
- * hot loop stays untouched) and rejects corrupt, truncated, or
- * version/layout-mismatched files with a TraceFileError naming the
- * file and the reason — a bad trace file can never silently degrade
- * into re-interpreting, partial replay, or replaying flipped bits.
+ * A v1 chunk advances the file offset by 8 + count * sizeof(InstRecord)
+ * with records 8-byte aligned, so the mmap reader lends InstRecord
+ * spans directly out of the mapping. A v2 chunk stores the same records
+ * as delta/varint/bit-packed column streams (~5 bytes per record
+ * instead of 48); it must be decoded, so v2 files replay through the
+ * streamed reader (MappedTraceSource is v1-only). Readers dispatch
+ * on the header version; both versions stay readable forever.
+ *
+ * Every reader validates the whole chunk structure AND the payload
+ * checksum up front (one sequential read at open; for v2 the probe
+ * fully decodes every chunk so corruption is reported per column) and
+ * rejects corrupt, truncated, or version/layout-mismatched files with
+ * a TraceFileError naming the file and the reason — a bad trace file
+ * can never silently degrade into re-interpreting, partial replay, or
+ * replaying flipped bits.
  */
 
 #pragma once
@@ -55,8 +67,14 @@
 namespace mica
 {
 
-/** Bump when the on-disk trace layout changes. */
-constexpr uint32_t kTraceFormatVersion = 1;
+/** Format 1: chunks of raw 8-byte-aligned InstRecords (mmap-able). */
+constexpr uint32_t kTraceFormatV1 = 1;
+
+/** Format 2: columnar chunks (delta/varint/bit-packed streams). */
+constexpr uint32_t kTraceFormatV2 = 2;
+
+/** Newest format this build can read and write. */
+constexpr uint32_t kTraceFormatLatest = kTraceFormatV2;
 
 /** Sentinel recordCount of a recording whose writer never closed. */
 constexpr uint64_t kTraceUnfinished = ~0ull;
@@ -118,6 +136,7 @@ class TraceFileError : public std::runtime_error
 /** Header facts of one validated binary trace file. */
 struct TraceFileInfo
 {
+    uint32_t version = 0;       ///< trace format version (1 or 2)
     uint64_t recordCount = 0;   ///< total records across all chunks
     uint64_t payloadBytes = 0;  ///< bytes after the 48-byte header
     uint64_t chunkCount = 0;    ///< number of payload chunks
@@ -149,14 +168,26 @@ TraceFileInfo probeTraceFile(const std::string &path);
 class TraceFileWriter
 {
   public:
-    /** Records buffered per chunk (192 KB of payload). */
+    /** Records buffered per v1 chunk (192 KB of payload). */
     static constexpr size_t kChunkRecords = 4096;
 
     /**
-     * Create the destination directory if needed and open the .tmp
-     * sibling. @throws TraceFileError when the file cannot be opened.
+     * Records buffered per v2 chunk. Columnar encoding amortizes the
+     * 32-byte chunk header and the per-chunk delta restart over more
+     * records; the decode scratch stays well under 1 MB.
      */
-    explicit TraceFileWriter(const std::string &path);
+    static constexpr size_t kChunkRecordsV2 = 16384;
+
+    /**
+     * Create the destination directory if needed and open the .tmp
+     * sibling.
+     * @param version on-disk format: kTraceFormatV1 (raw records) or
+     *        kTraceFormatV2 (columnar).
+     * @throws TraceFileError when the file cannot be opened or
+     *         @p version is unknown.
+     */
+    explicit TraceFileWriter(const std::string &path,
+                             uint32_t version = kTraceFormatV1);
 
     /** Discards the .tmp file unless close() already ran. */
     ~TraceFileWriter();
@@ -186,13 +217,19 @@ class TraceFileWriter
     /** @return the destination path. */
     const std::string &path() const { return path_; }
 
+    /** @return the on-disk format version being written. */
+    uint32_t version() const { return version_; }
+
   private:
     void flushChunk();
 
     std::string path_;
     std::string tmpPath_;
+    uint32_t version_ = kTraceFormatV1;
+    size_t chunkCap_ = kChunkRecords;
     util::CheckedFile out_;
     std::vector<InstRecord> chunk_;
+    std::string enc_;           ///< reused v2 chunk encode buffer
     uint64_t count_ = 0;
     uint64_t payloadBytes_ = 0;
     uint64_t payloadHash_ = 14695981039346656037ull;    // FNV-1a basis
@@ -235,6 +272,7 @@ class FileTraceSource : public TraceSource
     TraceFileInfo info_;
     util::CheckedFile in_;
     std::vector<InstRecord> buf_;
+    std::vector<char> enc_;     ///< reused v2 column payload buffer
     size_t pos_ = 0;            ///< consumed records within buf_
     uint64_t chunksRead_ = 0;
 };
@@ -243,7 +281,10 @@ class FileTraceSource : public TraceSource
  * mmap-backed reader: the whole file is mapped read-only and
  * nextSpan() lends records directly out of the mapping — zero copies
  * on the profiling hot path (chunks keep records 8-byte aligned).
- * Supports reset().
+ * Supports reset(). v1-only by design: a v2 file stores encoded
+ * columns, not InstRecord bytes, so there is nothing to lend spans
+ * out of — the constructor rejects v2 files and points at the
+ * streamed reader.
  */
 class MappedTraceSource : public TraceSource
 {
@@ -357,16 +398,52 @@ std::vector<InstRecord> parseTextTrace(std::istream &in,
 std::vector<InstRecord> readTextTrace(const std::string &path);
 
 /**
- * Open a trace file with the reader its extension calls for: binary
- * ".trace" files via MappedTraceSource (or FileTraceSource when
- * @p streamed), ".csv"/".txt" text traces via a replay buffer.
+ * Open a trace file with the reader its contents call for: binary
+ * ".trace" files dispatch on the header format version — v1 via
+ * MappedTraceSource (or FileTraceSource when @p streamed), v2 always
+ * via the streamed FileTraceSource — and ".csv"/".txt" text traces
+ * replay from a parsed buffer.
  * @param known optional earlier probe result for binary files (see
- *        the reader constructors); ignored for text traces.
+ *        the reader constructors); when omitted the file is probed
+ *        here so the version dispatch can read it. Ignored for text
+ *        traces.
  * @throws TraceFileError when the file fails validation.
  */
 std::unique_ptr<TraceSource> openTraceFile(const std::string &path,
                                            bool streamed = false,
                                            const TraceFileInfo *known =
                                                nullptr);
+
+/** Facts reported by convertTraceFile. */
+struct TraceConvertStats
+{
+    uint32_t srcVersion = 0;    ///< format of the source file
+    uint32_t dstVersion = 0;    ///< format written
+    uint64_t records = 0;       ///< records copied
+    uint64_t srcBytes = 0;      ///< source file size on disk
+    uint64_t dstBytes = 0;      ///< destination file size on disk
+};
+
+/**
+ * Re-encode the binary trace at @p src into @p dst with format
+ * @p dstVersion (written atomically via the normal .tmp + rename
+ * writer path), then re-open both files and verify them
+ * record-identical — every record of @p dst must equal the canonical
+ * form (trace/columnar.hh) of the corresponding @p src record.
+ *
+ * @throws TraceFileError when @p src fails validation, the write
+ *         fails, or — after deleting @p dst — verification fails.
+ */
+TraceConvertStats convertTraceFile(const std::string &src,
+                                   const std::string &dst,
+                                   uint32_t dstVersion);
+
+/**
+ * Replay @p a and @p b side by side and compare canonicalized records.
+ * @param why receives a description of the first difference.
+ * @return true when both traces hold identical records.
+ */
+bool traceRecordsIdentical(const std::string &a, const std::string &b,
+                           std::string &why);
 
 } // namespace mica

@@ -1,0 +1,312 @@
+#include "workloads/corpus.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "obs/obs.hh"
+#include "service/json.hh"
+#include "trace/trace_file.hh"
+#include "util/checked_io.hh"
+
+namespace mica::workloads
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Render a digest the way the manifest stores it. */
+std::string
+hexDigest(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Parse "0x..." back to a u64; @return false on malformed text. */
+bool
+parseHexDigest(const std::string &s, uint64_t &v)
+{
+    if (s.size() < 3 || s[0] != '0' || (s[1] != 'x' && s[1] != 'X'))
+        return false;
+    v = 0;
+    for (size_t i = 2; i < s.size(); ++i) {
+        const char c = s[i];
+        unsigned d;
+        if (c >= '0' && c <= '9')
+            d = static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            d = static_cast<unsigned>(c - 'a') + 10;
+        else if (c >= 'A' && c <= 'F')
+            d = static_cast<unsigned>(c - 'A') + 10;
+        else
+            return false;
+        v = (v << 4) | d;
+    }
+    return true;
+}
+
+bool
+isTraceExtension(const std::string &ext)
+{
+    return ext == ".trace" || ext == ".csv" || ext == ".txt";
+}
+
+} // namespace
+
+uint64_t
+CorpusShard::records() const
+{
+    uint64_t n = 0;
+    for (const auto &t : traces)
+        n += t.records;
+    return n;
+}
+
+uint64_t
+CorpusShard::bytes() const
+{
+    uint64_t n = 0;
+    for (const auto &t : traces)
+        n += t.bytes;
+    return n;
+}
+
+uint64_t
+CorpusShard::digest() const
+{
+    uint64_t h = fnv1a(name.data(), name.size());
+    for (const auto &t : traces) {
+        h = fnv1a(t.file.data(), t.file.size(), h);
+        h = fnv1a(&t.digest, sizeof(t.digest), h);
+        h = fnv1a(&t.records, sizeof(t.records), h);
+    }
+    return h;
+}
+
+size_t
+CorpusManifest::traceCount() const
+{
+    size_t n = 0;
+    for (const auto &s : shards)
+        n += s.traces.size();
+    return n;
+}
+
+uint64_t
+CorpusManifest::records() const
+{
+    uint64_t n = 0;
+    for (const auto &s : shards)
+        n += s.records();
+    return n;
+}
+
+uint64_t
+CorpusManifest::bytes() const
+{
+    uint64_t n = 0;
+    for (const auto &s : shards)
+        n += s.bytes();
+    return n;
+}
+
+size_t
+CorpusManifest::shardIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < shards.size(); ++i) {
+        if (shards[i].name == name)
+            return i;
+    }
+    return static_cast<size_t>(-1);
+}
+
+std::vector<std::string>
+CorpusManifest::shardFiles(size_t shard) const
+{
+    std::vector<std::string> out;
+    if (shard >= shards.size())
+        return out;
+    out.reserve(shards[shard].traces.size());
+    for (const auto &t : shards[shard].traces)
+        out.push_back((fs::path(root) / t.file).string());
+    return out;
+}
+
+std::string
+CorpusManifest::dump() const
+{
+    using service::JsonValue;
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue::str(kSchema));
+    JsonValue shardArr = JsonValue::array();
+    for (const auto &s : shards) {
+        JsonValue sj = JsonValue::object();
+        sj.set("name", JsonValue::str(s.name));
+        JsonValue traceArr = JsonValue::array();
+        for (const auto &t : s.traces) {
+            JsonValue tj = JsonValue::object();
+            tj.set("file", JsonValue::str(t.file));
+            tj.set("format",
+                   JsonValue::number(static_cast<uint64_t>(t.format)));
+            tj.set("records", JsonValue::number(t.records));
+            tj.set("bytes", JsonValue::number(t.bytes));
+            tj.set("digest", JsonValue::str(hexDigest(t.digest)));
+            traceArr.push(std::move(tj));
+        }
+        sj.set("traces", std::move(traceArr));
+        shardArr.push(std::move(sj));
+    }
+    doc.set("shards", std::move(shardArr));
+    return doc.dump();
+}
+
+CorpusManifest
+scanCorpus(const std::string &dir, size_t shardSize)
+{
+    obs::ObsSpan sp("corpus.scan");
+    if (shardSize == 0)
+        throw CorpusError(dir, "shard size must be at least 1");
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        throw CorpusError(dir, "not a directory");
+
+    // Deterministic plan: relative paths, sorted lexicographically, so
+    // the same tree shards the same way on every host and filesystem.
+    std::vector<std::string> files;
+    for (const auto &de : fs::recursive_directory_iterator(dir)) {
+        if (!de.is_regular_file())
+            continue;
+        if (!isTraceExtension(de.path().extension().string()))
+            continue;
+        files.push_back(
+            fs::relative(de.path(), dir, ec).generic_string());
+    }
+    if (files.empty())
+        throw CorpusError(dir, "no trace files found (looked for "
+                               "*.trace, *.csv, *.txt)");
+    std::sort(files.begin(), files.end());
+
+    CorpusManifest m;
+    m.root = fs::absolute(dir).lexically_normal().string();
+    for (size_t base = 0; base < files.size(); base += shardSize) {
+        CorpusShard shard;
+        char name[32];
+        std::snprintf(name, sizeof(name), "shard-%03zu",
+                      m.shards.size());
+        shard.name = name;
+        const size_t end = std::min(files.size(), base + shardSize);
+        for (size_t i = base; i < end; ++i) {
+            const std::string abs =
+                (fs::path(m.root) / files[i]).string();
+            CorpusTrace t;
+            t.file = files[i];
+            t.bytes = fs::file_size(abs, ec);
+            if (fs::path(files[i]).extension() == ".trace") {
+                // Full validation now beats a quarantine surprise
+                // mid-sweep: an unreadable corpus should be fixed or
+                // pruned before it is sharded.
+                const TraceFileInfo fi = probeTraceFile(abs);
+                t.format = fi.version;
+                t.records = fi.recordCount;
+                t.digest =
+                    fnv1a(&fi.recordCount, sizeof(fi.recordCount),
+                          fnv1a(&fi.payloadHash,
+                                sizeof(fi.payloadHash)));
+            } else {
+                const std::string bytes =
+                    util::readFileBytes(abs, "corpus.scan");
+                std::istringstream text(bytes);
+                t.format = 0;
+                t.records = parseTextTrace(text, abs).size();
+                t.digest = fnv1a(bytes.data(), bytes.size());
+            }
+            shard.traces.push_back(std::move(t));
+        }
+        m.shards.push_back(std::move(shard));
+    }
+    sp.arg("files", files.size());
+    sp.arg("shards", m.shards.size());
+    static obs::Counter scanned("corpus.scan.files");
+    scanned.add(files.size());
+    return m;
+}
+
+void
+saveCorpus(const CorpusManifest &m)
+{
+    const std::string path =
+        (fs::path(m.root) / CorpusManifest::kFileName).string();
+    util::atomicWriteFile(path, m.dump() + "\n", "corpus.manifest");
+}
+
+CorpusManifest
+loadCorpus(const std::string &dir)
+{
+    const std::string path =
+        (fs::path(dir) / CorpusManifest::kFileName).string();
+    const std::string text = util::readFileBytes(path, "corpus.load");
+
+    service::JsonValue doc;
+    std::string err;
+    if (!service::parseJson(text, &doc, &err) || !doc.isObject())
+        throw CorpusError(path, "not valid JSON: " + err);
+    const auto *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != CorpusManifest::kSchema)
+        throw CorpusError(path,
+                          "schema mismatch (want " +
+                              std::string(CorpusManifest::kSchema) +
+                              ")");
+    const auto *shards = doc.find("shards");
+    if (!shards || !shards->isArray() || shards->items().empty())
+        throw CorpusError(path, "missing or empty 'shards' array");
+
+    CorpusManifest m;
+    m.root = fs::absolute(dir).lexically_normal().string();
+    for (const auto &sj : shards->items()) {
+        const auto *name = sj.isObject() ? sj.find("name") : nullptr;
+        const auto *traces = sj.isObject() ? sj.find("traces") : nullptr;
+        if (!name || !name->isString() || name->asString().empty() ||
+            !traces || !traces->isArray() || traces->items().empty())
+            throw CorpusError(path, "malformed shard entry");
+        CorpusShard shard;
+        shard.name = name->asString();
+        if (m.shardIndex(shard.name) != static_cast<size_t>(-1))
+            throw CorpusError(path, "duplicate shard name '" +
+                                        shard.name + "'");
+        for (const auto &tj : traces->items()) {
+            const auto *file = tj.isObject() ? tj.find("file") : nullptr;
+            const auto *format =
+                tj.isObject() ? tj.find("format") : nullptr;
+            const auto *records =
+                tj.isObject() ? tj.find("records") : nullptr;
+            const auto *bytes = tj.isObject() ? tj.find("bytes") : nullptr;
+            const auto *digest =
+                tj.isObject() ? tj.find("digest") : nullptr;
+            CorpusTrace t;
+            if (!file || !file->isString() || file->asString().empty() ||
+                !format || format->asCount() < 0 || !records ||
+                records->asCount() < 0 || !bytes ||
+                bytes->asCount() < 0 || !digest || !digest->isString() ||
+                !parseHexDigest(digest->asString(), t.digest))
+                throw CorpusError(path,
+                                  "malformed trace entry in shard '" +
+                                      shard.name + "'");
+            t.file = file->asString();
+            t.format = static_cast<uint32_t>(format->asCount());
+            t.records = static_cast<uint64_t>(records->asCount());
+            t.bytes = static_cast<uint64_t>(bytes->asCount());
+            shard.traces.push_back(std::move(t));
+        }
+        m.shards.push_back(std::move(shard));
+    }
+    return m;
+}
+
+} // namespace mica::workloads

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Sharded trace-corpus manifests: out-of-core profiling input.
+ *
+ * A corpus is a directory tree of recorded trace files plus a
+ * `corpus.json` manifest that carves the files into named shards. The
+ * manifest is the unit of planning — it is written once by `mica
+ * corpus init` and read by every later sweep — and the shard is the
+ * unit of execution and resume: the pipeline profiles one shard at a
+ * time (peak memory is bounded by the largest shard, not the corpus),
+ * marks each completed shard with a digest-stamped done marker, and a
+ * killed sweep restarts only the shards without a valid marker.
+ *
+ * Manifest schema (canonical JSON, service/json.hh):
+ *
+ *   {"schema":"mica-corpus/1",
+ *    "shards":[{"name":"shard-000",
+ *               "traces":[{"file":"SPEC2000__bzip2.source.trace",
+ *                          "format":2,
+ *                          "records":200000,
+ *                          "bytes":1183283,
+ *                          "digest":"0x1f2e..."}, ...]}, ...]}
+ *
+ * File paths are relative to the manifest's directory, so a corpus
+ * tree can be moved or mounted elsewhere without re-initializing.
+ * Scanning is deterministic: files sort lexicographically by relative
+ * path and shards are contiguous blocks of that order, so the same
+ * tree always produces the same manifest. Every trace is probed at
+ * scan time (full validation, see trace/trace_file.hh) and its
+ * content digest lands in the manifest — the same digest formula the
+ * trace-directory benchmarks use — so a re-recorded or corrupted file
+ * is detected by comparing digests, not timestamps.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mica::workloads
+{
+
+/** Corpus-layer failures: bad manifests, bad trees, bad arguments. */
+class CorpusError : public std::runtime_error
+{
+  public:
+    CorpusError(const std::string &path, const std::string &reason)
+        : std::runtime_error("corpus " + path + ": " + reason)
+    {}
+};
+
+/** One trace file as recorded in the manifest. */
+struct CorpusTrace
+{
+    std::string file;       ///< path relative to the corpus root
+    uint32_t format = 0;    ///< trace format version (0 = text trace)
+    uint64_t records = 0;   ///< dynamic instruction records
+    uint64_t bytes = 0;     ///< file size on disk
+    uint64_t digest = 0;    ///< content digest (count + payload hash)
+};
+
+/** A named contiguous block of corpus traces. */
+struct CorpusShard
+{
+    std::string name;
+    std::vector<CorpusTrace> traces;
+
+    /** @return total records across the shard's traces. */
+    uint64_t records() const;
+
+    /** @return total on-disk bytes across the shard's traces. */
+    uint64_t bytes() const;
+
+    /**
+     * @return a digest of the shard's identity and contents (names +
+     * per-file digests, order-sensitive). Done markers carry it, so
+     * resume only trusts a marker written for exactly these bytes.
+     */
+    uint64_t digest() const;
+};
+
+/** The parsed (or freshly scanned) corpus manifest. */
+struct CorpusManifest
+{
+    static constexpr const char *kSchema = "mica-corpus/1";
+    static constexpr const char *kFileName = "corpus.json";
+
+    std::string root;   ///< directory holding corpus.json
+    std::vector<CorpusShard> shards;
+
+    /** @return total trace files across all shards. */
+    size_t traceCount() const;
+
+    /** @return total records across all shards. */
+    uint64_t records() const;
+
+    /** @return total on-disk bytes across all shards. */
+    uint64_t bytes() const;
+
+    /** @return shard index by name, or npos. */
+    size_t shardIndex(const std::string &name) const;
+
+    /** @return absolute paths of one shard's trace files. */
+    std::vector<std::string> shardFiles(size_t shard) const;
+
+    /** @return the manifest as canonical JSON. */
+    std::string dump() const;
+};
+
+/**
+ * Walk the directory tree under @p dir, probe every trace file
+ * (*.trace binary, *.csv / *.txt text), and carve the sorted file
+ * list into shards of at most @p shardSize traces.
+ *
+ * @throws CorpusError when @p dir is not a directory, holds no trace
+ *         files, or @p shardSize is 0; TraceFileError when any trace
+ *         fails validation (an unreadable corpus must be fixed or
+ *         pruned before it is sharded, not silently skipped).
+ */
+CorpusManifest scanCorpus(const std::string &dir, size_t shardSize);
+
+/** Write @p m to <root>/corpus.json atomically (.tmp + rename). */
+void saveCorpus(const CorpusManifest &m);
+
+/**
+ * Read and validate <dir>/corpus.json.
+ * @throws CorpusError naming the file and the violated invariant
+ *         (schema mismatch, duplicate shard names, empty shards,
+ *         malformed entries).
+ */
+CorpusManifest loadCorpus(const std::string &dir);
+
+} // namespace mica::workloads

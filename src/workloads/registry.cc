@@ -643,15 +643,31 @@ traceBenchmarks(const std::string &dir, bool streamReader,
     std::error_code ec;
     if (!fs::is_directory(dir, ec))
         throw TraceFileError(dir, "not a trace directory");
+    std::vector<std::string> files;
+    for (const auto &de : fs::directory_iterator(dir)) {
+        if (de.is_regular_file())
+            files.push_back(de.path().string());
+    }
+    return traceBenchmarksFromFiles(files, streamReader, maxInsts,
+                                    contentStamp, quarantined, dir);
+}
+
+std::vector<BenchmarkEntry>
+traceBenchmarksFromFiles(const std::vector<std::string> &files,
+                         bool streamReader, uint64_t maxInsts,
+                         uint64_t *contentStamp,
+                         std::vector<std::pair<std::string, std::string>>
+                             *quarantined,
+                         const std::string &what)
+{
+    namespace fs = std::filesystem;
 
     // Per-entry content identity, folded into *contentStamp after the
     // deterministic sort so cache keys depend on what the traces hold.
     std::vector<uint64_t> fileHash;
     std::vector<BenchmarkEntry> out;
-    for (const auto &de : fs::directory_iterator(dir)) {
-        if (!de.is_regular_file())
-            continue;
-        const fs::path &p = de.path();
+    for (const auto &file : files) {
+        const fs::path p(file);
         const std::string ext = p.extension().string();
         const bool binary = ext == ".trace";
         if (!binary && ext != ".csv" && ext != ".txt")
@@ -757,10 +773,10 @@ traceBenchmarks(const std::string &dir, bool streamReader,
         // Two files mapping to one benchmark name would profile
         // whichever happened to win — reject instead of guessing.
         if (k > 0 && names[order[k - 1]] == name)
-            throw TraceFileError(dir, "duplicate trace benchmark '" +
-                                          name +
-                                          "' (two files map to the "
-                                          "same name)");
+            throw TraceFileError(what, "duplicate trace benchmark '" +
+                                           name +
+                                           "' (two files map to the "
+                                           "same name)");
         stamp = fnv1a(name.data(), name.size(), stamp);
         stamp = fnv1a(&fileHash[idx], sizeof(fileHash[idx]), stamp);
         sorted.push_back(std::move(out[idx]));

@@ -104,4 +104,21 @@ traceBenchmarks(const std::string &dir, bool streamReader = false,
                 std::vector<std::pair<std::string, std::string>>
                     *quarantined = nullptr);
 
+/**
+ * As traceBenchmarks, but over an explicit file list instead of a
+ * directory scan — the corpus layer hands one shard's files through
+ * here. Semantics (validation, budget guard, quarantine, content
+ * stamp, registry-order sort, duplicate-name rejection) are identical;
+ * @p what names the trace set in set-level error messages (duplicate
+ * benchmark names). Files with unknown extensions are skipped.
+ */
+std::vector<BenchmarkEntry>
+traceBenchmarksFromFiles(const std::vector<std::string> &files,
+                         bool streamReader = false,
+                         uint64_t maxInsts = 0,
+                         uint64_t *contentStamp = nullptr,
+                         std::vector<std::pair<std::string, std::string>>
+                             *quarantined = nullptr,
+                         const std::string &what = "trace set");
+
 } // namespace mica::workloads

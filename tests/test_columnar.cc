@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the v2 columnar chunk codec primitives: varint and zigzag
+ * round trips at every boundary the encodings care about, bit-packed
+ * register fields at the width edges, full-chunk round trips over
+ * randomized record streams, and the per-column error naming the
+ * decoder guarantees.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/columnar.hh"
+#include "trace/trace_file.hh"
+
+namespace mica
+{
+namespace columnar
+{
+namespace
+{
+
+uint64_t
+varintRoundTrip(uint64_t v, size_t *encodedBytes = nullptr)
+{
+    std::string buf;
+    putVarint(buf, v);
+    if (encodedBytes != nullptr)
+        *encodedBytes = buf.size();
+    const auto *p = reinterpret_cast<const unsigned char *>(buf.data());
+    const auto *end = p + buf.size();
+    uint64_t out = ~v;
+    EXPECT_TRUE(getVarint(p, end, out));
+    EXPECT_EQ(p, end) << "decoder must consume the whole encoding";
+    return out;
+}
+
+TEST(VarintTest, RoundTripsBoundaryValues)
+{
+    // The byte-count edges of base-128: 0 and 127 fit one byte, 128
+    // and 16383 two, 16384 three, and UINT64_MAX all ten.
+    const struct { uint64_t v; size_t bytes; } cases[] = {
+        {0, 1},           {1, 1},          {127, 1},
+        {128, 2},         {16383, 2},      {16384, 3},
+        {(1ull << 35), 6}, {UINT64_MAX, 10},
+    };
+    for (const auto &c : cases) {
+        size_t n = 0;
+        EXPECT_EQ(varintRoundTrip(c.v, &n), c.v);
+        EXPECT_EQ(n, c.bytes) << "value " << c.v;
+    }
+}
+
+TEST(VarintTest, RejectsTruncationAndGarbage)
+{
+    std::string buf;
+    putVarint(buf, UINT64_MAX);
+    for (size_t keep = 0; keep < buf.size(); ++keep) {
+        const auto *p =
+            reinterpret_cast<const unsigned char *>(buf.data());
+        uint64_t v = 0;
+        EXPECT_FALSE(getVarint(p, p + keep, v)) << keep;
+    }
+    // Eleven continuation bytes can never be a valid u64.
+    const unsigned char overlong[11] = {0x80, 0x80, 0x80, 0x80, 0x80,
+                                        0x80, 0x80, 0x80, 0x80, 0x80,
+                                        0x00};
+    const unsigned char *p = overlong;
+    uint64_t v = 0;
+    EXPECT_FALSE(getVarint(p, p + sizeof(overlong), v));
+}
+
+TEST(ZigzagTest, RoundTripsBoundaryValues)
+{
+    const int64_t cases[] = {
+        0, 1, -1, 2, -2, 63, -64, INT64_MAX, INT64_MIN,
+        // The most negative PC delta a wrap-around step can produce.
+        INT64_MIN + 1,
+    };
+    for (int64_t v : cases)
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v) << v;
+    // Small magnitudes must map onto small codes (that is the point).
+    EXPECT_EQ(zigzagEncode(0), 0u);
+    EXPECT_EQ(zigzagEncode(-1), 1u);
+    EXPECT_EQ(zigzagEncode(1), 2u);
+    EXPECT_EQ(zigzagEncode(-2), 3u);
+}
+
+TEST(BitPackTest, RoundTripsAtEveryWidth)
+{
+    for (unsigned width = 0; width <= 16; ++width) {
+        const uint64_t maxVal =
+            width == 0 ? 0 : ((1ull << width) - 1);
+        const uint64_t vals[] = {0, maxVal / 2, maxVal};
+        std::string buf;
+        BitWriter bw(buf);
+        for (uint64_t v : vals)
+            bw.put(v, width);
+        bw.flush();
+        const auto *p =
+            reinterpret_cast<const unsigned char *>(buf.data());
+        BitReader br(p, p + buf.size());
+        for (uint64_t v : vals) {
+            uint64_t got = ~v;
+            ASSERT_TRUE(br.get(width, got)) << width;
+            EXPECT_EQ(got, v) << width;
+        }
+    }
+}
+
+TEST(BitPackTest, ReaderRefusesToRunPastTheEnd)
+{
+    std::string buf;
+    BitWriter bw(buf);
+    bw.put(0x3, 2);
+    bw.flush();     // one byte total
+    const auto *p = reinterpret_cast<const unsigned char *>(buf.data());
+    BitReader br(p, p + buf.size());
+    uint64_t v = 0;
+    EXPECT_TRUE(br.get(2, v));
+    EXPECT_TRUE(br.get(6, v));      // padding bits of the same byte
+    EXPECT_FALSE(br.get(1, v));     // next byte does not exist
+}
+
+/** One record of every shape the validity rules allow. */
+std::vector<InstRecord>
+shapedRecords()
+{
+    std::vector<InstRecord> recs;
+    InstRecord r;
+
+    r = InstRecord{};
+    r.cls = InstClass::Nop;
+    recs.push_back(r);      // no operands at all
+
+    r = InstRecord{};
+    r.cls = InstClass::Load;
+    r.pc = 0xfffffffffffffff0ull;   // wraps to a small PC next record
+    r.numSrcRegs = 1;
+    r.srcRegs[0] = 31;
+    r.dstReg = 7;
+    r.memAddr = UINT64_MAX;
+    r.memSize = 16;
+    recs.push_back(r);
+
+    r = InstRecord{};
+    r.cls = InstClass::Store;
+    r.pc = 4;               // max negative delta from the record above
+    r.numSrcRegs = 3;
+    r.srcRegs = {1, 2, 3};
+    r.memAddr = 0;          // max negative address delta
+    r.memSize = 1;
+    recs.push_back(r);
+
+    r = InstRecord{};
+    r.cls = InstClass::Branch;
+    r.pc = 0x400000;
+    r.numSrcRegs = 2;
+    r.srcRegs[0] = 63;
+    r.srcRegs[1] = 0;
+    r.taken = true;
+    r.target = 8;           // far backward target
+    recs.push_back(r);
+
+    r = InstRecord{};
+    r.cls = InstClass::Return;
+    r.pc = 0;
+    r.taken = true;
+    r.target = UINT64_MAX;  // far forward target
+    recs.push_back(r);
+    return recs;
+}
+
+std::vector<InstRecord>
+chunkRoundTrip(const std::vector<InstRecord> &recs)
+{
+    std::string enc;
+    uint32_t colBytes[kNumColumns] = {};
+    encodeChunk(recs.data(), recs.size(), enc, colBytes);
+    uint64_t total = 0;
+    for (uint32_t b : colBytes)
+        total += b;
+    EXPECT_EQ(total, enc.size());
+    std::vector<InstRecord> out(recs.size());
+    decodeChunk(enc.data(), colBytes, recs.size(), out.data(), "test");
+    return out;
+}
+
+TEST(ChunkCodecTest, RoundTripsEveryRecordShape)
+{
+    const auto recs = shapedRecords();
+    const auto out = chunkRoundTrip(recs);
+    for (size_t i = 0; i < recs.size(); ++i) {
+        const InstRecord a = canonicalRecord(recs[i]);
+        const InstRecord b = canonicalRecord(out[i]);
+        EXPECT_EQ(std::memcmp(&a, &b, sizeof(InstRecord)), 0) << i;
+    }
+}
+
+TEST(ChunkCodecTest, CanonicalizesWhatTheValidityRulesAllow)
+{
+    // Junk in fields the record's class declares meaningless must not
+    // survive a round trip — and must not affect the encoding of the
+    // records around it.
+    InstRecord junk;
+    junk.cls = InstClass::IntAlu;
+    junk.numSrcRegs = 1;
+    junk.srcRegs = {5, 999, 777};   // lanes 1..2 are invalid
+    junk.dstReg = 3;
+    junk.memAddr = 0xdeadbeef;      // not a memory record
+    junk.memSize = 77;
+    junk.target = 0x1234;           // not a control record
+    const auto out = chunkRoundTrip({junk});
+    EXPECT_EQ(out[0].srcRegs[0], 5);
+    EXPECT_EQ(out[0].srcRegs[1], kInvalidReg);
+    EXPECT_EQ(out[0].srcRegs[2], kInvalidReg);
+    EXPECT_EQ(out[0].memAddr, 0u);
+    EXPECT_EQ(out[0].memSize, 0u);
+    EXPECT_EQ(out[0].target, 0u);
+    const InstRecord a = canonicalRecord(junk);
+    const InstRecord b = canonicalRecord(out[0]);
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(InstRecord)), 0);
+}
+
+TEST(ChunkCodecTest, FuzzRoundTripAcrossSeeds)
+{
+    for (uint32_t seed : {1u, 2u, 42u, 1234u, 99999u}) {
+        std::mt19937_64 rng(seed);
+        std::vector<InstRecord> recs(1 + rng() % 3000);
+        for (auto &r : recs) {
+            r = InstRecord{};
+            r.cls = static_cast<InstClass>(rng() % kNumInstClasses);
+            // Mix dense sequential PCs with wild jumps.
+            r.pc = (rng() % 4 == 0) ? rng() : 0x400000 + 4 * (rng() %
+                                                              100000);
+            r.numSrcRegs = static_cast<uint8_t>(rng() % 4);
+            for (size_t s = 0; s < r.numSrcRegs; ++s)
+                r.srcRegs[s] = static_cast<uint16_t>(rng());
+            if (rng() % 2)
+                r.dstReg = static_cast<uint16_t>(rng() % kNumRegs);
+            if (r.isMem()) {
+                r.memAddr = rng();
+                r.memSize = static_cast<uint8_t>(1 + rng() % 64);
+            }
+            if (r.isControl()) {
+                r.taken = rng() % 2 != 0;
+                r.target = rng();
+            }
+        }
+        const auto out = chunkRoundTrip(recs);
+        for (size_t i = 0; i < recs.size(); ++i) {
+            const InstRecord a = canonicalRecord(recs[i]);
+            const InstRecord b = canonicalRecord(out[i]);
+            ASSERT_EQ(std::memcmp(&a, &b, sizeof(InstRecord)), 0)
+                << "seed " << seed << " record " << i;
+        }
+    }
+}
+
+void
+expectColumnError(const std::string &enc,
+                  const uint32_t colBytes[kNumColumns], size_t n,
+                  const std::string &needle)
+{
+    std::vector<InstRecord> out(n);
+    try {
+        decodeChunk(enc.data(), colBytes, n, out.data(), "t.trace");
+        FAIL() << "expected TraceFileError containing '" << needle
+               << "'";
+    } catch (const TraceFileError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "actual: " << e.what();
+    }
+}
+
+TEST(ChunkCodecTest, CorruptColumnsNameTheColumn)
+{
+    const auto recs = shapedRecords();
+    std::string enc;
+    uint32_t colBytes[kNumColumns] = {};
+    encodeChunk(recs.data(), recs.size(), enc, colBytes);
+
+    // Class value out of range.
+    {
+        std::string bad = enc;
+        bad[0] = static_cast<char>(kNumInstClasses);
+        uint32_t cb[kNumColumns];
+        std::memcpy(cb, colBytes, sizeof(cb));
+        expectColumnError(bad, cb, recs.size(), "column 'cls'");
+    }
+    // PC stream shorter than the record count.
+    {
+        std::string bad = enc;
+        uint32_t cb[kNumColumns];
+        std::memcpy(cb, colBytes, sizeof(cb));
+        bad.erase(cb[kColCls] + cb[kColPc] - 1, 1);
+        cb[kColPc] -= 1;
+        expectColumnError(bad, cb, recs.size(), "column 'pc'");
+    }
+    // Register width byte over 16 bits.
+    {
+        std::string bad = enc;
+        uint32_t cb[kNumColumns];
+        std::memcpy(cb, colBytes, sizeof(cb));
+        bad[cb[kColCls] + cb[kColPc]] = 17;
+        expectColumnError(bad, cb, recs.size(), "column 'reg'");
+    }
+    // A memory-size byte for every memory record is mandatory.
+    {
+        std::string bad = enc;
+        uint32_t cb[kNumColumns];
+        std::memcpy(cb, colBytes, sizeof(cb));
+        const size_t sizeOff =
+            cb[kColCls] + cb[kColPc] + cb[kColReg] + cb[kColMemAddr];
+        bad.erase(sizeOff, 1);
+        cb[kColMemSize] -= 1;
+        expectColumnError(bad, cb, recs.size(), "column 'mem_size'");
+    }
+    // Trailing bytes in the target stream.
+    {
+        std::string bad = enc + '\0';
+        uint32_t cb[kNumColumns];
+        std::memcpy(cb, colBytes, sizeof(cb));
+        cb[kColTarget] += 1;
+        expectColumnError(bad, cb, recs.size(), "column 'target'");
+    }
+}
+
+} // namespace
+} // namespace columnar
+} // namespace mica

@@ -231,6 +231,181 @@ TEST(TraceFileTest, SpansStopAtChunkBoundariesButNeverReturnZeroMidTrace)
     }
 }
 
+/** Expect a TraceFileError whose message mentions @p needle. */
+template <typename Fn>
+void
+expectReject(Fn &&fn, const std::string &needle)
+{
+    try {
+        fn();
+        FAIL() << "expected TraceFileError containing '" << needle << "'";
+    } catch (const TraceFileError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "actual: " << e.what();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Columnar format v2
+// ----------------------------------------------------------------------
+
+std::string
+writeTraceV2(const TmpDir &tmp, const std::vector<InstRecord> &recs,
+             const std::string &name = "v2.trace")
+{
+    const std::string path = tmp.file(name);
+    TraceFileWriter w(path, kTraceFormatV2);
+    w.append(recs.data(), recs.size());
+    w.close();
+    return path;
+}
+
+TEST(TraceV2Test, RoundTripsThroughTheStreamedReader)
+{
+    TmpDir tmp;
+    // Multiple v2 chunks plus a partial one.
+    const auto recs =
+        sampleRecords(2 * TraceFileWriter::kChunkRecordsV2 + 777);
+    const std::string path = writeTraceV2(tmp, recs);
+
+    const TraceFileInfo info = probeTraceFile(path);
+    EXPECT_EQ(info.version, kTraceFormatV2);
+    EXPECT_EQ(info.recordCount, recs.size());
+    EXPECT_EQ(info.chunkCount, 3u);
+
+    FileTraceSource streamed(path);
+    InstRecord r;
+    size_t n = 0;
+    while (streamed.next(r)) {
+        ASSERT_TRUE(sameRec(r, recs[n])) << n;
+        ++n;
+    }
+    EXPECT_EQ(n, recs.size());
+    EXPECT_TRUE(streamed.reset());
+    EXPECT_TRUE(streamed.next(r));
+    EXPECT_TRUE(sameRec(r, recs[0]));
+}
+
+TEST(TraceV2Test, CompressesAtLeast3xAndIsDeterministic)
+{
+    TmpDir tmp;
+    const auto recs = sampleRecords(50000);
+    const std::string p1 = writeTrace(tmp, recs, "v1.trace");
+    const std::string pa = writeTraceV2(tmp, recs, "a.trace");
+    const std::string pb = writeTraceV2(tmp, recs, "b.trace");
+    EXPECT_GE(fs::file_size(p1), 3 * fs::file_size(pa))
+        << "v2 must be >= 3x smaller than v1";
+    std::ifstream f1(pa, std::ios::binary), f2(pb, std::ios::binary);
+    std::stringstream s1, s2;
+    s1 << f1.rdbuf();
+    s2 << f2.rdbuf();
+    EXPECT_EQ(s1.str(), s2.str());
+}
+
+TEST(TraceV2Test, EmptyTraceRoundTrips)
+{
+    TmpDir tmp;
+    const std::string path = writeTraceV2(tmp, {});
+    const TraceFileInfo info = probeTraceFile(path);
+    EXPECT_EQ(info.version, kTraceFormatV2);
+    EXPECT_EQ(info.recordCount, 0u);
+    FileTraceSource streamed(path);
+    InstRecord r;
+    EXPECT_FALSE(streamed.next(r));
+}
+
+TEST(TraceV2Test, MmapReaderRejectsV2AndOpenTraceFileDispatches)
+{
+    TmpDir tmp;
+    const auto recs = sampleRecords(100);
+    const std::string path = writeTraceV2(tmp, recs);
+    expectReject([&] { MappedTraceSource s(path); }, "v1-only");
+
+    // openTraceFile must route a v2 file to the streamed reader even
+    // when the caller asked for the default (mmap) path.
+    for (int streamed = 0; streamed < 2; ++streamed) {
+        auto src = openTraceFile(path, streamed != 0);
+        InstRecord r;
+        size_t n = 0;
+        while (src->next(r)) {
+            ASSERT_TRUE(sameRec(r, recs[n])) << n;
+            ++n;
+        }
+        EXPECT_EQ(n, recs.size());
+    }
+}
+
+TEST(TraceV2Test, ConvertRoundTripsBothWaysRecordIdentical)
+{
+    TmpDir tmp;
+    const auto recs = sampleRecords(20000);
+    const std::string v1 = writeTrace(tmp, recs, "orig.trace");
+
+    const TraceConvertStats up =
+        convertTraceFile(v1, tmp.file("conv.trace"), kTraceFormatV2);
+    EXPECT_EQ(up.srcVersion, kTraceFormatV1);
+    EXPECT_EQ(up.dstVersion, kTraceFormatV2);
+    EXPECT_EQ(up.records, recs.size());
+    EXPECT_GE(up.srcBytes, 3 * up.dstBytes);
+
+    const TraceConvertStats down = convertTraceFile(
+        tmp.file("conv.trace"), tmp.file("back.trace"), kTraceFormatV1);
+    EXPECT_EQ(down.records, recs.size());
+
+    // Canonical records + deterministic writer: a v1 -> v2 -> v1 round
+    // trip reproduces the original file bit for bit.
+    std::ifstream f1(v1, std::ios::binary),
+        f2(tmp.file("back.trace"), std::ios::binary);
+    std::stringstream s1, s2;
+    s1 << f1.rdbuf();
+    s2 << f2.rdbuf();
+    EXPECT_EQ(s1.str(), s2.str());
+
+    std::string why;
+    EXPECT_TRUE(
+        traceRecordsIdentical(v1, tmp.file("conv.trace"), why)) << why;
+}
+
+TEST(TraceV2Test, FlippedColumnByteRejectsNamingTheColumn)
+{
+    TmpDir tmp;
+    const auto recs = sampleRecords(3000);
+    const std::string path = writeTraceV2(tmp, recs);
+
+    // Read the first chunk's column lengths so the patch lands on the
+    // register column's width byte (offset: 48-byte file header +
+    // 32-byte chunk header + cls and pc streams).
+    uint32_t colBytes[6] = {};
+    {
+        std::ifstream f(path, std::ios::binary);
+        f.seekg(48 + 8);
+        f.read(reinterpret_cast<char *>(colBytes), sizeof(colBytes));
+        ASSERT_TRUE(f.good());
+    }
+    const uint8_t badWidth = 17;
+    patchBytes(path, 48 + 32 + colBytes[0] + colBytes[1], &badWidth, 1);
+    expectReject([&] { probeTraceFile(path); }, "column 'reg'");
+}
+
+TEST(TraceV2Test, FlippedPayloadBitsAndTruncationReject)
+{
+    TmpDir tmp;
+    const auto recs = sampleRecords(3000);
+    const std::string path = writeTraceV2(tmp, recs);
+    const uint64_t full = fs::file_size(path);
+
+    const std::string cut = tmp.file("cut.trace");
+    fs::copy_file(path, cut, fs::copy_options::overwrite_existing);
+    fs::resize_file(cut, full - 1);
+    EXPECT_THROW(probeTraceFile(cut), TraceFileError);
+
+    // A flipped byte anywhere in a column stream must reject — either
+    // a column decode error or the payload checksum catches it.
+    const uint8_t junk = 0xa5;
+    patchBytes(path, full - 10, &junk, 1);
+    EXPECT_THROW(probeTraceFile(path), TraceFileError);
+}
+
 // ----------------------------------------------------------------------
 // Writer atomicity
 // ----------------------------------------------------------------------
@@ -268,20 +443,6 @@ TEST(TraceFileTest, AbandonedWriterLeavesNoFinalFile)
 // Rejection: corrupt, truncated, mismatched files
 // ----------------------------------------------------------------------
 
-/** Expect a TraceFileError whose message mentions @p needle. */
-template <typename Fn>
-void
-expectReject(Fn &&fn, const std::string &needle)
-{
-    try {
-        fn();
-        FAIL() << "expected TraceFileError containing '" << needle << "'";
-    } catch (const TraceFileError &e) {
-        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
-            << "actual: " << e.what();
-    }
-}
-
 TEST(TraceFileTest, RejectsMissingAndNonTraceFiles)
 {
     TmpDir tmp;
@@ -302,7 +463,7 @@ TEST(TraceFileTest, RejectsVersionAndLayoutMismatch)
     const auto recs = sampleRecords(10);
 
     const std::string p1 = writeTrace(tmp, recs, "v.trace");
-    const uint32_t badVersion = kTraceFormatVersion + 1;
+    const uint32_t badVersion = kTraceFormatLatest + 1;
     patchBytes(p1, 8, &badVersion, sizeof(badVersion));
     expectReject([&] { probeTraceFile(p1); }, "version");
 

@@ -11,7 +11,9 @@
  *   mica subset                    pick suite representatives
  *   mica index build|query|redundant   persistent similarity index
  *   mica trace record <bench>|<suite>|all   record traces to disk
+ *   mica trace convert <src> <dst> rewrite a trace v1 <-> v2
  *   mica trace ls [DIR]            list recorded trace files
+ *   mica corpus init|ls|profile    sharded out-of-core trace corpora
  *   mica faults ls                 list fault-injection points
  *   mica faults crash-matrix       crash-consistency verification
  *   mica obs demo                  telemetry self-test
@@ -82,6 +84,7 @@
 #include "methodology/subsetting.hh"
 #include "methodology/workload_space.hh"
 #include "obs/obs.hh"
+#include "pipeline/corpus_runner.hh"
 #include "pipeline/profile_store.hh"
 #include "pipeline/thread_pool.hh"
 #include "report/table.hh"
@@ -97,6 +100,7 @@
 #include "util/checked_io.hh"
 #include "util/failpoint.hh"
 #include "util/quantile.hh"
+#include "workloads/corpus.hh"
 #include "workloads/registry.hh"
 
 using namespace mica;
@@ -1021,16 +1025,37 @@ traceFileName(const workloads::BenchmarkInfo &info)
 }
 
 /**
+ * Parse a --format=v1|v2 flag into a trace format version.
+ * @return 0 on a bad value (after printing the complaint).
+ */
+uint32_t
+traceFormatFlag(const util::CliArgs &args, const char *verb,
+                uint32_t fallback)
+{
+    if (!args.has("format"))
+        return fallback;
+    const std::string f = args.value("format");
+    if (f == "v1")
+        return kTraceFormatV1;
+    if (f == "v2")
+        return kTraceFormatV2;
+    std::fprintf(stderr,
+                 "mica trace %s: --format must be v1 or v2 (got '%s')\n",
+                 verb, f.c_str());
+    return 0;
+}
+
+/**
  * Interpret one benchmark and tee every record to a trace file.
  * @return records written.
  */
 uint64_t
 recordOne(const workloads::BenchmarkEntry &e, const std::string &path,
-          uint64_t maxInsts)
+          uint64_t maxInsts, uint32_t version)
 {
     const isa::Program prog = e.build();
     isa::Interpreter interp(prog);
-    TraceFileWriter writer(path);
+    TraceFileWriter writer(path, version);
     RecordingSource tee(interp, writer);
     std::vector<InstRecord> buf(TraceFileWriter::kChunkRecords);
     uint64_t n = 0;
@@ -1058,6 +1083,12 @@ cmdTraceRecord(const util::CliArgs &args,
         return usage();
     const std::string target = args.positionals[2];
     const std::string outDir = args.value("out", "traces");
+    // New recordings default to the columnar format; --format=v1
+    // keeps writing the flat format for old readers.
+    const uint32_t version =
+        traceFormatFlag(args, "record", kTraceFormatV2);
+    if (version == 0)
+        return 2;
 
     const auto &reg = workloads::BenchmarkRegistry::instance();
     std::vector<const workloads::BenchmarkEntry *> entries;
@@ -1087,7 +1118,7 @@ cmdTraceRecord(const util::CliArgs &args,
         records[i] =
             recordOne(*entries[i],
                       outDir + "/" + traceFileName(entries[i]->info),
-                      cfg.maxInsts);
+                      cfg.maxInsts, version);
     });
 
     report::TextTable t({"benchmark", "records", "file"},
@@ -1103,6 +1134,39 @@ cmdTraceRecord(const util::CliArgs &args,
     std::printf("%s\nrecorded %zu traces (%llu records) into %s\n",
                 t.render().c_str(), entries.size(),
                 static_cast<unsigned long long>(total), outDir.c_str());
+    return 0;
+}
+
+int
+cmdTraceConvert(const util::CliArgs &args)
+{
+    if (args.positionals.size() < 4)
+        return usage();
+    const std::string src = args.positionals[2];
+    const std::string dst = args.positionals[3];
+    // Without --format, convert to the *other* format: v1 input
+    // upgrades to v2, v2 input downgrades to v1.
+    uint32_t version = traceFormatFlag(args, "convert", 0);
+    if (args.has("format") && version == 0)
+        return 2;
+    if (version == 0) {
+        const TraceFileInfo fi = probeTraceFile(src);
+        version = fi.version == kTraceFormatV1 ? kTraceFormatV2
+                                               : kTraceFormatV1;
+    }
+    const TraceConvertStats st = convertTraceFile(src, dst, version);
+    const double ratio =
+        st.dstBytes > 0
+            ? static_cast<double>(st.srcBytes) /
+                  static_cast<double>(st.dstBytes)
+            : 0.0;
+    std::printf("converted %s (v%u, %llu bytes) -> %s (v%u, %llu "
+                "bytes): %llu records verified identical, %.2fx\n",
+                src.c_str(), st.srcVersion,
+                static_cast<unsigned long long>(st.srcBytes),
+                dst.c_str(), st.dstVersion,
+                static_cast<unsigned long long>(st.dstBytes),
+                static_cast<unsigned long long>(st.records), ratio);
     return 0;
 }
 
@@ -1141,36 +1205,52 @@ cmdTraceLs(const util::CliArgs &args)
     }
     std::sort(files.begin(), files.end());
 
-    report::TextTable t({"file", "format", "records", "bytes", "status"},
+    report::TextTable t({"file", "format", "records", "bytes", "ratio",
+                         "status"},
                         {report::Align::Left, report::Align::Left,
                          report::Align::Right, report::Align::Right,
-                         report::Align::Left});
+                         report::Align::Right, report::Align::Left});
     size_t listed = 0, rejected = 0;
     for (const auto &p : files) {
         const std::string ext = p.extension().string();
         const bool binary = ext == ".trace";
         if (!binary && ext != ".csv" && ext != ".txt")
             continue;   // .tmp leftovers, READMEs, ...
-        std::string recs = "-", status = "ok";
+        const uint64_t bytes = fs::file_size(p, ec);
+        std::string recs = "-", status = "ok", format = "text";
+        std::string ratio = "-";
         // The status column separates the error classes: "corrupt"
         // means the file was readable but its contents failed
         // validation; "io-error" means the bytes could not be read
-        // at all (the message on stderr names the errno).
+        // at all (the message on stderr names the errno — for a v2
+        // file with a damaged column stream, the failing column).
         try {
             if (binary) {
-                recs = std::to_string(
-                    probeTraceFile(p.string()).recordCount);
+                const TraceFileInfo fi = probeTraceFile(p.string());
+                recs = std::to_string(fi.recordCount);
+                format = "v" + std::to_string(fi.version);
+                // Compression vs the flat in-memory records the v1
+                // format stores verbatim.
+                if (fi.version >= kTraceFormatV2 && !ec && bytes > 0) {
+                    char buf[32];
+                    std::snprintf(
+                        buf, sizeof(buf), "%.2fx",
+                        static_cast<double>(fi.recordCount *
+                                            sizeof(InstRecord)) /
+                            static_cast<double>(bytes));
+                    ratio = buf;
+                }
             } else {
                 recs = std::to_string(readTextTrace(p.string()).size());
             }
         } catch (const TraceFileError &e) {
             status = e.code() == 0 ? "corrupt" : "io-error";
+            format = binary ? "?" : "text";
             ++rejected;
             std::fprintf(stderr, "%s\n", e.what());
         }
-        const uint64_t bytes = fs::file_size(p, ec);
-        t.addRow({p.filename().string(), binary ? "binary" : "text",
-                  recs, std::to_string(ec ? 0 : bytes), status});
+        t.addRow({p.filename().string(), format, recs,
+                  std::to_string(ec ? 0 : bytes), ratio, status});
         ++listed;
     }
     std::printf("%s\n%zu trace files in %s", t.render().c_str(), listed,
@@ -1179,6 +1259,142 @@ cmdTraceLs(const util::CliArgs &args)
         std::printf(" (%zu rejected — see stderr)", rejected);
     std::printf("\n");
     return rejected ? 1 : 0;
+}
+
+// ----------------------------------------------------------------------
+// corpus verbs: manifest a directory tree of traces into shards, list
+// the manifest, and profile it shard-at-a-time with durable resume.
+// ----------------------------------------------------------------------
+
+/** Render one manifest as the shared shard summary table. */
+void
+printCorpusSummary(const workloads::CorpusManifest &m)
+{
+    report::TextTable t({"shard", "traces", "records", "bytes",
+                         "digest"},
+                        {report::Align::Left, report::Align::Right,
+                         report::Align::Right, report::Align::Right,
+                         report::Align::Left});
+    for (const auto &s : m.shards) {
+        char digest[24];
+        std::snprintf(digest, sizeof(digest), "0x%016llx",
+                      static_cast<unsigned long long>(s.digest()));
+        t.addRow({s.name, std::to_string(s.traces.size()),
+                  std::to_string(s.records()),
+                  std::to_string(s.bytes()), digest});
+    }
+    std::printf("%s\n%zu shards, %zu traces, %llu records in %s\n",
+                t.render().c_str(), m.shards.size(), m.traceCount(),
+                static_cast<unsigned long long>(m.records()),
+                m.root.c_str());
+}
+
+int
+cmdCorpusInit(const util::CliArgs &args)
+{
+    if (args.positionals.size() < 3)
+        return usage();
+    if (rejectBadInt(args, "corpus init", "shard-size"))
+        return 2;
+    const long long shardSize = args.intValue("shard-size", 16);
+    if (shardSize <= 0) {
+        std::fprintf(stderr,
+                     "mica corpus init: --shard-size must be >= 1\n");
+        return 2;
+    }
+    const workloads::CorpusManifest m = workloads::scanCorpus(
+        args.positionals[2], static_cast<size_t>(shardSize));
+    workloads::saveCorpus(m);
+    printCorpusSummary(m);
+    return 0;
+}
+
+int
+cmdCorpusLs(const util::CliArgs &args)
+{
+    if (args.positionals.size() < 3)
+        return usage();
+    printCorpusSummary(workloads::loadCorpus(args.positionals[2]));
+    return 0;
+}
+
+/**
+ * Profile every shard of a corpus into per-shard profile stores under
+ * --out, one shard at a time (peak memory is one shard's working
+ * set). Each finished shard gets a durable done marker, so re-running
+ * after a crash recomputes only the unfinished shards; --rerun
+ * ignores the markers. A shard whose collection throws is quarantined
+ * into the summary and the run continues.
+ */
+int
+cmdCorpusProfile(const util::CliArgs &args,
+                 const experiments::DatasetConfig &cfg)
+{
+    if (args.positionals.size() < 3)
+        return usage();
+    const workloads::CorpusManifest m =
+        workloads::loadCorpus(args.positionals[2]);
+
+    pipeline::CorpusRunOptions opt;
+    opt.outDir = args.value("out", "corpus-out");
+    opt.rerunAll = args.has("rerun");
+
+    const auto outcomes = pipeline::runCorpusShards(
+        m, opt,
+        [&](size_t i, const std::string &shardDir)
+            -> pipeline::ShardResult {
+            // Each shard is one dataset collection over exactly its
+            // files, cached in the shard's own store directory and
+            // keyed by the shard label + content digest.
+            experiments::DatasetConfig shardCfg = cfg;
+            shardCfg.traceDir.clear();
+            shardCfg.traceFiles = m.shardFiles(i);
+            shardCfg.traceLabel = "corpus:" + m.shards[i].name;
+            shardCfg.cacheDir = shardDir;
+            const auto ds = collectReported(shardCfg);
+            return {ds.benchmarks.size(), ds.failures.size()};
+        });
+
+    report::TextTable t({"shard", "status", "benchmarks", "failures",
+                         "detail"},
+                        {report::Align::Left, report::Align::Left,
+                         report::Align::Right, report::Align::Right,
+                         report::Align::Left});
+    size_t done = 0, skipped = 0, failed = 0;
+    for (const auto &o : outcomes) {
+        const char *status = "done";
+        if (o.status == pipeline::ShardOutcome::Status::Skipped) {
+            status = "skipped";
+            ++skipped;
+        } else if (o.status == pipeline::ShardOutcome::Status::Failed) {
+            status = "FAILED";
+            ++failed;
+        } else {
+            ++done;
+        }
+        t.addRow({o.shard, status, std::to_string(o.benchmarks),
+                  std::to_string(o.failures), o.error});
+    }
+    std::printf("%s\n%zu shards: %zu profiled, %zu resumed (already "
+                "done), %zu failed -> %s\n",
+                t.render().c_str(), outcomes.size(), done, skipped,
+                failed, opt.outDir.c_str());
+    return failed == 0 ? 0 : kExitPartial;
+}
+
+int
+cmdCorpus(const util::CliArgs &args,
+          const experiments::DatasetConfig &cfg)
+{
+    const std::string sub =
+        args.positionals.size() >= 2 ? args.positionals[1] : "";
+    if (sub == "init")
+        return cmdCorpusInit(args);
+    if (sub == "ls")
+        return cmdCorpusLs(args);
+    if (sub == "profile")
+        return cmdCorpusProfile(args, cfg);
+    return usage();
 }
 
 // ----------------------------------------------------------------------
@@ -1359,6 +1575,8 @@ cmdTrace(const util::CliArgs &args, const experiments::DatasetConfig &cfg)
         args.positionals.size() >= 2 ? args.positionals[1] : "";
     if (sub == "record")
         return cmdTraceRecord(args, cfg);
+    if (sub == "convert")
+        return cmdTraceConvert(args);
     if (sub == "ls")
         return cmdTraceLs(args);
     return usage();
@@ -1421,7 +1639,7 @@ perfToleranceFor(const std::string &family)
     if (family == "serve" || family == "obs")
         return {0.15, 0.60};
     if (family == "methodology" || family == "trace_replay" ||
-        family == "index")
+        family == "trace_v2" || family == "index")
         return {0.12, 0.50};
     return {0.10, 0.45};   // analyzers and anything unrecognized
 }
@@ -1735,10 +1953,26 @@ constexpr VerbDef kVerbs[] = {
      cmdServeBench},
     {"trace",
      "  trace record <bench>|<suite>|all  record traces to --out=DIR\n"
+     "  trace convert <src> <dst> rewrite a trace in the other format\n"
      "  trace ls [DIR]            list recorded trace files\n",
      "  --out=DIR      destination directory (record; default "
-     "traces)\n",
+     "traces)\n"
+     "  --format=v1|v2 on-disk format (record defaults to v2;\n"
+     "                 convert defaults to the other format);\n"
+     "                 conversion is verified record-identical\n",
      cmdTrace},
+    {"corpus",
+     "  corpus init <dir>         shard a trace tree into corpus.json\n"
+     "  corpus ls <dir>           list a corpus manifest\n"
+     "  corpus profile <dir>      profile every shard, resumable\n",
+     "  --shard-size=N traces per shard (init; default 16)\n"
+     "  --out=DIR      per-shard stores + done markers (profile;\n"
+     "                 default corpus-out)\n"
+     "  --rerun        ignore done markers and recompute (profile)\n"
+     "  profile runs one shard at a time (bounded memory), writes a\n"
+     "  durable marker per finished shard, and on re-run recomputes\n"
+     "  only shards without a matching marker.\n",
+     cmdCorpus},
     {"faults",
      "  faults ls                 list fault-injection points\n"
      "  faults crash-matrix       crash-consistency check of every\n"
@@ -1841,9 +2075,15 @@ cmdCapabilities(const util::CliArgs &, const experiments::DatasetConfig &)
     doc.set("spaces", std::move(spaces));
     service::JsonValue fams = service::JsonValue::array();
     for (const char *f : {"analyzers", "engine", "methodology",
-                          "trace_replay", "index", "serve", "obs"})
+                          "trace_replay", "trace_v2", "index", "serve",
+                          "obs"})
         fams.push(service::JsonValue::str(f));
     doc.set("perf_families", std::move(fams));
+    service::JsonValue formats = service::JsonValue::array();
+    for (uint32_t v = kTraceFormatV1; v <= kTraceFormatLatest; ++v)
+        formats.push(
+            service::JsonValue::number(static_cast<uint64_t>(v)));
+    doc.set("trace_formats", std::move(formats));
     doc.set("perf_profile_schema",
             service::JsonValue::str("mica-perf-profile/2"));
     service::JsonValue compiled = service::JsonValue::object();
@@ -1903,6 +2143,13 @@ knownFlags(const std::string &cmd, const std::string &sub)
         cmd == "index" || cmd == "serve" || cmd == "query")
         known.insert(known.end(),
                      {"suites=", "traces=", "reader=", "max-failures="});
+    if (cmd == "corpus") {
+        if (sub == "init")
+            known.push_back("shard-size=");
+        if (sub == "profile")
+            known.insert(known.end(), {"out=", "rerun", "suites=",
+                                       "reader=", "max-failures="});
+    }
     if (cmd == "serve")
         known.insert(known.end(),
                      {"listen=", "space=", "pca=", "max-conns=",
@@ -1921,7 +2168,9 @@ knownFlags(const std::string &cmd, const std::string &sub)
     if (cmd == "cluster" || cmd == "subset")
         known.push_back("maxk=");
     if (cmd == "trace" && sub == "record")
-        known.push_back("out=");
+        known.insert(known.end(), {"out=", "format="});
+    if (cmd == "trace" && sub == "convert")
+        known.push_back("format=");
     if (cmd == "index") {
         known.insert(known.end(), {"space=", "pca="});
         if (sub == "query")
